@@ -1,0 +1,252 @@
+(* gcsafec: the GC-safety preprocessor, checker and runner.
+
+   Subcommands:
+     annotate   transform C source (GC-safe or checked mode) and print it
+     check      run the pointer-hiding source checker
+     run        build under a configuration and execute on the VM
+     ir         dump the compiled (optimized, register-allocated) IR
+     tables     regenerate one of the paper's tables *)
+
+open Cmdliner
+
+let read_input = function
+  | "-" -> In_channel.input_all In_channel.stdin
+  | path -> In_channel.with_open_text path In_channel.input_all
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let file_arg =
+  let doc = "C source file ('-' for standard input)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let machine_arg =
+  let doc = "Machine model: sparc2, sparc10 or pentium90." in
+  let parse s =
+    match Machine.Machdesc.by_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown machine %s" s))
+  in
+  let print fmt m = Format.pp_print_string fmt m.Machine.Machdesc.md_name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Machine.Machdesc.sparc10
+    & info [ "machine" ] ~docv:"MACHINE" ~doc)
+
+let config_arg =
+  let doc =
+    "Build configuration: base, safe, safe-peep, debug or checked."
+  in
+  let parse = function
+    | "base" -> Ok Harness.Build.Base
+    | "safe" -> Ok Harness.Build.Safe
+    | "safe-peep" -> Ok Harness.Build.Safe_peephole
+    | "debug" | "g" -> Ok Harness.Build.Debug
+    | "checked" -> Ok Harness.Build.Debug_checked
+    | s -> Error (`Msg (Printf.sprintf "unknown configuration %s" s))
+  in
+  let print fmt c = Format.pp_print_string fmt (Harness.Build.config_name c) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Harness.Build.Safe
+    & info [ "config"; "c" ] ~docv:"CONFIG" ~doc)
+
+let handle_errors f =
+  try f () with
+  | Csyntax.Lexer.Error (m, loc) ->
+      Printf.eprintf "lex error at %s: %s\n" (Csyntax.Loc.to_string loc) m;
+      exit 2
+  | Csyntax.Parser.Error (m, loc) ->
+      Printf.eprintf "parse error at %s: %s\n" (Csyntax.Loc.to_string loc) m;
+      exit 2
+  | Csyntax.Typecheck.Error (m, loc) ->
+      Printf.eprintf "type error at %s: %s\n" (Csyntax.Loc.to_string loc) m;
+      exit 2
+  | Gcsafe.Annotate.Unnormalized (m, loc) ->
+      Printf.eprintf "annotation error at %s: %s\n" (Csyntax.Loc.to_string loc)
+        m;
+      exit 2
+  | Ir.Compile.Unsupported (m, loc) ->
+      Printf.eprintf "unsupported at %s: %s\n" (Csyntax.Loc.to_string loc) m;
+      exit 2
+
+(* --- annotate ----------------------------------------------------------- *)
+
+let annotate_cmd =
+  let mode_arg =
+    let doc = "Insertion mode: 'safe' (KEEP_LIVE) or 'checked' (GC_same_obj)." in
+    let parse = function
+      | "safe" -> Ok Gcsafe.Mode.Safe
+      | "checked" -> Ok Gcsafe.Mode.Checked
+      | s -> Error (`Msg (Printf.sprintf "unknown mode %s" s))
+    in
+    let print fmt m = Format.pp_print_string fmt (Gcsafe.Mode.to_string m) in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Gcsafe.Mode.Safe
+      & info [ "mode"; "m" ] ~docv:"MODE" ~doc)
+  in
+  let naive_arg =
+    let doc = "Disable optimization (1): annotate even plain copies." in
+    Arg.(value & flag & info [ "naive" ] ~doc)
+  in
+  let heuristic_arg =
+    let doc = "Enable optimization (3): slowly-varying loop base pointers." in
+    Arg.(value & flag & info [ "loop-heuristic" ] ~doc)
+  in
+  let calls_only_arg =
+    let doc =
+      "Enable optimization (4): assume collections trigger only at call \
+       sites and skip annotations in call-free statements."
+    in
+    Arg.(value & flag & info [ "calls-only" ] ~doc)
+  in
+  let heapness_arg =
+    let doc =
+      "Run the heapness analysis: drop annotations whose base provably \
+       never holds a heap pointer."
+    in
+    Arg.(value & flag & info [ "heapness" ] ~doc)
+  in
+  let base_stores_arg =
+    let doc =
+      "Checked mode only: verify the Extensions-section discipline that \
+       only base pointers are stored into the heap."
+    in
+    Arg.(value & flag & info [ "check-base-stores" ] ~doc)
+  in
+  let patch_arg =
+    let doc =
+      "Emit by patching the original text (preserves formatting and \
+       comments; constructs needing temporaries are skipped and reported)."
+    in
+    Arg.(value & flag & info [ "patch" ] ~doc)
+  in
+  let stats_arg =
+    let doc = "Print the number of inserted annotations to stderr." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run mode naive heuristic calls_only heapness base_stores patch stats file =
+    handle_errors (fun () ->
+        let src = read_input file in
+        let ast = Csyntax.Parser.parse_program src in
+        let opts =
+          {
+            (Gcsafe.Mode.default mode) with
+            Gcsafe.Mode.suppress_copies = not naive;
+            Gcsafe.Mode.calls_only;
+            Gcsafe.Mode.heapness_analysis = heapness;
+            Gcsafe.Mode.check_base_stores = base_stores;
+          }
+        in
+        if patch then begin
+          let r = Gcsafe.Patch_mode.annotate_source ~opts src in
+          print_string r.Gcsafe.Patch_mode.pr_source;
+          if stats then
+            Printf.eprintf "%d annotation(s) inserted, %d skipped (need rewrites)\n"
+              r.Gcsafe.Patch_mode.pr_inserted r.Gcsafe.Patch_mode.pr_skipped
+        end
+        else begin
+          let r = Gcsafe.Annotate.run ~opts ast in
+          let program =
+            if heuristic && mode = Gcsafe.Mode.Safe then
+              Gcsafe.Loop_heuristic.apply r.Gcsafe.Annotate.program
+            else r.Gcsafe.Annotate.program
+          in
+          print_string (Csyntax.Pretty.program_to_string program);
+          if stats then
+            Printf.eprintf "%d annotation(s) inserted\n"
+              r.Gcsafe.Annotate.keep_live_count
+        end)
+  in
+  let doc = "annotate C source for GC-safety or pointer-arithmetic checking" in
+  Cmd.v
+    (Cmd.info "annotate" ~doc)
+    Term.(
+      const run $ mode_arg $ naive_arg $ heuristic_arg $ calls_only_arg
+      $ heapness_arg $ base_stores_arg $ patch_arg $ stats_arg $ file_arg)
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let src = read_input file in
+        let ast, _env = Csyntax.Typecheck.check_source src in
+        let diags = Gcsafe.Source_check.check_program ast in
+        List.iter
+          (fun d -> Format.printf "%a@." Gcsafe.Source_check.pp_diagnostic d)
+          diags;
+        let warnings = Gcsafe.Source_check.warnings diags in
+        if warnings <> [] then exit 1)
+  in
+  let doc = "warn about pointer-hiding constructs (the paper's source checks)" in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ file_arg)
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run_cmd =
+  let async_arg =
+    let doc = "Force a collection every N instructions (asynchronous GC)." in
+    Arg.(value & opt (some int) None & info [ "async-gc" ] ~docv:"N" ~doc)
+  in
+  let stats_arg =
+    let doc = "Print cycle/instruction/GC statistics to stderr." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let run config machine async stats file =
+    handle_errors (fun () ->
+        let src = read_input file in
+        let b = Harness.Build.build ~nregs:machine.Machine.Machdesc.md_regs config src in
+        match Harness.Measure.run ~machine ~async_gc:async b with
+        | Harness.Measure.Ran r ->
+            print_string r.Harness.Measure.o_output;
+            if stats then
+              Printf.eprintf
+                "config=%s machine=%s instrs=%d cycles=%d collections=%d \
+                 size=%d annotations=%d\n"
+                (Harness.Build.config_name config)
+                machine.Machine.Machdesc.md_name r.Harness.Measure.o_instrs
+                r.Harness.Measure.o_cycles r.Harness.Measure.o_gc_count
+                r.Harness.Measure.o_size b.Harness.Build.b_keep_lives
+        | Harness.Measure.Detected m ->
+            Printf.eprintf "detected: %s\n" m;
+            exit 1)
+  in
+  let doc = "build a configuration and execute it on the VM" in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ config_arg $ machine_arg $ async_arg $ stats_arg $ file_arg)
+
+(* --- ir --------------------------------------------------------------------- *)
+
+let ir_cmd =
+  let run config machine file =
+    handle_errors (fun () ->
+        let src = read_input file in
+        let b = Harness.Build.build ~nregs:machine.Machine.Machdesc.md_regs config src in
+        List.iter
+          (fun f -> Format.printf "%a@." Ir.Instr.pp_func f)
+          b.Harness.Build.b_ir.Ir.Instr.p_funcs)
+  in
+  let doc = "dump the optimized, register-allocated IR" in
+  Cmd.v
+    (Cmd.info "ir" ~doc)
+    Term.(const run $ config_arg $ machine_arg $ file_arg)
+
+(* --- tables ------------------------------------------------------------------ *)
+
+let tables_cmd =
+  let run machine =
+    ignore (Harness.Tables.slowdown_table ~machine ());
+    print_newline ();
+    ignore (Harness.Tables.size_table ~machine ());
+    print_newline ();
+    ignore (Harness.Tables.postprocessor_table ~machine ())
+  in
+  let doc = "regenerate the paper's tables for one machine model" in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ machine_arg)
+
+let () =
+  let doc = "GC-safety preprocessor for C (Boehm, PLDI 1996)" in
+  let info = Cmd.info "gcsafec" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ annotate_cmd; check_cmd; run_cmd; ir_cmd; tables_cmd ]))

@@ -1,0 +1,1 @@
+examples/gc_explorer.ml: Array Format Gcheap Heap Mem Option Printf

@@ -1,0 +1,1 @@
+examples/pointer_debugger.ml: Harness List Printf String Workloads

@@ -1,0 +1,1 @@
+examples/premature_collection.ml: Format Harness Ir List Printf

@@ -1,0 +1,1 @@
+examples/premature_collection.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Csyntax Format Gcheap Gcsafe Harness List Machine Printf String

@@ -1,0 +1,44 @@
+(* The checked mode as a pointer-arithmetic debugger (the paper's
+   "Debugging Applications", and its gawk anecdote).
+
+   Run with:  dune exec examples/pointer_debugger.exe
+
+   The same annotation algorithm that makes code GC-safe becomes a
+   Purify-style checker when KEEP_LIVE is replaced by GC_same_obj.  This
+   example runs the gawk workload — which contains the classic
+   one-before-the-array 1-origin bug — under the checker, watches the bug
+   get caught, then applies the paper's fix and watches the checker pass.
+   The gs workload demonstrates the other side of the anecdote: objects
+   with prepended headers never trip the checker. *)
+
+let check name src =
+  Printf.printf "== %s under '-g, checked' ==\n" name;
+  let b = Harness.Build.build Harness.Build.Debug_checked src in
+  (match Harness.Measure.run b with
+  | Harness.Measure.Detected m ->
+      Printf.printf "  DETECTED: %s\n" m
+  | Harness.Measure.Ran r ->
+      Printf.printf "  clean; program output:\n";
+      String.split_on_char '\n' r.Harness.Measure.o_output
+      |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line));
+  print_newline ()
+
+let () =
+  (* show the annotated form of the offending line *)
+  print_endline "The buggy idiom in gawk's source:";
+  print_endline "    fields_base = (char **)malloc(MAXFIELDS * sizeof(char *));";
+  print_endline "    fields = fields_base - 1;   /* 1-origin: points before the array */";
+  print_endline "";
+  print_endline "which the checked-mode preprocessor turns into:";
+  print_endline
+    "    fields = (char **)GC_same_obj((void *)(fields_base - 1),\n\
+    \                                  (void *)fields_base);";
+  print_endline "";
+  check "gawk (as shipped)" Workloads.Gawk.source;
+  check "gawk (paper's fix applied)" Workloads.Gawk.source_fixed;
+  check "gs (prepended headers, clean style)" Workloads.Gs.source;
+  print_endline
+    "This mirrors the paper exactly: \"With checking enabled, it immediately\n\
+     and correctly detected a pointer arithmetic error which was also an\n\
+     array access error\" — while for gs \"no pointer arithmetic errors were\n\
+     found\"."

@@ -1,0 +1,56 @@
+(* Premature collection, live: the paper's introduction as an experiment.
+
+   Run with:  dune exec examples/premature_collection.exe
+
+   A conventional optimizer rewrites a final reference p[i-100000] into
+   p -= 100000; ... p[i], overwriting the only recognizable pointer to the
+   object.  With a collection in that window, the object is swept while
+   still in use.  This example shows the object dying under the
+   conventional build and surviving under every GC-safe build, and prints
+   the disguised instruction sequence so you can see the overwrite. *)
+
+let source =
+  {|long f(long i) {
+  char *p = (char *)malloc(10);
+  p[5] = 42;
+  return p[i - 100000];   /* legal: i = 100005, so the result is p+5 */
+}
+int main(void) { printf("f returned %ld\n", f(100005)); return 0; }|}
+
+let show_ir title config =
+  let b = Harness.Build.build config source in
+  let f =
+    List.find
+      (fun f -> f.Ir.Instr.fn_name = "f")
+      b.Harness.Build.b_ir.Ir.Instr.p_funcs
+  in
+  Format.printf "--- %s@.%a@." title Ir.Instr.pp_func f
+
+let race name config =
+  let b = Harness.Build.build config source in
+  (* a collection after every single instruction: the worst-case
+     asynchronous collector of the paper's multi-threaded assumption *)
+  match Harness.Measure.run ~async_gc:(Some 1) b with
+  | Harness.Measure.Ran r ->
+      Printf.printf "  %-24s survived: %s" name r.Harness.Measure.o_output
+  | Harness.Measure.Detected m ->
+      Printf.printf "  %-24s PREMATURE COLLECTION\n  %24s   %s\n" name "" m
+
+let () =
+  print_endline "The compiled body of f under the conventional optimizer —";
+  print_endline "note the base register being overwritten by the sub:";
+  show_ir "-O (disguising)" Harness.Build.Base;
+  print_endline "and under the GC-safe build — the keep pins the base until";
+  print_endline "the derived (opaque) pointer exists:";
+  show_ir "-O safe" Harness.Build.Safe;
+  print_endline "Racing each build against a collector that runs constantly:";
+  race "-O (conventional)" Harness.Build.Base;
+  race "-O safe" Harness.Build.Safe;
+  race "-O safe + peephole" Harness.Build.Safe_peephole;
+  race "-g (debuggable)" Harness.Build.Debug;
+  race "-g checked" Harness.Build.Debug_checked;
+  print_endline "";
+  print_endline
+    "Only the conventionally optimized build loses the object — and it runs\n\
+     fine when no collection lands in the window, which is why the paper\n\
+     says such failures are \"essentially never observed in practice\"."

@@ -1,0 +1,1 @@
+lib/core/annotate.ml: Ast Base_rules Csyntax Ctype Format Hashtbl Heapness List Loc Mode Normalize Option Pretty Temps Typecheck

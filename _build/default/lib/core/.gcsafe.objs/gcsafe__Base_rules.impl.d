@@ -1,0 +1,1 @@
+lib/core/base_rules.ml: Ast Csyntax Ctype

@@ -1,0 +1,1 @@
+lib/core/heapness.ml: Ast Csyntax Ctype Hashtbl List

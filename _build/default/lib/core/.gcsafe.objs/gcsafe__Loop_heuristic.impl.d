@@ -1,0 +1,1 @@
+lib/core/loop_heuristic.ml: Ast Base_rules Csyntax Hashtbl List Option String Typecheck

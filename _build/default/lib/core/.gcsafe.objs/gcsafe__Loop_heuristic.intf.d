@@ -1,0 +1,1 @@
+lib/core/loop_heuristic.mli: Csyntax

@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Ast Base_rules Csyntax Ctype List Option Temps Typecheck

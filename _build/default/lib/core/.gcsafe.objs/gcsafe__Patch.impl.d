@@ -1,0 +1,1 @@
+lib/core/patch.ml: Buffer Int List String

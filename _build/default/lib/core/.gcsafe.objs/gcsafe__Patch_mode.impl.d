@@ -1,0 +1,1 @@
+lib/core/patch_mode.ml: Ast Base_rules Csyntax Ctype List Loc Mode Option Parser Patch Printf Typecheck

@@ -1,0 +1,1 @@
+lib/core/source_check.ml: Ast Csyntax Ctype Format List Loc Option String

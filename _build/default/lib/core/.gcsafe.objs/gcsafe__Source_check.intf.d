@@ -1,0 +1,1 @@
+lib/core/source_check.mli: Csyntax Format

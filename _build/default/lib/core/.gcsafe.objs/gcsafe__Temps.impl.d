@@ -1,0 +1,1 @@
+lib/core/temps.ml: Ast Csyntax Ctype List Loc Printf

@@ -1,0 +1,529 @@
+(** The annotation algorithm ("An Algorithm" + "Optimizations" 1-2 +
+    "Debugging Applications").
+
+    Every pointer-valued expression [e] occurring as the right side of an
+    assignment, the argument of a dereferencing operation, or a function
+    argument or result is replaced by [KEEP_LIVE(e, BASE(e))]; increment and
+    decrement operators are treated as assignments.  Memory accesses through
+    [\[\]], [->] and [.] are treated in their [*&(...)] normal form: the
+    computed address is the dereference argument, so the whole address
+    expression gets one KEEP_LIVE with the BASEADDR base — "we essentially
+    treat pointer offset calculations as pointer arithmetic".
+
+    In [Checked] mode the same insertion points receive calls to
+    [GC_same_obj] / [GC_pre_incr] / [GC_post_incr] instead, exactly as the
+    paper's debugging mode. *)
+
+open Csyntax
+
+exception Unnormalized of string * Loc.t
+(** raised when BASE is queried on a generating expression, i.e. the input
+    was not run through {!Normalize} *)
+
+type ctx = {
+  opts : Mode.options;
+  tenv : Ctype.Env.t;
+  temps : Temps.t;
+  mutable keep_live_count : int;  (** inserted annotations, for the stats *)
+  possibly_heap : Heapness.verdict;
+      (** can this variable hold a heap pointer?  Non-heap bases need no
+          KEEP_LIVE: the object they point into is stack or static
+          storage, which the collector never reclaims *)
+  mutable stmt_has_call : bool;
+      (** does the statement being transformed perform any call?  Under
+          optimization (4) — collections only at call sites — expressions
+          that evaluate without calling cannot be interrupted by a
+          collection, so their annotations are skipped *)
+}
+
+let mk desc ty =
+  let e = Ast.mk_expr desc in
+  e.Ast.ety <- Some ty;
+  e
+
+let void_ptr = Ctype.Ptr Ctype.Void
+
+(* Size of the element a pointer of type [ty] steps over. *)
+let elem_size ctx ty =
+  match Ctype.pointee ty with
+  | Some Ctype.Void -> 1
+  | Some t -> Ctype.size ctx.tenv t
+  | None -> 1
+
+(** Emit the mode-appropriate KEEP_LIVE(e, base).  Under [calls_only],
+    call-free statements need no annotation: no collection point can fall
+    inside their evaluation. *)
+let keep_live ctx (e : Ast.expr) (base_var : string) : Ast.expr =
+  if ctx.opts.Mode.calls_only && not ctx.stmt_has_call then e
+  else if not (ctx.possibly_heap base_var) then e
+  else begin
+  ctx.keep_live_count <- ctx.keep_live_count + 1;
+  let ty = Ast.rtyp e in
+  match ctx.opts.Mode.mode with
+  | Mode.Safe -> mk (Ast.KeepLive (e, Some (mk (Ast.Var base_var) ty))) ty
+  | Mode.Checked ->
+      (* cast-to-T of GC_same_obj(cast-to-void-ptr e, cast-to-void-ptr base) *)
+      let cast t x = mk (Ast.Cast (t, x)) t in
+      mk
+        (Ast.Cast
+           ( ty,
+             mk
+               (Ast.RuntimeCall
+                  ( "GC_same_obj",
+                    [ cast void_ptr e; cast void_ptr (mk (Ast.Var base_var) ty) ]
+                  ))
+               void_ptr ))
+        ty
+  end
+
+let is_array_typed (e : Ast.expr) =
+  match e.Ast.ety with Some (Ctype.Array _) -> true | _ -> false
+
+(** Does the value of [e] come straight from a generating expression
+    (through casts, commas and stores)?  Such values are opaque — call
+    results behave as KEEP_LIVE values and loads were access-wrapped — so
+    no further KEEP_LIVE is needed around them. *)
+let rec generating_tail (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Deref _ | Ast.Call (_, _) | Ast.RuntimeCall (_, _) | Ast.KeepLive _ ->
+      true
+  | Ast.Index (_, _) | Ast.Arrow (_, _) | Ast.Field (_, _) ->
+      not (is_array_typed e)
+  | Ast.Cast (_, x) | Ast.Comma (_, x) | Ast.Assign (_, x) ->
+      generating_tail x
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The transformation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec rv ctx ?(used = true) (e : Ast.expr) : Ast.expr =
+  let ty = Ast.typ e in
+  let remk desc = mk desc ty in
+  match e.Ast.edesc with
+  | Ast.IntLit _ | Ast.CharLit _ | Ast.StrLit _ | Ast.FloatLit _ | Ast.Var _
+  | Ast.SizeofType _ | Ast.SizeofExpr _ ->
+      e
+  | Ast.Unop (op, a) -> remk (Ast.Unop (op, rv ctx a))
+  | Ast.Binop (op, a, b) -> remk (Ast.Binop (op, rv ctx a, rv ctx b))
+  | Ast.Assign (lv, rhs)
+    when ctx.opts.Mode.mode = Mode.Checked
+         && Ctype.is_aggregate (Ast.typ lv)
+         && (match lv.Ast.edesc with Ast.Var _ -> false | _ -> true) ->
+      (* whole-structure store through memory: the paper's "additional
+         check" that the full extent lies within the object.  NB: the
+         destination address expression is evaluated twice (check +
+         store); side-effecting subscripts in aggregate stores are outside
+         the checked subset. *)
+      aggregate_checked_assign ctx e lv rhs
+  | Ast.Assign (lv, rhs) ->
+      let rhs' = wrap ctx rhs in
+      let rhs' =
+        (* Extensions-mode discipline: pointer stores to memory (heap or
+           aggregate locations) must store base pointers only *)
+        match lv.Ast.edesc with
+        | Ast.Var _ -> rhs'
+        | _ ->
+            if
+              ctx.opts.Mode.check_base_stores
+              && ctx.opts.Mode.mode = Mode.Checked
+              && Ast.is_pointer_valued rhs'
+            then begin
+              ctx.keep_live_count <- ctx.keep_live_count + 1;
+              let t = Ast.rtyp rhs' in
+              mk
+                (Ast.Cast
+                   ( t,
+                     mk
+                       (Ast.RuntimeCall
+                          ( "GC_check_base",
+                            [ mk (Ast.Cast (void_ptr, rhs')) void_ptr ] ))
+                       void_ptr ))
+                t
+            end
+            else rhs'
+      in
+      remk (Ast.Assign (store_target ctx lv, rhs'))
+  | Ast.OpAssign (op, lv, rhs) -> op_assign ctx e op lv rhs
+  | Ast.Incr (k, lv) -> incr_expand ctx e ~used k lv
+  | Ast.Deref a -> remk (Ast.Deref (wrap ctx a))
+  | Ast.Index (_, _) | Ast.Arrow (_, _) | Ast.Field (_, _) ->
+      if is_array_typed e then chain ctx e else access ctx e
+  | Ast.AddrOf lv -> remk (Ast.AddrOf (chain ctx lv))
+  | Ast.Call (f, args) -> remk (Ast.Call (f, List.map (wrap ctx) args))
+  | Ast.Cast (cty, a) -> remk (Ast.Cast (cty, rv ctx a))
+  | Ast.Cond (c, a, b) -> remk (Ast.Cond (rv ctx c, rv ctx a, rv ctx b))
+  | Ast.Comma (a, b) ->
+      remk (Ast.Comma (rv ctx ~used:false a, rv ctx ~used b))
+  | Ast.KeepLive (_, _) | Ast.RuntimeCall (_, _) ->
+      invalid_arg "Annotate: input already annotated"
+
+(** [e] in a KEEP_LIVE position: assignment rhs, deref argument, call
+    argument, or function result. *)
+and wrap ctx (e : Ast.expr) : Ast.expr = wrap_t ctx e.Ast.eloc (rv ctx e)
+
+and wrap_t ctx loc (e : Ast.expr) : Ast.expr =
+  if not (Ast.is_pointer_valued e) then e
+  else if ctx.opts.Mode.suppress_copies && Base_rules.is_copy e then e
+  else
+    match e.Ast.edesc with
+    (* generating expressions: the loaded/returned value is opaque (call
+       results behave as KEEP_LIVE values; loads were access-wrapped) *)
+    | Ast.Deref _ | Ast.Call (_, _) | Ast.RuntimeCall (_, _) -> e
+    | Ast.Index (_, _) | Ast.Arrow (_, _) | Ast.Field (_, _)
+      when not (is_array_typed e) ->
+        e
+    | Ast.Cond (c, a, b) ->
+        (* distribute into the branches so each value is generated by a
+           KEEP_LIVE *)
+        mk (Ast.Cond (c, wrap_t ctx loc a, wrap_t ctx loc b)) (Ast.typ e)
+    | Ast.Comma (a, b) ->
+        mk (Ast.Comma (a, wrap_t ctx loc b)) (Ast.typ e)
+    | _ -> (
+        match Base_rules.base e with
+        | Base_rules.Var b -> keep_live ctx e b
+        | Base_rules.Nil -> e
+        | Base_rules.Unnamed ->
+            if generating_tail e then e
+            else
+              raise
+                (Unnormalized
+                   (Format.asprintf "no base for %a" Pretty.pp_expr e, loc)))
+
+(** A scalar access through [\[\]] / [->] / [.]: wrap the whole address
+    computation once, in its [*&(...)] normal form. *)
+and access ctx (e : Ast.expr) : Ast.expr =
+  let ty = Ast.typ e in
+  let e' = chain ctx e in
+  match Base_rules.baseaddr e' with
+  | Base_rules.Var b ->
+      let addr = mk (Ast.AddrOf e') (Ctype.Ptr ty) in
+      mk (Ast.Deref (keep_live ctx addr b)) ty
+  | Base_rules.Nil -> e'
+  | Base_rules.Unnamed ->
+      raise
+        (Unnormalized
+           ( Format.asprintf "no base address for %a" Pretty.pp_expr e,
+             e.Ast.eloc ))
+
+(** Transform the components of an lvalue chain without wrapping the chain
+    itself (a single wrap at the outermost access covers it). *)
+and chain ctx (e : Ast.expr) : Ast.expr =
+  let ty = Ast.typ e in
+  let remk desc = mk desc ty in
+  match e.Ast.edesc with
+  | Ast.Var _ -> e
+  | Ast.Deref a -> remk (Ast.Deref (rv ctx a))
+  | Ast.Index (a, i) ->
+      let a' = if is_array_typed a then chain ctx a else rv ctx a in
+      remk (Ast.Index (a', rv ctx i))
+  | Ast.Arrow (p, f) -> remk (Ast.Arrow (rv ctx p, f))
+  | Ast.Field (b, f) -> remk (Ast.Field (chain ctx b, f))
+  | Ast.Cast (cty, b) -> remk (Ast.Cast (cty, chain ctx b))
+  | _ -> rv ctx e
+
+(** The target of a store.  Stores are dereferences too, so the computed
+    address gets the same wrap as a load's. *)
+and store_target ctx (lv : Ast.expr) : Ast.expr =
+  match lv.Ast.edesc with Ast.Var _ -> lv | _ -> rv ctx lv
+
+and aggregate_checked_assign ctx e lv rhs : Ast.expr =
+  let ty = Ast.typ e in
+  let size = Ctype.size ctx.tenv (Ast.typ lv) in
+  let lv' = chain ctx lv in
+  let check_of target =
+    ctx.keep_live_count <- ctx.keep_live_count + 1;
+    let addr = mk (Ast.AddrOf target) (Ctype.Ptr (Ast.typ target)) in
+    mk
+      (Ast.RuntimeCall
+         ( "GC_check_range",
+           [ mk (Ast.Cast (void_ptr, addr)) void_ptr;
+             mk (Ast.IntLit size) Ctype.Long ] ))
+      void_ptr
+  in
+  let checks = [ check_of lv' ] in
+  let rhs' = chain ctx rhs in
+  let checks =
+    match rhs.Ast.edesc with
+    | Ast.Var _ -> checks (* a whole local/global struct: not heap *)
+    | _ -> check_of rhs' :: checks
+  in
+  let assign = mk (Ast.Assign (lv', rhs')) ty in
+  List.fold_left
+    (fun acc check -> mk (Ast.Comma (check, acc)) ty)
+    assign checks
+
+(* --- compound assignment ------------------------------------------- *)
+
+and op_assign ctx e op lv rhs : Ast.expr =
+  let ty = Ast.typ e in
+  let lv_is_ptr = Ctype.is_pointer (Ctype.decay (Ast.typ lv)) in
+  let ptr_op = lv_is_ptr && (op = Ast.Add || op = Ast.Sub) in
+  if not ptr_op then
+    mk (Ast.OpAssign (op, store_target ctx lv, rv ctx rhs)) ty
+  else
+    match lv.Ast.edesc with
+    | Ast.Var x -> (
+        let rhs' = rv ctx rhs in
+        match ctx.opts.Mode.mode with
+        | Mode.Safe ->
+            (* x = KEEP_LIVE(x op rhs, x) *)
+            let arith = mk (Ast.Binop (op, lv, rhs')) ty in
+            mk (Ast.Assign (lv, keep_live ctx arith x)) ty
+        | Mode.Checked ->
+            (* cast-to-T of GC_pre_incr(&x, rhs scaled by the element size) *)
+            checked_incr ctx ~fn:"GC_pre_incr" ~lv
+              ~delta:(scaled_delta ctx ty op rhs'))
+    | _ -> (
+        (* general form: (t1 = KEEP_LIVE(&lv, B), t2 = *t1,
+                          *t1 = KEEP_LIVE(t2 op rhs, t2)) *)
+        let lv' = chain ctx lv in
+        let addr_ty = Ctype.Ptr ty in
+        let t1 = Temps.fresh ctx.temps addr_ty in
+        let t1v = mk (Ast.Var t1) addr_ty in
+        let addr = mk (Ast.AddrOf lv') addr_ty in
+        let addr =
+          match Base_rules.baseaddr lv' with
+          | Base_rules.Var b -> keep_live ctx addr b
+          | Base_rules.Nil -> addr
+          | Base_rules.Unnamed ->
+              raise
+                (Unnormalized
+                   ( Format.asprintf "no base address for %a" Pretty.pp_expr lv,
+                     lv.Ast.eloc ))
+        in
+        let bind_addr = mk (Ast.Assign (t1v, addr)) addr_ty in
+        let rhs' = rv ctx rhs in
+        match ctx.opts.Mode.mode with
+        | Mode.Safe ->
+            let t2 = Temps.fresh ctx.temps ty in
+            let t2v = mk (Ast.Var t2) ty in
+            let load = mk (Ast.Assign (t2v, mk (Ast.Deref t1v) ty)) ty in
+            let arith = mk (Ast.Binop (op, t2v, rhs')) ty in
+            let store =
+              mk (Ast.Assign (mk (Ast.Deref t1v) ty, keep_live ctx arith t2)) ty
+            in
+            mk (Ast.Comma (bind_addr, mk (Ast.Comma (load, store)) ty)) ty
+        | Mode.Checked ->
+            let call =
+              mk
+                (Ast.RuntimeCall
+                   ("GC_pre_incr", [ t1v; scaled_delta ctx ty op rhs' ]))
+                void_ptr
+            in
+            mk (Ast.Comma (bind_addr, mk (Ast.Cast (ty, call)) ty)) ty)
+
+(* (rhs) * sizeof(elem), negated for -= *)
+and scaled_delta ctx ty op rhs =
+  let size = elem_size ctx ty in
+  let scaled =
+    if size = 1 then rhs
+    else mk (Ast.Binop (Ast.Mul, rhs, mk (Ast.IntLit size) Ctype.Long)) Ctype.Long
+  in
+  match op with
+  | Ast.Sub -> mk (Ast.Unop (Ast.Neg, scaled)) Ctype.Long
+  | _ -> scaled
+
+and checked_incr ctx ~fn ~lv ~delta : Ast.expr =
+  ctx.keep_live_count <- ctx.keep_live_count + 1;
+  let ty = Ast.typ lv in
+  let addr = mk (Ast.AddrOf lv) (Ctype.Ptr ty) in
+  mk
+    (Ast.Cast (ty, mk (Ast.RuntimeCall (fn, [ addr; delta ])) void_ptr))
+    ty
+
+(* --- increment / decrement ----------------------------------------- *)
+
+and incr_expand ctx e ~used k lv : Ast.expr =
+  let ty = Ctype.decay (Ast.typ lv) in
+  let is_ptr = Ctype.is_pointer ty in
+  if not is_ptr then
+    mk (Ast.Incr (k, store_target ctx lv)) (Ast.typ e)
+  else
+    let op =
+      match k with
+      | Ast.PreIncr | Ast.PostIncr -> Ast.Add
+      | Ast.PreDecr | Ast.PostDecr -> Ast.Sub
+    in
+    let is_post = match k with Ast.PostIncr | Ast.PostDecr -> true | _ -> false in
+    let one = mk (Ast.IntLit 1) Ctype.Int in
+    match (lv.Ast.edesc, ctx.opts.Mode.mode) with
+    | Ast.Var x, Mode.Safe ->
+        if is_post && used && ctx.opts.Mode.expand_incr then begin
+          (* optimization (2): (tmp = x, x = KEEP_LIVE(tmp op 1, tmp), tmp)
+             — avoids forcing x to memory *)
+          let t = Temps.fresh ctx.temps ty in
+          let tv = mk (Ast.Var t) ty in
+          let bind = mk (Ast.Assign (tv, lv)) ty in
+          let arith = mk (Ast.Binop (op, tv, one)) ty in
+          let update = mk (Ast.Assign (lv, keep_live ctx arith t)) ty in
+          mk (Ast.Comma (bind, mk (Ast.Comma (update, tv)) ty)) ty
+        end
+        else
+          (* value of the whole is the (new) value of x: a copy *)
+          let arith = mk (Ast.Binop (op, lv, one)) ty in
+          mk (Ast.Assign (lv, keep_live ctx arith x)) ty
+    | Ast.Var _, Mode.Checked ->
+        let fn = if is_post then "GC_post_incr" else "GC_pre_incr" in
+        let size = elem_size ctx ty in
+        let delta =
+          mk (Ast.IntLit (if op = Ast.Sub then -size else size)) Ctype.Long
+        in
+        checked_incr ctx ~fn ~lv ~delta
+    | _, _ ->
+        (* complex lvalue: general expansion through its address, shared
+           with compound assignment *)
+        let fake_rhs = one in
+        let expanded = op_assign ctx e op lv fake_rhs in
+        if is_post && used then
+          (* need the OLD value: (t1 = &lv, t2 = *t1, *t1 = KL(t2 op 1, t2), t2)
+             — rebuild explicitly rather than reuse op_assign *)
+          post_complex ctx op lv
+        else expanded
+
+and post_complex ctx op lv : Ast.expr =
+  let ty = Ctype.decay (Ast.typ lv) in
+  let addr_ty = Ctype.Ptr ty in
+  let lv' = chain ctx lv in
+  let t1 = Temps.fresh ctx.temps addr_ty in
+  let t1v = mk (Ast.Var t1) addr_ty in
+  let addr = mk (Ast.AddrOf lv') addr_ty in
+  let addr =
+    match Base_rules.baseaddr lv' with
+    | Base_rules.Var b -> keep_live ctx addr b
+    | Base_rules.Nil | Base_rules.Unnamed -> addr
+  in
+  let bind_addr = mk (Ast.Assign (t1v, addr)) addr_ty in
+  let one = mk (Ast.IntLit 1) Ctype.Int in
+  match ctx.opts.Mode.mode with
+  | Mode.Safe ->
+      let t2 = Temps.fresh ctx.temps ty in
+      let t2v = mk (Ast.Var t2) ty in
+      let load = mk (Ast.Assign (t2v, mk (Ast.Deref t1v) ty)) ty in
+      let arith = mk (Ast.Binop (op, t2v, one)) ty in
+      let store =
+        mk (Ast.Assign (mk (Ast.Deref t1v) ty, keep_live ctx arith t2)) ty
+      in
+      mk
+        (Ast.Comma
+           ( bind_addr,
+             mk (Ast.Comma (load, mk (Ast.Comma (store, t2v)) ty)) ty ))
+        ty
+  | Mode.Checked ->
+      let size = elem_size ctx ty in
+      let delta =
+        mk (Ast.IntLit (if op = Ast.Sub then -size else size)) Ctype.Long
+      in
+      let call =
+        mk (Ast.RuntimeCall ("GC_post_incr", [ t1v; delta ])) void_ptr
+      in
+      mk (Ast.Comma (bind_addr, mk (Ast.Cast (ty, call)) ty)) ty
+
+(* ------------------------------------------------------------------ *)
+(* Statements and program                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* does this expression perform any call? (used by optimization 4) *)
+let expr_has_call (e : Ast.expr) =
+  Ast.fold_expr
+    (fun acc x ->
+      acc
+      ||
+      match x.Ast.edesc with
+      | Ast.Call (_, _) | Ast.RuntimeCall (_, _) -> true
+      | _ -> false)
+    false e
+
+let rec ann_stmt ctx (s : Ast.stmt) : Ast.stmt =
+  let remk sdesc = Ast.mk_stmt ~loc:s.Ast.sloc sdesc in
+  (* per-expression call flag: the KEEP_LIVE hazard window lies within one
+     expression evaluation; values that outlive the statement land in
+     variables, which are roots *)
+  let with_flag e f =
+    ctx.stmt_has_call <- expr_has_call e;
+    let r = f e in
+    ctx.stmt_has_call <- true;
+    r
+  in
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> remk (Ast.Sexpr (with_flag e (rv ctx ~used:false)))
+  | Ast.Sdecl d ->
+      (* an initializer is the right side of an assignment *)
+      remk
+        (Ast.Sdecl
+           {
+             d with
+             Ast.d_init =
+               Option.map (fun e -> with_flag e (wrap ctx)) d.Ast.d_init;
+           })
+  | Ast.Sif (c, a, b) ->
+      remk
+        (Ast.Sif
+           ( with_flag c (rv ctx ~used:true),
+             ann_stmt ctx a,
+             Option.map (ann_stmt ctx) b ))
+  | Ast.Swhile (c, b) ->
+      remk (Ast.Swhile (with_flag c (rv ctx ~used:true), ann_stmt ctx b))
+  | Ast.Sdowhile (b, c) ->
+      remk (Ast.Sdowhile (ann_stmt ctx b, with_flag c (rv ctx ~used:true)))
+  | Ast.Sfor (i, c, st, b) ->
+      remk
+        (Ast.Sfor
+           ( Option.map (fun e -> with_flag e (rv ctx ~used:false)) i,
+             Option.map (fun e -> with_flag e (rv ctx ~used:true)) c,
+             Option.map (fun e -> with_flag e (rv ctx ~used:false)) st,
+             ann_stmt ctx b ))
+  | Ast.Sreturn (Some e) ->
+      (* function results are a KEEP_LIVE position *)
+      remk (Ast.Sreturn (Some (with_flag e (wrap ctx))))
+  | Ast.Sreturn None | Ast.Sbreak | Ast.Scontinue | Ast.Sempty -> s
+  | Ast.Sblock ss -> remk (Ast.Sblock (List.map (ann_stmt ctx) ss))
+
+type result = {
+  program : Ast.program;
+  keep_live_count : int;  (** number of KEEP_LIVE / check insertions *)
+}
+
+(** Annotate a type-annotated, {!Normalize}d program. *)
+let annotate_program ?(opts = Mode.default Mode.Safe) (p : Ast.program) :
+    result =
+  let count = ref 0 in
+  let global_names = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Gvar d -> Hashtbl.replace global_names d.Ast.d_name ()
+      | Ast.Gfunc _ | Ast.Gstruct _ | Ast.Gproto _ -> ())
+    p.Ast.prog_globals;
+  let is_global v = Hashtbl.mem global_names v in
+  let globals =
+    List.map
+      (function
+        | Ast.Gfunc f ->
+            let ctx =
+              {
+                opts;
+                tenv = p.Ast.prog_env;
+                temps = Temps.create ();
+                keep_live_count = 0;
+                possibly_heap =
+                  (if opts.Mode.heapness_analysis then
+                     Heapness.analyze ~global:is_global f
+                   else Heapness.all_heapy);
+                stmt_has_call = true;
+              }
+            in
+            let body = ann_stmt ctx f.Ast.f_body in
+            count := !count + ctx.keep_live_count;
+            Ast.Gfunc { f with Ast.f_body = Temps.splice_decls ctx.temps body }
+        | (Ast.Gvar _ | Ast.Gstruct _ | Ast.Gproto _) as g -> g)
+      p.Ast.prog_globals
+  in
+  let p' = { p with Ast.prog_globals = globals } in
+  ignore (Typecheck.check_program p');
+  { program = p'; keep_live_count = !count }
+
+(** The full preprocessor front half: type-check, normalize, annotate. *)
+let run ?(opts = Mode.default Mode.Safe) (p : Ast.program) : result =
+  ignore (Typecheck.check_program p);
+  let p = Normalize.norm_program p in
+  annotate_program ~opts p

@@ -1,0 +1,26 @@
+(** The annotation algorithm: KEEP_LIVE / checking-call insertion.
+
+    Every pointer-valued expression occurring as the right side of an
+    assignment, the argument of a dereferencing operation, or a function
+    argument or result is replaced by [KEEP_LIVE(e, BASE(e))] (Safe mode)
+    or a [GC_same_obj]-family call (Checked mode); increment and decrement
+    operators are treated as assignments.  See {!Mode.options} for the
+    paper's optimizations (1), (2), (4) and the Extensions-mode store
+    discipline. *)
+
+exception Unnormalized of string * Csyntax.Loc.t
+(** BASE was queried on a generating expression: the input was not run
+    through {!Normalize}. *)
+
+type result = {
+  program : Csyntax.Ast.program;
+  keep_live_count : int;  (** number of KEEP_LIVE / check insertions *)
+}
+
+val annotate_program :
+  ?opts:Mode.options -> Csyntax.Ast.program -> result
+(** Annotate a type-annotated, {!Normalize}d program.  The result is
+    re-type-checked so every node carries its type. *)
+
+val run : ?opts:Mode.options -> Csyntax.Ast.program -> result
+(** The full preprocessor front half: type-check, normalize, annotate. *)

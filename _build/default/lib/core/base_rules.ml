@@ -1,0 +1,124 @@
+(** The paper's BASE / BASEADDR rules ("An Algorithm").
+
+    [BASE(e)] is a pointer variable guaranteed to point to the same object
+    as [e] whenever [e] points to a heap object, or NIL if no such variable
+    exists.  [BASEADDR(e)] is the possible base pointer for [&e].
+
+    The rules operate on type-annotated ASTs.  Deviations from the paper's
+    table are: [Cast] is transparent (a pointer cast does not change the
+    value), and [Field]/[Arrow]/[Index] have direct BASEADDR cases instead
+    of first rewriting accesses into the [*&(...)] normal form — the
+    composition is identical, it just avoids materializing the rewrite. *)
+
+open Csyntax
+
+type base =
+  | Nil  (** provably not a heap pointer (constant, static, stack address) *)
+  | Var of string  (** the base pointer variable *)
+  | Unnamed
+      (** a generating expression whose value has no name yet; the
+          normalizer must introduce a temporary before BASE is queried *)
+
+(** A variable is a possible heap pointer when it has pointer type.  Array
+    variables are named stack or static memory, never heap objects, so they
+    are excluded (their decayed value can never point into the heap). *)
+let possible_heap_pointer (e : Ast.expr) =
+  match (e.Ast.edesc, e.Ast.ety) with
+  | Ast.Var _, Some (Ctype.Ptr _) -> true
+  | _ -> false
+
+let rec base (e : Ast.expr) : base =
+  match e.Ast.edesc with
+  | Ast.IntLit _ | Ast.CharLit _ | Ast.FloatLit _ | Ast.SizeofType _
+  | Ast.SizeofExpr _ ->
+      Nil (* BASE(0) = NIL, and other non-pointer constants *)
+  | Ast.StrLit _ -> Nil (* string literals live in static memory *)
+  | Ast.Var x ->
+      if possible_heap_pointer e then Var x else Nil
+  | Ast.Assign (lhs, rhs) -> (
+      (* BASE(x = e) = x if x is a pointer variable, else BASE(e) *)
+      match lhs.Ast.edesc with
+      | Ast.Var x when possible_heap_pointer lhs -> Var x
+      | _ -> base rhs)
+  | Ast.OpAssign ((Ast.Add | Ast.Sub), e1, _) -> base e1 (* e1 += e2 *)
+  | Ast.OpAssign (_, e1, _) -> base e1
+  | Ast.Incr (_, e1) -> base e1 (* BASE(e1++) = BASE(++e1) = BASE(e1) *)
+  | Ast.Binop (Ast.Add, e1, e2) ->
+      (* BASE(e1 + e2) = BASE(e_i) where e_i has pointer type *)
+      if Ast.is_pointer_valued e1 then base e1
+      else if Ast.is_pointer_valued e2 then base e2
+      else Nil
+  | Ast.Binop (Ast.Sub, e1, _) ->
+      if Ast.is_pointer_valued e1 then base e1 else Nil
+  | Ast.Binop (_, _, _) -> Nil
+  | Ast.Comma (_, e2) -> base e2
+  | Ast.AddrOf e1 -> baseaddr e1
+  | Ast.Cast (_, e1) -> base e1
+  | Ast.Cond (_, _, _) | Ast.Deref _ | Ast.Call (_, _)
+  | Ast.RuntimeCall (_, _) ->
+      Unnamed (* generating expressions: BASE is not defined *)
+  | Ast.KeepLive (e1, _) -> base e1
+  | Ast.Unop (_, _) -> Nil
+  | Ast.Index (e1, e2) -> (
+      (* no dereference happens when the element has array type (the value
+         is the element's address); otherwise this is a load — generating *)
+      match e.Ast.ety with
+      | Some (Ctype.Array _) -> baseaddr_index e1 e2
+      | _ -> Unnamed)
+  | Ast.Field (e1, _) -> (
+      match e.Ast.ety with
+      | Some (Ctype.Array _) -> baseaddr e1
+      | _ -> Unnamed)
+  | Ast.Arrow (e1, _) -> (
+      match e.Ast.ety with
+      | Some (Ctype.Array _) -> base e1
+      | _ -> Unnamed)
+
+and baseaddr (e : Ast.expr) : base =
+  match e.Ast.edesc with
+  | Ast.Var _ -> Nil (* BASEADDR(x) = NIL: &x is a stack/static address *)
+  | Ast.Index (e1, e2) -> baseaddr_index e1 e2
+  | Ast.Arrow (e1, _) -> base e1 (* BASEADDR(e1 -> x) = BASE(e1) *)
+  | Ast.Field (e1, _) -> baseaddr e1 (* &(e.x) = &e + off *)
+  | Ast.Deref e1 -> base e1 (* &*e = e *)
+  | Ast.Cast (_, e1) -> baseaddr e1
+  | _ -> Nil
+
+and baseaddr_index e1 e2 =
+  (* BASEADDR(e1[e2]) = BASE(e1) if not NIL, else BASE(e2): C allows the
+     integer and pointer operands of subscripting in either order *)
+  match base e1 with Nil -> base e2 | (Var _ | Unnamed) as b -> b
+
+(** The paper's classification: pointer dereferences, function calls and
+    conditional expressions "generate" fresh pointer values, so they have no
+    BASE and must be named by a temporary before arithmetic is applied. *)
+let is_generating (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Deref _ | Ast.Call (_, _) | Ast.Cond (_, _, _) | Ast.RuntimeCall (_, _)
+    ->
+      true
+  (* a[i] / p->f / s.f in r-value position of scalar type load from memory,
+     i.e. they are dereferences in the *&(...) normal form *)
+  | Ast.Index (_, _) | Ast.Arrow (_, _) | Ast.Field (_, _) -> (
+      match e.Ast.ety with Some (Ctype.Array _) -> false | _ -> true)
+  | _ -> false
+
+(** Is [e] statically known to be "simply a copy of a value logically stored
+    elsewhere" (the paper's optimization 1)?  For such expressions the
+    KEEP_LIVE wrap is unnecessary: condition (2) already holds because the
+    variable itself stays stored. *)
+let rec is_copy (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Var _ -> true
+  | Ast.Cast (_, e1) -> is_copy e1
+  | Ast.Assign (lhs, _) -> (
+      (* the value of (x = e) is the value now stored in x *)
+      match lhs.Ast.edesc with Ast.Var _ -> true | _ -> false)
+  | Ast.Comma (_, e2) -> is_copy e2
+  | Ast.KeepLive (_, _) -> true (* already annotated: value is kept stored *)
+  | _ -> false
+
+let base_to_string = function
+  | Nil -> "NIL"
+  | Var x -> x
+  | Unnamed -> "<unnamed>"

@@ -1,0 +1,32 @@
+(** The paper's BASE / BASEADDR rules ("An Algorithm").
+
+    [BASE e] is a pointer variable guaranteed to point to the same object
+    as [e] whenever [e] points to a heap object; [BASEADDR e] is the
+    possible base pointer for [&e].  Both operate on type-annotated ASTs
+    (see {!Csyntax.Typecheck}). *)
+
+type base =
+  | Nil  (** provably not a heap pointer (constant, static, stack address) *)
+  | Var of string  (** the base pointer variable *)
+  | Unnamed
+      (** a generating expression whose value has no name yet; the
+          normalizer must introduce a temporary before BASE is queried *)
+
+val possible_heap_pointer : Csyntax.Ast.expr -> bool
+(** Is the expression a pointer-typed variable (array variables are named
+    stack/static memory and never heap pointers)? *)
+
+val base : Csyntax.Ast.expr -> base
+
+val baseaddr : Csyntax.Ast.expr -> base
+
+val is_generating : Csyntax.Ast.expr -> bool
+(** Pointer dereferences, function calls and conditional expressions —
+    plus scalar loads through [\[\]]/[->]/[.], which are dereferences in
+    the paper's [*&(...)] normal form. *)
+
+val is_copy : Csyntax.Ast.expr -> bool
+(** Is the expression statically "simply a copy of a value logically
+    stored elsewhere" (the paper's optimization (1))? *)
+
+val base_to_string : base -> string

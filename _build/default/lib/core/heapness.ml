@@ -1,0 +1,128 @@
+(** Heapness analysis: which pointer variables can possibly hold heap
+    pointers?
+
+    The algorithm's BASE rules already say "if x is a variable and possible
+    heap pointer"; the baseline implementation treats every pointer-typed
+    variable as possible.  The paper observes that "the introduced overhead
+    should be very small with 'sufficiently good' program analysis" — this
+    module is a first step: a flow-insensitive per-function fixpoint that
+    proves some variables can only ever point into stack or static storage
+    (e.g. a cursor walking a local buffer), so their KEEP_LIVEs can be
+    dropped.
+
+    Conservative defaults: parameters, globals, and anything whose address
+    is taken are possibly-heap; call results and values loaded from memory
+    are possibly-heap; names are resolved per function without scope
+    splitting (a shadowing local shares its outer name's verdict). *)
+
+open Csyntax
+
+type verdict = string -> bool
+(** [verdict x] = can variable [x] possibly hold a heap pointer? *)
+
+let address_taken_vars (f : Ast.func) =
+  let tbl = Hashtbl.create 8 in
+  let on_expr () (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.AddrOf inner ->
+        let rec root (x : Ast.expr) =
+          match x.Ast.edesc with
+          | Ast.Var v -> Hashtbl.replace tbl v ()
+          | Ast.Field (b, _) | Ast.Cast (_, b) -> root b
+          | Ast.Index (b, _) -> (
+              match b.Ast.ety with
+              | Some (Ctype.Array _) -> root b
+              | _ -> ())
+          | _ -> ()
+        in
+        root inner
+    | _ -> ()
+  in
+  ignore (Ast.fold_stmt_exprs on_expr () f.Ast.f_body);
+  tbl
+
+(** Analyze one function.  [global x] must say whether [x] is a global
+    (globals are conservatively possibly-heap: any function may store heap
+    pointers in them). *)
+let analyze ~(global : string -> bool) (f : Ast.func) : verdict =
+  let heapy_vars : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let addr_taken = address_taken_vars f in
+  List.iter (fun (name, _) -> Hashtbl.replace heapy_vars name ()) f.Ast.f_params;
+  let var_heapy v =
+    Hashtbl.mem heapy_vars v || global v || Hashtbl.mem addr_taken v
+  in
+  (* is the value of [e] possibly a heap pointer, under the current set? *)
+  let rec heapy (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.IntLit _ | Ast.CharLit _ | Ast.FloatLit _ | Ast.SizeofType _
+    | Ast.SizeofExpr _ | Ast.StrLit _ ->
+        false
+    | Ast.Var v -> var_heapy v
+    | Ast.Call (_, _) | Ast.RuntimeCall (_, _) -> true
+    | Ast.Deref _ -> true (* a pointer loaded from memory *)
+    | Ast.Index (_, _) | Ast.Arrow (_, _) | Ast.Field (_, _) -> (
+        match e.Ast.ety with
+        | Some (Ctype.Array _) -> heapy_addr e (* the element's address *)
+        | _ -> true (* scalar load from memory *))
+    | Ast.AddrOf lv -> heapy_addr lv
+    | Ast.Binop ((Ast.Add | Ast.Sub), a, b) -> heapy a || heapy b
+    | Ast.Binop (_, _, _) | Ast.Unop (_, _) -> false
+    | Ast.Cast (_, x) -> heapy x
+    | Ast.Cond (_, a, b) -> heapy a || heapy b
+    | Ast.Comma (_, b) -> heapy b
+    | Ast.Assign (_, r) -> heapy r
+    | Ast.OpAssign (_, l, _) | Ast.Incr (_, l) -> heapy l
+    | Ast.KeepLive (x, _) -> heapy x
+  (* is the address of lvalue [lv] possibly inside a heap object? *)
+  and heapy_addr (lv : Ast.expr) =
+    match lv.Ast.edesc with
+    | Ast.Var v -> (
+        (* &local / &global: stack or static storage — unless the variable
+           is itself an array whose storage... arrays are still stack *)
+        ignore v;
+        false)
+    | Ast.Deref a -> heapy a
+    | Ast.Index (a, _) -> (
+        match a.Ast.ety with
+        | Some (Ctype.Array _) -> heapy_addr a
+        | _ -> heapy a)
+    | Ast.Arrow (p, _) -> heapy p
+    | Ast.Field (b, _) -> heapy_addr b
+    | Ast.Cast (_, b) -> heapy_addr b
+    | _ -> true
+  in
+  (* fixpoint over all assignments to simple pointer variables *)
+  let changed = ref true in
+  let visit () =
+    let on_expr () (e : Ast.expr) =
+      match e.Ast.edesc with
+      | Ast.Assign ({ Ast.edesc = Ast.Var v; _ }, rhs)
+        when not (Hashtbl.mem heapy_vars v) ->
+          if heapy rhs then begin
+            Hashtbl.replace heapy_vars v ();
+            changed := true
+          end
+      | _ -> ()
+    in
+    ignore (Ast.fold_stmt_exprs on_expr () f.Ast.f_body);
+    (* declaration initializers *)
+    Ast.iter_stmts
+      (fun s ->
+        match s.Ast.sdesc with
+        | Ast.Sdecl { Ast.d_name = v; d_init = Some rhs; _ }
+          when not (Hashtbl.mem heapy_vars v) ->
+            if heapy rhs then begin
+              Hashtbl.replace heapy_vars v ();
+              changed := true
+            end
+        | _ -> ())
+      f.Ast.f_body
+  in
+  while !changed do
+    changed := false;
+    visit ()
+  done;
+  var_heapy
+
+(** The trivial verdict used when the analysis is disabled. *)
+let all_heapy : verdict = fun _ -> true

@@ -1,0 +1,275 @@
+(** The paper's optimization (3): slowly-varying base pointers.
+
+    "A good heuristic appears to be to replace base pointers in KEEP_LIVE
+    expressions by equivalent, but less rapidly varying base pointers,
+    especially if those are likely to be live in any case."
+
+    In the canonical string-copy loop
+
+    {v p = s; q = t; while ( *p++ = *q++ ); v}
+
+    the annotated loop keeps [tmpa]/[tmpb] bases, which forces [p] and [q]
+    into registers and defeats indexed-load selection.  Replacing the bases
+    with [s] and [t] — which point into the same objects because [p] only
+    moves within its object, starting from [s] — removes the constraint.
+
+    The analysis here is deliberately "a small amount of analysis": inside
+    each straight-line block we track copies [p = s]; for a following loop
+    we verify that (a) [s] is not assigned in the loop, and (b) every
+    assignment to [p] in the loop is pointer arithmetic based on [p] itself
+    (so [p] never leaves the object [s] points to).  When both hold, every
+    [KEEP_LIVE(e, p)] in the loop body becomes [KEEP_LIVE(e, s)]. *)
+
+open Csyntax
+
+(* Variables assigned anywhere in a statement. *)
+let assigned_vars (s : Ast.stmt) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 16 in
+  let on_expr () (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.Assign (lv, _) | Ast.OpAssign (_, lv, _) | Ast.Incr (_, lv) -> (
+        match lv.Ast.edesc with
+        | Ast.Var x -> Hashtbl.replace tbl x ()
+        | _ -> ())
+    | _ -> ()
+  in
+  ignore (Ast.fold_stmt_exprs on_expr () s);
+  tbl
+
+(* Every assignment to [p] in [body] must keep [p] inside its object: the
+   rhs must have BASE p, or BASE b for some temporary b that is itself only
+   ever a copy of p (the annotator's increment expansions route the update
+   through such temporaries: b = p; p = KEEP_LIVE(b + 1, b)). *)
+let stays_in_object body ~copies_of p =
+  let allowed b = b = p || List.mem b copies_of in
+  let ok = ref true in
+  let on_expr () (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.Assign (lv, rhs) when lv.Ast.edesc = Ast.Var p ->
+        (match Base_rules.base rhs with
+        | Base_rules.Var b when allowed b -> ()
+        | _ -> ok := false)
+    | Ast.OpAssign (op, lv, _) when lv.Ast.edesc = Ast.Var p ->
+        if not (op = Ast.Add || op = Ast.Sub) then ok := false
+    | Ast.Incr (_, lv) when lv.Ast.edesc = Ast.Var p -> ()
+    | _ -> ()
+  in
+  ignore (Ast.fold_stmt_exprs on_expr () body);
+  !ok
+
+(* Rewrite KEEP_LIVE bases [p -> s] everywhere in a statement. *)
+let rec subst_bases map (s : Ast.stmt) : Ast.stmt =
+  let rec on_expr (e : Ast.expr) : Ast.expr =
+    let remk desc = { e with Ast.edesc = desc } in
+    match e.Ast.edesc with
+    | Ast.KeepLive (v, Some b) -> (
+        let v = on_expr v in
+        match b.Ast.edesc with
+        | Ast.Var p -> (
+            match List.assoc_opt p map with
+            | Some svar ->
+                remk (Ast.KeepLive (v, Some { b with Ast.edesc = Ast.Var svar }))
+            | None -> remk (Ast.KeepLive (v, Some b)))
+        | _ -> remk (Ast.KeepLive (v, Some (on_expr b))))
+    | Ast.KeepLive (v, None) -> remk (Ast.KeepLive (on_expr v, None))
+    | Ast.IntLit _ | Ast.CharLit _ | Ast.StrLit _ | Ast.FloatLit _ | Ast.Var _
+    | Ast.SizeofType _ ->
+        e
+    | Ast.Unop (op, a) -> remk (Ast.Unop (op, on_expr a))
+    | Ast.Binop (op, a, b) -> remk (Ast.Binop (op, on_expr a, on_expr b))
+    | Ast.Assign (a, b) -> remk (Ast.Assign (on_expr a, on_expr b))
+    | Ast.OpAssign (op, a, b) -> remk (Ast.OpAssign (op, on_expr a, on_expr b))
+    | Ast.Incr (k, a) -> remk (Ast.Incr (k, on_expr a))
+    | Ast.Deref a -> remk (Ast.Deref (on_expr a))
+    | Ast.AddrOf a -> remk (Ast.AddrOf (on_expr a))
+    | Ast.Index (a, b) -> remk (Ast.Index (on_expr a, on_expr b))
+    | Ast.Field (a, f) -> remk (Ast.Field (on_expr a, f))
+    | Ast.Arrow (a, f) -> remk (Ast.Arrow (on_expr a, f))
+    | Ast.Call (f, args) -> remk (Ast.Call (f, List.map on_expr args))
+    | Ast.RuntimeCall (f, args) ->
+        remk (Ast.RuntimeCall (f, List.map on_expr args))
+    | Ast.Cast (ty, a) -> remk (Ast.Cast (ty, on_expr a))
+    | Ast.Cond (a, b, c) -> remk (Ast.Cond (on_expr a, on_expr b, on_expr c))
+    | Ast.Comma (a, b) -> remk (Ast.Comma (on_expr a, on_expr b))
+    | Ast.SizeofExpr a -> remk (Ast.SizeofExpr (on_expr a))
+  in
+  let remk sdesc = { s with Ast.sdesc = sdesc } in
+  match s.Ast.sdesc with
+  | Ast.Sexpr e -> remk (Ast.Sexpr (on_expr e))
+  | Ast.Sdecl d ->
+      remk (Ast.Sdecl { d with Ast.d_init = Option.map on_expr d.Ast.d_init })
+  | Ast.Sif (c, a, b) ->
+      remk
+        (Ast.Sif (on_expr c, subst_bases map a, Option.map (subst_bases map) b))
+  | Ast.Swhile (c, b) -> remk (Ast.Swhile (on_expr c, subst_bases map b))
+  | Ast.Sdowhile (b, c) -> remk (Ast.Sdowhile (subst_bases map b, on_expr c))
+  | Ast.Sfor (i, c, st, b) ->
+      remk
+        (Ast.Sfor
+           ( Option.map on_expr i,
+             Option.map on_expr c,
+             Option.map on_expr st,
+             subst_bases map b ))
+  | Ast.Sreturn e -> remk (Ast.Sreturn (Option.map on_expr e))
+  | Ast.Sbreak | Ast.Scontinue | Ast.Sempty -> s
+  | Ast.Sblock ss -> remk (Ast.Sblock (List.map (subst_bases map) ss))
+
+(* Whole-loop rewriting: [copies] maps p -> s from preceding straight-line
+   code; returns the substitution applicable to this loop. *)
+let loop_subst copies (loop_body : Ast.stmt) (cond : Ast.expr option) =
+  let assigned = assigned_vars loop_body in
+  (* the condition is evaluated inside the loop too *)
+  (match cond with
+  | Some c ->
+      ignore
+        (Ast.fold_expr
+           (fun () (e : Ast.expr) ->
+             match e.Ast.edesc with
+             | Ast.Assign (lv, _) | Ast.OpAssign (_, lv, _) | Ast.Incr (_, lv)
+               -> (
+                 match lv.Ast.edesc with
+                 | Ast.Var x -> Hashtbl.replace assigned x ()
+                 | _ -> ())
+             | _ -> ())
+           () c)
+  | None -> ());
+  let whole_loop =
+    match cond with
+    | Some c -> Ast.mk_stmt (Ast.Sblock [ loop_body; Ast.mk_stmt (Ast.Sexpr c) ])
+    | None -> loop_body
+  in
+  (* in-loop copy structure: which temporaries are only ever copies of a
+     single variable *)
+  let copy_sources : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let non_copy : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let on_expr () (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.Assign ({ Ast.edesc = Ast.Var b; _ }, rhs) -> (
+        match rhs.Ast.edesc with
+        | Ast.Var p ->
+            let prev = Option.value ~default:[] (Hashtbl.find_opt copy_sources b) in
+            Hashtbl.replace copy_sources b (p :: prev)
+        | _ -> Hashtbl.replace non_copy b ())
+    | Ast.OpAssign (_, { Ast.edesc = Ast.Var b; _ }, _)
+    | Ast.Incr (_, { Ast.edesc = Ast.Var b; _ }) ->
+        Hashtbl.replace non_copy b ()
+    | _ -> ()
+  in
+  ignore (Ast.fold_stmt_exprs on_expr () whole_loop);
+  let pure_copies_of p =
+    Hashtbl.fold
+      (fun b sources acc ->
+        if Hashtbl.mem non_copy b then acc
+        else
+          match sources with
+          | q :: rest when q = p && List.for_all (String.equal p) rest ->
+              b :: acc
+          | _ -> acc)
+      copy_sources []
+  in
+  let direct =
+    Hashtbl.fold
+      (fun p s acc ->
+        if
+          Hashtbl.mem assigned p
+          && (not (Hashtbl.mem assigned s))
+          && stays_in_object whole_loop ~copies_of:(pure_copies_of p) p
+        then (p, s) :: acc
+        else acc)
+      copies []
+  in
+  (* transitive step: a temporary [b] whose only assignments in the loop are
+     copies [b = p] of a qualifying induction pointer also points into [s]'s
+     object (this is what rewrites the tmpa/tmpb bases of the string-copy
+     loop to s/t) *)
+  let transitive =
+    List.concat_map
+      (fun (p, s) ->
+        List.filter_map
+          (fun b -> if List.mem_assoc b direct then None else Some (b, s))
+          (pure_copies_of p))
+      direct
+  in
+  direct @ transitive
+
+let rec walk_block copies (ss : Ast.stmt list) : Ast.stmt list =
+  match ss with
+  | [] -> []
+  | s :: rest ->
+      let s' = walk_stmt copies s in
+      (* update the copy environment from this statement *)
+      (match s.Ast.sdesc with
+      | Ast.Sexpr { Ast.edesc = Ast.Assign ({ Ast.edesc = Ast.Var p; _ }, rhs); _ }
+        -> (
+          kill copies p;
+          match rhs.Ast.edesc with
+          | Ast.Var svar when Ast.is_pointer_valued rhs ->
+              Hashtbl.replace copies p svar
+          | _ -> ())
+      | Ast.Sdecl { Ast.d_name = p; d_init = Some rhs; _ } -> (
+          kill copies p;
+          match rhs.Ast.edesc with
+          | Ast.Var svar when Ast.is_pointer_valued rhs ->
+              Hashtbl.replace copies p svar
+          | _ -> ())
+      | Ast.Sdecl { Ast.d_name = p; _ } -> kill copies p
+      | _ ->
+          (* anything with control flow or other assignments: be
+             conservative and drop facts about variables it assigns *)
+          let assigned = assigned_vars s in
+          Hashtbl.iter (fun v () -> kill copies v) assigned);
+      s' :: walk_block copies rest
+
+and kill copies v =
+  Hashtbl.remove copies v;
+  let victims =
+    Hashtbl.fold (fun p s acc -> if s = v then p :: acc else acc) copies []
+  in
+  List.iter (Hashtbl.remove copies) victims
+
+and walk_stmt copies (s : Ast.stmt) : Ast.stmt =
+  let remk sdesc = { s with Ast.sdesc = sdesc } in
+  match s.Ast.sdesc with
+  | Ast.Sblock ss ->
+      remk (Ast.Sblock (walk_block (Hashtbl.copy copies) ss))
+  | Ast.Swhile (c, b) ->
+      let subst = loop_subst copies b (Some c) in
+      let s' = remk (Ast.Swhile (c, walk_stmt (Hashtbl.create 8) b)) in
+      if subst = [] then s' else subst_bases subst s'
+  | Ast.Sdowhile (b, c) ->
+      let subst = loop_subst copies b (Some c) in
+      let s' = remk (Ast.Sdowhile (walk_stmt (Hashtbl.create 8) b, c)) in
+      if subst = [] then s' else subst_bases subst s'
+  | Ast.Sfor (i, c, st, b) ->
+      let body_and_step =
+        match st with
+        | Some st -> Ast.mk_stmt (Ast.Sblock [ b; Ast.mk_stmt (Ast.Sexpr st) ])
+        | None -> b
+      in
+      let subst = loop_subst copies body_and_step c in
+      let s' = remk (Ast.Sfor (i, c, st, walk_stmt (Hashtbl.create 8) b)) in
+      if subst = [] then s' else subst_bases subst s'
+  | Ast.Sif (c, a, b) ->
+      remk
+        (Ast.Sif
+           ( c,
+             walk_stmt (Hashtbl.copy copies) a,
+             Option.map (walk_stmt (Hashtbl.copy copies)) b ))
+  | _ -> s
+
+(** Apply the heuristic to an annotated program (Safe mode only; Checked
+    mode keeps exact bases so that error reports point at the failing
+    pointer). *)
+let apply (p : Ast.program) : Ast.program =
+  let globals =
+    List.map
+      (function
+        | Ast.Gfunc f ->
+            Ast.Gfunc
+              { f with Ast.f_body = walk_stmt (Hashtbl.create 8) f.Ast.f_body }
+        | (Ast.Gvar _ | Ast.Gstruct _ | Ast.Gproto _) as g -> g)
+      p.Ast.prog_globals
+  in
+  let p' = { p with Ast.prog_globals = globals } in
+  ignore (Typecheck.check_program p');
+  p'

@@ -1,0 +1,10 @@
+(** The paper's optimization (3): replace rapidly-varying KEEP_LIVE base
+    pointers in loops by equivalent, slowly-varying ones (the string-copy
+    example: bases [tmpa]/[tmpb] become [s]/[t]).
+
+    Applies only when the analysis proves the induction pointer never
+    leaves the object the slow base points to.  Off by default in the
+    harness, matching the paper's implementation. *)
+
+val apply : Csyntax.Ast.program -> Csyntax.Ast.program
+(** Rewrite an annotated (Safe-mode) program; re-type-checks the result. *)

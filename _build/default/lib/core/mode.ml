@@ -1,0 +1,52 @@
+(** Output modes of the preprocessor.
+
+    [Safe] inserts KEEP_LIVE pseudo-operations that the compiler backend
+    lowers to empty-asm-style barriers (GC-safety with minimal overhead).
+    [Checked] replaces each KEEP_LIVE by a real call to the collector's
+    checking runtime ([GC_same_obj], [GC_pre_incr], [GC_post_incr]),
+    turning the preprocessor into a pointer-arithmetic checker; the checking
+    calls are opaque to the compiler and therefore also ensure GC-safety,
+    "though not in a performance-optimal fashion". *)
+
+type t = Safe | Checked
+
+let to_string = function Safe -> "safe" | Checked -> "checked"
+
+type options = {
+  mode : t;
+  suppress_copies : bool;
+      (** the paper's optimization (1): no KEEP_LIVE around expressions that
+          are statically just copies of values stored elsewhere *)
+  expand_incr : bool;
+      (** the paper's optimization (2): specialized expansion of [++]/[--]
+          on simple variables that avoids forcing them into memory *)
+  loop_heuristic : bool;
+      (** the paper's optimization (3): replace rapidly-varying base
+          pointers in loops by equivalent slowly-varying ones *)
+  calls_only : bool;
+      (** the paper's optimization (4): "If we know that garbage
+          collections can be triggered only at procedure calls, the number
+          of KEEP_LIVE invocations could often be reduced dramatically" —
+          skip annotations inside statements that perform no calls *)
+  heapness_analysis : bool;
+      (** prove some pointer variables can only address stack/static
+          storage and drop their annotations — the "sufficiently good
+          program analysis" direction the paper points at *)
+  check_base_stores : bool;
+      (** the Extensions section: "asserting that the client program
+          stores only pointers to the base of an object in the heap or in
+          statically allocated variables ... It would again be possible to
+          insert dynamic checks to verify this" — in Checked mode, wrap
+          pointer stores to non-local locations with GC_check_base *)
+}
+
+let default mode =
+  {
+    mode;
+    suppress_copies = true;
+    expand_incr = true;
+    loop_heuristic = false;
+    calls_only = false;
+    heapness_analysis = false;
+    check_base_stores = false;
+  }

@@ -1,0 +1,17 @@
+(** Normalization: introduce temporaries for generating expressions.
+
+    Establishes the paper's assumed form — generating expressions (pointer
+    dereferences, calls, conditionals) "occur as the right side of an
+    assignment to a local variable that is not assigned elsewhere in the
+    same expression" — by rewriting them to [(t = e)] wherever
+    {!Base_rules.base} would otherwise return [Unnamed].  Also performs
+    the paper's [&*e -> e] simplification. *)
+
+val name_value : Temps.t -> Csyntax.Ast.expr -> Csyntax.Ast.expr
+(** Wrap the generating tail of an expression in an assignment to a fresh
+    temporary so that its value has a BASE. *)
+
+val norm_func : Csyntax.Ast.func -> Csyntax.Ast.func
+
+val norm_program : Csyntax.Ast.program -> Csyntax.Ast.program
+(** Normalize a type-annotated program; the result is re-type-checked. *)

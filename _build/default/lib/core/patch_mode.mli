@@ -1,0 +1,17 @@
+(** Patch-based emission: annotate the original source text in place (the
+    paper's insertion/deletion output discipline), preserving comments and
+    formatting.
+
+    Handles the purely positional insertions (the four KEEP_LIVE positions
+    and access wraps); constructs requiring rewrites with temporaries
+    (pointer [++]/[--]/[+=], generating expressions feeding arithmetic)
+    are left unannotated and counted — use {!Annotate} for full
+    coverage. *)
+
+type result = {
+  pr_source : string;  (** the patched program text *)
+  pr_inserted : int;  (** annotations inserted *)
+  pr_skipped : int;  (** positions that needed a rewrite and were skipped *)
+}
+
+val annotate_source : ?opts:Mode.options -> string -> result

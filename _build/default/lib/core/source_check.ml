@@ -1,0 +1,148 @@
+(** Source checking ("Source Checking" section).
+
+    The paper's preprocessor "issues warnings when nonpointer values are
+    directly converted to pointers", and notes that pointer hiding through
+    I/O is detectable from [scanf]-with-[%p], [fread] into pointer-containing
+    types, and [memcpy]/[memmove] with mismatched argument types.  This pass
+    implements those warnings:
+
+    - W1: integer (or other nonpointer) value converted to a pointer type,
+      except the benign literal-0 null pointer and small integer constants
+      that are never dereferenced (flagged separately at lower severity);
+    - W2: cast between different structure pointer types ("it could and
+      should also issue warnings when the same thing is accomplished by a
+      cast between different structure pointer types or the like");
+    - W3: [scanf] with a [%p] conversion;
+    - W4: [fread] into a pointer-containing object;
+    - W5: [memcpy]/[memmove] whose source and destination argument types
+      disagree about containing pointers. *)
+
+open Csyntax
+
+type severity = Warning | Info
+
+type diagnostic = {
+  diag_code : string;
+  diag_severity : severity;
+  diag_loc : Loc.t;
+  diag_message : string;
+}
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%s: %a: [%s] %s"
+    (match d.diag_severity with Warning -> "warning" | Info -> "info")
+    Loc.pp d.diag_loc d.diag_code d.diag_message
+
+type t = { tenv : Ctype.Env.t; mutable diags : diagnostic list }
+
+let report t ?(severity = Warning) ~code ~loc fmt =
+  Format.kasprintf
+    (fun diag_message ->
+      t.diags <-
+        { diag_code = code; diag_severity = severity; diag_loc = loc; diag_message }
+        :: t.diags)
+    fmt
+
+(* Small integer constants converted to pointers are a common, benign idiom
+   as long as they are never dereferenced; the collector's null page (the
+   first 4096 bytes) is never handed out, so they can't alias an object. *)
+let rec is_small_int_const (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.IntLit n -> n >= 0 && n < 4096
+  | Ast.CharLit _ -> true
+  | Ast.Unop (Ast.Neg, a) -> is_small_int_const a
+  | Ast.Cast (_, a) -> is_small_int_const a
+  | _ -> false
+
+let rec check_expr t (e : Ast.expr) =
+  match e.Ast.edesc with
+  | Ast.Cast (Ctype.Ptr dst, inner) -> (
+      let ity = Ast.rtyp inner in
+      match ity with
+      | _ when Ctype.is_integer ity ->
+          if is_small_int_const inner then begin
+            if
+              (match inner.Ast.edesc with Ast.IntLit 0 -> false | _ -> true)
+            then
+              report t ~severity:Info ~code:"W1" ~loc:e.Ast.eloc
+                "small integer constant converted to pointer (benign if \
+                 never dereferenced)"
+          end
+          else
+            report t ~code:"W1" ~loc:e.Ast.eloc
+              "nonpointer value converted to pointer type %s — disguised \
+               pointer arithmetic is not GC-safe"
+              (Ctype.to_string (Ctype.Ptr dst))
+      | Ctype.Ptr (Ctype.Struct a) -> (
+          match dst with
+          | Ctype.Struct b when a <> b ->
+              report t ~code:"W2" ~loc:e.Ast.eloc
+                "cast between different structure pointer types (struct %s * \
+                 to struct %s *)"
+                a b
+          | _ -> ())
+      | _ -> ())
+  | Ast.Call (("scanf" as fn), args) -> (
+      match args with
+      | { Ast.edesc = Ast.StrLit fmtstr; _ } :: _ ->
+          if contains_pct_p fmtstr then
+            report t ~code:"W3" ~loc:e.Ast.eloc
+              "%s with a %%p conversion reads a pointer from a file — hidden \
+               from the collector"
+              fn
+      | _ -> ())
+  | Ast.Call ("fread", args) -> (
+      match args with
+      | dst :: _ -> (
+          match Ast.rtyp dst with
+          | Ctype.Ptr pointee when Ctype.contains_pointer t.tenv pointee ->
+              report t ~code:"W4" ~loc:e.Ast.eloc
+                "fread into a pointer-containing object (%s) can hide \
+                 pointers from the collector"
+                (Ctype.to_string pointee)
+          | _ -> ())
+      | [] -> ())
+  | Ast.Call ((("memcpy" | "memmove") as fn), dst :: src :: _) -> (
+      match (Ast.rtyp dst, Ast.rtyp src) with
+      | Ctype.Ptr dty, Ctype.Ptr sty
+        when Ctype.contains_pointer t.tenv dty
+             <> Ctype.contains_pointer t.tenv sty ->
+          report t ~code:"W5" ~loc:e.Ast.eloc
+            "%s between pointer-containing and pointer-free types (%s vs %s)"
+            fn (Ctype.to_string dty) (Ctype.to_string sty)
+      | _ -> ())
+  | _ -> ()
+
+and contains_pct_p s =
+  let n = String.length s in
+  let rec loop i =
+    if i + 1 >= n then false
+    else if s.[i] = '%' && s.[i + 1] = 'p' then true
+    else loop (i + 1)
+  in
+  loop 0
+
+(** Run the checker over a type-annotated program; returns diagnostics in
+    source order. *)
+let check_program (p : Ast.program) : diagnostic list =
+  let t = { tenv = p.Ast.prog_env; diags = [] } in
+  List.iter
+    (function
+      | Ast.Gfunc f ->
+          ignore
+            (Ast.fold_stmt_exprs
+               (fun () e ->
+                 check_expr t e)
+               () f.Ast.f_body)
+      | Ast.Gvar d ->
+          Option.iter
+            (fun e -> ignore (Ast.fold_expr (fun () e -> check_expr t e) () e))
+            d.Ast.d_init
+      | Ast.Gstruct _ | Ast.Gproto _ -> ())
+    p.Ast.prog_globals;
+  List.sort
+    (fun a b -> Loc.compare a.diag_loc b.diag_loc)
+    (List.rev t.diags)
+
+let warnings diags =
+  List.filter (fun d -> d.diag_severity = Warning) diags

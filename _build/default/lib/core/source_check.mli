@@ -1,0 +1,28 @@
+(** Source checking ("Source Checking" section): warnings about constructs
+    that hide pointers from the collector.
+
+    - W1: nonpointer value converted to a pointer type (benign small
+      constants are reported at {!Info} severity, literal 0 not at all);
+    - W2: cast between different structure pointer types;
+    - W3: [scanf] with a [%p] conversion;
+    - W4: [fread] into a pointer-containing object;
+    - W5: [memcpy]/[memmove] between pointer-containing and pointer-free
+      types. *)
+
+type severity = Warning | Info
+
+type diagnostic = {
+  diag_code : string;
+  diag_severity : severity;
+  diag_loc : Csyntax.Loc.t;
+  diag_message : string;
+}
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+val check_program : Csyntax.Ast.program -> diagnostic list
+(** Run the checker over a type-annotated program; diagnostics come back
+    in source order. *)
+
+val warnings : diagnostic list -> diagnostic list
+(** Just the {!Warning}-severity diagnostics. *)

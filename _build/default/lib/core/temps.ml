@@ -1,0 +1,37 @@
+(** Fresh temporary variables for the normalizer and annotator.
+
+    The paper's transformation introduces temporaries ("tmp1", "tmp2",
+    "tmpa", ...) to name the results of generating expressions and to expand
+    increment operators.  Each transformed function gets its own generator;
+    the collected declarations are spliced into the top of the function
+    body. *)
+
+open Csyntax
+
+type t = { mutable counter : int; mutable decls : (string * Ctype.t) list }
+
+let create () = { counter = 0; decls = [] }
+
+(** A fresh temporary of type [ty]; remembers the declaration. *)
+let fresh t ty =
+  let name = Printf.sprintf "__t%d" t.counter in
+  t.counter <- t.counter + 1;
+  t.decls <- (name, ty) :: t.decls;
+  name
+
+(** Splice the collected declarations into the top of a function body. *)
+let splice_decls t (body : Ast.stmt) : Ast.stmt =
+  match List.rev t.decls with
+  | [] -> body
+  | decls ->
+      let decl_stmts =
+        List.map
+          (fun (name, ty) ->
+            Ast.mk_stmt
+              (Ast.Sdecl { Ast.d_name = name; d_ty = ty; d_init = None; d_loc = Loc.dummy }))
+          decls
+      in
+      let inner =
+        match body.Ast.sdesc with Ast.Sblock ss -> ss | _ -> [ body ]
+      in
+      Ast.mk_stmt ~loc:body.Ast.sloc (Ast.Sblock (decl_stmts @ inner))

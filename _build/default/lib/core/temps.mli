@@ -1,0 +1,12 @@
+(** Fresh temporary variables for the normalizer and annotator, with
+    collected declarations spliced into the function body. *)
+
+type t
+
+val create : unit -> t
+
+val fresh : t -> Csyntax.Ctype.t -> string
+(** A fresh temporary of the given type; remembers the declaration. *)
+
+val splice_decls : t -> Csyntax.Ast.stmt -> Csyntax.Ast.stmt
+(** Prepend the collected declarations to a function body. *)

@@ -1,0 +1,1 @@
+lib/csyntax/ast.ml: Ctype List Loc Option

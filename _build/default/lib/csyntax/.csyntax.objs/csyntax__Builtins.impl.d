@@ -1,0 +1,1 @@
+lib/csyntax/builtins.ml: Ctype List Option

@@ -1,0 +1,1 @@
+lib/csyntax/ctype.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/csyntax/lexer.ml: Array Buffer List Loc Printf Seq String Token

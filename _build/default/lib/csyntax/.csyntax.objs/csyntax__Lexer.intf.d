@@ -1,0 +1,1 @@
+lib/csyntax/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/csyntax/loc.ml: Format Int

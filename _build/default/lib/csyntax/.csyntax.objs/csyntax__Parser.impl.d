@@ -1,0 +1,1 @@
+lib/csyntax/parser.ml: Array Ast Buffer Ctype Lexer List Loc Printf String Token

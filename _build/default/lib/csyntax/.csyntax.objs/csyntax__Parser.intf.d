@@ -1,0 +1,1 @@
+lib/csyntax/parser.mli: Ast Loc

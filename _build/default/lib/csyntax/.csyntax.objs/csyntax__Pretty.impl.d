@@ -1,0 +1,1 @@
+lib/csyntax/pretty.ml: Ast Char Ctype Format List Printf Seq String

@@ -1,0 +1,1 @@
+lib/csyntax/symtab.ml: Fun Hashtbl Option

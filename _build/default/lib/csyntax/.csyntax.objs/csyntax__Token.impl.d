@@ -1,0 +1,1 @@
+lib/csyntax/token.ml: Printf

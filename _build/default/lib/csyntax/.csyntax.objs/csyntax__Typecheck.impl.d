@@ -1,0 +1,1 @@
+lib/csyntax/typecheck.ml: Ast Builtins Ctype Format Hashtbl List Loc Option Parser String Symtab

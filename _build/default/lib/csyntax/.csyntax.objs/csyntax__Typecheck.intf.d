@@ -1,0 +1,1 @@
+lib/csyntax/typecheck.mli: Ast Ctype Hashtbl Loc Symtab

@@ -1,0 +1,81 @@
+(** Signatures of the runtime functions known to the compiler and VM.
+
+    The paper's problem statement replaces [malloc]/[calloc]/[realloc] with
+    a collecting allocator and removes [free]; the list below is the whole
+    ambient library visible to workload programs.  [GC_same_obj],
+    [GC_pre_incr] and [GC_post_incr] are the checking primitives of the
+    debugging mode. *)
+
+open Ctype
+
+type signature = {
+  bi_name : string;
+  bi_ret : Ctype.t;
+  bi_params : Ctype.t list;
+  bi_varargs : bool;
+  bi_allocates : bool;
+      (** result is a fresh heap pointer (treated as a KEEP_LIVE value) *)
+}
+
+let s ?(varargs = false) ?(allocates = false) name ret params =
+  {
+    bi_name = name;
+    bi_ret = ret;
+    bi_params = params;
+    bi_varargs = varargs;
+    bi_allocates = allocates;
+  }
+
+let all =
+  [
+    (* allocation: the collecting allocator *)
+    s "malloc" (Ptr Void) [ Long ] ~allocates:true;
+    s "calloc" (Ptr Void) [ Long; Long ] ~allocates:true;
+    s "realloc" (Ptr Void) [ Ptr Void; Long ] ~allocates:true;
+    s "free" Void [ Ptr Void ];
+    s "GC_malloc" (Ptr Void) [ Long ] ~allocates:true;
+    s "GC_malloc_atomic" (Ptr Void) [ Long ] ~allocates:true;
+    (* checking primitives (debugging mode runtime) *)
+    s "GC_base" (Ptr Void) [ Ptr Void ];
+    s "GC_same_obj" (Ptr Void) [ Ptr Void; Ptr Void ];
+    s "GC_pre_incr" (Ptr Void) [ Ptr (Ptr Void); Long ];
+    s "GC_post_incr" (Ptr Void) [ Ptr (Ptr Void); Long ];
+    s "GC_check_base" (Ptr Void) [ Ptr Void ];
+    s "GC_check_range" (Ptr Void) [ Ptr Void; Long ];
+    s "GC_collect" Void [];
+    (* string/memory library *)
+    s "strlen" Long [ Ptr Char ];
+    s "strcpy" (Ptr Char) [ Ptr Char; Ptr Char ];
+    s "strcmp" Int [ Ptr Char; Ptr Char ];
+    s "strncmp" Int [ Ptr Char; Ptr Char; Long ];
+    s "strcat" (Ptr Char) [ Ptr Char; Ptr Char ];
+    s "strchr" (Ptr Char) [ Ptr Char; Int ];
+    s "memcpy" (Ptr Void) [ Ptr Void; Ptr Void; Long ];
+    s "memmove" (Ptr Void) [ Ptr Void; Ptr Void; Long ];
+    s "memset" (Ptr Void) [ Ptr Void; Int; Long ];
+    (* i/o (deterministic: writes to the VM's output buffer) *)
+    s "putchar" Int [ Int ];
+    s "puts" Int [ Ptr Char ];
+    s "print_int" Void [ Long ];
+    s "print_str" Void [ Ptr Char ];
+    s "printf" Int [ Ptr Char ] ~varargs:true;
+    s "scanf" Int [ Ptr Char ] ~varargs:true;
+    s "fread" Long [ Ptr Void; Long; Long; Ptr Void ];
+    (* misc *)
+    s "abort" Void [];
+    s "exit" Void [ Int ];
+    s "rand" Int [];
+    s "srand" Void [ Int ];
+    s "abs" Int [ Int ];
+    s "assert_true" Void [ Int ];
+  ]
+
+let find name = List.find_opt (fun b -> b.bi_name = name) all
+
+let is_builtin name = Option.is_some (find name)
+
+(** Allocation functions, whose results the annotator treats as KEEP_LIVE
+    values (paper: "allocation functions return a result that is (treated
+    as) the value of a KEEP_LIVE expression"). *)
+let is_allocator name =
+  match find name with Some b -> b.bi_allocates | None -> false

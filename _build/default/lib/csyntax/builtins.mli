@@ -1,0 +1,22 @@
+(** Signatures of the runtime functions known to the compiler and VM:
+    the collecting allocator (the problem statement replaces
+    [malloc]/[calloc]/[realloc] and removes [free]), the checking
+    primitives of the debugging mode, and a small string/memory/IO
+    library. *)
+
+type signature = {
+  bi_name : string;
+  bi_ret : Ctype.t;
+  bi_params : Ctype.t list;
+  bi_varargs : bool;
+  bi_allocates : bool;
+      (** result is a fresh heap pointer (treated as a KEEP_LIVE value) *)
+}
+
+val all : signature list
+
+val find : string -> signature option
+
+val is_builtin : string -> bool
+
+val is_allocator : string -> bool

@@ -1,0 +1,191 @@
+(** C types for the mini-C subset, with sizes and alignment.
+
+    The model follows an LP64 machine (the paper's SPARC targets are ILP32,
+    but nothing in the algorithm depends on the word size; we use 8-byte
+    pointers so that the VM heap can be scanned with one word granularity).
+    Struct and union layouts are resolved against a {!Env.t}, which maps
+    struct tags to field lists; this mirrors the paper's preprocessor, which
+    "parses and partially type-checks the source". *)
+
+type t =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Long
+  | Float
+  | Double
+  | Ptr of t
+  | Array of t * int option  (** element type, optional length *)
+  | Struct of string  (** by tag, layout resolved in the environment *)
+  | Union of string
+  | Func of t * t list * bool  (** return type, parameter types, varargs *)
+
+type field = { fld_name : string; fld_ty : t; fld_offset : int }
+
+type layout = {
+  lay_tag : string;
+  lay_union : bool;
+  lay_fields : field list;
+  lay_size : int;
+  lay_align : int;
+}
+
+(** Struct/union layout environment. *)
+module Env = struct
+  type nonrec t = (string, layout) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let find (env : t) tag = Hashtbl.find_opt env tag
+
+  let add (env : t) lay = Hashtbl.replace env lay.lay_tag lay
+end
+
+exception Incomplete of string
+
+let rec size env = function
+  | Void -> 1 (* gcc extension: sizeof(void) = 1, used for void* arithmetic *)
+  | Char -> 1
+  | Short -> 2
+  | Int -> 4
+  | Long | Ptr _ -> 8
+  | Float -> 4
+  | Double -> 8
+  | Array (elt, Some n) -> n * size env elt
+  | Array (_, None) -> raise (Incomplete "array of unknown length")
+  | Struct tag | Union tag -> (
+      match Env.find env tag with
+      | Some lay -> lay.lay_size
+      | None -> raise (Incomplete tag))
+  | Func _ -> raise (Incomplete "function type")
+
+let rec align env = function
+  | Void | Char -> 1
+  | Short -> 2
+  | Int | Float -> 4
+  | Long | Ptr _ | Double -> 8
+  | Array (elt, _) -> align env elt
+  | Struct tag | Union tag -> (
+      match Env.find env tag with
+      | Some lay -> lay.lay_align
+      | None -> raise (Incomplete tag))
+  | Func _ -> 1
+
+let round_up n a = (n + a - 1) / a * a
+
+(** Compute the layout of a struct or union from its field declarations. *)
+let make_layout env ~union tag (fields : (string * t) list) : layout =
+  let offset = ref 0 and max_align = ref 1 and max_size = ref 0 in
+  let fld (name, ty) =
+    let a = align env ty and s = size env ty in
+    if a > !max_align then max_align := a;
+    if union then begin
+      if s > !max_size then max_size := s;
+      { fld_name = name; fld_ty = ty; fld_offset = 0 }
+    end
+    else begin
+      offset := round_up !offset a;
+      let f = { fld_name = name; fld_ty = ty; fld_offset = !offset } in
+      offset := !offset + s;
+      f
+    end
+  in
+  let lay_fields = List.map fld fields in
+  let raw = if union then !max_size else !offset in
+  let lay_size = max 1 (round_up raw !max_align) in
+  { lay_tag = tag; lay_union = union; lay_fields; lay_size; lay_align = !max_align }
+
+let find_field env ty name =
+  match ty with
+  | Struct tag | Union tag -> (
+      match Env.find env tag with
+      | None -> None
+      | Some lay ->
+          List.find_opt (fun f -> f.fld_name = name) lay.lay_fields)
+  | Void | Char | Short | Int | Long | Float | Double | Ptr _ | Array _
+  | Func _ ->
+      None
+
+let is_pointer = function Ptr _ -> true | _ -> false
+
+let is_array = function Array _ -> true | _ -> false
+
+let is_integer = function
+  | Char | Short | Int | Long -> true
+  | Void | Float | Double | Ptr _ | Array _ | Struct _ | Union _ | Func _ ->
+      false
+
+let is_arith = function
+  | Char | Short | Int | Long | Float | Double -> true
+  | Void | Ptr _ | Array _ | Struct _ | Union _ | Func _ -> false
+
+let is_scalar ty = is_arith ty || is_pointer ty
+
+let is_aggregate = function Struct _ | Union _ | Array _ -> true | _ -> false
+
+(** [decay ty] converts array and function types to pointers, as happens to
+    C expressions in r-value position. *)
+let decay = function
+  | Array (elt, _) -> Ptr elt
+  | Func _ as f -> Ptr f
+  | ty -> ty
+
+(** Element type addressed by pointer arithmetic on [ty]. *)
+let pointee = function
+  | Ptr t -> Some t
+  | Array (t, _) -> Some t
+  | _ -> None
+
+let rec equal a b =
+  match (a, b) with
+  | Void, Void | Char, Char | Short, Short | Int, Int | Long, Long
+  | Float, Float | Double, Double ->
+      true
+  | Ptr a, Ptr b -> equal a b
+  | Array (a, n), Array (b, m) -> equal a b && n = m
+  | Struct a, Struct b | Union a, Union b -> String.equal a b
+  | Func (r1, p1, v1), Func (r2, p2, v2) ->
+      v1 = v2 && equal r1 r2
+      && List.length p1 = List.length p2
+      && List.for_all2 equal p1 p2
+  | ( ( Void | Char | Short | Int | Long | Float | Double | Ptr _ | Array _
+      | Struct _ | Union _ | Func _ ),
+      _ ) ->
+      false
+
+let rec pp fmt = function
+  | Void -> Format.pp_print_string fmt "void"
+  | Char -> Format.pp_print_string fmt "char"
+  | Short -> Format.pp_print_string fmt "short"
+  | Int -> Format.pp_print_string fmt "int"
+  | Long -> Format.pp_print_string fmt "long"
+  | Float -> Format.pp_print_string fmt "float"
+  | Double -> Format.pp_print_string fmt "double"
+  | Ptr t -> Format.fprintf fmt "%a *" pp t
+  | Array (t, Some n) -> Format.fprintf fmt "%a [%d]" pp t n
+  | Array (t, None) -> Format.fprintf fmt "%a []" pp t
+  | Struct tag -> Format.fprintf fmt "struct %s" tag
+  | Union tag -> Format.fprintf fmt "union %s" tag
+  | Func (r, args, varargs) ->
+      Format.fprintf fmt "%a (*)(%a%s)" pp r
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        args
+        (if varargs then ", ..." else "")
+
+let to_string t = Format.asprintf "%a" pp t
+
+(** [contains_pointer env ty] is true when an object of type [ty] may hold a
+    pointer anywhere inside it.  Used by the source checker to flag
+    pointer-hiding [memcpy]/[fread] calls. *)
+let rec contains_pointer env = function
+  | Ptr _ -> true
+  | Array (elt, _) -> contains_pointer env elt
+  | Struct tag | Union tag -> (
+      match Env.find env tag with
+      | None -> true (* unknown layout: be conservative *)
+      | Some lay ->
+          List.exists (fun f -> contains_pointer env f.fld_ty) lay.lay_fields)
+  | Void | Char | Short | Int | Long | Float | Double | Func _ -> false

@@ -1,0 +1,15 @@
+(** Hand-written lexer for the mini-C subset.  Skips both comment styles
+    and cpp [# line] directives (the paper runs its transformation after
+    macro expansion). *)
+
+exception Error of string * Loc.t
+
+type tok = {
+  t : Token.t;
+  loc : Loc.t;
+  endpos : int;  (** offset one past the token, for the source patcher *)
+}
+
+val tokenize : string -> tok array
+(** The whole token stream, [EOF]-terminated.  @raise Error on malformed
+    input. *)

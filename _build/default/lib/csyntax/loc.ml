@@ -1,0 +1,25 @@
+(** Source locations for the mini-C frontend.
+
+    Positions are tracked as [line:col] pairs plus the absolute character
+    offset into the original source string.  The offset is what the
+    transformation backend uses: the paper's preprocessor works by applying a
+    sorted list of insertions and deletions to the original source text, so
+    every AST node must remember exactly where it came from. *)
+
+type t = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based character offset into the source string *)
+}
+
+let dummy = { line = 0; col = 0; offset = -1 }
+
+let is_dummy t = t.offset < 0
+
+let make ~line ~col ~offset = { line; col; offset }
+
+let compare a b = Int.compare a.offset b.offset
+
+let pp fmt t = Format.fprintf fmt "%d:%d" t.line t.col
+
+let to_string t = Format.asprintf "%a" pp t

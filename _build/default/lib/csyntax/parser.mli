@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the mini-C subset.
+
+    Covers the full expression grammar (assignment and compound
+    assignment, [?:], comma, casts, [sizeof], the address/deref operators,
+    postfix chains), statements, declarations with pointer/array
+    declarators, struct/union definitions, prototypes and function
+    definitions.  [KEEP_LIVE(e, b)] re-parses as the primitive, so the
+    preprocessor's own output round-trips. *)
+
+exception Error of string * Loc.t
+
+val parse_program : string -> Ast.program
+
+val parse_expr_string : string -> Ast.expr
+(** Parse a single expression (tests, quickstart).  @raise Error on
+    trailing tokens. *)

@@ -1,0 +1,45 @@
+(** Scoped symbol tables.
+
+    A stack of scopes mapping names to values.  Lookup walks from the
+    innermost scope outward, like C block scoping. *)
+
+type 'a t = { mutable scopes : (string, 'a) Hashtbl.t list }
+
+let create () = { scopes = [ Hashtbl.create 16 ] }
+
+let enter_scope t = t.scopes <- Hashtbl.create 8 :: t.scopes
+
+let exit_scope t =
+  match t.scopes with
+  | [] | [ _ ] -> invalid_arg "Symtab.exit_scope: no scope to exit"
+  | _ :: rest -> t.scopes <- rest
+
+(** Add to the innermost scope, shadowing any outer binding. *)
+let add t name v =
+  match t.scopes with
+  | [] -> invalid_arg "Symtab.add: no scope"
+  | scope :: _ -> Hashtbl.replace scope name v
+
+let find t name =
+  let rec loop = function
+    | [] -> None
+    | scope :: rest -> (
+        match Hashtbl.find_opt scope name with
+        | Some v -> Some v
+        | None -> loop rest)
+  in
+  loop t.scopes
+
+let mem t name = Option.is_some (find t name)
+
+(** Is [name] bound in the innermost scope? *)
+let mem_innermost t name =
+  match t.scopes with
+  | [] -> false
+  | scope :: _ -> Hashtbl.mem scope name
+
+(** Run [f] inside a fresh scope, restoring the previous scopes on exit even
+    if [f] raises. *)
+let in_scope t f =
+  enter_scope t;
+  Fun.protect ~finally:(fun () -> exit_scope t) f

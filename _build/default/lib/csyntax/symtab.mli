@@ -1,0 +1,23 @@
+(** Scoped symbol tables: a stack of scopes with innermost-out lookup,
+    like C block scoping. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val enter_scope : 'a t -> unit
+
+val exit_scope : 'a t -> unit
+(** @raise Invalid_argument when only the outermost scope remains. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Bind in the innermost scope, shadowing any outer binding. *)
+
+val find : 'a t -> string -> 'a option
+
+val mem : 'a t -> string -> bool
+
+val mem_innermost : 'a t -> string -> bool
+
+val in_scope : 'a t -> (unit -> 'b) -> 'b
+(** Run inside a fresh scope, restoring on exit even on exceptions. *)

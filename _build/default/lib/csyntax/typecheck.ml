@@ -1,0 +1,357 @@
+(** Type checker: annotates every expression with its C type.
+
+    This is the "partial type-checking" the paper's preprocessor performs:
+    enough to know which expressions are pointer-valued, what the pointee
+    sizes are, and which struct fields have array type (the paper notes that
+    [e->x] involves no dereference when [x] has array type).  It is also a
+    real checker: ill-typed programs are rejected with located errors. *)
+
+exception Error of string * Loc.t
+
+let err loc fmt = Format.kasprintf (fun s -> raise (Error (s, loc))) fmt
+
+type fn_sig = {
+  fs_ret : Ctype.t;
+  fs_params : Ctype.t list;
+  fs_varargs : bool;
+}
+
+type env = {
+  tenv : Ctype.Env.t;
+  vars : Ctype.t Symtab.t;
+  funcs : (string, fn_sig) Hashtbl.t;
+  mutable cur_ret : Ctype.t;
+}
+
+(* Integer ranks for the usual arithmetic conversions (simplified: all
+   signed). *)
+let rank = function
+  | Ctype.Char -> 1
+  | Ctype.Short -> 2
+  | Ctype.Int -> 3
+  | Ctype.Long -> 4
+  | Ctype.Float -> 5
+  | Ctype.Double -> 6
+  | _ -> 0
+
+let arith_result a b =
+  let r = max (rank a) (rank b) in
+  if r >= 6 then Ctype.Double
+  else if r = 5 then Ctype.Float
+  else if r = 4 then Ctype.Long
+  else Ctype.Int (* integer promotion: everything below int promotes *)
+
+(* Can a value of type [src] be assigned to an lvalue of type [dst]?  We are
+   deliberately permissive about pointer/pointer mixes (C programs of the
+   Zorn-suite era cast freely); the source checker flags the dangerous
+   ones separately. *)
+let assignable dst src =
+  match (dst, src) with
+  | _, _ when Ctype.equal dst src -> true
+  | t, s when Ctype.is_arith t && Ctype.is_arith s -> true
+  | Ctype.Ptr _, Ctype.Ptr _ -> true
+  | Ctype.Ptr _, t when Ctype.is_integer t -> true (* e.g. p = 0 *)
+  | t, Ctype.Ptr _ when Ctype.is_integer t -> true
+  | _ -> false
+
+let rec is_lvalue (e : Ast.expr) =
+  match e.edesc with
+  | Ast.Var _ | Ast.Deref _ | Ast.Index _ | Ast.Arrow _ -> true
+  | Ast.Field (b, _) -> is_lvalue b
+  | Ast.Cast (_, b) -> is_lvalue b (* gcc extension, used by checked code *)
+  | _ -> false
+
+let rec check_expr env (e : Ast.expr) : Ctype.t =
+  let ty = infer env e in
+  e.ety <- Some ty;
+  ty
+
+and rvalue env e = Ctype.decay (check_expr env e)
+
+and infer env (e : Ast.expr) : Ctype.t =
+  let loc = e.eloc in
+  match e.edesc with
+  | Ast.IntLit _ -> Ctype.Int
+  | Ast.CharLit _ -> Ctype.Char
+  | Ast.FloatLit _ -> Ctype.Double
+  | Ast.StrLit s -> Ctype.Array (Ctype.Char, Some (String.length s + 1))
+  | Ast.Var v -> (
+      match Symtab.find env.vars v with
+      | Some ty -> ty
+      | None -> err loc "undeclared variable '%s'" v)
+  | Ast.Unop (Ast.Not, a) ->
+      let t = rvalue env a in
+      if not (Ctype.is_scalar t) then err loc "! applied to non-scalar";
+      Ctype.Int
+  | Ast.Unop (Ast.Neg, a) ->
+      let t = rvalue env a in
+      if not (Ctype.is_arith t) then err loc "- applied to non-arithmetic";
+      arith_result t Ctype.Int
+  | Ast.Unop (Ast.BitNot, a) ->
+      let t = rvalue env a in
+      if not (Ctype.is_integer t) then err loc "~ applied to non-integer";
+      arith_result t Ctype.Int
+  | Ast.Binop (op, a, b) -> binop env loc op a b
+  | Ast.Assign (l, r) ->
+      let lt = check_expr env l in
+      if not (is_lvalue l) then err loc "assignment to non-lvalue";
+      let rt = rvalue env r in
+      let lt' = Ctype.decay lt in
+      if Ctype.is_aggregate lt then begin
+        (* whole-struct assignment *)
+        if not (Ctype.equal lt (Ast.typ r)) then
+          err loc "struct assignment type mismatch"
+      end
+      else if not (assignable lt' rt) then
+        err loc "cannot assign %s to %s" (Ctype.to_string rt)
+          (Ctype.to_string lt');
+      lt'
+  | Ast.OpAssign (op, l, r) ->
+      let lt = check_expr env l in
+      if not (is_lvalue l) then err loc "assignment to non-lvalue";
+      let rt = rvalue env r in
+      let lt' = Ctype.decay lt in
+      (match (op, lt', rt) with
+      | (Ast.Add | Ast.Sub), Ctype.Ptr _, t when Ctype.is_integer t -> ()
+      | _, t, u when Ctype.is_arith t && Ctype.is_arith u -> ()
+      | _ ->
+          err loc "invalid operands to %s= (%s, %s)" (Ast.binop_to_string op)
+            (Ctype.to_string lt') (Ctype.to_string rt));
+      lt'
+  | Ast.Incr (_, a) ->
+      let t = check_expr env a in
+      if not (is_lvalue a) then err loc "++/-- on non-lvalue";
+      let t' = Ctype.decay t in
+      if not (Ctype.is_scalar t') then err loc "++/-- on non-scalar";
+      t'
+  | Ast.Deref a -> (
+      let t = rvalue env a in
+      match t with
+      | Ctype.Ptr Ctype.Void -> err loc "dereference of void *"
+      | Ctype.Ptr inner -> inner
+      | _ -> err loc "dereference of non-pointer (%s)" (Ctype.to_string t))
+  | Ast.AddrOf a -> (
+      let t = check_expr env a in
+      match a.edesc with
+      | Ast.Var _ | Ast.Deref _ | Ast.Index _ | Ast.Field _ | Ast.Arrow _ ->
+          Ctype.Ptr t
+      | _ -> err loc "& applied to non-lvalue")
+  | Ast.Index (a, i) -> (
+      let at = rvalue env a and it = rvalue env i in
+      match (at, it) with
+      | Ctype.Ptr inner, t when Ctype.is_integer t -> inner
+      | t, Ctype.Ptr inner when Ctype.is_integer t -> inner (* i[a] *)
+      | _ ->
+          err loc "invalid subscript (%s)[%s]" (Ctype.to_string at)
+            (Ctype.to_string it))
+  | Ast.Field (a, f) -> (
+      let at = check_expr env a in
+      match Ctype.find_field env.tenv at f with
+      | Some fld -> fld.Ctype.fld_ty
+      | None ->
+          err loc "no field '%s' in %s" f (Ctype.to_string at))
+  | Ast.Arrow (a, f) -> (
+      let at = rvalue env a in
+      match at with
+      | Ctype.Ptr inner -> (
+          match Ctype.find_field env.tenv inner f with
+          | Some fld -> fld.Ctype.fld_ty
+          | None -> err loc "no field '%s' in %s" f (Ctype.to_string inner))
+      | _ -> err loc "-> applied to non-pointer (%s)" (Ctype.to_string at))
+  | Ast.Call (fname, args) -> (
+      let check_args params varargs ret =
+        let nparams = List.length params and nargs = List.length args in
+        if nargs < nparams || ((not varargs) && nargs > nparams) then
+          err loc "wrong number of arguments to %s (%d expected, %d given)"
+            fname nparams nargs;
+        List.iteri
+          (fun i arg ->
+            let at = rvalue env arg in
+            match List.nth_opt params i with
+            | Some pt when not (assignable pt at) ->
+                err loc "argument %d of %s: cannot pass %s as %s" (i + 1)
+                  fname (Ctype.to_string at) (Ctype.to_string pt)
+            | Some _ | None -> ())
+          args;
+        ret
+      in
+      match Hashtbl.find_opt env.funcs fname with
+      | Some fs -> check_args fs.fs_params fs.fs_varargs fs.fs_ret
+      | None -> (
+          match Builtins.find fname with
+          | Some b -> check_args b.Builtins.bi_params b.Builtins.bi_varargs b.Builtins.bi_ret
+          | None -> err loc "call to undeclared function '%s'" fname))
+  | Ast.Cast (ty, a) ->
+      ignore (rvalue env a);
+      ty
+  | Ast.Cond (c, a, b) ->
+      let ct = rvalue env c in
+      if not (Ctype.is_scalar ct) then err loc "non-scalar condition";
+      let at = rvalue env a and bt = rvalue env b in
+      if Ctype.equal at bt then at
+      else if Ctype.is_arith at && Ctype.is_arith bt then arith_result at bt
+      else if Ctype.is_pointer at && Ctype.is_pointer bt then at
+      else if Ctype.is_pointer at && Ctype.is_integer bt then at
+      else if Ctype.is_integer at && Ctype.is_pointer bt then bt
+      else
+        err loc "incompatible branches of ?: (%s, %s)" (Ctype.to_string at)
+          (Ctype.to_string bt)
+  | Ast.Comma (a, b) ->
+      ignore (rvalue env a);
+      rvalue env b
+  | Ast.SizeofType ty -> (
+      try
+        ignore (Ctype.size env.tenv ty);
+        Ctype.Long
+      with Ctype.Incomplete what -> err loc "sizeof incomplete type %s" what)
+  | Ast.SizeofExpr a ->
+      ignore (check_expr env a);
+      Ctype.Long
+  | Ast.KeepLive (a, base) ->
+      Option.iter (fun b -> ignore (rvalue env b)) base;
+      rvalue env a
+  | Ast.RuntimeCall (fname, args) -> (
+      List.iter (fun a -> ignore (rvalue env a)) args;
+      match Builtins.find fname with
+      | Some b -> b.Builtins.bi_ret
+      | None -> err loc "unknown runtime function '%s'" fname)
+
+and binop env loc op a b : Ctype.t =
+  let at = rvalue env a and bt = rvalue env b in
+  match op with
+  | Ast.Add -> (
+      match (at, bt) with
+      | Ctype.Ptr _, t when Ctype.is_integer t -> at
+      | t, Ctype.Ptr _ when Ctype.is_integer t -> bt
+      | t, u when Ctype.is_arith t && Ctype.is_arith u -> arith_result t u
+      | _ ->
+          err loc "invalid operands to + (%s, %s)" (Ctype.to_string at)
+            (Ctype.to_string bt))
+  | Ast.Sub -> (
+      match (at, bt) with
+      | Ctype.Ptr _, t when Ctype.is_integer t -> at
+      | Ctype.Ptr _, Ctype.Ptr _ -> Ctype.Long
+      | t, u when Ctype.is_arith t && Ctype.is_arith u -> arith_result t u
+      | _ ->
+          err loc "invalid operands to - (%s, %s)" (Ctype.to_string at)
+            (Ctype.to_string bt))
+  | Ast.Mul | Ast.Div ->
+      if Ctype.is_arith at && Ctype.is_arith bt then arith_result at bt
+      else
+        err loc "invalid operands to %s" (Ast.binop_to_string op)
+  | Ast.Mod | Ast.Shl | Ast.Shr | Ast.BitAnd | Ast.BitXor | Ast.BitOr ->
+      if Ctype.is_integer at && Ctype.is_integer bt then arith_result at bt
+      else err loc "invalid operands to %s" (Ast.binop_to_string op)
+  | Ast.Lt | Ast.Gt | Ast.Le | Ast.Ge | Ast.Eq | Ast.Ne ->
+      let ok =
+        (Ctype.is_arith at && Ctype.is_arith bt)
+        || (Ctype.is_pointer at && Ctype.is_pointer bt)
+        || (Ctype.is_pointer at && Ctype.is_integer bt)
+        || (Ctype.is_integer at && Ctype.is_pointer bt)
+      in
+      if not ok then
+        err loc "invalid comparison (%s, %s)" (Ctype.to_string at)
+          (Ctype.to_string bt);
+      Ctype.Int
+  | Ast.LogAnd | Ast.LogOr ->
+      if Ctype.is_scalar at && Ctype.is_scalar bt then Ctype.Int
+      else err loc "invalid operands to %s" (Ast.binop_to_string op)
+
+let rec check_stmt env (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Sexpr e -> ignore (check_expr env e)
+  | Ast.Sdecl d ->
+      (try ignore (Ctype.size env.tenv d.Ast.d_ty)
+       with Ctype.Incomplete what ->
+         err d.Ast.d_loc "variable '%s' has incomplete type (%s)" d.Ast.d_name
+           what);
+      Option.iter
+        (fun init ->
+          let it = rvalue env init in
+          let dt = Ctype.decay d.Ast.d_ty in
+          if
+            (not (Ctype.is_aggregate d.Ast.d_ty)) && not (assignable dt it)
+          then
+            err d.Ast.d_loc "cannot initialize %s with %s"
+              (Ctype.to_string dt) (Ctype.to_string it))
+        d.Ast.d_init;
+      Symtab.add env.vars d.Ast.d_name d.Ast.d_ty
+  | Ast.Sif (c, a, b) ->
+      ignore (rvalue env c);
+      check_stmt env a;
+      Option.iter (check_stmt env) b
+  | Ast.Swhile (c, b) ->
+      ignore (rvalue env c);
+      check_stmt env b
+  | Ast.Sdowhile (b, c) ->
+      check_stmt env b;
+      ignore (rvalue env c)
+  | Ast.Sfor (init, cond, step, b) ->
+      List.iter (Option.iter (fun e -> ignore (rvalue env e))) [ init; cond; step ];
+      check_stmt env b
+  | Ast.Sreturn (Some e) ->
+      let t = rvalue env e in
+      if env.cur_ret = Ctype.Void then err s.sloc "return with value in void function"
+      else if not (assignable env.cur_ret t) then
+        err s.sloc "cannot return %s as %s" (Ctype.to_string t)
+          (Ctype.to_string env.cur_ret)
+  | Ast.Sreturn None ->
+      if env.cur_ret <> Ctype.Void then
+        err s.sloc "return without value in non-void function"
+  | Ast.Sbreak | Ast.Scontinue | Ast.Sempty -> ()
+  | Ast.Sblock ss ->
+      Symtab.in_scope env.vars (fun () -> List.iter (check_stmt env) ss)
+
+(** Check a whole program, annotating every expression with its type.
+    Returns the environment so that later passes can reuse the function
+    signature table. *)
+let check_program (p : Ast.program) : env =
+  let env =
+    {
+      tenv = p.Ast.prog_env;
+      vars = Symtab.create ();
+      funcs = Hashtbl.create 16;
+      cur_ret = Ctype.Void;
+    }
+  in
+  (* first pass: collect globals and signatures so forward calls work *)
+  List.iter
+    (function
+      | Ast.Gfunc f ->
+          Hashtbl.replace env.funcs f.Ast.f_name
+            {
+              fs_ret = f.Ast.f_ret;
+              fs_params = List.map snd f.Ast.f_params;
+              fs_varargs = f.Ast.f_varargs;
+            }
+      | Ast.Gproto (name, ret, params, varargs) ->
+          Hashtbl.replace env.funcs name
+            { fs_ret = ret; fs_params = List.map snd params; fs_varargs = varargs }
+      | Ast.Gvar d -> Symtab.add env.vars d.Ast.d_name d.Ast.d_ty
+      | Ast.Gstruct _ -> ())
+    p.Ast.prog_globals;
+  (* second pass: check bodies and global initializers *)
+  List.iter
+    (function
+      | Ast.Gvar d ->
+          (try ignore (Ctype.size env.tenv d.Ast.d_ty)
+           with Ctype.Incomplete what ->
+             err d.Ast.d_loc "global '%s' has incomplete type (%s)"
+               d.Ast.d_name what);
+          Option.iter (fun init -> ignore (rvalue env init)) d.Ast.d_init
+      | Ast.Gfunc f ->
+          env.cur_ret <- f.Ast.f_ret;
+          Symtab.in_scope env.vars (fun () ->
+              List.iter
+                (fun (name, ty) -> Symtab.add env.vars name ty)
+                f.Ast.f_params;
+              check_stmt env f.Ast.f_body)
+      | Ast.Gstruct _ | Ast.Gproto _ -> ())
+    p.Ast.prog_globals;
+  env
+
+(** Convenience wrapper: parse then type-check. *)
+let check_source (src : string) : Ast.program * env =
+  let p = Parser.parse_program src in
+  let env = check_program p in
+  (p, env)

@@ -1,0 +1,29 @@
+(** Type checker: annotates every expression with its C type.
+
+    This is the "partial type-checking" of the paper's preprocessor —
+    enough to know which expressions are pointer-valued and what the
+    pointee sizes are — but it is also a real checker that rejects
+    ill-typed programs with located errors. *)
+
+exception Error of string * Loc.t
+
+type fn_sig = {
+  fs_ret : Ctype.t;
+  fs_params : Ctype.t list;
+  fs_varargs : bool;
+}
+
+type env = {
+  tenv : Ctype.Env.t;
+  vars : Ctype.t Symtab.t;
+  funcs : (string, fn_sig) Hashtbl.t;
+  mutable cur_ret : Ctype.t;
+}
+
+val check_program : Ast.program -> env
+(** Check a whole program, filling in every expression's [ety].  Returns
+    the environment so later passes can reuse the signature table.
+    @raise Error on type errors. *)
+
+val check_source : string -> Ast.program * env
+(** Parse then type-check. *)

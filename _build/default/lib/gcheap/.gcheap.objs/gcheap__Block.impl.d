@@ -1,0 +1,1 @@
+lib/gcheap/block.ml: Array Bytes

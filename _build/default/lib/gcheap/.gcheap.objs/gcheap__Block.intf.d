@@ -1,0 +1,1 @@
+lib/gcheap/block.mli: Bytes

@@ -1,0 +1,1 @@
+lib/gcheap/heap.ml: Array Block Format Hashtbl List Mem Option Page_map Stack

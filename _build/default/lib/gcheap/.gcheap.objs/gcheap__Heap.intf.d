@@ -1,0 +1,1 @@
+lib/gcheap/heap.mli: Block Format Hashtbl Mem Page_map

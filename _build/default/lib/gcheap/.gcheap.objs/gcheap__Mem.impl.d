@@ -1,0 +1,1 @@
+lib/gcheap/mem.ml: Buffer Bytes Char Int64 Printf String Sys

@@ -1,0 +1,1 @@
+lib/gcheap/page_map.mli: Block

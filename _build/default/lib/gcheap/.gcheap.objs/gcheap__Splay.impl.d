@@ -1,0 +1,1 @@
+lib/gcheap/splay.ml:

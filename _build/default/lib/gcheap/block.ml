@@ -1,0 +1,76 @@
+(** Heap blocks: runs of pages holding uniformly sized objects.
+
+    This mirrors the Boehm collector's [hblk] structure that the paper's
+    checking mode depends on: "a tree of fixed height 2 describing pages of
+    uniformly sized objects", tuned so that mapping any address to the base
+    of its object is fast. *)
+
+type kind =
+  | Normal  (** collectable, contents scanned for pointers *)
+  | Atomic  (** collectable, contents known pointer-free (GC_malloc_atomic) *)
+  | Uncollectable
+      (** never swept, contents scanned: VM statics and string literals
+          (GC_malloc_uncollectable) *)
+  | Stack
+      (** never swept, and only the live prefix is scanned — the caller
+          passes the current extent to [collect] as a root range *)
+
+type t = {
+  blk_start : int;  (** address of the first object *)
+  blk_pages : int;  (** number of pages spanned *)
+  blk_obj_size : int;  (** rounded object size in bytes *)
+  blk_count : int;  (** number of object slots *)
+  blk_kind : kind;
+  blk_alloc : Bytes.t;  (** one byte per slot: 0 free, 1 allocated *)
+  blk_mark : Bytes.t;  (** one byte per slot: mark bit for the collector *)
+  blk_req : int array;  (** requested (un-rounded) size per slot *)
+}
+
+let make ~start ~pages ~obj_size ~count ~kind =
+  {
+    blk_start = start;
+    blk_pages = pages;
+    blk_obj_size = obj_size;
+    blk_count = count;
+    blk_kind = kind;
+    blk_alloc = Bytes.make count '\000';
+    blk_mark = Bytes.make count '\000';
+    blk_req = Array.make count 0;
+  }
+
+(** Index of the object slot containing [addr], if [addr] lies within the
+    object area of this block. *)
+let slot_of_addr t addr =
+  let off = addr - t.blk_start in
+  if off < 0 then None
+  else
+    let i = off / t.blk_obj_size in
+    if i < t.blk_count then Some i else None
+
+let slot_addr t i = t.blk_start + (i * t.blk_obj_size)
+
+let is_allocated t i = Bytes.get t.blk_alloc i <> '\000'
+
+let set_allocated t i v = Bytes.set t.blk_alloc i (if v then '\001' else '\000')
+
+let is_marked t i = Bytes.get t.blk_mark i <> '\000'
+
+let set_marked t i v = Bytes.set t.blk_mark i (if v then '\001' else '\000')
+
+let clear_marks t = Bytes.fill t.blk_mark 0 t.blk_count '\000'
+
+let scanned t =
+  match t.blk_kind with
+  | Normal | Uncollectable -> true
+  | Atomic | Stack -> false
+
+let collectable t =
+  match t.blk_kind with
+  | Normal | Atomic -> true
+  | Uncollectable | Stack -> false
+
+(* auto-scanned in full during every collection *)
+let root_scanned t =
+  match t.blk_kind with
+  | Uncollectable -> true
+  | Normal | Atomic | Stack -> false

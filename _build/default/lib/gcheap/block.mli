@@ -1,0 +1,47 @@
+(** Heap blocks: runs of pages holding uniformly sized objects (the Boehm
+    collector's [hblk]). *)
+
+type kind =
+  | Normal  (** collectable, contents scanned for pointers *)
+  | Atomic  (** collectable, contents known pointer-free *)
+  | Uncollectable  (** never swept, contents scanned (statics) *)
+  | Stack
+      (** never swept; only the live prefix passed to [collect] as a root
+          range is scanned *)
+
+type t = {
+  blk_start : int;  (** address of the first object *)
+  blk_pages : int;  (** number of pages spanned *)
+  blk_obj_size : int;  (** rounded object size in bytes *)
+  blk_count : int;  (** number of object slots *)
+  blk_kind : kind;
+  blk_alloc : Bytes.t;
+  blk_mark : Bytes.t;
+  blk_req : int array;  (** requested (un-rounded) size per slot *)
+}
+
+val make :
+  start:int -> pages:int -> obj_size:int -> count:int -> kind:kind -> t
+
+val slot_of_addr : t -> int -> int option
+(** Index of the object slot containing an address within the block. *)
+
+val slot_addr : t -> int -> int
+
+val is_allocated : t -> int -> bool
+
+val set_allocated : t -> int -> bool -> unit
+
+val is_marked : t -> int -> bool
+
+val set_marked : t -> int -> bool -> unit
+
+val clear_marks : t -> unit
+
+val scanned : t -> bool
+(** Are object contents scanned for pointers? *)
+
+val collectable : t -> bool
+
+val root_scanned : t -> bool
+(** Auto-scanned in full during every collection (uncollectable data). *)

@@ -1,0 +1,414 @@
+(** Conservative mark-sweep collector in the style of [Boehm95].
+
+    - size-class allocator over uniform-object pages ({!Block});
+    - every object is allocated with at least one extra byte, so that
+      legal one-past-the-end pointers still map to the right object
+      (paper, "Source Checking": "we handle [one past the end] by
+      allocating all heap objects with at least one extra byte");
+    - conservative root scanning: any word whose value lies inside an
+      allocated heap object (interior pointers included) marks that object;
+    - swept objects are poisoned so that the VM detects premature
+      reclamation as a hard fault — this is how the hazard experiments
+      observe GC-unsafety;
+    - [GC_base] / [GC_same_obj] / [GC_pre_incr] / [GC_post_incr]: the
+      checking primitives of the paper's debugging mode. *)
+
+type config = {
+  mutable all_interior : bool;
+      (** recognize interior pointers everywhere (the paper's default
+          collector configuration); when false, interior pointers are valid
+          only from roots — the "Extensions" section mode *)
+  mutable poison : bool;  (** fill freed objects with 0xDB *)
+  mutable gc_threshold : int;  (** collect after this many bytes allocated *)
+}
+
+type stats = {
+  mutable collections : int;
+  mutable bytes_allocated : int;
+  mutable objects_allocated : int;
+  mutable objects_freed : int;
+  mutable bytes_freed : int;
+  mutable words_scanned : int;
+  mutable base_lookups : int;
+  mutable same_obj_checks : int;
+  mutable check_failures : int;
+}
+
+type t = {
+  mem : Mem.t;
+  map : Page_map.t;
+  free_lists : (int * Block.kind, int list ref) Hashtbl.t;
+      (** (class size, kind) -> free slot addresses *)
+  mutable large_blocks : Block.t list;
+  mutable all_blocks : Block.t list;  (** every block ever created *)
+  config : config;
+  stats : stats;
+  mutable since_gc : int;  (** bytes allocated since the last collection *)
+  mutable roots : (int * int) list;
+      (** extra permanent root ranges [start, stop) — e.g. the VM stack *)
+}
+
+exception Check_failure of string
+(** raised by GC_same_obj and friends in checked mode *)
+
+let default_config () =
+  { all_interior = true; poison = true; gc_threshold = 256 * 1024 }
+
+let create ?(config = default_config ()) () =
+  {
+    mem = Mem.create ();
+    map = Page_map.create ();
+    free_lists = Hashtbl.create 32;
+    large_blocks = [];
+    all_blocks = [];
+    config;
+    stats =
+      {
+        collections = 0;
+        bytes_allocated = 0;
+        objects_allocated = 0;
+        objects_freed = 0;
+        bytes_freed = 0;
+        words_scanned = 0;
+        base_lookups = 0;
+        same_obj_checks = 0;
+        check_failures = 0;
+      };
+    since_gc = 0;
+    roots = [];
+  }
+
+let add_root_range t start stop = t.roots <- (start, stop) :: t.roots
+
+(* ------------------------------------------------------------------ *)
+(* Size classes                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let granule = 16
+
+let max_small = 2048
+
+(* Class sizes: multiples of 16 up to 256, then powers of two to 2048. *)
+let class_size n =
+  if n <= 256 then (n + granule - 1) / granule * granule
+  else
+    let rec pow2 c = if c >= n then c else pow2 (c * 2) in
+    pow2 512
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let free_list t cls kind =
+  match Hashtbl.find_opt t.free_lists (cls, kind) with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.replace t.free_lists (cls, kind) l;
+      l
+
+let new_small_block t cls kind =
+  let start = Mem.grow_pages t.mem 1 in
+  let count = Mem.page_size / cls in
+  let blk = Block.make ~start ~pages:1 ~obj_size:cls ~count ~kind in
+  Page_map.set_block t.map blk;
+  t.all_blocks <- blk :: t.all_blocks;
+  let fl = free_list t cls kind in
+  for i = count - 1 downto 0 do
+    fl := Block.slot_addr blk i :: !fl
+  done
+
+let alloc_large t bytes kind =
+  let pages = (bytes + Mem.page_size - 1) / Mem.page_size in
+  (* reuse a freed large block of the right size if available *)
+  let reusable =
+    List.find_opt
+      (fun b ->
+        b.Block.blk_pages = pages
+        && b.Block.blk_kind = kind
+        && not (Block.is_allocated b 0))
+      t.large_blocks
+  in
+  let blk =
+    match reusable with
+    | Some b -> b
+    | None ->
+        let start = Mem.grow_pages t.mem pages in
+        let b =
+          Block.make ~start ~pages ~obj_size:(pages * Mem.page_size) ~count:1
+            ~kind
+        in
+        Page_map.set_block t.map b;
+        t.large_blocks <- b :: t.large_blocks;
+        t.all_blocks <- b :: t.all_blocks;
+        b
+  in
+  Block.set_allocated blk 0 true;
+  blk.Block.blk_req.(0) <- bytes;
+  Mem.fill t.mem blk.Block.blk_start (pages * Mem.page_size) '\000';
+  blk.Block.blk_start
+
+(** Allocate [bytes] (plus the mandatory slack byte) of zeroed storage. *)
+let alloc ?(kind = Block.Normal) t bytes =
+  let bytes = max bytes 1 in
+  t.stats.bytes_allocated <- t.stats.bytes_allocated + bytes;
+  t.stats.objects_allocated <- t.stats.objects_allocated + 1;
+  t.since_gc <- t.since_gc + bytes;
+  let with_slack = bytes + 1 in
+  if with_slack > max_small then alloc_large t with_slack kind
+  else begin
+    let cls = class_size with_slack in
+    let fl = free_list t cls kind in
+    (if !fl = [] then new_small_block t cls kind);
+    match !fl with
+    | [] -> assert false
+    | addr :: rest ->
+        fl := rest;
+        (match Page_map.find t.map addr with
+        | Some blk ->
+            let i = Option.get (Block.slot_of_addr blk addr) in
+            Block.set_allocated blk i true;
+            blk.Block.blk_req.(i) <- bytes
+        | None -> assert false);
+        Mem.fill t.mem addr cls '\000';
+        addr
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pointer identification                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [base_of t addr] maps any address inside an allocated heap object to the
+    object's base address (GC_base).  Returns [None] for addresses outside
+    the heap, in free slots, or one-before-the-object. *)
+let base_of t addr =
+  t.stats.base_lookups <- t.stats.base_lookups + 1;
+  match Page_map.find t.map addr with
+  | None -> None
+  | Some blk -> (
+      match Block.slot_of_addr blk addr with
+      | None -> None
+      | Some i -> if Block.is_allocated blk i then Some (Block.slot_addr blk i) else None)
+
+(** Object extent [base, base + rounded size) for a heap address. *)
+let extent_of t addr =
+  match Page_map.find t.map addr with
+  | None -> None
+  | Some blk -> (
+      match Block.slot_of_addr blk addr with
+      | None -> None
+      | Some i ->
+          if Block.is_allocated blk i then
+            Some (Block.slot_addr blk i, blk.Block.blk_obj_size)
+          else None)
+
+(** Is [v] a plausible pointer for root scanning?  Any value inside an
+    allocated object qualifies when [all_interior] is set; otherwise only
+    base pointers qualify (used when scanning heap objects in the
+    "Extensions" mode). *)
+let plausible_pointer ?(from_root = true) t v =
+  match Page_map.find t.map v with
+  | None -> None
+  | Some blk -> (
+      match Block.slot_of_addr blk v with
+      | None -> None
+      | Some i ->
+          if not (Block.is_allocated blk i) then None
+          else
+            let base = Block.slot_addr blk i in
+            if t.config.all_interior || from_root || v = base then Some (blk, i)
+            else None)
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mark_and_trace t ~extra_roots ~extra_ranges =
+  let stack = Stack.create () in
+  let consider ~from_root v =
+    match plausible_pointer ~from_root t v with
+    | None -> ()
+    | Some (blk, i) ->
+        if not (Block.is_marked blk i) then begin
+          Block.set_marked blk i true;
+          if Block.scanned blk then
+            Stack.push (Block.slot_addr blk i, blk.Block.blk_obj_size) stack
+        end
+  in
+  let scan_range ~from_root start stop =
+    (* aligned word scan, as a conservative collector does *)
+    let a = ref ((start + 7) / 8 * 8) in
+    while !a + 8 <= stop do
+      t.stats.words_scanned <- t.stats.words_scanned + 1;
+      consider ~from_root (Mem.load_word t.mem !a);
+      a := !a + 8
+    done
+  in
+  (* roots: explicit word values (the VM register file) ... *)
+  List.iter (fun v -> consider ~from_root:true v) extra_roots;
+  (* ... registered and per-collection ranges (the live stack prefix) ... *)
+  List.iter (fun (s, e) -> scan_range ~from_root:true s e) t.roots;
+  List.iter (fun (s, e) -> scan_range ~from_root:true s e) extra_ranges;
+  (* ... and all uncollectable (statics-like) objects. *)
+  List.iter
+    (fun blk ->
+      if Block.root_scanned blk then
+        for i = 0 to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i then begin
+            Block.set_marked blk i true;
+            let a = Block.slot_addr blk i in
+            scan_range ~from_root:true a (a + blk.Block.blk_obj_size)
+          end
+        done)
+    t.all_blocks;
+  (* stack blocks are never swept; mark them so sweeping logic is uniform *)
+  List.iter
+    (fun blk ->
+      if not (Block.collectable blk) then
+        for i = 0 to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i then Block.set_marked blk i true
+        done)
+    t.all_blocks;
+  (* trace *)
+  while not (Stack.is_empty stack) do
+    let start, len = Stack.pop stack in
+    scan_range ~from_root:false start (start + len)
+  done
+
+let sweep t =
+  let freed = ref 0 and freed_bytes = ref 0 in
+  List.iter (fun blk ->
+      if Block.collectable blk then
+        for i = 0 to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i && not (Block.is_marked blk i) then begin
+            Block.set_allocated blk i false;
+            incr freed;
+            freed_bytes := !freed_bytes + blk.Block.blk_req.(i);
+            let addr = Block.slot_addr blk i in
+            if t.config.poison then
+              Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
+            if blk.Block.blk_pages = 1 then begin
+              let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
+              fl := addr :: !fl
+            end
+            (* large blocks stay in [large_blocks] for whole-block reuse *)
+          end
+        done)
+    t.all_blocks;
+  t.stats.objects_freed <- t.stats.objects_freed + !freed;
+  t.stats.bytes_freed <- t.stats.bytes_freed + !freed_bytes;
+  !freed
+
+(** Run a full collection.  [extra_roots] are word values scanned in
+    addition to the registered root ranges — the VM passes its register
+    file here. *)
+let collect ?(extra_roots = []) ?(extra_ranges = []) t =
+  t.stats.collections <- t.stats.collections + 1;
+  List.iter Block.clear_marks t.all_blocks;
+  mark_and_trace t ~extra_roots ~extra_ranges;
+  let freed = sweep t in
+  t.since_gc <- 0;
+  freed
+
+(** Should the allocator trigger a collection? *)
+let should_collect t = t.since_gc >= t.config.gc_threshold
+
+(* ------------------------------------------------------------------ *)
+(* Checking primitives (debugging mode runtime)                        *)
+(* ------------------------------------------------------------------ *)
+
+let fail t fmt =
+  Format.kasprintf
+    (fun s ->
+      t.stats.check_failures <- t.stats.check_failures + 1;
+      raise (Check_failure s))
+    fmt
+
+(** [GC_same_obj p q]: checks that [p] and [q] point into the same heap
+    object (up to the collector's size rounding) and returns [p].  Non-heap
+    pointers are ignored, matching the paper: only heap pointers are
+    checked. *)
+let same_obj t p q =
+  t.stats.same_obj_checks <- t.stats.same_obj_checks + 1;
+  let bq = base_of t q in
+  (match bq with
+  | None -> () (* q is not a heap pointer: nothing to check *)
+  | Some base -> (
+      match extent_of t q with
+      | None -> assert false
+      | Some (_, size) ->
+          (* p may legally point one past the end; the slack byte puts that
+             address inside the rounded object, but be explicit anyway. *)
+          if p < base || p > base + size then
+            fail t
+              "GC_same_obj: %#x escapes object [%#x,+%d) (derived from %#x)"
+              p base size q));
+  p
+
+(** [GC_pre_incr pp delta]: *pp += delta with a same-object check; returns
+    the new value (the checked expansion of [++p] and [p += delta]). *)
+let pre_incr t mem_addr delta =
+  let old = Mem.load_word t.mem mem_addr in
+  let fresh = old + delta in
+  ignore (same_obj t fresh old);
+  Mem.store_word t.mem mem_addr fresh;
+  fresh
+
+(** [GC_post_incr pp delta]: *pp += delta with a check; returns the old
+    value (the checked expansion of [p++]). *)
+let post_incr t mem_addr delta =
+  let old = Mem.load_word t.mem mem_addr in
+  let fresh = old + delta in
+  ignore (same_obj t fresh old);
+  Mem.store_word t.mem mem_addr fresh;
+  old
+
+(** [GC_check_base v]: the Extensions-mode store discipline — a heap
+    pointer stored into the heap or statics must address the base of its
+    object.  Non-heap values pass unchecked; returns [v]. *)
+let check_base t v =
+  t.stats.same_obj_checks <- t.stats.same_obj_checks + 1;
+  (match Page_map.find t.map v with
+  | Some blk when Block.collectable blk -> (
+      match Block.slot_of_addr blk v with
+      | Some i when Block.is_allocated blk i ->
+          let b = Block.slot_addr blk i in
+          if b <> v then
+            fail t
+              "GC_check_base: interior pointer %#x (base %#x) stored to \
+               memory in base-only mode"
+              v b
+      | Some _ | None -> ())
+  | Some _ | None -> () (* statics/stack and non-heap values are exempt *));
+  v
+
+(** [GC_check_range p n]: the "additional check" of the paper's Debugging
+    Applications section — a whole-structure access of [n] bytes at [p]
+    must lie entirely within [p]'s heap object.  Non-heap addresses pass
+    (stack and statics are not checked, as in the paper).  Returns [p]. *)
+let check_range t p n =
+  t.stats.same_obj_checks <- t.stats.same_obj_checks + 1;
+  (match extent_of t p with
+  | Some (base, size) ->
+      if p + n > base + size then
+        fail t
+          "GC_check_range: %d-byte structure access at %#x overruns object \
+           [%#x,+%d)"
+          n p base size
+  | None -> ());
+  p
+
+(** Is [addr, addr+len) fully inside some allocated heap object?  The VM
+    uses this to detect access to swept (prematurely collected) objects. *)
+let valid_access t addr len =
+  match extent_of t addr with
+  | Some (base, size) -> addr + len <= base + size
+  | None -> false
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "collections=%d allocated=%d objs (%d bytes) freed=%d objs (%d bytes) \
+     words_scanned=%d base_lookups=%d same_obj=%d failures=%d"
+    s.collections s.objects_allocated s.bytes_allocated s.objects_freed
+    s.bytes_freed s.words_scanned s.base_lookups s.same_obj_checks
+    s.check_failures

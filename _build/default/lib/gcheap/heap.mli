@@ -1,0 +1,111 @@
+(** Conservative mark-sweep collector in the style of [Boehm95].
+
+    The public surface covers exactly what the paper relies on: allocation
+    with one extra byte of slack (so legal one-past-the-end pointers map
+    back to their object), [GC_base]-style interior-pointer resolution via
+    the height-2 page map, root scanning over caller-supplied word values
+    and registered ranges, and the checking primitives of the debugging
+    mode ([GC_same_obj], [GC_pre_incr], [GC_post_incr], [GC_check_base]). *)
+
+type config = {
+  mutable all_interior : bool;
+      (** recognize interior pointers everywhere (the paper's default
+          collector configuration); when [false], interior pointers are
+          honoured from the roots only — the "Extensions" section mode *)
+  mutable poison : bool;  (** fill freed objects with [0xDB] *)
+  mutable gc_threshold : int;
+      (** allocation volume (bytes) between collections *)
+}
+
+type stats = {
+  mutable collections : int;
+  mutable bytes_allocated : int;
+  mutable objects_allocated : int;
+  mutable objects_freed : int;
+  mutable bytes_freed : int;
+  mutable words_scanned : int;
+  mutable base_lookups : int;
+  mutable same_obj_checks : int;
+  mutable check_failures : int;
+}
+
+type t = {
+  mem : Mem.t;
+  map : Page_map.t;
+  free_lists : (int * Block.kind, int list ref) Hashtbl.t;
+  mutable large_blocks : Block.t list;
+  mutable all_blocks : Block.t list;
+  config : config;
+  stats : stats;
+  mutable since_gc : int;
+  mutable roots : (int * int) list;
+}
+
+exception Check_failure of string
+(** Raised by the checking primitives when a pointer escapes its object. *)
+
+val default_config : unit -> config
+
+val create : ?config:config -> unit -> t
+
+val add_root_range : t -> int -> int -> unit
+(** Register a permanent root range [start, stop)] (scanned word-wise). *)
+
+val class_size : int -> int
+(** The size class an allocation request (slack included) rounds up to. *)
+
+val alloc : ?kind:Block.kind -> t -> int -> int
+(** [alloc t n] returns the address of [n] bytes of zeroed storage (the
+    paper's extra byte is added internally).  [kind] defaults to
+    collectable, scanned storage. *)
+
+val base_of : t -> int -> int option
+(** [GC_base]: map any address inside an allocated object to the object's
+    base; [None] outside the heap, in free slots, or one before an
+    object. *)
+
+val extent_of : t -> int -> (int * int) option
+(** Object extent [(base, rounded_size)] for an address inside an
+    allocated object. *)
+
+val should_collect : t -> bool
+(** Has the allocation volume since the last collection crossed the
+    threshold? *)
+
+val collect : ?extra_roots:int list -> ?extra_ranges:(int * int) list -> t -> int
+(** Run a full collection.  [extra_roots] are word values scanned in
+    addition to the registered ranges and uncollectable objects (the VM
+    passes its register files); [extra_ranges] are per-collection root
+    ranges (the VM passes the live prefix of its [Stack]-kind block).
+    Returns the number of objects freed. *)
+
+val same_obj : t -> int -> int -> int
+(** [GC_same_obj p q]: check that [p] points into (or one past) the object
+    [q] points into, and return [p].  Non-heap [q] passes unchecked.
+    @raise Check_failure when [p] escapes. *)
+
+val pre_incr : t -> int -> int -> int
+(** [GC_pre_incr slot delta]: [*slot += delta] with a {!same_obj} check;
+    returns the new value. *)
+
+val post_incr : t -> int -> int -> int
+(** [GC_post_incr slot delta]: [*slot += delta] with a check; returns the
+    old value. *)
+
+val check_base : t -> int -> int
+(** [GC_check_base v]: the Extensions-mode store discipline — a pointer
+    into a collectable heap object must be its base.  Statics, stack and
+    non-heap values pass.  Returns [v].
+    @raise Check_failure on an interior heap pointer. *)
+
+val check_range : t -> int -> int -> int
+(** [GC_check_range p n]: a whole-structure access of [n] bytes at [p]
+    must lie inside [p]'s heap object (the Debugging Applications
+    section's "additional check").  Non-heap addresses pass.  Returns [p].
+    @raise Check_failure on an overrun. *)
+
+val valid_access : t -> int -> int -> bool
+(** Is [addr, addr+len)] fully inside some allocated heap object?  Used by
+    the VM to detect access to prematurely collected storage. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,113 @@
+(** Flat byte-addressed memory for the VM and the collector.
+
+    Addresses are plain OCaml ints.  Address 0 is NULL; the first page is
+    never handed out, so that small integers are never valid addresses.
+    Words are 8 bytes, stored little-endian; loads of narrow widths
+    sign-extend (the mini-C subset is all-signed, like the paper's
+    workloads).  The arena grows on demand in page-sized steps. *)
+
+let page_size = 4096
+
+let page_bits = 12
+
+type t = {
+  mutable data : Bytes.t;
+  mutable brk : int;  (** first never-allocated address; grows page-wise *)
+}
+
+let create () =
+  {
+    data = Bytes.make (64 * page_size) '\000';
+    brk = page_size (* skip the null page *);
+  }
+
+(** Highest valid address + 1. *)
+let limit t = t.brk
+
+let ensure_capacity t wanted =
+  if wanted > Bytes.length t.data then begin
+    let cap = ref (Bytes.length t.data) in
+    while !cap < wanted do
+      cap := !cap * 2
+    done;
+    let fresh = Bytes.make !cap '\000' in
+    Bytes.blit t.data 0 fresh 0 (Bytes.length t.data);
+    t.data <- fresh
+  end
+
+(** Reserve [n] fresh pages; returns their starting address. *)
+let grow_pages t n =
+  let addr = t.brk in
+  t.brk <- t.brk + (n * page_size);
+  ensure_capacity t t.brk;
+  addr
+
+let in_bounds t addr len = addr >= page_size && addr + len <= t.brk
+
+exception Fault of int  (** out-of-arena access *)
+
+let check t addr len = if not (in_bounds t addr len) then raise (Fault addr)
+
+let sign_extend v bits =
+  let shift = Sys.int_size - bits in
+  (v lsl shift) asr shift
+
+let load t ~width addr =
+  check t addr width;
+  let b i = Char.code (Bytes.get t.data (addr + i)) in
+  match width with
+  | 1 -> sign_extend (b 0) 8
+  | 2 -> sign_extend (b 0 lor (b 1 lsl 8)) 16
+  | 4 -> sign_extend (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)) 32
+  | 8 -> Int64.to_int (Bytes.get_int64_le t.data addr)
+  | w -> invalid_arg (Printf.sprintf "Mem.load: width %d" w)
+
+let store t ~width addr v =
+  check t addr width;
+  let b i x = Bytes.set t.data (addr + i) (Char.chr (x land 0xff)) in
+  match width with
+  | 1 -> b 0 v
+  | 2 ->
+      b 0 v;
+      b 1 (v asr 8)
+  | 4 ->
+      b 0 v;
+      b 1 (v asr 8);
+      b 2 (v asr 16);
+      b 3 (v asr 24)
+  | 8 -> Bytes.set_int64_le t.data addr (Int64.of_int v)
+  | w -> invalid_arg (Printf.sprintf "Mem.store: width %d" w)
+
+let load_word t addr = load t ~width:8 addr
+
+let store_word t addr v = store t ~width:8 addr v
+
+(** Fill [len] bytes at [addr] with byte [c] (used for poisoning swept
+    objects and for [memset]). *)
+let fill t addr len c =
+  check t addr len;
+  Bytes.fill t.data addr len c
+
+let blit t ~src ~dst len =
+  check t src len;
+  check t dst len;
+  Bytes.blit t.data src t.data dst len
+
+(** Read a NUL-terminated C string. *)
+let load_cstring t addr =
+  let buf = Buffer.create 16 in
+  let rec loop a =
+    let c = load t ~width:1 a in
+    if c <> 0 then begin
+      Buffer.add_char buf (Char.chr (c land 0xff));
+      loop (a + 1)
+    end
+  in
+  loop addr;
+  Buffer.contents buf
+
+(** Write string [s] plus a terminating NUL at [addr]. *)
+let store_cstring t addr s =
+  check t addr (String.length s + 1);
+  Bytes.blit_string s 0 t.data addr (String.length s);
+  Bytes.set t.data (addr + String.length s) '\000'

@@ -1,0 +1,147 @@
+(** A splay tree of object extents — the Jones & Kelly comparator.
+
+    The paper positions its checking against [JonesKelly95]: "Their
+    fundamental data structure is a splay tree of objects, we use a tree
+    of fixed height 2 describing pages of uniformly sized objects ...
+    The garbage-collector-based check is probably somewhat more
+    efficient."  This module implements that alternative lookup structure
+    so the claim can be measured (see the [micro] bench section): an
+    interval splay tree mapping any address to the extent of the object
+    containing it, with the classic splay-to-root on every lookup. *)
+
+type node = {
+  mutable base : int;
+  mutable size : int;
+  mutable left : node option;
+  mutable right : node option;
+}
+
+type t = { mutable root : node option; mutable count : int }
+
+let create () = { root = None; count = 0 }
+
+let size t = t.count
+
+(* top-down splay around [key]; afterwards the root is the node whose
+   interval contains key, or the closest neighbour *)
+let splay t key =
+  match t.root with
+  | None -> ()
+  | Some root ->
+      let header = { base = 0; size = 0; left = None; right = None } in
+      let l = ref header and r = ref header in
+      let cur = ref root in
+      let continue_ = ref true in
+      while !continue_ do
+        let n = !cur in
+        if key < n.base then (
+          match n.left with
+          | None -> continue_ := false
+          | Some ln ->
+              if key < ln.base then begin
+                (* rotate right *)
+                n.left <- ln.right;
+                ln.right <- Some n;
+                match ln.left with
+                | None ->
+                    cur := ln;
+                    continue_ := false
+                | Some next ->
+                    (* link right *)
+                    !r.left <- Some ln;
+                    r := ln;
+                    cur := next
+              end
+              else begin
+                !r.left <- Some n;
+                r := n;
+                cur := ln
+              end)
+        else if key >= n.base + n.size then (
+          match n.right with
+          | None -> continue_ := false
+          | Some rn ->
+              if key >= rn.base + rn.size then begin
+                (* rotate left *)
+                n.right <- rn.left;
+                rn.left <- Some n;
+                match rn.right with
+                | None ->
+                    cur := rn;
+                    continue_ := false
+                | Some next ->
+                    !l.right <- Some rn;
+                    l := rn;
+                    cur := next
+              end
+              else begin
+                !l.right <- Some n;
+                l := n;
+                cur := rn
+              end)
+        else continue_ := false
+      done;
+      (* assemble *)
+      let n = !cur in
+      !l.right <- n.left;
+      !r.left <- n.right;
+      n.left <- header.right;
+      n.right <- header.left;
+      t.root <- Some n
+
+(** Register an object extent.  Extents must not overlap. *)
+let insert t ~base ~size =
+  splay t base;
+  let fresh = { base; size; left = None; right = None } in
+  (match t.root with
+  | None -> ()
+  | Some root ->
+      if base < root.base then begin
+        fresh.left <- root.left;
+        fresh.right <- Some root;
+        root.left <- None
+      end
+      else begin
+        fresh.right <- root.right;
+        fresh.left <- Some root;
+        root.right <- None
+      end);
+  t.root <- Some fresh;
+  t.count <- t.count + 1
+
+(** [find t addr]: the (base, size) of the registered object containing
+    [addr], splaying it to the root. *)
+let find t addr =
+  splay t addr;
+  match t.root with
+  | Some n when addr >= n.base && addr < n.base + n.size ->
+      Some (n.base, n.size)
+  | _ -> None
+
+(** Remove the object whose extent contains [addr]. *)
+let remove t addr =
+  splay t addr;
+  match t.root with
+  | Some n when addr >= n.base && addr < n.base + n.size ->
+      (match (n.left, n.right) with
+      | None, r -> t.root <- r
+      | Some _, None -> t.root <- n.left
+      | Some _, Some _ ->
+          (* splay the predecessor of the deleted node to the top of the
+             left subtree; it has no right child afterwards *)
+          let sub = { root = n.left; count = 0 } in
+          splay sub n.base;
+          (match sub.root with
+          | Some m ->
+              m.right <- n.right;
+              t.root <- Some m
+          | None -> t.root <- n.right));
+      t.count <- t.count - 1;
+      true
+  | _ -> false
+
+(** The Jones-Kelly-style same-object check built on the splay tree. *)
+let same_obj t p q =
+  match find t q with
+  | None -> true (* unregistered: not checked *)
+  | Some (base, size) -> p >= base && p <= base + size

@@ -1,0 +1,1 @@
+lib/harness/build.ml: Csyntax Gcsafe Ir Opt Peephole

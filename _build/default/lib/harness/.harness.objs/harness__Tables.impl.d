@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Build Format List Machine Measure Printf Workloads

@@ -1,0 +1,26 @@
+(** Build configurations: source -> annotated AST -> optimized,
+    register-allocated machine code.  These mirror the paper's measured
+    builds. *)
+
+type config =
+  | Base  (** "-O": the unpreprocessed optimized baseline *)
+  | Safe  (** "-O, safe": preprocessed for GC-safety, then optimized *)
+  | Safe_peephole  (** [Safe] plus the assembly-level postprocessor *)
+  | Debug  (** "-g": fully debuggable, unpreprocessed *)
+  | Debug_checked  (** "-g, checked": pointer-arithmetic checks inserted *)
+
+val config_name : config -> string
+
+val all_configs : config list
+
+type built = {
+  b_config : config;
+  b_ir : Ir.Instr.program;
+  b_keep_lives : int;  (** annotations inserted (0 for unpreprocessed) *)
+  b_size : int;  (** static size in instructions *)
+}
+
+val build : ?loop_heuristic:bool -> ?nregs:int -> config -> string -> built
+(** Annotate (when the configuration calls for it), compile, optimize and
+    register-allocate a source program.  [loop_heuristic] defaults to off,
+    matching the paper's implementation. *)

@@ -1,0 +1,71 @@
+(** Running built programs and computing paper-style slowdown cells. *)
+
+type run_info = {
+  o_cycles : int;
+  o_instrs : int;
+  o_size : int;
+  o_output : string;
+  o_gc_count : int;
+}
+
+type outcome =
+  | Ran of run_info
+  | Detected of string
+      (** the checking runtime (or the VM's access checker) stopped the
+          program — the paper's "<fails>" cells *)
+
+let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) (b : Build.built) :
+    outcome =
+  let config =
+    {
+      (Machine.Vm.default_config ~machine ()) with
+      Machine.Vm.vm_async_gc = async_gc;
+    }
+  in
+  try
+    let r = Machine.Vm.run ~config b.Build.b_ir in
+    Ran
+      {
+        o_cycles = r.Machine.Vm.r_cycles;
+        o_instrs = r.Machine.Vm.r_instrs;
+        o_size = b.Build.b_size;
+        o_output = r.Machine.Vm.r_output;
+        o_gc_count = r.Machine.Vm.r_gc_count;
+      }
+  with Machine.Vm.Fault msg -> Detected msg
+
+(** Build and run one workload configuration on one machine. *)
+let run_config ?(machine = Machine.Machdesc.sparc10) config source : Build.built * outcome =
+  let b = Build.build ~nregs:machine.Machine.Machdesc.md_regs config source in
+  (b, run ~machine b)
+
+(** Percentage slowdown relative to a baseline cycle count, rendered as in
+    the paper's tables. *)
+let slowdown_cell ~base_cycles (o : outcome) : string =
+  match o with
+  | Detected _ -> "<fails>"
+  | Ran r ->
+      let pct =
+        100.0 *. float_of_int (r.o_cycles - base_cycles)
+        /. float_of_int base_cycles
+      in
+      Printf.sprintf "%.0f%%" pct
+
+let size_cell ~base_size (o : outcome) : string =
+  match o with
+  | Detected _ -> "-"
+  | Ran r ->
+      let pct =
+        100.0 *. float_of_int (r.o_size - base_size) /. float_of_int base_size
+      in
+      Printf.sprintf "%.0f%%" pct
+
+let cycles = function Ran r -> Some r.o_cycles | Detected _ -> None
+
+let output = function Ran r -> Some r.o_output | Detected _ -> None
+
+exception Baseline_failed of string
+
+let base_cycles_exn = function
+  | Ran r -> r.o_cycles
+  | Detected m -> raise (Baseline_failed m)

@@ -1,0 +1,35 @@
+(** Running built programs and computing paper-style slowdown cells. *)
+
+type run_info = {
+  o_cycles : int;
+  o_instrs : int;
+  o_size : int;
+  o_output : string;
+  o_gc_count : int;
+}
+
+type outcome =
+  | Ran of run_info
+  | Detected of string
+      (** the checking runtime (or the VM's access checker) stopped the
+          program — the paper's "<fails>" cells *)
+
+val run :
+  ?machine:Machine.Machdesc.t -> ?async_gc:int option -> Build.built -> outcome
+
+val run_config :
+  ?machine:Machine.Machdesc.t -> Build.config -> string -> Build.built * outcome
+
+val slowdown_cell : base_cycles:int -> outcome -> string
+(** Percentage slowdown rendered as in the paper's tables ("9%",
+    "<fails>"). *)
+
+val size_cell : base_size:int -> outcome -> string
+
+val cycles : outcome -> int option
+
+val output : outcome -> string option
+
+exception Baseline_failed of string
+
+val base_cycles_exn : outcome -> int

@@ -1,0 +1,41 @@
+(** Rendering of the paper's tables (T1-T5) from fresh measurements.  Each
+    function recomputes its column set for the given machine, prints rows
+    in the paper's layout, and returns the raw numbers for assertions. *)
+
+type cell = { c_config : Build.config; c_outcome : Measure.outcome }
+
+type row = {
+  r_workload : string;
+  r_base : Measure.outcome;
+  r_cells : cell list;
+}
+
+val measure_row :
+  ?machine:Machine.Machdesc.t ->
+  configs:Build.config list ->
+  Workloads.Registry.workload ->
+  row
+
+val slowdown_table :
+  ?machine:Machine.Machdesc.t ->
+  ?out:Format.formatter ->
+  ?suite:Workloads.Registry.workload list ->
+  unit ->
+  row list
+(** T1/T2/T3: slowdown of (-O safe), (-g), (-g checked) over -O. *)
+
+val size_table :
+  ?machine:Machine.Machdesc.t ->
+  ?out:Format.formatter ->
+  unit ->
+  (string * int * (Build.config * int) list) list
+(** T4: static code size expansion; returns
+    [(workload, base_size, per-config sizes)]. *)
+
+val postprocessor_table :
+  ?machine:Machine.Machdesc.t ->
+  ?out:Format.formatter ->
+  unit ->
+  (string * Measure.outcome * Measure.outcome * int * int) list
+(** T5: residual time/size of safe + peephole vs -O; returns
+    [(workload, base outcome, postprocessed outcome, base size, size)]. *)

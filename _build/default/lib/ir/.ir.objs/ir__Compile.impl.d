@@ -1,0 +1,1 @@
+lib/ir/compile.ml: Ast Bytes Char Csyntax Ctype Format Hashtbl Instr List Loc Option Pretty String Symtab Sys

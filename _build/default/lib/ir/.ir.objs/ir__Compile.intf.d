@@ -1,0 +1,1 @@
+lib/ir/compile.mli: Csyntax Instr

@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Bytes Format List Printf String

@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Hashtbl Instr Int List Option Set

@@ -1,0 +1,92 @@
+(** Backward liveness dataflow over the CFG.
+
+    Used by dead-code elimination, the register allocator, the
+    pointer-disguising optimizer (whose safety conditions are phrased in
+    terms of "dead after this instruction") and the peephole postprocessor
+    ("a simple global, intraprocedural analysis that allows us to identify
+    possible uses of register values"). *)
+
+module ISet = Set.Make (Int)
+
+open Instr
+
+type t = {
+  live_in : (label, ISet.t) Hashtbl.t;
+  live_out : (label, ISet.t) Hashtbl.t;
+}
+
+let block_use_def (b : block) =
+  (* use = registers read before any write in the block *)
+  let use = ref ISet.empty and def = ref ISet.empty in
+  let see_uses rs =
+    List.iter (fun r -> if not (ISet.mem r !def) then use := ISet.add r !use) rs
+  in
+  List.iter
+    (fun i ->
+      see_uses (uses i);
+      match Instr.def i with Some d -> def := ISet.add d !def | None -> ())
+    b.b_instrs;
+  see_uses (term_uses b.b_term);
+  (!use, !def)
+
+let compute (f : func) : t =
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  let blocks = f.fn_blocks in
+  let use_def =
+    List.map
+      (fun b ->
+        Hashtbl.replace live_in b.b_label ISet.empty;
+        Hashtbl.replace live_out b.b_label ISet.empty;
+        (b, block_use_def b))
+      blocks
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in reverse order for faster convergence *)
+    List.iter
+      (fun (b, (use, def)) ->
+        let out =
+          List.fold_left
+            (fun acc l ->
+              match Hashtbl.find_opt live_in l with
+              | Some s -> ISet.union acc s
+              | None -> acc)
+            ISet.empty
+            (successors b.b_term)
+        in
+        let inn = ISet.union use (ISet.diff out def) in
+        if not (ISet.equal out (Hashtbl.find live_out b.b_label)) then begin
+          Hashtbl.replace live_out b.b_label out;
+          changed := true
+        end;
+        if not (ISet.equal inn (Hashtbl.find live_in b.b_label)) then begin
+          Hashtbl.replace live_in b.b_label inn;
+          changed := true
+        end)
+      (List.rev use_def)
+  done;
+  { live_in; live_out }
+
+let live_out t l =
+  Option.value ~default:ISet.empty (Hashtbl.find_opt t.live_out l)
+
+let live_in t l =
+  Option.value ~default:ISet.empty (Hashtbl.find_opt t.live_in l)
+
+(** Per-instruction liveness within a block: returns an array [after] where
+    [after.(i)] is the set of registers live immediately after instruction
+    [i] of the block (index into [b.b_instrs]). *)
+let per_instr t (b : block) : ISet.t array =
+  let instrs = Array.of_list b.b_instrs in
+  let n = Array.length instrs in
+  let after = Array.make (max n 1) ISet.empty in
+  let live = ref (ISet.union (live_out t b.b_label)
+                    (ISet.of_list (term_uses b.b_term))) in
+  for i = n - 1 downto 0 do
+    after.(i) <- !live;
+    let ins = instrs.(i) in
+    (match Instr.def ins with Some d -> live := ISet.remove d !live | None -> ());
+    live := ISet.union !live (ISet.of_list (uses ins))
+  done;
+  after

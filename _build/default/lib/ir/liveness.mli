@@ -1,0 +1,19 @@
+(** Backward liveness dataflow over the CFG.
+
+    Used by dead-code elimination, register allocation, the
+    pointer-disguising passes (whose safety conditions are phrased as
+    "dead after this instruction") and the peephole postprocessor. *)
+
+module ISet : Set.S with type elt = int
+
+type t
+
+val compute : Instr.func -> t
+
+val live_in : t -> Instr.label -> ISet.t
+
+val live_out : t -> Instr.label -> ISet.t
+
+val per_instr : t -> Instr.block -> ISet.t array
+(** [per_instr t b]: element [i] is the set of registers live immediately
+    after instruction [i] of the block. *)

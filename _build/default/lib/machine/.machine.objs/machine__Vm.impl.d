@@ -1,0 +1,1 @@
+lib/machine/vm.ml: Array Buffer Bytes Char Gcheap Hashtbl Ir List Machdesc Option Printf String

@@ -1,0 +1,1 @@
+lib/machine/vm.mli: Gcheap Ir Machdesc

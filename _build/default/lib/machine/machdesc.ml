@@ -1,0 +1,72 @@
+(** Cost models for the paper's three measurement machines.
+
+    The absolute cycle numbers are nominal; what matters for reproducing the
+    tables is the relative structure: SPARCs are three-operand RISCs with a
+    free register+register address mode and 32 registers, the Pentium is a
+    two-operand machine with 8 registers (so an extra move is charged when a
+    three-address IR instruction's destination differs from its first
+    operand, and spills are more common).  The SPARCstation 2 is the same
+    ISA as the SPARCstation 10 with a slower memory system. *)
+
+type t = {
+  md_name : string;
+  md_regs : int;  (** physical register file size *)
+  md_two_operand : bool;
+  md_cost_alu : int;
+  md_cost_mul : int;
+  md_cost_div : int;
+  md_cost_load : int;
+  md_cost_store : int;
+  md_cost_mov : int;
+  md_cost_branch : int;
+  md_cost_call : int;  (** call + return overhead, excluding argument setup *)
+}
+
+let sparc2 =
+  {
+    md_name = "sparc2";
+    md_regs = 32;
+    md_two_operand = false;
+    md_cost_alu = 1;
+    md_cost_mul = 5;
+    md_cost_div = 20;
+    md_cost_load = 2;
+    md_cost_store = 3;
+    md_cost_mov = 1;
+    md_cost_branch = 2;
+    md_cost_call = 8;
+  }
+
+let sparc10 =
+  {
+    md_name = "sparc10";
+    md_regs = 32;
+    md_two_operand = false;
+    md_cost_alu = 1;
+    md_cost_mul = 3;
+    md_cost_div = 12;
+    md_cost_load = 2;
+    md_cost_store = 2;
+    md_cost_mov = 1;
+    md_cost_branch = 1;
+    md_cost_call = 6;
+  }
+
+let pentium90 =
+  {
+    md_name = "pentium90";
+    md_regs = 8;
+    md_two_operand = true;
+    md_cost_alu = 1;
+    md_cost_mul = 4;
+    md_cost_div = 25;
+    md_cost_load = 2;
+    md_cost_store = 1;
+    md_cost_mov = 1;
+    md_cost_branch = 1;
+    md_cost_call = 5;
+  }
+
+let all = [ sparc2; sparc10; pentium90 ]
+
+let by_name name = List.find_opt (fun m -> m.md_name = name) all

@@ -1,0 +1,28 @@
+(** Cost models for the paper's three measurement machines.  The absolute
+    cycle numbers are nominal; the relative structure matters: SPARCs are
+    32-register three-operand RISCs with free register+register address
+    modes, the Pentium is an 8-register two-operand machine. *)
+
+type t = {
+  md_name : string;
+  md_regs : int;
+  md_two_operand : bool;
+  md_cost_alu : int;
+  md_cost_mul : int;
+  md_cost_div : int;
+  md_cost_load : int;
+  md_cost_store : int;
+  md_cost_mov : int;
+  md_cost_branch : int;
+  md_cost_call : int;
+}
+
+val sparc2 : t
+
+val sparc10 : t
+
+val pentium90 : t
+
+val all : t list
+
+val by_name : string -> t option

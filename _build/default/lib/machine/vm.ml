@@ -1,0 +1,577 @@
+(** The virtual machine: executes IR programs against the conservative
+    collector, with per-machine cycle accounting.
+
+    GC roots are exactly what a conservative collector sees on a real
+    machine: every frame's register file (stale values included — that is
+    what makes conservative GC usually safe even for unannotated code), the
+    VM stack region and the statics region (both uncollectable heap blocks,
+    scanned as roots by {!Gcheap.Heap.collect}).
+
+    Collections are triggered by allocation volume, and — when
+    [vm_async_gc] is set — at arbitrary instruction boundaries, modelling
+    the paper's "multiple threads of control" assumption under which a
+    collection may be triggered asynchronously.
+
+    Every load and store is checked against the heap map, so touching a
+    prematurely collected (swept and poisoned) object is reported as a
+    [GC safety violation] rather than silently reading garbage. *)
+
+open Ir.Instr
+
+exception Fault of string
+
+type config = {
+  vm_machine : Machdesc.t;
+  vm_async_gc : int option;  (** force a collection every n instructions *)
+  vm_gc_at_calls_only : bool;
+      (** restrict forced collections to call instructions — the
+          environment assumed by the paper's optimization (4) *)
+  vm_all_interior : bool;
+      (** collector recognizes interior pointers everywhere (default); off
+          reproduces the Extensions-section root-only mode *)
+  vm_gc_threshold : int;  (** allocation volume between collections *)
+  vm_max_instrs : int;  (** runaway guard *)
+  vm_stack_bytes : int;
+}
+
+let default_config ?(machine = Machdesc.sparc10) () =
+  {
+    vm_machine = machine;
+    vm_async_gc = None;
+    vm_gc_at_calls_only = false;
+    vm_all_interior = true;
+    vm_gc_threshold = 256 * 1024;
+    vm_max_instrs = 400_000_000;
+    vm_stack_bytes = 256 * 1024;
+  }
+
+type frame = {
+  fr_func : func;
+  fr_regs : int array;
+  fr_base : int;  (** frame base address in the VM stack region *)
+  fr_blocks : (label, block) Hashtbl.t;
+  mutable fr_block : block;
+  mutable fr_pc : instr list;  (** instructions left in the current block *)
+  fr_dst : reg option;  (** caller register receiving our result *)
+}
+
+type state = {
+  cfg : config;
+  heap : Gcheap.Heap.t;
+  funcs : (string, func) Hashtbl.t;
+  statics_base : int;
+  stack_base : int;
+  mutable sp : int;  (** next free offset within the stack region *)
+  mutable frames : frame list;  (** innermost first *)
+  mutable depth : int;  (** call depth, for frames with empty frame areas *)
+  out : Buffer.t;
+  mutable instrs : int;
+  mutable cycles : int;
+  mutable gc_count : int;
+  mutable rand_state : int;
+  mutable arg_queue : int list;  (** reversed: arguments pushed so far *)
+  mutable at_call : bool;  (** the last executed instruction was a call *)
+}
+
+type result = {
+  r_exit : int;
+  r_output : string;
+  r_instrs : int;
+  r_cycles : int;
+  r_gc_count : int;
+  r_heap : Gcheap.Heap.stats;
+}
+
+exception Exit_program of int
+
+(* ------------------------------------------------------------------ *)
+(* Setup                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
+    state =
+  let heap_config = Gcheap.Heap.default_config () in
+  heap_config.Gcheap.Heap.gc_threshold <- cfg.vm_gc_threshold;
+  heap_config.Gcheap.Heap.all_interior <- cfg.vm_all_interior;
+  let heap = Gcheap.Heap.create ~config:heap_config () in
+  let statics_base =
+    Gcheap.Heap.alloc ~kind:Gcheap.Block.Uncollectable heap
+      (max 8 (Bytes.length p.p_statics))
+  in
+  Bytes.iteri
+    (fun i c ->
+      Gcheap.Mem.store heap.Gcheap.Heap.mem ~width:1 (statics_base + i)
+        (Char.code c))
+    p.p_statics;
+  List.iter
+    (fun (slot, target) ->
+      Gcheap.Mem.store_word heap.Gcheap.Heap.mem (statics_base + slot)
+        (statics_base + target))
+    statics_relocs;
+  let stack_base =
+    Gcheap.Heap.alloc ~kind:Gcheap.Block.Stack heap cfg.vm_stack_bytes
+  in
+  let funcs = Hashtbl.create 16 in
+  List.iter (fun f -> Hashtbl.replace funcs f.fn_name f) p.p_funcs;
+  {
+    cfg;
+    heap;
+    funcs;
+    statics_base;
+    stack_base;
+    sp = 0;
+    frames = [];
+    depth = 0;
+    out = Buffer.create 256;
+    instrs = 0;
+    cycles = 0;
+    gc_count = 0;
+    rand_state = 42;
+    arg_queue = [];
+    at_call = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let collect st =
+  st.gc_count <- st.gc_count + 1;
+  let roots =
+    List.concat_map (fun fr -> Array.to_list fr.fr_regs) st.frames
+  in
+  (* only the live prefix of the stack is scanned, as on a real machine *)
+  let live_stack = (st.stack_base, st.stack_base + st.sp) in
+  ignore
+    (Gcheap.Heap.collect ~extra_roots:roots ~extra_ranges:[ live_stack ]
+       st.heap)
+
+let maybe_collect_for_alloc st =
+  if Gcheap.Heap.should_collect st.heap then collect st
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let push_frame st (f : func) (args : int list) (dst : reg option) =
+  let frame_size = (f.fn_frame + 15) / 16 * 16 in
+  st.depth <- st.depth + 1;
+  if
+    st.sp + frame_size > st.cfg.vm_stack_bytes
+    || st.depth > st.cfg.vm_stack_bytes / 64
+  then raise (Fault "stack overflow");
+  let base = st.stack_base + st.sp in
+  st.sp <- st.sp + frame_size;
+  let regs = Array.make (max f.fn_nreg 1) 0 in
+  regs.(fp) <- base;
+  (try
+     List.iter2 (fun r v -> regs.(r) <- v) f.fn_params args
+   with Invalid_argument _ ->
+     raise (Fault (Printf.sprintf "arity mismatch calling %s" f.fn_name)));
+  let blocks = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace blocks b.b_label b) f.fn_blocks;
+  let entry = List.hd f.fn_blocks in
+  st.frames <-
+    {
+      fr_func = f;
+      fr_regs = regs;
+      fr_base = base;
+      fr_blocks = blocks;
+      fr_block = entry;
+      fr_pc = entry.b_instrs;
+      fr_dst = dst;
+    }
+    :: st.frames
+
+let pop_frame st (ret : int) =
+  match st.frames with
+  | [] -> raise (Fault "return with no frame")
+  | fr :: rest ->
+      let frame_size = (fr.fr_func.fn_frame + 15) / 16 * 16 in
+      (* clear the dead frame so stale locals do not linger as roots *)
+      if frame_size > 0 then
+        Gcheap.Mem.fill st.heap.Gcheap.Heap.mem fr.fr_base frame_size '\000';
+      st.sp <- st.sp - frame_size;
+      st.depth <- st.depth - 1;
+      st.frames <- rest;
+      (match (fr.fr_dst, rest) with
+      | Some d, caller :: _ -> caller.fr_regs.(d) <- ret
+      | _, _ -> ());
+      (match rest with [] -> raise (Exit_program ret) | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Memory access with safety checking                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_access st addr len what =
+  if not (Gcheap.Heap.valid_access st.heap addr len) then
+    raise
+      (Fault
+         (Printf.sprintf
+            "GC safety violation: %s of %d byte(s) at %#x hits unallocated \
+             or collected memory"
+            what len addr))
+
+let load_mem st width addr =
+  check_access st addr (bytes_of_width width) "load";
+  Gcheap.Mem.load st.heap.Gcheap.Heap.mem ~width:(bytes_of_width width) addr
+
+let store_mem st width addr v =
+  check_access st addr (bytes_of_width width) "store";
+  Gcheap.Mem.store st.heap.Gcheap.Heap.mem ~width:(bytes_of_width width) addr v
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cstring st addr =
+  check_access st addr 1 "string read";
+  Gcheap.Mem.load_cstring st.heap.Gcheap.Heap.mem addr
+
+let charge st n = st.cycles <- st.cycles + n
+
+let alloc st n =
+  maybe_collect_for_alloc st;
+  Gcheap.Heap.alloc st.heap (max n 1)
+
+(* printf with the subset of conversions the workloads use *)
+let do_printf st fmt args =
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> raise (Fault "printf: not enough arguments")
+    | a :: rest ->
+        args := rest;
+        a
+  in
+  let n = String.length fmt in
+  let buf = Buffer.create 32 in
+  let rec loop i =
+    if i < n then
+      if fmt.[i] = '%' && i + 1 < n then begin
+        (match fmt.[i + 1] with
+        | 'd' | 'i' -> Buffer.add_string buf (string_of_int (next ()))
+        | 'l' ->
+            (* %ld *)
+            Buffer.add_string buf (string_of_int (next ()))
+        | 'x' -> Buffer.add_string buf (Printf.sprintf "%x" (next ()))
+        | 'c' -> Buffer.add_char buf (Char.chr (next () land 0xff))
+        | 's' -> Buffer.add_string buf (cstring st (next ()))
+        | 'p' -> Buffer.add_string buf (Printf.sprintf "0x%x" (next ()))
+        | '%' -> Buffer.add_char buf '%'
+        | c -> raise (Fault (Printf.sprintf "printf: unsupported %%%c" c)));
+        let skip =
+          match fmt.[i + 1] with
+          | 'l' when i + 2 < n && (fmt.[i + 2] = 'd' || fmt.[i + 2] = 'u') -> 3
+          | _ -> 2
+        in
+        loop (i + skip)
+      end
+      else begin
+        Buffer.add_char buf fmt.[i];
+        loop (i + 1)
+      end
+  in
+  loop 0;
+  Buffer.add_buffer st.out buf;
+  Buffer.length buf
+
+let builtin st name (args : int list) : int =
+  let m = st.cfg.vm_machine in
+  charge st m.Machdesc.md_cost_call;
+  match (name, args) with
+  | ("malloc" | "GC_malloc"), [ n ] ->
+      charge st 40;
+      alloc st n
+  | "GC_malloc_atomic", [ n ] ->
+      charge st 40;
+      maybe_collect_for_alloc st;
+      Gcheap.Heap.alloc ~kind:Gcheap.Block.Atomic st.heap (max n 1)
+  | "calloc", [ a; b ] ->
+      charge st 45;
+      alloc st (a * b)
+  | "realloc", [ p; n ] ->
+      charge st 50;
+      if p = 0 then alloc st n
+      else begin
+        let fresh = alloc st n in
+        (match Gcheap.Heap.extent_of st.heap p with
+        | Some (base, size) ->
+            let old_len = size - (p - base) in
+            let len = min n old_len in
+            charge st (len / 8);
+            Gcheap.Mem.blit st.heap.Gcheap.Heap.mem ~src:p ~dst:fresh len
+        | None -> raise (Fault "realloc of non-heap pointer"));
+        fresh
+      end
+  | "free", [ _ ] -> 0 (* removed: the collector reclaims *)
+  | "GC_base", [ p ] ->
+      charge st 6;
+      Option.value ~default:0 (Gcheap.Heap.base_of st.heap p)
+  | "GC_same_obj", [ p; q ] -> (
+      charge st 15;
+      try Gcheap.Heap.same_obj st.heap p q
+      with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
+  | "GC_check_range", [ p; n ] -> (
+      charge st 10;
+      try Gcheap.Heap.check_range st.heap p n
+      with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
+  | "GC_check_base", [ v ] -> (
+      charge st 8;
+      try Gcheap.Heap.check_base st.heap v
+      with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
+  | "GC_pre_incr", [ pp; delta ] -> (
+      charge st 18;
+      check_access st pp 8 "GC_pre_incr";
+      try Gcheap.Heap.pre_incr st.heap pp delta
+      with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
+  | "GC_post_incr", [ pp; delta ] -> (
+      charge st 18;
+      check_access st pp 8 "GC_post_incr";
+      try Gcheap.Heap.post_incr st.heap pp delta
+      with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
+  | "GC_collect", [] ->
+      collect st;
+      0
+  | "strlen", [ s ] ->
+      let v = String.length (cstring st s) in
+      charge st (2 * v);
+      v
+  | "strcpy", [ d; s ] ->
+      let v = cstring st s in
+      charge st (2 * String.length v);
+      check_access st d (String.length v + 1) "strcpy";
+      Gcheap.Mem.store_cstring st.heap.Gcheap.Heap.mem d v;
+      d
+  | "strcat", [ d; s ] ->
+      let dv = cstring st d and sv = cstring st s in
+      charge st (2 * (String.length dv + String.length sv));
+      check_access st (d + String.length dv) (String.length sv + 1) "strcat";
+      Gcheap.Mem.store_cstring st.heap.Gcheap.Heap.mem (d + String.length dv) sv;
+      d
+  | "strcmp", [ a; b ] ->
+      let av = cstring st a and bv = cstring st b in
+      charge st (2 * min (String.length av) (String.length bv));
+      compare av bv
+  | "strncmp", [ a; b; n ] ->
+      let take s = if String.length s > n then String.sub s 0 n else s in
+      let av = take (cstring st a) and bv = take (cstring st b) in
+      charge st (2 * n);
+      compare av bv
+  | "strchr", [ s; c ] -> (
+      let v = cstring st s in
+      charge st (2 * String.length v);
+      match String.index_opt v (Char.chr (c land 0xff)) with
+      | Some i -> s + i
+      | None -> 0)
+  | ("memcpy" | "memmove"), [ d; s; n ] ->
+      charge st (max 4 (n / 4));
+      if n > 0 then begin
+        check_access st d n "memcpy dst";
+        check_access st s n "memcpy src";
+        Gcheap.Mem.blit st.heap.Gcheap.Heap.mem ~src:s ~dst:d n
+      end;
+      d
+  | "memset", [ d; c; n ] ->
+      charge st (max 4 (n / 4));
+      if n > 0 then begin
+        check_access st d n "memset";
+        Gcheap.Mem.fill st.heap.Gcheap.Heap.mem d n (Char.chr (c land 0xff))
+      end;
+      d
+  | "putchar", [ c ] ->
+      charge st 10;
+      Buffer.add_char st.out (Char.chr (c land 0xff));
+      c
+  | "puts", [ s ] ->
+      let v = cstring st s in
+      charge st (10 + String.length v);
+      Buffer.add_string st.out v;
+      Buffer.add_char st.out '\n';
+      0
+  | "print_int", [ v ] ->
+      charge st 10;
+      Buffer.add_string st.out (string_of_int v);
+      0
+  | "print_str", [ s ] ->
+      let v = cstring st s in
+      charge st (10 + String.length v);
+      Buffer.add_string st.out v;
+      0
+  | "printf", fmt_addr :: rest ->
+      let fmt = cstring st fmt_addr in
+      charge st (10 + String.length fmt);
+      do_printf st fmt rest
+  | "abort", [] -> raise (Fault "abort() called")
+  | "exit", [ code ] -> raise (Exit_program code)
+  | "rand", [] ->
+      st.rand_state <- (st.rand_state * 1103515245) + 12345;
+      (st.rand_state asr 16) land 0x3fffffff
+  | "srand", [ seed ] ->
+      st.rand_state <- seed;
+      0
+  | "abs", [ v ] -> abs v
+  | "assert_true", [ v ] ->
+      if v = 0 then raise (Fault "assertion failed");
+      0
+  | "fread", _ -> 0
+  | "scanf", _ -> raise (Fault "scanf is not executable in the VM")
+  | _ ->
+      raise
+        (Fault
+           (Printf.sprintf "unknown builtin %s/%d" name (List.length args)))
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let operand st fr = function
+  | Reg r -> fr.fr_regs.(r)
+  | Imm n -> n
+  | Glob off -> st.statics_base + off
+
+let eval_bin op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then raise (Fault "division by zero") else a / b
+  | Mod -> if b = 0 then raise (Fault "division by zero") else a mod b
+  | Shl -> a lsl (b land 63)
+  | Shr -> a asr (b land 63)
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+
+let eval_rel op a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let instr_cost st fr (i : instr) =
+  let m = st.cfg.vm_machine in
+  match i with
+  | Mov _ | Opaque _ -> m.Machdesc.md_cost_mov
+  | Bin (op, d, a, _) ->
+      let base =
+        match op with
+        | Mul -> m.Machdesc.md_cost_mul
+        | Div | Mod -> m.Machdesc.md_cost_div
+        | _ -> m.Machdesc.md_cost_alu
+      in
+      (* two-operand machines need a move when dst <> first source *)
+      let penalty =
+        if m.Machdesc.md_two_operand && a <> Reg d then
+          m.Machdesc.md_cost_mov
+        else 0
+      in
+      ignore fr;
+      base + penalty
+  | Rel _ -> m.Machdesc.md_cost_alu + 1
+  | Load _ -> m.Machdesc.md_cost_load
+  | Store _ -> m.Machdesc.md_cost_store
+  | Push _ -> m.Machdesc.md_cost_mov
+  | Call _ -> 0 (* overhead charged at dispatch, body separately *)
+  | KeepLive _ -> 0
+
+let rec step st =
+  match st.frames with
+  | [] -> raise (Fault "no frame")
+  | fr :: _ -> (
+      match fr.fr_pc with
+      | i :: rest ->
+          fr.fr_pc <- rest;
+          st.instrs <- st.instrs + 1;
+          st.cycles <- st.cycles + instr_cost st fr i;
+          st.at_call <- (match i with Call _ -> true | _ -> false);
+          (match i with
+          | Mov (d, s) -> fr.fr_regs.(d) <- operand st fr s
+          | Opaque (d, s) -> fr.fr_regs.(d) <- operand st fr s
+          | Bin (op, d, a, b) ->
+              fr.fr_regs.(d) <- eval_bin op (operand st fr a) (operand st fr b)
+          | Rel (op, d, a, b) ->
+              fr.fr_regs.(d) <- eval_rel op (operand st fr a) (operand st fr b)
+          | Load (w, d, base, off) ->
+              fr.fr_regs.(d) <-
+                load_mem st w (operand st fr base + operand st fr off)
+          | Store (w, src, base, off) ->
+              store_mem st w
+                (operand st fr base + operand st fr off)
+                (operand st fr src)
+          | KeepLive _ -> ()
+          | Push v -> st.arg_queue <- operand st fr v :: st.arg_queue
+          | Call (dst, fname, nargs) -> (
+              let vargs =
+                let rec take n acc q =
+                  if n = 0 then (acc, q)
+                  else
+                    match q with
+                    | v :: rest -> take (n - 1) (v :: acc) rest
+                    | [] -> raise (Fault "argument queue underflow")
+                in
+                let args, rest = take nargs [] st.arg_queue in
+                st.arg_queue <- rest;
+                args
+              in
+              match Hashtbl.find_opt st.funcs fname with
+              | Some f ->
+                  st.cycles <- st.cycles + st.cfg.vm_machine.Machdesc.md_cost_call;
+                  push_frame st f vargs dst
+              | None ->
+                  let r = builtin st fname vargs in
+                  Option.iter (fun d -> fr.fr_regs.(d) <- r) dst))
+      | [] ->
+          (* terminator *)
+          st.instrs <- st.instrs + 1;
+          st.cycles <- st.cycles + st.cfg.vm_machine.Machdesc.md_cost_branch;
+          (match fr.fr_block.b_term with
+          | Jmp l -> jump st fr l
+          | Br (c, l1, l2) ->
+              if operand st fr c <> 0 then jump st fr l1 else jump st fr l2
+          | Ret v ->
+              let rv = match v with Some o -> operand st fr o | None -> 0 in
+              pop_frame st rv))
+
+and jump st fr l =
+  ignore st;
+  match Hashtbl.find_opt fr.fr_blocks l with
+  | Some b ->
+      fr.fr_block <- b;
+      fr.fr_pc <- b.b_instrs
+  | None -> raise (Fault (Printf.sprintf "jump to unknown label L%d" l))
+
+(** Run [main] to completion. *)
+let run ?(config = default_config ()) ?(args = []) (p : program) : result =
+  let st = load config p p.p_relocs in
+  (match Hashtbl.find_opt st.funcs "main" with
+  | Some f -> push_frame st f args None
+  | None -> raise (Fault "no main function"));
+  let exit_code = ref 0 in
+  (try
+     while true do
+       step st;
+       (match config.vm_async_gc with
+       | Some n
+         when st.instrs mod n = 0
+              && ((not config.vm_gc_at_calls_only) || st.at_call) ->
+           collect st
+       | _ -> ());
+       if st.instrs > config.vm_max_instrs then
+         raise (Fault "instruction budget exceeded")
+     done
+   with Exit_program code -> exit_code := code);
+  {
+    r_exit = !exit_code;
+    r_output = Buffer.contents st.out;
+    r_instrs = st.instrs;
+    r_cycles = st.cycles;
+    r_gc_count = st.gc_count;
+    r_heap = st.heap.Gcheap.Heap.stats;
+  }

@@ -1,0 +1,43 @@
+(** The virtual machine: executes IR programs against the conservative
+    collector, with per-machine cycle accounting.
+
+    GC roots are what a conservative collector sees on a real machine:
+    every frame's register file (stale values included), the VM stack and
+    the statics region.  Collections trigger on allocation volume and —
+    when [vm_async_gc] is set — at arbitrary instruction boundaries,
+    modelling asynchronously triggered collection.  Every load and store
+    is checked against the heap map, so touching a prematurely collected
+    object faults instead of silently reading poisoned memory. *)
+
+exception Fault of string
+
+type config = {
+  vm_machine : Machdesc.t;
+  vm_async_gc : int option;  (** force a collection every n instructions *)
+  vm_gc_at_calls_only : bool;
+      (** restrict forced collections to call instructions — the
+          environment assumed by the paper's optimization (4) *)
+  vm_all_interior : bool;
+      (** collector recognizes interior pointers everywhere (default);
+          [false] reproduces the Extensions-section root-only mode *)
+  vm_gc_threshold : int;  (** allocation volume between collections *)
+  vm_max_instrs : int;  (** runaway guard *)
+  vm_stack_bytes : int;
+}
+
+val default_config : ?machine:Machdesc.t -> unit -> config
+
+type result = {
+  r_exit : int;
+  r_output : string;
+  r_instrs : int;
+  r_cycles : int;
+  r_gc_count : int;
+  r_heap : Gcheap.Heap.stats;
+}
+
+exception Exit_program of int
+
+val run : ?config:config -> ?args:int list -> Ir.Instr.program -> result
+(** Run [main] to completion.  @raise Fault on memory-safety violations,
+    runtime errors, or exhausted budgets. *)

@@ -1,0 +1,1 @@
+lib/opt/collapse.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/opt/induction.ml: Array Hashtbl Ir List Option

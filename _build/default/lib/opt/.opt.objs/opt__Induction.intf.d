@@ -1,0 +1,1 @@
+lib/opt/induction.mli: Ir

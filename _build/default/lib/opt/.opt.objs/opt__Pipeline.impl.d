@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Collapse Constfold Copyprop Cse Dce Induction Ir List Ptr_strength Regalloc Simplify_cfg

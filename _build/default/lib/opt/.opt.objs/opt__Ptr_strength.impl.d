@@ -1,0 +1,1 @@
+lib/opt/ptr_strength.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/opt/regalloc.ml: Array Fun Hashtbl Int Ir List

@@ -1,0 +1,1 @@
+lib/opt/regalloc.mli: Ir

@@ -1,0 +1,49 @@
+(** Adjacent move collapsing (standard backend cleanup).
+
+    [def t; mov v, t] with [t] used nowhere else becomes a single
+    instruction defining [v] directly.  Adjacency makes the rewrite
+    unconditionally sound: any read of [v] by the defining instruction sees
+    the old value either way.  [Opaque] definitions collapse too — the
+    result is still opaque, only its home changes, which is exactly the
+    "same location" constraint of the paper's gcc implementation.
+
+    Without this pass our baseline would be artificially sloppy and the
+    peephole postprocessor would "win back" time the paper's baseline
+    compiler never lost. *)
+
+open Ir.Instr
+
+let use_counts (f : func) =
+  let counts = Hashtbl.create 64 in
+  let bump r =
+    Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r))
+  in
+  List.iter
+    (fun b ->
+      List.iter (fun i -> List.iter bump (uses i)) b.b_instrs;
+      List.iter bump (term_uses b.b_term))
+    f.fn_blocks;
+  fun r -> Option.value ~default:0 (Hashtbl.find_opt counts r)
+
+let set_def d = function
+  | Mov (_, s) -> Mov (d, s)
+  | Bin (op, _, a, b) -> Bin (op, d, a, b)
+  | Rel (op, _, a, b) -> Rel (op, d, a, b)
+  | Load (w, _, a, b) -> Load (w, d, a, b)
+  | Opaque (_, s) -> Opaque (d, s)
+  | Call (Some _, fn, n) -> Call (Some d, fn, n)
+  | i -> i
+
+let run (f : func) =
+  let uses_of = use_counts f in
+  List.iter
+    (fun b ->
+      let rec rewrite = function
+        | i1 :: Mov (v, Reg t) :: rest
+          when def i1 = Some t && t <> v && uses_of t = 1 ->
+            set_def v i1 :: rewrite rest
+        | i :: rest -> i :: rewrite rest
+        | [] -> []
+      in
+      b.b_instrs <- rewrite b.b_instrs)
+    f.fn_blocks

@@ -1,0 +1,5 @@
+(** Adjacent move collapsing: [def t; mov v, t] with [t] used nowhere else
+    becomes a single instruction defining [v].  Keeps the baseline honest
+    so the peephole postprocessor only wins back annotation overhead. *)
+
+val run : Ir.Instr.func -> unit

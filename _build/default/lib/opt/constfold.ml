@@ -1,0 +1,52 @@
+(** Constant folding and algebraic simplification. *)
+
+open Ir.Instr
+
+let eval_bin op a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Mul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Mod -> if b = 0 then None else Some (a mod b)
+  | Shl -> Some (a lsl (b land 63))
+  | Shr -> Some (a asr (b land 63))
+  | And -> Some (a land b)
+  | Or -> Some (a lor b)
+  | Xor -> Some (a lxor b)
+
+let eval_rel op a b =
+  let r =
+    match op with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let fold_instr i =
+  match i with
+  | Bin (op, d, Imm a, Imm b) -> (
+      match eval_bin op a b with Some v -> Mov (d, Imm v) | None -> i)
+  | Bin ((Add | Sub), d, x, Imm 0) -> Mov (d, x)
+  | Bin (Add, d, Imm 0, x) -> Mov (d, x)
+  | Bin (Mul, d, x, Imm 1) -> Mov (d, x)
+  | Bin (Mul, d, Imm 1, x) -> Mov (d, x)
+  | Bin (Mul, d, _, Imm 0) -> Mov (d, Imm 0)
+  | Rel (op, d, Imm a, Imm b) -> Mov (d, Imm (eval_rel op a b))
+  | _ -> i
+
+let run (f : func) =
+  List.iter
+    (fun b ->
+      b.b_instrs <- List.map fold_instr b.b_instrs;
+      (* fold constant branches *)
+      b.b_term <-
+        (match b.b_term with
+        | Br (Imm 0, _, l2) -> Jmp l2
+        | Br (Imm _, l1, _) -> Jmp l1
+        | t -> t))
+    f.fn_blocks

@@ -1,0 +1,4 @@
+(** Constant folding, algebraic simplification, and constant-branch
+    folding. *)
+
+val run : Ir.Instr.func -> unit

@@ -1,0 +1,39 @@
+(** Block-local copy and constant propagation.
+
+    [Mov (d, s)] makes later uses of [d] use [s] directly, as long as
+    neither is redefined.  [Opaque] definitions are never propagated:
+    KEEP_LIVE results must remain explicitly stored, and the compiler has
+    "lost all information about how the resulting value was computed". *)
+
+open Ir.Instr
+
+let run_block (b : block) =
+  let env : (reg, operand) Hashtbl.t = Hashtbl.create 16 in
+  let invalidate r =
+    Hashtbl.remove env r;
+    (* drop any mapping whose source was r *)
+    let victims =
+      Hashtbl.fold
+        (fun d s acc -> if s = Reg r then d :: acc else acc)
+        env []
+    in
+    List.iter (Hashtbl.remove env) victims
+  in
+  let subst r =
+    match Hashtbl.find_opt env r with Some o -> o | None -> Reg r
+  in
+  let instrs =
+    List.map
+      (fun i ->
+        let i = map_instr_ops subst i in
+        (match Ir.Instr.def i with Some d -> invalidate d | None -> ());
+        (match i with
+        | Mov (d, s) when s <> Reg d -> Hashtbl.replace env d s
+        | _ -> ());
+        i)
+      b.b_instrs
+  in
+  b.b_instrs <- instrs;
+  b.b_term <- map_term_ops subst b.b_term
+
+let run (f : func) = List.iter run_block f.fn_blocks

@@ -1,0 +1,53 @@
+(** Block-local common subexpression elimination over pure ALU results.
+
+    [Opaque] results are never CSE sources or targets: "the compiler loses
+    all information about how the resulting value was computed, thus
+    preventing it from discarding the value and subsequently recomputing
+    it" — and conversely from reusing an older computation for it. *)
+
+open Ir.Instr
+
+type key = K_bin of binop * operand * operand | K_rel of relop * operand * operand
+
+let run_block (b : block) =
+  let avail : (key, reg) Hashtbl.t = Hashtbl.create 16 in
+  let kill r =
+    let victims =
+      Hashtbl.fold
+        (fun k v acc ->
+          let ops =
+            match k with K_bin (_, a, b) | K_rel (_, a, b) -> [ a; b ]
+          in
+          if v = r || List.mem (Reg r) ops then k :: acc else acc)
+        avail []
+    in
+    List.iter (Hashtbl.remove avail) victims
+  in
+  let instrs =
+    List.map
+      (fun i ->
+        let key =
+          match i with
+          | Bin (op, _, a, b) -> Some (K_bin (op, a, b))
+          | Rel (op, _, a, b) -> Some (K_rel (op, a, b))
+          | _ -> None
+        in
+        let i =
+          match (i, key) with
+          | (Bin (_, d, _, _) | Rel (_, d, _, _)), Some k -> (
+              match Hashtbl.find_opt avail k with
+              | Some r when r <> d -> Mov (d, Reg r)
+              | _ -> i)
+          | _ -> i
+        in
+        (match Ir.Instr.def i with Some d -> kill d | None -> ());
+        (match (i, key) with
+        | (Bin (_, d, _, _) | Rel (_, d, _, _)), Some k ->
+            Hashtbl.replace avail k d
+        | _ -> ());
+        i)
+      b.b_instrs
+  in
+  b.b_instrs <- instrs
+
+let run (f : func) = List.iter run_block f.fn_blocks

@@ -1,0 +1,4 @@
+(** Block-local common subexpression elimination over pure ALU results.
+    [Opaque] results are never CSE sources or targets. *)
+
+val run : Ir.Instr.func -> unit

@@ -1,0 +1,52 @@
+(** Liveness-based dead code elimination.
+
+    Removes pure instructions whose result is dead.  [Opaque] definitions
+    with dead results are removable (they have no observable effect); the
+    [KeepLive] marker itself is a side effect and always survives — it is
+    the compiler's promise to the collector. *)
+
+open Ir.Instr
+
+let run (f : func) =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let live = Ir.Liveness.compute f in
+    List.iter
+      (fun b ->
+        let after = Ir.Liveness.per_instr live b in
+        let keep = ref [] in
+        List.iteri
+          (fun idx i ->
+            let dead =
+              match Ir.Instr.def i with
+              | Some d ->
+                  (not (Ir.Liveness.ISet.mem d after.(idx)))
+                  && not (has_side_effect i)
+              | None -> false
+            in
+            if dead then changed := true else keep := i :: !keep)
+          b.b_instrs;
+        b.b_instrs <- List.rev !keep)
+      f.fn_blocks
+  done
+
+(** Also drop trivially unreachable blocks (no predecessors, not entry). *)
+let prune_unreachable (f : func) =
+  match f.fn_blocks with
+  | [] -> ()
+  | entry :: _ ->
+      let reachable = Hashtbl.create 16 in
+      let by_label = Hashtbl.create 16 in
+      List.iter (fun b -> Hashtbl.replace by_label b.b_label b) f.fn_blocks;
+      let rec visit l =
+        if not (Hashtbl.mem reachable l) then begin
+          Hashtbl.replace reachable l ();
+          match Hashtbl.find_opt by_label l with
+          | Some b -> List.iter visit (successors b.b_term)
+          | None -> ()
+        end
+      in
+      visit entry.b_label;
+      f.fn_blocks <-
+        List.filter (fun b -> Hashtbl.mem reachable b.b_label) f.fn_blocks

@@ -1,0 +1,7 @@
+(** Liveness-based dead code elimination.  Dead [Opaque] results are
+    removable; [KeepLive] markers always survive. *)
+
+val run : Ir.Instr.func -> unit
+
+val prune_unreachable : Ir.Instr.func -> unit
+(** Drop blocks unreachable from the entry. *)

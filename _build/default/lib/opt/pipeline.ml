@@ -1,0 +1,64 @@
+(** The optimizer: pass ordering and configurations.
+
+    The "conventional optimizing compiler" of the paper is this pipeline
+    with [disguise_pointers = true] (the default — that is the behaviour
+    conservative GC users live with); setting it to [false] is not a
+    meaningful configuration, because GC-safety is supposed to come from
+    the KEEP_LIVE annotations surviving an *unmodified* optimizer, not from
+    switching optimizations off.  It exists for the ablation bench only. *)
+
+type config = {
+  optimize : bool;  (** run the scalar optimizations at all (-O vs -g) *)
+  disguise_pointers : bool;
+      (** run the pointer strength-reduction / base-register-reuse pass *)
+  nregs : int;  (** machine register file size for allocation *)
+}
+
+let default = { optimize = true; disguise_pointers = true; nregs = 32 }
+
+type func_stats = {
+  fs_spills : int;
+  fs_coalesced : int;
+}
+
+(** Optimize and register-allocate one function in place. *)
+let run_func (cfg : config) (f : Ir.Instr.func) : func_stats =
+  if cfg.optimize then begin
+    (* two rounds: copy propagation exposes folds, folds expose dead code *)
+    for _round = 1 to 2 do
+      Copyprop.run f;
+      Constfold.run f;
+      Cse.run f;
+      if cfg.disguise_pointers then Ptr_strength.run f;
+      Dce.run f
+    done;
+    Collapse.run f;
+    Simplify_cfg.run f;
+    (* loop optimizations want the merged two-block loop shape *)
+    Induction.run f;
+    Dce.run f;
+    Collapse.run f;
+    Simplify_cfg.run f
+  end
+  else
+    (* even unoptimized compilers emit straight jumps, not chains of empty
+       blocks: clean the CFG so -g cycle counts are not inflated by an
+       artifact of the structured lowering *)
+    Simplify_cfg.run f;
+  let r = Regalloc.run ~nregs:cfg.nregs f in
+  { fs_spills = r.Regalloc.ra_spills; fs_coalesced = r.Regalloc.ra_moves_coalesced }
+
+type program_stats = {
+  ps_spills : int;
+  ps_coalesced : int;
+}
+
+let run_program (cfg : config) (p : Ir.Instr.program) : program_stats =
+  let spills = ref 0 and coal = ref 0 in
+  List.iter
+    (fun f ->
+      let s = run_func cfg f in
+      spills := !spills + s.fs_spills;
+      coal := !coal + s.fs_coalesced)
+    p.Ir.Instr.p_funcs;
+  { ps_spills = !spills; ps_coalesced = !coal }

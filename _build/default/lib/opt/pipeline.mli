@@ -1,0 +1,20 @@
+(** The optimizer: pass ordering and build configurations. *)
+
+type config = {
+  optimize : bool;  (** run the scalar optimizations at all (-O vs -g) *)
+  disguise_pointers : bool;
+      (** run the pointer-disguising passes (a conventional compiler
+          does; exists for the ablation bench) *)
+  nregs : int;  (** machine register file size for allocation *)
+}
+
+val default : config
+
+type func_stats = { fs_spills : int; fs_coalesced : int }
+
+val run_func : config -> Ir.Instr.func -> func_stats
+(** Optimize and register-allocate one function in place. *)
+
+type program_stats = { ps_spills : int; ps_coalesced : int }
+
+val run_program : config -> Ir.Instr.program -> program_stats

@@ -1,0 +1,18 @@
+(** Linear-scan register allocation onto a finite machine register file.
+
+    Register 0 stays the frame pointer; three registers are reserved as
+    spill scratch.  Move and [Opaque] sources provide allocation hints, so
+    KEEP_LIVE results usually coalesce with their inputs (gcc's "same
+    location as the result" constraint); after assignment [Opaque] is
+    lowered away.  Spilled values live in frame slots, which the VM stack
+    scan sees, so spilling never endangers GC-safety. *)
+
+type result = {
+  ra_spills : int;
+  ra_moves_coalesced : int;
+}
+
+exception Too_many_params of string
+(** A function's parameters exceed the allocatable registers. *)
+
+val run : ?nregs:int -> Ir.Instr.func -> result

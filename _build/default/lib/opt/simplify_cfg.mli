@@ -1,0 +1,5 @@
+(** CFG cleanup: jump-to-jump forwarding, merging single-predecessor
+    straight-line successors, folding two-way branches with equal
+    targets, and dropping unreachable blocks. *)
+
+val run : Ir.Instr.func -> unit

@@ -1,0 +1,1 @@
+lib/peephole/postprocess.ml: Array Hashtbl Ir List

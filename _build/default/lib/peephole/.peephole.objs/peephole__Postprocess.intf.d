@@ -1,0 +1,1 @@
+lib/peephole/postprocess.mli: Ir

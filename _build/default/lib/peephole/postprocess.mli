@@ -1,0 +1,23 @@
+(** The peephole postprocessor ("A Postprocessor").
+
+    Runs on register-allocated code and applies the paper's three patterns
+    — fold an [add] into a load's address mode, forward a [mov], sink an
+    [add] into its final destination — under the paper's safety
+    constraints: the rewritten register must have no other uses and must
+    never appear as a KEEP_LIVE operand, and source registers must not be
+    redefined in between, so every value stays live in its original
+    range. *)
+
+type stats = {
+  mutable ph_fused_loads : int;
+  mutable ph_forwarded_moves : int;
+  mutable ph_sunk_adds : int;
+}
+
+val fresh_stats : unit -> stats
+
+val run_func : stats -> Ir.Instr.func -> unit
+[@@ocaml.doc "Postprocess one function in place."]
+
+val run : Ir.Instr.program -> stats
+(** Postprocess a whole program; returns the rewrite counts. *)

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cfrac Cord Gawk Gs List

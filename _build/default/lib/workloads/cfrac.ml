@@ -1,0 +1,413 @@
+(** cfrac: continued-fraction factoring over a small arbitrary-precision
+    integer layer.
+
+    The paper's cfrac is "a factoring program ... the smallest member (6000
+    lines) of Ben Zorn's benchmark collection", whose defining trait is a
+    torrent of small short-lived number objects — arbitrary-precision
+    integers allocated per operation.  This miniature keeps that trait end
+    to end: a heap bignum type (little-endian base-10000 digit arrays) with
+    add/sub/mul/div-small/cmp/to-string, the classic CFRAC recurrences for
+    the continued fraction of sqrt(N), trial division running on the
+    bignum representation, a Pollard-rho fallback on boxed longs, and a
+    final verification that multiplies the found factors back together in
+    bignum arithmetic.  Like the paper's run, no custom allocator is used:
+    every intermediate number is a fresh heap object for the collector. *)
+
+let name = "cfrac"
+
+let description =
+  "continued-fraction factoring over heap bignums [Zorn cfrac]"
+
+let source =
+  {|
+/* ================= arbitrary-precision naturals ==================== */
+/* little-endian digit arrays, base 10000; every operation allocates */
+
+int BIG_BASE;
+
+struct big {
+  int len;
+  int *d;
+};
+
+struct big *big_make(int len) {
+  struct big *b = (struct big *)malloc(sizeof(struct big));
+  int i;
+  b->len = len;
+  b->d = (int *)malloc(len * sizeof(int));
+  for (i = 0; i < len; i++) b->d[i] = 0;
+  return b;
+}
+
+struct big *big_trim(struct big *b) {
+  while (b->len > 1 && b->d[b->len - 1] == 0) b->len--;
+  return b;
+}
+
+struct big *big_from_long(long v) {
+  struct big *b = big_make(6);
+  int i = 0;
+  if (v == 0) { b->len = 1; return b; }
+  while (v > 0) {
+    b->d[i] = (int)(v % BIG_BASE);
+    v /= BIG_BASE;
+    i++;
+  }
+  b->len = i;
+  return b;
+}
+
+long big_to_long(struct big *b) {
+  long v = 0;
+  int i;
+  for (i = b->len - 1; i >= 0; i--) v = v * BIG_BASE + b->d[i];
+  return v;
+}
+
+int big_is_zero(struct big *b) { return b->len == 1 && b->d[0] == 0; }
+
+int big_cmp(struct big *a, struct big *b) {
+  int i;
+  if (a->len != b->len) return a->len < b->len ? -1 : 1;
+  for (i = a->len - 1; i >= 0; i--)
+    if (a->d[i] != b->d[i]) return a->d[i] < b->d[i] ? -1 : 1;
+  return 0;
+}
+
+struct big *big_add(struct big *a, struct big *b) {
+  int n = (a->len > b->len ? a->len : b->len) + 1;
+  struct big *r = big_make(n);
+  int carry = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    int s = carry;
+    if (i < a->len) s += a->d[i];
+    if (i < b->len) s += b->d[i];
+    r->d[i] = s % BIG_BASE;
+    carry = s / BIG_BASE;
+  }
+  return big_trim(r);
+}
+
+/* a - b, assuming a >= b */
+struct big *big_sub(struct big *a, struct big *b) {
+  struct big *r = big_make(a->len);
+  int borrow = 0;
+  int i;
+  for (i = 0; i < a->len; i++) {
+    int s = a->d[i] - borrow - (i < b->len ? b->d[i] : 0);
+    if (s < 0) { s += BIG_BASE; borrow = 1; } else borrow = 0;
+    r->d[i] = s;
+  }
+  assert_true(borrow == 0);
+  return big_trim(r);
+}
+
+struct big *big_mul_small(struct big *a, long m) {
+  struct big *r = big_make(a->len + 3);
+  long carry = 0;
+  int i;
+  for (i = 0; i < a->len; i++) {
+    long s = a->d[i] * m + carry;
+    r->d[i] = (int)(s % BIG_BASE);
+    carry = s / BIG_BASE;
+  }
+  i = a->len;
+  while (carry > 0) {
+    r->d[i] = (int)(carry % BIG_BASE);
+    carry /= BIG_BASE;
+    i++;
+  }
+  return big_trim(r);
+}
+
+struct big *big_mul(struct big *a, struct big *b) {
+  struct big *r = big_make(a->len + b->len + 1);
+  int i;
+  int j;
+  for (i = 0; i < a->len; i++) {
+    long carry = 0;
+    for (j = 0; j < b->len; j++) {
+      long s = r->d[i + j] + (long)a->d[i] * b->d[j] + carry;
+      r->d[i + j] = (int)(s % BIG_BASE);
+      carry = s / BIG_BASE;
+    }
+    j = i + b->len;
+    while (carry > 0) {
+      long s = r->d[j] + carry;
+      r->d[j] = (int)(s % BIG_BASE);
+      carry = s / BIG_BASE;
+      j++;
+    }
+  }
+  return big_trim(r);
+}
+
+/* quotient by a small divisor; remainder through *rem */
+struct big *big_div_small(struct big *a, long m, long *rem) {
+  struct big *q = big_make(a->len);
+  long r = 0;
+  int i;
+  for (i = a->len - 1; i >= 0; i--) {
+    long cur = r * BIG_BASE + a->d[i];
+    q->d[i] = (int)(cur / m);
+    r = cur % m;
+  }
+  *rem = r;
+  return big_trim(q);
+}
+
+/* decimal rendering (allocates the digit string twice over) */
+char *big_to_string(struct big *b) {
+  char *buf = (char *)malloc(b->len * 5 + 2);
+  char *p = buf;
+  struct big *cur = b;
+  char *rev;
+  int n = 0;
+  int i;
+  if (big_is_zero(b)) { buf[0] = '0'; buf[1] = '\0'; return buf; }
+  while (!big_is_zero(cur)) {
+    long digit;
+    cur = big_div_small(cur, 10, &digit);
+    *p++ = (char)('0' + digit);
+    n++;
+  }
+  rev = (char *)malloc(n + 1);
+  for (i = 0; i < n; i++) rev[i] = buf[n - 1 - i];
+  rev[n] = '\0';
+  return rev;
+}
+
+/* ================= boxed longs for the inner loops ================== */
+struct num { long v; };
+
+struct num *box(long v) {
+  struct num *n = (struct num *)malloc(sizeof(struct num));
+  n->v = v;
+  return n;
+}
+
+struct num *nadd(struct num *a, struct num *b) { return box(a->v + b->v); }
+struct num *nsub(struct num *a, struct num *b) { return box(a->v - b->v); }
+struct num *nmul(struct num *a, struct num *b) { return box(a->v * b->v); }
+struct num *ndiv(struct num *a, struct num *b) { return box(a->v / b->v); }
+struct num *nmod(struct num *a, struct num *b) { return box(a->v % b->v); }
+
+struct num *nmulmod(struct num *a, struct num *b, struct num *m) {
+  return box(a->v * b->v % m->v);
+}
+
+struct num *ngcd(struct num *a, struct num *b) {
+  struct num *x = box(a->v < 0 ? -a->v : a->v);
+  struct num *y = box(b->v < 0 ? -b->v : b->v);
+  while (y->v != 0) {
+    struct num *t = nmod(x, y);
+    x = y;
+    y = t;
+  }
+  return x;
+}
+
+struct num *nsqrt(struct num *n) {
+  long x = n->v;
+  long r = 0;
+  long bit = 1;
+  while (bit * bit <= x && bit < 2000000000) bit *= 2;
+  while (bit >= 1) {
+    if ((r + bit) * (r + bit) <= x) r += bit;
+    bit /= 2;
+    if (bit == 0) break;
+  }
+  return box(r);
+}
+
+/* ========== continued fraction expansion of sqrt(N) ================= */
+/* the CFRAC engine: m, d, a recurrences with convergent numerators mod N;
+   everything boxed, ~10 allocations per term */
+struct cf_state {
+  struct num *n;
+  struct num *a0;
+  struct num *m;
+  struct num *d;
+  struct num *a;
+  struct num *p_prev;
+  struct num *p_cur;
+};
+
+struct cf_state *cf_start(long n) {
+  struct cf_state *s = (struct cf_state *)malloc(sizeof(struct cf_state));
+  s->n = box(n);
+  s->a0 = nsqrt(s->n);
+  s->m = box(0);
+  s->d = box(1);
+  s->a = s->a0;
+  s->p_prev = box(1);
+  s->p_cur = s->a0;
+  return s;
+}
+
+void cf_step(struct cf_state *s) {
+  struct num *m2 = nsub(nmul(s->d, s->a), s->m);
+  struct num *d2 = ndiv(nsub(s->n, nmul(m2, m2)), s->d);
+  struct num *a2;
+  struct num *p2;
+  if (d2->v == 0) d2 = box(1); /* perfect square: restart the period */
+  a2 = ndiv(nadd(s->a0, m2), d2);
+  p2 = nmod(nadd(nmul(a2, s->p_cur), s->p_prev), s->n);
+  s->m = m2;
+  s->d = d2;
+  s->a = a2;
+  s->p_prev = s->p_cur;
+  s->p_cur = p2;
+}
+
+/* Q_k = d a perfect square at even k => gcd(P - sqrt(Q), N) may split N */
+struct num *cf_try_factor(long n, int max_steps) {
+  struct cf_state *s = cf_start(n);
+  int k;
+  for (k = 0; k < max_steps; k++) {
+    struct num *r;
+    cf_step(s);
+    r = nsqrt(s->d);
+    if (r->v * r->v == s->d->v && k % 2 == 1) {
+      struct num *g = ngcd(nsub(s->p_prev, r), s->n);
+      if (g->v != 1 && g->v != n) return g;
+    }
+  }
+  return box(0);
+}
+
+/* =================== Pollard rho fallback ========================== */
+struct num *rho(struct num *n) {
+  struct num *x = box(2);
+  struct num *y = box(2);
+  struct num *d = box(1);
+  struct num *one = box(1);
+  int guard = 0;
+  while (d->v == 1 && guard < 20000) {
+    x = nmod(nadd(nmulmod(x, x, n), one), n);
+    y = nmod(nadd(nmulmod(y, y, n), one), n);
+    y = nmod(nadd(nmulmod(y, y, n), one), n);
+    d = ngcd(nsub(x, y), n);
+    guard++;
+  }
+  return d;
+}
+
+/* ================== factorization driver ============================ */
+long factors[64];
+int nfactors;
+
+void emit_factor(long f) {
+  factors[nfactors] = f;
+  nfactors++;
+}
+
+void factor(struct big *n);
+
+void factor(struct big *n) {
+  long rem;
+  struct big *half;
+  long nv;
+  struct num *f;
+  if (n->len == 1 && n->d[0] <= 1) return;
+  /* even part, in bignum arithmetic */
+  half = big_div_small(n, 2, &rem);
+  if (rem == 0) {
+    emit_factor(2);
+    factor(half);
+    return;
+  }
+  /* trial division by odd candidates, still on the bignum form */
+  {
+    long c = 3;
+    while (c < 1000) {
+      struct big *q = big_div_small(n, c, &rem);
+      if (rem == 0) {
+        emit_factor(c);
+        factor(q);
+        return;
+      }
+      /* q < c means c exceeds the square root: n is prime */
+      if (big_cmp(q, big_from_long(c)) < 0) {
+        emit_factor(big_to_long(n));
+        return;
+      }
+      c += 2;
+    }
+  }
+  /* the remaining cofactor fits a long by construction of the inputs */
+  nv = big_to_long(n);
+  f = cf_try_factor(nv, 200);
+  if (f->v == 0 || f->v == 1 || f->v == nv) f = rho(box(nv));
+  if (f->v <= 1 || f->v >= nv) {
+    emit_factor(nv);
+    return;
+  }
+  factor(big_from_long(f->v));
+  {
+    long q = nv / f->v;
+    factor(big_from_long(q));
+  }
+}
+
+void sort_factors(void) {
+  int i;
+  int j;
+  for (i = 0; i < nfactors; i++)
+    for (j = i + 1; j < nfactors; j++)
+      if (factors[j] < factors[i]) {
+        long t = factors[i];
+        factors[i] = factors[j];
+        factors[j] = t;
+      }
+}
+
+void show(long n) {
+  int i;
+  struct big *check;
+  nfactors = 0;
+  factor(big_from_long(n));
+  sort_factors();
+  printf("%s =", big_to_string(big_from_long(n)));
+  check = big_from_long(1);
+  for (i = 0; i < nfactors; i++) {
+    printf(" %ld", factors[i]);
+    check = big_mul(check, big_from_long(factors[i]));
+  }
+  printf("\n");
+  /* verify the product in bignum arithmetic */
+  assert_true(big_cmp(check, big_from_long(n)) == 0);
+}
+
+int main(void) {
+  int rep;
+  BIG_BASE = 10000;
+  for (rep = 0; rep < 2; rep++) {
+    show(10007 * 10009);
+    show(4001 * 5003);
+    show(3 * 5 * 7 * 11 * 13 * 17 * 19 * 23);
+    show(65537 * 97);
+    show(7919 * 7927);
+    show(104729);
+  }
+  /* pure-bignum stress: factorial digits and divisibility facts */
+  {
+    struct big *f = big_from_long(1);
+    long k;
+    long r;
+    struct big *q;
+    for (k = 2; k <= 40; k++) f = big_mul_small(f, k);
+    printf("40! = %s\n", big_to_string(f));
+    q = big_div_small(f, 10000, &r);
+    assert_true(r == 0);       /* 40! ends in more than four zeros */
+    assert_true(!big_is_zero(q));
+    /* add/sub round trip on large values */
+    assert_true(big_cmp(big_sub(big_add(f, q), q), f) == 0);
+  }
+  printf("cfrac: done\n");
+  return 0;
+}
+|}
+
+let expected_prefix = "100160063 ="

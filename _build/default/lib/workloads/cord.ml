@@ -1,0 +1,300 @@
+(** cordtest: a cord (rope) string package and its test driver.
+
+    The paper's cordtest runs "5 iterations of the test normally
+    distributed with our 'cord' string package ... The string package and
+    the test program were processed.  No part of the garbage collector
+    itself was."  This is a faithful miniature: cords are balanced-ish
+    binary concatenation trees over flat leaves, with substring, fetch,
+    flatten, comparison and iteration — all pointer- and
+    allocation-intensive, like the original. *)
+
+let name = "cordtest"
+
+let description = "cord (rope) string package test [Boehm]"
+
+let source =
+  {|
+/* ---- cord package ---------------------------------------------- */
+/* kind: 0 = leaf, 1 = concatenation */
+struct cord {
+  int kind;
+  int len;
+  char *leaf;
+  struct cord *left;
+  struct cord *right;
+};
+
+struct cord *cord_from_chars(char *s, int len) {
+  struct cord *c = (struct cord *)malloc(sizeof(struct cord));
+  char *copy = (char *)malloc(len + 1);
+  int i;
+  for (i = 0; i < len; i++) copy[i] = s[i];
+  copy[len] = '\0';
+  c->kind = 0;
+  c->len = len;
+  c->leaf = copy;
+  c->left = 0;
+  c->right = 0;
+  return c;
+}
+
+struct cord *cord_cat(struct cord *a, struct cord *b) {
+  struct cord *c;
+  if (a == 0 || a->len == 0) return b;
+  if (b == 0 || b->len == 0) return a;
+  /* merge short leaves to keep the tree shallow */
+  if (a->kind == 0 && b->kind == 0 && a->len + b->len <= 24) {
+    char *merged = (char *)malloc(a->len + b->len + 1);
+    char *p = merged;
+    char *q = a->leaf;
+    while (*q) *p++ = *q++;
+    q = b->leaf;
+    while (*q) *p++ = *q++;
+    *p = '\0';
+    c = (struct cord *)malloc(sizeof(struct cord));
+    c->kind = 0;
+    c->len = a->len + b->len;
+    c->leaf = merged;
+    c->left = 0;
+    c->right = 0;
+    return c;
+  }
+  c = (struct cord *)malloc(sizeof(struct cord));
+  c->kind = 1;
+  c->len = a->len + b->len;
+  c->leaf = 0;
+  c->left = a;
+  c->right = b;
+  return c;
+}
+
+int cord_len(struct cord *c) {
+  if (c == 0) return 0;
+  return c->len;
+}
+
+char cord_fetch(struct cord *c, int i) {
+  while (c->kind == 1) {
+    if (i < c->left->len) {
+      c = c->left;
+    } else {
+      i -= c->left->len;
+      c = c->right;
+    }
+  }
+  return c->leaf[i];
+}
+
+struct cord *cord_substr(struct cord *c, int start, int n) {
+  if (n <= 0) return 0;
+  if (c == 0) return 0;
+  if (c->kind == 0) {
+    struct cord *r;
+    if (start == 0 && n >= c->len) return c;
+    if (start + n > c->len) n = c->len - start;
+    r = cord_from_chars(c->leaf + start, n);
+    return r;
+  }
+  if (start + n <= c->left->len)
+    return cord_substr(c->left, start, n);
+  if (start >= c->left->len)
+    return cord_substr(c->right, start - c->left->len, n);
+  return cord_cat(cord_substr(c->left, start, c->left->len - start),
+                  cord_substr(c->right, 0, start + n - c->left->len));
+}
+
+void cord_flatten_into(struct cord *c, char *buf, int *pos) {
+  if (c == 0) return;
+  if (c->kind == 0) {
+    char *p = c->leaf;
+    char *q = buf + *pos;
+    while (*p) *q++ = *p++;
+    *pos += c->len;
+    return;
+  }
+  cord_flatten_into(c->left, buf, pos);
+  cord_flatten_into(c->right, buf, pos);
+}
+
+char *cord_to_string(struct cord *c) {
+  int len = cord_len(c);
+  char *buf = (char *)malloc(len + 1);
+  int pos = 0;
+  cord_flatten_into(c, buf, &pos);
+  buf[len] = '\0';
+  return buf;
+}
+
+int cord_cmp(struct cord *a, struct cord *b) {
+  int la = cord_len(a);
+  int lb = cord_len(b);
+  int n = la < lb ? la : lb;
+  int i;
+  for (i = 0; i < n; i++) {
+    char ca = cord_fetch(a, i);
+    char cb = cord_fetch(b, i);
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (la == lb) return 0;
+  return la < lb ? -1 : 1;
+}
+
+int cord_depth(struct cord *c) {
+  int dl;
+  int dr;
+  if (c == 0 || c->kind == 0) return 0;
+  dl = cord_depth(c->left);
+  dr = cord_depth(c->right);
+  return 1 + (dl > dr ? dl : dr);
+}
+
+/* last position of ch in c, or -1: right-to-left searching */
+int cord_rindex(struct cord *c, char ch) {
+  int i;
+  for (i = cord_len(c) - 1; i >= 0; i--)
+    if (cord_fetch(c, i) == ch) return i;
+  return -1;
+}
+
+/* does c start with the C string s? */
+int cord_startswith(struct cord *c, char *s) {
+  int i = 0;
+  if ((int)strlen(s) > cord_len(c)) return 0;
+  while (s[i]) {
+    if (cord_fetch(c, i) != s[i]) return 0;
+    i++;
+  }
+  return 1;
+}
+
+/* character sum via an explicit traversal stack, no recursion — the
+   iterator pattern of the real cord package */
+long cord_char_sum(struct cord *c) {
+  struct cord *stk[512];
+  int top = 0;
+  long sum = 0;
+  if (c == 0) return 0;
+  stk[top] = c;
+  top++;
+  while (top > 0) {
+    struct cord *cur;
+    top--;
+    cur = stk[top];
+    if (cur->kind == 0) {
+      char *p = cur->leaf;
+      while (*p) sum += *p++;
+    } else {
+      assert_true(top + 2 <= 512);
+      stk[top] = cur->right;
+      top++;
+      stk[top] = cur->left;
+      top++;
+    }
+  }
+  return sum;
+}
+
+/* rebuild a deep cord into a balanced one via full flatten + split */
+struct cord *cord_balance_range(char *flat, int start, int n) {
+  int half;
+  if (n <= 16) return cord_from_chars(flat + start, n);
+  half = n / 2;
+  return cord_cat(cord_balance_range(flat, start, half),
+                  cord_balance_range(flat, start + half, n - half));
+}
+
+struct cord *cord_balance(struct cord *c) {
+  char *flat = cord_to_string(c);
+  return cord_balance_range(flat, 0, cord_len(c));
+}
+
+/* ---- test driver ------------------------------------------------ */
+
+int checksum;
+
+void check(int cond) {
+  assert_true(cond);
+  checksum++;
+}
+
+struct cord *build_test_cord(int n) {
+  struct cord *c = 0;
+  char word[16];
+  int i;
+  for (i = 0; i < n; i++) {
+    int v = i % 26;
+    word[0] = 'a' + v;
+    word[1] = 'A' + v;
+    word[2] = '0' + i % 10;
+    word[3] = '\0';
+    if (i % 2 == 0)
+      c = cord_cat(c, cord_from_chars(word, 3));
+    else
+      c = cord_cat(cord_from_chars(word, 3), c);
+  }
+  return c;
+}
+
+void one_iteration(int n) {
+  struct cord *c = build_test_cord(n);
+  struct cord *b;
+  struct cord *sub;
+  char *flat;
+  int i;
+  long acc = 0;
+  check(cord_len(c) == 3 * n);
+  /* random fetches */
+  for (i = 0; i < 2 * n; i++) {
+    int pos = rand() % cord_len(c);
+    acc += cord_fetch(c, pos);
+  }
+  check(acc > 0);
+  /* substrings of substrings */
+  sub = cord_substr(c, cord_len(c) / 4, cord_len(c) / 2);
+  check(cord_len(sub) == cord_len(c) / 2);
+  sub = cord_substr(sub, 8, cord_len(sub) - 16);
+  /* balancing preserves contents */
+  b = cord_balance(c);
+  check(cord_len(b) == cord_len(c));
+  check(cord_cmp(b, c) == 0);
+  check(cord_depth(b) <= cord_depth(c) + 8);
+  /* flatten and spot-check against fetch */
+  flat = cord_to_string(c);
+  for (i = 0; i < n; i++) {
+    int pos = (i * 7) % cord_len(c);
+    check(flat[pos] == cord_fetch(c, pos));
+  }
+  /* concatenation is associative on contents */
+  check(cord_cmp(cord_cat(cord_cat(c, sub), b),
+                 cord_cat(c, cord_cat(sub, b))) == 0);
+  /* the iterative character sum agrees with fetch-by-fetch summing */
+  {
+    long s1 = cord_char_sum(c);
+    long s2 = 0;
+    for (i = 0; i < cord_len(c); i++) s2 += cord_fetch(c, i);
+    check(s1 == s2);
+  }
+  /* searching: the last digit character and a prefix probe */
+  {
+    int pos = cord_rindex(c, '5');
+    if (pos >= 0) check(cord_fetch(c, pos) == '5');
+    check(cord_rindex(c, '~') == -1);
+    check(cord_startswith(c, "") == 1);
+  }
+}
+
+int main(void) {
+  int iter;
+  srand(12345);
+  checksum = 0;
+  for (iter = 0; iter < 5; iter++) {
+    one_iteration(120 + 10 * iter);
+  }
+  printf("cordtest: %d checks passed\n", checksum);
+  return 0;
+}
+|}
+
+(** The driver prints this on success (the checks are data-dependent, so
+    the count is fixed by the deterministic rand seed). *)
+let expected_prefix = "cordtest: "

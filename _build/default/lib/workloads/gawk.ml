@@ -1,0 +1,241 @@
+(** gawk: a miniature field/record text interpreter.
+
+    The paper's gawk run is the key anecdote of the evaluation: "With
+    checking enabled, it immediately and correctly detected a pointer
+    arithmetic error which was also an array access error.  After fixing
+    that and uncovering two more abuses of pointer arithmetic we gave up."
+
+    This miniature processes generated text records awk-style — split into
+    fields, numeric accumulation, word counting via chained hash buckets —
+    and contains the same class of bug the paper found: a 1-origin field
+    array represented as a pointer to one element before the beginning of a
+    heap array ("a common bug (sometimes referred to incorrectly as a
+    'technique')").  Unchecked builds run correctly; the checked build
+    detects the computation of the one-before pointer on the first record.
+
+    [source_fixed] is the same program with the paper's fix applied, so the
+    checked configuration can also be measured. *)
+
+let name = "gawk"
+
+let description = "field/record text interpreter with 1-origin field bug [Zorn]"
+
+let template ~bug =
+  let fields_init =
+    if bug then
+      {|  /* 1-origin field vector: classic one-before-the-array bug.  The
+     real allocation stays reachable through fields_base (as in the
+     original program), so unchecked builds run "correctly"; the checked
+     build flags the one-before-the-object arithmetic immediately. */
+  fields_base = (char **)malloc(MAXFIELDS * sizeof(char *));
+  fields = fields_base - 1;|}
+    else
+      {|  /* 1-origin field vector, done legally: waste slot 0 */
+  fields = (char **)malloc((MAXFIELDS + 1) * sizeof(char *));|}
+  in
+  Printf.sprintf
+    {|
+int MAXFIELDS;
+
+/* ---- input generation (no file I/O in the VM) -------------------- */
+char *gen_input(int lines) {
+  char *buf = (char *)malloc(lines * 40 + 1);
+  char *p = buf;
+  int i;
+  int w;
+  for (i = 0; i < lines; i++) {
+    int words = 2 + i %% 5;
+    for (w = 0; w < words; w++) {
+      if (w > 0) *p++ = ' ';
+      if ((i + w) %% 3 == 0) {
+        /* a number field */
+        int v = (i * 7 + w * 13) %% 1000;
+        if (v >= 100) *p++ = '0' + v / 100;
+        if (v >= 10) *p++ = '0' + v / 10 %% 10;
+        *p++ = '0' + v %% 10;
+      } else {
+        /* a word field */
+        int len = 3 + (i + w) %% 5;
+        int k;
+        for (k = 0; k < len; k++) *p++ = 'a' + (i + w + k) %% 26;
+      }
+    }
+    *p++ = '\n';
+  }
+  *p = '\0';
+  return buf;
+}
+
+/* ---- word-count table (chained buckets) -------------------------- */
+struct bucket {
+  char *word;
+  long count;
+  struct bucket *next;
+};
+
+struct bucket *table[64];
+
+long hash_str(char *s) {
+  long h = 5381;
+  while (*s) {
+    h = h * 33 + *s;
+    s++;
+  }
+  if (h < 0) h = -h;
+  return h;
+}
+
+void count_word(char *w) {
+  long h = hash_str(w) %% 64;
+  struct bucket *b = table[h];
+  while (b) {
+    if (strcmp(b->word, w) == 0) {
+      b->count++;
+      return;
+    }
+    b = b->next;
+  }
+  b = (struct bucket *)malloc(sizeof(struct bucket));
+  b->word = (char *)malloc(strlen(w) + 1);
+  strcpy(b->word, w);
+  b->count = 1;
+  b->next = table[h];
+  table[h] = b;
+}
+
+/* ---- record processing ------------------------------------------- */
+char **fields_base;
+char **fields;
+
+int is_number(char *s) {
+  if (*s == '\0') return 0;
+  while (*s) {
+    if (*s < '0' || *s > '9') return 0;
+    s++;
+  }
+  return 1;
+}
+
+long to_number(char *s) {
+  long v = 0;
+  while (*s) {
+    v = v * 10 + (*s - '0');
+    s++;
+  }
+  return v;
+}
+
+/* split line (NUL-terminated, whitespace separated) into fields[1..nf];
+   returns nf.  Fields are freshly allocated strings. */
+int split_record(char *line) {
+  int nf = 0;
+  char *p = line;
+  while (*p) {
+    char *start;
+    int len;
+    char *copy;
+    while (*p == ' ') p++;
+    if (*p == '\0') break;
+    start = p;
+    while (*p && *p != ' ') p++;
+    len = (int)(p - start);
+    copy = (char *)malloc(len + 1);
+    {
+      int k;
+      for (k = 0; k < len; k++) copy[k] = start[k];
+      copy[len] = '\0';
+    }
+    nf++;
+    fields[nf] = copy;
+  }
+  return nf;
+}
+
+int main(void) {
+  char *input;
+  char *line;
+  long sum = 0;
+  long numbers = 0;
+  long words = 0;
+  long maxval = 0;
+  long records = 0;
+  int i;
+  MAXFIELDS = 16;
+%s
+  input = gen_input(400);
+  line = input;
+  while (*line) {
+    /* extract one line into a buffer */
+    char *eol = line;
+    int len;
+    char *rec;
+    int nf;
+    while (*eol && *eol != '\n') eol++;
+    len = (int)(eol - line);
+    rec = (char *)malloc(len + 1);
+    {
+      int k;
+      for (k = 0; k < len; k++) rec[k] = line[k];
+      rec[len] = '\0';
+    }
+    nf = split_record(rec);
+    records++;
+    for (i = 1; i <= nf; i++) {
+      if (is_number(fields[i])) {
+        long v = to_number(fields[i]);
+        sum += v;
+        numbers++;
+        if (v > maxval) maxval = v;
+      } else {
+        words++;
+        count_word(fields[i]);
+      }
+    }
+    if (*eol == '\n') line = eol + 1; else line = eol;
+  }
+  /* table statistics */
+  {
+    long distinct = 0;
+    long occurrences = 0;
+    for (i = 0; i < 64; i++) {
+      struct bucket *b = table[i];
+      while (b) {
+        distinct++;
+        occurrences += b->count;
+        b = b->next;
+      }
+    }
+    printf("records=%%ld numbers=%%ld sum=%%ld max=%%ld\n", records, numbers,
+           sum, maxval);
+    printf("words=%%ld distinct=%%ld\n", words, distinct);
+    assert_true(occurrences == words);
+    /* the most frequent word and the longest word, awk-report style */
+    {
+      struct bucket *best = 0;
+      long longest = 0;
+      for (i = 0; i < 64; i++) {
+        struct bucket *b = table[i];
+        while (b) {
+          if (best == 0 || b->count > best->count
+              || (b->count == best->count && strcmp(b->word, best->word) < 0))
+            best = b;
+          if ((long)strlen(b->word) > longest) longest = (long)strlen(b->word);
+          b = b->next;
+        }
+      }
+      if (best)
+        printf("top=%%s count=%%ld longest=%%ld\n", best->word, best->count,
+               longest);
+    }
+  }
+  return 0;
+}
+|}
+    fields_init
+
+let source = template ~bug:true
+
+(** The paper's fix applied ("After fixing that..."). *)
+let source_fixed = template ~bug:false
+
+let expected_prefix = "records="

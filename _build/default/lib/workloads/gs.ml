@@ -1,0 +1,459 @@
+(** gs: a PostScript-flavoured stack-machine interpreter.
+
+    The paper's gs is Ghostscript from the Zorn suite, run with its custom
+    allocator disabled and linked with the collector.  "No pointer
+    arithmetic errors were found.  This is probably due to a combination of
+    an unusually clean coding style and the fact that most heap objects
+    have prepended standard headers.  Thus a pointer to one before the body
+    of the object would not be discovered."
+
+    This miniature keeps those properties: every heap value is a tagged
+    object whose header (type and length) is prepended to the body, all
+    object pointers address the header, and the interpreter is written in a
+    clean discriminated-union style — so the checked build finds nothing.
+
+    The interpreter executes a token program (an embedded "page
+    description") over an operand stack and a dictionary: integer and
+    string values, arithmetic, stack shuffles, string concatenation, named
+    definitions, loops, and a raster "page" painted span by span whose
+    checksum is the output. *)
+
+let name = "gs"
+
+let description = "stack-machine interpreter with prepended headers [Zorn gs]"
+
+let source =
+  {|
+/* ---- objects: prepended standard headers -------------------------- */
+/* type: 1 = int, 2 = string, 3 = name, 4 = procedure, 5 = array */
+struct obj {
+  int type;     /* header word 1 */
+  int len;      /* header word 2 */
+  long ival;
+  char *sval;
+  struct obj **aval;
+};
+
+struct obj *mk_int(long v) {
+  struct obj *o = (struct obj *)malloc(sizeof(struct obj));
+  o->type = 1;
+  o->len = 0;
+  o->ival = v;
+  o->sval = 0;
+  o->aval = 0;
+  return o;
+}
+
+/* a procedure value: offset and length into the token stream */
+struct obj *mk_proc(long off, int len) {
+  struct obj *o = (struct obj *)malloc(sizeof(struct obj));
+  o->type = 4;
+  o->len = len;
+  o->ival = off;
+  o->sval = 0;
+  o->aval = 0;
+  return o;
+}
+
+struct obj *mk_array(int n) {
+  struct obj *o = (struct obj *)malloc(sizeof(struct obj));
+  int i;
+  o->type = 5;
+  o->len = n;
+  o->ival = 0;
+  o->sval = 0;
+  o->aval = (struct obj **)malloc(n * sizeof(struct obj *));
+  for (i = 0; i < n; i++) o->aval[i] = 0;
+  return o;
+}
+
+struct obj *mk_str(char *s) {
+  struct obj *o = (struct obj *)malloc(sizeof(struct obj));
+  o->type = 2;
+  o->len = (int)strlen(s);
+  o->ival = 0;
+  o->sval = (char *)malloc(o->len + 1);
+  strcpy(o->sval, s);
+  return o;
+}
+
+struct obj *mk_name(char *s) {
+  struct obj *o = mk_str(s);
+  o->type = 3;
+  return o;
+}
+
+/* ---- operand stack ------------------------------------------------ */
+struct obj *stack[256];
+int sp;
+
+void push(struct obj *o) {
+  assert_true(sp < 256);
+  stack[sp] = o;
+  sp++;
+}
+
+struct obj *pop(void) {
+  assert_true(sp > 0);
+  sp--;
+  return stack[sp];
+}
+
+long pop_int(void) {
+  struct obj *o = pop();
+  assert_true(o->type == 1);
+  return o->ival;
+}
+
+/* ---- dictionary ---------------------------------------------------- */
+struct dictent {
+  char *key;
+  struct obj *value;
+  struct dictent *next;
+};
+
+struct dictent *dict;
+
+void dict_def(char *key, struct obj *value) {
+  struct dictent *e = dict;
+  while (e) {
+    if (strcmp(e->key, key) == 0) {
+      e->value = value;
+      return;
+    }
+    e = e->next;
+  }
+  e = (struct dictent *)malloc(sizeof(struct dictent));
+  e->key = (char *)malloc(strlen(key) + 1);
+  strcpy(e->key, key);
+  e->value = value;
+  e->next = dict;
+  dict = e;
+}
+
+struct obj *dict_load(char *key) {
+  struct dictent *e = dict;
+  while (e) {
+    if (strcmp(e->key, key) == 0) return e->value;
+    e = e->next;
+  }
+  return 0;
+}
+
+/* ---- the page raster ----------------------------------------------- */
+int PAGE_W;
+int PAGE_H;
+char *page;
+
+void page_init(void) {
+  int n = PAGE_W * PAGE_H;
+  int i;
+  page = (char *)malloc(n);
+  for (i = 0; i < n; i++) page[i] = 0;
+}
+
+/* paint a horizontal span with a gray level */
+void page_span(int x0, int x1, int y, int gray) {
+  char *row;
+  int x;
+  if (y < 0 || y >= PAGE_H) return;
+  if (x0 < 0) x0 = 0;
+  if (x1 > PAGE_W) x1 = PAGE_W;
+  row = page + y * PAGE_W;
+  for (x = x0; x < x1; x++) row[x] = (char)gray;
+}
+
+long page_checksum(void) {
+  long sum = 0;
+  int i;
+  int n = PAGE_W * PAGE_H;
+  for (i = 0; i < n; i++) sum = sum * 31 + page[i] & 0xffffff;
+  return sum;
+}
+
+/* ---- the token machine --------------------------------------------- */
+/* opcodes: 1 pushint(arg) 2 pushstr(strtab arg) 3 pushname(strtab arg)
+   4 add 5 sub 6 mul 7 div 8 dup 9 exch 10 pop 11 def 12 load
+   13 concat 14 length 15 span 16 repeat{...}(arg = body length)
+   17 showpage 18 index(arg) 19 mod
+   20 if{...}(arg = body length)  21 ifelse{...}{...}(args = two lengths)
+   22 pushproc(arg = body length; body follows inline)
+   23 exec  24 mkarray  25 aput  26 aget  27 gt  28 eq  0 end */
+
+int *program_base;   /* procedure offsets are absolute into this array */
+
+long run_program(int *code, int ncode, char **strtab) {
+  int pc = 0;
+  long shown = 0;
+  while (pc < ncode) {
+    int op = code[pc];
+    pc++;
+    if (op == 0) break;
+    if (op == 1) {
+      push(mk_int(code[pc]));
+      pc++;
+    } else if (op == 2) {
+      push(mk_str(strtab[code[pc]]));
+      pc++;
+    } else if (op == 3) {
+      push(mk_name(strtab[code[pc]]));
+      pc++;
+    } else if (op == 4) {
+      long b = pop_int();
+      long a = pop_int();
+      push(mk_int(a + b));
+    } else if (op == 5) {
+      long b = pop_int();
+      long a = pop_int();
+      push(mk_int(a - b));
+    } else if (op == 6) {
+      long b = pop_int();
+      long a = pop_int();
+      push(mk_int(a * b));
+    } else if (op == 7) {
+      long b = pop_int();
+      long a = pop_int();
+      assert_true(b != 0);
+      push(mk_int(a / b));
+    } else if (op == 19) {
+      long b = pop_int();
+      long a = pop_int();
+      assert_true(b != 0);
+      push(mk_int(a % b));
+    } else if (op == 8) {
+      struct obj *o = pop();
+      push(o);
+      push(o);
+    } else if (op == 9) {
+      struct obj *b = pop();
+      struct obj *a = pop();
+      push(b);
+      push(a);
+    } else if (op == 10) {
+      pop();
+    } else if (op == 11) {
+      struct obj *v = pop();
+      struct obj *k = pop();
+      assert_true(k->type == 3);
+      dict_def(k->sval, v);
+    } else if (op == 12) {
+      struct obj *k = pop();
+      struct obj *v;
+      assert_true(k->type == 3);
+      v = dict_load(k->sval);
+      assert_true(v != 0);
+      push(v);
+    } else if (op == 13) {
+      struct obj *b = pop();
+      struct obj *a = pop();
+      char *s;
+      assert_true(a->type == 2 && b->type == 2);
+      s = (char *)malloc(a->len + b->len + 1);
+      strcpy(s, a->sval);
+      strcat(s, b->sval);
+      push(mk_str(s));
+    } else if (op == 14) {
+      struct obj *o = pop();
+      assert_true(o->type == 2 || o->type == 3);
+      push(mk_int(o->len));
+    } else if (op == 15) {
+      long gray = pop_int();
+      long y = pop_int();
+      long x1 = pop_int();
+      long x0 = pop_int();
+      page_span((int)x0, (int)x1, (int)y, (int)gray);
+    } else if (op == 16) {
+      long body = code[pc];
+      long count = pop_int();
+      long k;
+      pc++;
+      for (k = 0; k < count; k++) {
+        long inner = run_program(code + pc, (int)body, strtab);
+        shown += inner;
+        /* the loop body may leave an index on the stack for the next
+           iteration; push the iteration count convention instead */
+      }
+      pc += (int)body;
+    } else if (op == 17) {
+      shown++;
+      printf("showpage %ld checksum=%ld\n", shown, page_checksum());
+    } else if (op == 18) {
+      int depth = code[pc];
+      pc++;
+      assert_true(sp > depth);
+      push(stack[sp - 1 - depth]);
+    } else if (op == 20) {
+      long body = code[pc];
+      long cond;
+      pc++;
+      cond = pop_int();
+      if (cond) shown += run_program(code + pc, (int)body, strtab);
+      pc += (int)body;
+    } else if (op == 21) {
+      long then_len = code[pc];
+      long else_len = code[pc + 1];
+      long cond;
+      pc += 2;
+      cond = pop_int();
+      if (cond) shown += run_program(code + pc, (int)then_len, strtab);
+      else shown += run_program(code + pc + (int)then_len, (int)else_len, strtab);
+      pc += (int)(then_len + else_len);
+    } else if (op == 22) {
+      long body = code[pc];
+      pc++;
+      /* the procedure body starts right here; record its absolute offset */
+      push(mk_proc((long)(code + pc - program_base), (int)body));
+      pc += (int)body;
+    } else if (op == 23) {
+      struct obj *o = pop();
+      assert_true(o->type == 4);
+      shown += run_program(program_base + o->ival, o->len, strtab);
+    } else if (op == 24) {
+      long n = pop_int();
+      push(mk_array((int)n));
+    } else if (op == 25) {
+      struct obj *v = pop();
+      long idx = pop_int();
+      struct obj *a = pop();
+      assert_true(a->type == 5 && idx >= 0 && idx < a->len);
+      a->aval[idx] = v;
+      push(a);
+    } else if (op == 26) {
+      long idx = pop_int();
+      struct obj *a = pop();
+      assert_true(a->type == 5 && idx >= 0 && idx < a->len);
+      assert_true(a->aval[idx] != 0);
+      push(a->aval[idx]);
+    } else if (op == 27) {
+      long b = pop_int();
+      long a = pop_int();
+      push(mk_int(a > b ? 1 : 0));
+    } else if (op == 28) {
+      long b = pop_int();
+      long a = pop_int();
+      push(mk_int(a == b ? 1 : 0));
+    } else {
+      assert_true(0);
+    }
+  }
+  return shown;
+}
+
+/* the embedded "document": a defined procedure paints gradient bands
+   (even/odd rows take different gray ramps via ifelse), an array object
+   is built and summed, and showpage fires only when the sum checks out */
+int doc[512];
+int ndoc;
+char *strtab[8];
+
+void emit(int op) { doc[ndoc] = op; ndoc++; }
+
+void build_document(void) {
+  ndoc = 0;
+  /* /title (mini) (gs) concat def */
+  emit(3); emit(0);
+  emit(2); emit(1);
+  emit(2); emit(2);
+  emit(13);
+  emit(11);
+  /* /row { y -- } def: paint row y, gray ramp chosen by parity */
+  emit(3); emit(4);          /* /row */
+  emit(22); emit(27);        /* pushproc, 27-word body */
+  /*   [y] -> [0 64 y] */
+  emit(1); emit(0);
+  emit(9);
+  emit(1); emit(64);
+  emit(9);
+  /*   [0 64 y] -> [0 64 y y (y mod 2)] */
+  emit(8);
+  emit(8);
+  emit(1); emit(2);
+  emit(19);
+  /*   parity selects the ramp: gray = y*3 mod 251 or y*5 mod 251 */
+  emit(21); emit(6); emit(6); /* ifelse, both branches 6 words */
+  emit(1); emit(3);
+  emit(6);
+  emit(1); emit(251);
+  emit(19);
+  emit(1); emit(5);
+  emit(6);
+  emit(1); emit(251);
+  emit(19);
+  /*   [0 64 y gray] -> span */
+  emit(15);
+  emit(11);                  /* def */
+  /* /y0 4 def */
+  emit(3); emit(3);
+  emit(1); emit(4);
+  emit(11);
+  /* 40 { y0 row-exec; y0 = y0 + 1 } repeat */
+  emit(1); emit(40);
+  emit(16); emit(16);        /* repeat, 16-word body */
+  emit(3); emit(3);          /* /y0 */
+  emit(12);                  /* load -> y */
+  emit(3); emit(4);          /* /row */
+  emit(12);                  /* load -> proc */
+  emit(23);                  /* exec: consumes y, paints */
+  emit(3); emit(3);          /* /y0 (key) */
+  emit(3); emit(3);
+  emit(12);                  /* load -> y */
+  emit(1); emit(1);
+  emit(4);                   /* y + 1 */
+  emit(11);                  /* def */
+  /* /tbl [11 22 33 44] def, via mkarray/aput */
+  emit(1); emit(4);
+  emit(24);                  /* mkarray -> [arr] */
+  emit(1); emit(0); emit(1); emit(11); emit(25);
+  emit(1); emit(1); emit(1); emit(22); emit(25);
+  emit(1); emit(2); emit(1); emit(33); emit(25);
+  emit(1); emit(3); emit(1); emit(44); emit(25);
+  emit(3); emit(5);          /* /tbl */
+  emit(9);                   /* [name arr] */
+  emit(11);                  /* def */
+  /* sum = tbl[0]+tbl[1]+tbl[2]+tbl[3]; showpage only if sum == 110 */
+  emit(3); emit(5); emit(12); emit(1); emit(0); emit(26);
+  emit(3); emit(5); emit(12); emit(1); emit(1); emit(26);
+  emit(4);
+  emit(3); emit(5); emit(12); emit(1); emit(2); emit(26);
+  emit(4);
+  emit(3); emit(5); emit(12); emit(1); emit(3); emit(26);
+  emit(4);
+  emit(1); emit(110);
+  emit(28);                  /* eq */
+  emit(20); emit(1);         /* if, 1-word body */
+  emit(17);                  /* showpage */
+  /* title length sanity: 6 characters -> drop */
+  emit(3); emit(0);
+  emit(12);
+  emit(14);
+  emit(1); emit(6);
+  emit(28);
+  emit(20); emit(1);
+  emit(17);                  /* a second page iff the title length checks */
+  emit(0);
+}
+
+int main(void) {
+  int pass;
+  PAGE_W = 64;
+  PAGE_H = 64;
+  strtab[0] = "title";
+  strtab[1] = "mini";
+  strtab[2] = "gs";
+  strtab[3] = "y0";
+  strtab[4] = "row";
+  strtab[5] = "tbl";
+  sp = 0;
+  dict = 0;
+  program_base = doc;
+  for (pass = 0; pass < 6; pass++) {
+    page_init();
+    build_document();
+    run_program(doc, ndoc, strtab);
+  }
+  printf("gs: done, stack depth %d\n", sp);
+  return 0;
+}
+|}
+
+let expected_prefix = "showpage"

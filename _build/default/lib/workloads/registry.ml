@@ -1,0 +1,62 @@
+(** The benchmark workload registry (the paper's measured programs). *)
+
+type workload = {
+  w_name : string;
+  w_description : string;
+  w_source : string;
+  w_expected_prefix : string;  (** output sanity check *)
+  w_checked_fails : bool;
+      (** the paper's gawk: checking detects a real pointer bug *)
+}
+
+let cordtest =
+  {
+    w_name = Cord.name;
+    w_description = Cord.description;
+    w_source = Cord.source;
+    w_expected_prefix = Cord.expected_prefix;
+    w_checked_fails = false;
+  }
+
+let cfrac =
+  {
+    w_name = Cfrac.name;
+    w_description = Cfrac.description;
+    w_source = Cfrac.source;
+    w_expected_prefix = Cfrac.expected_prefix;
+    w_checked_fails = false;
+  }
+
+let gawk =
+  {
+    w_name = Gawk.name;
+    w_description = Gawk.description;
+    w_source = Gawk.source;
+    w_expected_prefix = Gawk.expected_prefix;
+    w_checked_fails = true;
+  }
+
+let gawk_fixed =
+  {
+    w_name = "gawk-fixed";
+    w_description = "gawk with the paper's pointer-arithmetic fix applied";
+    w_source = Gawk.source_fixed;
+    w_expected_prefix = Gawk.expected_prefix;
+    w_checked_fails = false;
+  }
+
+let gs =
+  {
+    w_name = Gs.name;
+    w_description = Gs.description;
+    w_source = Gs.source;
+    w_expected_prefix = Gs.expected_prefix;
+    w_checked_fails = false;
+  }
+
+(** The paper's table rows, in order. *)
+let paper_suite = [ cordtest; cfrac; gawk; gs ]
+
+let all = [ cordtest; cfrac; gawk; gawk_fixed; gs ]
+
+let by_name name = List.find_opt (fun w -> w.w_name = name) all

@@ -1,0 +1,29 @@
+(** The benchmark workload registry (the paper's measured programs). *)
+
+type workload = {
+  w_name : string;
+  w_description : string;
+  w_source : string;
+  w_expected_prefix : string;  (** output sanity check *)
+  w_checked_fails : bool;
+      (** the paper's gawk: checking detects a real pointer bug *)
+}
+
+val cordtest : workload
+
+val cfrac : workload
+
+val gawk : workload
+(** As shipped: contains the one-before-the-array 1-origin field bug. *)
+
+val gawk_fixed : workload
+(** The paper's fix applied; check-clean. *)
+
+val gs : workload
+
+val paper_suite : workload list
+(** The paper's table rows, in order: cordtest, cfrac, gawk, gs. *)
+
+val all : workload list
+
+val by_name : string -> workload option

@@ -1,0 +1,1 @@
+test/suite_annotate.ml: Alcotest Annotate Ast Csyntax Gcsafe List Loop_heuristic Mode Option Parser Pretty String Typecheck Workloads

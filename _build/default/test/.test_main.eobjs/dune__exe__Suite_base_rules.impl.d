@@ -1,0 +1,1 @@
+test/suite_base_rules.ml: Alcotest Ast Base_rules Csyntax Ctype Gcsafe List Option Printf QCheck QCheck_alcotest Typecheck

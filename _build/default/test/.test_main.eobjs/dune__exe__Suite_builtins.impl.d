@@ -1,0 +1,1 @@
+test/suite_builtins.ml: Alcotest Util

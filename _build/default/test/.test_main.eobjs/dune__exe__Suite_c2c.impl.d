@@ -1,0 +1,1 @@
+test/suite_c2c.ml: Alcotest Annotate Array Ast Csyntax Gcsafe Ir Lexer List Machine Mode Opt Parser Pretty Printf Token Typecheck Workloads

@@ -1,0 +1,1 @@
+test/suite_compile_vm.ml: Alcotest Ir Machine String Util

@@ -1,0 +1,1 @@
+test/suite_ctype.ml: Alcotest Ast Csyntax Ctype List Parser

@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Annotate Csyntax Gcsafe Ir List Machine Mode Opt Printf String Workloads

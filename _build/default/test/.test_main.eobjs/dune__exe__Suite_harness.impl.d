@@ -1,0 +1,1 @@
+test/suite_harness.ml: Alcotest Format Harness Lazy List Machine Printf Util Workloads

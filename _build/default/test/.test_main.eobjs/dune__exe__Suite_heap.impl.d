@@ -1,0 +1,1 @@
+test/suite_heap.ml: Alcotest Array Block Gcheap Gen Heap List Mem Page_map Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_heapness.ml: Alcotest Annotate Csyntax Gcsafe Ir List Machine Mode Opt String Workloads

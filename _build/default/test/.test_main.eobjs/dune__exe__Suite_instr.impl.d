@@ -1,0 +1,1 @@
+test/suite_instr.ml: Alcotest Format Ir List

@@ -1,0 +1,1 @@
+test/suite_lexer.ml: Alcotest Array Csyntax Lexer List Loc String Token

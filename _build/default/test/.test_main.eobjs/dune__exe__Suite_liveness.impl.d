@@ -1,0 +1,1 @@
+test/suite_liveness.ml: Alcotest Array Ir List

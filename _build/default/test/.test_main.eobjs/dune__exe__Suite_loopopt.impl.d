@@ -1,0 +1,1 @@
+test/suite_loopopt.ml: Alcotest Array Csyntax Format Gcsafe Ir List Machine Opt Util

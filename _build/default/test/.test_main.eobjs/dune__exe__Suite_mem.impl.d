@@ -1,0 +1,1 @@
+test/suite_mem.ml: Alcotest Char Gcheap List Mem Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_normalize.ml: Alcotest Annotate Ast Csyntax Ctype Gcsafe Ir List Machine Mode Normalize Opt Parser Pretty String Typecheck

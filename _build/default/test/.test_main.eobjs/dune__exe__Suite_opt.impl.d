@@ -1,0 +1,1 @@
+test/suite_opt.ml: Alcotest Format Ir List Opt String Util Workloads

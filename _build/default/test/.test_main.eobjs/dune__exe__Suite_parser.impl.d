@@ -1,0 +1,1 @@
+test/suite_parser.ml: Alcotest Ast Csyntax Loc Parser Pretty Workloads

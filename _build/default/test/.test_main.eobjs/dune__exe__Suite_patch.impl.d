@@ -1,0 +1,1 @@
+test/suite_patch.ml: Alcotest Char Gcsafe List Patch QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/suite_patch_mode.ml: Alcotest Annotate Csyntax Gcsafe Ir List Machine Mode Opt Parser Patch_mode String Typecheck Workloads

@@ -1,0 +1,1 @@
+test/suite_peephole.ml: Alcotest Csyntax Format Gcsafe Harness Ir List Machine Opt Peephole String Util Workloads

@@ -1,0 +1,1 @@
+test/suite_pretty.ml: Alcotest Ast Csyntax Machine Parser Pretty Printf QCheck QCheck_alcotest Testgen Util

@@ -1,0 +1,1 @@
+test/suite_regalloc.ml: Alcotest Csyntax Gcsafe Ir List Opt Printf Util Workloads

@@ -1,0 +1,1 @@
+test/suite_safety.ml: Alcotest Csyntax Gcsafe Harness Ir List Machine Opt QCheck QCheck_alcotest String Testgen Util Workloads

@@ -1,0 +1,1 @@
+test/suite_source_check.ml: Alcotest Csyntax Format Gcsafe List Loc Source_check String Typecheck Workloads

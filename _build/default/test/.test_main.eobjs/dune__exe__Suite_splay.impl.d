@@ -1,0 +1,1 @@
+test/suite_splay.ml: Alcotest Gcheap Gen Heap List Option QCheck QCheck_alcotest Splay

@@ -1,0 +1,1 @@
+test/suite_typecheck.ml: Alcotest Ast Csyntax Ctype Fmt List Loc Parser Printf Typecheck Workloads

@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Gcheap Harness List Machine String Util Workloads

@@ -1,0 +1,1 @@
+test/testgen.ml: Printf QCheck String

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Csyntax Harness Ir List Machine Opt Option Printf

@@ -1,0 +1,183 @@
+(* BASE / BASEADDR tests — the paper's inductive table, entry by entry. *)
+
+open Csyntax
+open Gcsafe
+
+(* Type-check [probe] with the standard declarations in scope, then return
+   the outermost expression. *)
+let decls =
+  {|
+struct s { int x; int arr[4]; struct s *next; };
+char *p; char *q; int n; int *ip; char buf[32]; struct s *sp; struct s sv;
+int ia[8];
+|}
+
+let probe_expr probe =
+  let src = Printf.sprintf "%s\nint main(void) { %s; return 0; }" decls probe in
+  let prog, _ = Typecheck.check_source src in
+  let result = ref None in
+  List.iter
+    (function
+      | Ast.Gfunc f when f.Ast.f_name = "main" -> (
+          match f.Ast.f_body.Ast.sdesc with
+          | Ast.Sblock ({ Ast.sdesc = Ast.Sexpr e; _ } :: _) -> result := Some e
+          | _ -> ())
+      | _ -> ())
+    prog.Ast.prog_globals;
+  Option.get !result
+
+let base_str probe = Base_rules.base_to_string (Base_rules.base (probe_expr probe))
+
+let baseaddr_str probe =
+  match (probe_expr probe).Ast.edesc with
+  | Ast.AddrOf inner -> Base_rules.base_to_string (Base_rules.baseaddr inner)
+  | _ -> Alcotest.fail "probe must be an & expression"
+
+let check_base name probe expected =
+  Alcotest.(check string) name expected (base_str probe)
+
+let check_baseaddr name probe expected =
+  Alcotest.(check string) name expected (baseaddr_str probe)
+
+(* BASE(0) = NIL *)
+let test_base_zero () =
+  check_base "BASE(0)" "(char *)0" "NIL";
+  check_base "BASE(42)" "42" "NIL"
+
+(* BASE(x) = x if x is a variable and possible heap pointer *)
+let test_base_var () =
+  check_base "BASE(p) for pointer var" "p" "p";
+  check_base "BASE(n) for int var" "n" "NIL";
+  (* array variables are named memory, never heap pointers *)
+  check_base "BASE(buf) for array var" "buf" "NIL"
+
+(* BASE(x = e) = x if x is a pointer variable *)
+let test_base_assign () =
+  check_base "BASE(p = q)" "p = q" "p";
+  check_base "BASE(p = q + 1)" "p = q + 1" "p";
+  (* if x is not a pointer variable: BASE(e) *)
+  check_base "BASE(n = e) = BASE(e)" "n = (p != 0)" "NIL"
+
+(* BASE(e1 += e2) = BASE(e1), same for -=, ++, -- *)
+let test_base_incr_forms () =
+  check_base "BASE(p += n)" "p += n" "p";
+  check_base "BASE(p -= n)" "p -= n" "p";
+  check_base "BASE(p++)" "p++" "p";
+  check_base "BASE(++p)" "++p" "p";
+  check_base "BASE(p--)" "p--" "p";
+  check_base "BASE(--p)" "--p" "p"
+
+(* BASE(e1 + e2) = BASE(e1) where e1 is the pointer-typed expression *)
+let test_base_add_sub () =
+  check_base "BASE(p + n)" "p + n" "p";
+  check_base "BASE(n + p)" "n + p" "p";
+  check_base "BASE(p - n)" "p - n" "p";
+  check_base "BASE(p + n + 1)" "p + n + 1" "p"
+
+(* BASE(e1, e2) = BASE(e2) *)
+let test_base_comma () =
+  check_base "BASE(comma)" "(n = 1, p)" "p";
+  check_base "BASE(comma arith)" "(n, q + 2)" "q"
+
+(* BASE(&e) = BASEADDR(e) *)
+let test_base_addrof () =
+  check_base "BASE(&p[n])" "&p[n]" "p";
+  check_base "BASE(&buf[n])" "&buf[n]" "NIL";
+  check_base "BASE(&sp->x)" "&sp->x" "sp";
+  check_base "BASE(&n)" "&n" "NIL"
+
+(* BASEADDR(x) = NIL for variables *)
+let test_baseaddr_var () = check_baseaddr "BASEADDR(x)" "&n" "NIL"
+
+(* BASEADDR(e1[e2]) = BASE(e1) if not NIL, else BASE(e2) *)
+let test_baseaddr_index () =
+  check_baseaddr "BASEADDR(p[n]) = BASE(p)" "&p[n]" "p";
+  check_baseaddr "BASEADDR(buf[n]) = NIL" "&buf[n]" "NIL";
+  (* the reversed-subscript case: BASE(e1) is NIL, use BASE(e2) *)
+  check_baseaddr "BASEADDR(n[p]) = BASE(p)" "&n[p]" "p"
+
+(* BASEADDR(e1 -> x) = BASE(e1) *)
+let test_baseaddr_arrow () =
+  check_baseaddr "BASEADDR(sp->x)" "&sp->x" "sp";
+  check_baseaddr "BASEADDR(sp->arr[2])" "&sp->arr[2]" "sp"
+
+(* field chains compose through BASEADDR *)
+let test_baseaddr_field_chains () =
+  check_baseaddr "local struct field" "&sv.x" "NIL";
+  check_baseaddr "deref-field" "&(*sp).x" "sp"
+
+(* casts are transparent *)
+let test_cast_transparent () =
+  check_base "BASE((int *)p)" "(int *)p" "p";
+  check_base "BASE((char *)(p + 1))" "(char *)(p + 1)" "p"
+
+(* generating expressions have no BASE *)
+let test_generating () =
+  check_base "call" "(char *)malloc(8)" "<unnamed>";
+  check_base "deref" "*(char **)p" "<unnamed>";
+  check_base "conditional" "n ? p : q" "<unnamed>";
+  check_base "scalar field load" "sp->next" "<unnamed>";
+  Alcotest.(check bool) "is_generating call" true
+    (Base_rules.is_generating (probe_expr "(char *)malloc(8)" |> fun e ->
+      match e.Ast.edesc with Ast.Cast (_, inner) -> inner | _ -> e));
+  Alcotest.(check bool) "array field is not generating" false
+    (Base_rules.is_generating (probe_expr "sp->arr"))
+
+(* KEEP_LIVE is transparent for BASE (needed by the loop heuristic) *)
+let test_keep_live_transparent () =
+  let e = probe_expr "p + 1" in
+  let kl = Ast.mk_expr (Ast.KeepLive (e, Some (probe_expr "p"))) in
+  kl.Ast.ety <- Some (Ctype.Ptr Ctype.Char);
+  Alcotest.(check string) "BASE(KEEP_LIVE(p+1,p))" "p"
+    (Base_rules.base_to_string (Base_rules.base kl))
+
+let test_is_copy () =
+  let copy probe = Base_rules.is_copy (probe_expr probe) in
+  Alcotest.(check bool) "var" true (copy "q");
+  Alcotest.(check bool) "cast of var" true (copy "(int *)q");
+  Alcotest.(check bool) "assignment to var" true (copy "p = q + 1");
+  Alcotest.(check bool) "arith is not a copy" false (copy "q + 1");
+  Alcotest.(check bool) "call is not a copy" false (copy "(char *)malloc(4)")
+
+(* qcheck: any chain of +=/-=/+/- arithmetic over p has BASE p *)
+let arith_chain_gen =
+  QCheck.Gen.(
+    let rec build depth =
+      if depth = 0 then return "p"
+      else
+        frequency
+          [
+            (3, map (fun inner -> "(" ^ inner ^ " + n)") (build (depth - 1)));
+            (2, map (fun inner -> "(" ^ inner ^ " - 2)") (build (depth - 1)));
+            (1, map (fun inner -> "(char *)(" ^ inner ^ ")") (build (depth - 1)));
+            (1, map (fun inner -> "(n, " ^ inner ^ ")") (build (depth - 1)));
+          ]
+    in
+    int_range 1 6 >>= build)
+
+let prop_arith_chain =
+  QCheck.Test.make ~count:100 ~name:"BASE of arithmetic chains over p is p"
+    (QCheck.make arith_chain_gen)
+    (fun probe -> base_str probe = "p")
+
+let suite =
+  [
+    Alcotest.test_case "BASE(0) = NIL" `Quick test_base_zero;
+    Alcotest.test_case "BASE(x)" `Quick test_base_var;
+    Alcotest.test_case "BASE(x = e)" `Quick test_base_assign;
+    Alcotest.test_case "BASE(++/--/+=/-=)" `Quick test_base_incr_forms;
+    Alcotest.test_case "BASE(e1 + e2), BASE(e1 - e2)" `Quick test_base_add_sub;
+    Alcotest.test_case "BASE(e1, e2)" `Quick test_base_comma;
+    Alcotest.test_case "BASE(&e) = BASEADDR(e)" `Quick test_base_addrof;
+    Alcotest.test_case "BASEADDR(x) = NIL" `Quick test_baseaddr_var;
+    Alcotest.test_case "BASEADDR(e1[e2])" `Quick test_baseaddr_index;
+    Alcotest.test_case "BASEADDR(e1 -> x)" `Quick test_baseaddr_arrow;
+    Alcotest.test_case "BASEADDR of field chains" `Quick
+      test_baseaddr_field_chains;
+    Alcotest.test_case "casts transparent" `Quick test_cast_transparent;
+    Alcotest.test_case "generating expressions" `Quick test_generating;
+    Alcotest.test_case "KEEP_LIVE transparent" `Quick
+      test_keep_live_transparent;
+    Alcotest.test_case "is_copy (optimization 1)" `Quick test_is_copy;
+    QCheck_alcotest.to_alcotest prop_arith_chain;
+  ]

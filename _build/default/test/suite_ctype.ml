@@ -1,0 +1,122 @@
+(* C type model unit tests: sizes, alignment, decay, layout corners. *)
+
+open Csyntax
+
+let env_with src = (Parser.parse_program src).Ast.prog_env
+
+let test_scalar_sizes () =
+  let env = Ctype.Env.create () in
+  List.iter
+    (fun (ty, sz) ->
+      Alcotest.(check int) (Ctype.to_string ty) sz (Ctype.size env ty))
+    [
+      (Ctype.Char, 1); (Ctype.Short, 2); (Ctype.Int, 4); (Ctype.Long, 8);
+      (Ctype.Ptr Ctype.Char, 8); (Ctype.Ptr (Ctype.Ptr Ctype.Int), 8);
+      (Ctype.Float, 4); (Ctype.Double, 8);
+      (Ctype.Array (Ctype.Int, Some 10), 40);
+      (Ctype.Array (Ctype.Array (Ctype.Char, Some 3), Some 4), 12);
+    ]
+
+let test_alignment () =
+  let env = Ctype.Env.create () in
+  List.iter
+    (fun (ty, a) ->
+      Alcotest.(check int) (Ctype.to_string ty) a (Ctype.align env ty))
+    [
+      (Ctype.Char, 1); (Ctype.Short, 2); (Ctype.Int, 4); (Ctype.Long, 8);
+      (Ctype.Ptr Ctype.Void, 8); (Ctype.Array (Ctype.Short, Some 7), 2);
+    ]
+
+let test_incomplete () =
+  let env = Ctype.Env.create () in
+  (match Ctype.size env (Ctype.Array (Ctype.Int, None)) with
+  | exception Ctype.Incomplete _ -> ()
+  | _ -> Alcotest.fail "incomplete array must not size");
+  match Ctype.size env (Ctype.Struct "nosuch") with
+  | exception Ctype.Incomplete _ -> ()
+  | _ -> Alcotest.fail "unknown struct must not size"
+
+let test_decay_and_pointee () =
+  let arr = Ctype.Array (Ctype.Int, Some 5) in
+  Alcotest.(check bool) "array decays" true
+    (Ctype.equal (Ctype.decay arr) (Ctype.Ptr Ctype.Int));
+  Alcotest.(check bool) "scalar unchanged" true
+    (Ctype.equal (Ctype.decay Ctype.Long) Ctype.Long);
+  Alcotest.(check bool) "pointee of ptr" true
+    (Ctype.pointee (Ctype.Ptr Ctype.Char) = Some Ctype.Char);
+  Alcotest.(check bool) "pointee of array" true
+    (Ctype.pointee arr = Some Ctype.Int);
+  Alcotest.(check bool) "pointee of int" true (Ctype.pointee Ctype.Int = None)
+
+let test_predicates () =
+  Alcotest.(check bool) "ptr is pointer" true (Ctype.is_pointer (Ctype.Ptr Ctype.Void));
+  Alcotest.(check bool) "array is not pointer" false
+    (Ctype.is_pointer (Ctype.Array (Ctype.Int, Some 2)));
+  Alcotest.(check bool) "char is integer" true (Ctype.is_integer Ctype.Char);
+  Alcotest.(check bool) "double is arith not integer" true
+    (Ctype.is_arith Ctype.Double && not (Ctype.is_integer Ctype.Double));
+  Alcotest.(check bool) "struct is aggregate" true
+    (Ctype.is_aggregate (Ctype.Struct "s"));
+  Alcotest.(check bool) "ptr is scalar" true (Ctype.is_scalar (Ctype.Ptr Ctype.Int))
+
+let test_nested_struct_layout () =
+  let env =
+    env_with
+      {|struct inner { char c; long l; };
+struct outer { int i; struct inner in1; char tail; };|}
+  in
+  match Ctype.Env.find env "outer" with
+  | None -> Alcotest.fail "no layout"
+  | Some lay ->
+      let off name =
+        (List.find (fun f -> f.Ctype.fld_name = name) lay.Ctype.lay_fields)
+          .Ctype.fld_offset
+      in
+      Alcotest.(check int) "i at 0" 0 (off "i");
+      (* inner has align 8 *)
+      Alcotest.(check int) "in1 at 8" 8 (off "in1");
+      Alcotest.(check int) "tail at 24" 24 (off "tail");
+      Alcotest.(check int) "size rounds to align" 32 lay.Ctype.lay_size
+
+let test_empty_struct_min_size () =
+  (* degenerate but accepted: a struct with one char has size 1 *)
+  let env = env_with "struct one { char c; };" in
+  match Ctype.Env.find env "one" with
+  | Some lay -> Alcotest.(check int) "size 1" 1 lay.Ctype.lay_size
+  | None -> Alcotest.fail "no layout"
+
+let test_equal () =
+  let a = Ctype.Ptr (Ctype.Array (Ctype.Int, Some 3)) in
+  let b = Ctype.Ptr (Ctype.Array (Ctype.Int, Some 3)) in
+  let c = Ctype.Ptr (Ctype.Array (Ctype.Int, Some 4)) in
+  Alcotest.(check bool) "structural equality" true (Ctype.equal a b);
+  Alcotest.(check bool) "length matters" false (Ctype.equal a c);
+  Alcotest.(check bool) "tags compare" true
+    (Ctype.equal (Ctype.Struct "s") (Ctype.Struct "s"));
+  Alcotest.(check bool) "struct vs union differ" false
+    (Ctype.equal (Ctype.Struct "s") (Ctype.Union "s"))
+
+let test_to_string_roundtrippable () =
+  (* the printed forms appear in diagnostics; sanity-check a few *)
+  List.iter
+    (fun (ty, str) ->
+      Alcotest.(check string) str str (Ctype.to_string ty))
+    [
+      (Ctype.Ptr Ctype.Char, "char *");
+      (Ctype.Ptr (Ctype.Ptr Ctype.Int), "int * *");
+      (Ctype.Struct "node", "struct node");
+      (Ctype.Array (Ctype.Long, Some 4), "long [4]");
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "scalar sizes" `Quick test_scalar_sizes;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "incomplete types" `Quick test_incomplete;
+    Alcotest.test_case "decay and pointee" `Quick test_decay_and_pointee;
+    Alcotest.test_case "classification predicates" `Quick test_predicates;
+    Alcotest.test_case "nested struct layout" `Quick test_nested_struct_layout;
+    Alcotest.test_case "minimum struct size" `Quick test_empty_struct_min_size;
+    Alcotest.test_case "structural equality" `Quick test_equal;
+    Alcotest.test_case "printing" `Quick test_to_string_roundtrippable;
+  ]

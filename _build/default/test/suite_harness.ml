@@ -1,0 +1,139 @@
+(* Harness tests: the paper tables regenerate with the right *shape* —
+   who wins, by roughly what factor, where the anomalies sit. *)
+
+let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let pct base v = 100.0 *. float_of_int (v - base) /. float_of_int base
+
+let cell rows workload config =
+  let row = List.find (fun r -> r.Harness.Tables.r_workload = workload) rows in
+  let base = Harness.Measure.base_cycles_exn row.Harness.Tables.r_base in
+  let c =
+    List.find
+      (fun c -> c.Harness.Tables.c_config = config)
+      row.Harness.Tables.r_cells
+  in
+  match c.Harness.Tables.c_outcome with
+  | Harness.Measure.Ran r -> Some (pct base r.Harness.Measure.o_cycles)
+  | Harness.Measure.Detected _ -> None
+
+let rows_for ?suite machine =
+  Harness.Tables.slowdown_table ~machine ~out:null_fmt ?suite ()
+
+(* the full sparc10 table is expensive; compute it once for the suite *)
+let sparc10_rows = lazy (rows_for Machine.Machdesc.sparc10)
+
+let test_slowdown_shape () =
+  let rows = Lazy.force sparc10_rows in
+  List.iter
+    (fun w ->
+      let safe = cell rows w Harness.Build.Safe in
+      let debug = cell rows w Harness.Build.Debug in
+      let checked = cell rows w Harness.Build.Debug_checked in
+      (match (safe, debug) with
+      | Some s, Some d ->
+          (* safe is cheap; -g costs more than safe; both positive *)
+          Alcotest.(check bool) (w ^ " safe >= 0") true (s >= -1.0);
+          Alcotest.(check bool) (w ^ " safe < 70%") true (s < 70.0);
+          Alcotest.(check bool) (w ^ " -g > safe") true (d > s)
+      | _ -> Alcotest.failf "%s: safe or -g failed" w);
+      match (w, checked) with
+      | "gawk", None -> () (* the paper's <fails> cell *)
+      | "gawk", Some _ -> Alcotest.fail "gawk checked must fail"
+      | _, Some c ->
+          (* checking is expensive: around 1.5x-12x *)
+          Alcotest.(check bool) (w ^ " checked > 100%") true (c > 100.0);
+          Alcotest.(check bool) (w ^ " checked < 1200%") true (c < 1200.0)
+      | _, None -> Alcotest.failf "%s checked failed unexpectedly" w)
+    [ "cordtest"; "cfrac"; "gawk"; "gs" ]
+
+let test_postprocessor_shape () =
+  (* the postprocessor brings safe overhead to near-baseline: under 15%
+     residual time and size overhead for every workload (paper: <=4% / 7%;
+     our block-local patterns leave a little more on gs) *)
+  let results =
+    Harness.Tables.postprocessor_table ~machine:Machine.Machdesc.sparc10
+      ~out:null_fmt ()
+  in
+  List.iter
+    (fun (name, base, post, base_size, post_size) ->
+      let base_cycles = Harness.Measure.base_cycles_exn base in
+      (match post with
+      | Harness.Measure.Ran r ->
+          let t = pct base_cycles r.Harness.Measure.o_cycles in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s residual time %.1f%% <= 15%%" name t)
+            true (t <= 15.0)
+      | Harness.Measure.Detected m -> Alcotest.failf "%s: %s" name m);
+      let sz = pct base_size post_size in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s residual size %.1f%% <= 15%%" name sz)
+        true (sz <= 15.0))
+    results
+
+let test_size_shape () =
+  let results =
+    Harness.Tables.size_table ~machine:Machine.Machdesc.sparc10 ~out:null_fmt ()
+  in
+  List.iter
+    (fun (name, base_size, sizes) ->
+      let size_of config = List.assoc config sizes in
+      let safe = pct base_size (size_of Harness.Build.Safe) in
+      let debug = pct base_size (size_of Harness.Build.Debug) in
+      let checked = pct base_size (size_of Harness.Build.Debug_checked) in
+      Alcotest.(check bool) (name ^ " safe size small") true
+        (safe >= 0.0 && safe < 40.0);
+      Alcotest.(check bool) (name ^ " -g larger") true (debug > safe);
+      Alcotest.(check bool) (name ^ " checked largest") true (checked > debug))
+    results
+
+let test_peephole_beats_plain_safe () =
+  (* the postprocessor must recover a substantial part of safe overhead *)
+  let src = Workloads.Registry.cordtest.Workloads.Registry.w_source in
+  let cycles config =
+    match Util.run_built config src with
+    | Harness.Measure.Ran r -> r.Harness.Measure.o_cycles
+    | Harness.Measure.Detected m -> Alcotest.fail m
+  in
+  let base = cycles Harness.Build.Base in
+  let safe = cycles Harness.Build.Safe in
+  let peep = cycles Harness.Build.Safe_peephole in
+  Alcotest.(check bool) "peephole helps" true (peep < safe);
+  Alcotest.(check bool) "recovers most of the overhead" true
+    (float_of_int (peep - base) < 0.4 *. float_of_int (safe - base))
+
+let test_machines_all_run () =
+  (* a one-workload column on the other two machines keeps this cheap *)
+  List.iter
+    (fun machine ->
+      let rows =
+        rows_for ~suite:[ Workloads.Registry.cfrac ] machine
+      in
+      Alcotest.(check int)
+        (machine.Machine.Machdesc.md_name ^ " rows")
+        1 (List.length rows);
+      match cell rows "cfrac" Harness.Build.Safe with
+      | Some s -> Alcotest.(check bool) "safe overhead sane" true (s < 60.0)
+      | None -> Alcotest.fail "cfrac safe failed")
+    [ Machine.Machdesc.sparc2; Machine.Machdesc.pentium90 ]
+
+let test_keep_live_counts () =
+  (* annotation density: cordtest has many pointer expressions *)
+  let b =
+    Harness.Build.build Harness.Build.Safe
+      Workloads.Registry.cordtest.Workloads.Registry.w_source
+  in
+  Alcotest.(check bool) "dozens of annotations" true
+    (b.Harness.Build.b_keep_lives > 30)
+
+let suite =
+  [
+    Alcotest.test_case "slowdown table shape" `Slow test_slowdown_shape;
+    Alcotest.test_case "postprocessor table shape" `Slow
+      test_postprocessor_shape;
+    Alcotest.test_case "size table shape" `Slow test_size_shape;
+    Alcotest.test_case "peephole recovers overhead" `Slow
+      test_peephole_beats_plain_safe;
+    Alcotest.test_case "all machines measurable" `Slow test_machines_all_run;
+    Alcotest.test_case "annotation counts" `Quick test_keep_live_counts;
+  ]

@@ -1,0 +1,181 @@
+(* Heapness analysis tests: annotations drop only where heap pointers are
+   provably absent. *)
+
+open Gcsafe
+
+let annotate ?(heapness = true) src =
+  let ast = Csyntax.Parser.parse_program src in
+  let opts =
+    { (Mode.default Mode.Safe) with Mode.heapness_analysis = heapness }
+  in
+  Annotate.run ~opts ast
+
+let count ?heapness src = (annotate ?heapness src).Annotate.keep_live_count
+
+let printed src =
+  Csyntax.Pretty.program_to_string (annotate src).Annotate.program
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec loop i = i + ln <= lh && (String.sub hay i ln = needle || loop (i + 1)) in
+  ln = 0 || loop 0
+
+let test_stack_walker_clean () =
+  let src =
+    {|long f(void) {
+  char buf[64];
+  char *p = buf;
+  long n = 0;
+  while (p < buf + 63) { *p = 'x'; p++; n++; }
+  return n;
+}|}
+  in
+  Alcotest.(check int) "no annotations" 0 (count src);
+  Alcotest.(check bool) "without analysis there are some" true
+    (count ~heapness:false src > 0)
+
+let test_heap_walker_kept () =
+  let src =
+    {|long f(void) {
+  char *buf = (char *)malloc(64);
+  char *p = buf;
+  long n = 0;
+  while (p < buf + 63) { *p = 'y'; p++; n++; }
+  return n;
+}|}
+  in
+  Alcotest.(check int) "annotations preserved" (count ~heapness:false src)
+    (count src)
+
+let test_params_are_heapy () =
+  (* callers may pass heap pointers *)
+  let src = "char f(char *x) { return x[1]; }" in
+  Alcotest.(check bool) "parameter access stays wrapped" true
+    (contains (printed src) "KEEP_LIVE(&x[1], x)")
+
+let test_globals_are_heapy () =
+  let src =
+    "char *g; char f(void) { char *p = g; return p[3]; }"
+  in
+  Alcotest.(check bool) "global-derived pointer stays wrapped" true
+    (contains (printed src) "KEEP_LIVE")
+
+let test_address_taken_is_heapy () =
+  (* a variable whose address escapes can be overwritten with anything *)
+  let src =
+    {|void fill(char **out);
+char f(void) {
+  char buf[8];
+  char *p = buf;
+  fill(&p);
+  return p[2];
+}|}
+  in
+  Alcotest.(check bool) "address-taken variable stays wrapped" true
+    (contains (printed src) "KEEP_LIVE")
+
+let test_copy_chain_fixpoint () =
+  (* heapness flows backwards through copies discovered later: q heapy via
+     a later assignment, p = q earlier in the text *)
+  let src =
+    {|char f(void) {
+  char *p;
+  char *q;
+  char buf[8];
+  q = buf;
+  p = q;
+  q = (char *)malloc(8);
+  p = q;           /* p now heapy through the copy */
+  return p[1];
+}|}
+  in
+  Alcotest.(check bool) "copy of heapy var stays wrapped" true
+    (contains (printed src) "KEEP_LIVE")
+
+let test_loads_are_heapy () =
+  let src =
+    {|struct s { char *ptr; };
+char f(struct s *v) {
+  char *p = v->ptr;
+  return p[1];
+}|}
+  in
+  Alcotest.(check bool) "loaded pointer stays wrapped" true
+    (contains (printed src) "p[1], p")
+
+let test_conditional_mix () =
+  (* one branch heap, one stack: the variable is heapy *)
+  let src =
+    {|char f(int c) {
+  char buf[8];
+  char *p = c ? buf : (char *)malloc(8);
+  return p[1];
+}|}
+  in
+  Alcotest.(check bool) "mixed conditional stays wrapped" true
+    (contains (printed src) "KEEP_LIVE")
+
+let test_semantics_preserved () =
+  let src =
+    {|long stackw(void) {
+  char buf[64];
+  char *p = buf;
+  long n = 0;
+  while (p < buf + 63) { *p = 'x'; p++; n++; }
+  return n;
+}
+int main(void) {
+  char *h = (char *)malloc(16);
+  char *q = h;
+  int i;
+  for (i = 0; i < 15; i++) *q++ = 'a' + i;
+  *q = 0;
+  printf("%ld %s\n", stackw(), h);
+  return 0;
+}|}
+  in
+  let run program =
+    let irp = Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode program in
+    ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
+    let config =
+      { (Machine.Vm.default_config ()) with Machine.Vm.vm_async_gc = Some 7 }
+    in
+    (Machine.Vm.run ~config irp).Machine.Vm.r_output
+  in
+  let base =
+    let ast, _ = Csyntax.Typecheck.check_source src in
+    let irp = Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode ast in
+    ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
+    (Machine.Vm.run irp).Machine.Vm.r_output
+  in
+  Alcotest.(check string) "heapness-annotated code correct under async GC"
+    base
+    (run (annotate src).Annotate.program)
+
+let test_workload_counts_not_increased () =
+  List.iter
+    (fun w ->
+      let src = w.Workloads.Registry.w_source in
+      Alcotest.(check bool)
+        (w.Workloads.Registry.w_name ^ " analysis only removes")
+        true
+        (count src <= count ~heapness:false src))
+    Workloads.Registry.paper_suite
+
+let suite =
+  [
+    Alcotest.test_case "stack walker unannotated" `Quick
+      test_stack_walker_clean;
+    Alcotest.test_case "heap walker annotated" `Quick test_heap_walker_kept;
+    Alcotest.test_case "parameters heapy" `Quick test_params_are_heapy;
+    Alcotest.test_case "globals heapy" `Quick test_globals_are_heapy;
+    Alcotest.test_case "address-taken heapy" `Quick
+      test_address_taken_is_heapy;
+    Alcotest.test_case "copy-chain fixpoint" `Quick test_copy_chain_fixpoint;
+    Alcotest.test_case "memory loads heapy" `Quick test_loads_are_heapy;
+    Alcotest.test_case "conditional mix heapy" `Quick test_conditional_mix;
+    Alcotest.test_case "semantics under async GC" `Quick
+      test_semantics_preserved;
+    Alcotest.test_case "workload counts monotone" `Quick
+      test_workload_counts_not_increased;
+  ]

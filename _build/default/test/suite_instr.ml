@@ -1,0 +1,113 @@
+(* IR instruction helper tests: uses/defs, operand mapping, side effects,
+   code size accounting, printing. *)
+
+open Ir.Instr
+
+let sorted l = List.sort compare l
+
+let test_uses () =
+  List.iter
+    (fun (i, expect) ->
+      Alcotest.(check (list int))
+        (Format.asprintf "%a" pp_instr i)
+        (sorted expect) (sorted (uses i)))
+    [
+      (Mov (1, Reg 2), [ 2 ]);
+      (Mov (1, Imm 5), []);
+      (Bin (Add, 1, Reg 2, Reg 3), [ 2; 3 ]);
+      (Bin (Add, 1, Reg 2, Imm 4), [ 2 ]);
+      (Rel (Lt, 1, Reg 2, Glob 8), [ 2 ]);
+      (Load (W8, 1, Reg 2, Reg 3), [ 2; 3 ]);
+      (Store (W4, Reg 1, Reg 2, Reg 3), [ 1; 2; 3 ]);
+      (Push (Reg 9), [ 9 ]);
+      (Call (Some 1, "f", 2), []);
+      (KeepLive (Reg 7), [ 7 ]);
+      (Opaque (1, Reg 2), [ 2 ]);
+    ]
+
+let test_defs () =
+  List.iter
+    (fun (i, expect) ->
+      Alcotest.(check (option int))
+        (Format.asprintf "%a" pp_instr i)
+        expect (def i))
+    [
+      (Mov (1, Imm 0), Some 1);
+      (Bin (Mul, 4, Reg 1, Reg 2), Some 4);
+      (Load (W1, 6, Reg 0, Imm 8), Some 6);
+      (Store (W8, Reg 1, Reg 2, Imm 0), None);
+      (Push (Imm 3), None);
+      (Call (Some 5, "f", 0), Some 5);
+      (Call (None, "g", 1), None);
+      (KeepLive (Reg 1), None);
+      (Opaque (9, Reg 1), Some 9);
+    ]
+
+let test_side_effects () =
+  Alcotest.(check bool) "store" true (has_side_effect (Store (W8, Imm 0, Reg 1, Imm 0)));
+  Alcotest.(check bool) "call" true (has_side_effect (Call (None, "f", 0)));
+  Alcotest.(check bool) "push" true (has_side_effect (Push (Imm 1)));
+  Alcotest.(check bool) "keep" true (has_side_effect (KeepLive (Reg 1)));
+  Alcotest.(check bool) "opaque removable" false (has_side_effect (Opaque (1, Reg 2)));
+  Alcotest.(check bool) "mov pure" false (has_side_effect (Mov (1, Imm 0)))
+
+let test_map_ops () =
+  let shift r = Reg (r + 100) in
+  (match map_instr_ops shift (Bin (Add, 1, Reg 2, Imm 3)) with
+  | Bin (Add, 1, Reg 102, Imm 3) -> ()
+  | _ -> Alcotest.fail "map over bin");
+  (* the definition register is not an operand *)
+  (match map_instr_ops shift (Mov (1, Reg 1)) with
+  | Mov (1, Reg 101) -> ()
+  | _ -> Alcotest.fail "def untouched");
+  match map_term_ops shift (Br (Reg 4, 1, 2)) with
+  | Br (Reg 104, 1, 2) -> ()
+  | _ -> Alcotest.fail "terminator operand"
+
+let test_successors () =
+  Alcotest.(check (list int)) "jmp" [ 3 ] (successors (Jmp 3));
+  Alcotest.(check (list int)) "br" [ 1; 2 ] (successors (Br (Reg 0, 1, 2)));
+  Alcotest.(check (list int)) "ret" [] (successors (Ret None))
+
+let test_code_size_excludes_keep () =
+  let f =
+    {
+      fn_name = "t";
+      fn_params = [];
+      fn_ret_void = true;
+      fn_blocks =
+        [
+          {
+            b_label = 0;
+            b_instrs =
+              [ Mov (1, Imm 0); KeepLive (Reg 1); Bin (Add, 2, Reg 1, Imm 1);
+                KeepLive (Reg 2) ];
+            b_term = Ret None;
+          };
+        ];
+      fn_nreg = 4;
+      fn_frame = 0;
+    }
+  in
+  (* 2 real instructions + 1 terminator; keeps are empty asm *)
+  Alcotest.(check int) "size" 3 (code_size f)
+
+let test_widths () =
+  Alcotest.(check int) "W1" 1 (bytes_of_width W1);
+  Alcotest.(check int) "W8" 8 (bytes_of_width W8);
+  Alcotest.(check bool) "roundtrip" true (width_of_bytes 4 = W4);
+  match width_of_bytes 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "width 3 must be rejected"
+
+let suite =
+  [
+    Alcotest.test_case "uses" `Quick test_uses;
+    Alcotest.test_case "defs" `Quick test_defs;
+    Alcotest.test_case "side effects" `Quick test_side_effects;
+    Alcotest.test_case "operand mapping" `Quick test_map_ops;
+    Alcotest.test_case "successors" `Quick test_successors;
+    Alcotest.test_case "code size excludes keeps" `Quick
+      test_code_size_excludes_keep;
+    Alcotest.test_case "widths" `Quick test_widths;
+  ]

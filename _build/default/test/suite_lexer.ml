@@ -1,0 +1,104 @@
+(* Lexer unit tests. *)
+
+open Csyntax
+
+let toks src =
+  Array.to_list (Lexer.tokenize src) |> List.map (fun t -> t.Lexer.t)
+
+let check_toks name src expected =
+  Alcotest.(check (list string))
+    name
+    (expected @ [ "<eof>" ])
+    (List.map Token.to_string (toks src))
+
+let test_idents_keywords () =
+  check_toks "keywords vs identifiers" "int intx if iffy while_ do"
+    [ "int"; "intx"; "if"; "iffy"; "while_"; "do" ]
+
+let test_numbers () =
+  (match toks "0 42 0x1F 100L 7u" with
+  | [ Token.INT_LIT 0; INT_LIT 42; INT_LIT 31; INT_LIT 100; INT_LIT 7; EOF ] ->
+      ()
+  | ts ->
+      Alcotest.failf "bad numbers: %s"
+        (String.concat " " (List.map Token.to_string ts)));
+  match toks "3.5 0.25" with
+  | [ Token.FLOAT_LIT a; FLOAT_LIT b; EOF ] ->
+      Alcotest.(check (float 1e-9)) "3.5" 3.5 a;
+      Alcotest.(check (float 1e-9)) "0.25" 0.25 b
+  | _ -> Alcotest.fail "bad floats"
+
+let test_char_literals () =
+  match toks {|'a' '\n' '\0' '\\' '\''|} with
+  | [ Token.CHAR_LIT 'a'; CHAR_LIT '\n'; CHAR_LIT '\000'; CHAR_LIT '\\';
+      CHAR_LIT '\''; EOF ] ->
+      ()
+  | ts ->
+      Alcotest.failf "bad chars: %s"
+        (String.concat " " (List.map Token.to_string ts))
+
+let test_string_literals () =
+  match toks {|"hi" "a\tb" ""|} with
+  | [ Token.STR_LIT "hi"; STR_LIT "a\tb"; STR_LIT ""; EOF ] -> ()
+  | _ -> Alcotest.fail "bad strings"
+
+let test_operators () =
+  check_toks "multichar operators"
+    "<<= >>= ... -> ++ -- += -= *= /= %= &= |= ^= && || << >> <= >= == != ="
+    [ "<<="; ">>="; "..."; "->"; "++"; "--"; "+="; "-="; "*="; "/="; "%=";
+      "&="; "|="; "^="; "&&"; "||"; "<<"; ">>"; "<="; ">="; "=="; "!="; "=" ]
+
+let test_adjacent_operators () =
+  (* a+++b lexes greedily as a ++ + b *)
+  check_toks "maximal munch" "a+++b" [ "a"; "++"; "+"; "b" ]
+
+let test_comments () =
+  check_toks "comments skipped" "a /* b c */ d // e\nf" [ "a"; "d"; "f" ];
+  check_toks "nested-ish comment body" "x /* * / ** // */ y" [ "x"; "y" ]
+
+let test_line_directives () =
+  check_toks "cpp line markers skipped" "# 1 \"foo.c\"\nint x;\n# 2\n;"
+    [ "int"; "x"; ";"; ";" ]
+
+let test_positions () =
+  let ts = Lexer.tokenize "ab\n  cd" in
+  let t0 = ts.(0) and t1 = ts.(1) in
+  Alcotest.(check int) "line 1" 1 t0.Lexer.loc.Loc.line;
+  Alcotest.(check int) "col 1" 1 t0.Lexer.loc.Loc.col;
+  Alcotest.(check int) "offset 0" 0 t0.Lexer.loc.Loc.offset;
+  Alcotest.(check int) "endpos" 2 t0.Lexer.endpos;
+  Alcotest.(check int) "line 2" 2 t1.Lexer.loc.Loc.line;
+  Alcotest.(check int) "col 3" 3 t1.Lexer.loc.Loc.col;
+  Alcotest.(check int) "offset 5" 5 t1.Lexer.loc.Loc.offset
+
+let test_errors () =
+  let expect_error src =
+    match Lexer.tokenize src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.failf "expected lexer error on %S" src
+  in
+  expect_error "\"unterminated";
+  expect_error "'a";
+  expect_error "/* never closed";
+  expect_error "`"
+
+let test_integer_suffix_garbling () =
+  (* suffixed literals keep their numeric value *)
+  match toks "10l 10L 10u 10UL" with
+  | [ Token.INT_LIT 10; INT_LIT 10; INT_LIT 10; INT_LIT 10; EOF ] -> ()
+  | _ -> Alcotest.fail "bad suffixed literals"
+
+let suite =
+  [
+    Alcotest.test_case "idents and keywords" `Quick test_idents_keywords;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "char literals" `Quick test_char_literals;
+    Alcotest.test_case "string literals" `Quick test_string_literals;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "maximal munch" `Quick test_adjacent_operators;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "line directives" `Quick test_line_directives;
+    Alcotest.test_case "positions" `Quick test_positions;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "integer suffixes" `Quick test_integer_suffix_garbling;
+  ]

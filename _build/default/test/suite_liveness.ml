@@ -1,0 +1,125 @@
+(* Liveness dataflow unit tests on hand-built CFGs. *)
+
+open Ir.Instr
+
+let mk_blocks blocks =
+  {
+    fn_name = "t";
+    fn_params = [];
+    fn_ret_void = false;
+    fn_blocks =
+      List.map
+        (fun (label, instrs, term) ->
+          { b_label = label; b_instrs = instrs; b_term = term })
+        blocks;
+    fn_nreg = 16;
+    fn_frame = 0;
+  }
+
+let set l = Ir.Liveness.ISet.of_list l
+
+let check_set name expected actual =
+  Alcotest.(check (list int))
+    name (List.sort compare expected)
+    (Ir.Liveness.ISet.elements actual)
+
+let test_straight_line () =
+  let f =
+    mk_blocks
+      [ (0, [ Mov (1, Imm 5); Bin (Add, 2, Reg 1, Imm 1) ], Ret (Some (Reg 2))) ]
+  in
+  let live = Ir.Liveness.compute f in
+  check_set "nothing live in" [] (Ir.Liveness.live_in live 0);
+  check_set "nothing live out" [] (Ir.Liveness.live_out live 0);
+  let after = Ir.Liveness.per_instr live (List.hd f.fn_blocks) in
+  check_set "r1 live after mov" [ 1 ] after.(0);
+  check_set "r2 live after add" [ 2 ] after.(1)
+
+let test_param_liveness () =
+  (* a value used before any definition is live-in at the entry *)
+  let f = mk_blocks [ (0, [ Bin (Add, 2, Reg 1, Imm 1) ], Ret (Some (Reg 2))) ] in
+  let live = Ir.Liveness.compute f in
+  check_set "r1 live-in" [ 1 ] (Ir.Liveness.live_in live 0)
+
+let test_branch_join () =
+  (* r1 used on one arm only: live-in at the branch point nonetheless *)
+  let f =
+    mk_blocks
+      [
+        (0, [], Br (Reg 3, 1, 2));
+        (1, [ Mov (4, Reg 1) ], Jmp 3);
+        (2, [ Mov (4, Imm 0) ], Jmp 3);
+        (3, [], Ret (Some (Reg 4)));
+      ]
+  in
+  let live = Ir.Liveness.compute f in
+  check_set "branch block live-in" [ 1; 3 ] (Ir.Liveness.live_in live 0);
+  check_set "join live-in" [ 4 ] (Ir.Liveness.live_in live 3)
+
+let test_loop_carried () =
+  (* the loop counter is live around the back edge *)
+  let f =
+    mk_blocks
+      [
+        (0, [ Mov (1, Imm 0) ], Jmp 1);
+        (1, [ Rel (Lt, 2, Reg 1, Imm 10) ], Br (Reg 2, 2, 3));
+        (2, [ Bin (Add, 1, Reg 1, Imm 1) ], Jmp 1);
+        (3, [], Ret (Some (Reg 1)));
+      ]
+  in
+  let live = Ir.Liveness.compute f in
+  check_set "counter live into head" [ 1 ] (Ir.Liveness.live_in live 1);
+  check_set "counter live out of body" [ 1 ] (Ir.Liveness.live_out live 2);
+  check_set "counter live out of head" [ 1 ] (Ir.Liveness.live_out live 1)
+
+let test_keep_live_is_a_use () =
+  (* the KeepLive marker extends the live range — the heart of the
+     KEEP_LIVE contract at the IR level *)
+  let without =
+    mk_blocks
+      [ (0, [ Mov (1, Reg 5); Bin (Add, 2, Reg 1, Imm 4); Mov (3, Imm 0) ],
+         Ret (Some (Reg 2))) ]
+  in
+  let with_keep =
+    mk_blocks
+      [ (0, [ Mov (1, Reg 5); Bin (Add, 2, Reg 1, Imm 4); KeepLive (Reg 1);
+              Mov (3, Imm 0) ],
+         Ret (Some (Reg 2))) ]
+  in
+  let l1 = Ir.Liveness.compute without in
+  let l2 = Ir.Liveness.compute with_keep in
+  let after1 = Ir.Liveness.per_instr l1 (List.hd without.fn_blocks) in
+  let after2 = Ir.Liveness.per_instr l2 (List.hd with_keep.fn_blocks) in
+  Alcotest.(check bool) "r1 dead after add without keep" false
+    (Ir.Liveness.ISet.mem 1 after1.(1));
+  Alcotest.(check bool) "r1 live after add with keep" true
+    (Ir.Liveness.ISet.mem 1 after2.(1))
+
+let test_push_call_uses () =
+  let f =
+    mk_blocks
+      [ (0, [ Push (Reg 7); Call (Some 2, "f", 1) ], Ret (Some (Reg 2))) ]
+  in
+  let live = Ir.Liveness.compute f in
+  check_set "push argument live-in" [ 7 ] (Ir.Liveness.live_in live 0)
+
+let test_store_uses_all () =
+  let f =
+    mk_blocks
+      [ (0, [ Store (W8, Reg 1, Reg 2, Reg 3) ], Ret None) ]
+  in
+  let live = Ir.Liveness.compute f in
+  check_set "store uses src, base, offset" [ 1; 2; 3 ]
+    (Ir.Liveness.live_in live 0);
+  ignore (set [])
+
+let suite =
+  [
+    Alcotest.test_case "straight line" `Quick test_straight_line;
+    Alcotest.test_case "parameters live-in" `Quick test_param_liveness;
+    Alcotest.test_case "branch and join" `Quick test_branch_join;
+    Alcotest.test_case "loop-carried values" `Quick test_loop_carried;
+    Alcotest.test_case "KeepLive is a use" `Quick test_keep_live_is_a_use;
+    Alcotest.test_case "push/call uses" `Quick test_push_call_uses;
+    Alcotest.test_case "store uses all operands" `Quick test_store_uses_all;
+  ]

@@ -1,0 +1,151 @@
+(* Normalization tests: the temporaries that give generating expressions
+   names, and the invariant that annotation never sees Unnamed bases. *)
+
+open Csyntax
+open Gcsafe
+
+let normalize src =
+  let p = Parser.parse_program src in
+  ignore (Typecheck.check_program p);
+  Normalize.norm_program p
+
+let printed src = Pretty.program_to_string (normalize src)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec loop i = i + ln <= lh && (String.sub hay i ln = needle || loop (i + 1)) in
+  ln = 0 || loop 0
+
+let check_contains name src needle =
+  let out = printed src in
+  if not (contains out needle) then
+    Alcotest.failf "%s: expected %S in:\n%s" name needle out
+
+let check_absent name src needle =
+  let out = printed src in
+  if contains out needle then
+    Alcotest.failf "%s: did not expect %S in:\n%s" name needle out
+
+let test_call_in_arith_named () =
+  check_contains "call under +" "char *g(void); char *f(void) { return g() + 1; }"
+    "(__t0 = g()) + 1"
+
+let test_call_under_subscript_named () =
+  check_contains "call under []"
+    "char *g(void); char f(void) { return g()[3]; }" "(__t0 = g())[3]"
+
+let test_call_under_arrow_named () =
+  check_contains "call under ->"
+    "struct s { int v; }; struct s *g(void); int f(void) { return g()->v; }"
+    "(__t0 = g())->v"
+
+let test_deref_chain_named () =
+  (* the middle pointer load of a two-step chain gets a name *)
+  check_contains "arrow chain"
+    "struct s { struct s *next; int v; }; int f(struct s *p) { return p->next->v; }"
+    "(__t0 = p->next)->v"
+
+let test_cond_in_arith_named () =
+  check_contains "conditional under +"
+    "char *f(char *p, char *q, int c) { return (c ? p : q) + 1; }"
+    "(__t0 = c ? p : q) + 1"
+
+let test_direct_positions_not_named () =
+  (* direct assignment / argument / return positions need no temporary *)
+  check_absent "direct call assignment"
+    "char *g(void); void f(void) { char *p; p = g(); }" "__t";
+  check_absent "direct call argument"
+    "char *g(void); void h(char *x); void f(void) { h(g()); }" "__t";
+  check_absent "direct return" "char *g(void); char *f(void) { return g(); }"
+    "__t";
+  check_absent "plain deref of call"
+    "char **g(void); char *f(void) { return *g(); }" "__t"
+
+let test_addr_of_deref_simplified () =
+  check_absent "&*e -> e" "char *f(char **pp) { return &**pp; }" "&*"
+
+let test_no_unnamed_reaches_annotation () =
+  (* a grab-bag of awkward shapes; annotation must not raise *)
+  List.iter
+    (fun src ->
+      let p = Parser.parse_program src in
+      match Annotate.run ~opts:(Mode.default Mode.Safe) p with
+      | _ -> ()
+      | exception Annotate.Unnormalized (m, _) ->
+          Alcotest.failf "unnormalized %s on: %s" m src)
+    [
+      "char *g(void); char f(void) { return (g() + 1)[2]; }";
+      "struct s { char *p; }; struct s *g(void); char f(void) { return g()->p[1]; }";
+      "char *g(void); char f(int c) { return (c ? g() : g() + 1)[0]; }";
+      "struct s { struct s *n; char buf[8]; }; char f(struct s *p) { return p->n->n->buf[3]; }";
+      "char **g(void); char f(void) { return (*g())[1]; }";
+      "struct s { char a[4]; }; struct s *g(void); char f(void) { return (*g()).a[1]; }";
+      "char *g(void); void f(char **out) { *out = g() + 2; }";
+      "long f(long *p, long n) { return p[n - 1] + (p + 1)[n - 2]; }";
+    ]
+
+let test_temp_declared_and_typed () =
+  let p = normalize "char *g(void); char f(void) { return g()[3]; }" in
+  (* the program must re-type-check: temp declarations are in place *)
+  ignore (Typecheck.check_program p);
+  let found = ref false in
+  List.iter
+    (function
+      | Ast.Gfunc f ->
+          Ast.iter_stmts
+            (fun s ->
+              match s.Ast.sdesc with
+              | Ast.Sdecl d when d.Ast.d_name = "__t0" ->
+                  found := true;
+                  Alcotest.(check bool) "pointer-typed temp" true
+                    (Ctype.is_pointer d.Ast.d_ty)
+              | _ -> ())
+            f.Ast.f_body
+      | _ -> ())
+    p.Ast.prog_globals;
+  Alcotest.(check bool) "temp declared" true !found
+
+let test_normalized_runs () =
+  (* normalization is semantics-preserving end to end *)
+  let src =
+    {|char *g_buf;
+char *g(void) { return g_buf; }
+int main(void) {
+  g_buf = (char *)malloc(8);
+  strcpy(g_buf, "abcdefg");
+  printf("%c%c\n", g()[2], (g() + 1)[3]);
+  return 0;
+}|}
+  in
+  let irp_plain =
+    let ast, _ = Typecheck.check_source src in
+    Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode ast
+  in
+  let irp_norm =
+    Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode (normalize src)
+  in
+  ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp_plain);
+  ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp_norm);
+  let out irp = (Machine.Vm.run irp).Machine.Vm.r_output in
+  Alcotest.(check string) "same output" (out irp_plain) (out irp_norm)
+
+let suite =
+  [
+    Alcotest.test_case "call under arithmetic" `Quick test_call_in_arith_named;
+    Alcotest.test_case "call under subscript" `Quick
+      test_call_under_subscript_named;
+    Alcotest.test_case "call under arrow" `Quick test_call_under_arrow_named;
+    Alcotest.test_case "pointer-load chains" `Quick test_deref_chain_named;
+    Alcotest.test_case "conditional under arithmetic" `Quick
+      test_cond_in_arith_named;
+    Alcotest.test_case "direct positions untouched" `Quick
+      test_direct_positions_not_named;
+    Alcotest.test_case "&*e simplification" `Quick
+      test_addr_of_deref_simplified;
+    Alcotest.test_case "no Unnamed reaches annotation" `Quick
+      test_no_unnamed_reaches_annotation;
+    Alcotest.test_case "temporaries declared and typed" `Quick
+      test_temp_declared_and_typed;
+    Alcotest.test_case "normalization preserves semantics" `Quick
+      test_normalized_runs;
+  ]

@@ -1,0 +1,319 @@
+(* Optimizer pass tests: each pass in isolation on hand-built IR, plus the
+   pointer-disguising pass's interaction with KEEP_LIVE barriers. *)
+
+open Ir.Instr
+
+(* build a one-block function *)
+let mk_func ?(params = []) ?(nreg = 32) instrs term =
+  {
+    fn_name = "t";
+    fn_params = params;
+    fn_ret_void = false;
+    fn_blocks = [ { b_label = 0; b_instrs = instrs; b_term = term } ];
+    fn_nreg = nreg;
+    fn_frame = 0;
+  }
+
+let instrs_of f = (List.hd f.fn_blocks).b_instrs
+
+let count_kind pred f =
+  List.length (List.filter pred (instrs_of f))
+
+(* --- copy propagation -------------------------------------------------- *)
+
+let test_copyprop_basic () =
+  let f =
+    mk_func
+      [ Mov (1, Imm 5); Mov (2, Reg 1); Bin (Add, 3, Reg 2, Reg 1) ]
+      (Ret (Some (Reg 3)))
+  in
+  Opt.Copyprop.run f;
+  match instrs_of f with
+  | [ Mov (1, Imm 5); Mov (2, Imm 5); Bin (Add, 3, Imm 5, Imm 5) ] -> ()
+  | is ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_copyprop_invalidation () =
+  (* redefinition of the source kills the mapping *)
+  let f =
+    mk_func
+      [ Mov (2, Reg 1); Mov (1, Imm 9); Bin (Add, 3, Reg 2, Imm 0) ]
+      (Ret (Some (Reg 3)))
+  in
+  Opt.Copyprop.run f;
+  (match instrs_of f with
+  | [ _; _; Bin (Add, 3, Reg 2, Imm 0) ] -> ()
+  | _ -> Alcotest.fail "stale copy propagated after source redefinition")
+
+let test_copyprop_opaque_blocked () =
+  (* Opaque results are not propagated: the value must stay stored *)
+  let f =
+    mk_func
+      [ Opaque (2, Reg 1); Bin (Add, 3, Reg 2, Imm 1) ]
+      (Ret (Some (Reg 3)))
+  in
+  Opt.Copyprop.run f;
+  match instrs_of f with
+  | [ Opaque (2, Reg 1); Bin (Add, 3, Reg 2, Imm 1) ] -> ()
+  | _ -> Alcotest.fail "opaque value was propagated"
+
+(* --- constant folding --------------------------------------------------- *)
+
+let test_constfold () =
+  let f =
+    mk_func
+      [
+        Bin (Add, 1, Imm 2, Imm 3);
+        Bin (Mul, 2, Reg 1, Imm 1);
+        Bin (Add, 3, Reg 2, Imm 0);
+        Rel (Lt, 4, Imm 1, Imm 2);
+        Bin (Div, 5, Imm 7, Imm 0);
+      ]
+      (Ret (Some (Reg 4)))
+  in
+  Opt.Constfold.run f;
+  match instrs_of f with
+  | [ Mov (1, Imm 5); Mov (2, Reg 1); Mov (3, Reg 2); Mov (4, Imm 1);
+      Bin (Div, 5, Imm 7, Imm 0) (* division by zero is left alone *) ] ->
+      ()
+  | is ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_constfold_branches () =
+  let f = mk_func [] (Br (Imm 1, 1, 2)) in
+  Opt.Constfold.run f;
+  (match (List.hd f.fn_blocks).b_term with
+  | Jmp 1 -> ()
+  | _ -> Alcotest.fail "true branch not folded");
+  let g = mk_func [] (Br (Imm 0, 1, 2)) in
+  Opt.Constfold.run g;
+  match (List.hd g.fn_blocks).b_term with
+  | Jmp 2 -> ()
+  | _ -> Alcotest.fail "false branch not folded"
+
+(* --- CSE ----------------------------------------------------------------- *)
+
+let test_cse () =
+  let f =
+    mk_func
+      [
+        Bin (Add, 2, Reg 1, Imm 4);
+        Bin (Add, 3, Reg 1, Imm 4);
+        Bin (Mul, 4, Reg 2, Reg 3);
+      ]
+      (Ret (Some (Reg 4)))
+  in
+  Opt.Cse.run f;
+  match instrs_of f with
+  | [ Bin (Add, 2, Reg 1, Imm 4); Mov (3, Reg 2); Bin (Mul, 4, Reg 2, Reg 3) ]
+    ->
+      ()
+  | is ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_cse_killed_by_redef () =
+  let f =
+    mk_func
+      [
+        Bin (Add, 2, Reg 1, Imm 4);
+        Mov (1, Imm 0);
+        Bin (Add, 3, Reg 1, Imm 4);
+      ]
+      (Ret (Some (Reg 3)))
+  in
+  Opt.Cse.run f;
+  match instrs_of f with
+  | [ _; _; Bin (Add, 3, Reg 1, Imm 4) ] -> ()
+  | _ -> Alcotest.fail "CSE across operand redefinition"
+
+(* --- DCE ------------------------------------------------------------------ *)
+
+let test_dce () =
+  let f =
+    mk_func
+      [
+        Bin (Add, 2, Reg 1, Imm 1);  (* dead *)
+        Bin (Add, 3, Reg 1, Imm 2);  (* live via ret *)
+        Opaque (4, Reg 1);           (* dead opaque: removable *)
+        KeepLive (Reg 1);            (* side effect: stays *)
+        Store (W8, Reg 3, Reg 1, Imm 0) (* side effect: stays *);
+      ]
+      (Ret (Some (Reg 3)))
+  in
+  Opt.Dce.run f;
+  match instrs_of f with
+  | [ Bin (Add, 3, Reg 1, Imm 2); KeepLive (Reg 1); Store _ ] -> ()
+  | is ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_prune_unreachable () =
+  let f =
+    {
+      fn_name = "t";
+      fn_params = [];
+      fn_ret_void = false;
+      fn_blocks =
+        [
+          { b_label = 0; b_instrs = []; b_term = Jmp 2 };
+          { b_label = 1; b_instrs = []; b_term = Ret None };  (* dead *)
+          { b_label = 2; b_instrs = []; b_term = Ret None };
+        ];
+      fn_nreg = 8;
+      fn_frame = 0;
+    }
+  in
+  Opt.Dce.prune_unreachable f;
+  Alcotest.(check (list int)) "labels" [ 0; 2 ]
+    (List.map (fun b -> b.b_label) f.fn_blocks)
+
+(* --- collapse --------------------------------------------------------------- *)
+
+let test_collapse () =
+  let f =
+    mk_func
+      [ Bin (Add, 5, Reg 1, Imm 1); Mov (2, Reg 5) ]
+      (Ret (Some (Reg 2)))
+  in
+  Opt.Collapse.run f;
+  match instrs_of f with
+  | [ Bin (Add, 2, Reg 1, Imm 1) ] -> ()
+  | is ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_collapse_blocked_by_other_use () =
+  let f =
+    mk_func
+      [ Bin (Add, 5, Reg 1, Imm 1); Mov (2, Reg 5); Bin (Add, 3, Reg 5, Imm 2) ]
+      (Ret (Some (Reg 3)))
+  in
+  Opt.Collapse.run f;
+  Alcotest.(check int) "nothing removed" 3 (List.length (instrs_of f))
+
+(* --- ptr_strength: the disguising pass ------------------------------------- *)
+
+let test_disguise_displacement () =
+  (* t := i - 1000; ld d, [p + t]   with p, t dead after
+     ==> p := p - 1000; ld d, [p + i] *)
+  let f =
+    mk_func
+      [ Bin (Sub, 3, Reg 2, Imm 1000); Load (W1, 4, Reg 1, Reg 3) ]
+      (Ret (Some (Reg 4)))
+  in
+  Opt.Ptr_strength.run f;
+  match instrs_of f with
+  | [ Bin (Sub, 1, Reg 1, Imm 1000); Load (W1, 4, Reg 1, Reg 2) ] -> ()
+  | is ->
+      Alcotest.failf "not disguised: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_disguise_blocked_by_keep () =
+  (* same shape, but a KeepLive pins p: no rewrite *)
+  let f =
+    mk_func
+      [
+        Bin (Sub, 3, Reg 2, Imm 1000);
+        KeepLive (Reg 1);
+        Load (W1, 4, Reg 1, Reg 3);
+      ]
+      (Ret (Some (Reg 4)))
+  in
+  Opt.Ptr_strength.run f;
+  (* the integer temporary may be renamed, but the kept base r1 must not be
+     overwritten and must still be the load's base *)
+  match instrs_of f with
+  | [ Bin (Sub, d, Reg 2, Imm 1000); KeepLive (Reg 1); Load (W1, 4, Reg 1, Reg d') ]
+    when d <> 1 && d' = d ->
+      ()
+  | _ -> Alcotest.fail "disguised despite KEEP_LIVE"
+
+let test_disguise_blocked_by_liveness () =
+  (* p used after the load: no rewrite *)
+  let f =
+    mk_func
+      [
+        Bin (Sub, 3, Reg 2, Imm 1000);
+        Load (W1, 4, Reg 1, Reg 3);
+        Bin (Add, 5, Reg 1, Reg 4);
+      ]
+      (Ret (Some (Reg 5)))
+  in
+  Opt.Ptr_strength.run f;
+  match instrs_of f with
+  | [ Bin (Sub, d, Reg 2, Imm 1000); Load (W1, 4, Reg 1, Reg d'); _ ]
+    when d <> 1 && d' = d ->
+      ()
+  | _ -> Alcotest.fail "disguised despite later use of p"
+
+let test_disguise_reuse_base () =
+  (* q := p + 8 with p dead: q renamed to p *)
+  let f =
+    mk_func
+      [ Bin (Add, 2, Reg 1, Imm 8); Load (W8, 3, Reg 2, Imm 0) ]
+      (Ret (Some (Reg 3)))
+  in
+  Opt.Ptr_strength.run f;
+  match instrs_of f with
+  | [ Bin (Add, 1, Reg 1, Imm 8); Load (W8, 3, Reg 1, Imm 0) ] -> ()
+  | is ->
+      Alcotest.failf "base not reused: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+(* --- semantic preservation through the whole pipeline ----------------------- *)
+
+let test_optimizer_preserves_semantics () =
+  List.iter
+    (fun w ->
+      let src = w.Workloads.Registry.w_source in
+      let unopt = Util.run ~optimize:false src in
+      let opt = Util.run ~optimize:true src in
+      Alcotest.(check string) (w.Workloads.Registry.w_name ^ " -O == -O0")
+        unopt opt)
+    [ Workloads.Registry.cordtest; Workloads.Registry.gawk; Workloads.Registry.gs ]
+
+let test_optimizer_shrinks_code () =
+  List.iter
+    (fun w ->
+      let src = w.Workloads.Registry.w_source in
+      let size optimize =
+        Ir.Instr.program_size (Util.compile ~optimize src)
+      in
+      Alcotest.(check bool)
+        (w.Workloads.Registry.w_name ^ " optimized smaller")
+        true
+        (size true < size false))
+    Workloads.Registry.paper_suite
+
+let suite =
+  [
+    Alcotest.test_case "copyprop basic" `Quick test_copyprop_basic;
+    Alcotest.test_case "copyprop invalidation" `Quick
+      test_copyprop_invalidation;
+    Alcotest.test_case "copyprop blocked by Opaque" `Quick
+      test_copyprop_opaque_blocked;
+    Alcotest.test_case "constant folding" `Quick test_constfold;
+    Alcotest.test_case "branch folding" `Quick test_constfold_branches;
+    Alcotest.test_case "cse" `Quick test_cse;
+    Alcotest.test_case "cse invalidation" `Quick test_cse_killed_by_redef;
+    Alcotest.test_case "dce" `Quick test_dce;
+    Alcotest.test_case "unreachable blocks" `Quick test_prune_unreachable;
+    Alcotest.test_case "collapse" `Quick test_collapse;
+    Alcotest.test_case "collapse blocked" `Quick
+      test_collapse_blocked_by_other_use;
+    Alcotest.test_case "disguise: displacement fold" `Quick
+      test_disguise_displacement;
+    Alcotest.test_case "disguise: blocked by KEEP_LIVE" `Quick
+      test_disguise_blocked_by_keep;
+    Alcotest.test_case "disguise: blocked by liveness" `Quick
+      test_disguise_blocked_by_liveness;
+    Alcotest.test_case "disguise: base register reuse" `Quick
+      test_disguise_reuse_base;
+    Alcotest.test_case "semantics preserved" `Quick
+      test_optimizer_preserves_semantics;
+    Alcotest.test_case "optimizer shrinks code" `Quick
+      test_optimizer_shrinks_code;
+  ]

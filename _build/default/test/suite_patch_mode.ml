@@ -1,0 +1,121 @@
+(* Patch-mode emission tests: in-place annotation of the original text. *)
+
+open Csyntax
+open Gcsafe
+
+let patch ?(mode = Mode.Safe) src =
+  Patch_mode.annotate_source ~opts:(Mode.default mode) src
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec loop i = i + ln <= lh && (String.sub hay i ln = needle || loop (i + 1)) in
+  ln = 0 || loop 0
+
+(* a program using only the positional (rewrite-free) constructs *)
+let positional_src =
+  {|/* leading comment */
+struct node { struct node *next; long v; };
+
+long sum(struct node *n) {
+  long acc = 0;   /* trailing comment */
+  while (n) {
+    acc += n->v;
+    n = n->next;
+  }
+  return acc;
+}
+
+char *advance(char *p, long k) { return p + k; }
+char get2(char *s) { return s[2]; }
+
+int main(void) {
+  struct node *a = (struct node *)malloc(sizeof(struct node));
+  struct node *b = (struct node *)malloc(sizeof(struct node));
+  char *buf = (char *)malloc(16);
+  a->v = 5; a->next = b;
+  b->v = 7; b->next = 0;
+  buf[3] = 'q';
+  printf("%ld %c %c\n", sum(a), get2(advance(buf, 1)), *advance(buf, 3));
+  return 0;
+}|}
+
+let run_source src =
+  let prog, _ = Typecheck.check_source src in
+  let irp = Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode prog in
+  ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
+  (Machine.Vm.run irp).Machine.Vm.r_output
+
+let test_output_compiles_and_agrees () =
+  let base = run_source positional_src in
+  List.iter
+    (fun mode ->
+      let r = patch ~mode positional_src in
+      Alcotest.(check int)
+        (Mode.to_string mode ^ " nothing skipped")
+        0 r.Patch_mode.pr_skipped;
+      Alcotest.(check bool)
+        (Mode.to_string mode ^ " inserted some")
+        true (r.Patch_mode.pr_inserted > 0);
+      Alcotest.(check string)
+        (Mode.to_string mode ^ " patched output behaves identically")
+        base
+        (run_source r.Patch_mode.pr_source))
+    [ Mode.Safe; Mode.Checked ]
+
+let test_comments_survive () =
+  let r = patch positional_src in
+  Alcotest.(check bool) "leading comment kept" true
+    (contains r.Patch_mode.pr_source "/* leading comment */");
+  Alcotest.(check bool) "trailing comment kept" true
+    (contains r.Patch_mode.pr_source "/* trailing comment */")
+
+let test_matches_ast_pipeline_counts () =
+  (* on rewrite-free inputs the two emitters insert the same annotations *)
+  let r = patch positional_src in
+  let ast = Parser.parse_program positional_src in
+  let a = Annotate.run ~opts:(Mode.default Mode.Safe) ast in
+  Alcotest.(check int) "same insertion count" a.Annotate.keep_live_count
+    r.Patch_mode.pr_inserted
+
+let test_rewrites_skipped_and_counted () =
+  let src =
+    {|char f(char *p) { return *p++; }
+void g(char *q) { q += 3; }|}
+  in
+  let r = patch src in
+  Alcotest.(check bool) "skips counted" true (r.Patch_mode.pr_skipped >= 2);
+  (* the original text is untouched at the skipped spots *)
+  Alcotest.(check bool) "increment left alone" true
+    (contains r.Patch_mode.pr_source "*p++");
+  Alcotest.(check bool) "compound left alone" true
+    (contains r.Patch_mode.pr_source "q += 3")
+
+let test_under_parentheses () =
+  (* spans exclude redundant outer parens; wraps still parse *)
+  let src = "char *f(char *p) { return (p + 1); }" in
+  let r = patch src in
+  let out = r.Patch_mode.pr_source in
+  Alcotest.(check bool) "wrapped inside parens" true
+    (contains out "(KEEP_LIVE(p + 1, p))");
+  ignore (Typecheck.check_source out)
+
+let test_workload_patches_parse () =
+  (* patch the cord workload: many positions are positional; whatever gets
+     inserted must still parse and type-check *)
+  let r = patch Workloads.Cord.source in
+  Alcotest.(check bool) "inserted" true (r.Patch_mode.pr_inserted > 20);
+  ignore (Typecheck.check_source r.Patch_mode.pr_source)
+
+let suite =
+  [
+    Alcotest.test_case "patched output runs identically" `Quick
+      test_output_compiles_and_agrees;
+    Alcotest.test_case "comments survive" `Quick test_comments_survive;
+    Alcotest.test_case "matches AST pipeline counts" `Quick
+      test_matches_ast_pipeline_counts;
+    Alcotest.test_case "rewrites skipped and counted" `Quick
+      test_rewrites_skipped_and_counted;
+    Alcotest.test_case "parenthesized spans" `Quick test_under_parentheses;
+    Alcotest.test_case "workload patches parse" `Quick
+      test_workload_patches_parse;
+  ]

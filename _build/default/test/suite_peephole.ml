@@ -1,0 +1,245 @@
+(* Peephole postprocessor tests: the three paper patterns, their safety
+   constraints, and end-to-end effect on annotated code. *)
+
+open Ir.Instr
+
+let mk_func instrs term =
+  {
+    fn_name = "t";
+    fn_params = [];
+    fn_ret_void = false;
+    fn_blocks = [ { b_label = 0; b_instrs = instrs; b_term = term } ];
+    fn_nreg = 32;
+    fn_frame = 0;
+  }
+
+let run_one f =
+  let stats = Peephole.Postprocess.fresh_stats () in
+  Peephole.Postprocess.run_func stats f;
+  (stats, (List.hd f.fn_blocks).b_instrs)
+
+(* pattern 1: add x,y,z ; ld [z] ==> ld [x+y] *)
+let test_fuse_load () =
+  let f =
+    mk_func
+      [
+        Bin (Add, 3, Reg 1, Reg 2);
+        KeepLive (Reg 1);
+        Load (W8, 4, Reg 3, Imm 0);
+      ]
+      (Ret (Some (Reg 4)))
+  in
+  let stats, is = run_one f in
+  Alcotest.(check int) "fused" 1 stats.Peephole.Postprocess.ph_fused_loads;
+  match is with
+  | [ KeepLive (Reg 1); Load (W8, 4, Reg 1, Reg 2) ] -> ()
+  | _ ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_fuse_load_blocked_by_other_use () =
+  (* z used again later: must not fuse *)
+  let f =
+    mk_func
+      [
+        Bin (Add, 3, Reg 1, Reg 2);
+        Load (W8, 4, Reg 3, Imm 0);
+        Bin (Add, 5, Reg 3, Imm 1);
+      ]
+      (Ret (Some (Reg 5)))
+  in
+  let stats, _ = run_one f in
+  Alcotest.(check int) "not fused" 0 stats.Peephole.Postprocess.ph_fused_loads
+
+let test_fuse_load_blocked_by_source_redef () =
+  (* x changes between the add and the load *)
+  let f =
+    mk_func
+      [
+        Bin (Add, 3, Reg 1, Reg 2);
+        Bin (Add, 1, Reg 1, Imm 8);
+        Load (W8, 4, Reg 3, Imm 0);
+      ]
+      (Ret (Some (Reg 4)))
+  in
+  let stats, _ = run_one f in
+  Alcotest.(check int) "not fused" 0 stats.Peephole.Postprocess.ph_fused_loads
+
+let test_fuse_load_blocked_by_keep_live_base () =
+  (* z is itself a KEEP_LIVE base: the paper forbids rewriting it *)
+  let f =
+    mk_func
+      [
+        Bin (Add, 3, Reg 1, Reg 2);
+        KeepLive (Reg 3);
+        Load (W8, 4, Reg 3, Imm 0);
+      ]
+      (Ret (Some (Reg 4)))
+  in
+  let stats, _ = run_one f in
+  Alcotest.(check int) "not fused" 0 stats.Peephole.Postprocess.ph_fused_loads
+
+(* pattern 2: mov forwarding *)
+let test_forward_mov () =
+  let f =
+    mk_func
+      [ Mov (3, Reg 1); Bin (Add, 4, Reg 3, Imm 1) ]
+      (Ret (Some (Reg 4)))
+  in
+  let stats, is = run_one f in
+  Alcotest.(check int) "forwarded" 1
+    stats.Peephole.Postprocess.ph_forwarded_moves;
+  match is with
+  | [ Bin (Add, 4, Reg 1, Imm 1) ] -> ()
+  | _ ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_forward_mov_blocked_by_redef () =
+  (* x redefined between the mov and a use of z: the mov must stay for the
+     later use *)
+  let f =
+    mk_func
+      [
+        Mov (3, Reg 1);
+        Bin (Add, 1, Reg 1, Imm 8);
+        Bin (Add, 4, Reg 3, Imm 1);
+      ]
+      (Ret (Some (Reg 4)))
+  in
+  let stats, is = run_one f in
+  Alcotest.(check int) "not removed" 0
+    stats.Peephole.Postprocess.ph_forwarded_moves;
+  match is with
+  | Mov (3, Reg 1) :: _ -> ()
+  | _ -> Alcotest.fail "mov must survive"
+
+let test_forward_mov_blocked_by_keep_live () =
+  let f =
+    mk_func
+      [ Mov (3, Reg 1); KeepLive (Reg 3); Bin (Add, 4, Reg 3, Imm 1) ]
+      (Ret (Some (Reg 4)))
+  in
+  let stats, _ = run_one f in
+  Alcotest.(check int) "keep-live operand not forwarded" 0
+    stats.Peephole.Postprocess.ph_forwarded_moves
+
+(* pattern 3: add sinking *)
+let test_sink_add () =
+  let f =
+    mk_func
+      [ Bin (Add, 3, Reg 1, Reg 2); Mov (4, Reg 3) ]
+      (Ret (Some (Reg 4)))
+  in
+  let stats, is = run_one f in
+  Alcotest.(check int) "sunk" 1 stats.Peephole.Postprocess.ph_sunk_adds;
+  match is with
+  | [ Bin (Add, 4, Reg 1, Reg 2) ] -> ()
+  | _ ->
+      Alcotest.failf "unexpected: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" pp_instr) is))
+
+let test_sink_add_blocked () =
+  (* z still live after the mov *)
+  let f =
+    mk_func
+      [ Bin (Add, 3, Reg 1, Reg 2); Mov (4, Reg 3); Bin (Mul, 5, Reg 3, Reg 4) ]
+      (Ret (Some (Reg 5)))
+  in
+  let stats, _ = run_one f in
+  Alcotest.(check int) "not sunk" 0 stats.Peephole.Postprocess.ph_sunk_adds
+
+(* --- end to end -------------------------------------------------------- *)
+
+let test_analysis_example_recovered () =
+  (* the paper's f: safe code is add+keep+ld; the postprocessor gets back to
+     the optimized ld [x+1] *)
+  let src = "char f(char *x) { return x[1]; } int main(void) { return 0; }" in
+  let ast = Csyntax.Parser.parse_program src in
+  let r = Gcsafe.Annotate.run ~opts:(Gcsafe.Mode.default Gcsafe.Mode.Safe) ast in
+  let irp =
+    Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode r.Gcsafe.Annotate.program
+  in
+  ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
+  ignore (Peephole.Postprocess.run irp);
+  let f = List.find (fun f -> f.fn_name = "f") irp.p_funcs in
+  let loads =
+    List.concat_map
+      (fun b ->
+        List.filter_map
+          (function Load (w, _, base, off) -> Some (w, base, off) | _ -> None)
+          b.b_instrs)
+      f.fn_blocks
+  in
+  match loads with
+  | [ (W1, Reg _, Imm 1) ] -> ()
+  | _ -> Alcotest.fail "expected the fused ldb [x+1]"
+
+let test_semantics_preserved () =
+  List.iter
+    (fun w ->
+      let src = w.Workloads.Registry.w_source in
+      match
+        ( Util.run_built Harness.Build.Safe src,
+          Util.run_built Harness.Build.Safe_peephole src )
+      with
+      | Harness.Measure.Ran a, Harness.Measure.Ran b ->
+          Alcotest.(check string)
+            (w.Workloads.Registry.w_name ^ " output")
+            a.Harness.Measure.o_output b.Harness.Measure.o_output;
+          Alcotest.(check bool)
+            (w.Workloads.Registry.w_name ^ " faster or equal")
+            true
+            (b.Harness.Measure.o_cycles <= a.Harness.Measure.o_cycles);
+          Alcotest.(check bool)
+            (w.Workloads.Registry.w_name ^ " not larger")
+            true
+            (b.Harness.Measure.o_size <= a.Harness.Measure.o_size)
+      | _ -> Alcotest.fail "runs failed")
+    Workloads.Registry.paper_suite
+
+let test_safe_under_async_gc_after_peephole () =
+  (* the postprocessed code must still be GC-safe: collect constantly *)
+  let src = Workloads.Registry.cordtest.Workloads.Registry.w_source in
+  let ast = Csyntax.Parser.parse_program src in
+  let r = Gcsafe.Annotate.run ~opts:(Gcsafe.Mode.default Gcsafe.Mode.Safe) ast in
+  let irp =
+    Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode r.Gcsafe.Annotate.program
+  in
+  ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
+  ignore (Peephole.Postprocess.run irp);
+  let config =
+    {
+      (Machine.Vm.default_config ()) with
+      Machine.Vm.vm_async_gc = Some 5000;
+    }
+  in
+  let res = Machine.Vm.run ~config irp in
+  Alcotest.(check bool) "collections ran" true (res.Machine.Vm.r_gc_count > 50);
+  Alcotest.(check bool) "completed" true
+    (String.length res.Machine.Vm.r_output > 0)
+
+let suite =
+  [
+    Alcotest.test_case "pattern 1: fuse load" `Quick test_fuse_load;
+    Alcotest.test_case "pattern 1: other use blocks" `Quick
+      test_fuse_load_blocked_by_other_use;
+    Alcotest.test_case "pattern 1: source redef blocks" `Quick
+      test_fuse_load_blocked_by_source_redef;
+    Alcotest.test_case "pattern 1: KEEP_LIVE base blocks" `Quick
+      test_fuse_load_blocked_by_keep_live_base;
+    Alcotest.test_case "pattern 2: forward mov" `Quick test_forward_mov;
+    Alcotest.test_case "pattern 2: redef blocks" `Quick
+      test_forward_mov_blocked_by_redef;
+    Alcotest.test_case "pattern 2: KEEP_LIVE blocks" `Quick
+      test_forward_mov_blocked_by_keep_live;
+    Alcotest.test_case "pattern 3: sink add" `Quick test_sink_add;
+    Alcotest.test_case "pattern 3: liveness blocks" `Quick
+      test_sink_add_blocked;
+    Alcotest.test_case "analysis example recovered" `Quick
+      test_analysis_example_recovered;
+    Alcotest.test_case "semantics and size preserved" `Quick
+      test_semantics_preserved;
+    Alcotest.test_case "still GC-safe under async collection" `Quick
+      test_safe_under_async_gc_after_peephole;
+  ]

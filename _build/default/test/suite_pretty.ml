@@ -1,0 +1,136 @@
+(* Pretty-printer tests: precedence-correct output that re-parses to the
+   same tree, on hand-picked hard cases and random programs. *)
+
+open Csyntax
+
+let reprint src =
+  Pretty.program_to_string (Parser.parse_program src)
+
+let fixpoint name src =
+  let s1 = reprint src in
+  let s2 = reprint s1 in
+  Alcotest.(check string) name s1 s2
+
+(* random expression strings over all operators; precedence is the point,
+   so generate *unparenthesized* mixes *)
+let expr_gen =
+  QCheck.Gen.(
+    let atom = oneofl [ "a"; "b"; "c"; "1"; "2"; "p"; "q" ] in
+    let rec build depth st =
+      if depth = 0 then atom st
+      else
+        (frequency
+           [
+             (3, atom);
+             ( 6,
+               let* op =
+                 oneofl
+                   [ "+"; "-"; "*"; "/"; "%"; "<<"; ">>"; "<"; ">"; "<=";
+                     ">="; "=="; "!="; "&"; "^"; "|"; "&&"; "||" ]
+               in
+               let* l = build (depth - 1) in
+               let* r = build (depth - 1) in
+               return (Printf.sprintf "%s %s %s" l op r) );
+             (1, map (Printf.sprintf "-%s") (build (depth - 1)));
+             (1, map (Printf.sprintf "!%s") (build (depth - 1)));
+             (1, map (Printf.sprintf "~%s") (build (depth - 1)));
+             ( 1,
+               let* c = build 0 in
+               let* t = build (depth - 1) in
+               let* e = build (depth - 1) in
+               return (Printf.sprintf "%s ? %s : %s" c t e) );
+             ( 1,
+               let* l = oneofl [ "a"; "b"; "c" ] in
+               let* r = build (depth - 1) in
+               return (Printf.sprintf "%s = %s" l r) );
+           ])
+          st
+    in
+    int_range 1 5 >>= build)
+
+(* the parse of the printed form must equal the print of the parse *)
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"expression print/parse fixpoint"
+    (QCheck.make ~print:(fun s -> s) expr_gen)
+    (fun src ->
+      let e1 = Parser.parse_expr_string src in
+      let s1 = Pretty.expr_to_string e1 in
+      let e2 = Parser.parse_expr_string s1 in
+      let s2 = Pretty.expr_to_string e2 in
+      s1 = s2)
+
+(* semantic check: the printed form evaluates identically *)
+let prop_expr_semantics =
+  QCheck.Test.make ~count:100
+    ~name:"printed expressions evaluate identically"
+    (QCheck.make ~print:(fun s -> s) expr_gen)
+    (fun src ->
+      (* embed in a program; a/b/c/p/q are longs; division guarded by
+         skipping exprs that fault *)
+      let wrap body =
+        Printf.sprintf
+          {|int main(void) {
+  long a = 3; long b = -2; long c = 7; long p = 1; long q = 0;
+  print_int((long)(%s));
+  return 0;
+}|}
+          body
+      in
+      let run body =
+        match Util.run (wrap body) with
+        | out -> Some out
+        | exception Machine.Vm.Fault _ -> None
+        | exception Csyntax.Typecheck.Error _ -> None
+      in
+      let printed =
+        Pretty.expr_to_string (Parser.parse_expr_string src)
+      in
+      match (run src, run printed) with
+      | Some a, Some b -> a = b
+      | None, None -> true
+      | _ -> false)
+
+let prop_program_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"program print/parse fixpoint"
+    Testgen.arbitrary_program
+    (fun src ->
+      let s1 = reprint src in
+      s1 = reprint s1)
+
+let test_hard_cases () =
+  fixpoint "nested conditionals" "int f(int a,int b,int c){return a?b?1:2:c?3:4;}";
+  fixpoint "assignment chains" "int f(int a,int b){return a=b=a+1;}";
+  fixpoint "unary stacking" "int f(int a){return - -a + ~!a;}";
+  fixpoint "comma in for"
+    "int f(void){int i;int j;for(i=0,j=9;i<j;i++,j--); return i;}";
+  fixpoint "casts and sizeof"
+    "int f(void){return (int)sizeof(struct s *) + (int)sizeof 4;}";
+  fixpoint "pointer soup"
+    "long f(long **pp, long i){return *(*pp + i) + (*pp)[i];}";
+  fixpoint "keep_live primitive"
+    "char *f(char *p){return KEEP_LIVE(p + 1, p);}"
+
+let test_string_escapes () =
+  fixpoint "escapes"
+    {|char *s = "tab\t nl\n quote\" backslash\\ nul-adjacent\tend";
+int main(void) { return s[0]; }|};
+  (* escaped content survives a parse/print cycle byte for byte *)
+  let p = Parser.parse_program {|char *s = "a\tb\nc\\d\"e";|} in
+  match p.Ast.prog_globals with
+  | [ Ast.Gvar { Ast.d_init = Some { Ast.edesc = Ast.StrLit s; _ }; _ } ] ->
+      Alcotest.(check string) "decoded" "a\tb\nc\\d\"e" s
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_negative_literals () =
+  (* -2147483648-style corners *)
+  fixpoint "negatives" "long x = -4611686018427387903; int main(void) { return x < 0; }"
+
+let suite =
+  [
+    Alcotest.test_case "hard precedence cases" `Quick test_hard_cases;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "negative literals" `Quick test_negative_literals;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_expr_semantics;
+    QCheck_alcotest.to_alcotest prop_program_roundtrip;
+  ]

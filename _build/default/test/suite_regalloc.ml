@@ -1,0 +1,131 @@
+(* Register allocation tests: bounded register use, spilling correctness,
+   coalescing of Opaque moves, and semantic preservation under tiny
+   register files. *)
+
+open Ir.Instr
+
+let max_reg_used (p : program) =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc b ->
+          List.fold_left
+            (fun acc i ->
+              let rs =
+                uses i @ (match def i with Some d -> [ d ] | None -> [])
+              in
+              List.fold_left max acc rs)
+            acc b.b_instrs)
+        acc f.fn_blocks)
+    0 p.p_funcs
+
+(* a register-hungry expression: deep balanced additions *)
+let hungry_src depth =
+  let rec build d =
+    if d = 0 then "n++"
+    else Printf.sprintf "(%s + %s)" (build (d - 1)) (build (d - 1))
+  in
+  Printf.sprintf
+    {|long n;
+int main(void) { long r = %s; printf("%%ld %%ld\n", r, n); return 0; }|}
+    (build depth)
+
+let test_register_bound () =
+  List.iter
+    (fun nregs ->
+      let irp = Util.compile ~nregs (hungry_src 5) in
+      Alcotest.(check bool)
+        (Printf.sprintf "all registers < %d" nregs)
+        true
+        (max_reg_used irp < nregs))
+    [ 8; 12; 32 ]
+
+let test_spill_semantics () =
+  (* the same output regardless of register pressure *)
+  let src = hungry_src 5 in
+  let out32 = Util.run ~nregs:32 src in
+  let out8 = Util.run ~nregs:8 src in
+  Alcotest.(check string) "spilling preserves semantics" out32 out8
+
+let test_spills_happen_under_pressure () =
+  let ast, _ = Csyntax.Typecheck.check_source (hungry_src 5) in
+  let count nregs =
+    let irp = Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode ast in
+    let stats =
+      Opt.Pipeline.run_program { Opt.Pipeline.default with Opt.Pipeline.nregs = nregs } irp
+    in
+    stats.Opt.Pipeline.ps_spills
+  in
+  Alcotest.(check bool) "8 registers spill" true (count 8 > 0);
+  Alcotest.(check int) "32 registers do not" 0 (count 32)
+
+let test_opaque_coalescing () =
+  (* annotated code: most Opaque moves coalesce away entirely *)
+  let src = "char f(char *x) { return x[1]; }  int main(void) { return 0; }" in
+  let ast = Csyntax.Parser.parse_program src in
+  let r = Gcsafe.Annotate.run ~opts:(Gcsafe.Mode.default Gcsafe.Mode.Safe) ast in
+  let irp =
+    Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode r.Gcsafe.Annotate.program
+  in
+  ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
+  let f = List.find (fun f -> f.fn_name = "f") irp.p_funcs in
+  let has_opaque_or_extra_mov =
+    List.exists
+      (fun b ->
+        List.exists (function Opaque _ -> true | _ -> false) b.b_instrs)
+      f.fn_blocks
+  in
+  Alcotest.(check bool) "no Opaque survives lowering" false
+    has_opaque_or_extra_mov;
+  (* the paper's residual sequence: add; (keep); ldb — three instructions
+     plus the prologue move and return *)
+  Alcotest.(check bool) "compact annotated code" true (code_size f <= 5)
+
+let test_params_spillable () =
+  (* many parameters + pressure: still correct on 8 registers *)
+  let src =
+    {|long f(long a, long b, long c, long d) {
+  long x = a * b; long y = c * d; long z = a + d;
+  return x + y + z + a + b + c + d;
+}
+int main(void) { printf("%ld\n", f(2, 3, 5, 7)); return 0; }|}
+  in
+  Alcotest.(check string) "8-reg result" (Util.run ~nregs:32 src)
+    (Util.run ~nregs:8 src)
+
+let test_too_many_params () =
+  let src =
+    {|long f(long a, long b, long c, long d, long e, long g) { return a + b + c + d + e + g; }
+int main(void) { printf("%ld\n", f(1, 2, 3, 4, 5, 6)); return 0; }|}
+  in
+  match Util.compile ~nregs:8 src with
+  | exception Opt.Regalloc.Too_many_params _ -> ()
+  | _ ->
+      (* acceptable if it fits; but with 4 allocatable registers 6 params
+         must be refused *)
+      Alcotest.fail "expected Too_many_params on an 8-register machine"
+
+let test_workloads_on_pentium () =
+  (* the whole suite runs correctly with 8 registers *)
+  List.iter
+    (fun w ->
+      let src = w.Workloads.Registry.w_source in
+      Alcotest.(check string)
+        (w.Workloads.Registry.w_name ^ " pentium == sparc")
+        (Util.run ~nregs:32 src) (Util.run ~nregs:8 src))
+    [ Workloads.Registry.cordtest; Workloads.Registry.gs ]
+
+let suite =
+  [
+    Alcotest.test_case "register bound respected" `Quick test_register_bound;
+    Alcotest.test_case "spills preserve semantics" `Quick test_spill_semantics;
+    Alcotest.test_case "spills happen under pressure" `Quick
+      test_spills_happen_under_pressure;
+    Alcotest.test_case "opaque moves coalesce" `Quick test_opaque_coalescing;
+    Alcotest.test_case "parameters spill correctly" `Quick
+      test_params_spillable;
+    Alcotest.test_case "too many parameters rejected" `Quick
+      test_too_many_params;
+    Alcotest.test_case "workloads on 8 registers" `Quick
+      test_workloads_on_pentium;
+  ]

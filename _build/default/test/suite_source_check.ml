@@ -1,0 +1,109 @@
+(* Source checker tests: the paper's pointer-hiding warnings. *)
+
+open Csyntax
+open Gcsafe
+
+let diags src =
+  let p, _ = Typecheck.check_source src in
+  Source_check.check_program p
+
+let codes src = List.map (fun d -> d.Source_check.diag_code) (diags src)
+
+let warning_codes src =
+  List.map
+    (fun d -> d.Source_check.diag_code)
+    (Source_check.warnings (diags src))
+
+let check_codes name src expected =
+  Alcotest.(check (list string)) name expected (warning_codes src)
+
+let test_int_to_pointer () =
+  check_codes "W1 int to pointer"
+    "char *f(long bits) { return (char *)bits; }" [ "W1" ];
+  check_codes "arith on converted value"
+    "char *f(char *p) { long v = (long)p; v += 8; return (char *)v; }"
+    [ "W1" ]
+
+let test_null_and_small_constants_benign () =
+  check_codes "null pointer constant" "char *f(void) { return (char *)0; }" [];
+  (* small nonzero constants: info only, not a warning *)
+  let ds = diags "char *f(void) { return (char *)1; }" in
+  Alcotest.(check (list string)) "info W1" [ "W1" ]
+    (List.map (fun d -> d.Source_check.diag_code) ds);
+  Alcotest.(check bool) "severity info" true
+    (List.for_all (fun d -> d.Source_check.diag_severity = Source_check.Info) ds)
+
+let test_struct_pointer_cast () =
+  check_codes "W2 struct cast"
+    {|struct a { int x; }; struct b { int y; };
+struct b *f(struct a *p) { return (struct b *)p; }|}
+    [ "W2" ];
+  check_codes "same struct is fine"
+    {|struct a { int x; };
+struct a *f(struct a *p) { return (struct a *)p; }|}
+    []
+
+let test_scanf_pct_p () =
+  check_codes "W3 scanf %p"
+    {|int main(void) { char *p; scanf("%p", &p); return 0; }|} [ "W3" ];
+  check_codes "scanf %d is fine"
+    {|int main(void) { int n; scanf("%d", &n); return 0; }|} []
+
+let test_fread_pointerful () =
+  check_codes "W4 fread into pointers"
+    {|struct node { struct node *next; };
+int main(void) { struct node n; fread(&n, sizeof(struct node), 1, 0); return 0; }|}
+    [ "W4" ];
+  check_codes "fread into bytes is fine"
+    {|int main(void) { char buf[64]; fread(buf, 1, 64, 0); return 0; }|} []
+
+let test_memcpy_mismatch () =
+  check_codes "W5 memcpy type mismatch"
+    {|struct node { struct node *next; };
+int main(void) { struct node n; char buf[64]; memcpy(buf, &n, sizeof(struct node)); return 0; }|}
+    [ "W5" ];
+  check_codes "matched memcpy is fine"
+    {|struct node { struct node *next; };
+int main(void) { struct node a; struct node b; memcpy(&a, &b, sizeof(struct node)); return 0; }|}
+    []
+
+let test_diagnostics_sorted () =
+  let src =
+    {|char *f(long v) { return (char *)v; }
+char *g(long w) { return (char *)w; }|}
+  in
+  let locs = List.map (fun d -> d.Source_check.diag_loc.Loc.line) (diags src) in
+  Alcotest.(check (list int)) "source order" [ 1; 2 ] locs
+
+let test_workloads_clean () =
+  (* the workloads do legitimate pointer work only: at most benign infos *)
+  List.iter
+    (fun w ->
+      let ws = warning_codes w.Workloads.Registry.w_source in
+      Alcotest.(check (list string))
+        (w.Workloads.Registry.w_name ^ " clean") [] ws)
+    [ Workloads.Registry.cordtest; Workloads.Registry.cfrac; Workloads.Registry.gs ]
+
+let test_pp () =
+  match diags "char *f(long v) { return (char *)v; }" with
+  | [ d ] ->
+      let s = Format.asprintf "%a" Source_check.pp_diagnostic d in
+      Alcotest.(check bool) "mentions W1" true
+        (String.length s > 10 && String.sub s 0 7 = "warning")
+  | _ -> Alcotest.fail "expected one diagnostic"
+
+let suite =
+  [
+    Alcotest.test_case "W1 integer to pointer" `Quick test_int_to_pointer;
+    Alcotest.test_case "benign conversions" `Quick
+      test_null_and_small_constants_benign;
+    Alcotest.test_case "W2 struct pointer cast" `Quick test_struct_pointer_cast;
+    Alcotest.test_case "W3 scanf %p" `Quick test_scanf_pct_p;
+    Alcotest.test_case "W4 fread" `Quick test_fread_pointerful;
+    Alcotest.test_case "W5 memcpy mismatch" `Quick test_memcpy_mismatch;
+    Alcotest.test_case "diagnostics sorted" `Quick test_diagnostics_sorted;
+    Alcotest.test_case "workloads warning-free" `Quick test_workloads_clean;
+    Alcotest.test_case "diagnostic printing" `Quick test_pp;
+  ]
+
+let _ = codes

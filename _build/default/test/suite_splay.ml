@@ -1,0 +1,90 @@
+(* Splay-tree object registry tests (the Jones & Kelly comparator). *)
+
+open Gcheap
+
+let test_basic () =
+  let t = Splay.create () in
+  Splay.insert t ~base:100 ~size:50;
+  Splay.insert t ~base:300 ~size:10;
+  Splay.insert t ~base:200 ~size:20;
+  Alcotest.(check int) "count" 3 (Splay.size t);
+  Alcotest.(check (option (pair int int))) "interior hit" (Some (100, 50))
+    (Splay.find t 120);
+  Alcotest.(check (option (pair int int))) "base hit" (Some (300, 10))
+    (Splay.find t 300);
+  Alcotest.(check (option (pair int int))) "gap misses" None (Splay.find t 250);
+  Alcotest.(check (option (pair int int))) "one past end misses" None
+    (Splay.find t 150);
+  Alcotest.(check (option (pair int int))) "before all" None (Splay.find t 5)
+
+let test_remove () =
+  let t = Splay.create () in
+  List.iter (fun b -> Splay.insert t ~base:b ~size:8) [ 0; 16; 32; 48; 64 ];
+  Alcotest.(check bool) "removes" true (Splay.remove t 35);
+  Alcotest.(check bool) "gone" true (Splay.find t 35 = None);
+  Alcotest.(check bool) "neighbours intact" true
+    (Splay.find t 16 = Some (16, 8) && Splay.find t 48 = Some (48, 8));
+  Alcotest.(check bool) "remove of miss is false" false (Splay.remove t 35);
+  Alcotest.(check int) "count" 4 (Splay.size t)
+
+let test_same_obj () =
+  let t = Splay.create () in
+  Splay.insert t ~base:1000 ~size:40;
+  Alcotest.(check bool) "within" true (Splay.same_obj t 1020 1000);
+  Alcotest.(check bool) "one past end allowed" true
+    (Splay.same_obj t 1040 1000);
+  Alcotest.(check bool) "escape" false (Splay.same_obj t 2000 1000);
+  Alcotest.(check bool) "one before" false (Splay.same_obj t 999 1005);
+  Alcotest.(check bool) "unregistered passes" true (Splay.same_obj t 5 7)
+
+(* differential: the splay registry agrees with the collector's page map
+   on random allocation patterns *)
+let prop_matches_page_map =
+  QCheck.Test.make ~count:50 ~name:"splay registry matches GC_base"
+    QCheck.(pair (list_of_size Gen.(int_range 1 80) (int_range 1 300))
+              (list_of_size Gen.(int_range 1 200) (int_range 0 40000)))
+    (fun (sizes, probes) ->
+      let h = Heap.create () in
+      let t = Splay.create () in
+      List.iter
+        (fun n ->
+          let a = Heap.alloc h n in
+          match Heap.extent_of h a with
+          | Some (base, size) -> Splay.insert t ~base ~size
+          | None -> ())
+        sizes;
+      List.for_all
+        (fun probe ->
+          let addr = 0x1000 + probe in
+          let from_map = Heap.base_of h addr in
+          let from_splay = Option.map fst (Splay.find t addr) in
+          from_map = from_splay)
+        probes)
+
+(* sequential scans are the splay tree's worst friend; make sure deep
+   zig-zigs behave *)
+let test_sequential_stress () =
+  let t = Splay.create () in
+  for i = 0 to 9999 do
+    Splay.insert t ~base:(i * 16) ~size:12
+  done;
+  for i = 0 to 9999 do
+    match Splay.find t ((i * 16) + 5) with
+    | Some (b, 12) when b = i * 16 -> ()
+    | _ -> Alcotest.failf "lost object %d" i
+  done;
+  for i = 0 to 9999 do
+    if i mod 2 = 0 then ignore (Splay.remove t (i * 16))
+  done;
+  Alcotest.(check int) "half removed" 5000 (Splay.size t);
+  Alcotest.(check bool) "odd survive" true (Splay.find t (17 * 16) <> None);
+  Alcotest.(check bool) "even gone" true (Splay.find t (16 * 16) = None)
+
+let suite =
+  [
+    Alcotest.test_case "basic lookups" `Quick test_basic;
+    Alcotest.test_case "removal" `Quick test_remove;
+    Alcotest.test_case "same_obj" `Quick test_same_obj;
+    Alcotest.test_case "sequential stress" `Quick test_sequential_stress;
+    QCheck_alcotest.to_alcotest prop_matches_page_map;
+  ]

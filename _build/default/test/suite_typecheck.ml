@@ -1,0 +1,204 @@
+(* Type checker unit tests. *)
+
+open Csyntax
+
+let check_ok src =
+  try ignore (Typecheck.check_source src)
+  with Typecheck.Error (m, loc) ->
+    Alcotest.failf "type error at %s: %s" (Loc.to_string loc) m
+
+let check_fails src =
+  match Typecheck.check_source src with
+  | exception Typecheck.Error _ -> ()
+  | _ -> Alcotest.failf "expected type error on %S" src
+
+(* the type of the first (outermost) expression of [probe] inside a
+   one-statement main, with [decls] in scope *)
+let type_of_probe decls probe =
+  let src = Printf.sprintf "%s\nint main(void) { %s; return 0; }" decls probe in
+  let p, _ = Typecheck.check_source src in
+  let result = ref None in
+  List.iter
+    (function
+      | Ast.Gfunc f when f.Ast.f_name = "main" ->
+          ignore
+            (Ast.fold_stmt_exprs
+               (fun () e ->
+                 if !result = None then result := e.Ast.ety)
+               () f.Ast.f_body)
+      | _ -> ())
+    p.Ast.prog_globals;
+  match !result with
+  | Some t -> t
+  | None -> Alcotest.fail "no expression found"
+
+let ty = Alcotest.testable (Fmt.of_to_string Ctype.to_string) Ctype.equal
+
+let test_arith_conversions () =
+  Alcotest.check ty "char+char promotes to int" Ctype.Int
+    (type_of_probe "char a; char b;" "a + b");
+  Alcotest.check ty "int+long = long" Ctype.Long
+    (type_of_probe "int a; long b;" "a + b");
+  Alcotest.check ty "comparison is int" Ctype.Int
+    (type_of_probe "long a; long b;" "a < b")
+
+let test_pointer_arith () =
+  Alcotest.check ty "ptr + int" (Ctype.Ptr Ctype.Char)
+    (type_of_probe "char *p;" "p + 3");
+  Alcotest.check ty "int + ptr" (Ctype.Ptr Ctype.Int)
+    (type_of_probe "int *p;" "2 + p");
+  Alcotest.check ty "ptr - ptr = long" Ctype.Long
+    (type_of_probe "char *p; char *q;" "p - q");
+  check_fails "int main(void) { int *p; int *q; p + q; return 0; }"
+
+let test_array_decay () =
+  Alcotest.check ty "array subscripts" Ctype.Int
+    (type_of_probe "int a[10];" "a[3]");
+  Alcotest.check ty "array in rvalue decays"
+    (Ctype.Ptr Ctype.Int)
+    (type_of_probe "int a[10];" "a + 1");
+  Alcotest.check ty "reversed subscript" Ctype.Char
+    (type_of_probe "char *p;" "3[p]")
+
+let test_struct_access () =
+  let decls = "struct s { int x; char *name; struct s *next; }; struct s g; struct s *p;" in
+  Alcotest.check ty "field" Ctype.Int (type_of_probe decls "g.x");
+  Alcotest.check ty "arrow" (Ctype.Ptr Ctype.Char) (type_of_probe decls "p->name");
+  Alcotest.check ty "chain" Ctype.Int (type_of_probe decls "p->next->x");
+  check_fails (decls ^ " int main(void) { g.nofield; return 0; }");
+  check_fails (decls ^ " int main(void) { g->x; return 0; }")
+
+let test_deref_addr () =
+  Alcotest.check ty "deref" Ctype.Char (type_of_probe "char *p;" "*p");
+  Alcotest.check ty "addr" (Ctype.Ptr Ctype.Long) (type_of_probe "long v;" "&v");
+  check_fails "int main(void) { int x; *x; return 0; }";
+  check_fails "int main(void) { void *p; *p; return 0; }";
+  check_fails "int main(void) { &(1 + 2); return 0; }"
+
+let test_calls () =
+  check_ok "int f(int a, char *b); int main(void) { return f(1, \"x\"); }";
+  check_fails "int f(int a); int main(void) { return f(); }";
+  check_fails "int f(int a); int main(void) { return f(1, 2); }";
+  check_fails "int main(void) { return nosuch(1); }";
+  (* varargs accept extras *)
+  check_ok "int main(void) { printf(\"%d %d\", 1, 2); return 0; }";
+  (* builtins are known *)
+  check_ok "int main(void) { char *p = (char *)malloc(10); return (int)strlen(p); }"
+
+let test_assignment_rules () =
+  check_ok "int main(void) { char *p; p = 0; return 0; }";
+  check_ok "struct s { int x; }; struct s a; struct s b; int main(void) { a = b; return 0; }";
+  check_fails "struct s { int x; }; struct t { int y; }; struct s a; struct t b; int main(void) { a = b; return 0; }";
+  check_fails "int main(void) { 1 = 2; return 0; }";
+  check_fails "int main(void) { int a[3]; int b[3]; a + 0 = b; return 0; }"
+
+let test_returns () =
+  check_fails "void f(void) { return 1; }";
+  check_fails "int f(void) { return; }";
+  check_ok "void f(void) { return; }";
+  check_ok "char *f(void) { return 0; }"
+
+let test_scoping () =
+  check_ok
+    "int main(void) { int x = 1; { int x = 2; x++; } return x; }";
+  check_fails "int main(void) { { int y = 1; } return y; }";
+  check_fails "int main(void) { return z; }"
+
+let test_incomplete_types () =
+  check_fails "int main(void) { struct nosuch s; return 0; }";
+  check_fails "char buf[]; int main(void) { return 0; }";
+  (* pointers to undefined structs are fine *)
+  check_ok "struct fwd; struct fwd *p; int main(void) { return p == 0; }"
+
+let test_increment () =
+  check_ok "int main(void) { int i = 0; i++; ++i; i--; --i; return i; }";
+  check_ok "int main(void) { char *p = 0; p++; return 0; }";
+  check_fails "int main(void) { 5++; return 0; }";
+  check_fails "struct s { int x; }; struct s v; int main(void) { v++; return 0; }"
+
+let test_conditional () =
+  Alcotest.check ty "int/long branches" Ctype.Long
+    (type_of_probe "int a; long b;" "a ? a : b");
+  Alcotest.check ty "ptr/zero branches" (Ctype.Ptr Ctype.Char)
+    (type_of_probe "char *p;" "p ? p : 0");
+  check_fails "struct s { int x; }; struct s v; int main(void) { v ? 1 : 2; return 0; }"
+
+let test_sizeof () =
+  check_ok
+    {|struct s { char c; long l; };
+int main(void) {
+  long a = sizeof(char);
+  long b = sizeof(struct s);
+  long c = sizeof(int *);
+  return (int)(a + b + c);
+}|}
+
+let test_struct_layouts () =
+  let src = "struct s { char c; int i; char d; long l; };" in
+  let p = Parser.parse_program src in
+  let env = p.Ast.prog_env in
+  match Ctype.Env.find env "s" with
+  | None -> Alcotest.fail "no layout"
+  | Some lay ->
+      let off name =
+        (List.find (fun f -> f.Ctype.fld_name = name) lay.Ctype.lay_fields)
+          .Ctype.fld_offset
+      in
+      Alcotest.(check int) "c at 0" 0 (off "c");
+      Alcotest.(check int) "i at 4" 4 (off "i");
+      Alcotest.(check int) "d at 8" 8 (off "d");
+      Alcotest.(check int) "l at 16" 16 (off "l");
+      Alcotest.(check int) "size 24" 24 lay.Ctype.lay_size;
+      Alcotest.(check int) "align 8" 8 lay.Ctype.lay_align
+
+let test_union_layout () =
+  let src = "union u { char c[5]; long l; int i; };" in
+  let p = Parser.parse_program src in
+  match Ctype.Env.find p.Ast.prog_env "u" with
+  | None -> Alcotest.fail "no layout"
+  | Some lay ->
+      Alcotest.(check int) "size 8" 8 lay.Ctype.lay_size;
+      List.iter
+        (fun f -> Alcotest.(check int) "offset 0" 0 f.Ctype.fld_offset)
+        lay.Ctype.lay_fields
+
+let test_contains_pointer () =
+  let src =
+    "struct inner { int a; char *p; }; struct outer { int b; struct inner i; }; struct plain { int x; long y; };"
+  in
+  let p = Parser.parse_program src in
+  let env = p.Ast.prog_env in
+  Alcotest.(check bool) "outer has pointer" true
+    (Ctype.contains_pointer env (Ctype.Struct "outer"));
+  Alcotest.(check bool) "plain has none" false
+    (Ctype.contains_pointer env (Ctype.Struct "plain"));
+  Alcotest.(check bool) "array of ptr" true
+    (Ctype.contains_pointer env (Ctype.Array (Ctype.Ptr Ctype.Int, Some 4)))
+
+let test_workloads_typecheck () =
+  check_ok Workloads.Cord.source;
+  check_ok Workloads.Cfrac.source;
+  check_ok Workloads.Gawk.source;
+  check_ok Workloads.Gawk.source_fixed;
+  check_ok Workloads.Gs.source
+
+let suite =
+  [
+    Alcotest.test_case "arith conversions" `Quick test_arith_conversions;
+    Alcotest.test_case "pointer arithmetic" `Quick test_pointer_arith;
+    Alcotest.test_case "array decay" `Quick test_array_decay;
+    Alcotest.test_case "struct access" `Quick test_struct_access;
+    Alcotest.test_case "deref and addr" `Quick test_deref_addr;
+    Alcotest.test_case "calls" `Quick test_calls;
+    Alcotest.test_case "assignment" `Quick test_assignment_rules;
+    Alcotest.test_case "returns" `Quick test_returns;
+    Alcotest.test_case "scoping" `Quick test_scoping;
+    Alcotest.test_case "incomplete types" `Quick test_incomplete_types;
+    Alcotest.test_case "increment" `Quick test_increment;
+    Alcotest.test_case "conditional" `Quick test_conditional;
+    Alcotest.test_case "sizeof" `Quick test_sizeof;
+    Alcotest.test_case "struct layout" `Quick test_struct_layouts;
+    Alcotest.test_case "union layout" `Quick test_union_layout;
+    Alcotest.test_case "contains_pointer" `Quick test_contains_pointer;
+    Alcotest.test_case "workloads typecheck" `Quick test_workloads_typecheck;
+  ]

@@ -1,0 +1,32 @@
+let () =
+  Alcotest.run "gcsafe"
+    [
+      ("lexer", Suite_lexer.suite);
+      ("parser", Suite_parser.suite);
+      ("pretty", Suite_pretty.suite);
+      ("ctype", Suite_ctype.suite);
+      ("typecheck", Suite_typecheck.suite);
+      ("base-rules", Suite_base_rules.suite);
+      ("annotate", Suite_annotate.suite);
+      ("c-to-c", Suite_c2c.suite);
+      ("patch", Suite_patch.suite);
+      ("patch-mode", Suite_patch_mode.suite);
+      ("source-check", Suite_source_check.suite);
+      ("mem", Suite_mem.suite);
+      ("heap", Suite_heap.suite);
+      ("splay", Suite_splay.suite);
+      ("instr", Suite_instr.suite);
+      ("liveness", Suite_liveness.suite);
+      ("normalize", Suite_normalize.suite);
+      ("compile-vm", Suite_compile_vm.suite);
+      ("builtins", Suite_builtins.suite);
+      ("opt", Suite_opt.suite);
+      ("loop-opt", Suite_loopopt.suite);
+      ("regalloc", Suite_regalloc.suite);
+      ("peephole", Suite_peephole.suite);
+      ("safety", Suite_safety.suite);
+      ("extensions", Suite_extensions.suite);
+      ("heapness", Suite_heapness.suite);
+      ("workloads", Suite_workloads.suite);
+      ("harness", Suite_harness.suite);
+    ]

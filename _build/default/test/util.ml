@@ -1,0 +1,65 @@
+(* Shared helpers for the compiler-side test suites. *)
+
+let compile ?(mode = Ir.Compile.opt_mode) ?(optimize = true)
+    ?(disguise = true) ?(nregs = 32) src =
+  let ast, _ = Csyntax.Typecheck.check_source src in
+  let irp = Ir.Compile.compile_program ~mode ast in
+  let cfg =
+    {
+      Opt.Pipeline.optimize;
+      Opt.Pipeline.disguise_pointers = disguise;
+      Opt.Pipeline.nregs;
+    }
+  in
+  ignore (Opt.Pipeline.run_program cfg irp);
+  irp
+
+(* Compile and run a plain program; returns its output string. *)
+let run ?mode ?optimize ?disguise ?(nregs = 32) ?async_gc ?machine src =
+  let irp = compile ?mode ?optimize ?disguise ~nregs src in
+  let machine = Option.value ~default:Machine.Machdesc.sparc10 machine in
+  let config =
+    {
+      (Machine.Vm.default_config ~machine ()) with
+      Machine.Vm.vm_async_gc = async_gc;
+    }
+  in
+  let r = Machine.Vm.run ~config irp in
+  r.Machine.Vm.r_output
+
+(* Run through the full harness build for a given configuration. *)
+let run_built ?machine config src =
+  let machine = Option.value ~default:Machine.Machdesc.sparc10 machine in
+  let _, o = Harness.Measure.run_config ~machine config src in
+  o
+
+let check_output name src expected =
+  Alcotest.(check string) name expected (run src)
+
+(* All five build configurations must agree on the program's output. *)
+let check_all_configs_agree ?(expect_checked_fault = false) name src =
+  let base = run_built Harness.Build.Base src in
+  let base_out =
+    match base with
+    | Harness.Measure.Ran r -> r.Harness.Measure.o_output
+    | Harness.Measure.Detected m -> Alcotest.failf "%s: baseline failed: %s" name m
+  in
+  List.iter
+    (fun config ->
+      match run_built config src with
+      | Harness.Measure.Ran r ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s [%s]" name (Harness.Build.config_name config))
+            base_out r.Harness.Measure.o_output
+      | Harness.Measure.Detected m ->
+          if not (expect_checked_fault && config = Harness.Build.Debug_checked)
+          then
+            Alcotest.failf "%s [%s] unexpectedly failed: %s" name
+              (Harness.Build.config_name config) m)
+    [
+      Harness.Build.Safe;
+      Harness.Build.Safe_peephole;
+      Harness.Build.Debug;
+      Harness.Build.Debug_checked;
+    ];
+  base_out
