@@ -2,7 +2,7 @@
    the Analysis-section listing, the hazard demonstration, and the
    ablations; plus bechamel micro-benchmarks of the collector primitives.
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|a1|hazard|ablate|micro|all]...
+   Usage:  main.exe [t1|t2|t3|t4|t5|a1|hazard|ablate|stress|micro|all]...
    With no arguments, everything except micro runs (micro does wall-clock
    timing and is opt-in so the default output stays deterministic). *)
 
@@ -125,6 +125,7 @@ int main(void) { printf("v=%ld\n", f(100005)); return 0; }|}
         Printf.printf "  %-26s OK: %s" name r.Harness.Measure.o_output
     | Harness.Measure.Detected m ->
         Printf.printf "  %-26s LOST OBJECT: %s\n" name m
+    | o -> Printf.printf "  %-26s FAILED: %s\n" name (Harness.Measure.describe o)
   in
   run "-O (conventional)" Harness.Build.Base;
   run "-O safe (KEEP_LIVE)" Harness.Build.Safe;
@@ -150,7 +151,7 @@ let count_keep_lives ~suppress_copies ~expand_incr src =
 
 let cycles_of = function
   | Harness.Measure.Ran r -> r.Harness.Measure.o_cycles
-  | Harness.Measure.Detected m -> failwith m
+  | o -> failwith (Harness.Measure.describe o)
 
 let ablate () =
   print_endline "== Ablations: the paper's optimizations (1)-(3) ==";
@@ -356,6 +357,60 @@ let micro () =
     [ test_alloc; test_base; test_same_obj; test_splay_same_obj; test_collect ];
   print_newline ()
 
+(* --- stress: sanitizer overhead and schedule-divergence scan ------------- *)
+
+let stress () =
+  print_endline "== Stress: heap-integrity sanitizer and injected schedules ==";
+  print_endline
+    "-- sanitizer wall-clock overhead (safe build, collection every 2000 \
+     instrs)";
+  List.iter
+    (fun w ->
+      let b =
+        Harness.Build.build Harness.Build.Safe w.Workloads.Registry.w_source
+      in
+      let timed check_integrity =
+        let t0 = Sys.time () in
+        (match
+           Harness.Measure.run
+             ~schedule:(Machine.Schedule.Every 2000)
+             ~check_integrity b
+         with
+        | Harness.Measure.Ran _ -> ()
+        | o -> failwith (Harness.Measure.describe o));
+        Sys.time () -. t0
+      in
+      let off = timed false in
+      let on_ = timed true in
+      Printf.printf "  %-10s %6.3fs off  %6.3fs on  (x%.1f)\n"
+        w.Workloads.Registry.w_name off on_
+        (on_ /. (off +. 1e-9)))
+    Workloads.Registry.paper_suite;
+  print_endline
+    "-- schedule-divergence scan (sampled every-N schedules, sparc10)";
+  List.iter
+    (fun w ->
+      let target = Stress.Corpus.of_workload w in
+      let plan =
+        {
+          Stress.Driver.default_plan with
+          Stress.Driver.p_machines = [ Machine.Machdesc.sparc10 ];
+        }
+      in
+      let findings, subjects, runs = Stress.Driver.run_target plan target in
+      Printf.printf "  %-10s %d subject(s), %d run(s): %d finding(s), %d unexpected\n"
+        w.Workloads.Registry.w_name subjects runs (List.length findings)
+        (List.length
+           (List.filter (fun f -> not f.Stress.Driver.f_expected) findings));
+      List.iter
+        (fun f ->
+          Printf.printf "    %s %s: %s\n"
+            (Stress.Driver.kind_name f.Stress.Driver.f_kind)
+            f.Stress.Driver.f_subject f.Stress.Driver.f_detail)
+        findings)
+    Workloads.Registry.paper_suite;
+  print_newline ()
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let sections =
@@ -374,6 +429,7 @@ let () =
       | "a1" -> a1 ()
       | "hazard" -> hazard ()
       | "ablate" -> ablate ()
+      | "stress" -> stress ()
       | "micro" -> micro ()
       | s -> Printf.eprintf "unknown section %s\n" s)
     sections

@@ -5,7 +5,11 @@
      check      run the pointer-hiding source checker
      run        build under a configuration and execute on the VM
      ir         dump the compiled (optimized, register-allocated) IR
-     tables     regenerate one of the paper's tables *)
+     tables     regenerate one of the paper's tables
+     stress     fault-injected differential stress over the build matrix
+
+   Exit codes: 0 success, 1 finding/divergence, 2 source or input error,
+   3 runtime fault detected, 4 resource limit, 5 heap corruption. *)
 
 open Cmdliner
 
@@ -68,6 +72,22 @@ let handle_errors f =
   | Ir.Compile.Unsupported (m, loc) ->
       Printf.eprintf "unsupported at %s: %s\n" (Csyntax.Loc.to_string loc) m;
       exit 2
+  | Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+  | Machine.Vm.Fault m ->
+      Printf.eprintf "fault: %s\n" m;
+      exit 3
+  | Machine.Vm.Trap (k, m) ->
+      Printf.eprintf "%s: %s\n" (Machine.Vm.trap_kind_name k) m;
+      exit 4
+  | Gcheap.Heap.Heap_corruption vs ->
+      Printf.eprintf "heap corruption: %s\n"
+        (String.concat "; "
+           (List.map
+              (fun v -> Format.asprintf "%a" Gcheap.Heap.pp_violation v)
+              vs));
+      exit 5
 
 (* --- annotate ----------------------------------------------------------- *)
 
@@ -184,20 +204,52 @@ let check_cmd =
 
 (* --- run -------------------------------------------------------------------- *)
 
+let max_instrs_arg =
+  let doc = "Step ceiling: abort with a limit diagnostic after N instructions." in
+  Arg.(value & opt (some int) None & info [ "max-instrs" ] ~docv:"N" ~doc)
+
+let max_heap_arg =
+  let doc = "Heap ceiling in bytes: abort with a limit diagnostic beyond it." in
+  Arg.(value & opt (some int) None & info [ "max-heap" ] ~docv:"BYTES" ~doc)
+
 let run_cmd =
   let async_arg =
     let doc = "Force a collection every N instructions (asynchronous GC)." in
     Arg.(value & opt (some int) None & info [ "async-gc" ] ~docv:"N" ~doc)
   in
+  let gc_at_arg =
+    let doc = "Force collections exactly after the listed instruction indices." in
+    Arg.(value & opt (list int) [] & info [ "gc-at" ] ~docv:"K,K,..." ~doc)
+  in
+  let gc_at_allocs_arg =
+    let doc = "Force a collection at every allocation." in
+    Arg.(value & flag & info [ "gc-at-allocs" ] ~doc)
+  in
+  let integrity_arg =
+    let doc = "Run the heap-integrity sanitizer after every collection." in
+    Arg.(value & flag & info [ "check-integrity" ] ~doc)
+  in
   let stats_arg =
     let doc = "Print cycle/instruction/GC statistics to stderr." in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
-  let run config machine async stats file =
+  let run config machine async gc_at gc_at_allocs integrity max_instrs max_heap
+      stats file =
     handle_errors (fun () ->
         let src = read_input file in
         let b = Harness.Build.build ~nregs:machine.Machine.Machdesc.md_regs config src in
-        match Harness.Measure.run ~machine ~async_gc:async b with
+        let schedule =
+          if gc_at <> [] then Machine.Schedule.at_list gc_at
+          else if gc_at_allocs then Machine.Schedule.At_allocs
+          else
+            match async with
+            | Some n -> Machine.Schedule.Every n
+            | None -> Machine.Schedule.Auto
+        in
+        match
+          Harness.Measure.run ~machine ~schedule ~check_integrity:integrity
+            ?max_instrs ?max_heap b
+        with
         | Harness.Measure.Ran r ->
             print_string r.Harness.Measure.o_output;
             if stats then
@@ -210,12 +262,21 @@ let run_cmd =
                 r.Harness.Measure.o_size b.Harness.Build.b_keep_lives
         | Harness.Measure.Detected m ->
             Printf.eprintf "detected: %s\n" m;
-            exit 1)
+            exit 3
+        | Harness.Measure.Limit m ->
+            Printf.eprintf "limit: %s\n" m;
+            exit 4
+        | Harness.Measure.Corrupted m ->
+            Printf.eprintf "heap corruption: %s\n" m;
+            exit 5)
   in
   let doc = "build a configuration and execute it on the VM" in
   Cmd.v
     (Cmd.info "run" ~doc)
-    Term.(const run $ config_arg $ machine_arg $ async_arg $ stats_arg $ file_arg)
+    Term.(
+      const run $ config_arg $ machine_arg $ async_arg $ gc_at_arg
+      $ gc_at_allocs_arg $ integrity_arg $ max_instrs_arg $ max_heap_arg
+      $ stats_arg $ file_arg)
 
 (* --- ir --------------------------------------------------------------------- *)
 
@@ -233,6 +294,102 @@ let ir_cmd =
     (Cmd.info "ir" ~doc)
     Term.(const run $ config_arg $ machine_arg $ file_arg)
 
+(* --- stress ------------------------------------------------------------------ *)
+
+let stress_cmd =
+  let targets_arg =
+    let doc =
+      "Stress targets: 'examples', 'workloads', 'all', a corpus or workload \
+       name (hazard, indexfold, strcopy, interior, churn, cordtest, cfrac, \
+       gawk, gs), or a path to a C source file."
+    in
+    Arg.(value & pos_all string [ "examples" ] & info [] ~docv:"TARGET" ~doc)
+  in
+  let machines_arg =
+    let doc =
+      "Restrict to one machine model (sparc2, sparc10, pentium90); \
+       repeatable.  Default: all three."
+    in
+    let parse s =
+      match Machine.Machdesc.by_name s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown machine %s" s))
+    in
+    let print fmt m = Format.pp_print_string fmt m.Machine.Machdesc.md_name in
+    Arg.(
+      value
+      & opt_all (conv (parse, print)) []
+      & info [ "machine" ] ~docv:"MACHINE" ~doc)
+  in
+  let every_arg =
+    let doc = "Use an every-N schedule (repeatable) instead of automatic mode \
+               selection." in
+    Arg.(value & opt_all int [] & info [ "every" ] ~docv:"N" ~doc)
+  in
+  let at_allocs_arg =
+    let doc = "Add the collect-at-every-allocation schedule." in
+    Arg.(value & flag & info [ "at-allocs" ] ~doc)
+  in
+  let exhaustive_arg =
+    let doc =
+      "Explore every single-collection-point schedule (up to --cap points), \
+       regardless of program size."
+    in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let cap_arg =
+    let doc =
+      "Ceiling on exhaustive exploration: programs whose baseline executes \
+       more instructions fall back to sampled schedules."
+    in
+    Arg.(value & opt int 2000 & info [ "cap" ] ~docv:"N" ~doc)
+  in
+  let run machines every at_allocs exhaustive cap max_instrs max_heap targets =
+    handle_errors (fun () ->
+        let resolved =
+          List.concat_map
+            (fun spec ->
+              match Stress.Corpus.resolve spec with
+              | Some ts -> ts
+              | None ->
+                  Printf.eprintf "unknown stress target: %s\n" spec;
+                  exit 2)
+            targets
+        in
+        let modes =
+          let m =
+            (if exhaustive then [ Stress.Driver.Exhaustive cap ] else [])
+            @ (if every <> [] then [ Stress.Driver.Every_n every ] else [])
+            @ if at_allocs then [ Stress.Driver.Alloc_points ] else []
+          in
+          if m = [] then None else Some m
+        in
+        let plan =
+          {
+            Stress.Driver.default_plan with
+            Stress.Driver.p_machines =
+              (if machines = [] then
+                 Stress.Driver.default_plan.Stress.Driver.p_machines
+               else machines);
+            Stress.Driver.p_modes = modes;
+            Stress.Driver.p_exhaustive_cap = cap;
+            Stress.Driver.p_max_instrs = max_instrs;
+            Stress.Driver.p_max_heap = max_heap;
+          }
+        in
+        let report = Stress.Driver.run ~plan resolved in
+        Format.printf "%a@." Stress.Driver.pp_report report;
+        if Stress.Driver.unexpected report <> [] then exit 1)
+  in
+  let doc =
+    "run the fault-injected differential stress harness over the build matrix"
+  in
+  Cmd.v
+    (Cmd.info "stress" ~doc)
+    Term.(
+      const run $ machines_arg $ every_arg $ at_allocs_arg $ exhaustive_arg
+      $ cap_arg $ max_instrs_arg $ max_heap_arg $ targets_arg)
+
 (* --- tables ------------------------------------------------------------------ *)
 
 let tables_cmd =
@@ -249,4 +406,7 @@ let tables_cmd =
 let () =
   let doc = "GC-safety preprocessor for C (Boehm, PLDI 1996)" in
   let info = Cmd.info "gcsafec" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ annotate_cmd; check_cmd; run_cmd; ir_cmd; tables_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ annotate_cmd; check_cmd; run_cmd; ir_cmd; tables_cmd; stress_cmd ]))

@@ -20,7 +20,8 @@ let check name src =
   | Harness.Measure.Ran r ->
       Printf.printf "  clean; program output:\n";
       String.split_on_char '\n' r.Harness.Measure.o_output
-      |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line));
+      |> List.iter (fun line -> if line <> "" then Printf.printf "    %s\n" line)
+  | o -> Printf.printf "  FAILED: %s\n" (Harness.Measure.describe o));
   print_newline ()
 
 let () =

@@ -35,6 +35,8 @@ let race name config =
       Printf.printf "  %-24s survived: %s" name r.Harness.Measure.o_output
   | Harness.Measure.Detected m ->
       Printf.printf "  %-24s PREMATURE COLLECTION\n  %24s   %s\n" name "" m
+  | o ->
+      Printf.printf "  %-24s FAILED: %s\n" name (Harness.Measure.describe o)
 
 let () =
   print_endline "The compiled body of f under the conventional optimizer —";

@@ -72,8 +72,8 @@ let () =
             *. float_of_int (r.Harness.Measure.o_cycles - !base_cycles)
             /. float_of_int !base_cycles)
             r.Harness.Measure.o_output
-      | Harness.Measure.Detected m -> Printf.printf "  %-14s detected: %s\n"
-            (Harness.Build.config_name config) m)
+      | o -> Printf.printf "  %-14s %s\n"
+            (Harness.Build.config_name config) (Harness.Measure.describe o))
     Harness.Build.all_configs;
 
   (* step 2b: the paper's own output discipline — patch the original text *)

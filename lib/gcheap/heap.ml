@@ -118,7 +118,7 @@ let new_small_block t cls kind =
     fl := Block.slot_addr blk i :: !fl
   done
 
-let alloc_large t bytes kind =
+let alloc_large t ~req bytes kind =
   let pages = (bytes + Mem.page_size - 1) / Mem.page_size in
   (* reuse a freed large block of the right size if available *)
   let reusable =
@@ -144,7 +144,7 @@ let alloc_large t bytes kind =
         b
   in
   Block.set_allocated blk 0 true;
-  blk.Block.blk_req.(0) <- bytes;
+  blk.Block.blk_req.(0) <- req;
   Mem.fill t.mem blk.Block.blk_start (pages * Mem.page_size) '\000';
   blk.Block.blk_start
 
@@ -155,7 +155,7 @@ let alloc ?(kind = Block.Normal) t bytes =
   t.stats.objects_allocated <- t.stats.objects_allocated + 1;
   t.since_gc <- t.since_gc + bytes;
   let with_slack = bytes + 1 in
-  if with_slack > max_small then alloc_large t with_slack kind
+  if with_slack > max_small then alloc_large t ~req:bytes with_slack kind
   else begin
     let cls = class_size with_slack in
     let fl = free_list t cls kind in
@@ -287,11 +287,14 @@ let sweep t =
             let addr = Block.slot_addr blk i in
             if t.config.poison then
               Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
-            if blk.Block.blk_pages = 1 then begin
+            (* small-class slots return to their free list; large blocks
+               (obj_size > max_small, even single-page ones) stay in
+               [large_blocks] for whole-block reuse and must never leak
+               onto a size-class list *)
+            if blk.Block.blk_obj_size <= max_small then begin
               let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
               fl := addr :: !fl
             end
-            (* large blocks stay in [large_blocks] for whole-block reuse *)
           end
         done)
     t.all_blocks;
@@ -404,6 +407,159 @@ let valid_access t addr len =
   match extent_of t addr with
   | Some (base, size) -> addr + len <= base + size
   | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Heap-integrity sanitizer                                            *)
+(* ------------------------------------------------------------------ *)
+
+type violation = {
+  v_rule : string;  (** which invariant family failed *)
+  v_detail : string;
+}
+
+exception Heap_corruption of violation list
+
+let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.v_rule v.v_detail
+
+(** Validate every structural invariant the allocator and collector rely
+    on.  Returns the violations found (empty on a healthy heap); collection
+    correctness experiments run this after every collection.
+
+    Invariant families:
+    - [block-header]: descriptor fields are internally consistent;
+    - [page-map]: every page of every block maps back to that block, and
+      the map holds no stray blocks;
+    - [mark-bits]: a mark bit is only ever set on an allocated slot;
+    - [free-list]: free lists hold exactly the free slots of small blocks,
+      once each, at slot-base addresses of the right class and kind;
+    - [slack-byte]: every allocated object keeps the paper's one extra
+      byte ([req] strictly below the rounded slot size). *)
+let check_integrity t : violation list =
+  let out = ref [] in
+  let report rule fmt =
+    Format.kasprintf
+      (fun s -> out := { v_rule = rule; v_detail = s } :: !out)
+      fmt
+  in
+  (* block headers and page-map agreement *)
+  List.iter
+    (fun blk ->
+      if blk.Block.blk_obj_size <= 0 || blk.Block.blk_count <= 0 then
+        report "block-header" "block %#x: degenerate geometry (%d x %d)"
+          blk.Block.blk_start blk.Block.blk_count blk.Block.blk_obj_size;
+      if blk.Block.blk_start land (Mem.page_size - 1) <> 0 then
+        report "block-header" "block %#x is not page-aligned"
+          blk.Block.blk_start;
+      if
+        blk.Block.blk_count * blk.Block.blk_obj_size
+        > blk.Block.blk_pages * Mem.page_size
+      then
+        report "block-header"
+          "block %#x: %d objects of %d bytes overflow %d page(s)"
+          blk.Block.blk_start blk.Block.blk_count blk.Block.blk_obj_size
+          blk.Block.blk_pages;
+      for pg = 0 to blk.Block.blk_pages - 1 do
+        let addr = blk.Block.blk_start + (pg * Mem.page_size) in
+        match Page_map.find t.map addr with
+        | Some b when b == blk -> ()
+        | Some b ->
+            report "page-map" "page %#x of block %#x maps to block %#x"
+              addr blk.Block.blk_start b.Block.blk_start
+        | None ->
+            report "page-map" "page %#x of block %#x is unmapped" addr
+              blk.Block.blk_start
+      done)
+    t.all_blocks;
+  (* no stray blocks in the page map *)
+  let known = Hashtbl.create 64 in
+  List.iter (fun b -> Hashtbl.replace known b.Block.blk_start ()) t.all_blocks;
+  Page_map.iter_blocks t.map (fun b ->
+      if not (Hashtbl.mem known b.Block.blk_start) then
+        report "page-map" "stray block %#x registered in the page map"
+          b.Block.blk_start);
+  (* per-slot invariants: mark bits and the one-extra-byte rule *)
+  List.iter
+    (fun blk ->
+      for i = 0 to blk.Block.blk_count - 1 do
+        if Block.is_marked blk i && not (Block.is_allocated blk i) then
+          report "mark-bits" "free slot %#x carries a mark bit"
+            (Block.slot_addr blk i);
+        if Block.is_allocated blk i then begin
+          let req = blk.Block.blk_req.(i) in
+          if req < 0 || req >= blk.Block.blk_obj_size then
+            report "slack-byte"
+              "object %#x: %d requested byte(s) leave no slack in a \
+               %d-byte slot"
+              (Block.slot_addr blk i) req blk.Block.blk_obj_size
+        end
+      done)
+    t.all_blocks;
+  (* free-list soundness *)
+  let seen_free = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun (cls, kind) fl ->
+      List.iter
+        (fun addr ->
+          if Hashtbl.mem seen_free addr then
+            report "free-list" "slot %#x appears on a free list twice" addr
+          else Hashtbl.replace seen_free addr ();
+          match Page_map.find t.map addr with
+          | None -> report "free-list" "entry %#x is not on a heap page" addr
+          | Some blk -> (
+              if blk.Block.blk_obj_size <> cls then
+                report "free-list"
+                  "entry %#x on the %d-byte list, but its block holds \
+                   %d-byte objects"
+                  addr cls blk.Block.blk_obj_size;
+              if blk.Block.blk_kind <> kind then
+                report "free-list" "entry %#x has the wrong block kind" addr;
+              match Block.slot_of_addr blk addr with
+              | Some i when Block.slot_addr blk i = addr ->
+                  if Block.is_allocated blk i then
+                    report "free-list" "allocated slot %#x is on a free list"
+                      addr
+              | Some _ | None ->
+                  report "free-list" "entry %#x is not a slot base" addr))
+        !fl)
+    t.free_lists;
+  (* free-list completeness: every free small-class slot is findable *)
+  List.iter
+    (fun blk ->
+      if blk.Block.blk_obj_size <= max_small then
+        for i = 0 to blk.Block.blk_count - 1 do
+          if not (Block.is_allocated blk i) then begin
+            let addr = Block.slot_addr blk i in
+            if not (Hashtbl.mem seen_free addr) then
+              report "free-list" "free slot %#x is on no free list" addr
+          end
+        done)
+    t.all_blocks;
+  List.rev !out
+
+(** Run {!check_integrity} and raise {!Heap_corruption} on any finding. *)
+let assert_integrity t =
+  match check_integrity t with [] -> () | vs -> raise (Heap_corruption vs)
+
+(** Live collectable objects: [(count, requested_bytes)].  Deterministic
+    across build configurations for the same program semantics, so the
+    differential harness can diff final heaps. *)
+let live_summary t =
+  let objs = ref 0 and bytes = ref 0 in
+  List.iter
+    (fun blk ->
+      if Block.collectable blk then
+        for i = 0 to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i then begin
+            incr objs;
+            bytes := !bytes + blk.Block.blk_req.(i)
+          end
+        done)
+    t.all_blocks;
+  (!objs, !bytes)
+
+(** Total arena footprint in bytes (the VM's heap resource ceiling is
+    checked against this). *)
+let footprint t = Mem.limit t.mem
 
 let pp_stats fmt s =
   Format.fprintf fmt

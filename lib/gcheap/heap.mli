@@ -108,4 +108,32 @@ val valid_access : t -> int -> int -> bool
 (** Is [addr, addr+len)] fully inside some allocated heap object?  Used by
     the VM to detect access to prematurely collected storage. *)
 
+type violation = {
+  v_rule : string;  (** which invariant family failed *)
+  v_detail : string;
+}
+(** One heap-integrity finding, e.g. rule ["free-list"] with the offending
+    address in the detail. *)
+
+exception Heap_corruption of violation list
+(** Raised by {!assert_integrity} so a corrupted heap surfaces as a
+    structured report rather than silently continuing. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_integrity : t -> violation list
+(** Validate page-map/block-header agreement, mark-bit consistency,
+    free-list well-formedness and the one-extra-byte rule.  Returns the
+    violations found (empty on a healthy heap). *)
+
+val assert_integrity : t -> unit
+(** @raise Heap_corruption if {!check_integrity} finds anything. *)
+
+val live_summary : t -> int * int
+(** Live collectable objects as [(count, requested_bytes)] — the final-heap
+    fingerprint the differential harness diffs across builds. *)
+
+val footprint : t -> int
+(** Total arena footprint in bytes (what the VM's heap ceiling bounds). *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,188 @@
+(** Differential execution across build configurations and machine models
+    under one injected GC schedule.
+
+    The paper's safety claim is relational: under *any* collection
+    schedule, a GC-safe build must behave exactly like the optimized
+    baseline does when no collection interferes.  This module provides the
+    machinery for testing that relation: build the full config x machine
+    matrix once, execute any subject under any schedule, and diff the
+    observable behaviour — output, exit code, final live heap, and fault
+    class — against a reference observation. *)
+
+type subject = {
+  s_config : Build.config;
+  s_machine : Machine.Machdesc.t;
+  s_built : Build.built;
+}
+
+let subject_name s =
+  Printf.sprintf "%s @ %s"
+    (Build.config_name s.s_config)
+    s.s_machine.Machine.Machdesc.md_name
+
+let default_machines =
+  [
+    Machine.Machdesc.sparc2;
+    Machine.Machdesc.sparc10;
+    Machine.Machdesc.pentium90;
+  ]
+
+(** Build every configuration for every machine model.  Register
+    allocation is the only machine-dependent build step, so builds are
+    shared between machines with equal register counts. *)
+let build_matrix ?(configs = Build.all_configs) ?(machines = default_machines)
+    source : subject list =
+  let cache : (Build.config * int, Build.built) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.concat_map
+    (fun machine ->
+      let nregs = machine.Machine.Machdesc.md_regs in
+      List.map
+        (fun config ->
+          let built =
+            match Hashtbl.find_opt cache (config, nregs) with
+            | Some b -> b
+            | None ->
+                let b = Build.build ~nregs config source in
+                Hashtbl.add cache (config, nregs) b;
+                b
+          in
+          { s_config = config; s_machine = machine; s_built = built })
+        configs)
+    machines
+
+(** What one run observably did.  [Obs_ok] carries everything the paper
+    treats as program behaviour; the three failure observations carry the
+    diagnostic. *)
+type obs =
+  | Obs_ok of {
+      ok_exit : int;
+      ok_output : string;
+      ok_live : int * int;
+      ok_instrs : int;
+    }
+  | Obs_detected of string
+  | Obs_corrupted of string
+  | Obs_limit of string
+
+let obs_of_outcome = function
+  | Measure.Ran r ->
+      Obs_ok
+        {
+          ok_exit = r.Measure.o_exit;
+          ok_output = r.Measure.o_output;
+          ok_live = (r.Measure.o_live_objects, r.Measure.o_live_bytes);
+          ok_instrs = r.Measure.o_instrs;
+        }
+  | Measure.Detected m -> Obs_detected m
+  | Measure.Corrupted m -> Obs_corrupted m
+  | Measure.Limit m -> Obs_limit m
+
+let describe_obs = function
+  | Obs_ok o ->
+      Printf.sprintf "exit %d, %d byte(s) of output, %d live object(s)"
+        o.ok_exit
+        (String.length o.ok_output)
+        (fst o.ok_live)
+  | Obs_detected m -> "fault: " ^ m
+  | Obs_corrupted m -> "heap corruption: " ^ m
+  | Obs_limit m -> "resource limit: " ^ m
+
+(** Execute [subject] under [schedule].  Integrity checking and the final
+    collection default to on: differential runs always sanitize. *)
+let observe ?(check_integrity = true) ?max_instrs ?max_heap ?gc_point_sink
+    ~schedule subject : obs =
+  obs_of_outcome
+    (Measure.run ~machine:subject.s_machine ~schedule ~check_integrity
+       ~final_collect:true ?max_instrs ?max_heap ?gc_point_sink
+       subject.s_built)
+
+(** How an observation deviates from the reference behaviour. *)
+type mismatch =
+  | Output_diff of { exp : string; got : string }
+      (** exit code folded into the rendered strings *)
+  | Heap_diff of { exp : int * int; got : int * int }
+  | Fault_diff of string  (** program faulted; reference did not *)
+  | Corruption_diff of string
+  | Limit_diff of string
+
+let mismatch_kind = function
+  | Output_diff _ -> "output"
+  | Heap_diff _ -> "final-heap"
+  | Fault_diff _ -> "fault"
+  | Corruption_diff _ -> "corruption"
+  | Limit_diff _ -> "limit"
+
+let describe_mismatch = function
+  | Output_diff d -> Printf.sprintf "expected %S, got %S" d.exp d.got
+  | Heap_diff d ->
+      Printf.sprintf
+        "final heap: expected %d object(s) / %d byte(s), got %d / %d"
+        (fst d.exp) (snd d.exp) (fst d.got) (snd d.got)
+  | Fault_diff m -> m
+  | Corruption_diff m -> m
+  | Limit_diff m -> m
+
+(** Diff [got] against [reference].  [None] means behaviourally equal. *)
+let diff ~reference got : mismatch option =
+  match (reference, got) with
+  | Obs_ok r, Obs_ok g ->
+      if r.ok_exit <> g.ok_exit || not (String.equal r.ok_output g.ok_output)
+      then
+        Some
+          (Output_diff
+             {
+               exp = Printf.sprintf "exit=%d %s" r.ok_exit r.ok_output;
+               got = Printf.sprintf "exit=%d %s" g.ok_exit g.ok_output;
+             })
+      else if r.ok_live <> g.ok_live then
+        Some (Heap_diff { exp = r.ok_live; got = g.ok_live })
+      else None
+  (* Same fault class as the reference counts as agreement: where in the
+     program a checking build stops can shift with the schedule, but the
+     class of behaviour is what the paper compares. *)
+  | Obs_detected _, Obs_detected _ -> None
+  | Obs_corrupted _, Obs_corrupted _ -> None
+  | Obs_limit _, Obs_limit _ -> None
+  | _, Obs_detected m -> Some (Fault_diff m)
+  | _, Obs_corrupted m -> Some (Corruption_diff m)
+  | _, Obs_limit m -> Some (Limit_diff m)
+  | (Obs_detected _ | Obs_corrupted _ | Obs_limit _), Obs_ok g ->
+      Some
+        (Output_diff
+           {
+             exp = "a fault (matching the reference)";
+             got = Printf.sprintf "exit=%d %s" g.ok_exit g.ok_output;
+           })
+
+type cell = { c_subject : subject; c_obs : obs; c_mismatch : mismatch option }
+
+(** Run the whole matrix under one schedule.  The reference for every cell
+    is the optimized baseline ([Base]) on the same machine under [Auto]
+    (no injected collections) — the paper's notion of intended behaviour. *)
+let run_matrix ?(check_integrity = true) ~schedule (subjects : subject list) :
+    cell list =
+  let references = Hashtbl.create 4 in
+  let reference_for machine =
+    let key = machine.Machine.Machdesc.md_name in
+    match Hashtbl.find_opt references key with
+    | Some r -> r
+    | None ->
+        let base =
+          List.find
+            (fun s ->
+              s.s_config = Build.Base
+              && s.s_machine.Machine.Machdesc.md_name = key)
+            subjects
+        in
+        let r = observe ~check_integrity ~schedule:Machine.Schedule.Auto base in
+        Hashtbl.add references key r;
+        r
+  in
+  List.map
+    (fun s ->
+      let reference = reference_for s.s_machine in
+      let obs = observe ~check_integrity ~schedule s in
+      { c_subject = s; c_obs = obs; c_mismatch = diff ~reference obs })
+    subjects

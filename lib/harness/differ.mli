@@ -1,0 +1,78 @@
+(** Differential execution across build configurations and machine models
+    under one injected GC schedule.
+
+    The paper's safety claim is relational: under *any* collection
+    schedule, a GC-safe build must behave exactly like the optimized
+    baseline does when no collection interferes.  Build the config x
+    machine matrix once with {!build_matrix}, execute any subject under
+    any schedule with {!observe}, and compare behaviour with {!diff}. *)
+
+type subject = {
+  s_config : Build.config;
+  s_machine : Machine.Machdesc.t;
+  s_built : Build.built;
+}
+
+val subject_name : subject -> string
+
+val default_machines : Machine.Machdesc.t list
+(** The paper's three machine models. *)
+
+val build_matrix :
+  ?configs:Build.config list ->
+  ?machines:Machine.Machdesc.t list ->
+  string ->
+  subject list
+(** Build every configuration for every machine model (builds shared
+    between machines with equal register counts). *)
+
+type obs =
+  | Obs_ok of {
+      ok_exit : int;
+      ok_output : string;
+      ok_live : int * int;
+      ok_instrs : int;  (** dynamic instructions = number of safepoints *)
+    }
+  | Obs_detected of string
+  | Obs_corrupted of string
+  | Obs_limit of string
+
+val obs_of_outcome : Measure.outcome -> obs
+
+val describe_obs : obs -> string
+
+val observe :
+  ?check_integrity:bool ->
+  ?max_instrs:int ->
+  ?max_heap:int ->
+  ?gc_point_sink:(int -> string -> unit) ->
+  schedule:Machine.Schedule.t ->
+  subject ->
+  obs
+(** Execute one subject under one schedule.  Integrity checking and the
+    final collection default to on: differential runs always sanitize. *)
+
+type mismatch =
+  | Output_diff of { exp : string; got : string }
+  | Heap_diff of { exp : int * int; got : int * int }
+  | Fault_diff of string  (** program faulted; reference did not *)
+  | Corruption_diff of string
+  | Limit_diff of string
+
+val mismatch_kind : mismatch -> string
+
+val describe_mismatch : mismatch -> string
+
+val diff : reference:obs -> obs -> mismatch option
+(** [None] means behaviourally equal to the reference. *)
+
+type cell = { c_subject : subject; c_obs : obs; c_mismatch : mismatch option }
+
+val run_matrix :
+  ?check_integrity:bool ->
+  schedule:Machine.Schedule.t ->
+  subject list ->
+  cell list
+(** Run the whole matrix under one schedule; each cell is diffed against
+    the optimized baseline on the same machine under no injected
+    collections. *)

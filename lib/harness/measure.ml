@@ -5,7 +5,12 @@ type run_info = {
   o_instrs : int;
   o_size : int;
   o_output : string;
+  o_exit : int;
   o_gc_count : int;
+  o_gc_points : (int * string) list;
+      (** injected collections that fired (safepoint index, location) *)
+  o_live_objects : int;
+  o_live_bytes : int;
 }
 
 type outcome =
@@ -13,13 +18,37 @@ type outcome =
   | Detected of string
       (** the checking runtime (or the VM's access checker) stopped the
           program — the paper's "<fails>" cells *)
+  | Corrupted of string
+      (** the heap-integrity sanitizer found a violated invariant *)
+  | Limit of string  (** a resource ceiling (steps, heap bytes) was hit *)
 
-let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) (b : Build.built) :
-    outcome =
+let describe = function
+  | Ran r -> Printf.sprintf "ran (exit %d)" r.o_exit
+  | Detected m -> "detected: " ^ m
+  | Corrupted m -> "heap corruption: " ^ m
+  | Limit m -> "resource limit: " ^ m
+
+let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
+    ?(check_integrity = false) ?(final_collect = false) ?max_instrs ?max_heap
+    ?gc_point_sink (b : Build.built) : outcome =
+  let vm_gc_schedule =
+    match (schedule, async_gc) with
+    | Some s, _ -> s
+    | None, Some n -> Machine.Schedule.Every n
+    | None, None -> Machine.Schedule.Auto
+  in
+  let dc = Machine.Vm.default_config ~machine () in
   let config =
     {
-      (Machine.Vm.default_config ~machine ()) with
-      Machine.Vm.vm_async_gc = async_gc;
+      dc with
+      Machine.Vm.vm_gc_schedule;
+      Machine.Vm.vm_check_integrity = check_integrity;
+      Machine.Vm.vm_final_collect = final_collect;
+      Machine.Vm.vm_max_instrs =
+        Option.value ~default:dc.Machine.Vm.vm_max_instrs max_instrs;
+      Machine.Vm.vm_max_heap_bytes =
+        Option.value ~default:dc.Machine.Vm.vm_max_heap_bytes max_heap;
+      Machine.Vm.vm_gc_point_sink = gc_point_sink;
     }
   in
   try
@@ -30,9 +59,22 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) (b : Build.buil
         o_instrs = r.Machine.Vm.r_instrs;
         o_size = b.Build.b_size;
         o_output = r.Machine.Vm.r_output;
+        o_exit = r.Machine.Vm.r_exit;
         o_gc_count = r.Machine.Vm.r_gc_count;
+        o_gc_points = r.Machine.Vm.r_gc_points;
+        o_live_objects = r.Machine.Vm.r_live_objects;
+        o_live_bytes = r.Machine.Vm.r_live_bytes;
       }
-  with Machine.Vm.Fault msg -> Detected msg
+  with
+  | Machine.Vm.Fault msg -> Detected msg
+  | Machine.Vm.Trap (kind, msg) ->
+      Limit (Printf.sprintf "%s: %s" (Machine.Vm.trap_kind_name kind) msg)
+  | Gcheap.Heap.Heap_corruption vs ->
+      Corrupted
+        (String.concat "; "
+           (List.map
+              (fun v -> Format.asprintf "%a" Gcheap.Heap.pp_violation v)
+              vs))
 
 (** Build and run one workload configuration on one machine. *)
 let run_config ?(machine = Machine.Machdesc.sparc10) config source : Build.built * outcome =
@@ -44,6 +86,8 @@ let run_config ?(machine = Machine.Machdesc.sparc10) config source : Build.built
 let slowdown_cell ~base_cycles (o : outcome) : string =
   match o with
   | Detected _ -> "<fails>"
+  | Corrupted _ -> "<corrupt>"
+  | Limit _ -> "<limit>"
   | Ran r ->
       let pct =
         100.0 *. float_of_int (r.o_cycles - base_cycles)
@@ -53,19 +97,19 @@ let slowdown_cell ~base_cycles (o : outcome) : string =
 
 let size_cell ~base_size (o : outcome) : string =
   match o with
-  | Detected _ -> "-"
+  | Detected _ | Corrupted _ | Limit _ -> "-"
   | Ran r ->
       let pct =
         100.0 *. float_of_int (r.o_size - base_size) /. float_of_int base_size
       in
       Printf.sprintf "%.0f%%" pct
 
-let cycles = function Ran r -> Some r.o_cycles | Detected _ -> None
+let cycles = function Ran r -> Some r.o_cycles | _ -> None
 
-let output = function Ran r -> Some r.o_output | Detected _ -> None
+let output = function Ran r -> Some r.o_output | _ -> None
 
 exception Baseline_failed of string
 
 let base_cycles_exn = function
   | Ran r -> r.o_cycles
-  | Detected m -> raise (Baseline_failed m)
+  | (Detected _ | Corrupted _ | Limit _) as o -> raise (Baseline_failed (describe o))

@@ -5,7 +5,12 @@ type run_info = {
   o_instrs : int;
   o_size : int;
   o_output : string;
+  o_exit : int;
   o_gc_count : int;
+  o_gc_points : (int * string) list;
+      (** injected collections that fired (safepoint index, location) *)
+  o_live_objects : int;
+  o_live_bytes : int;
 }
 
 type outcome =
@@ -13,9 +18,25 @@ type outcome =
   | Detected of string
       (** the checking runtime (or the VM's access checker) stopped the
           program — the paper's "<fails>" cells *)
+  | Corrupted of string
+      (** the heap-integrity sanitizer found a violated invariant *)
+  | Limit of string  (** a resource ceiling (steps, heap bytes) was hit *)
+
+val describe : outcome -> string
 
 val run :
-  ?machine:Machine.Machdesc.t -> ?async_gc:int option -> Build.built -> outcome
+  ?machine:Machine.Machdesc.t ->
+  ?async_gc:int option ->
+  ?schedule:Machine.Schedule.t ->
+  ?check_integrity:bool ->
+  ?final_collect:bool ->
+  ?max_instrs:int ->
+  ?max_heap:int ->
+  ?gc_point_sink:(int -> string -> unit) ->
+  Build.built ->
+  outcome
+(** Execute a built program.  [schedule] takes precedence over the legacy
+    [async_gc] (which maps to {!Machine.Schedule.Every}). *)
 
 val run_config :
   ?machine:Machine.Machdesc.t -> Build.config -> string -> Build.built * outcome

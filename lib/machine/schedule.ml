@@ -1,0 +1,65 @@
+(** Deterministic GC schedules for the VM's fault injector.
+
+    The paper's hazard is a race: a collection must land in the narrow
+    window between the overwrite of the last recognizable pointer and the
+    final use of the derived one.  Rather than hoping an asynchronous
+    collector hits the window, a schedule names the collection points
+    outright, so a failing interleaving is reproducible bit for bit and a
+    search over interleavings is just a loop over schedules.
+
+    Safepoints are instruction boundaries: the VM's dynamic instruction
+    counter after each executed instruction (terminators included) is the
+    safepoint index, so index [k] means "collect immediately after the
+    [k]th executed instruction". *)
+
+type points = Bytes.t
+(** A bit-set of safepoint indices. *)
+
+let no_points : points = Bytes.empty
+
+let points_of_list (l : int list) : points =
+  let m = List.fold_left max (-1) l in
+  if m < 0 then no_points
+  else begin
+    let b = Bytes.make ((m / 8) + 1) '\000' in
+    List.iter
+      (fun i ->
+        if i >= 0 then
+          Bytes.set b (i / 8)
+            (Char.chr (Char.code (Bytes.get b (i / 8)) lor (1 lsl (i mod 8)))))
+      l;
+    b
+  end
+
+let points_mem (b : points) i =
+  i >= 0
+  && i / 8 < Bytes.length b
+  && Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let points_to_list (b : points) =
+  let acc = ref [] in
+  for i = (8 * Bytes.length b) - 1 downto 0 do
+    if points_mem b i then acc := i :: !acc
+  done;
+  !acc
+
+let points_cardinal b = List.length (points_to_list b)
+
+type t =
+  | Auto  (** no injected collections: allocation volume triggers only *)
+  | Every of int  (** collect at every [n]th safepoint *)
+  | At_allocs  (** collect at every allocation site *)
+  | At of points  (** collect at exactly these safepoint indices *)
+
+let at_list l = At (points_of_list l)
+
+let to_string = function
+  | Auto -> "auto"
+  | Every n -> Printf.sprintf "every-%d" n
+  | At_allocs -> "at-allocs"
+  | At pts -> (
+      match points_to_list pts with
+      | [] -> "at:{}"
+      | l ->
+          Printf.sprintf "at:{%s}"
+            (String.concat "," (List.map string_of_int l)))

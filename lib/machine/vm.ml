@@ -8,21 +8,37 @@
     scanned as roots by {!Gcheap.Heap.collect}).
 
     Collections are triggered by allocation volume, and — when
-    [vm_async_gc] is set — at arbitrary instruction boundaries, modelling
-    the paper's "multiple threads of control" assumption under which a
-    collection may be triggered asynchronously.
+    [vm_gc_schedule] injects them — at deterministic safepoints: every Nth
+    instruction boundary, every allocation, or an explicit bit-set of
+    instruction indices.  The dense modes model the paper's "multiple
+    threads of control" assumption under which a collection may be
+    triggered asynchronously; the explicit mode makes a specific
+    interleaving reproducible, which is what the stress harness searches
+    and shrinks over.
 
     Every load and store is checked against the heap map, so touching a
     prematurely collected (swept and poisoned) object is reported as a
-    [GC safety violation] rather than silently reading garbage. *)
+    [GC safety violation] rather than silently reading garbage.
+
+    Resource ceilings (instruction budget, heap footprint) raise [Trap]
+    rather than [Fault]: exhausting a budget is a structured diagnostic,
+    not a program error. *)
 
 open Ir.Instr
 
 exception Fault of string
 
+type trap_kind = Step_limit | Heap_limit
+
+let trap_kind_name = function
+  | Step_limit -> "step-limit"
+  | Heap_limit -> "heap-limit"
+
+exception Trap of trap_kind * string
+
 type config = {
   vm_machine : Machdesc.t;
-  vm_async_gc : int option;  (** force a collection every n instructions *)
+  vm_gc_schedule : Schedule.t;  (** injected (forced) collection points *)
   vm_gc_at_calls_only : bool;
       (** restrict forced collections to call instructions — the
           environment assumed by the paper's optimization (4) *)
@@ -30,18 +46,34 @@ type config = {
       (** collector recognizes interior pointers everywhere (default); off
           reproduces the Extensions-section root-only mode *)
   vm_gc_threshold : int;  (** allocation volume between collections *)
-  vm_max_instrs : int;  (** runaway guard *)
+  vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
+  vm_max_heap_bytes : int;
+      (** arena footprint ceiling; exceeding it raises [Trap] *)
+  vm_check_integrity : bool;
+      (** run the heap sanitizer after every collection; violations raise
+          {!Gcheap.Heap.Heap_corruption} *)
+  vm_final_collect : bool;
+      (** collect once after [main] returns, so the result's live-heap
+          summary is comparable across schedules and builds *)
+  vm_gc_point_sink : (int -> string -> unit) option;
+      (** also called for every fired injected collection — unlike
+          [r_gc_points], a sink observes points even when the run later
+          faults, which is what the schedule shrinker replays *)
   vm_stack_bytes : int;
 }
 
 let default_config ?(machine = Machdesc.sparc10) () =
   {
     vm_machine = machine;
-    vm_async_gc = None;
+    vm_gc_schedule = Schedule.Auto;
     vm_gc_at_calls_only = false;
     vm_all_interior = true;
     vm_gc_threshold = 256 * 1024;
     vm_max_instrs = 400_000_000;
+    vm_max_heap_bytes = 1 lsl 30;
+    vm_check_integrity = false;
+    vm_final_collect = false;
+    vm_gc_point_sink = None;
     vm_stack_bytes = 256 * 1024;
   }
 
@@ -71,6 +103,9 @@ type state = {
   mutable rand_state : int;
   mutable arg_queue : int list;  (** reversed: arguments pushed so far *)
   mutable at_call : bool;  (** the last executed instruction was a call *)
+  mutable gc_points : (int * string) list;
+      (** injected collections that actually fired: safepoint index and a
+          program-location description (innermost first) *)
 }
 
 type result = {
@@ -80,6 +115,10 @@ type result = {
   r_cycles : int;
   r_gc_count : int;
   r_heap : Gcheap.Heap.stats;
+  r_gc_points : (int * string) list;
+      (** fired injected collections, in execution order *)
+  r_live_objects : int;  (** collectable objects alive at exit *)
+  r_live_bytes : int;  (** their requested bytes *)
 }
 
 exception Exit_program of int
@@ -129,6 +168,7 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
     rand_state = 42;
     arg_queue = [];
     at_call = false;
+    gc_points = [];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -144,10 +184,54 @@ let collect st =
   let live_stack = (st.stack_base, st.stack_base + st.sp) in
   ignore
     (Gcheap.Heap.collect ~extra_roots:roots ~extra_ranges:[ live_stack ]
-       st.heap)
+       st.heap);
+  if st.cfg.vm_check_integrity then Gcheap.Heap.assert_integrity st.heap
+
+(** Where execution currently stands, for reporting a collection point:
+    innermost function, block, and the instruction just executed. *)
+let point_context st =
+  match st.frames with
+  | [] -> "program exit"
+  | fr :: _ ->
+      let total = List.length fr.fr_block.b_instrs in
+      let executed = total - List.length fr.fr_pc in
+      let where =
+        if executed = 0 then "block entry"
+        else
+          Format.asprintf "after %a" Ir.Instr.pp_instr
+            (List.nth fr.fr_block.b_instrs (executed - 1))
+      in
+      Printf.sprintf "%s, L%d, %s" fr.fr_func.fn_name fr.fr_block.b_label
+        where
+
+let forced_collect st =
+  let ctx = point_context st in
+  st.gc_points <- (st.instrs, ctx) :: st.gc_points;
+  Option.iter (fun sink -> sink st.instrs ctx) st.cfg.vm_gc_point_sink;
+  collect st
+
+(** Is an injected collection due at the current safepoint (the boundary
+    after instruction [st.instrs])? *)
+let forced_gc_due st =
+  (match st.cfg.vm_gc_schedule with
+  | Schedule.Auto | Schedule.At_allocs -> false
+  | Schedule.Every n -> n > 0 && st.instrs mod n = 0
+  | Schedule.At pts -> Schedule.points_mem pts st.instrs)
+  && ((not st.cfg.vm_gc_at_calls_only) || st.at_call)
 
 let maybe_collect_for_alloc st =
-  if Gcheap.Heap.should_collect st.heap then collect st
+  match st.cfg.vm_gc_schedule with
+  | Schedule.At_allocs -> forced_collect st
+  | _ -> if Gcheap.Heap.should_collect st.heap then collect st
+
+let check_heap_ceiling st =
+  let used = Gcheap.Heap.footprint st.heap in
+  if used > st.cfg.vm_max_heap_bytes then
+    raise
+      (Trap
+         ( Heap_limit,
+           Printf.sprintf "heap ceiling exceeded: %d bytes in use, limit %d"
+             used st.cfg.vm_max_heap_bytes ))
 
 (* ------------------------------------------------------------------ *)
 (* Frames                                                              *)
@@ -230,9 +314,11 @@ let cstring st addr =
 
 let charge st n = st.cycles <- st.cycles + n
 
-let alloc st n =
+let alloc ?kind st n =
   maybe_collect_for_alloc st;
-  Gcheap.Heap.alloc st.heap (max n 1)
+  let a = Gcheap.Heap.alloc ?kind st.heap (max n 1) in
+  check_heap_ceiling st;
+  a
 
 (* printf with the subset of conversions the workloads use *)
 let do_printf st fmt args =
@@ -285,8 +371,7 @@ let builtin st name (args : int list) : int =
       alloc st n
   | "GC_malloc_atomic", [ n ] ->
       charge st 40;
-      maybe_collect_for_alloc st;
-      Gcheap.Heap.alloc ~kind:Gcheap.Block.Atomic st.heap (max n 1)
+      alloc ~kind:Gcheap.Block.Atomic st n
   | "calloc", [ a; b ] ->
       charge st 45;
       alloc st (a * b)
@@ -557,16 +642,21 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
   (try
      while true do
        step st;
-       (match config.vm_async_gc with
-       | Some n
-         when st.instrs mod n = 0
-              && ((not config.vm_gc_at_calls_only) || st.at_call) ->
-           collect st
-       | _ -> ());
+       if forced_gc_due st then forced_collect st;
        if st.instrs > config.vm_max_instrs then
-         raise (Fault "instruction budget exceeded")
+         raise
+           (Trap
+              ( Step_limit,
+                Printf.sprintf "instruction budget exceeded (%d steps)"
+                  config.vm_max_instrs ))
      done
    with Exit_program code -> exit_code := code);
+  if config.vm_final_collect then begin
+    (* all frames are gone: only statics-reachable objects survive *)
+    collect st;
+    st.gc_count <- st.gc_count - 1 (* not a program-visible collection *)
+  end;
+  let live_objects, live_bytes = Gcheap.Heap.live_summary st.heap in
   {
     r_exit = !exit_code;
     r_output = Buffer.contents st.out;
@@ -574,4 +664,7 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
     r_cycles = st.cycles;
     r_gc_count = st.gc_count;
     r_heap = st.heap.Gcheap.Heap.stats;
+    r_gc_points = List.rev st.gc_points;
+    r_live_objects = live_objects;
+    r_live_bytes = live_bytes;
   }

@@ -4,16 +4,28 @@
     GC roots are what a conservative collector sees on a real machine:
     every frame's register file (stale values included), the VM stack and
     the statics region.  Collections trigger on allocation volume and —
-    when [vm_async_gc] is set — at arbitrary instruction boundaries,
-    modelling asynchronously triggered collection.  Every load and store
-    is checked against the heap map, so touching a prematurely collected
-    object faults instead of silently reading poisoned memory. *)
+    under an injected {!Schedule.t} — at deterministic safepoints: every
+    Nth instruction boundary, every allocation, or an explicit bit-set of
+    instruction indices.  Every load and store is checked against the heap
+    map, so touching a prematurely collected object faults instead of
+    silently reading poisoned memory.
+
+    Resource exhaustion (step or heap ceiling) raises [Trap], distinct
+    from [Fault]: running out of budget is a structured diagnostic, not a
+    program error. *)
 
 exception Fault of string
 
+type trap_kind = Step_limit | Heap_limit
+
+val trap_kind_name : trap_kind -> string
+
+exception Trap of trap_kind * string
+(** A resource ceiling was exceeded. *)
+
 type config = {
   vm_machine : Machdesc.t;
-  vm_async_gc : int option;  (** force a collection every n instructions *)
+  vm_gc_schedule : Schedule.t;  (** injected (forced) collection points *)
   vm_gc_at_calls_only : bool;
       (** restrict forced collections to call instructions — the
           environment assumed by the paper's optimization (4) *)
@@ -21,7 +33,19 @@ type config = {
       (** collector recognizes interior pointers everywhere (default);
           [false] reproduces the Extensions-section root-only mode *)
   vm_gc_threshold : int;  (** allocation volume between collections *)
-  vm_max_instrs : int;  (** runaway guard *)
+  vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
+  vm_max_heap_bytes : int;
+      (** arena footprint ceiling; exceeding it raises [Trap] *)
+  vm_check_integrity : bool;
+      (** run {!Gcheap.Heap.check_integrity} after every collection and
+          raise {!Gcheap.Heap.Heap_corruption} on any violation *)
+  vm_final_collect : bool;
+      (** collect once after [main] returns so [r_live_objects] /
+          [r_live_bytes] are comparable across schedules and builds *)
+  vm_gc_point_sink : (int -> string -> unit) option;
+      (** also called for every fired injected collection — unlike
+          [r_gc_points], a sink observes points even when the run later
+          faults, which is what the schedule shrinker replays *)
   vm_stack_bytes : int;
 }
 
@@ -34,10 +58,18 @@ type result = {
   r_cycles : int;
   r_gc_count : int;
   r_heap : Gcheap.Heap.stats;
+  r_gc_points : (int * string) list;
+      (** injected collections that fired, in execution order: safepoint
+          index and a program-location description *)
+  r_live_objects : int;  (** collectable objects alive at exit *)
+  r_live_bytes : int;  (** their requested bytes *)
 }
 
 exception Exit_program of int
 
 val run : ?config:config -> ?args:int list -> Ir.Instr.program -> result
-(** Run [main] to completion.  @raise Fault on memory-safety violations,
-    runtime errors, or exhausted budgets. *)
+(** Run [main] to completion.
+    @raise Fault on memory-safety violations or runtime errors.
+    @raise Trap when a resource ceiling is exceeded.
+    @raise Gcheap.Heap.Heap_corruption when [vm_check_integrity] is set and
+    the sanitizer finds a violation. *)

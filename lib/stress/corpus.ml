@@ -1,0 +1,199 @@
+(** The stress corpus: small programs with known GC-safety character.
+
+    Each target records whether the conventionally optimized build is
+    *expected* to be vulnerable to an adversarial collection schedule
+    (the paper's disguised-pointer hazards) and whether the checking
+    build is expected to stop it (a real pointer bug, as in gawk).  The
+    driver uses these expectations to separate "the stress harness found
+    the known hazard" from "something that must never diverge did". *)
+
+type target = {
+  t_name : string;
+  t_description : string;
+  t_source : string;
+  t_base_vulnerable : bool;
+      (** the [-O] build is expected to diverge under some schedule *)
+  t_checked_fails : bool;
+      (** the checking build detects a genuine pointer error *)
+}
+
+(* The paper's introductory hazard: the optimizer rewrites the final
+   reference p[i-100000] into p -= 100000; ... p[i], disguising the only
+   pointer to the object for the duration of the window. *)
+let hazard =
+  {
+    t_name = "hazard";
+    t_description =
+      "disguised last pointer via strength-reduced p[i - 100000]";
+    t_source =
+      {|long f(long i) {
+  char *p = (char *)malloc(10);
+  p[5] = 42;
+  return p[i - 100000];   /* legal: i = 100005 */
+}
+int main(void) { printf("f returned %ld\n", f(100005)); return 0; }|};
+    t_base_vulnerable = true;
+    t_checked_fails = false;
+  }
+
+(* Same shape, but the disguised access is the result of a summation
+   loop, so the window between the disguising subtraction and the final
+   use spans many safepoints — a larger surface for the injector. *)
+let indexfold =
+  {
+    t_name = "indexfold";
+    t_description = "loop-computed index folded into a biased final access";
+    t_source =
+      {|long f(long n) {
+  char *a = (char *)malloc(64);
+  long i;
+  long acc = 0;
+  for (i = 0; i < 32; i = i + 1) {
+    a[i] = i;
+    acc = acc + a[i];
+  }
+  return acc + a[n - 100000];   /* n = 100007: a[7] = 7 */
+}
+int main(void) { printf("sum %ld\n", f(100007)); return 0; }|};
+    t_base_vulnerable = true;
+    t_checked_fails = false;
+  }
+
+(* A heap-to-heap copy loop: all pointers stay in recognizable form
+   throughout, so every build must agree under every schedule. *)
+let strcopy =
+  {
+    t_name = "strcopy";
+    t_description = "heap-to-heap byte copy; all pointers stay recognizable";
+    t_source =
+      {|int main(void) {
+  char *src = (char *)malloc(24);
+  char *dst = (char *)malloc(24);
+  long i;
+  for (i = 0; i < 23; i = i + 1) src[i] = 65 + (i % 26);
+  src[23] = 0;
+  for (i = 0; src[i] != 0; i = i + 1) dst[i] = src[i];
+  dst[i] = 0;
+  printf("copied %s\n", dst);
+  return 0;
+}|};
+    t_base_vulnerable = false;
+    t_checked_fails = false;
+  }
+
+(* An object kept alive only through an interior pointer: exercises the
+   collector's interior-pointer recognition under every schedule. *)
+let interior =
+  {
+    t_name = "interior";
+    t_description = "object reachable only via an interior pointer";
+    t_source =
+      {|int main(void) {
+  char *p = (char *)malloc(40);
+  char *mid;
+  long i;
+  for (i = 0; i < 40; i = i + 1) p[i] = i;
+  mid = p + 17;
+  p = 0;                       /* only the interior pointer survives */
+  for (i = 0; i < 3; i = i + 1) (void)malloc(512);
+  printf("mid %ld\n", (long)mid[0]);
+  return 0;
+}|};
+    t_base_vulnerable = false;
+    t_checked_fails = false;
+  }
+
+(* Allocation churn including a large (multi-page) object: drives the
+   sweep, free-list, and large-block paths that the sanitizer audits. *)
+let churn =
+  {
+    t_name = "churn";
+    t_description = "small-object churn plus a live large object";
+    t_source =
+      {|int main(void) {
+  char *big = (char *)malloc(5000);
+  long i;
+  long keep = 0;
+  big[4999] = 7;
+  for (i = 0; i < 40; i = i + 1) {
+    char *t = (char *)malloc(16 + (i % 5) * 8);
+    t[0] = i;
+    keep = keep + t[0];
+  }
+  printf("churn %ld big %ld\n", keep, (long)big[4999]);
+  return 0;
+}|};
+    t_base_vulnerable = false;
+    t_checked_fails = false;
+  }
+
+let examples = [ hazard; indexfold; strcopy; interior; churn ]
+
+let of_workload (w : Workloads.Registry.workload) =
+  {
+    t_name = w.Workloads.Registry.w_name;
+    t_description = w.Workloads.Registry.w_description;
+    t_source = w.Workloads.Registry.w_source;
+    (* The paper's workloads keep their pointers recognizable (that is
+       the point of the safe build); only checking-detected bugs are
+       expected. *)
+    t_base_vulnerable = false;
+    t_checked_fails = w.Workloads.Registry.w_checked_fails;
+  }
+
+let workloads = List.map of_workload Workloads.Registry.paper_suite
+
+let of_source ~name source =
+  {
+    t_name = name;
+    t_description = "user program";
+    t_source = source;
+    t_base_vulnerable = false;
+    t_checked_fails = false;
+  }
+
+let by_name name =
+  match List.find_opt (fun t -> t.t_name = name) examples with
+  | Some t -> Some t
+  | None -> (
+      match Workloads.Registry.by_name name with
+      | Some w -> Some (of_workload w)
+      | None -> None)
+
+(** Resolve a command-line target spec: a group name, a corpus/workload
+    name, or a path to a source file. *)
+let resolve spec : target list option =
+  match spec with
+  | "examples" -> Some examples
+  | "workloads" -> Some workloads
+  | "all" -> Some (examples @ workloads)
+  | "-" ->
+      Some [ of_source ~name:"<stdin>" (In_channel.input_all In_channel.stdin) ]
+  | name -> (
+      match by_name name with
+      | Some t -> Some [ t ]
+      | None ->
+          if Sys.file_exists name then begin
+            let ic = open_in_bin name in
+            let n = in_channel_length ic in
+            let src = really_input_string ic n in
+            close_in ic;
+            Some [ of_source ~name:(Filename.basename name) src ]
+          end
+          else None)
+
+(** Map a function name in [source] to its declaration site, for the
+    shrinker's report.  The IR drops source locations, but the injector's
+    point contexts name the enclosing function, which we can look up. *)
+let function_locs source : (string * string) list =
+  match Csyntax.Parser.parse_program source with
+  | prog ->
+      List.filter_map
+        (function
+          | Csyntax.Ast.Gfunc f ->
+              Some
+                ( f.Csyntax.Ast.f_name,
+                  Csyntax.Loc.to_string f.Csyntax.Ast.f_loc )
+          | _ -> None)
+        prog.Csyntax.Ast.prog_globals
+  | exception _ -> []

@@ -1,0 +1,40 @@
+(** The stress corpus: small programs with known GC-safety character. *)
+
+type target = {
+  t_name : string;
+  t_description : string;
+  t_source : string;
+  t_base_vulnerable : bool;
+      (** the [-O] build is expected to diverge under some schedule *)
+  t_checked_fails : bool;
+      (** the checking build detects a genuine pointer error *)
+}
+
+val hazard : target
+(** The paper's introductory disguised-pointer hazard. *)
+
+val indexfold : target
+
+val strcopy : target
+
+val interior : target
+
+val churn : target
+
+val examples : target list
+
+val of_workload : Workloads.Registry.workload -> target
+
+val workloads : target list
+(** The paper's four measured workloads as stress targets. *)
+
+val of_source : name:string -> string -> target
+
+val by_name : string -> target option
+
+val resolve : string -> target list option
+(** Resolve a command-line spec: "examples" | "workloads" | "all", a
+    corpus or workload name, or a path to a source file. *)
+
+val function_locs : string -> (string * string) list
+(** Function name -> declaration site ("line:col"), parsed from source. *)

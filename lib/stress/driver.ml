@@ -1,0 +1,340 @@
+(** The stress driver: fault-injected differential execution with
+    schedule shrinking.
+
+    For every target program, every build configuration is run on every
+    machine model under a family of injected GC schedules.  Each run is
+    diffed against the same subject's uninjected behaviour (schedule
+    sensitivity), and each subject's uninjected behaviour is diffed
+    against the optimized baseline (cross-configuration agreement).  Any
+    failing schedule is minimized with {!Shrink.ddmin} and reported with
+    the program points where the minimized collections fire. *)
+
+module Build = Harness.Build
+module Differ = Harness.Differ
+module Schedule = Machine.Schedule
+
+type mode =
+  | Exhaustive of int
+      (** every single-collection-point schedule, up to a cap *)
+  | Every_n of int list  (** collect at every nth safepoint *)
+  | Alloc_points  (** collect at every allocation *)
+
+let mode_name = function
+  | Exhaustive cap -> Printf.sprintf "exhaustive(<=%d)" cap
+  | Every_n ns ->
+      "every-" ^ String.concat "," (List.map string_of_int ns)
+  | Alloc_points -> "at-allocs"
+
+type plan = {
+  p_configs : Build.config list;
+  p_machines : Machine.Machdesc.t list;
+  p_modes : mode list option;  (** [None]: choose per target size *)
+  p_exhaustive_cap : int;
+  p_max_instrs : int option;
+  p_max_heap : int option;
+}
+
+let default_plan =
+  {
+    p_configs = Build.all_configs;
+    p_machines = Differ.default_machines;
+    p_modes = None;
+    p_exhaustive_cap = 2000;
+    p_max_instrs = None;
+    p_max_heap = None;
+  }
+
+type kind =
+  | Divergence of string  (** schedule-sensitive behaviour; mismatch kind *)
+  | Corruption  (** the heap sanitizer fired *)
+  | Config_gap of string
+      (** uninjected behaviour disagrees with the baseline *)
+
+let kind_name = function
+  | Divergence k -> "divergence(" ^ k ^ ")"
+  | Corruption -> "integrity-violation"
+  | Config_gap k -> "config-gap(" ^ k ^ ")"
+
+type finding = {
+  f_target : string;
+  f_subject : string;
+  f_config : Build.config;
+  f_kind : kind;
+  f_detail : string;
+  f_schedule : string;  (** the schedule that first exposed it *)
+  f_min_points : int list;  (** minimized point set ([] when not shrunk) *)
+  f_orig_points : int;  (** collections fired before shrinking *)
+  f_contexts : (int * string * string option) list;
+      (** minimized point, program context, source location *)
+  f_expected : bool;
+      (** a known hazard of the conventional build, not a harness failure *)
+}
+
+type report = {
+  r_findings : finding list;
+  r_targets : int;
+  r_subjects : int;
+  r_runs : int;  (** VM executions, including shrinking *)
+}
+
+let unexpected r = List.filter (fun f -> not f.f_expected) r.r_findings
+
+(* ------------------------------------------------------------------ *)
+
+(** Map a fired-point context ("fn, L2, after ...") to the declaration
+    site of its enclosing function. *)
+let source_loc_of_context fn_locs ctx =
+  match String.index_opt ctx ',' with
+  | None -> None
+  | Some i -> List.assoc_opt (String.sub ctx 0 i) fn_locs
+
+let is_fail = function
+  | Some _, _ -> true
+  | None, Differ.Obs_corrupted _ -> true
+  | None, _ -> false
+
+(** One target against the whole matrix. *)
+let run_target (plan : plan) (target : Corpus.target) :
+    finding list * int * int =
+  let runs = ref 0 in
+  let fn_locs = Corpus.function_locs target.Corpus.t_source in
+  let subjects =
+    Differ.build_matrix ~configs:plan.p_configs ~machines:plan.p_machines
+      target.Corpus.t_source
+  in
+  let observe ?gc_point_sink ~schedule subject =
+    incr runs;
+    Differ.observe ?max_instrs:plan.p_max_instrs ?max_heap:plan.p_max_heap
+      ?gc_point_sink ~schedule subject
+  in
+  (* Uninjected behaviour of every subject, and the per-machine baseline. *)
+  let auto = List.map (fun s -> (s, observe ~schedule:Schedule.Auto s)) subjects in
+  let base_auto machine =
+    let s, o =
+      List.find
+        (fun (s, _) ->
+          s.Differ.s_config = Build.Base
+          && s.Differ.s_machine.Machine.Machdesc.md_name
+             = machine.Machine.Machdesc.md_name)
+        auto
+    in
+    ignore s;
+    o
+  in
+  let findings = ref [] in
+  let record f = findings := f :: !findings in
+  (* Cross-configuration agreement with no injection at all.  A checking
+     build stopping a target with a known pointer bug is the expected
+     behaviour from the paper, not a finding. *)
+  List.iter
+    (fun (s, obs) ->
+      if s.Differ.s_config <> Build.Base then begin
+        let expected_checked_fault =
+          s.Differ.s_config = Build.Debug_checked
+          && target.Corpus.t_checked_fails
+          &&
+          match obs with Differ.Obs_detected _ -> true | _ -> false
+        in
+        match Differ.diff ~reference:(base_auto s.Differ.s_machine) obs with
+        | Some m when not expected_checked_fault ->
+            record
+              {
+                f_target = target.Corpus.t_name;
+                f_subject = Differ.subject_name s;
+                f_config = s.Differ.s_config;
+                f_kind = Config_gap (Differ.mismatch_kind m);
+                f_detail = Differ.describe_mismatch m;
+                f_schedule = "auto";
+                f_min_points = [];
+                f_orig_points = 0;
+                f_contexts = [];
+                f_expected = false;
+              }
+        | _ -> ()
+      end)
+    auto;
+  (* Schedule families, sized from the baseline's dynamic instruction
+     count on each machine. *)
+  let safepoints machine =
+    match base_auto machine with
+    | Differ.Obs_ok { ok_instrs; _ } -> ok_instrs
+    | _ -> 0
+  in
+  let schedules_for machine =
+    let t = safepoints machine in
+    let modes =
+      match plan.p_modes with
+      | Some ms -> ms
+      | None ->
+          if t > 0 && t <= plan.p_exhaustive_cap then
+            [ Exhaustive plan.p_exhaustive_cap; Every_n [ 1 ]; Alloc_points ]
+          else
+            (* Large programs: every forced collection costs a full mark
+               and an integrity scan, so sample at two offset strides
+               (~16 and ~64 collections) rather than injecting densely. *)
+            [ Every_n [ max 1 (t / 16); max 1 ((t / 64) + 1) ] ]
+    in
+    List.concat_map
+      (function
+        | Exhaustive cap ->
+            List.init (min t cap) (fun k ->
+                Schedule.at_list [ k + 1 ])
+        | Every_n ns ->
+            List.map (fun n -> Schedule.Every (max 1 n)) (List.sort_uniq compare ns)
+        | Alloc_points -> [ Schedule.At_allocs ])
+      modes
+  in
+  (* Shrinking: replay fired points as an explicit [At] schedule. *)
+  let diff_against reference obs = (Differ.diff ~reference obs, obs) in
+  let shrink_and_report s reference fired =
+    let fired = List.rev fired in
+    let fired_idx = List.map fst fired in
+    let still_fails pts =
+      let obs =
+        observe ~schedule:(Schedule.At (Schedule.points_of_list pts)) s
+      in
+      is_fail (diff_against reference obs)
+    in
+    let try_seed seed = if seed <> [] && still_fails seed then Some seed else None in
+    let seed =
+      match try_seed fired_idx with
+      | Some s -> Some s
+      | None ->
+          (* At_allocs points fire inside the allocating call; an [At]
+             schedule fires after the indexed instruction, so the
+             nearest replay is one safepoint earlier. *)
+          try_seed (List.map (fun k -> max 0 (k - 1)) fired_idx)
+    in
+    match seed with
+    | None ->
+        (* Not replayable as an explicit point set; report unshrunk. *)
+        let contexts =
+          List.map
+            (fun (k, ctx) -> (k, ctx, source_loc_of_context fn_locs ctx))
+            fired
+        in
+        ([], List.length fired, contexts)
+    | Some seed ->
+        let min_pts = Shrink.ddmin ~still_fails seed in
+        (* Re-run the minimized schedule to capture where its
+           collections land. *)
+        let captured = ref [] in
+        ignore
+          (observe
+             ~gc_point_sink:(fun k ctx -> captured := (k, ctx) :: !captured)
+             ~schedule:(Schedule.At (Schedule.points_of_list min_pts))
+             s);
+        let contexts =
+          List.rev_map
+            (fun (k, ctx) -> (k, ctx, source_loc_of_context fn_locs ctx))
+            !captured
+        in
+        (min_pts, List.length fired, contexts)
+  in
+  (* Scan each subject; stop at its first finding (the shrinker gives a
+     minimal witness, further schedules add nothing). *)
+  List.iter
+    (fun (s, reference) ->
+      let schedules = schedules_for s.Differ.s_machine in
+      let found = ref false in
+      List.iter
+        (fun schedule ->
+          if not !found then begin
+            let fired = ref [] in
+            let obs =
+              observe
+                ~gc_point_sink:(fun k ctx -> fired := (k, ctx) :: !fired)
+                ~schedule s
+            in
+            let mismatch, obs = diff_against reference obs in
+            let corrupted =
+              match obs with Differ.Obs_corrupted _ -> true | _ -> false
+            in
+            if corrupted || mismatch <> None then begin
+              found := true;
+              let min_pts, orig, contexts =
+                shrink_and_report s reference !fired
+              in
+              let kind, detail =
+                if corrupted then
+                  ( Corruption,
+                    match obs with
+                    | Differ.Obs_corrupted m -> m
+                    | _ -> assert false )
+                else
+                  match mismatch with
+                  | Some m ->
+                      (Divergence (Differ.mismatch_kind m),
+                       Differ.describe_mismatch m)
+                  | None -> assert false
+              in
+              record
+                {
+                  f_target = target.Corpus.t_name;
+                  f_subject = Differ.subject_name s;
+                  f_config = s.Differ.s_config;
+                  f_kind = kind;
+                  f_detail = detail;
+                  f_schedule = Schedule.to_string schedule;
+                  f_min_points = min_pts;
+                  f_orig_points = orig;
+                  f_contexts = contexts;
+                  (* Schedule sensitivity of the conventional build is
+                     the hazard the paper predicts; everything else must
+                     never happen. *)
+                  f_expected = (not corrupted) && s.Differ.s_config = Build.Base;
+                }
+            end
+          end)
+        schedules)
+    auto;
+  (List.rev !findings, List.length subjects, !runs)
+
+let run ?(plan = default_plan) (targets : Corpus.target list) : report =
+  let findings, subjects, runs =
+    List.fold_left
+      (fun (fs, subs, runs) target ->
+        let f, s, r = run_target plan target in
+        (fs @ f, subs + s, runs + r))
+      ([], 0, 0) targets
+  in
+  {
+    r_findings = findings;
+    r_targets = List.length targets;
+    r_subjects = subjects;
+    r_runs = runs;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s %s [%s]@,  schedule %s: %s@," f.f_target f.f_subject
+    (kind_name f.f_kind) f.f_schedule f.f_detail;
+  (match f.f_min_points with
+  | [] ->
+      if f.f_orig_points > 0 then
+        Format.fprintf ppf "  not shrinkable to an explicit point set (%d collection(s) fired)@,"
+          f.f_orig_points
+  | pts ->
+      Format.fprintf ppf "  minimized to %d collection point(s) (from %d): {%s}@,"
+        (List.length pts) f.f_orig_points
+        (String.concat ", " (List.map string_of_int pts)));
+  List.iter
+    (fun (k, ctx, loc) ->
+      Format.fprintf ppf "    point %d: %s%s@," k ctx
+        (match loc with Some l -> " (declared at " ^ l ^ ")" | None -> ""))
+    f.f_contexts
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf
+    "stress: %d target(s), %d subject(s), %d run(s), %d finding(s), %d unexpected@,"
+    r.r_targets r.r_subjects r.r_runs
+    (List.length r.r_findings)
+    (List.length (unexpected r));
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%s " (if f.f_expected then "[expected]" else "[UNEXPECTED]");
+      pp_finding ppf f)
+    r.r_findings;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** The stress driver: fault-injected differential execution with
+    schedule shrinking. *)
+
+type mode =
+  | Exhaustive of int
+      (** every single-collection-point schedule, up to a cap *)
+  | Every_n of int list  (** collect at every nth safepoint *)
+  | Alloc_points  (** collect at every allocation *)
+
+val mode_name : mode -> string
+
+type plan = {
+  p_configs : Harness.Build.config list;
+  p_machines : Machine.Machdesc.t list;
+  p_modes : mode list option;  (** [None]: choose per target size *)
+  p_exhaustive_cap : int;
+  p_max_instrs : int option;
+  p_max_heap : int option;
+}
+
+val default_plan : plan
+
+type kind =
+  | Divergence of string  (** schedule-sensitive behaviour; mismatch kind *)
+  | Corruption  (** the heap sanitizer fired *)
+  | Config_gap of string
+      (** uninjected behaviour disagrees with the baseline *)
+
+val kind_name : kind -> string
+
+type finding = {
+  f_target : string;
+  f_subject : string;
+  f_config : Harness.Build.config;
+  f_kind : kind;
+  f_detail : string;
+  f_schedule : string;  (** the schedule that first exposed it *)
+  f_min_points : int list;  (** minimized point set ([] when not shrunk) *)
+  f_orig_points : int;  (** collections fired before shrinking *)
+  f_contexts : (int * string * string option) list;
+      (** minimized point, program context, source location *)
+  f_expected : bool;
+      (** a known hazard of the conventional build, not a harness failure *)
+}
+
+type report = {
+  r_findings : finding list;
+  r_targets : int;
+  r_subjects : int;
+  r_runs : int;  (** VM executions, including shrinking *)
+}
+
+val unexpected : report -> finding list
+(** Findings that must never occur: any integrity violation, any
+    divergence or cross-configuration gap in a GC-safe or debug build. *)
+
+val run_target : plan -> Corpus.target -> finding list * int * int
+(** [findings, subjects, runs] for one target. *)
+
+val run : ?plan:plan -> Corpus.target list -> report
+
+val pp_finding : Format.formatter -> finding -> unit
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,63 @@
+(** Schedule shrinking: delta debugging over sets of collection points.
+
+    A failing schedule found by a dense injection mode (collect at every
+    instruction, every Nth safepoint, every allocation) typically contains
+    hundreds of collection points, almost all of which are irrelevant.
+    [ddmin] reduces the set to a small core that still reproduces the
+    divergence — for the paper's hazards, usually the single collection
+    that lands inside the disguised-pointer window. *)
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let rec drop n = function
+  | _ :: rest when n > 0 -> drop (n - 1) rest
+  | l -> l
+
+(** Split [l] into [n] contiguous chunks whose lengths differ by at most
+    one. *)
+let split_chunks l n =
+  let len = List.length l in
+  let base = len / n and extra = len mod n in
+  let rec go i rest acc =
+    if i = n then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      go (i + 1) (drop size rest) (take size rest :: acc)
+  in
+  go 0 l [] |> List.filter (fun c -> c <> [])
+
+(** [ddmin ~still_fails points]: Zeller-Hildebrandt delta debugging.
+    [points] must itself satisfy [still_fails]; the result is a subset
+    that still does, minimal in the sense that removing any single
+    remaining point (at the finest granularity tried) loses the failure.
+    Each [still_fails] call costs one VM execution, so the search favours
+    large cuts first. *)
+let ddmin ~still_fails (points : int list) : int list =
+  let points = List.sort_uniq compare points in
+  if points = [] then []
+  else if still_fails [] then []
+  else begin
+    let complement all c = List.filter (fun x -> not (List.mem x c)) all in
+    let rec go points n =
+      let len = List.length points in
+      if len <= 1 then points
+      else begin
+        let n = min n len in
+        let chunks = split_chunks points n in
+        match List.find_opt still_fails chunks with
+        | Some c -> go c 2
+        | None -> (
+            let complements = List.map (complement points) chunks in
+            match
+              List.find_opt
+                (fun c -> List.length c < len && still_fails c)
+                complements
+            with
+            | Some c -> go c (max (n - 1) 2)
+            | None -> if n < len then go points (min len (2 * n)) else points)
+      end
+    in
+    go points 2
+  end

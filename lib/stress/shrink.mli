@@ -1,0 +1,10 @@
+(** Schedule shrinking: delta debugging over sets of collection points. *)
+
+val split_chunks : 'a list -> int -> 'a list list
+(** Split a list into [n] contiguous non-empty chunks whose lengths differ
+    by at most one (fewer than [n] when the list is short). *)
+
+val ddmin : still_fails:(int list -> bool) -> int list -> int list
+(** [ddmin ~still_fails points]: minimize a failing set of collection
+    points.  [points] must itself satisfy [still_fails]; the result is a
+    subset that still does.  Each predicate call costs one VM execution. *)

@@ -70,7 +70,7 @@ int main(void) { printf("v=%ld\n", f(100005)); return 0; }|}
   let config =
     {
       (Machine.Vm.default_config ()) with
-      Machine.Vm.vm_async_gc = Some 1;
+      Machine.Vm.vm_gc_schedule = Machine.Schedule.Every 1;
       Machine.Vm.vm_gc_at_calls_only = true;
     }
   in

@@ -15,7 +15,7 @@ let cell rows workload config =
   in
   match c.Harness.Tables.c_outcome with
   | Harness.Measure.Ran r -> Some (pct base r.Harness.Measure.o_cycles)
-  | Harness.Measure.Detected _ -> None
+  | _ -> None
 
 let rows_for ?suite machine =
   Harness.Tables.slowdown_table ~machine ~out:null_fmt ?suite ()
@@ -64,7 +64,7 @@ let test_postprocessor_shape () =
           Alcotest.(check bool)
             (Printf.sprintf "%s residual time %.1f%% <= 15%%" name t)
             true (t <= 15.0)
-      | Harness.Measure.Detected m -> Alcotest.failf "%s: %s" name m);
+      | o -> Alcotest.failf "%s: %s" name (Harness.Measure.describe o));
       let sz = pct base_size post_size in
       Alcotest.(check bool)
         (Printf.sprintf "%s residual size %.1f%% <= 15%%" name sz)
@@ -93,7 +93,7 @@ let test_peephole_beats_plain_safe () =
   let cycles config =
     match Util.run_built config src with
     | Harness.Measure.Ran r -> r.Harness.Measure.o_cycles
-    | Harness.Measure.Detected m -> Alcotest.fail m
+    | o -> Alcotest.fail (Harness.Measure.describe o)
   in
   let base = cycles Harness.Build.Base in
   let safe = cycles Harness.Build.Safe in

@@ -138,7 +138,7 @@ int main(void) {
     let irp = Ir.Compile.compile_program ~mode:Ir.Compile.opt_mode program in
     ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
     let config =
-      { (Machine.Vm.default_config ()) with Machine.Vm.vm_async_gc = Some 7 }
+      { (Machine.Vm.default_config ()) with Machine.Vm.vm_gc_schedule = Machine.Schedule.Every 7 }
     in
     (Machine.Vm.run ~config irp).Machine.Vm.r_output
   in

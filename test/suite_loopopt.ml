@@ -191,7 +191,7 @@ int main(void) {
   in
   ignore (Opt.Pipeline.run_program Opt.Pipeline.default irp);
   let config =
-    { (Machine.Vm.default_config ()) with Machine.Vm.vm_async_gc = Some 3 }
+    { (Machine.Vm.default_config ()) with Machine.Vm.vm_gc_schedule = Machine.Schedule.Every 3 }
   in
   let res = Machine.Vm.run ~config irp in
   Alcotest.(check string) "safe under async GC" "2016\n" res.Machine.Vm.r_output

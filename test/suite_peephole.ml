@@ -211,7 +211,7 @@ let test_safe_under_async_gc_after_peephole () =
   let config =
     {
       (Machine.Vm.default_config ()) with
-      Machine.Vm.vm_async_gc = Some 5000;
+      Machine.Vm.vm_gc_schedule = Machine.Schedule.Every 5000;
     }
   in
   let res = Machine.Vm.run ~config irp in

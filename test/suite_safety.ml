@@ -35,7 +35,7 @@ let build ?(annotate = false) ?(disguise = true) src =
 
 let run_async ?(every = 1) irp =
   let config =
-    { (Machine.Vm.default_config ()) with Machine.Vm.vm_async_gc = Some every }
+    { (Machine.Vm.default_config ()) with Machine.Vm.vm_gc_schedule = Machine.Schedule.Every every }
   in
   Machine.Vm.run ~config irp
 
@@ -104,6 +104,7 @@ let digest_of config src =
   match Util.run_built config src with
   | Harness.Measure.Ran r -> r.Harness.Measure.o_output
   | Harness.Measure.Detected m -> "<detected: " ^ m ^ ">"
+  | o -> "<" ^ Harness.Measure.describe o ^ ">"
 
 let prop_opt_matches_debug =
   QCheck.Test.make ~count:40 ~name:"random programs: -O == -g"
@@ -179,7 +180,7 @@ let prop_calls_only_safe_at_call_sites =
       let config =
         {
           (Machine.Vm.default_config ()) with
-          Machine.Vm.vm_async_gc = Some 1;
+          Machine.Vm.vm_gc_schedule = Machine.Schedule.Every 1;
           Machine.Vm.vm_gc_at_calls_only = true;
         }
       in

@@ -30,7 +30,9 @@ let test_gawk_bug_detected () =
   | Harness.Measure.Detected msg ->
       Alcotest.(check bool) "GC_same_obj names the escape" true
         (starts_with "GC_same_obj" msg)
-  | Harness.Measure.Ran _ -> Alcotest.fail "the gawk bug must be detected"
+  | o ->
+      Alcotest.failf "the gawk bug must be detected, got: %s"
+        (Harness.Measure.describe o)
 
 let test_gawk_runs_unchecked () =
   (* "It ran correctly without checking." *)
@@ -40,9 +42,10 @@ let test_gawk_runs_unchecked () =
         Util.run_built config Workloads.Registry.gawk.Workloads.Registry.w_source
       with
       | Harness.Measure.Ran _ -> ()
-      | Harness.Measure.Detected m ->
+      | o ->
           Alcotest.failf "gawk failed under %s: %s"
-            (Harness.Build.config_name config) m)
+            (Harness.Build.config_name config)
+            (Harness.Measure.describe o))
     [ Harness.Build.Base; Harness.Build.Safe; Harness.Build.Debug ]
 
 let test_gawk_fix_passes_checking () =
@@ -52,14 +55,14 @@ let test_gawk_fix_passes_checking () =
       Workloads.Registry.gawk_fixed.Workloads.Registry.w_source
   with
   | Harness.Measure.Ran _ -> ()
-  | Harness.Measure.Detected m -> Alcotest.failf "fixed gawk flagged: %s" m
+  | o -> Alcotest.failf "fixed gawk flagged: %s" (Harness.Measure.describe o)
 
 let test_gawk_outputs_agree () =
   (* the bug is benign: buggy and fixed programs compute the same thing *)
   let out src =
     match Util.run_built Harness.Build.Base src with
     | Harness.Measure.Ran r -> r.Harness.Measure.o_output
-    | Harness.Measure.Detected m -> Alcotest.fail m
+    | o -> Alcotest.fail (Harness.Measure.describe o)
   in
   Alcotest.(check string) "same results"
     (out Workloads.Registry.gawk.Workloads.Registry.w_source)
@@ -74,7 +77,7 @@ let test_gs_checking_clean () =
   | Harness.Measure.Ran r ->
       Alcotest.(check bool) "produced pages" true
         (starts_with "showpage" r.Harness.Measure.o_output)
-  | Harness.Measure.Detected m -> Alcotest.failf "gs flagged: %s" m
+  | o -> Alcotest.failf "gs flagged: %s" (Harness.Measure.describe o)
 
 let test_cordtest_checking_clean () =
   (* the paper found one benign bug and fixed it; our cord package is the
@@ -84,7 +87,7 @@ let test_cordtest_checking_clean () =
       Workloads.Registry.cordtest.Workloads.Registry.w_source
   with
   | Harness.Measure.Ran _ -> ()
-  | Harness.Measure.Detected m -> Alcotest.failf "cordtest flagged: %s" m
+  | o -> Alcotest.failf "cordtest flagged: %s" (Harness.Measure.describe o)
 
 let test_workloads_allocate () =
   (* all four are allocation-intensive, like the Zorn programs *)

@@ -29,4 +29,5 @@ let () =
       ("heapness", Suite_heapness.suite);
       ("workloads", Suite_workloads.suite);
       ("harness", Suite_harness.suite);
+      ("stress", Suite_stress.suite);
     ]

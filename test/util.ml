@@ -21,7 +21,10 @@ let run ?mode ?optimize ?disguise ?(nregs = 32) ?async_gc ?machine src =
   let config =
     {
       (Machine.Vm.default_config ~machine ()) with
-      Machine.Vm.vm_async_gc = async_gc;
+      Machine.Vm.vm_gc_schedule =
+        (match async_gc with
+        | Some n -> Machine.Schedule.Every n
+        | None -> Machine.Schedule.Auto);
     }
   in
   let r = Machine.Vm.run ~config irp in
@@ -42,7 +45,7 @@ let check_all_configs_agree ?(expect_checked_fault = false) name src =
   let base_out =
     match base with
     | Harness.Measure.Ran r -> r.Harness.Measure.o_output
-    | Harness.Measure.Detected m -> Alcotest.failf "%s: baseline failed: %s" name m
+    | o -> Alcotest.failf "%s: baseline failed: %s" name (Harness.Measure.describe o)
   in
   List.iter
     (fun config ->
@@ -55,7 +58,11 @@ let check_all_configs_agree ?(expect_checked_fault = false) name src =
           if not (expect_checked_fault && config = Harness.Build.Debug_checked)
           then
             Alcotest.failf "%s [%s] unexpectedly failed: %s" name
-              (Harness.Build.config_name config) m)
+              (Harness.Build.config_name config) m
+      | o ->
+          Alcotest.failf "%s [%s] unexpectedly failed: %s" name
+            (Harness.Build.config_name config)
+            (Harness.Measure.describe o))
     [
       Harness.Build.Safe;
       Harness.Build.Safe_peephole;
