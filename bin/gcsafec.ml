@@ -8,8 +8,14 @@
      tables     regenerate one of the paper's tables
      stress     fault-injected differential stress over the build matrix
 
-   Exit codes: 0 success, 1 finding/divergence, 2 source or input error,
-   3 runtime fault detected, 4 resource limit, 5 heap corruption. *)
+   Exit codes (see Harness.Diagnostics): 0 success, 1 finding/divergence,
+   2 source or input error, 3 runtime fault detected, 4 resource limit,
+   5 heap corruption.
+
+   Parallelism and caching: builds are memoized in a process-wide
+   content-addressed cache (--no-cache rebuilds every time); the stress
+   and tables subcommands fan work out over --jobs worker domains with
+   output byte-identical to --jobs 1. *)
 
 open Cmdliner
 
@@ -54,40 +60,28 @@ let config_arg =
     & opt (conv (parse, print)) Harness.Build.Safe
     & info [ "config"; "c" ] ~docv:"CONFIG" ~doc)
 
-let handle_errors f =
-  try f () with
-  | Csyntax.Lexer.Error (m, loc) ->
-      Printf.eprintf "lex error at %s: %s\n" (Csyntax.Loc.to_string loc) m;
-      exit 2
-  | Csyntax.Parser.Error (m, loc) ->
-      Printf.eprintf "parse error at %s: %s\n" (Csyntax.Loc.to_string loc) m;
-      exit 2
-  | Csyntax.Typecheck.Error (m, loc) ->
-      Printf.eprintf "type error at %s: %s\n" (Csyntax.Loc.to_string loc) m;
-      exit 2
-  | Gcsafe.Annotate.Unnormalized (m, loc) ->
-      Printf.eprintf "annotation error at %s: %s\n" (Csyntax.Loc.to_string loc)
-        m;
-      exit 2
-  | Ir.Compile.Unsupported (m, loc) ->
-      Printf.eprintf "unsupported at %s: %s\n" (Csyntax.Loc.to_string loc) m;
-      exit 2
-  | Sys_error m ->
-      Printf.eprintf "error: %s\n" m;
-      exit 2
-  | Machine.Vm.Fault m ->
-      Printf.eprintf "fault: %s\n" m;
-      exit 3
-  | Machine.Vm.Trap (k, m) ->
-      Printf.eprintf "%s: %s\n" (Machine.Vm.trap_kind_name k) m;
-      exit 4
-  | Gcheap.Heap.Heap_corruption vs ->
-      Printf.eprintf "heap corruption: %s\n"
-        (String.concat "; "
-           (List.map
-              (fun v -> Format.asprintf "%a" Gcheap.Heap.pp_violation v)
-              vs));
-      exit 5
+let handle_errors = Harness.Diagnostics.handle
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel subcommands (stress, tables).  Output is \
+     byte-identical to --jobs 1; the default is the machine's recommended \
+     domain count."
+  in
+  Arg.(
+    value
+    & opt int (Exec.Pool.recommended_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the process-wide content-addressed build cache (every build \
+     recompiles from source)."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let apply_cache_flag no_cache =
+  if no_cache then Harness.Build.set_cache_enabled false
 
 (* --- annotate ----------------------------------------------------------- *)
 
@@ -234,10 +228,15 @@ let run_cmd =
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
   let run config machine async gc_at gc_at_allocs integrity max_instrs max_heap
-      stats file =
+      stats no_cache file =
     handle_errors (fun () ->
+        apply_cache_flag no_cache;
         let src = read_input file in
-        let b = Harness.Build.build ~nregs:machine.Machine.Machdesc.md_regs config src in
+        let b =
+          Harness.Build.compile
+            ~options:(Harness.Build.for_machine machine)
+            config src
+        in
         let schedule =
           if gc_at <> [] then Machine.Schedule.at_list gc_at
           else if gc_at_allocs then Machine.Schedule.At_allocs
@@ -260,15 +259,10 @@ let run_cmd =
                 machine.Machine.Machdesc.md_name r.Harness.Measure.o_instrs
                 r.Harness.Measure.o_cycles r.Harness.Measure.o_gc_count
                 r.Harness.Measure.o_size b.Harness.Build.b_keep_lives
-        | Harness.Measure.Detected m ->
-            Printf.eprintf "detected: %s\n" m;
-            exit 3
-        | Harness.Measure.Limit m ->
-            Printf.eprintf "limit: %s\n" m;
-            exit 4
-        | Harness.Measure.Corrupted m ->
-            Printf.eprintf "heap corruption: %s\n" m;
-            exit 5)
+        | o ->
+            let outcome, message = Harness.Diagnostics.of_measure o in
+            Harness.Diagnostics.report outcome message;
+            exit (Harness.Diagnostics.exit_code outcome))
   in
   let doc = "build a configuration and execute it on the VM" in
   Cmd.v
@@ -276,7 +270,7 @@ let run_cmd =
     Term.(
       const run $ config_arg $ machine_arg $ async_arg $ gc_at_arg
       $ gc_at_allocs_arg $ integrity_arg $ max_instrs_arg $ max_heap_arg
-      $ stats_arg $ file_arg)
+      $ stats_arg $ no_cache_arg $ file_arg)
 
 (* --- ir --------------------------------------------------------------------- *)
 
@@ -284,7 +278,11 @@ let ir_cmd =
   let run config machine file =
     handle_errors (fun () ->
         let src = read_input file in
-        let b = Harness.Build.build ~nregs:machine.Machine.Machdesc.md_regs config src in
+        let b =
+          Harness.Build.compile
+            ~options:(Harness.Build.for_machine machine)
+            config src
+        in
         List.iter
           (fun f -> Format.printf "%a@." Ir.Instr.pp_func f)
           b.Harness.Build.b_ir.Ir.Instr.p_funcs)
@@ -344,8 +342,10 @@ let stress_cmd =
     in
     Arg.(value & opt int 2000 & info [ "cap" ] ~docv:"N" ~doc)
   in
-  let run machines every at_allocs exhaustive cap max_instrs max_heap targets =
+  let run machines every at_allocs exhaustive cap max_instrs max_heap jobs
+      no_cache targets =
     handle_errors (fun () ->
+        apply_cache_flag no_cache;
         let resolved =
           List.concat_map
             (fun spec ->
@@ -375,11 +375,14 @@ let stress_cmd =
             Stress.Driver.p_exhaustive_cap = cap;
             Stress.Driver.p_max_instrs = max_instrs;
             Stress.Driver.p_max_heap = max_heap;
+            Stress.Driver.p_jobs = jobs;
           }
         in
         let report = Stress.Driver.run ~plan resolved in
         Format.printf "%a@." Stress.Driver.pp_report report;
-        if Stress.Driver.unexpected report <> [] then exit 1)
+        if Stress.Driver.unexpected report <> [] then
+          exit
+            (Harness.Diagnostics.exit_code Harness.Diagnostics.Divergence))
   in
   let doc =
     "run the fault-injected differential stress harness over the build matrix"
@@ -388,20 +391,26 @@ let stress_cmd =
     (Cmd.info "stress" ~doc)
     Term.(
       const run $ machines_arg $ every_arg $ at_allocs_arg $ exhaustive_arg
-      $ cap_arg $ max_instrs_arg $ max_heap_arg $ targets_arg)
+      $ cap_arg $ max_instrs_arg $ max_heap_arg $ jobs_arg $ no_cache_arg
+      $ targets_arg)
 
 (* --- tables ------------------------------------------------------------------ *)
 
 let tables_cmd =
-  let run machine =
-    ignore (Harness.Tables.slowdown_table ~machine ());
-    print_newline ();
-    ignore (Harness.Tables.size_table ~machine ());
-    print_newline ();
-    ignore (Harness.Tables.postprocessor_table ~machine ())
+  let run machine jobs no_cache =
+    handle_errors (fun () ->
+        apply_cache_flag no_cache;
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            ignore (Harness.Tables.slowdown_table ~machine ~pool ());
+            print_newline ();
+            ignore (Harness.Tables.size_table ~machine ~pool ());
+            print_newline ();
+            ignore (Harness.Tables.postprocessor_table ~machine ~pool ())))
   in
   let doc = "regenerate the paper's tables for one machine model" in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ machine_arg)
+  Cmd.v
+    (Cmd.info "tables" ~doc)
+    Term.(const run $ machine_arg $ jobs_arg $ no_cache_arg)
 
 let () =
   let doc = "GC-safety preprocessor for C (Boehm, PLDI 1996)" in

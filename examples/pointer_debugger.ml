@@ -13,7 +13,7 @@
 
 let check name src =
   Printf.printf "== %s under '-g, checked' ==\n" name;
-  let b = Harness.Build.build Harness.Build.Debug_checked src in
+  let b = Harness.Build.compile Harness.Build.Debug_checked src in
   (match Harness.Measure.run b with
   | Harness.Measure.Detected m ->
       Printf.printf "  DETECTED: %s\n" m

@@ -18,7 +18,7 @@ let source =
 int main(void) { printf("f returned %ld\n", f(100005)); return 0; }|}
 
 let show_ir title config =
-  let b = Harness.Build.build config source in
+  let b = Harness.Build.compile config source in
   let f =
     List.find
       (fun f -> f.Ir.Instr.fn_name = "f")
@@ -27,7 +27,7 @@ let show_ir title config =
   Format.printf "--- %s@.%a@." title Ir.Instr.pp_func f
 
 let race name config =
-  let b = Harness.Build.build config source in
+  let b = Harness.Build.compile config source in
   (* a collection after every single instruction: the worst-case
      asynchronous collector of the paper's multi-threaded assumption *)
   match Harness.Measure.run ~async_gc:(Some 1) b with

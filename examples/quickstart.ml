@@ -61,7 +61,7 @@ let () =
   let base_cycles = ref 0 in
   List.iter
     (fun config ->
-      let b = Harness.Build.build config source in
+      let b = Harness.Build.compile config source in
       match Harness.Measure.run b with
       | Harness.Measure.Ran r ->
           if config = Harness.Build.Base then base_cycles := r.Harness.Measure.o_cycles;
@@ -87,7 +87,7 @@ let () =
 
   (* step 3: the collector did real work *)
   print_endline "\n=== collector statistics (base build) ===";
-  let b = Harness.Build.build Harness.Build.Base source in
+  let b = Harness.Build.compile Harness.Build.Base source in
   let config =
     { (Machine.Vm.default_config ()) with Machine.Vm.vm_gc_threshold = 32 * 1024 }
   in

@@ -1,0 +1,162 @@
+(** Single-flight memo cache with LRU eviction and counters.
+
+    Slots are [Building] while a builder is in flight, so concurrent
+    domains asking for the same key block on [settled] instead of
+    duplicating work.  Builders run outside the lock: distinct keys build
+    in parallel. *)
+
+type 'v slot = Ready of 'v | Building
+
+type 'v t = {
+  lock : Mutex.t;
+  settled : Condition.t;  (** broadcast when a Building slot resolves *)
+  table : (string, 'v slot) Hashtbl.t;
+  last_use : (string, int) Hashtbl.t;
+  mutable clock : int;
+  capacity : int option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ?capacity () =
+  {
+    lock = Mutex.create ();
+    settled = Condition.create ();
+    table = Hashtbl.create 64;
+    last_use = Hashtbl.create 64;
+    clock = 0;
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t key =
+  t.clock <- t.clock + 1;
+  Hashtbl.replace t.last_use key t.clock
+
+(* Called under the lock, after inserting [fresh]: evict finished
+   artifacts, oldest use first, until within capacity.  In-flight slots
+   and the entry just inserted are never evicted. *)
+let enforce_capacity t ~fresh =
+  match t.capacity with
+  | None -> ()
+  | Some cap ->
+      let ready_count () =
+        Hashtbl.fold
+          (fun _ slot n -> match slot with Ready _ -> n + 1 | Building -> n)
+          t.table 0
+      in
+      while ready_count () > max 1 cap do
+        let victim =
+          Hashtbl.fold
+            (fun key slot acc ->
+              match slot with
+              | Building -> acc
+              | Ready _ when key = fresh -> acc
+              | Ready _ -> (
+                  let use =
+                    Option.value ~default:0 (Hashtbl.find_opt t.last_use key)
+                  in
+                  match acc with
+                  | Some (_, best) when best <= use -> acc
+                  | _ -> Some (key, use)))
+            t.table None
+        in
+        match victim with
+        | None -> raise Exit
+        | Some (key, _) ->
+            Hashtbl.remove t.table key;
+            Hashtbl.remove t.last_use key;
+            t.evictions <- t.evictions + 1
+      done
+
+let enforce_capacity t ~fresh =
+  try enforce_capacity t ~fresh with Exit -> ()
+
+let rec find_or_build t key build =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some (Ready v) ->
+      t.hits <- t.hits + 1;
+      touch t key;
+      Mutex.unlock t.lock;
+      v
+  | Some Building ->
+      (* The in-flight builder broadcasts on resolution (or on failure,
+         after releasing the slot — then one waiter retries as builder). *)
+      Condition.wait t.settled t.lock;
+      Mutex.unlock t.lock;
+      find_or_build t key build
+  | None -> (
+      t.misses <- t.misses + 1;
+      Hashtbl.replace t.table key Building;
+      Mutex.unlock t.lock;
+      match build () with
+      | v ->
+          Mutex.lock t.lock;
+          Hashtbl.replace t.table key (Ready v);
+          touch t key;
+          enforce_capacity t ~fresh:key;
+          Condition.broadcast t.settled;
+          Mutex.unlock t.lock;
+          v
+      | exception e ->
+          Mutex.lock t.lock;
+          Hashtbl.remove t.table key;
+          Hashtbl.remove t.last_use key;
+          Condition.broadcast t.settled;
+          Mutex.unlock t.lock;
+          raise e)
+
+let mem t key =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some (Ready _) -> true
+    | Some Building | None -> false
+  in
+  Mutex.unlock t.lock;
+  r
+
+let clear t =
+  Mutex.lock t.lock;
+  let keys =
+    Hashtbl.fold
+      (fun key slot acc ->
+        match slot with Ready _ -> key :: acc | Building -> acc)
+      t.table []
+  in
+  List.iter
+    (fun key ->
+      Hashtbl.remove t.table key;
+      Hashtbl.remove t.last_use key)
+    keys;
+  Mutex.unlock t.lock
+
+let stats t =
+  Mutex.lock t.lock;
+  let entries =
+    Hashtbl.fold
+      (fun _ slot n -> match slot with Ready _ -> n + 1 | Building -> n)
+      t.table 0
+  in
+  let s =
+    { hits = t.hits; misses = t.misses; evictions = t.evictions; entries }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let reset_stats t =
+  Mutex.lock t.lock;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  Mutex.unlock t.lock
+
+let hit_rate (s : stats) =
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then 0.0 else float_of_int s.hits /. float_of_int lookups

@@ -1,0 +1,45 @@
+(** A content-addressed, single-flight artifact cache.
+
+    Keys are opaque strings (callers address artifacts by content, e.g. a
+    source digest plus every build input that affects the result); values
+    are whatever artifact the builder produces.  The cache memoizes
+    across a whole process and is safe to use from several domains at
+    once: concurrent requests for the same key run the builder exactly
+    once, and every requester gets the physically-equal artifact.
+
+    Hit/miss/eviction counters are maintained for observability — the
+    bench prints them, and the harness asserts hit rates on them. *)
+
+type 'v t
+
+type stats = {
+  hits : int;
+  misses : int;  (** builder invocations *)
+  evictions : int;
+  entries : int;  (** artifacts currently resident *)
+}
+
+val create : ?capacity:int -> unit -> 'v t
+(** [capacity] bounds resident artifacts; the least-recently-used entry
+    is evicted on overflow.  Default: unbounded. *)
+
+val find_or_build : 'v t -> string -> (unit -> 'v) -> 'v
+(** [find_or_build t key build] returns the cached artifact for [key],
+    running [build] (outside the cache lock) on a miss.  A concurrent
+    request for a key that is being built waits for the in-flight build
+    and counts as a hit.  If [build] raises, the slot is released, every
+    waiter fails over to building, and the exception propagates. *)
+
+val mem : 'v t -> string -> bool
+(** The key holds a finished artifact (does not touch the counters). *)
+
+val clear : 'v t -> unit
+(** Drop all finished artifacts (counters are kept; not counted as
+    evictions). *)
+
+val stats : 'v t -> stats
+
+val reset_stats : 'v t -> unit
+
+val hit_rate : stats -> float
+(** Hits over lookups, in [0, 1]; 0 when nothing was looked up. *)

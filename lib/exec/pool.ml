@@ -1,0 +1,159 @@
+(** Domain-based worker pool over a bounded work queue.
+
+    The queue holds closures; {!map} fans a task list out over the
+    workers and reassembles results by input index, so callers see
+    deterministic ordering no matter how the domains interleave.  The
+    queue bound keeps a huge schedule space from materializing thousands
+    of closures at once: submission blocks until a worker frees a slot. *)
+
+type task = Run of (unit -> unit) | Stop
+
+type t = {
+  p_jobs : int;
+  queue : task Queue.t;
+  capacity : int;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let jobs t = t.p_jobs
+
+let push t task =
+  Mutex.lock t.lock;
+  while Queue.length t.queue >= t.capacity do
+    Condition.wait t.not_full t.lock
+  done;
+  Queue.push task t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue do
+    Condition.wait t.not_empty t.lock
+  done;
+  let task = Queue.pop t.queue in
+  Condition.signal t.not_full;
+  Mutex.unlock t.lock;
+  task
+
+let rec worker t =
+  match pop t with
+  | Stop -> ()
+  | Run f ->
+      f ();
+      worker t
+
+let create ?jobs () =
+  let p_jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> recommended_jobs ()
+  in
+  let t =
+    {
+      p_jobs;
+      queue = Queue.create ();
+      capacity = max 4 (2 * p_jobs);
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  if p_jobs > 1 then
+    t.domains <-
+      List.init (p_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let serial = create ~jobs:1 ()
+
+let shutdown t =
+  let ds =
+    Mutex.lock t.lock;
+    let ds = t.domains in
+    t.domains <- [];
+    t.stopping <- true;
+    Mutex.unlock t.lock;
+    ds
+  in
+  List.iter (fun _ -> push t Stop) ds;
+  List.iter Domain.join ds
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(** One task's settled state. *)
+type 'b settled = Value of 'b | Raised of exn
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when t.p_jobs <= 1 -> List.map f xs
+  | xs ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let done_lock = Mutex.create () in
+      let all_done = Condition.create () in
+      let task i x () =
+        let r = try Value (f x) with e -> Raised e in
+        Mutex.lock done_lock;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock done_lock
+      in
+      (* The submitter helps at the queue's tail once everything is
+         enqueued, so a pool is never idle while it still has work. *)
+      Array.iteri (fun i x -> push t (Run (task i x))) arr;
+      let rec help () =
+        let task =
+          Mutex.lock t.lock;
+          let task =
+            if Queue.is_empty t.queue then None
+            else
+              match Queue.peek t.queue with
+              | Stop -> None
+              | Run _ -> (
+                  match Queue.pop t.queue with
+                  | Run f ->
+                      Condition.signal t.not_full;
+                      Some f
+                  | Stop -> assert false)
+          in
+          Mutex.unlock t.lock;
+          task
+        in
+        match task with
+        | Some f ->
+            f ();
+            help ()
+        | None -> ()
+      in
+      help ();
+      Mutex.lock done_lock;
+      while !remaining > 0 do
+        Condition.wait all_done done_lock
+      done;
+      Mutex.unlock done_lock;
+      let first_exn = ref None in
+      Array.iter
+        (function
+          | Some (Raised e) when !first_exn = None -> first_exn := Some e
+          | _ -> ())
+        results;
+      (match !first_exn with Some e -> raise e | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some (Value v) -> v | Some (Raised _) | None -> assert false)
+           results)

@@ -1,0 +1,41 @@
+(** A Domain-based worker pool with a bounded work queue.
+
+    The pool exists so that the harness's embarrassingly parallel search
+    problems — building the config x machine matrix, exploring a
+    single-point GC-schedule space, regenerating table rows — can use
+    every core while keeping reports deterministic: {!map} always returns
+    results in input order, regardless of which domain finished first.
+
+    Tasks must not print (interleaved output from worker domains is not
+    deterministic); compute values and render them from the submitting
+    thread.  [jobs <= 1] means "no domains at all": every task runs
+    inline on the caller, which is the reference serial behaviour that
+    parallel runs are diffed against. *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs - 1] worker domains (the submitting thread is
+    the remaining worker at the queue's tail: it blocks in {!map} anyway).
+    [jobs] defaults to {!recommended_jobs}; [jobs <= 1] spawns nothing. *)
+
+val jobs : t -> int
+
+val serial : t
+(** The jobs=1 pool: {!map} on it is [List.map].  Shutting it down is a
+    no-op, so it can be used as a default everywhere. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel map with deterministic, input-ordered results.  If any task
+    raises, the exception of the smallest input index is re-raised after
+    all tasks have settled.  Not reentrant: do not call {!map} from
+    inside a task. *)
+
+val shutdown : t -> unit
+(** Drain the queue and join the worker domains.  Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exceptions). *)

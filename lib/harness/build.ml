@@ -28,14 +28,26 @@ type built = {
   b_size : int;  (** static size in instructions *)
 }
 
+(** Build options: everything besides the configuration and the source
+    that affects the produced code.  One record, so call sites stay
+    stable as inputs are added and the artifact cache can key on the
+    whole record. *)
+type options = { nregs : int; loop_heuristic : bool; use_cache : bool }
+
+let default = { nregs = 32; loop_heuristic = false; use_cache = true }
+
+let for_machine (m : Machine.Machdesc.t) =
+  { default with nregs = m.Machine.Machdesc.md_regs }
+
 (** Annotate (when the configuration calls for it), compile, optimize and
-    register-allocate [source] for [nregs] machine registers.
+    register-allocate [source] for [options.nregs] machine registers.
 
     [loop_heuristic] defaults to off, matching the paper's implementation
     ("Only optimizations (1) and (2) from above are implemented"); the
     ablation bench measures what turning it on does. *)
-let build ?(loop_heuristic = false) ?(nregs = 32) (config : config)
-    (source : string) : built =
+let compile_uncached (options : options) (config : config) (source : string) :
+    built =
+  let loop_heuristic = options.loop_heuristic and nregs = options.nregs in
   let ast = Csyntax.Parser.parse_program source in
   let annotated, keep_lives =
     match config with
@@ -81,3 +93,46 @@ let build ?(loop_heuristic = false) ?(nregs = 32) (config : config)
     b_keep_lives = keep_lives;
     b_size = Ir.Instr.program_size irp;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The artifact cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Process-wide and content-addressed: identical (source, config,
+   options) triples compile once per process no matter how many
+   consumers — tables, differ, stress, bench — ask, serially or from
+   worker domains. *)
+let cache : built Exec.Cache.t = Exec.Cache.create ()
+
+let enabled = Atomic.make true
+
+let set_cache_enabled b = Atomic.set enabled b
+
+let cache_enabled () = Atomic.get enabled
+
+let cache_stats () = Exec.Cache.stats cache
+
+let reset_cache () =
+  Exec.Cache.clear cache;
+  Exec.Cache.reset_stats cache
+
+(* The config name and the option fields are ':'-separated in front of a
+   fixed-width source digest, and none of them can contain ':', so the
+   key is injective in every input that affects the produced code.
+   [use_cache] steers the lookup, not the artifact, and is excluded. *)
+let cache_key (options : options) (config : config) (source : string) : string
+    =
+  Printf.sprintf "%s:%d:%b:%s" (config_name config) options.nregs
+    options.loop_heuristic
+    (Digest.to_hex (Digest.string source))
+
+let compile ?(options = default) (config : config) (source : string) : built =
+  if options.use_cache && Atomic.get enabled then
+    Exec.Cache.find_or_build cache
+      (cache_key options config source)
+      (fun () -> compile_uncached options config source)
+  else compile_uncached options config source
+
+let build ?(loop_heuristic = false) ?(nregs = 32) (config : config)
+    (source : string) : built =
+  compile ~options:{ default with nregs; loop_heuristic } config source

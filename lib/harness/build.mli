@@ -20,7 +20,62 @@ type built = {
   b_size : int;  (** static size in instructions *)
 }
 
+(** {1 Build options}
+
+    Everything besides the configuration and the source that affects the
+    produced code lives in one record, so call sites stay stable as
+    inputs are added and the artifact cache can key on the whole
+    record. *)
+
+type options = {
+  nregs : int;  (** physical registers available to the allocator *)
+  loop_heuristic : bool;
+      (** the paper's optimization (3): slowly-varying loop base
+          pointers.  Off by default, matching the paper's implementation
+          ("Only optimizations (1) and (2) from above are implemented"). *)
+  use_cache : bool;
+      (** consult the process-wide artifact cache (see {!cache_stats}) *)
+}
+
+val default : options
+(** 32 registers, no loop heuristic, cache on. *)
+
+val for_machine : Machine.Machdesc.t -> options
+(** {!default} with the machine's register file size, so measurements
+    claiming a machine model are compiled for that machine's register
+    pressure. *)
+
+val compile : ?options:options -> config -> string -> built
+(** Annotate (when the configuration calls for it), compile, optimize
+    and register-allocate a source program.  Memoized in a process-wide
+    content-addressed cache (see {!cache_key}) unless caching is
+    disabled; cache hits return the physically-equal [built].  Safe to
+    call from several domains at once: concurrent builds of the same key
+    run once. *)
+
+(** {1 The artifact cache} *)
+
+val cache_key : options -> config -> string -> string
+(** The content address of a build: the source digest plus every
+    [options] field that affects the produced code (machine-register
+    count, loop heuristic — [use_cache] itself does not).  Injective in
+    those inputs (modulo digest collisions). *)
+
+val cache_stats : unit -> Exec.Cache.stats
+
+val reset_cache : unit -> unit
+(** Drop all cached artifacts and zero the counters. *)
+
+val set_cache_enabled : bool -> unit
+(** Process-wide escape hatch (the CLI's [--no-cache]): when disabled,
+    every [compile] rebuilds regardless of [options.use_cache]. *)
+
+val cache_enabled : unit -> bool
+
+(** {1 Deprecated} *)
+
 val build : ?loop_heuristic:bool -> ?nregs:int -> config -> string -> built
-(** Annotate (when the configuration calls for it), compile, optimize and
-    register-allocate a source program.  [loop_heuristic] defaults to off,
-    matching the paper's implementation. *)
+[@@ocaml.deprecated
+  "Use Build.compile with a Build.options record (Build.default, \
+   Build.for_machine).  This wrapper will be removed next release."]
+(** The pre-[options] entry point, kept for one release. *)

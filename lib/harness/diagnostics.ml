@@ -1,0 +1,76 @@
+(** Structured failure classification shared by every consumer: the
+    exception -> (class, message) mapping that used to be hand-rolled in
+    the CLI's [handle_errors], with one exit code per class. *)
+
+type outcome = Ok | Source_error | Fault | Limit | Corruption | Divergence
+
+let outcome_name = function
+  | Ok -> "ok"
+  | Source_error -> "source-error"
+  | Fault -> "fault"
+  | Limit -> "limit"
+  | Corruption -> "corruption"
+  | Divergence -> "divergence"
+
+let exit_code = function
+  | Ok -> 0
+  | Divergence -> 1
+  | Source_error -> 2
+  | Fault -> 3
+  | Limit -> 4
+  | Corruption -> 5
+
+let of_exn = function
+  | Csyntax.Lexer.Error (m, loc) ->
+      Some
+        ( Source_error,
+          Printf.sprintf "lex error at %s: %s" (Csyntax.Loc.to_string loc) m )
+  | Csyntax.Parser.Error (m, loc) ->
+      Some
+        ( Source_error,
+          Printf.sprintf "parse error at %s: %s" (Csyntax.Loc.to_string loc) m
+        )
+  | Csyntax.Typecheck.Error (m, loc) ->
+      Some
+        ( Source_error,
+          Printf.sprintf "type error at %s: %s" (Csyntax.Loc.to_string loc) m )
+  | Gcsafe.Annotate.Unnormalized (m, loc) ->
+      Some
+        ( Source_error,
+          Printf.sprintf "annotation error at %s: %s"
+            (Csyntax.Loc.to_string loc) m )
+  | Ir.Compile.Unsupported (m, loc) ->
+      Some
+        ( Source_error,
+          Printf.sprintf "unsupported at %s: %s" (Csyntax.Loc.to_string loc) m
+        )
+  | Sys_error m -> Some (Source_error, Printf.sprintf "error: %s" m)
+  | Machine.Vm.Fault m -> Some (Fault, Printf.sprintf "fault: %s" m)
+  | Machine.Vm.Trap (k, m) ->
+      Some (Limit, Printf.sprintf "%s: %s" (Machine.Vm.trap_kind_name k) m)
+  | Gcheap.Heap.Heap_corruption vs ->
+      Some
+        ( Corruption,
+          Printf.sprintf "heap corruption: %s"
+            (String.concat "; "
+               (List.map
+                  (fun v -> Format.asprintf "%a" Gcheap.Heap.pp_violation v)
+                  vs)) )
+  | _ -> None
+
+let of_measure = function
+  | Measure.Ran r -> (Ok, Printf.sprintf "ran (exit %d)" r.Measure.o_exit)
+  | Measure.Detected m -> (Fault, "detected: " ^ m)
+  | Measure.Limit m -> (Limit, "limit: " ^ m)
+  | Measure.Corrupted m -> (Corruption, "heap corruption: " ^ m)
+
+let report _outcome message = Printf.eprintf "%s\n" message
+
+let handle f =
+  try f ()
+  with e -> (
+    match of_exn e with
+    | Some (outcome, message) ->
+        report outcome message;
+        exit (exit_code outcome)
+    | None -> raise e)

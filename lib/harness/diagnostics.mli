@@ -1,0 +1,36 @@
+(** Structured failure classification shared by every consumer.
+
+    The harness distinguishes six outcome classes, and each has one
+    process exit code; the CLI's subcommands, the differ and the stress
+    driver all classify through this module instead of re-matching
+    exceptions or outcome constructors.
+
+    Exit codes (stable, documented in the CLI header): 0 success,
+    1 finding/divergence, 2 source or input error, 3 runtime fault
+    detected, 4 resource limit, 5 heap corruption. *)
+
+type outcome =
+  | Ok  (** the program ran to completion *)
+  | Source_error  (** lexing, parsing, typing, annotation, compilation *)
+  | Fault  (** the checking runtime or the VM stopped the program *)
+  | Limit  (** a resource ceiling (steps, heap bytes) was hit *)
+  | Corruption  (** the heap-integrity sanitizer fired *)
+  | Divergence  (** differential disagreement: a stress/differ finding *)
+
+val outcome_name : outcome -> string
+
+val exit_code : outcome -> int
+
+val of_exn : exn -> (outcome * string) option
+(** Classify a harness exception and render its diagnostic message;
+    [None] for exceptions the harness does not own. *)
+
+val of_measure : Measure.outcome -> outcome * string
+(** Classify a completed run ([Measure.Ran] is [Ok]). *)
+
+val report : outcome -> string -> unit
+(** Print the diagnostic to [stderr] in the CLI's format. *)
+
+val handle : (unit -> 'a) -> 'a
+(** Run a thunk; on a classified exception, {!report} it and [exit]
+    with its code.  Unclassified exceptions propagate. *)

@@ -29,26 +29,39 @@ let default_machines =
 
 (** Build every configuration for every machine model.  Register
     allocation is the only machine-dependent build step, so builds are
-    shared between machines with equal register counts. *)
+    shared between machines with equal register counts — the
+    content-addressed artifact cache keys on the register count, so the
+    sharing falls out of {!Build.compile}.  [pool] fans the distinct
+    (config, register-count) builds out over worker domains. *)
 let build_matrix ?(configs = Build.all_configs) ?(machines = default_machines)
-    source : subject list =
-  let cache : (Build.config * int, Build.built) Hashtbl.t =
-    Hashtbl.create 16
+    ?(pool = Exec.Pool.serial) source : subject list =
+  let distinct =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (machine : Machine.Machdesc.t) ->
+           List.map
+             (fun config -> (config, machine.Machine.Machdesc.md_regs))
+             configs)
+         machines)
+  in
+  let built =
+    Exec.Pool.map pool
+      (fun (config, nregs) ->
+        ( (config, nregs),
+          Build.compile
+            ~options:{ Build.default with Build.nregs }
+            config source ))
+      distinct
   in
   List.concat_map
     (fun machine ->
       let nregs = machine.Machine.Machdesc.md_regs in
       List.map
         (fun config ->
-          let built =
-            match Hashtbl.find_opt cache (config, nregs) with
-            | Some b -> b
-            | None ->
-                let b = Build.build ~nregs config source in
-                Hashtbl.add cache (config, nregs) b;
-                b
-          in
-          { s_config = config; s_machine = machine; s_built = built })
+          { s_config = config;
+            s_machine = machine;
+            s_built = List.assoc (config, nregs) built;
+          })
         configs)
     machines
 
@@ -78,6 +91,14 @@ let obs_of_outcome = function
   | Measure.Detected m -> Obs_detected m
   | Measure.Corrupted m -> Obs_corrupted m
   | Measure.Limit m -> Obs_limit m
+
+(** The structured class of one observation, for exit codes and
+    failure-kind decisions shared with the CLI. *)
+let classify = function
+  | Obs_ok _ -> Diagnostics.Ok
+  | Obs_detected _ -> Diagnostics.Fault
+  | Obs_corrupted _ -> Diagnostics.Corruption
+  | Obs_limit _ -> Diagnostics.Limit
 
 let describe_obs = function
   | Obs_ok o ->

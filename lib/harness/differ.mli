@@ -21,10 +21,12 @@ val default_machines : Machine.Machdesc.t list
 val build_matrix :
   ?configs:Build.config list ->
   ?machines:Machine.Machdesc.t list ->
+  ?pool:Exec.Pool.t ->
   string ->
   subject list
 (** Build every configuration for every machine model (builds shared
-    between machines with equal register counts). *)
+    between machines with equal register counts).  [pool] fans the
+    distinct builds out over worker domains. *)
 
 type obs =
   | Obs_ok of {
@@ -38,6 +40,10 @@ type obs =
   | Obs_limit of string
 
 val obs_of_outcome : Measure.outcome -> obs
+
+val classify : obs -> Diagnostics.outcome
+(** The structured class of one observation ({!Diagnostics.Ok} for
+    [Obs_ok]), shared with the CLI's exit-code mapping. *)
 
 val describe_obs : obs -> string
 

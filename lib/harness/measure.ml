@@ -78,7 +78,7 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
 
 (** Build and run one workload configuration on one machine. *)
 let run_config ?(machine = Machine.Machdesc.sparc10) config source : Build.built * outcome =
-  let b = Build.build ~nregs:machine.Machine.Machdesc.md_regs config source in
+  let b = Build.compile ~options:(Build.for_machine machine) config source in
   (b, run ~machine b)
 
 (** Percentage slowdown relative to a baseline cycle count, rendered as in

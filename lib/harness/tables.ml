@@ -3,7 +3,12 @@
     Each function recomputes the whole column set for the given machine and
     prints rows in the paper's layout.  The return values carry the raw
     numbers so the bench harness and the tests can assert on shapes
-    ("who wins, by roughly what factor"). *)
+    ("who wins, by roughly what factor").
+
+    Measurement and rendering are separate phases: rows are measured
+    (optionally fanned out over a {!Exec.Pool.t} — builds go through the
+    process-wide artifact cache either way) and only then printed, so
+    parallel regeneration is byte-identical to serial. *)
 
 type cell = { c_config : Build.config; c_outcome : Measure.outcome }
 
@@ -47,9 +52,10 @@ let pp_slowdown_table fmt ~title ~configs rows =
 (** Slowdown tables T1/T2/T3: one machine, columns (-O safe), (-g),
     (-g checked). *)
 let slowdown_table ?(machine = Machine.Machdesc.sparc10) ?(out = Format.std_formatter)
-    ?(suite = Workloads.Registry.paper_suite) () : row list =
+    ?(suite = Workloads.Registry.paper_suite) ?(pool = Exec.Pool.serial) () :
+    row list =
   let configs = [ Build.Safe; Build.Debug; Build.Debug_checked ] in
-  let rows = List.map (measure_row ~machine ~configs) suite in
+  let rows = Exec.Pool.map pool (measure_row ~machine ~configs) suite in
   pp_slowdown_table out
     ~title:
       (Printf.sprintf "Slowdown vs optimized baseline (%s)"
@@ -59,62 +65,72 @@ let slowdown_table ?(machine = Machine.Machdesc.sparc10) ?(out = Format.std_form
 
 (** T4: static code size expansion (instruction counts of processed code
     only, as in the paper). *)
-let size_table ?(machine = Machine.Machdesc.sparc10) ?(out = Format.std_formatter) () =
+let size_table ?(machine = Machine.Machdesc.sparc10) ?(out = Format.std_formatter)
+    ?(pool = Exec.Pool.serial) () =
   let configs = [ Build.Safe; Build.Debug; Build.Debug_checked ] in
+  let options = Build.for_machine machine in
+  let results =
+    Exec.Pool.map pool
+      (fun w ->
+        let base = Build.compile ~options Build.Base w.Workloads.Registry.w_source in
+        let sizes =
+          List.map
+            (fun c ->
+              let b = Build.compile ~options c w.Workloads.Registry.w_source in
+              (c, b.Build.b_size))
+            configs
+        in
+        (w.Workloads.Registry.w_name, base.Build.b_size, sizes))
+      Workloads.Registry.paper_suite
+  in
   Format.fprintf out "Object code size expansion vs -O (%s):@."
     machine.Machine.Machdesc.md_name;
   Format.fprintf out "  %-10s" "";
   List.iter (fun c -> Format.fprintf out "%-14s" (Build.config_name c)) configs;
   Format.fprintf out "@.";
-  let results =
-    List.map
-      (fun w ->
-        let base = Build.build ~nregs:machine.Machine.Machdesc.md_regs Build.Base w.Workloads.Registry.w_source in
-        let sizes =
-          List.map
-            (fun c ->
-              let b = Build.build ~nregs:machine.Machine.Machdesc.md_regs c w.Workloads.Registry.w_source in
-              (c, b.Build.b_size))
-            configs
-        in
-        Format.fprintf out "  %-10s" w.Workloads.Registry.w_name;
-        List.iter
-          (fun (_, size) ->
-            let pct =
-              100.0
-              *. float_of_int (size - base.Build.b_size)
-              /. float_of_int base.Build.b_size
-            in
-            Format.fprintf out "%-14s" (Printf.sprintf "%.0f%%" pct))
-          sizes;
-        Format.fprintf out "@.";
-        (w.Workloads.Registry.w_name, base.Build.b_size, sizes))
-      Workloads.Registry.paper_suite
-  in
+  List.iter
+    (fun (name, base_size, sizes) ->
+      Format.fprintf out "  %-10s" name;
+      List.iter
+        (fun (_, size) ->
+          let pct =
+            100.0
+            *. float_of_int (size - base_size)
+            /. float_of_int base_size
+          in
+          Format.fprintf out "%-14s" (Printf.sprintf "%.0f%%" pct))
+        sizes;
+      Format.fprintf out "@.")
+    results;
   results
 
 (** T5: residual overhead of safe + peephole postprocessing, time and
     size (the paper measured this on the SPARCstation 10). *)
 let postprocessor_table ?(machine = Machine.Machdesc.sparc10)
-    ?(out = Format.std_formatter) () =
+    ?(out = Format.std_formatter) ?(pool = Exec.Pool.serial) () =
+  let results =
+    Exec.Pool.map pool
+      (fun w ->
+        let src = w.Workloads.Registry.w_source in
+        let bb, base = Measure.run_config ~machine Build.Base src in
+        let pb, post = Measure.run_config ~machine Build.Safe_peephole src in
+        (w.Workloads.Registry.w_name, base, post, bb.Build.b_size, pb.Build.b_size))
+      Workloads.Registry.paper_suite
+  in
   Format.fprintf out
     "Safe + peephole postprocessor vs -O (%s):@."
     machine.Machine.Machdesc.md_name;
   Format.fprintf out "  %-10s%-14s%-14s@." "" "running time" "code size";
-  List.map
-    (fun w ->
-      let src = w.Workloads.Registry.w_source in
-      let bb, base = Measure.run_config ~machine Build.Base src in
-      let pb, post = Measure.run_config ~machine Build.Safe_peephole src in
+  List.iter
+    (fun (name, base, post, base_size, post_size) ->
       let base_cycles = Measure.base_cycles_exn base in
       let time_cell = Measure.slowdown_cell ~base_cycles post in
       let size_pct =
         100.0
-        *. float_of_int (pb.Build.b_size - bb.Build.b_size)
-        /. float_of_int bb.Build.b_size
+        *. float_of_int (post_size - base_size)
+        /. float_of_int base_size
       in
-      Format.fprintf out "  %-10s%-14s%-14s@." w.Workloads.Registry.w_name
-        time_cell
-        (Printf.sprintf "%.0f%%" size_pct);
-      (w.Workloads.Registry.w_name, base, post, bb.Build.b_size, pb.Build.b_size))
-    Workloads.Registry.paper_suite
+      Format.fprintf out "  %-10s%-14s%-14s@." name time_cell
+        (Printf.sprintf "%.0f%%" size_pct))
+    results;
+  results

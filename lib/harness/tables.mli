@@ -1,6 +1,11 @@
 (** Rendering of the paper's tables (T1-T5) from fresh measurements.  Each
     function recomputes its column set for the given machine, prints rows
-    in the paper's layout, and returns the raw numbers for assertions. *)
+    in the paper's layout, and returns the raw numbers for assertions.
+
+    Measurement is separated from rendering: pass [?pool] to fan row
+    measurement out over worker domains — builds go through the
+    process-wide artifact cache either way, and the printed table is
+    byte-identical to a serial run. *)
 
 type cell = { c_config : Build.config; c_outcome : Measure.outcome }
 
@@ -20,6 +25,7 @@ val slowdown_table :
   ?machine:Machine.Machdesc.t ->
   ?out:Format.formatter ->
   ?suite:Workloads.Registry.workload list ->
+  ?pool:Exec.Pool.t ->
   unit ->
   row list
 (** T1/T2/T3: slowdown of (-O safe), (-g), (-g checked) over -O. *)
@@ -27,6 +33,7 @@ val slowdown_table :
 val size_table :
   ?machine:Machine.Machdesc.t ->
   ?out:Format.formatter ->
+  ?pool:Exec.Pool.t ->
   unit ->
   (string * int * (Build.config * int) list) list
 (** T4: static code size expansion; returns
@@ -35,6 +42,7 @@ val size_table :
 val postprocessor_table :
   ?machine:Machine.Machdesc.t ->
   ?out:Format.formatter ->
+  ?pool:Exec.Pool.t ->
   unit ->
   (string * Measure.outcome * Measure.outcome * int * int) list
 (** T5: residual time/size of safe + peephole vs -O; returns

@@ -7,10 +7,19 @@
     sensitivity), and each subject's uninjected behaviour is diffed
     against the optimized baseline (cross-configuration agreement).  Any
     failing schedule is minimized with {!Shrink.ddmin} and reported with
-    the program points where the minimized collections fire. *)
+    the program points where the minimized collections fire.
+
+    The schedule space is embarrassingly parallel and [p_jobs > 1] fans
+    it out over a {!Exec.Pool.t}, preserving the serial report exactly:
+    schedules are scanned in chunks, the first failing schedule (by
+    schedule index) is the one reported, and [r_runs] counts the runs
+    the serial scan would have performed — speculative runs past a
+    failure inside a chunk are executed but not counted, so a report is
+    a function of the plan, never of the worker count. *)
 
 module Build = Harness.Build
 module Differ = Harness.Differ
+module Diagnostics = Harness.Diagnostics
 module Schedule = Machine.Schedule
 
 type mode =
@@ -32,6 +41,7 @@ type plan = {
   p_exhaustive_cap : int;
   p_max_instrs : int option;
   p_max_heap : int option;
+  p_jobs : int;  (** worker domains; 1 = the reference serial scan *)
 }
 
 let default_plan =
@@ -42,6 +52,7 @@ let default_plan =
     p_exhaustive_cap = 2000;
     p_max_instrs = None;
     p_max_heap = None;
+    p_jobs = 1;
   }
 
 type kind =
@@ -90,25 +101,37 @@ let source_loc_of_context fn_locs ctx =
 
 let is_fail = function
   | Some _, _ -> true
-  | None, Differ.Obs_corrupted _ -> true
-  | None, _ -> false
+  | None, obs -> Differ.classify obs = Diagnostics.Corruption
 
 (** One target against the whole matrix. *)
-let run_target (plan : plan) (target : Corpus.target) :
-    finding list * int * int =
+let run_target ?(pool = Exec.Pool.serial) (plan : plan)
+    (target : Corpus.target) : finding list * int * int =
   let runs = ref 0 in
   let fn_locs = Corpus.function_locs target.Corpus.t_source in
   let subjects =
     Differ.build_matrix ~configs:plan.p_configs ~machines:plan.p_machines
-      target.Corpus.t_source
+      ~pool target.Corpus.t_source
   in
-  let observe ?gc_point_sink ~schedule subject =
-    incr runs;
+  (* [observe_raw] may run on a worker domain and must not touch shared
+     state; run accounting happens on the submitting thread, in serial
+     scan order, so [r_runs] is worker-count independent. *)
+  let observe_raw ?gc_point_sink ~schedule subject =
     Differ.observe ?max_instrs:plan.p_max_instrs ?max_heap:plan.p_max_heap
       ?gc_point_sink ~schedule subject
   in
+  let observe ?gc_point_sink ~schedule subject =
+    incr runs;
+    observe_raw ?gc_point_sink ~schedule subject
+  in
   (* Uninjected behaviour of every subject, and the per-machine baseline. *)
-  let auto = List.map (fun s -> (s, observe ~schedule:Schedule.Auto s)) subjects in
+  let auto =
+    let obss =
+      Exec.Pool.map pool (fun s -> observe_raw ~schedule:Schedule.Auto s)
+        subjects
+    in
+    runs := !runs + List.length subjects;
+    List.combine subjects obss
+  in
   let base_auto machine =
     let s, o =
       List.find
@@ -232,71 +255,93 @@ let run_target (plan : plan) (target : Corpus.target) :
         (min_pts, List.length fired, contexts)
   in
   (* Scan each subject; stop at its first finding (the shrinker gives a
-     minimal witness, further schedules add nothing). *)
+     minimal witness, further schedules add nothing).  The scan walks the
+     schedule space in chunks: a chunk's runs execute concurrently, then
+     its results are consumed in schedule order, so the finding — and the
+     run count — are those of the serial left-to-right scan. *)
+  let chunk_size =
+    if Exec.Pool.jobs pool <= 1 then 1 else 4 * Exec.Pool.jobs pool
+  in
   List.iter
     (fun (s, reference) ->
-      let schedules = schedules_for s.Differ.s_machine in
+      let schedules = Array.of_list (schedules_for s.Differ.s_machine) in
+      let n = Array.length schedules in
       let found = ref false in
-      List.iter
-        (fun schedule ->
-          if not !found then begin
-            let fired = ref [] in
-            let obs =
-              observe
-                ~gc_point_sink:(fun k ctx -> fired := (k, ctx) :: !fired)
-                ~schedule s
-            in
-            let mismatch, obs = diff_against reference obs in
-            let corrupted =
-              match obs with Differ.Obs_corrupted _ -> true | _ -> false
-            in
-            if corrupted || mismatch <> None then begin
-              found := true;
-              let min_pts, orig, contexts =
-                shrink_and_report s reference !fired
+      let pos = ref 0 in
+      while (not !found) && !pos < n do
+        let len = min chunk_size (n - !pos) in
+        let chunk = List.init len (fun i -> schedules.(!pos + i)) in
+        pos := !pos + len;
+        let results =
+          Exec.Pool.map pool
+            (fun schedule ->
+              let fired = ref [] in
+              let obs =
+                observe_raw
+                  ~gc_point_sink:(fun k ctx -> fired := (k, ctx) :: !fired)
+                  ~schedule s
               in
-              let kind, detail =
-                if corrupted then
-                  ( Corruption,
-                    match obs with
-                    | Differ.Obs_corrupted m -> m
-                    | _ -> assert false )
-                else
-                  match mismatch with
-                  | Some m ->
-                      (Divergence (Differ.mismatch_kind m),
-                       Differ.describe_mismatch m)
-                  | None -> assert false
+              (schedule, !fired, obs))
+            chunk
+        in
+        List.iter
+          (fun (schedule, fired, obs) ->
+            if not !found then begin
+              incr runs;
+              let mismatch, obs = diff_against reference obs in
+              let corrupted =
+                Differ.classify obs = Diagnostics.Corruption
               in
-              record
-                {
-                  f_target = target.Corpus.t_name;
-                  f_subject = Differ.subject_name s;
-                  f_config = s.Differ.s_config;
-                  f_kind = kind;
-                  f_detail = detail;
-                  f_schedule = Schedule.to_string schedule;
-                  f_min_points = min_pts;
-                  f_orig_points = orig;
-                  f_contexts = contexts;
-                  (* Schedule sensitivity of the conventional build is
-                     the hazard the paper predicts; everything else must
-                     never happen. *)
-                  f_expected = (not corrupted) && s.Differ.s_config = Build.Base;
-                }
-            end
-          end)
-        schedules)
+              if corrupted || mismatch <> None then begin
+                found := true;
+                let min_pts, orig, contexts =
+                  shrink_and_report s reference fired
+                in
+                let kind, detail =
+                  if corrupted then
+                    ( Corruption,
+                      match obs with
+                      | Differ.Obs_corrupted m -> m
+                      | _ -> assert false )
+                  else
+                    match mismatch with
+                    | Some m ->
+                        (Divergence (Differ.mismatch_kind m),
+                         Differ.describe_mismatch m)
+                    | None -> assert false
+                in
+                record
+                  {
+                    f_target = target.Corpus.t_name;
+                    f_subject = Differ.subject_name s;
+                    f_config = s.Differ.s_config;
+                    f_kind = kind;
+                    f_detail = detail;
+                    f_schedule = Schedule.to_string schedule;
+                    f_min_points = min_pts;
+                    f_orig_points = orig;
+                    f_contexts = contexts;
+                    (* Schedule sensitivity of the conventional build is
+                       the hazard the paper predicts; everything else must
+                       never happen. *)
+                    f_expected =
+                      (not corrupted) && s.Differ.s_config = Build.Base;
+                  }
+              end
+            end)
+          results
+      done)
     auto;
   (List.rev !findings, List.length subjects, !runs)
 
 let run ?(plan = default_plan) (targets : Corpus.target list) : report =
   let findings, subjects, runs =
-    List.fold_left
-      (fun (fs, subs, runs) target ->
-        let f, s, r = run_target plan target in
-        (fs @ f, subs + s, runs + r))
-      ([], 0, 0) targets
+    Exec.Pool.with_pool ~jobs:plan.p_jobs (fun pool ->
+        List.fold_left
+          (fun (fs, subs, runs) target ->
+            let f, s, r = run_target ~pool plan target in
+            (fs @ f, subs + s, runs + r))
+          ([], 0, 0) targets)
   in
   {
     r_findings = findings;

@@ -16,6 +16,11 @@ type plan = {
   p_exhaustive_cap : int;
   p_max_instrs : int option;
   p_max_heap : int option;
+  p_jobs : int;
+      (** worker domains for the schedule scan; 1 (the default) is the
+          reference serial scan.  Reports are identical for every value:
+          parallel scans consume results in schedule order and count
+          runs as the serial scan would. *)
 }
 
 val default_plan : plan
@@ -54,8 +59,12 @@ val unexpected : report -> finding list
 (** Findings that must never occur: any integrity violation, any
     divergence or cross-configuration gap in a GC-safe or debug build. *)
 
-val run_target : plan -> Corpus.target -> finding list * int * int
-(** [findings, subjects, runs] for one target. *)
+val run_target :
+  ?pool:Exec.Pool.t -> plan -> Corpus.target -> finding list * int * int
+(** [findings, subjects, runs] for one target.  [runs] counts the VM
+    executions of the serial scan (including shrinking); speculative
+    parallel runs are excluded so the number is worker-count
+    independent. *)
 
 val run : ?plan:plan -> Corpus.target list -> report
 

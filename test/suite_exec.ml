@@ -1,0 +1,283 @@
+(* Exec-subsystem tests: the Domain worker pool, the content-addressed
+   build cache, the Diagnostics classification, and the contract the
+   whole PR rests on — a parallel stress run is report-identical to the
+   serial scan. *)
+
+module Pool = Exec.Pool
+module Cache = Exec.Cache
+module Build = Harness.Build
+module Diagnostics = Harness.Diagnostics
+
+(* --- pool: every task runs exactly once, results in input order ------- *)
+
+let test_pool_once_each () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 200 in
+      let counts = Array.init n (fun _ -> Atomic.make 0) in
+      let results =
+        Pool.map pool
+          (fun i ->
+            Atomic.incr counts.(i);
+            i * i)
+          (List.init n Fun.id)
+      in
+      Alcotest.(check (list int))
+        "results ordered by input index"
+        (List.init n (fun i -> i * i))
+        results;
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int)
+            (Printf.sprintf "task %d ran exactly once" i)
+            1 (Atomic.get c))
+        counts)
+
+let test_pool_serial_inline () =
+  (* jobs=1 is the reference serial path: no domains, plain List.map *)
+  let seen = ref [] in
+  let results =
+    Pool.map Pool.serial
+      (fun i ->
+        seen := i :: !seen;
+        i + 1)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] results;
+  Alcotest.(check (list int)) "executed in input order" [ 3; 2; 1 ] !seen
+
+let test_pool_reusable () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      for round = 1 to 5 do
+        let results = Pool.map pool (fun i -> i * round) [ 1; 2; 3; 4 ] in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          [ round; 2 * round; 3 * round; 4 * round ]
+          results
+      done)
+
+exception Boom of int
+
+let test_pool_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      match
+        Pool.map pool
+          (fun i -> if i mod 3 = 2 then raise (Boom i) else i)
+          (List.init 10 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+          Alcotest.(check int) "smallest failing index wins" 2 i)
+
+(* --- cache: single-flight memoization with counters ------------------- *)
+
+let test_cache_counters () =
+  let c : int Cache.t = Cache.create () in
+  let builds = ref 0 in
+  let build () = incr builds; 42 in
+  Alcotest.(check int) "miss builds" 42 (Cache.find_or_build c "k" build);
+  Alcotest.(check int) "hit reuses" 42 (Cache.find_or_build c "k" build);
+  Alcotest.(check int) "builder ran once" 1 !builds;
+  let s = Cache.stats c in
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one entry" 1 s.Cache.entries;
+  Alcotest.(check bool) "mem" true (Cache.mem c "k");
+  Cache.clear c;
+  Alcotest.(check bool) "cleared" false (Cache.mem c "k")
+
+let test_cache_eviction () =
+  let c : int Cache.t = Cache.create ~capacity:2 () in
+  ignore (Cache.find_or_build c "a" (fun () -> 1));
+  ignore (Cache.find_or_build c "b" (fun () -> 2));
+  ignore (Cache.find_or_build c "a" (fun () -> 1));
+  (* touch a: b is now LRU *)
+  ignore (Cache.find_or_build c "c" (fun () -> 3));
+  let s = Cache.stats c in
+  Alcotest.(check int) "capacity held" 2 s.Cache.entries;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check bool) "a survived (recently used)" true (Cache.mem c "a");
+  Alcotest.(check bool) "b evicted (least recently used)" false
+    (Cache.mem c "b")
+
+let test_cache_failed_build_releases_slot () =
+  let c : int Cache.t = Cache.create () in
+  (match Cache.find_or_build c "k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "slot released" false (Cache.mem c "k");
+  Alcotest.(check int) "retry succeeds" 7
+    (Cache.find_or_build c "k" (fun () -> 7))
+
+(* --- the build cache: hits are physically equal ----------------------- *)
+
+let src_cached = "int main(void) { return 0; }"
+
+let test_build_cache_physical_equality () =
+  Build.reset_cache ();
+  let b1 = Build.compile Build.Safe src_cached in
+  let b2 = Build.compile Build.Safe src_cached in
+  Alcotest.(check bool) "hit returns the physically-equal built" true
+    (b1 == b2);
+  let s = Build.cache_stats () in
+  Alcotest.(check int) "one build" 1 s.Exec.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Exec.Cache.hits
+
+let test_build_cache_parallel_single_flight () =
+  Build.reset_cache ();
+  let built =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.map pool
+          (fun _ -> Build.compile Build.Safe_peephole src_cached)
+          (List.init 8 Fun.id))
+  in
+  (match built with
+  | first :: rest ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool) "all requesters share one artifact" true
+            (b == first))
+        rest
+  | [] -> Alcotest.fail "no results");
+  let s = Build.cache_stats () in
+  Alcotest.(check int) "concurrent requests built once" 1 s.Exec.Cache.misses
+
+let test_build_no_cache () =
+  Build.reset_cache ();
+  let options = { Build.default with Build.use_cache = false } in
+  let b1 = Build.compile ~options Build.Base src_cached in
+  let b2 = Build.compile ~options Build.Base src_cached in
+  Alcotest.(check bool) "uncached builds are distinct" true (not (b1 == b2));
+  Build.set_cache_enabled false;
+  let b3 = Build.compile Build.Base src_cached in
+  let b4 = Build.compile Build.Base src_cached in
+  Build.set_cache_enabled true;
+  Alcotest.(check bool) "process-wide escape hatch" true (not (b3 == b4))
+
+(* --- deprecated wrapper still answers --------------------------------- *)
+
+let test_deprecated_wrapper () =
+  let b =
+    (Build.build ~nregs:8 [@alert "-deprecated"]) Build.Base src_cached
+  in
+  Alcotest.(check bool) "wrapper builds" true (b.Build.b_size > 0)
+
+(* --- qcheck: the cache key is injective in the build inputs ----------- *)
+
+let sources = [| src_cached; "int main(void) { return 1; }"; "long g;" |]
+
+let gen_input =
+  QCheck.Gen.(
+    let* nregs = int_range 1 64 in
+    let* loop_heuristic = bool in
+    let* use_cache = bool in
+    let* config = oneofl Build.all_configs in
+    let* source = oneofl (Array.to_list sources) in
+    return ({ Build.nregs; loop_heuristic; use_cache }, config, source))
+
+let arb_input =
+  QCheck.make
+    ~print:(fun (o, c, s) ->
+      Printf.sprintf "{nregs=%d; loop=%b; cache=%b} %s %S" o.Build.nregs
+        o.Build.loop_heuristic o.Build.use_cache (Build.config_name c) s)
+    gen_input
+
+let prop_cache_key_injective =
+  QCheck.Test.make ~count:500 ~name:"cache key injective in build inputs"
+    (QCheck.pair arb_input arb_input)
+    (fun ((o1, c1, s1), (o2, c2, s2)) ->
+      let same_inputs =
+        o1.Build.nregs = o2.Build.nregs
+        && o1.Build.loop_heuristic = o2.Build.loop_heuristic
+        && c1 = c2 && s1 = s2
+      in
+      (* use_cache steers the lookup, not the artifact: it must not
+         split the key space *)
+      String.equal (Build.cache_key o1 c1 s1) (Build.cache_key o2 c2 s2)
+      = same_inputs)
+
+(* --- diagnostics: one exit code per class ----------------------------- *)
+
+let test_diagnostics_exit_codes () =
+  let open Diagnostics in
+  List.iter
+    (fun (outcome, code) ->
+      Alcotest.(check int) (outcome_name outcome) code (exit_code outcome))
+    [
+      (Ok, 0);
+      (Divergence, 1);
+      (Source_error, 2);
+      (Fault, 3);
+      (Limit, 4);
+      (Corruption, 5);
+    ]
+
+let test_diagnostics_classify () =
+  (match Diagnostics.of_exn (Machine.Vm.Fault "x") with
+  | Some (Diagnostics.Fault, m) ->
+      Alcotest.(check string) "fault message" "fault: x" m
+  | _ -> Alcotest.fail "Vm.Fault should classify as Fault");
+  (match Diagnostics.of_exn Not_found with
+  | None -> ()
+  | Some _ -> Alcotest.fail "foreign exceptions are not classified");
+  let outcome, _ = Diagnostics.of_measure (Harness.Measure.Detected "y") in
+  Alcotest.(check string) "Detected is a fault" "fault"
+    (Diagnostics.outcome_name outcome);
+  Alcotest.(check string) "differ obs classified" "corruption"
+    (Diagnostics.outcome_name
+       (Harness.Differ.classify (Harness.Differ.Obs_corrupted "z")))
+
+(* --- parallel stress == serial stress on the hazard corpus ------------ *)
+
+let test_parallel_stress_identical () =
+  let plan machines jobs =
+    {
+      Stress.Driver.default_plan with
+      Stress.Driver.p_machines = machines;
+      Stress.Driver.p_jobs = jobs;
+    }
+  in
+  let render jobs =
+    Build.reset_cache ();
+    let report =
+      Stress.Driver.run
+        ~plan:(plan [ Machine.Machdesc.sparc10 ] jobs)
+        [ Stress.Corpus.hazard; Stress.Corpus.interior ]
+    in
+    Format.asprintf "%a" Stress.Driver.pp_report report
+  in
+  let serial = render 1 in
+  let parallel = render 4 in
+  Alcotest.(check string)
+    "4-job report byte-identical to serial, run counts included" serial
+    parallel
+
+let suite =
+  [
+    Alcotest.test_case "pool: tasks run exactly once, ordered" `Quick
+      test_pool_once_each;
+    Alcotest.test_case "pool: jobs=1 is inline serial" `Quick
+      test_pool_serial_inline;
+    Alcotest.test_case "pool: reusable across maps" `Quick test_pool_reusable;
+    Alcotest.test_case "pool: first-index exception wins" `Quick
+      test_pool_exception;
+    Alcotest.test_case "cache: counters and clear" `Quick test_cache_counters;
+    Alcotest.test_case "cache: LRU eviction at capacity" `Quick
+      test_cache_eviction;
+    Alcotest.test_case "cache: failed build releases the slot" `Quick
+      test_cache_failed_build_releases_slot;
+    Alcotest.test_case "build cache: hits physically equal" `Quick
+      test_build_cache_physical_equality;
+    Alcotest.test_case "build cache: parallel single-flight" `Quick
+      test_build_cache_parallel_single_flight;
+    Alcotest.test_case "build cache: escape hatches" `Quick
+      test_build_no_cache;
+    Alcotest.test_case "deprecated Build.build wrapper" `Quick
+      test_deprecated_wrapper;
+    QCheck_alcotest.to_alcotest prop_cache_key_injective;
+    Alcotest.test_case "diagnostics: exit codes" `Quick
+      test_diagnostics_exit_codes;
+    Alcotest.test_case "diagnostics: classification" `Quick
+      test_diagnostics_classify;
+    Alcotest.test_case "stress: parallel report identical to serial" `Slow
+      test_parallel_stress_identical;
+  ]

@@ -120,7 +120,7 @@ let test_machines_all_run () =
 let test_keep_live_counts () =
   (* annotation density: cordtest has many pointer expressions *)
   let b =
-    Harness.Build.build Harness.Build.Safe
+    Harness.Build.compile Harness.Build.Safe
       Workloads.Registry.cordtest.Workloads.Registry.w_source
   in
   Alcotest.(check bool) "dozens of annotations" true

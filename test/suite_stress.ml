@@ -122,7 +122,7 @@ let spin_src =
   {|int main(void) { long i; for (i = 0; i < 1000000; i = i + 1) ; return 0; }|}
 
 let test_step_limit () =
-  let b = Harness.Build.build Harness.Build.Base spin_src in
+  let b = Harness.Build.compile Harness.Build.Base spin_src in
   match Harness.Measure.run ~max_instrs:500 b with
   | Harness.Measure.Limit m ->
       Alcotest.(check bool) "names the step limit" true
@@ -131,7 +131,7 @@ let test_step_limit () =
 
 let test_heap_limit () =
   let b =
-    Harness.Build.build Harness.Build.Base
+    Harness.Build.compile Harness.Build.Base
       {|int main(void) { (void)malloc(5000); return 0; }|}
   in
   match Harness.Measure.run ~max_heap:1 b with

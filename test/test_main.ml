@@ -30,4 +30,5 @@ let () =
       ("workloads", Suite_workloads.suite);
       ("harness", Suite_harness.suite);
       ("stress", Suite_stress.suite);
+      ("exec", Suite_exec.suite);
     ]
