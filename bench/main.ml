@@ -2,7 +2,8 @@
    the Analysis-section listing, the hazard demonstration, and the
    ablations; plus bechamel micro-benchmarks of the collector primitives.
 
-   Usage:  main.exe [t1|t2|t3|t4|t5|cache|a1|hazard|ablate|stress|micro|all]...
+   Usage:  main.exe [t1|t2|t3|t4|t5|cache|a1|hazard|ablate|ablate-analysis|
+                     stress|micro|all]...
    With no arguments, everything except micro runs (micro does wall-clock
    timing and is opt-in so the default output stays deterministic).
 
@@ -348,6 +349,52 @@ int main(void) {
     Workloads.Registry.paper_suite;
   print_newline ()
 
+(* --- ablation: the lib/analysis dataflow clients ------------------------- *)
+
+let ablate_analysis () =
+  print_endline "== Ablation: dataflow-analysis annotation pruning ==";
+  print_endline "-- annotation counts (safe mode), analysis off -> on";
+  List.iter
+    (fun w ->
+      let count analysis =
+        let ast = Csyntax.Parser.parse_program w.Workloads.Registry.w_source in
+        let opts =
+          { (Gcsafe.Mode.default Gcsafe.Mode.Safe) with Gcsafe.Mode.analysis }
+        in
+        (Gcsafe.Annotate.run ~opts ast).Gcsafe.Annotate.keep_live_count
+      in
+      let none = count Gcsafe.Mode.A_none
+      and flow = count Gcsafe.Mode.A_flow in
+      Printf.printf "  %-10s %4d -> %4d annotations (%.0f%% pruned)\n"
+        w.Workloads.Registry.w_name none flow
+        (100.0 *. float_of_int (none - flow) /. float_of_int (max 1 none)))
+    Workloads.Registry.paper_suite;
+  print_endline "-- residual -O safe overhead vs -O, analysis off / on";
+  List.iter
+    (fun (machine : Machine.Machdesc.t) ->
+      Printf.printf "  %s:\n" machine.Machine.Machdesc.md_name;
+      List.iter
+        (fun w ->
+          let src = w.Workloads.Registry.w_source in
+          let _, base =
+            Harness.Measure.run_config ~machine Harness.Build.Base src
+          in
+          let base_cycles = Harness.Measure.base_cycles_exn base in
+          let slowdown analysis =
+            let _, o =
+              Harness.Measure.run_config ~machine ~analysis Harness.Build.Safe
+                src
+            in
+            Harness.Measure.slowdown_cell ~base_cycles o
+          in
+          Printf.printf "    %-10s %-8s off, %-8s on\n"
+            w.Workloads.Registry.w_name
+            (slowdown Gcsafe.Mode.A_none)
+            (slowdown Gcsafe.Mode.A_flow))
+        Workloads.Registry.paper_suite)
+    Harness.Differ.default_machines;
+  print_newline ()
+
 (* --- bechamel micro-benchmarks of the collector primitives --------------- *)
 
 let micro () =
@@ -484,7 +531,10 @@ let () =
   let sections =
     match args with
     | [] | [ "all" ] ->
-        [ "t1"; "t2"; "t3"; "t4"; "t5"; "cache"; "a1"; "hazard"; "ablate" ]
+        [
+          "t1"; "t2"; "t3"; "t4"; "t5"; "cache"; "a1"; "hazard"; "ablate";
+          "ablate-analysis";
+        ]
     | args -> args
   in
   List.iter
@@ -498,6 +548,7 @@ let () =
       | "a1" -> a1 ()
       | "hazard" -> hazard ()
       | "ablate" -> ablate ()
+      | "ablate-analysis" -> ablate_analysis ()
       | "stress" -> stress ()
       | "micro" -> micro ()
       | s -> Printf.eprintf "unknown section %s\n" s)

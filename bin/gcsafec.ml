@@ -60,6 +60,27 @@ let config_arg =
     & opt (conv (parse, print)) Harness.Build.Safe
     & info [ "config"; "c" ] ~docv:"CONFIG" ~doc)
 
+let analysis_conv =
+  let parse s =
+    match Gcsafe.Mode.analysis_of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown analysis %s" s))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt (Gcsafe.Mode.analysis_to_string a)
+  in
+  Arg.conv (parse, print)
+
+let analysis_arg =
+  let doc =
+    "Dataflow analysis pruning annotation sites: 'flow' (the lib/analysis \
+     clients, the default) or 'none' (the paper's algorithm verbatim)."
+  in
+  Arg.(
+    value
+    & opt analysis_conv Gcsafe.Mode.A_flow
+    & info [ "analysis" ] ~docv:"ANALYSIS" ~doc)
+
 let handle_errors = Harness.Diagnostics.handle
 
 let jobs_arg =
@@ -136,12 +157,70 @@ let annotate_cmd =
     Arg.(value & flag & info [ "patch" ] ~doc)
   in
   let stats_arg =
-    let doc = "Print the number of inserted annotations to stderr." in
+    let doc =
+      "Print per-rule insertion and per-analysis suppression counts to \
+       stderr as one JSON object."
+    in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
-  let run mode naive heuristic calls_only heapness base_stores patch stats file =
+  let workload_arg =
+    let doc =
+      "Annotate a registered workload (cordtest, cfrac, gawk, gs, ...) \
+       instead of a FILE."
+    in
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let opt_file_arg =
+    let doc = "C source file ('-' for standard input)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  (* one JSON object on one line: the CI regression guard jq-parses it *)
+  let stats_json ~source_name ~mode ~analysis (r : Gcsafe.Annotate.result) =
+    let field k v = Printf.sprintf "%S:%s" k v in
+    let str s = Printf.sprintf "%S" s in
+    let counts pairs name_of =
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, n) -> field (name_of k) (string_of_int n))
+             pairs)
+      ^ "}"
+    in
+    "{"
+    ^ String.concat ","
+        [
+          field "file" (str source_name);
+          field "mode" (str (Gcsafe.Mode.to_string mode));
+          field "analysis" (str (Gcsafe.Mode.analysis_to_string analysis));
+          field "total" (string_of_int r.Gcsafe.Annotate.keep_live_count);
+          field "inserted"
+            (counts r.Gcsafe.Annotate.stats.Gcsafe.Annotate.st_by_rule
+               Gcsafe.Annotate.rule_name);
+          field "suppressed"
+            (counts r.Gcsafe.Annotate.stats.Gcsafe.Annotate.st_by_reason
+               Gcsafe.Annotate.reason_name);
+        ]
+    ^ "}"
+  in
+  let run mode analysis naive heuristic calls_only heapness base_stores patch
+      stats workload file =
     handle_errors (fun () ->
-        let src = read_input file in
+        let source_name, src =
+          match (workload, file) with
+          | Some w, None -> (
+              match Workloads.Registry.by_name w with
+              | Some wl -> (w, wl.Workloads.Registry.w_source)
+              | None ->
+                  Printf.eprintf "unknown workload: %s\n" w;
+                  exit 2)
+          | None, Some f -> (f, read_input f)
+          | Some _, Some _ ->
+              Printf.eprintf "give either FILE or --workload, not both\n";
+              exit 2
+          | None, None ->
+              Printf.eprintf "a FILE argument or --workload is required\n";
+              exit 2
+        in
         let ast = Csyntax.Parser.parse_program src in
         let opts =
           {
@@ -150,6 +229,7 @@ let annotate_cmd =
             Gcsafe.Mode.calls_only;
             Gcsafe.Mode.heapness_analysis = heapness;
             Gcsafe.Mode.check_base_stores = base_stores;
+            Gcsafe.Mode.analysis;
           }
         in
         if patch then begin
@@ -168,16 +248,16 @@ let annotate_cmd =
           in
           print_string (Csyntax.Pretty.program_to_string program);
           if stats then
-            Printf.eprintf "%d annotation(s) inserted\n"
-              r.Gcsafe.Annotate.keep_live_count
+            Printf.eprintf "%s\n" (stats_json ~source_name ~mode ~analysis r)
         end)
   in
   let doc = "annotate C source for GC-safety or pointer-arithmetic checking" in
   Cmd.v
     (Cmd.info "annotate" ~doc)
     Term.(
-      const run $ mode_arg $ naive_arg $ heuristic_arg $ calls_only_arg
-      $ heapness_arg $ base_stores_arg $ patch_arg $ stats_arg $ file_arg)
+      const run $ mode_arg $ analysis_arg $ naive_arg $ heuristic_arg
+      $ calls_only_arg $ heapness_arg $ base_stores_arg $ patch_arg $ stats_arg
+      $ workload_arg $ opt_file_arg)
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -227,14 +307,18 @@ let run_cmd =
     let doc = "Print cycle/instruction/GC statistics to stderr." in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
-  let run config machine async gc_at gc_at_allocs integrity max_instrs max_heap
-      stats no_cache file =
+  let run config machine analysis async gc_at gc_at_allocs integrity max_instrs
+      max_heap stats no_cache file =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let src = read_input file in
         let b =
           Harness.Build.compile
-            ~options:(Harness.Build.for_machine machine)
+            ~options:
+              {
+                (Harness.Build.for_machine machine) with
+                Harness.Build.analysis;
+              }
             config src
         in
         let schedule =
@@ -268,19 +352,23 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      const run $ config_arg $ machine_arg $ async_arg $ gc_at_arg
-      $ gc_at_allocs_arg $ integrity_arg $ max_instrs_arg $ max_heap_arg
-      $ stats_arg $ no_cache_arg $ file_arg)
+      const run $ config_arg $ machine_arg $ analysis_arg $ async_arg
+      $ gc_at_arg $ gc_at_allocs_arg $ integrity_arg $ max_instrs_arg
+      $ max_heap_arg $ stats_arg $ no_cache_arg $ file_arg)
 
 (* --- ir --------------------------------------------------------------------- *)
 
 let ir_cmd =
-  let run config machine file =
+  let run config machine analysis file =
     handle_errors (fun () ->
         let src = read_input file in
         let b =
           Harness.Build.compile
-            ~options:(Harness.Build.for_machine machine)
+            ~options:
+              {
+                (Harness.Build.for_machine machine) with
+                Harness.Build.analysis;
+              }
             config src
         in
         List.iter
@@ -290,7 +378,7 @@ let ir_cmd =
   let doc = "dump the optimized, register-allocated IR" in
   Cmd.v
     (Cmd.info "ir" ~doc)
-    Term.(const run $ config_arg $ machine_arg $ file_arg)
+    Term.(const run $ config_arg $ machine_arg $ analysis_arg $ file_arg)
 
 (* --- stress ------------------------------------------------------------------ *)
 
@@ -342,8 +430,29 @@ let stress_cmd =
     in
     Arg.(value & opt int 2000 & info [ "cap" ] ~docv:"N" ~doc)
   in
-  let run machines every at_allocs exhaustive cap max_instrs max_heap jobs
-      no_cache targets =
+  let analyses_arg =
+    let doc =
+      "Analysis variants of the preprocessed configurations: 'flow' (the \
+       default), 'none', or 'both' to cross-check analysis-pruned builds \
+       against fully-annotated ones under every schedule."
+    in
+    let parse = function
+      | "none" -> Ok [ Gcsafe.Mode.A_none ]
+      | "flow" -> Ok [ Gcsafe.Mode.A_flow ]
+      | "both" -> Ok [ Gcsafe.Mode.A_none; Gcsafe.Mode.A_flow ]
+      | s -> Error (`Msg (Printf.sprintf "unknown analysis %s" s))
+    in
+    let print fmt a =
+      Format.pp_print_string fmt
+        (String.concat "," (List.map Gcsafe.Mode.analysis_to_string a))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) [ Gcsafe.Mode.A_flow ]
+      & info [ "analysis" ] ~docv:"ANALYSIS" ~doc)
+  in
+  let run machines analyses every at_allocs exhaustive cap max_instrs max_heap
+      jobs no_cache targets =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let resolved =
@@ -371,6 +480,7 @@ let stress_cmd =
               (if machines = [] then
                  Stress.Driver.default_plan.Stress.Driver.p_machines
                else machines);
+            Stress.Driver.p_analyses = analyses;
             Stress.Driver.p_modes = modes;
             Stress.Driver.p_exhaustive_cap = cap;
             Stress.Driver.p_max_instrs = max_instrs;
@@ -390,9 +500,9 @@ let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc)
     Term.(
-      const run $ machines_arg $ every_arg $ at_allocs_arg $ exhaustive_arg
-      $ cap_arg $ max_instrs_arg $ max_heap_arg $ jobs_arg $ no_cache_arg
-      $ targets_arg)
+      const run $ machines_arg $ analyses_arg $ every_arg $ at_allocs_arg
+      $ exhaustive_arg $ cap_arg $ max_instrs_arg $ max_heap_arg $ jobs_arg
+      $ no_cache_arg $ targets_arg)
 
 (* --- tables ------------------------------------------------------------------ *)
 
@@ -405,7 +515,9 @@ let tables_cmd =
             print_newline ();
             ignore (Harness.Tables.size_table ~machine ~pool ());
             print_newline ();
-            ignore (Harness.Tables.postprocessor_table ~machine ~pool ())))
+            ignore (Harness.Tables.postprocessor_table ~machine ~pool ());
+            print_newline ();
+            ignore (Harness.Tables.analysis_table ~machine ~pool ())))
   in
   let doc = "regenerate the paper's tables for one machine model" in
   Cmd.v

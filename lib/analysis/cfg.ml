@@ -1,0 +1,191 @@
+(** Statement-granularity CFG over a mini-C function body.  See the
+    interface for the point/edge discipline. *)
+
+open Csyntax
+
+type payload =
+  | Entry
+  | Exit
+  | Join
+  | Expr of Ast.expr * bool
+  | Decl of Ast.decl
+  | Ret of Ast.expr option
+
+type point = {
+  pt_id : int;
+  pt_payload : payload;
+  mutable pt_succ : int list;
+  mutable pt_pred : int list;
+}
+
+(* Top-level expressions are keyed by physical identity: structurally
+   equal nodes at different program points must map to different
+   points. *)
+module ExprTbl = Hashtbl.Make (struct
+  type t = Ast.expr
+
+  let equal = ( == )
+
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  cfg_points : point array;
+  cfg_entry : int;
+  cfg_exit : int;
+  cfg_of_expr : int ExprTbl.t;
+}
+
+let points t = t.cfg_points
+
+let entry t = t.cfg_entry
+
+let exit_ t = t.cfg_exit
+
+let point_of_expr t e =
+  match ExprTbl.find_opt t.cfg_of_expr e with
+  | Some id -> Some t.cfg_points.(id)
+  | None -> None
+
+let exprs_of p =
+  match p.pt_payload with
+  | Expr (e, _) -> [ e ]
+  | Decl { Ast.d_init = Some e; _ } -> [ e ]
+  | Ret (Some e) -> [ e ]
+  | Entry | Exit | Join | Decl _ | Ret None -> []
+
+let binding_of p =
+  match p.pt_payload with
+  | Decl d -> Some (d.Ast.d_name, d.Ast.d_init)
+  | _ -> None
+
+let build (f : Ast.func) : t =
+  let acc = ref [] and n = ref 0 in
+  let of_expr = ExprTbl.create 64 in
+  let add payload =
+    let p = { pt_id = !n; pt_payload = payload; pt_succ = []; pt_pred = [] } in
+    incr n;
+    acc := p :: !acc;
+    (match payload with
+    | Expr (e, _) -> ExprTbl.replace of_expr e p.pt_id
+    | Decl { Ast.d_init = Some e; _ } -> ExprTbl.replace of_expr e p.pt_id
+    | Ret (Some e) -> ExprTbl.replace of_expr e p.pt_id
+    | Entry | Exit | Join | Decl _ | Ret None -> ());
+    p.pt_id
+  in
+  let edges = ref [] in
+  let edge a b = edges := (a, b) :: !edges in
+  let connect frontier p = List.iter (fun q -> edge q p) frontier in
+  let entry = add Entry in
+  let exit_ = add Exit in
+  (* [stmt] threads the frontier: the set of points whose fall-through
+     successor is whatever comes next.  [brk] collects frontiers that jump
+     to the enclosing loop's exit; [cont] is that loop's continue target. *)
+  let rec stmt frontier ~brk ~cont (s : Ast.stmt) : int list =
+    match s.Ast.sdesc with
+    | Ast.Sexpr e ->
+        let p = add (Expr (e, false)) in
+        connect frontier p;
+        [ p ]
+    | Ast.Sdecl d ->
+        let p = add (Decl d) in
+        connect frontier p;
+        [ p ]
+    | Ast.Sreturn e ->
+        let p = add (Ret e) in
+        connect frontier p;
+        edge p exit_;
+        []
+    | Ast.Sbreak ->
+        (match brk with Some b -> b := frontier @ !b | None -> ());
+        []
+    | Ast.Scontinue ->
+        (match cont with
+        | Some c -> List.iter (fun q -> edge q c) frontier
+        | None -> ());
+        []
+    | Ast.Sempty -> frontier
+    | Ast.Sblock ss ->
+        List.fold_left (fun fr s -> stmt fr ~brk ~cont s) frontier ss
+    | Ast.Sif (c, a, b) ->
+        let pc = add (Expr (c, true)) in
+        connect frontier pc;
+        let fa = stmt [ pc ] ~brk ~cont a in
+        (match b with
+        | Some b -> fa @ stmt [ pc ] ~brk ~cont b
+        | None -> pc :: fa)
+    | Ast.Swhile (c, b) ->
+        let pc = add (Expr (c, true)) in
+        connect frontier pc;
+        let breaks = ref [] in
+        let fb = stmt [ pc ] ~brk:(Some breaks) ~cont:(Some pc) b in
+        List.iter (fun q -> edge q pc) fb;
+        pc :: !breaks
+    | Ast.Sdowhile (b, c) ->
+        let head = add Join in
+        connect frontier head;
+        let pc = add (Expr (c, true)) in
+        let breaks = ref [] in
+        let fb = stmt [ head ] ~brk:(Some breaks) ~cont:(Some pc) b in
+        List.iter (fun q -> edge q pc) fb;
+        edge pc head;
+        pc :: !breaks
+    | Ast.Sfor (i, c, st, b) ->
+        let fi =
+          match i with
+          | Some e ->
+              let p = add (Expr (e, false)) in
+              connect frontier p;
+              [ p ]
+          | None -> frontier
+        in
+        let head = add Join in
+        connect fi head;
+        let pc = Option.map (fun e -> add (Expr (e, true))) c in
+        let pst = Option.map (fun e -> add (Expr (e, false))) st in
+        (match pc with Some p -> edge head p | None -> ());
+        let body_preds = match pc with Some p -> [ p ] | None -> [ head ] in
+        let cont_t =
+          match pst with Some p -> p | None -> Option.value pc ~default:head
+        in
+        let breaks = ref [] in
+        let fb = stmt body_preds ~brk:(Some breaks) ~cont:(Some cont_t) b in
+        let tail =
+          match pst with
+          | Some p ->
+              List.iter (fun q -> edge q p) fb;
+              [ p ]
+          | None -> fb
+        in
+        List.iter (fun q -> edge q head) tail;
+        (match pc with Some p -> p :: !breaks | None -> !breaks)
+  in
+  let fout = stmt [ entry ] ~brk:None ~cont:None f.Ast.f_body in
+  List.iter (fun q -> edge q exit_) fout;
+  let arr = Array.make !n { pt_id = 0; pt_payload = Entry; pt_succ = []; pt_pred = [] } in
+  List.iter (fun p -> arr.(p.pt_id) <- p) !acc;
+  List.iter
+    (fun (a, b) ->
+      if not (List.mem b arr.(a).pt_succ) then begin
+        arr.(a).pt_succ <- b :: arr.(a).pt_succ;
+        arr.(b).pt_pred <- a :: arr.(b).pt_pred
+      end)
+    (List.rev !edges);
+  { cfg_points = arr; cfg_entry = entry; cfg_exit = exit_; cfg_of_expr = of_expr }
+
+let pp ppf t =
+  Array.iter
+    (fun p ->
+      let name =
+        match p.pt_payload with
+        | Entry -> "entry"
+        | Exit -> "exit"
+        | Join -> "join"
+        | Expr (e, demanded) ->
+            Format.asprintf "%s%a" (if demanded then "cond " else "") Pretty.pp_expr e
+        | Decl d -> Printf.sprintf "decl %s" d.Ast.d_name
+        | Ret _ -> "return"
+      in
+      Format.fprintf ppf "%d: %s -> {%s}@." p.pt_id name
+        (String.concat ", " (List.map string_of_int (List.rev p.pt_succ))))
+    t.cfg_points

@@ -1,0 +1,55 @@
+(** Statement-granularity control-flow graph over a mini-C function body.
+
+    Points are the evaluated top-level expressions of the function —
+    expression statements, declaration initializers, the condition of
+    every [if]/[while]/[do]/[for], the init and step parts of [for], and
+    return values — plus a synthetic entry, exit, and one join per loop
+    head.  Edges follow mini-C's structured control flow, including
+    [break]/[continue] and loop back edges.
+
+    Top-level expressions are mapped back to their point by {e physical}
+    identity: the type checker and {!Normalize} mutate nodes in place, so
+    the statement expressions an annotator walks are the very nodes the
+    CFG was built from. *)
+
+type payload =
+  | Entry
+  | Exit
+  | Join  (** synthetic loop-head merge, evaluates nothing *)
+  | Expr of Csyntax.Ast.expr * bool
+      (** a top-level evaluated expression; the flag says whether its
+          {e value} is demanded by control flow (conditions) rather than
+          discarded (expression statements, [for] init/step) *)
+  | Decl of Csyntax.Ast.decl  (** declaration, initializer evaluated here *)
+  | Ret of Csyntax.Ast.expr option
+
+type point = {
+  pt_id : int;
+  pt_payload : payload;
+  mutable pt_succ : int list;
+  mutable pt_pred : int list;
+}
+
+type t
+
+val build : Csyntax.Ast.func -> t
+
+val points : t -> point array
+(** Indexed by [pt_id]. *)
+
+val entry : t -> int
+
+val exit_ : t -> int
+
+val point_of_expr : t -> Csyntax.Ast.expr -> point option
+(** The point evaluating this top-level expression, by physical identity
+    ([None] for sub-expressions and synthesized nodes). *)
+
+val exprs_of : point -> Csyntax.Ast.expr list
+(** The expressions evaluated at this point (0 or 1). *)
+
+val binding_of : point -> (string * Csyntax.Ast.expr option) option
+(** [Some (x, init)] when the point is a declaration of [x]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug rendering: one line per point with its successors. *)

@@ -1,0 +1,79 @@
+(** Worklist fixpoint solver; see the interface. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module VarSet = Set.Make (String)
+
+module SetDomain = struct
+  type t = VarSet.t
+
+  let bottom = VarSet.empty
+
+  let equal = VarSet.equal
+
+  let join = VarSet.union
+end
+
+module Make (D : DOMAIN) = struct
+  type result = {
+    df_input : D.t array;
+    df_output : D.t array;
+    df_reached : bool array;
+  }
+
+  let solve ~dir ~boundary ~transfer (cfg : Cfg.t) : result =
+    let pts = Cfg.points cfg in
+    let n = Array.length pts in
+    let input = Array.make n D.bottom in
+    let output = Array.make n D.bottom in
+    let reached = Array.make n false in
+    let start =
+      match dir with Forward -> Cfg.entry cfg | Backward -> Cfg.exit_ cfg
+    in
+    let next p =
+      match dir with Forward -> p.Cfg.pt_succ | Backward -> p.Cfg.pt_pred
+    in
+    let prev p =
+      match dir with Forward -> p.Cfg.pt_pred | Backward -> p.Cfg.pt_succ
+    in
+    let work = Queue.create () in
+    let queued = Array.make n false in
+    Queue.add start work;
+    queued.(start) <- true;
+    while not (Queue.is_empty work) do
+      let i = Queue.pop work in
+      queued.(i) <- false;
+      let p = pts.(i) in
+      let inp =
+        List.fold_left
+          (fun acc q -> if reached.(q) then D.join acc output.(q) else acc)
+          (if i = start then boundary else D.bottom)
+          (prev p)
+      in
+      let out = transfer p inp in
+      let first = not reached.(i) in
+      reached.(i) <- true;
+      input.(i) <- inp;
+      if first || not (D.equal out output.(i)) then begin
+        output.(i) <- out;
+        List.iter
+          (fun s ->
+            if not queued.(s) then begin
+              queued.(s) <- true;
+              Queue.add s work
+            end)
+          (next p)
+      end
+    done;
+    { df_input = input; df_output = output; df_reached = reached }
+end

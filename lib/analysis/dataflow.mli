@@ -1,0 +1,48 @@
+(** Generic monotone dataflow framework: a worklist fixpoint over a
+    {!Cfg.t}, parameterized by a join-semilattice domain and a transfer
+    function, in either direction.
+
+    The client guarantees monotonicity of [transfer] and finite ascending
+    chains in the domain; the solver then terminates with the least
+    fixpoint reachable from the boundary value. *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module VarSet : Set.S with type elt = string
+
+module SetDomain : DOMAIN with type t = VarSet.t
+(** The common powerset-of-variables lattice: bottom = empty, join =
+    union. *)
+
+module Make (D : DOMAIN) : sig
+  type result = {
+    df_input : D.t array;
+        (** per point: join over the direction-predecessors' outputs (the
+            state {e before} the point going Forward, {e after} it going
+            Backward) *)
+    df_output : D.t array;  (** per point: [transfer] applied to the input *)
+    df_reached : bool array;
+        (** points never visited from the boundary (unreachable code, or
+            loops that never terminate when solving Backward) keep
+            [D.bottom]; clients must treat them conservatively *)
+  }
+
+  val solve :
+    dir:direction ->
+    boundary:D.t ->
+    transfer:(Cfg.point -> D.t -> D.t) ->
+    Cfg.t ->
+    result
+  (** Worklist fixpoint seeded at the entry (Forward) or exit (Backward)
+      point with [boundary]. *)
+end

@@ -1,0 +1,41 @@
+(** Address-taken / escape analysis; see the interface. *)
+
+open Csyntax
+
+type t = {
+  esc_addr : (string, unit) Hashtbl.t;
+  esc_params : (string, unit) Hashtbl.t;
+  esc_global : string -> bool;
+}
+
+let analyze ~global (f : Ast.func) : t =
+  let addr = Hashtbl.create 8 in
+  let on_expr () (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.AddrOf inner ->
+        (* Walk to the addressed storage's root variable.  Indexing only
+           stays within the variable's own storage for array types: for a
+           pointer p, [&p[i]] addresses p's target, not p. *)
+        let rec root (x : Ast.expr) =
+          match x.Ast.edesc with
+          | Ast.Var v -> Hashtbl.replace addr v ()
+          | Ast.Field (b, _) | Ast.Cast (_, b) -> root b
+          | Ast.Index (b, _) -> (
+              match b.Ast.ety with
+              | Some (Ctype.Array _) -> root b
+              | _ -> ())
+          | _ -> ()
+        in
+        root inner
+    | _ -> ()
+  in
+  ignore (Ast.fold_stmt_exprs on_expr () f.Ast.f_body);
+  let params = Hashtbl.create 8 in
+  List.iter (fun (name, _) -> Hashtbl.replace params name ()) f.Ast.f_params;
+  { esc_addr = addr; esc_params = params; esc_global = global }
+
+let address_taken t v = Hashtbl.mem t.esc_addr v
+
+let escapes t v = Hashtbl.mem t.esc_addr v || t.esc_global v
+
+let is_param t v = Hashtbl.mem t.esc_params v

@@ -1,0 +1,134 @@
+(** Demand-driven backward liveness; see the interface. *)
+
+open Csyntax
+module VS = Dataflow.VarSet
+module Solver = Dataflow.Make (Dataflow.SetDomain)
+
+type t = { pl_cfg : Cfg.t; pl_res : Solver.result }
+
+let cfg t = t.pl_cfg
+
+(* does evaluating [e] have side effects the optimizer must preserve? *)
+let has_effects (e : Ast.expr) =
+  Ast.fold_expr
+    (fun acc x ->
+      acc
+      ||
+      match x.Ast.edesc with
+      | Ast.Call (_, _) | Ast.RuntimeCall (_, _) | Ast.Assign (_, _)
+      | Ast.OpAssign (_, _, _) | Ast.Incr (_, _) ->
+          true
+      | _ -> false)
+    false e
+
+(* The gen set of [e] against the point's live-out set [out].
+
+   [demanded] says whether the value of [e] survives optimization: a use
+   contributes to liveness only if it is demanded, otherwise dead-code
+   elimination may delete the computation and the use with it — and a
+   suppression justified by such a use would be unsound.  Side-effecting
+   sub-expressions demand their own operands (calls, stores), so they
+   contribute regardless of the surrounding demand. *)
+let rec gen ~demanded out acc (e : Ast.expr) =
+  let self = gen out in
+  match e.Ast.edesc with
+  | Ast.IntLit _ | Ast.CharLit _ | Ast.StrLit _ | Ast.FloatLit _
+  | Ast.SizeofType _ | Ast.SizeofExpr _ ->
+      acc
+  | Ast.Var v -> if demanded then VS.add v acc else acc
+  | Ast.Unop (_, a) | Ast.Cast (_, a) -> self ~demanded acc a
+  | Ast.Binop ((Ast.LogAnd | Ast.LogOr), a, b) ->
+      (* [a] controls whether [b]'s effects run *)
+      let acc = self ~demanded:(demanded || has_effects b) acc a in
+      self ~demanded acc b
+  | Ast.Binop (_, a, b) -> self ~demanded (self ~demanded acc a) b
+  | Ast.Assign ({ Ast.edesc = Ast.Var v; _ }, rhs) ->
+      self ~demanded:(demanded || VS.mem v out) acc rhs
+  | Ast.Assign (lv, rhs) ->
+      (* a store to memory always happens: address and value demanded *)
+      let acc = gen_addr out acc lv in
+      self ~demanded:true acc rhs
+  | Ast.OpAssign (_, { Ast.edesc = Ast.Var v; _ }, rhs) ->
+      let d = demanded || VS.mem v out in
+      let acc = if d then VS.add v acc else acc in
+      self ~demanded:d acc rhs
+  | Ast.OpAssign (_, lv, rhs) ->
+      let acc = gen_addr out acc lv in
+      self ~demanded:true acc rhs
+  | Ast.Incr (_, { Ast.edesc = Ast.Var v; _ }) ->
+      if demanded || VS.mem v out then VS.add v acc else acc
+  | Ast.Incr (_, lv) -> gen_addr out acc lv
+  | Ast.Deref a ->
+      (* a load whose value is unused is removable with its address *)
+      self ~demanded acc a
+  | Ast.Index (a, b) -> self ~demanded (self ~demanded acc a) b
+  | Ast.Arrow (a, _) | Ast.Field (a, _) -> self ~demanded acc a
+  | Ast.AddrOf lv -> self ~demanded acc lv
+  | Ast.Call (_, args) ->
+      List.fold_left (fun acc a -> self ~demanded:true acc a) acc args
+  | Ast.Cond (c, a, b) ->
+      let acc =
+        self ~demanded:(demanded || has_effects a || has_effects b) acc c
+      in
+      self ~demanded (self ~demanded acc a) b
+  | Ast.Comma (a, b) -> self ~demanded (self ~demanded:false acc a) b
+  | Ast.KeepLive (a, Some b) ->
+      (* post-annotation nodes (defensive): both operands are real uses *)
+      self ~demanded:true (self ~demanded:true acc a) b
+  | Ast.KeepLive (a, None) -> self ~demanded:true acc a
+  | Ast.RuntimeCall (_, args) ->
+      List.fold_left (fun acc a -> self ~demanded:true acc a) acc args
+
+(* the address computation feeding a store: always demanded *)
+and gen_addr out acc (lv : Ast.expr) = gen ~demanded:true out acc lv
+
+let defs_of (p : Cfg.point) : (string * Ast.expr option) list =
+  let of_expr acc e =
+    Ast.fold_expr
+      (fun acc x ->
+        match x.Ast.edesc with
+        | Ast.Assign ({ Ast.edesc = Ast.Var v; _ }, _)
+        | Ast.OpAssign (_, { Ast.edesc = Ast.Var v; _ }, _)
+        | Ast.Incr (_, { Ast.edesc = Ast.Var v; _ }) ->
+            (v, Some x) :: acc
+        | _ -> acc)
+      acc e
+  in
+  let inner = List.fold_left of_expr [] (Cfg.exprs_of p) in
+  match Cfg.binding_of p with
+  | Some (x, _) -> (x, None) :: inner
+  | None -> inner
+
+let analyze ?cfg (f : Ast.func) : t =
+  let cfg = match cfg with Some c -> c | None -> Cfg.build f in
+  let transfer p out =
+    (* kill: every definition, conditional or not (over-kill is the safe
+       direction for suppression) *)
+    let killed =
+      List.fold_left (fun acc (v, _) -> VS.remove v acc) out (defs_of p)
+    in
+    let demanded_value =
+      match p.Cfg.pt_payload with
+      | Cfg.Expr (_, demanded) -> demanded
+      | Cfg.Ret (Some _) -> true
+      | _ -> false
+    in
+    (* a declaration initializer is an assignment to the declared name:
+       its value is demanded only if the name is live-out *)
+    match Cfg.binding_of p with
+    | Some (x, Some init) -> gen ~demanded:(VS.mem x out) out killed init
+    | Some (_, None) -> killed
+    | None ->
+        List.fold_left
+          (fun acc e -> gen ~demanded:demanded_value out acc e)
+          killed (Cfg.exprs_of p)
+  in
+  let res =
+    Solver.solve ~dir:Dataflow.Backward ~boundary:VS.empty ~transfer cfg
+  in
+  { pl_cfg = cfg; pl_res = res }
+
+let live_out t (p : Cfg.point) =
+  let id = p.Cfg.pt_id in
+  if not t.pl_res.Solver.df_reached.(id) then VS.empty
+  else t.pl_res.Solver.df_input.(id)

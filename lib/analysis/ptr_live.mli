@@ -1,0 +1,34 @@
+(** Source-level variable liveness, tuned for KEEP_LIVE suppression.
+
+    A backward may-analysis: [live_out point] is the set of variables
+    whose current value may still be read on some path after the point.
+    A base variable provably live across a dereference keeps its object
+    reachable through its own register or stack slot — both are scanned
+    as GC roots — so the dereference needs no KEEP_LIVE (the paper's
+    optimization (1) generalized beyond pure copies).
+
+    Because the suppression direction requires liveness to survive
+    optimization, the gen set is {e demand-driven}, mirroring dead-code
+    elimination: a use inside [x = e] counts only if [x] is itself
+    live-out (or [e]'s evaluation is otherwise demanded — conditions,
+    call arguments, stored values and addresses, return values).  Kills
+    are any definition on the point, including conditional ones
+    (over-killing under-approximates liveness, which only suppresses
+    less). *)
+
+type t
+
+val analyze : ?cfg:Cfg.t -> Csyntax.Ast.func -> t
+(** [cfg] lets several clients share one graph; by default a fresh one
+    is built from the function body. *)
+
+val live_out : t -> Cfg.point -> Dataflow.VarSet.t
+(** Variables live after the point; empty for unreached points (so the
+    suppression query fails conservatively there). *)
+
+val defs_of : Cfg.point -> (string * Csyntax.Ast.expr option) list
+(** Every simple-variable definition the point may perform, paired with
+    the defining expression — the whole [Assign] / [OpAssign] / [Incr]
+    node, or [None] for a declaration binding. *)
+
+val cfg : t -> Cfg.t

@@ -1,0 +1,96 @@
+(** Per-function analysis driver; see the interface. *)
+
+open Csyntax
+module VS = Dataflow.VarSet
+
+type t = {
+  sm_cfg : Cfg.t;
+  sm_esc : Escape.t;
+  sm_heap : Heapflow.t;
+  sm_live : Ptr_live.t;
+  sm_global : string -> bool;
+  sm_known : (string, unit) Hashtbl.t;
+      (** the variable universe the analyses saw; anything else (e.g. a
+          temporary introduced after analysis time) gets the conservative
+          answer from both queries *)
+}
+
+let analyze ~global (f : Ast.func) : t =
+  let cfg = Cfg.build f in
+  let esc = Escape.analyze ~global f in
+  let heap = Heapflow.analyze ~cfg ~escape:esc ~global f in
+  let live = Ptr_live.analyze ~cfg f in
+  let known = Hashtbl.create 32 in
+  List.iter (fun (name, _) -> Hashtbl.replace known name ()) f.Ast.f_params;
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.sdesc with
+      | Ast.Sdecl d -> Hashtbl.replace known d.Ast.d_name ()
+      | _ -> ())
+    f.Ast.f_body;
+  ignore
+    (Ast.fold_stmt_exprs
+       (fun () e ->
+         match e.Ast.edesc with
+         | Ast.Var v -> Hashtbl.replace known v ()
+         | _ -> ())
+       () f.Ast.f_body);
+  {
+    sm_cfg = cfg;
+    sm_esc = esc;
+    sm_heap = heap;
+    sm_live = live;
+    sm_global = global;
+    sm_known = known;
+  }
+
+let point_of t e = Cfg.point_of_expr t.sm_cfg e
+
+let escape t = t.sm_esc
+
+let heapflow t = t.sm_heap
+
+let liveness t = t.sm_live
+
+let known t v = Hashtbl.mem t.sm_known v
+
+let may_be_heap t pt v =
+  if not (known t v) then true else Heapflow.may_be_heap t.sm_heap pt v
+
+(* is [def] just an advance of [v] within its current object?
+   [v++], [v--], [v += n], [v -= n], [v = v ± n] (through casts) *)
+let self_advance v (def : Ast.expr) =
+  let rec is_v (e : Ast.expr) =
+    match e.Ast.edesc with
+    | Ast.Var x -> x = v
+    | Ast.Cast (_, x) -> is_v x
+    | _ -> false
+  in
+  match def.Ast.edesc with
+  | Ast.Incr (_, lv) -> is_v lv
+  | Ast.OpAssign ((Ast.Add | Ast.Sub), lv, _) -> is_v lv
+  | Ast.Assign (lv, rhs) -> (
+      is_v lv
+      &&
+      let rec adv (e : Ast.expr) =
+        match e.Ast.edesc with
+        | Ast.Binop ((Ast.Add | Ast.Sub), a, b) -> is_v a || is_v b
+        | Ast.Cast (_, x) -> adv x
+        | _ -> false
+      in
+      adv rhs)
+  | _ -> false
+
+let live_across t pt v =
+  match pt with
+  | None -> false
+  | Some p ->
+      known t v
+      && (not (Escape.escapes t.sm_esc v))
+      && (not (t.sm_global v))
+      && VS.mem v (Ptr_live.live_out t.sm_live p)
+      && List.for_all
+           (fun (x, def) ->
+             x <> v
+             || match def with Some d -> self_advance v d | None -> false)
+           (Ptr_live.defs_of p)

@@ -1,0 +1,37 @@
+(** Per-function driver for the dataflow clients, and the two queries an
+    annotator needs to decide whether a KEEP_LIVE site can be suppressed.
+
+    Both queries answer conservatively — "must annotate" — for variables
+    the analysis has never seen (e.g. temporaries introduced after
+    analysis time), for escaping variables and globals, for unknown or
+    unreachable program points. *)
+
+type t
+
+val analyze : global:(string -> bool) -> Csyntax.Ast.func -> t
+(** Run escape, flow-sensitive heapness and liveness over one function
+    (the function must be type-checked; run it after {!Normalize} so the
+    analyzed nodes are the ones the annotator visits). *)
+
+val point_of : t -> Csyntax.Ast.expr -> Cfg.point option
+(** The CFG point evaluating this top-level statement expression, by
+    physical identity. *)
+
+val may_be_heap : t -> Cfg.point option -> string -> bool
+(** May the variable hold a heap pointer during the point's evaluation?
+    [true] unless the flow-sensitive heapness proves otherwise. *)
+
+val live_across : t -> Cfg.point option -> string -> bool
+(** Is the variable's object guaranteed reachable through the variable
+    itself for the whole evaluation of the point?  Requires: a local,
+    non-escaping variable, live out of the point, whose definitions at
+    the point (if any) only advance it within its object
+    ([p++], [p += n], [p = p + n]) — then the variable's register or
+    stack slot roots the object at every collection point in the
+    statement, and the KEEP_LIVE is redundant. *)
+
+val escape : t -> Escape.t
+
+val heapflow : t -> Heapflow.t
+
+val liveness : t -> Ptr_live.t

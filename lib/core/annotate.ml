@@ -20,15 +20,70 @@ exception Unnormalized of string * Loc.t
 (** raised when BASE is queried on a generating expression, i.e. the input
     was not run through {!Normalize} *)
 
+(** The insertion rule a site belongs to, for the stats breakdown. *)
+type rule =
+  | R_value  (** assignment right sides, call arguments, returns *)
+  | R_access  (** the [*&(...)] wrap of a memory access's address *)
+  | R_arith  (** pointer arithmetic updates: [++]/[--]/[op=] expansion *)
+  | R_check  (** checked-mode extent/base checks (GC_check_range/base) *)
+
+let rule_name = function
+  | R_value -> "value"
+  | R_access -> "access"
+  | R_arith -> "arith"
+  | R_check -> "check"
+
+let all_rules = [ R_value; R_access; R_arith; R_check ]
+
+(** Why a site was provably redundant and suppressed. *)
+type reason =
+  | S_heapness  (** the flow-insensitive heapness verdict *)
+  | S_flow_heap  (** flow-sensitive: not heapy at this program point *)
+  | S_live  (** base live across the site, rooted by its own location *)
+
+let reason_name = function
+  | S_heapness -> "heapness"
+  | S_flow_heap -> "flow-heap"
+  | S_live -> "flow-live"
+
+let all_reasons = [ S_heapness; S_flow_heap; S_live ]
+
+type suppression = {
+  sup_func : string;  (** enclosing function *)
+  sup_base : string;  (** the base variable the site would have kept live *)
+  sup_rule : rule;  (** the rule that would have inserted it *)
+  sup_reason : reason;  (** why it was proved redundant *)
+  sup_loc : Loc.t;
+}
+
+type stats = {
+  st_by_rule : (rule * int) list;  (** insertions per rule *)
+  st_by_reason : (reason * int) list;  (** suppressions per analysis *)
+  st_suppressions : suppression list;  (** every suppressed site, in order *)
+}
+
+let rule_index = function R_value -> 0 | R_access -> 1 | R_arith -> 2 | R_check -> 3
+
+let reason_index = function S_heapness -> 0 | S_flow_heap -> 1 | S_live -> 2
+
 type ctx = {
   opts : Mode.options;
   tenv : Ctype.Env.t;
   temps : Temps.t;
+  fname : string;  (** enclosing function, for the suppression log *)
   mutable keep_live_count : int;  (** inserted annotations, for the stats *)
+  inserted : int array;  (** per-{!rule} insertion counts *)
+  suppressed : int array;  (** per-{!reason} suppression counts *)
+  mutable sups : suppression list;  (** reverse-order suppression log *)
   possibly_heap : Heapness.verdict;
       (** can this variable hold a heap pointer?  Non-heap bases need no
           KEEP_LIVE: the object they point into is stack or static
           storage, which the collector never reclaims *)
+  facts : Analysis.Summary.t option;
+      (** the dataflow clients' result for the enclosing function, when
+          [opts.analysis = A_flow] *)
+  mutable cur_point : Analysis.Cfg.point option;
+      (** the CFG point of the top-level expression being transformed *)
   mutable stmt_has_call : bool;
       (** does the statement being transformed perform any call?  Under
           optimization (4) — collections only at call sites — expressions
@@ -50,14 +105,55 @@ let elem_size ctx ty =
   | Some t -> Ctype.size ctx.tenv t
   | None -> 1
 
+(* count one insertion under [rule] *)
+let count ctx rule =
+  ctx.keep_live_count <- ctx.keep_live_count + 1;
+  ctx.inserted.(rule_index rule) <- ctx.inserted.(rule_index rule) + 1
+
+let suppress ctx ~rule ~reason ~base ~loc =
+  ctx.suppressed.(reason_index reason) <-
+    ctx.suppressed.(reason_index reason) + 1;
+  ctx.sups <-
+    {
+      sup_func = ctx.fname;
+      sup_base = base;
+      sup_rule = rule;
+      sup_reason = reason;
+      sup_loc = loc;
+    }
+    :: ctx.sups
+
+(* Can the site be proved redundant?  First the flow-insensitive heapness
+   verdict, then the flow-sensitive clients at the current program point:
+   a base that cannot hold a heap pointer here needs no retention, and a
+   base that roots its object itself — live across the statement, only
+   self-advanced by it, not reachable through memory — keeps the object
+   alive through its own register or stack slot. *)
+let suppression_reason ctx (base_var : string) : reason option =
+  if not (ctx.possibly_heap base_var) then Some S_heapness
+  else
+    match ctx.facts with
+    | None -> None
+    | Some facts ->
+        if not (Analysis.Summary.may_be_heap facts ctx.cur_point base_var)
+        then Some S_flow_heap
+        else if Analysis.Summary.live_across facts ctx.cur_point base_var then
+          Some S_live
+        else None
+
 (** Emit the mode-appropriate KEEP_LIVE(e, base).  Under [calls_only],
     call-free statements need no annotation: no collection point can fall
     inside their evaluation. *)
-let keep_live ctx (e : Ast.expr) (base_var : string) : Ast.expr =
+let keep_live ctx ~rule (e : Ast.expr) (base_var : string) : Ast.expr =
   if ctx.opts.Mode.calls_only && not ctx.stmt_has_call then e
-  else if not (ctx.possibly_heap base_var) then e
-  else begin
-  ctx.keep_live_count <- ctx.keep_live_count + 1;
+  else
+  match suppression_reason ctx base_var with
+  | Some reason ->
+      suppress ctx ~rule ~reason ~base:base_var ~loc:e.Ast.eloc;
+      e
+  | None ->
+  begin
+  count ctx rule;
   let ty = Ast.rtyp e in
   match ctx.opts.Mode.mode with
   | Mode.Safe -> mk (Ast.KeepLive (e, Some (mk (Ast.Var base_var) ty))) ty
@@ -129,7 +225,7 @@ let rec rv ctx ?(used = true) (e : Ast.expr) : Ast.expr =
               && ctx.opts.Mode.mode = Mode.Checked
               && Ast.is_pointer_valued rhs'
             then begin
-              ctx.keep_live_count <- ctx.keep_live_count + 1;
+              count ctx R_check;
               let t = Ast.rtyp rhs' in
               mk
                 (Ast.Cast
@@ -181,7 +277,7 @@ and wrap_t ctx loc (e : Ast.expr) : Ast.expr =
         mk (Ast.Comma (a, wrap_t ctx loc b)) (Ast.typ e)
     | _ -> (
         match Base_rules.base e with
-        | Base_rules.Var b -> keep_live ctx e b
+        | Base_rules.Var b -> keep_live ctx ~rule:R_value e b
         | Base_rules.Nil -> e
         | Base_rules.Unnamed ->
             if generating_tail e then e
@@ -198,7 +294,7 @@ and access ctx (e : Ast.expr) : Ast.expr =
   match Base_rules.baseaddr e' with
   | Base_rules.Var b ->
       let addr = mk (Ast.AddrOf e') (Ctype.Ptr ty) in
-      mk (Ast.Deref (keep_live ctx addr b)) ty
+      mk (Ast.Deref (keep_live ctx ~rule:R_access addr b)) ty
   | Base_rules.Nil -> e'
   | Base_rules.Unnamed ->
       raise
@@ -232,7 +328,7 @@ and aggregate_checked_assign ctx e lv rhs : Ast.expr =
   let size = Ctype.size ctx.tenv (Ast.typ lv) in
   let lv' = chain ctx lv in
   let check_of target =
-    ctx.keep_live_count <- ctx.keep_live_count + 1;
+    count ctx R_check;
     let addr = mk (Ast.AddrOf target) (Ctype.Ptr (Ast.typ target)) in
     mk
       (Ast.RuntimeCall
@@ -269,7 +365,7 @@ and op_assign ctx e op lv rhs : Ast.expr =
         | Mode.Safe ->
             (* x = KEEP_LIVE(x op rhs, x) *)
             let arith = mk (Ast.Binop (op, lv, rhs')) ty in
-            mk (Ast.Assign (lv, keep_live ctx arith x)) ty
+            mk (Ast.Assign (lv, keep_live ctx ~rule:R_arith arith x)) ty
         | Mode.Checked ->
             (* cast-to-T of GC_pre_incr(&x, rhs scaled by the element size) *)
             checked_incr ctx ~fn:"GC_pre_incr" ~lv
@@ -284,7 +380,7 @@ and op_assign ctx e op lv rhs : Ast.expr =
         let addr = mk (Ast.AddrOf lv') addr_ty in
         let addr =
           match Base_rules.baseaddr lv' with
-          | Base_rules.Var b -> keep_live ctx addr b
+          | Base_rules.Var b -> keep_live ctx ~rule:R_access addr b
           | Base_rules.Nil -> addr
           | Base_rules.Unnamed ->
               raise
@@ -301,7 +397,10 @@ and op_assign ctx e op lv rhs : Ast.expr =
             let load = mk (Ast.Assign (t2v, mk (Ast.Deref t1v) ty)) ty in
             let arith = mk (Ast.Binop (op, t2v, rhs')) ty in
             let store =
-              mk (Ast.Assign (mk (Ast.Deref t1v) ty, keep_live ctx arith t2)) ty
+              mk
+                (Ast.Assign
+                   (mk (Ast.Deref t1v) ty, keep_live ctx ~rule:R_arith arith t2))
+                ty
             in
             mk (Ast.Comma (bind_addr, mk (Ast.Comma (load, store)) ty)) ty
         | Mode.Checked ->
@@ -325,7 +424,7 @@ and scaled_delta ctx ty op rhs =
   | _ -> scaled
 
 and checked_incr ctx ~fn ~lv ~delta : Ast.expr =
-  ctx.keep_live_count <- ctx.keep_live_count + 1;
+  count ctx R_arith;
   let ty = Ast.typ lv in
   let addr = mk (Ast.AddrOf lv) (Ctype.Ptr ty) in
   mk
@@ -356,13 +455,15 @@ and incr_expand ctx e ~used k lv : Ast.expr =
           let tv = mk (Ast.Var t) ty in
           let bind = mk (Ast.Assign (tv, lv)) ty in
           let arith = mk (Ast.Binop (op, tv, one)) ty in
-          let update = mk (Ast.Assign (lv, keep_live ctx arith t)) ty in
+          let update =
+            mk (Ast.Assign (lv, keep_live ctx ~rule:R_arith arith t)) ty
+          in
           mk (Ast.Comma (bind, mk (Ast.Comma (update, tv)) ty)) ty
         end
         else
           (* value of the whole is the (new) value of x: a copy *)
           let arith = mk (Ast.Binop (op, lv, one)) ty in
-          mk (Ast.Assign (lv, keep_live ctx arith x)) ty
+          mk (Ast.Assign (lv, keep_live ctx ~rule:R_arith arith x)) ty
     | Ast.Var _, Mode.Checked ->
         let fn = if is_post then "GC_post_incr" else "GC_pre_incr" in
         let size = elem_size ctx ty in
@@ -390,7 +491,7 @@ and post_complex ctx op lv : Ast.expr =
   let addr = mk (Ast.AddrOf lv') addr_ty in
   let addr =
     match Base_rules.baseaddr lv' with
-    | Base_rules.Var b -> keep_live ctx addr b
+    | Base_rules.Var b -> keep_live ctx ~rule:R_access addr b
     | Base_rules.Nil | Base_rules.Unnamed -> addr
   in
   let bind_addr = mk (Ast.Assign (t1v, addr)) addr_ty in
@@ -402,7 +503,10 @@ and post_complex ctx op lv : Ast.expr =
       let load = mk (Ast.Assign (t2v, mk (Ast.Deref t1v) ty)) ty in
       let arith = mk (Ast.Binop (op, t2v, one)) ty in
       let store =
-        mk (Ast.Assign (mk (Ast.Deref t1v) ty, keep_live ctx arith t2)) ty
+        mk
+          (Ast.Assign
+             (mk (Ast.Deref t1v) ty, keep_live ctx ~rule:R_arith arith t2))
+          ty
       in
       mk
         (Ast.Comma
@@ -441,8 +545,16 @@ let rec ann_stmt ctx (s : Ast.stmt) : Ast.stmt =
      variables, which are roots *)
   let with_flag e f =
     ctx.stmt_has_call <- expr_has_call e;
+    (* the dataflow clients answer per program point; top-level
+       expressions keep their physical identity from CFG construction to
+       here, so the lookup pins the point for every nested site *)
+    ctx.cur_point <-
+      (match ctx.facts with
+      | Some facts -> Analysis.Summary.point_of facts e
+      | None -> None);
     let r = f e in
     ctx.stmt_has_call <- true;
+    ctx.cur_point <- None;
     r
   in
   match s.Ast.sdesc with
@@ -482,12 +594,16 @@ let rec ann_stmt ctx (s : Ast.stmt) : Ast.stmt =
 type result = {
   program : Ast.program;
   keep_live_count : int;  (** number of KEEP_LIVE / check insertions *)
+  stats : stats;  (** per-rule insertions and per-analysis suppressions *)
 }
 
 (** Annotate a type-annotated, {!Normalize}d program. *)
 let annotate_program ?(opts = Mode.default Mode.Safe) (p : Ast.program) :
     result =
   let count = ref 0 in
+  let inserted = Array.make (List.length all_rules) 0 in
+  let suppressed = Array.make (List.length all_reasons) 0 in
+  let sups = ref [] in
   let global_names = Hashtbl.create 16 in
   List.iter
     (function
@@ -504,23 +620,48 @@ let annotate_program ?(opts = Mode.default Mode.Safe) (p : Ast.program) :
                 opts;
                 tenv = p.Ast.prog_env;
                 temps = Temps.create ();
+                fname = f.Ast.f_name;
                 keep_live_count = 0;
+                inserted = Array.make (List.length all_rules) 0;
+                suppressed = Array.make (List.length all_reasons) 0;
+                sups = [];
                 possibly_heap =
                   (if opts.Mode.heapness_analysis then
                      Heapness.analyze ~global:is_global f
                    else Heapness.all_heapy);
+                facts =
+                  (match opts.Mode.analysis with
+                  | Mode.A_none -> None
+                  | Mode.A_flow ->
+                      Some (Analysis.Summary.analyze ~global:is_global f));
+                cur_point = None;
                 stmt_has_call = true;
               }
             in
             let body = ann_stmt ctx f.Ast.f_body in
             count := !count + ctx.keep_live_count;
+            Array.iteri (fun i n -> inserted.(i) <- inserted.(i) + n) ctx.inserted;
+            Array.iteri
+              (fun i n -> suppressed.(i) <- suppressed.(i) + n)
+              ctx.suppressed;
+            sups := ctx.sups @ !sups;
             Ast.Gfunc { f with Ast.f_body = Temps.splice_decls ctx.temps body }
         | (Ast.Gvar _ | Ast.Gstruct _ | Ast.Gproto _) as g -> g)
       p.Ast.prog_globals
   in
   let p' = { p with Ast.prog_globals = globals } in
   ignore (Typecheck.check_program p');
-  { program = p'; keep_live_count = !count }
+  {
+    program = p';
+    keep_live_count = !count;
+    stats =
+      {
+        st_by_rule = List.map (fun r -> (r, inserted.(rule_index r))) all_rules;
+        st_by_reason =
+          List.map (fun r -> (r, suppressed.(reason_index r))) all_reasons;
+        st_suppressions = List.rev !sups;
+      };
+  }
 
 (** The full preprocessor front half: type-check, normalize, annotate. *)
 let run ?(opts = Mode.default Mode.Safe) (p : Ast.program) : result =

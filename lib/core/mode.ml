@@ -12,6 +12,21 @@ type t = Safe | Checked
 
 let to_string = function Safe -> "safe" | Checked -> "checked"
 
+(** Which program analysis prunes annotation sites.
+
+    [A_none] is the paper's implementation: every possibly-heap site is
+    annotated.  [A_flow] runs the [lib/analysis] dataflow clients
+    (flow-sensitive heapness, demand-driven liveness, escape) and
+    suppresses sites they prove redundant. *)
+type analysis = A_none | A_flow
+
+let analysis_to_string = function A_none -> "none" | A_flow -> "flow"
+
+let analysis_of_string = function
+  | "none" -> Some A_none
+  | "flow" -> Some A_flow
+  | _ -> None
+
 type options = {
   mode : t;
   suppress_copies : bool;
@@ -38,6 +53,12 @@ type options = {
           statically allocated variables ... It would again be possible to
           insert dynamic checks to verify this" — in Checked mode, wrap
           pointer stores to non-local locations with GC_check_base *)
+  analysis : analysis;
+      (** dataflow-analysis-directed suppression of annotation sites (the
+          "sufficiently good program analysis" the paper points at).
+          [A_none] here so the library default reproduces the paper's
+          algorithm verbatim; the build harness and the CLI default to
+          [A_flow]. *)
 }
 
 let default mode =
@@ -49,4 +70,5 @@ let default mode =
     calls_only = false;
     heapness_analysis = false;
     check_base_stores = false;
+    analysis = A_none;
   }

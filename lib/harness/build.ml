@@ -32,9 +32,20 @@ type built = {
     that affects the produced code.  One record, so call sites stay
     stable as inputs are added and the artifact cache can key on the
     whole record. *)
-type options = { nregs : int; loop_heuristic : bool; use_cache : bool }
+type options = {
+  nregs : int;
+  loop_heuristic : bool;
+  use_cache : bool;
+  analysis : Gcsafe.Mode.analysis;
+}
 
-let default = { nregs = 32; loop_heuristic = false; use_cache = true }
+let default =
+  {
+    nregs = 32;
+    loop_heuristic = false;
+    use_cache = true;
+    analysis = Gcsafe.Mode.A_flow;
+  }
 
 let for_machine (m : Machine.Machdesc.t) =
   { default with nregs = m.Machine.Machdesc.md_regs }
@@ -55,7 +66,12 @@ let compile_uncached (options : options) (config : config) (source : string) :
         ignore (Csyntax.Typecheck.check_program ast);
         (ast, 0)
     | Safe | Safe_peephole ->
-        let opts = Gcsafe.Mode.default Gcsafe.Mode.Safe in
+        let opts =
+          {
+            (Gcsafe.Mode.default Gcsafe.Mode.Safe) with
+            Gcsafe.Mode.analysis = options.analysis;
+          }
+        in
         let r = Gcsafe.Annotate.run ~opts ast in
         let p =
           if loop_heuristic then Gcsafe.Loop_heuristic.apply r.Gcsafe.Annotate.program
@@ -63,7 +79,12 @@ let compile_uncached (options : options) (config : config) (source : string) :
         in
         (p, r.Gcsafe.Annotate.keep_live_count)
     | Debug_checked ->
-        let opts = Gcsafe.Mode.default Gcsafe.Mode.Checked in
+        let opts =
+          {
+            (Gcsafe.Mode.default Gcsafe.Mode.Checked) with
+            Gcsafe.Mode.analysis = options.analysis;
+          }
+        in
         let r = Gcsafe.Annotate.run ~opts ast in
         (r.Gcsafe.Annotate.program, r.Gcsafe.Annotate.keep_live_count)
   in
@@ -122,8 +143,9 @@ let reset_cache () =
    [use_cache] steers the lookup, not the artifact, and is excluded. *)
 let cache_key (options : options) (config : config) (source : string) : string
     =
-  Printf.sprintf "%s:%d:%b:%s" (config_name config) options.nregs
+  Printf.sprintf "%s:%d:%b:%s:%s" (config_name config) options.nregs
     options.loop_heuristic
+    (Gcsafe.Mode.analysis_to_string options.analysis)
     (Digest.to_hex (Digest.string source))
 
 let compile ?(options = default) (config : config) (source : string) : built =
@@ -132,7 +154,3 @@ let compile ?(options = default) (config : config) (source : string) : built =
       (cache_key options config source)
       (fun () -> compile_uncached options config source)
   else compile_uncached options config source
-
-let build ?(loop_heuristic = false) ?(nregs = 32) (config : config)
-    (source : string) : built =
-  compile ~options:{ default with nregs; loop_heuristic } config source

@@ -35,10 +35,15 @@ type options = {
           ("Only optimizations (1) and (2) from above are implemented"). *)
   use_cache : bool;
       (** consult the process-wide artifact cache (see {!cache_stats}) *)
+  analysis : Gcsafe.Mode.analysis;
+      (** which program analysis prunes annotation sites.  The harness
+          defaults to [A_flow] — annotate only what the dataflow clients
+          cannot prove redundant; [A_none] reproduces the paper's
+          implementation verbatim. *)
 }
 
 val default : options
-(** 32 registers, no loop heuristic, cache on. *)
+(** 32 registers, no loop heuristic, cache on, [A_flow] analysis. *)
 
 val for_machine : Machine.Machdesc.t -> options
 (** {!default} with the machine's register file size, so measurements
@@ -58,8 +63,8 @@ val compile : ?options:options -> config -> string -> built
 val cache_key : options -> config -> string -> string
 (** The content address of a build: the source digest plus every
     [options] field that affects the produced code (machine-register
-    count, loop heuristic — [use_cache] itself does not).  Injective in
-    those inputs (modulo digest collisions). *)
+    count, loop heuristic, analysis — [use_cache] itself does not).
+    Injective in those inputs (modulo digest collisions). *)
 
 val cache_stats : unit -> Exec.Cache.stats
 
@@ -71,11 +76,3 @@ val set_cache_enabled : bool -> unit
     every [compile] rebuilds regardless of [options.use_cache]. *)
 
 val cache_enabled : unit -> bool
-
-(** {1 Deprecated} *)
-
-val build : ?loop_heuristic:bool -> ?nregs:int -> config -> string -> built
-[@@ocaml.deprecated
-  "Use Build.compile with a Build.options record (Build.default, \
-   Build.for_machine).  This wrapper will be removed next release."]
-(** The pre-[options] entry point, kept for one release. *)

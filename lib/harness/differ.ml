@@ -12,13 +12,21 @@
 type subject = {
   s_config : Build.config;
   s_machine : Machine.Machdesc.t;
+  s_analysis : Gcsafe.Mode.analysis;
   s_built : Build.built;
 }
 
+(* the harness default ([A_flow]) stays untagged; the paper-verbatim
+   variant announces itself *)
 let subject_name s =
-  Printf.sprintf "%s @ %s"
+  let tag =
+    match s.s_analysis with
+    | Gcsafe.Mode.A_flow -> ""
+    | Gcsafe.Mode.A_none -> " [analysis=none]"
+  in
+  Printf.sprintf "%s @ %s%s"
     (Build.config_name s.s_config)
-    s.s_machine.Machine.Machdesc.md_name
+    s.s_machine.Machine.Machdesc.md_name tag
 
 let default_machines =
   [
@@ -27,41 +35,63 @@ let default_machines =
     Machine.Machdesc.pentium90;
   ]
 
-(** Build every configuration for every machine model.  Register
-    allocation is the only machine-dependent build step, so builds are
-    shared between machines with equal register counts — the
-    content-addressed artifact cache keys on the register count, so the
-    sharing falls out of {!Build.compile}.  [pool] fans the distinct
-    (config, register-count) builds out over worker domains. *)
+(* does annotation run at all for this configuration?  If not, the
+   analysis choice cannot affect the artifact and one subject suffices. *)
+let preprocessed = function
+  | Build.Safe | Build.Safe_peephole | Build.Debug_checked -> true
+  | Build.Base | Build.Debug -> false
+
+(** Build every configuration for every machine model and every analysis
+    variant.  Register allocation is the only machine-dependent build
+    step, so builds are shared between machines with equal register
+    counts — the content-addressed artifact cache keys on the register
+    count, so the sharing falls out of {!Build.compile}.  Unpreprocessed
+    configurations ([Base], [Debug]) get a single subject regardless of
+    [analyses].  [pool] fans the distinct (config, register-count,
+    analysis) builds out over worker domains. *)
 let build_matrix ?(configs = Build.all_configs) ?(machines = default_machines)
-    ?(pool = Exec.Pool.serial) source : subject list =
+    ?(analyses = [ Gcsafe.Mode.A_flow ]) ?(pool = Exec.Pool.serial) source :
+    subject list =
+  let variants config =
+    if preprocessed config then List.sort_uniq compare analyses
+    else [ Build.default.Build.analysis ]
+  in
   let distinct =
     List.sort_uniq compare
       (List.concat_map
          (fun (machine : Machine.Machdesc.t) ->
-           List.map
-             (fun config -> (config, machine.Machine.Machdesc.md_regs))
+           List.concat_map
+             (fun config ->
+               List.map
+                 (fun analysis ->
+                   (config, machine.Machine.Machdesc.md_regs, analysis))
+                 (variants config))
              configs)
          machines)
   in
   let built =
     Exec.Pool.map pool
-      (fun (config, nregs) ->
-        ( (config, nregs),
+      (fun ((config, nregs, analysis) as key) ->
+        ( key,
           Build.compile
-            ~options:{ Build.default with Build.nregs }
+            ~options:{ Build.default with Build.nregs; Build.analysis }
             config source ))
       distinct
   in
   List.concat_map
     (fun machine ->
       let nregs = machine.Machine.Machdesc.md_regs in
-      List.map
+      List.concat_map
         (fun config ->
-          { s_config = config;
-            s_machine = machine;
-            s_built = List.assoc (config, nregs) built;
-          })
+          List.map
+            (fun analysis ->
+              {
+                s_config = config;
+                s_machine = machine;
+                s_analysis = analysis;
+                s_built = List.assoc (config, nregs, analysis) built;
+              })
+            (variants config))
         configs)
     machines
 

@@ -10,10 +10,15 @@
 type subject = {
   s_config : Build.config;
   s_machine : Machine.Machdesc.t;
+  s_analysis : Gcsafe.Mode.analysis;
+      (** which analysis pruned the annotations this subject was built
+          with (meaningful for preprocessed configurations only) *)
   s_built : Build.built;
 }
 
 val subject_name : subject -> string
+(** ["config @ machine"], tagged with [" [analysis=none]"] for
+    paper-verbatim subjects. *)
 
 val default_machines : Machine.Machdesc.t list
 (** The paper's three machine models. *)
@@ -21,12 +26,15 @@ val default_machines : Machine.Machdesc.t list
 val build_matrix :
   ?configs:Build.config list ->
   ?machines:Machine.Machdesc.t list ->
+  ?analyses:Gcsafe.Mode.analysis list ->
   ?pool:Exec.Pool.t ->
   string ->
   subject list
-(** Build every configuration for every machine model (builds shared
-    between machines with equal register counts).  [pool] fans the
-    distinct builds out over worker domains. *)
+(** Build every configuration for every machine model and every
+    [analyses] variant (default [[A_flow]]; builds shared between
+    machines with equal register counts).  Unpreprocessed configurations
+    get one subject regardless of [analyses].  [pool] fans the distinct
+    builds out over worker domains. *)
 
 type obs =
   | Obs_ok of {

@@ -77,8 +77,15 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
               vs))
 
 (** Build and run one workload configuration on one machine. *)
-let run_config ?(machine = Machine.Machdesc.sparc10) config source : Build.built * outcome =
-  let b = Build.compile ~options:(Build.for_machine machine) config source in
+let run_config ?(machine = Machine.Machdesc.sparc10) ?analysis config source :
+    Build.built * outcome =
+  let options = Build.for_machine machine in
+  let options =
+    match analysis with
+    | None -> options
+    | Some a -> { options with Build.analysis = a }
+  in
+  let b = Build.compile ~options config source in
   (b, run ~machine b)
 
 (** Percentage slowdown relative to a baseline cycle count, rendered as in

@@ -39,7 +39,13 @@ val run :
     [async_gc] (which maps to {!Machine.Schedule.Every}). *)
 
 val run_config :
-  ?machine:Machine.Machdesc.t -> Build.config -> string -> Build.built * outcome
+  ?machine:Machine.Machdesc.t ->
+  ?analysis:Gcsafe.Mode.analysis ->
+  Build.config ->
+  string ->
+  Build.built * outcome
+(** Build and run one workload configuration on one machine.  [analysis]
+    overrides the harness default ({!Build.default}'s [A_flow]). *)
 
 val slowdown_cell : base_cycles:int -> outcome -> string
 (** Percentage slowdown rendered as in the paper's tables ("9%",

@@ -104,6 +104,66 @@ let size_table ?(machine = Machine.Machdesc.sparc10) ?(out = Format.std_formatte
     results;
   results
 
+(* ------------------------------------------------------------------ *)
+
+type analysis_row = {
+  a_workload : string;
+  a_keep_lives_none : int;  (** annotations under the paper's algorithm *)
+  a_keep_lives_flow : int;  (** annotations surviving the dataflow clients *)
+  a_base : Measure.outcome;
+  a_safe_none : Measure.outcome;  (** -O safe, analysis off *)
+  a_safe_flow : Measure.outcome;  (** -O safe, analysis on *)
+}
+
+(** Ablation of the [lib/analysis] dataflow clients: annotation counts
+    and -O safe running time with analysis off (the paper's algorithm)
+    and on. *)
+let analysis_table ?(machine = Machine.Machdesc.sparc10)
+    ?(out = Format.std_formatter) ?(suite = Workloads.Registry.paper_suite)
+    ?(pool = Exec.Pool.serial) () : analysis_row list =
+  let rows =
+    Exec.Pool.map pool
+      (fun w ->
+        let src = w.Workloads.Registry.w_source in
+        let _, base = Measure.run_config ~machine Build.Base src in
+        let bn, safe_none =
+          Measure.run_config ~machine ~analysis:Gcsafe.Mode.A_none Build.Safe
+            src
+        in
+        let bf, safe_flow =
+          Measure.run_config ~machine ~analysis:Gcsafe.Mode.A_flow Build.Safe
+            src
+        in
+        {
+          a_workload = w.Workloads.Registry.w_name;
+          a_keep_lives_none = bn.Build.b_keep_lives;
+          a_keep_lives_flow = bf.Build.b_keep_lives;
+          a_base = base;
+          a_safe_none = safe_none;
+          a_safe_flow = safe_flow;
+        })
+      suite
+  in
+  Format.fprintf out "Dataflow-analysis ablation, -O safe (%s):@."
+    machine.Machine.Machdesc.md_name;
+  Format.fprintf out "  %-10s%-10s%-10s%-10s%-14s%-14s@." "" "KL(none)"
+    "KL(flow)" "pruned" "time(none)" "time(flow)";
+  List.iter
+    (fun r ->
+      let base_cycles = Measure.base_cycles_exn r.a_base in
+      Format.fprintf out "  %-10s%-10d%-10d%-10s%-14s%-14s@." r.a_workload
+        r.a_keep_lives_none r.a_keep_lives_flow
+        (Printf.sprintf "%d%%"
+           (if r.a_keep_lives_none = 0 then 0
+            else
+              100
+              * (r.a_keep_lives_none - r.a_keep_lives_flow)
+              / r.a_keep_lives_none))
+        (Measure.slowdown_cell ~base_cycles r.a_safe_none)
+        (Measure.slowdown_cell ~base_cycles r.a_safe_flow))
+    rows;
+  rows
+
 (** T5: residual overhead of safe + peephole postprocessing, time and
     size (the paper measured this on the SPARCstation 10). *)
 let postprocessor_table ?(machine = Machine.Machdesc.sparc10)

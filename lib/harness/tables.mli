@@ -39,6 +39,26 @@ val size_table :
 (** T4: static code size expansion; returns
     [(workload, base_size, per-config sizes)]. *)
 
+type analysis_row = {
+  a_workload : string;
+  a_keep_lives_none : int;  (** annotations under the paper's algorithm *)
+  a_keep_lives_flow : int;  (** annotations surviving the dataflow clients *)
+  a_base : Measure.outcome;
+  a_safe_none : Measure.outcome;  (** -O safe, analysis off *)
+  a_safe_flow : Measure.outcome;  (** -O safe, analysis on *)
+}
+
+val analysis_table :
+  ?machine:Machine.Machdesc.t ->
+  ?out:Format.formatter ->
+  ?suite:Workloads.Registry.workload list ->
+  ?pool:Exec.Pool.t ->
+  unit ->
+  analysis_row list
+(** Ablation of the [lib/analysis] dataflow clients: per workload, the
+    KEEP_LIVE counts and the -O safe slowdown with analysis off (the
+    paper's algorithm) and on. *)
+
 val postprocessor_table :
   ?machine:Machine.Machdesc.t ->
   ?out:Format.formatter ->

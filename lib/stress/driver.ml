@@ -37,6 +37,10 @@ let mode_name = function
 type plan = {
   p_configs : Build.config list;
   p_machines : Machine.Machdesc.t list;
+  p_analyses : Gcsafe.Mode.analysis list;
+      (** analysis variants of the preprocessed configurations; more than
+          one cross-checks analysis-pruned builds against fully-annotated
+          ones under every schedule *)
   p_modes : mode list option;  (** [None]: choose per target size *)
   p_exhaustive_cap : int;
   p_max_instrs : int option;
@@ -48,6 +52,7 @@ let default_plan =
   {
     p_configs = Build.all_configs;
     p_machines = Differ.default_machines;
+    p_analyses = [ Gcsafe.Mode.A_flow ];
     p_modes = None;
     p_exhaustive_cap = 2000;
     p_max_instrs = None;
@@ -110,7 +115,7 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
   let fn_locs = Corpus.function_locs target.Corpus.t_source in
   let subjects =
     Differ.build_matrix ~configs:plan.p_configs ~machines:plan.p_machines
-      ~pool target.Corpus.t_source
+      ~analyses:plan.p_analyses ~pool target.Corpus.t_source
   in
   (* [observe_raw] may run on a worker domain and must not touch shared
      state; run accounting happens on the submitting thread, in serial

@@ -12,6 +12,10 @@ val mode_name : mode -> string
 type plan = {
   p_configs : Harness.Build.config list;
   p_machines : Machine.Machdesc.t list;
+  p_analyses : Gcsafe.Mode.analysis list;
+      (** analysis variants of the preprocessed configurations; more than
+          one cross-checks analysis-pruned builds against fully-annotated
+          ones under every schedule *)
   p_modes : mode list option;  (** [None]: choose per target size *)
   p_exhaustive_cap : int;
   p_max_instrs : int option;

@@ -153,14 +153,6 @@ let test_build_no_cache () =
   Build.set_cache_enabled true;
   Alcotest.(check bool) "process-wide escape hatch" true (not (b3 == b4))
 
-(* --- deprecated wrapper still answers --------------------------------- *)
-
-let test_deprecated_wrapper () =
-  let b =
-    (Build.build ~nregs:8 [@alert "-deprecated"]) Build.Base src_cached
-  in
-  Alcotest.(check bool) "wrapper builds" true (b.Build.b_size > 0)
-
 (* --- qcheck: the cache key is injective in the build inputs ----------- *)
 
 let sources = [| src_cached; "int main(void) { return 1; }"; "long g;" |]
@@ -170,15 +162,18 @@ let gen_input =
     let* nregs = int_range 1 64 in
     let* loop_heuristic = bool in
     let* use_cache = bool in
+    let* analysis = oneofl [ Gcsafe.Mode.A_none; Gcsafe.Mode.A_flow ] in
     let* config = oneofl Build.all_configs in
     let* source = oneofl (Array.to_list sources) in
-    return ({ Build.nregs; loop_heuristic; use_cache }, config, source))
+    return ({ Build.nregs; loop_heuristic; use_cache; analysis }, config, source))
 
 let arb_input =
   QCheck.make
     ~print:(fun (o, c, s) ->
-      Printf.sprintf "{nregs=%d; loop=%b; cache=%b} %s %S" o.Build.nregs
-        o.Build.loop_heuristic o.Build.use_cache (Build.config_name c) s)
+      Printf.sprintf "{nregs=%d; loop=%b; cache=%b; analysis=%s} %s %S"
+        o.Build.nregs o.Build.loop_heuristic o.Build.use_cache
+        (Gcsafe.Mode.analysis_to_string o.Build.analysis)
+        (Build.config_name c) s)
     gen_input
 
 let prop_cache_key_injective =
@@ -188,6 +183,7 @@ let prop_cache_key_injective =
       let same_inputs =
         o1.Build.nregs = o2.Build.nregs
         && o1.Build.loop_heuristic = o2.Build.loop_heuristic
+        && o1.Build.analysis = o2.Build.analysis
         && c1 = c2 && s1 = s2
       in
       (* use_cache steers the lookup, not the artifact: it must not
@@ -271,8 +267,6 @@ let suite =
       test_build_cache_parallel_single_flight;
     Alcotest.test_case "build cache: escape hatches" `Quick
       test_build_no_cache;
-    Alcotest.test_case "deprecated Build.build wrapper" `Quick
-      test_deprecated_wrapper;
     QCheck_alcotest.to_alcotest prop_cache_key_injective;
     Alcotest.test_case "diagnostics: exit codes" `Quick
       test_diagnostics_exit_codes;

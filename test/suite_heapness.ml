@@ -152,6 +152,79 @@ int main(void) {
     base
     (run (annotate src).Annotate.program)
 
+let test_mutual_recursion_heap_kept () =
+  (* a heap list walked by two mutually recursive functions: the verdict
+     must stay heapy across both, through parameters *)
+  let src =
+    {|struct node { struct node *next; long v; };
+long len_a(struct node *p);
+long len_b(struct node *p) {
+  if (!p) return 0;
+  return 1 + len_a(p->next);
+}
+long len_a(struct node *p) {
+  if (!p) return 0;
+  return 1 + len_b(p->next);
+}|}
+  in
+  Alcotest.(check int) "both walkers stay annotated"
+    (count ~heapness:false src) (count src)
+
+let test_mutual_recursion_stack_clean () =
+  (* mutually recursive functions whose pointers only ever address their
+     own frames: nothing to keep live *)
+  let src =
+    {|long f(long n);
+long g(long n) {
+  char buf[4];
+  char *p = buf;
+  *p = 1;
+  if (n) return f(n - 1);
+  return *p;
+}
+long f(long n) {
+  char buf[4];
+  char *q = buf;
+  *q = 2;
+  if (n) return g(n - 1);
+  return *q;
+}|}
+  in
+  Alcotest.(check int) "no annotations in either function" 0 (count src)
+
+let test_struct_field_heap_pointer () =
+  (* a pointer loaded from a struct field may address the heap even when
+     the struct itself lives on the stack *)
+  let src =
+    {|struct s { char *ptr; };
+char f(void) {
+  struct s v;
+  char *p;
+  v.ptr = (char *)malloc(8);
+  p = v.ptr;
+  return p[1];
+}|}
+  in
+  Alcotest.(check bool) "field-loaded pointer stays wrapped" true
+    (contains (printed src) "KEEP_LIVE")
+
+let test_struct_field_stays_conservative () =
+  (* field contents are not tracked per-field: even a field holding a
+     stack pointer keeps its loads annotated *)
+  let src =
+    {|struct s { char *ptr; };
+char f(void) {
+  char buf[8];
+  struct s v;
+  char *p;
+  v.ptr = buf;
+  p = v.ptr;
+  return p[1];
+}|}
+  in
+  Alcotest.(check bool) "loads through fields stay wrapped" true
+    (contains (printed src) "KEEP_LIVE")
+
 let test_workload_counts_not_increased () =
   List.iter
     (fun w ->
@@ -174,6 +247,14 @@ let suite =
     Alcotest.test_case "copy-chain fixpoint" `Quick test_copy_chain_fixpoint;
     Alcotest.test_case "memory loads heapy" `Quick test_loads_are_heapy;
     Alcotest.test_case "conditional mix heapy" `Quick test_conditional_mix;
+    Alcotest.test_case "mutual recursion: heap list annotated" `Quick
+      test_mutual_recursion_heap_kept;
+    Alcotest.test_case "mutual recursion: stack frames clean" `Quick
+      test_mutual_recursion_stack_clean;
+    Alcotest.test_case "struct field: heap pointer wrapped" `Quick
+      test_struct_field_heap_pointer;
+    Alcotest.test_case "struct field: conservative" `Quick
+      test_struct_field_stays_conservative;
     Alcotest.test_case "semantics under async GC" `Quick
       test_semantics_preserved;
     Alcotest.test_case "workload counts monotone" `Quick

@@ -27,6 +27,7 @@ let () =
       ("safety", Suite_safety.suite);
       ("extensions", Suite_extensions.suite);
       ("heapness", Suite_heapness.suite);
+      ("analysis", Suite_analysis.suite);
       ("workloads", Suite_workloads.suite);
       ("harness", Suite_harness.suite);
       ("stress", Suite_stress.suite);
