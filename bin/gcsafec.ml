@@ -1,12 +1,14 @@
 (* gcsafec: the GC-safety preprocessor, checker and runner.
 
    Subcommands:
-     annotate   transform C source (GC-safe or checked mode) and print it
-     check      run the pointer-hiding source checker
-     run        build under a configuration and execute on the VM
-     ir         dump the compiled (optimized, register-allocated) IR
-     tables     regenerate one of the paper's tables
-     stress     fault-injected differential stress over the build matrix
+     annotate    transform C source (GC-safe or checked mode) and print it
+     check       run the pointer-hiding source checker
+     run         build under a configuration and execute on the VM
+     ir          dump the compiled (optimized, register-allocated) IR
+     tables      regenerate one of the paper's tables
+     stress      fault-injected differential stress over the build matrix
+     profile     allocation-site heap profile (drag, peak-live) per analysis
+     trace-check validate a Chrome trace-event JSON file
 
    Exit codes (see Harness.Diagnostics): 0 success, 1 finding/divergence,
    2 source or input error, 3 runtime fault detected, 4 resource limit,
@@ -163,6 +165,13 @@ let annotate_cmd =
     in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
+  let stats_out_arg =
+    let doc =
+      "Write the --stats JSON object to $(docv) instead of stderr (implies \
+       --stats)."
+    in
+    Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE" ~doc)
+  in
   let workload_arg =
     let doc =
       "Annotate a registered workload (cordtest, cfrac, gawk, gs, ...) \
@@ -199,11 +208,14 @@ let annotate_cmd =
           field "suppressed"
             (counts r.Gcsafe.Annotate.stats.Gcsafe.Annotate.st_by_reason
                Gcsafe.Annotate.reason_name);
+          field "by_func"
+            (counts r.Gcsafe.Annotate.stats.Gcsafe.Annotate.st_by_func
+               (fun f -> f));
         ]
     ^ "}"
   in
   let run mode analysis naive heuristic calls_only heapness base_stores patch
-      stats workload file =
+      stats stats_out workload file =
     handle_errors (fun () ->
         let source_name, src =
           match (workload, file) with
@@ -247,8 +259,14 @@ let annotate_cmd =
             else r.Gcsafe.Annotate.program
           in
           print_string (Csyntax.Pretty.program_to_string program);
-          if stats then
-            Printf.eprintf "%s\n" (stats_json ~source_name ~mode ~analysis r)
+          if stats || stats_out <> None then begin
+            let json = stats_json ~source_name ~mode ~analysis r in
+            match stats_out with
+            | Some path ->
+                Out_channel.with_open_text path (fun oc ->
+                    Out_channel.output_string oc (json ^ "\n"))
+            | None -> Printf.eprintf "%s\n" json
+          end
         end)
   in
   let doc = "annotate C source for GC-safety or pointer-arithmetic checking" in
@@ -257,7 +275,7 @@ let annotate_cmd =
     Term.(
       const run $ mode_arg $ analysis_arg $ naive_arg $ heuristic_arg
       $ calls_only_arg $ heapness_arg $ base_stores_arg $ patch_arg $ stats_arg
-      $ workload_arg $ opt_file_arg)
+      $ stats_out_arg $ workload_arg $ opt_file_arg)
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -307,13 +325,66 @@ let run_cmd =
     let doc = "Print cycle/instruction/GC statistics to stderr." in
     Arg.(value & flag & info [ "stats" ] ~doc)
   in
+  let trace_arg =
+    let doc =
+      "Record a Chrome trace-event timeline (build and VM spans, GC pauses, \
+       heap counters) and write it to $(docv) — loadable in Perfetto or \
+       chrome://tracing."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Collect the telemetry registry (VM step/dispatch counters, GC pause \
+       histogram, cache traffic) and print its snapshot to stderr."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let workload_arg =
+    let doc = "Run a registered workload instead of a FILE." in
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let opt_file_arg =
+    let doc = "C source file ('-' for standard input)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
   let run config machine analysis async gc_at gc_at_allocs integrity max_instrs
-      max_heap stats no_cache file =
+      max_heap stats trace metrics no_cache workload file =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
-        let src = read_input file in
+        let src =
+          match (workload, file) with
+          | Some w, None -> (
+              match Workloads.Registry.by_name w with
+              | Some wl -> wl.Workloads.Registry.w_source
+              | None ->
+                  Printf.eprintf "unknown workload: %s\n" w;
+                  exit 2)
+          | None, Some f -> read_input f
+          | Some _, Some _ ->
+              Printf.eprintf "give either FILE or --workload, not both\n";
+              exit 2
+          | None, None ->
+              Printf.eprintf "a FILE argument or --workload is required\n";
+              exit 2
+        in
+        let tracer = Option.map (fun _ -> Telemetry.Trace.create ()) trace in
+        let telemetry =
+          if trace <> None || metrics then
+            Some (Telemetry.Sink.make ?trace:tracer ())
+          else Telemetry.Sink.none
+        in
+        let finish_telemetry () =
+          (match (trace, tracer) with
+          | Some path, Some tr -> Telemetry.Trace.write_file tr path
+          | _ -> ());
+          if metrics then
+            Format.eprintf "%a@." Telemetry.Metrics.pp
+              (Telemetry.Metrics.snapshot
+                 (Telemetry.Sink.metrics telemetry))
+        in
         let b =
-          Harness.Build.compile
+          Harness.Build.compile ?telemetry
             ~options:
               {
                 (Harness.Build.for_machine machine) with
@@ -331,10 +402,11 @@ let run_cmd =
         in
         match
           Harness.Measure.run ~machine ~schedule ~check_integrity:integrity
-            ?max_instrs ?max_heap b
+            ?max_instrs ?max_heap ?telemetry b
         with
         | Harness.Measure.Ran r ->
             print_string r.Harness.Measure.o_output;
+            finish_telemetry ();
             if stats then
               Printf.eprintf
                 "config=%s machine=%s instrs=%d cycles=%d collections=%d \
@@ -344,6 +416,7 @@ let run_cmd =
                 r.Harness.Measure.o_cycles r.Harness.Measure.o_gc_count
                 r.Harness.Measure.o_size b.Harness.Build.b_keep_lives
         | o ->
+            finish_telemetry ();
             let outcome, message = Harness.Diagnostics.of_measure o in
             Harness.Diagnostics.report outcome message;
             exit (Harness.Diagnostics.exit_code outcome))
@@ -354,7 +427,8 @@ let run_cmd =
     Term.(
       const run $ config_arg $ machine_arg $ analysis_arg $ async_arg
       $ gc_at_arg $ gc_at_allocs_arg $ integrity_arg $ max_instrs_arg
-      $ max_heap_arg $ stats_arg $ no_cache_arg $ file_arg)
+      $ max_heap_arg $ stats_arg $ trace_arg $ metrics_arg $ no_cache_arg
+      $ workload_arg $ opt_file_arg)
 
 (* --- ir --------------------------------------------------------------------- *)
 
@@ -451,8 +525,16 @@ let stress_cmd =
       & opt (conv (parse, print)) [ Gcsafe.Mode.A_flow ]
       & info [ "analysis" ] ~docv:"ANALYSIS" ~doc)
   in
+  let trace_dir_arg =
+    let doc =
+      "Replay every finding's failing schedule under a span tracer and \
+       write the Chrome traces into $(docv) (created on demand)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+  in
   let run machines analyses every at_allocs exhaustive cap max_instrs max_heap
-      jobs no_cache targets =
+      trace_dir jobs no_cache targets =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let resolved =
@@ -486,6 +568,7 @@ let stress_cmd =
             Stress.Driver.p_max_instrs = max_instrs;
             Stress.Driver.p_max_heap = max_heap;
             Stress.Driver.p_jobs = jobs;
+            Stress.Driver.p_trace_dir = trace_dir;
           }
         in
         let report = Stress.Driver.run ~plan resolved in
@@ -501,8 +584,189 @@ let stress_cmd =
     (Cmd.info "stress" ~doc)
     Term.(
       const run $ machines_arg $ analyses_arg $ every_arg $ at_allocs_arg
-      $ exhaustive_arg $ cap_arg $ max_instrs_arg $ max_heap_arg $ jobs_arg
-      $ no_cache_arg $ targets_arg)
+      $ exhaustive_arg $ cap_arg $ max_instrs_arg $ max_heap_arg
+      $ trace_dir_arg $ jobs_arg $ no_cache_arg $ targets_arg)
+
+(* --- profile ----------------------------------------------------------------- *)
+
+let profile_cmd =
+  let analyses_arg =
+    let doc =
+      "Analyses to profile: 'none', 'flow', or 'both' (the default) to \
+       print a profile per variant — drag differences between the two are \
+       what the pruned KEEP_LIVE annotations cost or save in retained \
+       garbage."
+    in
+    let parse = function
+      | "none" -> Ok [ Gcsafe.Mode.A_none ]
+      | "flow" -> Ok [ Gcsafe.Mode.A_flow ]
+      | "both" -> Ok [ Gcsafe.Mode.A_none; Gcsafe.Mode.A_flow ]
+      | s -> Error (`Msg (Printf.sprintf "unknown analysis %s" s))
+    in
+    let print fmt a =
+      Format.pp_print_string fmt
+        (String.concat "," (List.map Gcsafe.Mode.analysis_to_string a))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) [ Gcsafe.Mode.A_none; Gcsafe.Mode.A_flow ]
+      & info [ "analysis" ] ~docv:"ANALYSIS" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the profile as one JSON document instead of tables." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Allocation volume (bytes) between automatic collections.  Small \
+       values reclaim garbage promptly, so drag measures retention rather \
+       than collector laziness."
+    in
+    Arg.(value & opt int 2048 & info [ "gc-threshold" ] ~docv:"BYTES" ~doc)
+  in
+  let workload_arg =
+    let doc = "Profile a registered workload instead of a FILE." in
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let opt_file_arg =
+    let doc = "C source file ('-' for standard input)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run config machine analyses json threshold max_instrs max_heap no_cache
+      workload file =
+    handle_errors (fun () ->
+        apply_cache_flag no_cache;
+        let source_name, src =
+          match (workload, file) with
+          | Some w, None -> (
+              match Workloads.Registry.by_name w with
+              | Some wl -> (w, wl.Workloads.Registry.w_source)
+              | None ->
+                  Printf.eprintf "unknown workload: %s\n" w;
+                  exit 2)
+          | None, Some f -> (f, read_input f)
+          | Some _, Some _ ->
+              Printf.eprintf "give either FILE or --workload, not both\n";
+              exit 2
+          | None, None ->
+              Printf.eprintf "a FILE argument or --workload is required\n";
+              exit 2
+        in
+        (* per-function KEEP_LIVE survivors, for the annotation column of
+           the drag table (preprocessed configurations only) *)
+        let keep_lives_by_func analysis =
+          match config with
+          | Harness.Build.Base | Harness.Build.Debug -> fun _ -> 0
+          | Harness.Build.Safe | Harness.Build.Safe_peephole
+          | Harness.Build.Debug_checked ->
+              let mode =
+                if config = Harness.Build.Debug_checked then
+                  Gcsafe.Mode.Checked
+                else Gcsafe.Mode.Safe
+              in
+              let opts =
+                { (Gcsafe.Mode.default mode) with Gcsafe.Mode.analysis }
+              in
+              let ast = Csyntax.Parser.parse_program src in
+              let r = Gcsafe.Annotate.run ~opts ast in
+              let tbl = Hashtbl.create 16 in
+              List.iter
+                (fun (f, n) -> Hashtbl.replace tbl f n)
+                r.Gcsafe.Annotate.stats.Gcsafe.Annotate.st_by_func;
+              fun f -> Option.value ~default:0 (Hashtbl.find_opt tbl f)
+        in
+        let profile_one analysis =
+          let b =
+            Harness.Build.compile
+              ~options:
+                {
+                  (Harness.Build.for_machine machine) with
+                  Harness.Build.analysis;
+                }
+              config src
+          in
+          let profiler = Telemetry.Heap_profiler.create () in
+          let telemetry = Some (Telemetry.Sink.make ~profiler ()) in
+          (match
+             Harness.Measure.run ~machine ~final_collect:true
+               ~gc_threshold:threshold ?max_instrs ?max_heap ?telemetry b
+           with
+          | Harness.Measure.Ran _ -> ()
+          | o ->
+              let outcome, message = Harness.Diagnostics.of_measure o in
+              Harness.Diagnostics.report outcome message;
+              exit (Harness.Diagnostics.exit_code outcome));
+          (analysis, Telemetry.Heap_profiler.report profiler)
+        in
+        let profiles = List.map profile_one analyses in
+        if json then
+          let doc =
+            Telemetry.Json.Obj
+              [
+                ("file", Telemetry.Json.Str source_name);
+                ("config", Telemetry.Json.Str (Harness.Build.config_name config));
+                ( "machine",
+                  Telemetry.Json.Str machine.Machine.Machdesc.md_name );
+                ("gc_threshold", Telemetry.Json.Int threshold);
+                ( "profiles",
+                  Telemetry.Json.List
+                    (List.map
+                       (fun (analysis, report) ->
+                         Telemetry.Json.Obj
+                           [
+                             ( "analysis",
+                               Telemetry.Json.Str
+                                 (Gcsafe.Mode.analysis_to_string analysis) );
+                             ( "profile",
+                               Telemetry.Heap_profiler.to_json report );
+                           ])
+                       profiles) );
+              ]
+          in
+          print_endline (Telemetry.Json.to_string doc)
+        else
+          List.iter
+            (fun (analysis, report) ->
+              Format.printf "== %s  (%s, %s, analysis=%s) ==@.%a@."
+                source_name
+                (Harness.Build.config_name config)
+                machine.Machine.Machdesc.md_name
+                (Gcsafe.Mode.analysis_to_string analysis)
+                (Telemetry.Heap_profiler.pp_table
+                   ~annotated:(keep_lives_by_func analysis))
+                report)
+            profiles)
+  in
+  let doc =
+    "profile heap allocation sites: peak-live bytes and reclamation drag, \
+     per analysis variant"
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ config_arg $ machine_arg $ analyses_arg $ json_arg
+      $ threshold_arg $ max_instrs_arg $ max_heap_arg $ no_cache_arg
+      $ workload_arg $ opt_file_arg)
+
+(* --- trace-check ------------------------------------------------------------- *)
+
+let trace_check_cmd =
+  let run file =
+    handle_errors (fun () ->
+        let text = read_input file in
+        match Telemetry.Json.parse text with
+        | Error e ->
+            Printf.eprintf "%s: JSON parse error: %s\n" file e;
+            exit 2
+        | Ok doc -> (
+            match Telemetry.Trace.check doc with
+            | Ok () -> Printf.printf "%s: valid trace\n" file
+            | Error e ->
+                Printf.eprintf "%s: invalid trace: %s\n" file e;
+                exit 1))
+  in
+  let doc = "validate a Chrome trace-event JSON file (structure and span nesting)" in
+  Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
 
 (* --- tables ------------------------------------------------------------------ *)
 
@@ -530,4 +794,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ annotate_cmd; check_cmd; run_cmd; ir_cmd; tables_cmd; stress_cmd ]))
+          [
+            annotate_cmd;
+            check_cmd;
+            run_cmd;
+            ir_cmd;
+            tables_cmd;
+            stress_cmd;
+            profile_cmd;
+            trace_check_cmd;
+          ]))

@@ -60,6 +60,9 @@ type stats = {
   st_by_rule : (rule * int) list;  (** insertions per rule *)
   st_by_reason : (reason * int) list;  (** suppressions per analysis *)
   st_suppressions : suppression list;  (** every suppressed site, in order *)
+  st_by_func : (string * int) list;
+      (** insertions per function, in program order — what the heap
+          profiler joins against alloc-site function names *)
 }
 
 let rule_index = function R_value -> 0 | R_access -> 1 | R_arith -> 2 | R_check -> 3
@@ -604,6 +607,7 @@ let annotate_program ?(opts = Mode.default Mode.Safe) (p : Ast.program) :
   let inserted = Array.make (List.length all_rules) 0 in
   let suppressed = Array.make (List.length all_reasons) 0 in
   let sups = ref [] in
+  let by_func = ref [] in
   let global_names = Hashtbl.create 16 in
   List.iter
     (function
@@ -645,6 +649,7 @@ let annotate_program ?(opts = Mode.default Mode.Safe) (p : Ast.program) :
               (fun i n -> suppressed.(i) <- suppressed.(i) + n)
               ctx.suppressed;
             sups := ctx.sups @ !sups;
+            by_func := (f.Ast.f_name, ctx.keep_live_count) :: !by_func;
             Ast.Gfunc { f with Ast.f_body = Temps.splice_decls ctx.temps body }
         | (Ast.Gvar _ | Ast.Gstruct _ | Ast.Gproto _) as g -> g)
       p.Ast.prog_globals
@@ -660,6 +665,7 @@ let annotate_program ?(opts = Mode.default Mode.Safe) (p : Ast.program) :
         st_by_reason =
           List.map (fun r -> (r, suppressed.(reason_index r))) all_reasons;
         st_suppressions = List.rev !sups;
+        st_by_func = List.rev !by_func;
       };
   }
 

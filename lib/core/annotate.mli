@@ -49,6 +49,9 @@ type stats = {
   st_by_rule : (rule * int) list;  (** insertions per rule *)
   st_by_reason : (reason * int) list;  (** suppressions per analysis *)
   st_suppressions : suppression list;  (** every suppressed site, in order *)
+  st_by_func : (string * int) list;
+      (** insertions per function, in program order — joins against the
+          heap profiler's per-site function names *)
 }
 
 type result = {

@@ -77,20 +77,20 @@ let enforce_capacity t ~fresh =
 let enforce_capacity t ~fresh =
   try enforce_capacity t ~fresh with Exit -> ()
 
-let rec find_or_build t key build =
+let rec find_or_build_outcome t key build =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.table key with
   | Some (Ready v) ->
       t.hits <- t.hits + 1;
       touch t key;
       Mutex.unlock t.lock;
-      v
+      (v, true)
   | Some Building ->
       (* The in-flight builder broadcasts on resolution (or on failure,
          after releasing the slot — then one waiter retries as builder). *)
       Condition.wait t.settled t.lock;
       Mutex.unlock t.lock;
-      find_or_build t key build
+      find_or_build_outcome t key build
   | None -> (
       t.misses <- t.misses + 1;
       Hashtbl.replace t.table key Building;
@@ -103,7 +103,7 @@ let rec find_or_build t key build =
           enforce_capacity t ~fresh:key;
           Condition.broadcast t.settled;
           Mutex.unlock t.lock;
-          v
+          (v, false)
       | exception e ->
           Mutex.lock t.lock;
           Hashtbl.remove t.table key;
@@ -111,6 +111,8 @@ let rec find_or_build t key build =
           Condition.broadcast t.settled;
           Mutex.unlock t.lock;
           raise e)
+
+let find_or_build t key build = fst (find_or_build_outcome t key build)
 
 let mem t key =
   Mutex.lock t.lock;

@@ -30,6 +30,13 @@ val find_or_build : 'v t -> string -> (unit -> 'v) -> 'v
     and counts as a hit.  If [build] raises, the slot is released, every
     waiter fails over to building, and the exception propagates. *)
 
+val find_or_build_outcome : 'v t -> string -> (unit -> 'v) -> 'v * bool
+(** Like {!find_or_build}, but also tells the caller how the lookup
+    settled: [true] for a hit (including waiting out an in-flight
+    build), [false] when this call ran the builder.  This is what lets
+    callers maintain their own per-session counters on top of the
+    cache's process-wide ones. *)
+
 val mem : 'v t -> string -> bool
 (** The key holds a finished artifact (does not touch the counters). *)
 

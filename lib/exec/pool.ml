@@ -69,7 +69,10 @@ let create ?jobs () =
   in
   if p_jobs > 1 then
     t.domains <-
-      List.init (p_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+      List.init (p_jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Telemetry.Trace.register_lane (Printf.sprintf "worker-%d" (i + 1));
+              worker t));
   t
 
 let serial = create ~jobs:1 ()

@@ -46,6 +46,8 @@ type t = {
   mutable since_gc : int;  (** bytes allocated since the last collection *)
   mutable roots : (int * int) list;
       (** extra permanent root ranges [start, stop) — e.g. the VM stack *)
+  mutable on_free : (addr:int -> bytes:int -> unit) option;
+      (** observer called for every object the sweeper reclaims *)
 }
 
 exception Check_failure of string
@@ -76,6 +78,7 @@ let create ?(config = default_config ()) () =
       };
     since_gc = 0;
     roots = [];
+    on_free = None;
   }
 
 let add_root_range t start stop = t.roots <- (start, stop) :: t.roots
@@ -285,6 +288,9 @@ let sweep t =
             incr freed;
             freed_bytes := !freed_bytes + blk.Block.blk_req.(i);
             let addr = Block.slot_addr blk i in
+            (match t.on_free with
+            | Some f -> f ~addr ~bytes:blk.Block.blk_req.(i)
+            | None -> ());
             if t.config.poison then
               Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
             (* small-class slots return to their free list; large blocks

@@ -39,6 +39,10 @@ type t = {
   stats : stats;
   mutable since_gc : int;
   mutable roots : (int * int) list;
+  mutable on_free : (addr:int -> bytes:int -> unit) option;
+      (** observer called with the base address and requested size of
+          every object the sweeper reclaims — the heap profiler hangs
+          off this; [None] (the default) costs one test per free *)
 }
 
 exception Check_failure of string

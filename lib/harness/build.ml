@@ -148,9 +148,48 @@ let cache_key (options : options) (config : config) (source : string) : string
     (Gcsafe.Mode.analysis_to_string options.analysis)
     (Digest.to_hex (Digest.string source))
 
-let compile ?(options = default) (config : config) (source : string) : built =
-  if options.use_cache && Atomic.get enabled then
-    Exec.Cache.find_or_build cache
-      (cache_key options config source)
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A session is a baseline snapshot of the process-wide counters; its
+   stats are the componentwise delta, so back-to-back consumers (bench
+   sections, CLI invocations) observe only their own traffic. *)
+type session = { s_base : Exec.Cache.stats }
+
+let new_session () = { s_base = Exec.Cache.stats cache }
+
+let session_stats (s : session) : Exec.Cache.stats =
+  let now = Exec.Cache.stats cache in
+  {
+    Exec.Cache.hits = now.Exec.Cache.hits - s.s_base.Exec.Cache.hits;
+    misses = now.Exec.Cache.misses - s.s_base.Exec.Cache.misses;
+    evictions = now.Exec.Cache.evictions - s.s_base.Exec.Cache.evictions;
+    entries = now.Exec.Cache.entries;
+  }
+
+let compile ?telemetry ?(options = default) (config : config)
+    (source : string) : built =
+  let m = Telemetry.Sink.metrics telemetry in
+  let m = Telemetry.Metrics.scope m "build" in
+  let do_compile () =
+    Telemetry.Sink.with_span telemetry
+      ~args:[ ("config", Telemetry.Json.Str (config_name config)) ]
+      "build.compile"
       (fun () -> compile_uncached options config source)
-  else compile_uncached options config source
+  in
+  if options.use_cache && Atomic.get enabled then begin
+    let built, hit =
+      Exec.Cache.find_or_build_outcome cache
+        (cache_key options config source)
+        do_compile
+    in
+    Telemetry.Metrics.incr
+      (Telemetry.Metrics.counter m
+         (if hit then "cache/hits" else "cache/misses"));
+    built
+  end
+  else begin
+    Telemetry.Metrics.incr (Telemetry.Metrics.counter m "cache/bypass");
+    do_compile ()
+  end

@@ -50,13 +50,34 @@ val for_machine : Machine.Machdesc.t -> options
     claiming a machine model are compiled for that machine's register
     pressure. *)
 
-val compile : ?options:options -> config -> string -> built
+val compile : ?telemetry:Telemetry.Sink.t -> ?options:options -> config -> string -> built
 (** Annotate (when the configuration calls for it), compile, optimize
     and register-allocate a source program.  Memoized in a process-wide
     content-addressed cache (see {!cache_key}) unless caching is
     disabled; cache hits return the physically-equal [built].  Safe to
     call from several domains at once: concurrent builds of the same key
-    run once. *)
+    run once.
+
+    With [telemetry], actual compilations run under a [build.compile]
+    span, and per-call cache outcomes land in the sink's registry as
+    [build/cache/{hits,misses,bypass}] — counters scoped to this sink,
+    not the process. *)
+
+(** {1 Sessions}
+
+    The cache and its counters are process-wide by design (that is what
+    makes cross-consumer memoization work), which used to mean
+    back-to-back bench sections inherited each other's hit rates.  A
+    session snapshots the counters at creation; {!session_stats} is the
+    delta since, i.e. the traffic attributable to the session alone. *)
+
+type session
+
+val new_session : unit -> session
+
+val session_stats : session -> Exec.Cache.stats
+(** Hits/misses/evictions since {!new_session}; [entries] is current
+    residency (not a delta). *)
 
 (** {1 The artifact cache} *)
 

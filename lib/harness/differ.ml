@@ -143,10 +143,10 @@ let describe_obs = function
 (** Execute [subject] under [schedule].  Integrity checking and the final
     collection default to on: differential runs always sanitize. *)
 let observe ?(check_integrity = true) ?max_instrs ?max_heap ?gc_point_sink
-    ~schedule subject : obs =
+    ?telemetry ~schedule subject : obs =
   obs_of_outcome
     (Measure.run ~machine:subject.s_machine ~schedule ~check_integrity
-       ~final_collect:true ?max_instrs ?max_heap ?gc_point_sink
+       ~final_collect:true ?max_instrs ?max_heap ?gc_point_sink ?telemetry
        subject.s_built)
 
 (** How an observation deviates from the reference behaviour. *)

@@ -60,11 +60,14 @@ val observe :
   ?max_instrs:int ->
   ?max_heap:int ->
   ?gc_point_sink:(int -> string -> unit) ->
+  ?telemetry:Telemetry.Sink.t ->
   schedule:Machine.Schedule.t ->
   subject ->
   obs
 (** Execute one subject under one schedule.  Integrity checking and the
-    final collection default to on: differential runs always sanitize. *)
+    final collection default to on: differential runs always sanitize.
+    [telemetry] threads a sink into the VM — the stress driver replays
+    findings under a tracer to capture their timelines. *)
 
 type mismatch =
   | Output_diff of { exp : string; got : string }

@@ -30,7 +30,7 @@ let describe = function
 
 let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
     ?(check_integrity = false) ?(final_collect = false) ?max_instrs ?max_heap
-    ?gc_point_sink (b : Build.built) : outcome =
+    ?gc_threshold ?gc_point_sink ?telemetry (b : Build.built) : outcome =
   let vm_gc_schedule =
     match (schedule, async_gc) with
     | Some s, _ -> s
@@ -48,7 +48,10 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
         Option.value ~default:dc.Machine.Vm.vm_max_instrs max_instrs;
       Machine.Vm.vm_max_heap_bytes =
         Option.value ~default:dc.Machine.Vm.vm_max_heap_bytes max_heap;
+      Machine.Vm.vm_gc_threshold =
+        Option.value ~default:dc.Machine.Vm.vm_gc_threshold gc_threshold;
       Machine.Vm.vm_gc_point_sink = gc_point_sink;
+      Machine.Vm.vm_telemetry = telemetry;
     }
   in
   try

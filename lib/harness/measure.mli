@@ -32,11 +32,17 @@ val run :
   ?final_collect:bool ->
   ?max_instrs:int ->
   ?max_heap:int ->
+  ?gc_threshold:int ->
   ?gc_point_sink:(int -> string -> unit) ->
+  ?telemetry:Telemetry.Sink.t ->
   Build.built ->
   outcome
 (** Execute a built program.  [schedule] takes precedence over the legacy
-    [async_gc] (which maps to {!Machine.Schedule.Every}). *)
+    [async_gc] (which maps to {!Machine.Schedule.Every}).  [telemetry]
+    threads a sink into the VM (metrics, tracing, heap profiling);
+    [gc_threshold] overrides the allocation volume between automatic
+    collections (the profiler uses a small threshold to observe drag at
+    fine grain). *)
 
 val run_config :
   ?machine:Machine.Machdesc.t ->

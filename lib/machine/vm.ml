@@ -60,6 +60,9 @@ type config = {
           [r_gc_points], a sink observes points even when the run later
           faults, which is what the schedule shrinker replays *)
   vm_stack_bytes : int;
+  vm_telemetry : Telemetry.Sink.t option;
+      (** metrics / span tracing / heap profiling; [None] costs one
+          dead-branch test per instruction *)
 }
 
 let default_config ?(machine = Machdesc.sparc10) () =
@@ -75,6 +78,118 @@ let default_config ?(machine = Machdesc.sparc10) () =
     vm_final_collect = false;
     vm_gc_point_sink = None;
     vm_stack_bytes = 256 * 1024;
+    vm_telemetry = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Alloc-call instructions are keyed by physical identity: the program
+   structure is static during a run, and structurally equal calls at
+   different sites must stay distinct. *)
+module Instrtbl = Hashtbl.Make (struct
+  type t = instr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let alloc_builtin = function
+  | "malloc" | "GC_malloc" | "GC_malloc_atomic" | "calloc" | "realloc" -> true
+  | _ -> false
+
+(* Site ids are [fn:callee#k] with [k] the ordinal of the call among
+   same-callee alloc calls of the function, counted in static
+   block-label order.  Annotation passes insert or remove [KeepLive]
+   markers but never alloc calls, so ids join across
+   [--analysis none|flow] builds of one program. *)
+let site_table (p : program) =
+  let tab = Instrtbl.create 64 in
+  List.iter
+    (fun (f : func) ->
+      let ord = Hashtbl.create 8 in
+      let blocks =
+        List.sort (fun a b -> compare a.b_label b.b_label) f.fn_blocks
+      in
+      List.iter
+        (fun b ->
+          List.iter
+            (fun i ->
+              match i with
+              | Call (_, callee, _) when alloc_builtin callee ->
+                  let k =
+                    Option.value ~default:0 (Hashtbl.find_opt ord callee)
+                  in
+                  Hashtbl.replace ord callee (k + 1);
+                  Instrtbl.replace tab i
+                    (Printf.sprintf "%s:%s#%d" f.fn_name callee k)
+              | _ -> ())
+            b.b_instrs)
+        blocks)
+    p.p_funcs;
+  tab
+
+let dispatch_class_names =
+  [| "mov"; "alu"; "rel"; "load"; "store"; "push"; "call"; "keep_live";
+     "branch" |]
+
+let class_of_instr = function
+  | Mov _ | Opaque _ -> 0
+  | Bin _ -> 1
+  | Rel _ -> 2
+  | Load _ -> 3
+  | Store _ -> 4
+  | Push _ -> 5
+  | Call _ -> 6
+  | KeepLive _ -> 7
+
+type tele = {
+  tl_on : bool;
+  tl_trace : Telemetry.Trace.t option;
+  tl_prof : Telemetry.Heap_profiler.t option;
+  tl_steps : Telemetry.Metrics.counter;
+  tl_dispatch : Telemetry.Metrics.counter array;  (** by {!class_of_instr} *)
+  tl_gc : Telemetry.Metrics.counter;
+  tl_gc_pause : Telemetry.Metrics.histogram;  (** nanoseconds *)
+  tl_gc_words : Telemetry.Metrics.counter;
+  tl_gc_objs_freed : Telemetry.Metrics.counter;
+  tl_gc_bytes_freed : Telemetry.Metrics.counter;
+  tl_heap_foot : Telemetry.Metrics.gauge;
+  tl_alloc_bytes : Telemetry.Metrics.histogram;
+  tl_faults : Telemetry.Metrics.counter;
+  tl_traps : Telemetry.Metrics.counter;
+  tl_sites : string Instrtbl.t;
+  mutable tl_cur_site : string;
+}
+
+let make_tele sink p =
+  let m = Telemetry.Sink.metrics sink in
+  let m = Telemetry.Metrics.scope m "vm" in
+  let trace = match sink with Some s -> s.Telemetry.Sink.trace | None -> None in
+  let prof =
+    match sink with Some s -> s.Telemetry.Sink.profiler | None -> None
+  in
+  {
+    tl_on = sink <> None;
+    tl_trace = trace;
+    tl_prof = prof;
+    tl_steps = Telemetry.Metrics.counter m "steps";
+    tl_dispatch =
+      Array.map
+        (fun c -> Telemetry.Metrics.counter m ("dispatch/" ^ c))
+        dispatch_class_names;
+    tl_gc = Telemetry.Metrics.counter m "gc/collections";
+    tl_gc_pause = Telemetry.Metrics.histogram m "gc/pause_ns";
+    tl_gc_words = Telemetry.Metrics.counter m "gc/words_scanned";
+    tl_gc_objs_freed = Telemetry.Metrics.counter m "gc/objects_freed";
+    tl_gc_bytes_freed = Telemetry.Metrics.counter m "gc/bytes_freed";
+    tl_heap_foot = Telemetry.Metrics.gauge m "heap/footprint";
+    tl_alloc_bytes = Telemetry.Metrics.histogram m "alloc/bytes";
+    tl_faults = Telemetry.Metrics.counter m "faults";
+    tl_traps = Telemetry.Metrics.counter m "traps";
+    tl_sites = (match prof with Some _ -> site_table p | None -> Instrtbl.create 1);
+    tl_cur_site = "?";
   }
 
 type frame = {
@@ -106,6 +221,7 @@ type state = {
   mutable gc_points : (int * string) list;
       (** injected collections that actually fired: safepoint index and a
           program-location description (innermost first) *)
+  tele : tele;
 }
 
 type result = {
@@ -152,6 +268,12 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
   in
   let funcs = Hashtbl.create 16 in
   List.iter (fun f -> Hashtbl.replace funcs f.fn_name f) p.p_funcs;
+  let tele = make_tele cfg.vm_telemetry p in
+  (match tele.tl_prof with
+  | Some pr ->
+      heap.Gcheap.Heap.on_free <-
+        Some (fun ~addr ~bytes:_ -> Telemetry.Heap_profiler.on_free pr ~addr)
+  | None -> ());
   {
     cfg;
     heap;
@@ -169,13 +291,29 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
     arg_queue = [];
     at_call = false;
     gc_points = [];
+    tele;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Collection                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let collect st =
+let collect ?(trigger = "auto") st =
+  let tl = st.tele in
+  let t0 = if tl.tl_on then Unix.gettimeofday () else 0. in
+  (match tl.tl_trace with
+  | Some tr ->
+      Telemetry.Trace.begin_span tr
+        ~args:[ ("trigger", Telemetry.Json.Str trigger) ]
+        "gc"
+  | None -> ());
+  (match tl.tl_prof with
+  | Some pr -> Telemetry.Heap_profiler.set_tick pr st.instrs
+  | None -> ());
+  let hs = st.heap.Gcheap.Heap.stats in
+  let words0 = hs.Gcheap.Heap.words_scanned in
+  let objs0 = hs.Gcheap.Heap.objects_freed in
+  let bytes0 = hs.Gcheap.Heap.bytes_freed in
   st.gc_count <- st.gc_count + 1;
   let roots =
     List.concat_map (fun fr -> Array.to_list fr.fr_regs) st.frames
@@ -185,6 +323,27 @@ let collect st =
   ignore
     (Gcheap.Heap.collect ~extra_roots:roots ~extra_ranges:[ live_stack ]
        st.heap);
+  if tl.tl_on then begin
+    let open Telemetry in
+    Metrics.incr tl.tl_gc;
+    Metrics.observe tl.tl_gc_pause
+      (Float.to_int ((Unix.gettimeofday () -. t0) *. 1e9));
+    Metrics.add tl.tl_gc_words (hs.Gcheap.Heap.words_scanned - words0);
+    Metrics.add tl.tl_gc_objs_freed (hs.Gcheap.Heap.objects_freed - objs0);
+    Metrics.add tl.tl_gc_bytes_freed (hs.Gcheap.Heap.bytes_freed - bytes0);
+    let foot = Gcheap.Heap.footprint st.heap in
+    Metrics.set tl.tl_heap_foot foot;
+    match tl.tl_trace with
+    | Some tr ->
+        Trace.end_span tr "gc";
+        Trace.counter tr "heap"
+          [
+            ("footprint", foot);
+            ( "live_bytes",
+              hs.Gcheap.Heap.bytes_allocated - hs.Gcheap.Heap.bytes_freed );
+          ]
+    | None -> ()
+  end;
   if st.cfg.vm_check_integrity then Gcheap.Heap.assert_integrity st.heap
 
 (** Where execution currently stands, for reporting a collection point:
@@ -208,7 +367,7 @@ let forced_collect st =
   let ctx = point_context st in
   st.gc_points <- (st.instrs, ctx) :: st.gc_points;
   Option.iter (fun sink -> sink st.instrs ctx) st.cfg.vm_gc_point_sink;
-  collect st
+  collect ~trigger:"forced" st
 
 (** Is an injected collection due at the current safepoint (the boundary
     after instruction [st.instrs])? *)
@@ -294,7 +453,17 @@ let check_access st addr len what =
          (Printf.sprintf
             "GC safety violation: %s of %d byte(s) at %#x hits unallocated \
              or collected memory"
-            what len addr))
+            what len addr));
+  match st.tele.tl_prof with
+  | Some pr -> (
+      (* last-use tracking: resolve to the object base.  [extent_of]
+         touches no heap counters, so profiling leaves stats intact. *)
+      match Gcheap.Heap.extent_of st.heap addr with
+      | Some (base, _) ->
+          Telemetry.Heap_profiler.set_tick pr st.instrs;
+          Telemetry.Heap_profiler.on_use pr ~addr:base
+      | None -> ())
+  | None -> ()
 
 let load_mem st width addr =
   check_access st addr (bytes_of_width width) "load";
@@ -317,6 +486,15 @@ let charge st n = st.cycles <- st.cycles + n
 let alloc ?kind st n =
   maybe_collect_for_alloc st;
   let a = Gcheap.Heap.alloc ?kind st.heap (max n 1) in
+  if st.tele.tl_on then begin
+    Telemetry.Metrics.observe st.tele.tl_alloc_bytes (max n 1);
+    match st.tele.tl_prof with
+    | Some pr ->
+        Telemetry.Heap_profiler.set_tick pr st.instrs;
+        Telemetry.Heap_profiler.on_alloc pr ~site:st.tele.tl_cur_site ~addr:a
+          ~bytes:(max n 1)
+    | None -> ()
+  end;
   check_heap_ceiling st;
   a
 
@@ -416,7 +594,7 @@ let builtin st name (args : int list) : int =
       try Gcheap.Heap.post_incr st.heap pp delta
       with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
   | "GC_collect", [] ->
-      collect st;
+      collect ~trigger:"explicit" st;
       0
   | "strlen", [ s ] ->
       let v = String.length (cstring st s) in
@@ -576,6 +754,16 @@ let rec step st =
           st.instrs <- st.instrs + 1;
           st.cycles <- st.cycles + instr_cost st fr i;
           st.at_call <- (match i with Call _ -> true | _ -> false);
+          if st.tele.tl_on then begin
+            Telemetry.Metrics.incr st.tele.tl_steps;
+            Telemetry.Metrics.incr st.tele.tl_dispatch.(class_of_instr i);
+            match st.tele.tl_prof with
+            | Some _ -> (
+                match Instrtbl.find_opt st.tele.tl_sites i with
+                | Some site -> st.tele.tl_cur_site <- site
+                | None -> ())
+            | None -> ()
+          end;
           (match i with
           | Mov (d, s) -> fr.fr_regs.(d) <- operand st fr s
           | Opaque (d, s) -> fr.fr_regs.(d) <- operand st fr s
@@ -616,6 +804,10 @@ let rec step st =
           (* terminator *)
           st.instrs <- st.instrs + 1;
           st.cycles <- st.cycles + st.cfg.vm_machine.Machdesc.md_cost_branch;
+          if st.tele.tl_on then begin
+            Telemetry.Metrics.incr st.tele.tl_steps;
+            Telemetry.Metrics.incr st.tele.tl_dispatch.(8)
+          end;
           (match fr.fr_block.b_term with
           | Jmp l -> jump st fr l
           | Br (c, l1, l2) ->
@@ -638,6 +830,25 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
   (match Hashtbl.find_opt st.funcs "main" with
   | Some f -> push_frame st f args None
   | None -> raise (Fault "no main function"));
+  let tl = st.tele in
+  let finally () =
+    (* faulting runs still get a closed trace and a finished profile *)
+    (match tl.tl_prof with
+    | Some pr ->
+        Telemetry.Heap_profiler.set_tick pr st.instrs;
+        Telemetry.Heap_profiler.finish pr
+    | None -> ());
+    match tl.tl_trace with
+    | Some tr -> Telemetry.Trace.end_span tr "vm.run"
+    | None -> ()
+  in
+  (match tl.tl_trace with
+  | Some tr ->
+      Telemetry.Trace.begin_span tr
+        ~args:[ ("machine", Telemetry.Json.Str config.vm_machine.Machdesc.md_name) ]
+        "vm.run"
+  | None -> ());
+  Fun.protect ~finally @@ fun () ->
   let exit_code = ref 0 in
   (try
      while true do
@@ -650,10 +861,33 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
                 Printf.sprintf "instruction budget exceeded (%d steps)"
                   config.vm_max_instrs ))
      done
-   with Exit_program code -> exit_code := code);
+   with
+  | Exit_program code -> exit_code := code
+  | Fault msg as e when tl.tl_on ->
+      Telemetry.Metrics.incr tl.tl_faults;
+      (match tl.tl_trace with
+      | Some tr ->
+          Telemetry.Trace.instant tr
+            ~args:[ ("msg", Telemetry.Json.Str msg) ]
+            "fault"
+      | None -> ());
+      raise e
+  | Trap (kind, msg) as e when tl.tl_on ->
+      Telemetry.Metrics.incr tl.tl_traps;
+      (match tl.tl_trace with
+      | Some tr ->
+          Telemetry.Trace.instant tr
+            ~args:
+              [
+                ("kind", Telemetry.Json.Str (trap_kind_name kind));
+                ("msg", Telemetry.Json.Str msg);
+              ]
+            "trap"
+      | None -> ());
+      raise e);
   if config.vm_final_collect then begin
     (* all frames are gone: only statics-reachable objects survive *)
-    collect st;
+    collect ~trigger:"final" st;
     st.gc_count <- st.gc_count - 1 (* not a program-visible collection *)
   end;
   let live_objects, live_bytes = Gcheap.Heap.live_summary st.heap in

@@ -47,6 +47,14 @@ type config = {
           [r_gc_points], a sink observes points even when the run later
           faults, which is what the schedule shrinker replays *)
   vm_stack_bytes : int;
+  vm_telemetry : Telemetry.Sink.t option;
+      (** metrics (instrument scope ["vm/..."]: steps, dispatch by opcode
+          class, GC pause/scan/free, alloc-size histogram, fault/trap
+          counts), span tracing ([vm.run] and per-collection [gc] spans,
+          fault/trap instants, heap counter track), and allocation-site
+          heap profiling (site ids [fn:callee#k], stable across
+          [--analysis] variants).  [None] — the default — costs one
+          dead-branch test per instruction. *)
 }
 
 val default_config : ?machine:Machdesc.t -> unit -> config

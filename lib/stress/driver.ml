@@ -46,6 +46,11 @@ type plan = {
   p_max_instrs : int option;
   p_max_heap : int option;
   p_jobs : int;  (** worker domains; 1 = the reference serial scan *)
+  p_trace_dir : string option;
+      (** when set, every finding's failing schedule is replayed under a
+          span tracer and the Chrome trace written here, so divergences
+          ship with a replayable timeline.  Capture replays are not
+          counted in [r_runs]: reports stay byte-identical. *)
 }
 
 let default_plan =
@@ -58,6 +63,7 @@ let default_plan =
     p_max_instrs = None;
     p_max_heap = None;
     p_jobs = 1;
+    p_trace_dir = None;
   }
 
 type kind =
@@ -84,6 +90,8 @@ type finding = {
       (** minimized point, program context, source location *)
   f_expected : bool;
       (** a known hazard of the conventional build, not a harness failure *)
+  f_trace : string option;
+      (** path of the captured Chrome trace ([p_trace_dir] set) *)
 }
 
 type report = {
@@ -108,6 +116,20 @@ let is_fail = function
   | Some _, _ -> true
   | None, obs -> Differ.classify obs = Diagnostics.Corruption
 
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let sanitize_component s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    s
+
 (** One target against the whole matrix. *)
 let run_target ?(pool = Exec.Pool.serial) (plan : plan)
     (target : Corpus.target) : finding list * int * int =
@@ -120,13 +142,35 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
   (* [observe_raw] may run on a worker domain and must not touch shared
      state; run accounting happens on the submitting thread, in serial
      scan order, so [r_runs] is worker-count independent. *)
-  let observe_raw ?gc_point_sink ~schedule subject =
+  let observe_raw ?gc_point_sink ?telemetry ~schedule subject =
     Differ.observe ?max_instrs:plan.p_max_instrs ?max_heap:plan.p_max_heap
-      ?gc_point_sink ~schedule subject
+      ?gc_point_sink ?telemetry ~schedule subject
   in
   let observe ?gc_point_sink ~schedule subject =
     incr runs;
     observe_raw ?gc_point_sink ~schedule subject
+  in
+  (* Replay a finding's schedule under a tracer; uncounted, like any
+     other observe_raw, so trace capture never changes the report. *)
+  let trace_seq = ref 0 in
+  let capture_trace ~schedule s =
+    match plan.p_trace_dir with
+    | None -> None
+    | Some dir ->
+        mkdir_p dir;
+        let tr = Telemetry.Trace.create () in
+        let sink = Telemetry.Sink.make ~trace:tr () in
+        ignore (observe_raw ~telemetry:sink ~schedule s);
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "%s-%s-%d.trace.json"
+               (sanitize_component target.Corpus.t_name)
+               (sanitize_component (Differ.subject_name s))
+               !trace_seq)
+        in
+        incr trace_seq;
+        Telemetry.Trace.write_file tr path;
+        Some path
   in
   (* Uninjected behaviour of every subject, and the per-machine baseline. *)
   let auto =
@@ -177,6 +221,7 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
                 f_orig_points = 0;
                 f_contexts = [];
                 f_expected = false;
+                f_trace = capture_trace ~schedule:Schedule.Auto s;
               }
         | _ -> ()
       end)
@@ -331,6 +376,7 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
                        never happen. *)
                     f_expected =
                       (not corrupted) && s.Differ.s_config = Build.Base;
+                    f_trace = capture_trace ~schedule s;
                   }
               end
             end)
@@ -373,7 +419,10 @@ let pp_finding ppf f =
     (fun (k, ctx, loc) ->
       Format.fprintf ppf "    point %d: %s%s@," k ctx
         (match loc with Some l -> " (declared at " ^ l ^ ")" | None -> ""))
-    f.f_contexts
+    f.f_contexts;
+  match f.f_trace with
+  | Some path -> Format.fprintf ppf "  trace captured: %s@," path
+  | None -> ()
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

@@ -25,6 +25,11 @@ type plan = {
           reference serial scan.  Reports are identical for every value:
           parallel scans consume results in schedule order and count
           runs as the serial scan would. *)
+  p_trace_dir : string option;
+      (** when set, every finding's failing schedule is replayed under a
+          span tracer and the Chrome trace written to this directory
+          (created on demand); the path lands in [f_trace].  Capture
+          replays are not counted in [r_runs]. *)
 }
 
 val default_plan : plan
@@ -50,6 +55,8 @@ type finding = {
       (** minimized point, program context, source location *)
   f_expected : bool;
       (** a known hazard of the conventional build, not a harness failure *)
+  f_trace : string option;
+      (** captured Chrome trace of the failing schedule ([p_trace_dir]) *)
 }
 
 type report = {

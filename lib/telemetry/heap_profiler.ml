@@ -1,0 +1,201 @@
+(* Allocation-site heap profiler.  See the interface for the contract. *)
+
+let nbuckets = 63
+
+type obj = {
+  o_site : site_state;
+  o_bytes : int;
+  mutable o_last_use : int;
+}
+
+and site_state = {
+  ss_site : string;
+  mutable ss_allocs : int;
+  mutable ss_bytes : int;
+  mutable ss_live : int;
+  mutable ss_peak_live : int;
+  mutable ss_live_at_exit : int;
+  mutable ss_drag_sum : int;
+  mutable ss_drag_max : int;
+  ss_drag_buckets : int array;
+}
+
+type t = {
+  mutable tick : int;
+  objs : (int, obj) Hashtbl.t; (* base addr -> object *)
+  sites : (string, site_state) Hashtbl.t;
+  mutable finished : bool;
+}
+
+let create () =
+  { tick = 0; objs = Hashtbl.create 256; sites = Hashtbl.create 32;
+    finished = false }
+
+let set_tick t n = if n > t.tick then t.tick <- n
+
+let site_state t site =
+  match Hashtbl.find_opt t.sites site with
+  | Some ss -> ss
+  | None ->
+      let ss =
+        {
+          ss_site = site;
+          ss_allocs = 0;
+          ss_bytes = 0;
+          ss_live = 0;
+          ss_peak_live = 0;
+          ss_live_at_exit = 0;
+          ss_drag_sum = 0;
+          ss_drag_max = 0;
+          ss_drag_buckets = Array.make nbuckets 0;
+        }
+      in
+      Hashtbl.add t.sites site ss;
+      ss
+
+let on_alloc t ~site ~addr ~bytes =
+  let ss = site_state t site in
+  ss.ss_allocs <- ss.ss_allocs + 1;
+  ss.ss_bytes <- ss.ss_bytes + bytes;
+  ss.ss_live <- ss.ss_live + bytes;
+  if ss.ss_live > ss.ss_peak_live then ss.ss_peak_live <- ss.ss_live;
+  Hashtbl.replace t.objs addr
+    { o_site = ss; o_bytes = bytes; o_last_use = t.tick }
+
+let on_use t ~addr =
+  match Hashtbl.find_opt t.objs addr with
+  | Some o -> o.o_last_use <- t.tick
+  | None -> ()
+
+let bucket_of v =
+  if v <= 0 then 0
+  else
+    let rec go v i = if v = 0 then i else go (v lsr 1) (i + 1) in
+    min (nbuckets - 1) (go v 0)
+
+let record_drag ss drag =
+  ss.ss_drag_sum <- ss.ss_drag_sum + drag;
+  if drag > ss.ss_drag_max then ss.ss_drag_max <- drag;
+  ss.ss_drag_buckets.(bucket_of drag) <-
+    ss.ss_drag_buckets.(bucket_of drag) + 1
+
+let on_free t ~addr =
+  match Hashtbl.find_opt t.objs addr with
+  | None -> ()
+  | Some o ->
+      Hashtbl.remove t.objs addr;
+      let ss = o.o_site in
+      ss.ss_live <- ss.ss_live - o.o_bytes;
+      record_drag ss (max 0 (t.tick - o.o_last_use))
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    Hashtbl.iter
+      (fun _ o ->
+        let ss = o.o_site in
+        ss.ss_live_at_exit <- ss.ss_live_at_exit + o.o_bytes;
+        record_drag ss (max 0 (t.tick - o.o_last_use)))
+      t.objs;
+    Hashtbl.reset t.objs
+  end
+
+type site = {
+  s_site : string;
+  s_allocs : int;
+  s_bytes : int;
+  s_peak_live : int;
+  s_live_at_exit : int;
+  s_drag_p50 : int;
+  s_drag_p90 : int;
+  s_drag_max : int;
+  s_drag_sum : int;
+}
+
+type report = {
+  r_sites : site list;
+  r_total_allocs : int;
+  r_total_bytes : int;
+  r_total_drag : int;
+}
+
+let report t =
+  finish t;
+  let sites =
+    Hashtbl.fold
+      (fun _ ss acc ->
+        {
+          s_site = ss.ss_site;
+          s_allocs = ss.ss_allocs;
+          s_bytes = ss.ss_bytes;
+          s_peak_live = ss.ss_peak_live;
+          s_live_at_exit = ss.ss_live_at_exit;
+          s_drag_p50 = Metrics.percentile ss.ss_drag_buckets 0.50;
+          s_drag_p90 = Metrics.percentile ss.ss_drag_buckets 0.90;
+          s_drag_max = ss.ss_drag_max;
+          s_drag_sum = ss.ss_drag_sum;
+        }
+        :: acc)
+      t.sites []
+  in
+  let sites =
+    List.sort
+      (fun a b ->
+        let c = compare b.s_drag_sum a.s_drag_sum in
+        if c <> 0 then c else String.compare a.s_site b.s_site)
+      sites
+  in
+  {
+    r_sites = sites;
+    r_total_allocs = List.fold_left (fun a s -> a + s.s_allocs) 0 sites;
+    r_total_bytes = List.fold_left (fun a s -> a + s.s_bytes) 0 sites;
+    r_total_drag = List.fold_left (fun a s -> a + s.s_drag_sum) 0 sites;
+  }
+
+let site_to_json s =
+  Json.Obj
+    [
+      ("site", Json.Str s.s_site);
+      ("allocs", Json.Int s.s_allocs);
+      ("bytes", Json.Int s.s_bytes);
+      ("peak_live", Json.Int s.s_peak_live);
+      ("live_at_exit", Json.Int s.s_live_at_exit);
+      ("drag_p50", Json.Int s.s_drag_p50);
+      ("drag_p90", Json.Int s.s_drag_p90);
+      ("drag_max", Json.Int s.s_drag_max);
+      ("drag_sum", Json.Int s.s_drag_sum);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("total_allocs", Json.Int r.r_total_allocs);
+      ("total_bytes", Json.Int r.r_total_bytes);
+      ("total_drag", Json.Int r.r_total_drag);
+      ("sites", Json.List (List.map site_to_json r.r_sites));
+    ]
+
+let site_fn site =
+  match String.index_opt site ':' with
+  | Some i -> String.sub site 0 i
+  | None -> site
+
+let pp_table ?annotated ppf r =
+  let kl = match annotated with Some f -> f | None -> fun _ -> -1 in
+  Format.fprintf ppf "%-32s %8s %10s %10s %10s %8s %8s %10s" "site" "allocs"
+    "bytes" "peak-live" "exit-live" "drag-p50" "drag-p90" "drag-sum";
+  if annotated <> None then Format.fprintf ppf " %9s" "KEEP_LIVE";
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-32s %8d %10d %10d %10d %8d %8d %10d" s.s_site
+        s.s_allocs s.s_bytes s.s_peak_live s.s_live_at_exit s.s_drag_p50
+        s.s_drag_p90 s.s_drag_sum;
+      (if annotated <> None then
+         let n = kl (site_fn s.s_site) in
+         if n >= 0 then Format.fprintf ppf " %9d" n
+         else Format.fprintf ppf " %9s" "-");
+      Format.fprintf ppf "@.")
+    r.r_sites;
+  Format.fprintf ppf "total: %d allocs, %d bytes, %d drag ticks@."
+    r.r_total_allocs r.r_total_bytes r.r_total_drag

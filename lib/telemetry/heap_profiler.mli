@@ -1,0 +1,71 @@
+(** Allocation-site heap profiler.
+
+    Attributes heap objects to their allocation sites and measures, per
+    site: objects and bytes allocated, peak simultaneously-live bytes,
+    bytes still live when the profile ends, and reclamation lag
+    ("drag") — the time between an object's {e last observed use} and
+    its actual reclamation by the collector.  Drag is the operational
+    cost of conservative retention: comparing drag across
+    [--analysis none] and [--analysis flow] shows what KEEP_LIVE
+    annotations (or their pruning) cost in retained garbage.
+
+    Time is a caller-driven tick counter (the VM uses its instruction
+    count), so profiles are deterministic.  The profiler is
+    single-domain: drive it from the thread running the VM. *)
+
+type t
+
+val create : unit -> t
+
+val set_tick : t -> int -> unit
+(** Advance the clock.  Ticks must be non-decreasing. *)
+
+val on_alloc : t -> site:string -> addr:int -> bytes:int -> unit
+(** A new object at [addr].  [site] is a stable allocation-site id
+    (stable across analysis variants of the same program). *)
+
+val on_use : t -> addr:int -> unit
+(** [addr] (any address inside a tracked object) was read or written.
+    Unknown addresses are ignored. *)
+
+val on_free : t -> addr:int -> unit
+(** The object at [addr] (base address) was reclaimed; records its
+    drag at the current tick. *)
+
+val finish : t -> unit
+(** End of run: objects still live are counted as live-at-exit and
+    their drag is measured up to the current tick.  Idempotent. *)
+
+(** {1 Reports} *)
+
+type site = {
+  s_site : string;
+  s_allocs : int;            (** objects allocated *)
+  s_bytes : int;             (** total bytes allocated *)
+  s_peak_live : int;         (** peak simultaneously-live bytes *)
+  s_live_at_exit : int;      (** bytes still live at [finish] *)
+  s_drag_p50 : int;
+  s_drag_p90 : int;
+  s_drag_max : int;
+  s_drag_sum : int;          (** total drag ticks across objects *)
+}
+
+type report = {
+  r_sites : site list;       (** sorted by [s_drag_sum] descending *)
+  r_total_allocs : int;
+  r_total_bytes : int;
+  r_total_drag : int;
+}
+
+val report : t -> report
+(** Implies {!finish}. *)
+
+val to_json : report -> Json.t
+
+val pp_table :
+  ?annotated:(string -> int) -> Format.formatter -> report -> unit
+(** Text table, one row per site.  [annotated] maps a site's function
+    name to its surviving KEEP_LIVE count (shown as a column). *)
+
+val site_fn : string -> string
+(** The function-name component of a site id ["fn:callee#k"]. *)

@@ -1,0 +1,31 @@
+(** A minimal JSON tree: build, render, parse.
+
+    The telemetry subsystem renders metrics snapshots, Chrome trace
+    events and profiler reports as JSON, and the trace checker parses
+    them back for structural validation — one shared value type keeps
+    the emitter and the checker in agreement.  The parser accepts
+    standard JSON (objects, arrays, strings with escapes, numbers,
+    booleans, null); it exists for validation and tests, not speed. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact one-line rendering with full string escaping. *)
+
+val to_channel : out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (trailing whitespace allowed).  Numbers
+    without [.], [e] or [E] parse as [Int]; others as [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] elsewhere. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,25 @@
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  profiler : Heap_profiler.t option;
+}
+
+let none : t option = None
+
+let make ?metrics ?trace ?profiler () =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  { metrics; trace; profiler }
+
+let metrics = function Some s -> s.metrics | None -> Metrics.disabled
+
+let with_span sink ?args name f =
+  match sink with
+  | Some { trace = Some tr; _ } -> Trace.with_span tr ?args name f
+  | _ -> f ()
+
+let instant sink ?args name =
+  match sink with
+  | Some { trace = Some tr; _ } -> Trace.instant tr ?args name
+  | _ -> ()

@@ -1,0 +1,33 @@
+(** The telemetry sink: the bundle instrumented code receives.
+
+    A sink carries a metrics registry plus optional tracer and heap
+    profiler, so a single optional argument threads all three through
+    the VM, heap, and harness.  [none] is the canonical "telemetry
+    off" value: its registry is {!Metrics.disabled} and hot paths can
+    skip it with one match. *)
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  profiler : Heap_profiler.t option;
+}
+
+val none : t option
+(** [None]; for readability at call sites. *)
+
+val make :
+  ?metrics:Metrics.t ->
+  ?trace:Trace.t ->
+  ?profiler:Heap_profiler.t ->
+  unit ->
+  t
+(** Defaults: a fresh enabled registry, no tracer, no profiler. *)
+
+val metrics : t option -> Metrics.t
+(** The sink's registry, or {!Metrics.disabled}. *)
+
+val with_span :
+  t option -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Span on the sink's tracer if any, else just the call. *)
+
+val instant : t option -> ?args:(string * Json.t) list -> string -> unit

@@ -1,0 +1,476 @@
+(* Telemetry-subsystem tests: metrics registry snapshot/diff laws, JSON
+   roundtrips, Chrome-trace well-formedness and nesting balance, parallel
+   trace determinism after lane normalization, heap-profiler drag
+   accounting, session-scoped cache counters, and the end-to-end contract
+   that instrumentation never perturbs execution. *)
+
+module Json = Telemetry.Json
+module Metrics = Telemetry.Metrics
+module Trace = Telemetry.Trace
+module Profiler = Telemetry.Heap_profiler
+module Sink = Telemetry.Sink
+
+(* --- JSON: render/parse roundtrips ------------------------------------- *)
+
+let test_json_roundtrip () =
+  let docs =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Str "a \"quoted\" line\nwith \\ and \t tab";
+      Json.List [ Json.Int 1; Json.Str "x"; Json.Null ];
+      Json.Obj
+        [
+          ("empty", Json.Obj []);
+          ("list", Json.List []);
+          ("nested", Json.Obj [ ("k", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun doc ->
+      match Json.parse (Json.to_string doc) with
+      | Ok back ->
+          Alcotest.(check bool)
+            (Json.to_string doc) true (Json.equal doc back)
+      | Error e -> Alcotest.fail e)
+    docs
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+let test_json_numbers () =
+  (match Json.parse "17" with
+  | Ok (Json.Int 17) -> ()
+  | _ -> Alcotest.fail "17 should parse as Int");
+  match Json.parse "1.5" with
+  | Ok (Json.Float f) -> Alcotest.(check (float 1e-9)) "float" 1.5 f
+  | _ -> Alcotest.fail "1.5 should parse as Float"
+
+(* --- metrics: instruments and snapshot laws ---------------------------- *)
+
+let test_counter_gauge_histogram () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  let g = Metrics.gauge m "g" in
+  Metrics.set g 7;
+  Metrics.set g 3;
+  let h = Metrics.histogram m "h" in
+  List.iter (Metrics.observe h) [ 0; 1; 100; 100000 ];
+  let s = Metrics.snapshot m in
+  (match Metrics.find s "c" with
+  | Some (Metrics.Counter 42) -> ()
+  | _ -> Alcotest.fail "counter");
+  (match Metrics.find s "g" with
+  | Some (Metrics.Gauge { last = 3; max = 7 }) -> ()
+  | _ -> Alcotest.fail "gauge keeps last and max");
+  match Metrics.find s "h" with
+  | Some (Metrics.Histogram { count = 4; sum = 100101; _ }) -> ()
+  | _ -> Alcotest.fail "histogram count/sum"
+
+let test_registration_idempotent () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m "same" and b = Metrics.counter m "same" in
+  Metrics.incr a;
+  Metrics.incr b;
+  match Metrics.find (Metrics.snapshot m) "same" with
+  | Some (Metrics.Counter 2) -> ()
+  | _ -> Alcotest.fail "both handles hit one instrument"
+
+let test_scope_prefixes () =
+  let m = Metrics.create () in
+  let vm = Metrics.scope m "vm" in
+  Metrics.incr (Metrics.counter vm "steps");
+  match Metrics.find (Metrics.snapshot m) "vm/steps" with
+  | Some (Metrics.Counter 1) -> ()
+  | _ -> Alcotest.fail "scoped name lands in the parent registry"
+
+let test_disabled_no_ops () =
+  Alcotest.(check bool) "disabled" false (Metrics.is_enabled Metrics.disabled);
+  let c = Metrics.counter Metrics.disabled "c" in
+  Metrics.add c 5;
+  Metrics.observe (Metrics.histogram Metrics.disabled "h") 9;
+  Alcotest.(check int)
+    "snapshot empty" 0
+    (List.length (Metrics.snapshot Metrics.disabled))
+
+(* qcheck: for any interval of operations, [diff (snap after) (snap
+   before)] equals a fresh registry that saw only the interval. *)
+let ops_gen =
+  QCheck.(list (pair (int_range 0 2) small_nat))
+
+let apply_ops m ops =
+  List.iter
+    (fun (kind, v) ->
+      match kind with
+      | 0 -> Metrics.add (Metrics.counter m "c") v
+      | 1 -> Metrics.set (Metrics.gauge m "g") v
+      | _ -> Metrics.observe (Metrics.histogram m "h") v)
+    ops
+
+let test_diff_law =
+  QCheck.Test.make ~name:"diff snap law" ~count:200
+    QCheck.(pair ops_gen ops_gen)
+    (fun (before, interval) ->
+      let m = Metrics.create () in
+      apply_ops m before;
+      let s0 = Metrics.snapshot m in
+      apply_ops m interval;
+      let d = Metrics.diff (Metrics.snapshot m) s0 in
+      let fresh = Metrics.create () in
+      apply_ops fresh interval;
+      let expect = Metrics.snapshot fresh in
+      (* counters and histograms subtract exactly; gauges keep the later
+         value, so compare them only when the interval set the gauge *)
+      let counter_ok =
+        match (Metrics.find d "c", Metrics.find expect "c") with
+        | Some (Metrics.Counter a), Some (Metrics.Counter b) -> a = b
+        | None, None -> true
+        | Some (Metrics.Counter a), None -> a = 0
+        | _ -> false
+      in
+      let hist_ok =
+        match (Metrics.find d "h", Metrics.find expect "h") with
+        | ( Some (Metrics.Histogram { count = c1; sum = s1; _ }),
+            Some (Metrics.Histogram { count = c2; sum = s2; _ }) ) ->
+            c1 = c2 && s1 = s2
+        | None, None -> true
+        | Some (Metrics.Histogram { count; sum; _ }), None ->
+            count = 0 && sum = 0
+        | _ -> false
+      in
+      counter_ok && hist_ok)
+
+let test_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentiles monotone" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_bound 1_000_000))
+    (fun vs ->
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "h" in
+      List.iter (Metrics.observe h) vs;
+      match Metrics.find (Metrics.snapshot m) "h" with
+      | Some (Metrics.Histogram { buckets; max; _ }) ->
+          let p50 = Metrics.percentile buckets 0.5
+          and p90 = Metrics.percentile buckets 0.9
+          and p99 = Metrics.percentile buckets 0.99 in
+          (* with <= 50 samples the 99th percentile falls in the max's
+             bucket, whose upper edge bounds the true max *)
+          p50 <= p90 && p90 <= p99
+          && List.fold_left Stdlib.max 0 vs <= p99
+          && max = List.fold_left Stdlib.max 0 vs
+      | _ -> false)
+
+(* --- trace: well-formedness and the checker ---------------------------- *)
+
+let test_trace_valid () =
+  let tr = Trace.create () in
+  Trace.with_span tr "outer" (fun () ->
+      Trace.instant tr ~args:[ ("k", Json.Int 1) ] "tick";
+      Trace.with_span tr "inner" (fun () -> ());
+      Trace.counter tr "heap" [ ("live", 128) ]);
+  match Trace.check (Trace.to_json tr) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_trace_span_closed_on_raise () =
+  let tr = Trace.create () in
+  (try Trace.with_span tr "doomed" (fun () -> failwith "boom") with
+  | Failure _ -> ());
+  match Trace.check (Trace.to_json tr) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("span leaked on raise: " ^ e)
+
+let test_checker_rejects () =
+  let bad =
+    [
+      ("not an object", Json.List []);
+      ("missing traceEvents", Json.Obj [ ("x", Json.Int 1) ]);
+      ( "bad phase",
+        Json.Obj
+          [
+            ( "traceEvents",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("name", Json.Str "e");
+                      ("ph", Json.Str "Z");
+                      ("ts", Json.Int 0);
+                      ("pid", Json.Int 1);
+                      ("tid", Json.Int 0);
+                    ];
+                ] );
+          ] );
+      ( "unbalanced span",
+        Json.Obj
+          [
+            ( "traceEvents",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("name", Json.Str "open");
+                      ("ph", Json.Str "B");
+                      ("ts", Json.Int 0);
+                      ("pid", Json.Int 1);
+                      ("tid", Json.Int 0);
+                    ];
+                ] );
+          ] );
+      ( "mismatched nesting",
+        Json.Obj
+          [
+            ( "traceEvents",
+              Json.List
+                [
+                  Json.Obj
+                    [
+                      ("name", Json.Str "a");
+                      ("ph", Json.Str "B");
+                      ("ts", Json.Int 0);
+                      ("pid", Json.Int 1);
+                      ("tid", Json.Int 0);
+                    ];
+                  Json.Obj
+                    [
+                      ("name", Json.Str "b");
+                      ("ph", Json.Str "E");
+                      ("ts", Json.Int 1);
+                      ("pid", Json.Int 1);
+                      ("tid", Json.Int 0);
+                    ];
+                ] );
+          ] );
+    ]
+  in
+  List.iter
+    (fun (what, doc) ->
+      match Trace.check doc with
+      | Ok () -> Alcotest.fail ("accepted: " ^ what)
+      | Error _ -> ())
+    bad
+
+let test_parallel_trace_deterministic () =
+  (* same parallel workload traced twice: after normalization (zeroed
+     timestamps, lanes renumbered by first appearance) the event lists
+     are equal even though wall-clock interleaving differs *)
+  let traced () =
+    let tr = Trace.create () in
+    Exec.Pool.with_pool ~jobs:4 (fun pool ->
+        ignore
+          (Exec.Pool.map pool
+             (fun i ->
+               Trace.with_span tr
+                 ~args:[ ("task", Json.Int i) ]
+                 (Printf.sprintf "task-%d" i)
+                 (fun () -> Trace.instant tr "work");
+               i)
+             (List.init 12 Fun.id)));
+    Trace.normalize (Trace.events tr)
+  in
+  let a = traced () and b = traced () in
+  Alcotest.(check int) "same event count" (List.length a) (List.length b);
+  Alcotest.(check bool) "normalized traces equal" true (a = b)
+
+(* --- heap profiler: drag accounting ------------------------------------ *)
+
+let test_profiler_drag () =
+  let p = Profiler.create () in
+  Profiler.set_tick p 0;
+  Profiler.on_alloc p ~site:"f:malloc#0" ~addr:100 ~bytes:16;
+  Profiler.on_alloc p ~site:"f:malloc#0" ~addr:200 ~bytes:16;
+  Profiler.set_tick p 10;
+  Profiler.on_use p ~addr:100;
+  Profiler.on_use p ~addr:200;
+  (* object 100 reclaimed promptly; 200 drags for 90 ticks *)
+  Profiler.set_tick p 12;
+  Profiler.on_free p ~addr:100;
+  Profiler.set_tick p 100;
+  Profiler.on_free p ~addr:200;
+  let r = Profiler.report p in
+  Alcotest.(check int) "one site" 1 (List.length r.Profiler.r_sites);
+  let s = List.hd r.Profiler.r_sites in
+  Alcotest.(check int) "allocs" 2 s.Profiler.s_allocs;
+  Alcotest.(check int) "bytes" 32 s.Profiler.s_bytes;
+  Alcotest.(check int) "peak live" 32 s.Profiler.s_peak_live;
+  Alcotest.(check int) "nothing live at exit" 0 s.Profiler.s_live_at_exit;
+  Alcotest.(check int) "total drag" 92 r.Profiler.r_total_drag;
+  Alcotest.(check int) "site drag" 92 s.Profiler.s_drag_sum
+
+let test_profiler_drag_monotone () =
+  (* the longer reclamation lags behind last use, the larger the drag *)
+  let drag_when_freed_at tick =
+    let p = Profiler.create () in
+    Profiler.set_tick p 0;
+    Profiler.on_alloc p ~site:"f:malloc#0" ~addr:64 ~bytes:8;
+    Profiler.set_tick p 5;
+    Profiler.on_use p ~addr:64;
+    Profiler.set_tick p tick;
+    Profiler.on_free p ~addr:64;
+    (Profiler.report p).Profiler.r_total_drag
+  in
+  let drags = List.map drag_when_freed_at [ 5; 6; 50; 500; 5000 ] in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "drag nondecreasing in free time" true
+    (nondecreasing drags);
+  Alcotest.(check int) "freed at last use: zero drag" 0 (List.hd drags)
+
+let test_profiler_live_at_exit () =
+  let p = Profiler.create () in
+  Profiler.set_tick p 0;
+  Profiler.on_alloc p ~site:"g:malloc#0" ~addr:32 ~bytes:24;
+  Profiler.set_tick p 40;
+  let r = Profiler.report p in
+  let s = List.hd r.Profiler.r_sites in
+  Alcotest.(check int) "live at exit" 24 s.Profiler.s_live_at_exit;
+  Alcotest.(check int) "drag up to exit" 40 s.Profiler.s_drag_sum
+
+let test_site_fn () =
+  Alcotest.(check string) "fn part" "cord_cat"
+    (Profiler.site_fn "cord_cat:malloc#1");
+  Alcotest.(check string) "no colon" "main" (Profiler.site_fn "main")
+
+(* --- cache sessions ----------------------------------------------------- *)
+
+let test_build_sessions_scope () =
+  let src = "int main(void) { return 7; }" in
+  (* prime the process-wide cache *)
+  ignore (Harness.Build.compile Harness.Build.Base src);
+  let session = Harness.Build.new_session () in
+  ignore (Harness.Build.compile Harness.Build.Base src);
+  let s = Harness.Build.session_stats session in
+  Alcotest.(check int) "session saw one hit" 1 s.Exec.Cache.hits;
+  Alcotest.(check int) "session saw no miss" 0 s.Exec.Cache.misses
+
+let test_compile_telemetry_counters () =
+  let src = "int main(void) { return 9; }" in
+  let sink = Sink.make () in
+  ignore (Harness.Build.compile ~telemetry:sink Harness.Build.Base src);
+  ignore (Harness.Build.compile ~telemetry:sink Harness.Build.Base src);
+  let snap = Metrics.snapshot sink.Sink.metrics in
+  (match Metrics.find snap "build/cache/misses" with
+  | Some (Metrics.Counter 1) -> ()
+  | _ -> Alcotest.fail "first compile is this sink's miss");
+  match Metrics.find snap "build/cache/hits" with
+  | Some (Metrics.Counter 1) -> ()
+  | _ -> Alcotest.fail "second compile is this sink's hit"
+
+(* --- end to end: instrumented runs -------------------------------------- *)
+
+let loopy_src =
+  {|int main(void) {
+  int i; char *p;
+  for (i = 0; i < 40; i++) {
+    p = (char *)malloc(16 + i);
+    p[0] = (char)i;
+  }
+  printf("%d\n", 40);
+  return 0;
+}|}
+
+let test_traced_run_valid_and_unperturbed () =
+  let b = Harness.Build.compile Harness.Build.Safe loopy_src in
+  let plain =
+    match Harness.Measure.run ~gc_threshold:128 b with
+    | Harness.Measure.Ran r -> r
+    | o -> Alcotest.fail (Harness.Measure.describe o)
+  in
+  let tr = Trace.create () in
+  let profiler = Profiler.create () in
+  let sink = Sink.make ~trace:tr ~profiler () in
+  let traced =
+    match Harness.Measure.run ~gc_threshold:128 ~telemetry:sink b with
+    | Harness.Measure.Ran r -> r
+    | o -> Alcotest.fail (Harness.Measure.describe o)
+  in
+  Alcotest.(check int)
+    "cycles identical with telemetry" plain.Harness.Measure.o_cycles
+    traced.Harness.Measure.o_cycles;
+  Alcotest.(check string)
+    "output identical" plain.Harness.Measure.o_output
+    traced.Harness.Measure.o_output;
+  (match Trace.check (Trace.to_json tr) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("trace invalid: " ^ e));
+  let snap = Metrics.snapshot sink.Sink.metrics in
+  (match Metrics.find snap "vm/steps" with
+  | Some (Metrics.Counter n) when n > 0 -> ()
+  | _ -> Alcotest.fail "vm/steps counted");
+  (match Metrics.find snap "vm/gc/collections" with
+  | Some (Metrics.Counter n) ->
+      Alcotest.(check int) "collections counter matches run info"
+        traced.Harness.Measure.o_gc_count n
+  | _ -> Alcotest.fail "vm/gc/collections missing");
+  let report = Profiler.report profiler in
+  Alcotest.(check int) "every allocation attributed" 40
+    report.Profiler.r_total_allocs;
+  match report.Profiler.r_sites with
+  | [ s ] ->
+      Alcotest.(check string) "stable site id" "main:malloc#0"
+        s.Profiler.s_site
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 site, got %d" (List.length l))
+
+let test_site_ids_stable_across_analyses () =
+  let sites analysis =
+    let b =
+      Harness.Build.compile
+        ~options:{ Harness.Build.default with Harness.Build.analysis }
+        Harness.Build.Safe loopy_src
+    in
+    let profiler = Profiler.create () in
+    let sink = Sink.make ~profiler () in
+    (match Harness.Measure.run ~gc_threshold:128 ~telemetry:sink b with
+    | Harness.Measure.Ran _ -> ()
+    | o -> Alcotest.fail (Harness.Measure.describe o));
+    List.map
+      (fun s -> s.Profiler.s_site)
+      (Profiler.report profiler).Profiler.r_sites
+    |> List.sort compare
+  in
+  Alcotest.(check (list string))
+    "site ids join across analysis variants"
+    (sites Gcsafe.Mode.A_none) (sites Gcsafe.Mode.A_flow)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects" `Quick test_json_rejects;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "counter/gauge/histogram" `Quick
+      test_counter_gauge_histogram;
+    Alcotest.test_case "registration idempotent" `Quick
+      test_registration_idempotent;
+    Alcotest.test_case "scope prefixes" `Quick test_scope_prefixes;
+    Alcotest.test_case "disabled registry no-ops" `Quick test_disabled_no_ops;
+    Alcotest.test_case "trace valid" `Quick test_trace_valid;
+    Alcotest.test_case "span closed on raise" `Quick
+      test_trace_span_closed_on_raise;
+    Alcotest.test_case "checker rejects" `Quick test_checker_rejects;
+    Alcotest.test_case "parallel trace deterministic" `Quick
+      test_parallel_trace_deterministic;
+    Alcotest.test_case "profiler drag" `Quick test_profiler_drag;
+    Alcotest.test_case "drag monotone" `Quick test_profiler_drag_monotone;
+    Alcotest.test_case "live at exit" `Quick test_profiler_live_at_exit;
+    Alcotest.test_case "site_fn" `Quick test_site_fn;
+    Alcotest.test_case "build sessions scope" `Quick test_build_sessions_scope;
+    Alcotest.test_case "compile telemetry counters" `Quick
+      test_compile_telemetry_counters;
+    Alcotest.test_case "traced run valid and unperturbed" `Quick
+      test_traced_run_valid_and_unperturbed;
+    Alcotest.test_case "site ids stable across analyses" `Quick
+      test_site_ids_stable_across_analyses;
+  ]
+  @ qsuite [ test_diff_law; test_percentile_monotone ]

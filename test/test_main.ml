@@ -32,4 +32,5 @@ let () =
       ("harness", Suite_harness.suite);
       ("stress", Suite_stress.suite);
       ("exec", Suite_exec.suite);
+      ("telemetry", Suite_telemetry.suite);
     ]
