@@ -3,7 +3,7 @@
    ablations; plus bechamel micro-benchmarks of the collector primitives.
 
    Usage:  main.exe [t1|t2|t3|t4|t5|cache|a1|hazard|ablate|ablate-analysis|
-                     ablate-telemetry|profile|stress|micro|all]...
+                     ablate-telemetry|profile|gcmodes|stress|micro|all]...
    With no arguments, everything except micro runs (micro does wall-clock
    timing and is opt-in so the default output stays deterministic).
 
@@ -15,7 +15,9 @@
    Besides the human-readable stdout, a machine-readable summary of
    everything measured — per-section wall-clock timings, annotation
    counts, cache hit rates, GC pause and drag statistics, and the
-   telemetry-overhead ablation — is written to BENCH_4.json. *)
+   telemetry-overhead ablation — is written to BENCH_4.json.  The
+   gcmodes section additionally writes BENCH_5.json: minor-vs-major
+   pause percentiles and the stw/gen differential-divergence count. *)
 
 (* --- the machine-readable summary (BENCH_4.json) ------------------------- *)
 
@@ -658,6 +660,154 @@ let micro () =
     [ test_alloc; test_base; test_same_obj; test_splay_same_obj; test_collect ];
   print_newline ()
 
+(* --- generational collector: minor vs major pauses (BENCH_5.json) -------- *)
+
+(* The pause comparison uses the VM-tick clock — words scanned per
+   collection — so the numbers are deterministic: no instructions retire
+   during a collection, and the scan volume is what a pause costs in
+   mutator terms.  Majors come from a stop-the-world run (the paper's
+   collector: every collection scans the full live heap); minors from a
+   generational run of the same build at the same threshold.  Both runs
+   must produce identical output — the collector mode is not allowed to
+   be observable. *)
+
+let bench5_data : (string * Telemetry.Json.t) list ref = ref []
+
+let record5 key v = bench5_data := (key, v) :: !bench5_data
+
+let write_bench5_json () =
+  if !bench5_data <> [] then begin
+    let doc = Telemetry.Json.Obj (List.rev !bench5_data) in
+    Out_channel.with_open_text "BENCH_5.json" (fun oc ->
+        Out_channel.output_string oc (Telemetry.Json.to_string doc ^ "\n"));
+    Printf.printf "wrote BENCH_5.json\n"
+  end
+
+let gcmodes () =
+  print_endline
+    "== GC modes: generational minor pauses vs stop-the-world majors \
+     (safe build, sparc10) ==";
+  let machine = Machine.Machdesc.sparc10 in
+  (* small enough that majors fire mid-run against a live heap, not just
+     at exit *)
+  let threshold = 16384 in
+  let hist snap name =
+    match Telemetry.Metrics.find snap name with
+    | Some (Telemetry.Metrics.Histogram { count; buckets; _ }) ->
+        ( count,
+          Telemetry.Metrics.percentile buckets 0.5,
+          Telemetry.Metrics.percentile buckets 0.9 )
+    | _ -> (0, 0, 0)
+  in
+  let counter snap name =
+    match Telemetry.Metrics.find snap name with
+    | Some (Telemetry.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let run_mode src gc_mode =
+    let b =
+      Harness.Build.compile
+        ~options:
+          {
+            (Harness.Build.for_machine machine) with
+            Harness.Build.gc_mode;
+          }
+        Harness.Build.Safe src
+    in
+    let metrics = Telemetry.Metrics.create () in
+    let telemetry = Some (Telemetry.Sink.make ~metrics ()) in
+    match
+      Harness.Measure.run ~machine ~final_collect:true
+        ~gc_threshold:threshold ~gc_mode ?telemetry b
+    with
+    | Harness.Measure.Ran r ->
+        (r.Harness.Measure.o_output, Telemetry.Metrics.snapshot metrics)
+    | o -> failwith (Harness.Measure.describe o)
+  in
+  let rows =
+    List.map
+      (fun name ->
+        let w =
+          match Workloads.Registry.by_name name with
+          | Some w -> w
+          | None -> failwith ("unknown workload " ^ name)
+        in
+        let src = w.Workloads.Registry.w_source in
+        let stw_out, stw = run_mode src Gcheap.Heap.Stw in
+        let gen_out, gen = run_mode src Gcheap.Heap.Gen in
+        if not (String.equal stw_out gen_out) then
+          failwith (name ^ ": gc mode changed program output");
+        let majors, major_p50, major_p90 = hist stw "vm/gc/major/pause_words" in
+        let minors, minor_p50, minor_p90 = hist gen "vm/gc/minor/pause_words" in
+        let gen_majors, gen_major_p50, _ = hist gen "vm/gc/major/pause_words" in
+        Printf.printf
+          "  %-10s minor p50 %6d words (n=%d)   stw major p50 %6d words \
+           (n=%d)   %4.1fx smaller\n"
+          name minor_p50 minors major_p50 majors
+          (float_of_int major_p50 /. float_of_int (max 1 minor_p50));
+        Printf.printf
+          "  %-10s gen-mode majors: %d (p50 %d words); promoted %d, cards \
+           scanned %d\n"
+          "" gen_majors gen_major_p50
+          (counter gen "vm/gc/promotions")
+          (counter gen "vm/gc/cards_scanned");
+        ( name,
+          Telemetry.Json.Obj
+            [
+              ("minor_collections", Telemetry.Json.Int minors);
+              ("minor_p50_pause_words", Telemetry.Json.Int minor_p50);
+              ("minor_p90_pause_words", Telemetry.Json.Int minor_p90);
+              ("major_collections", Telemetry.Json.Int majors);
+              ("major_p50_pause_words", Telemetry.Json.Int major_p50);
+              ("major_p90_pause_words", Telemetry.Json.Int major_p90);
+              ("gen_major_collections", Telemetry.Json.Int gen_majors);
+              ("promotions", Telemetry.Json.Int (counter gen "vm/gc/promotions"));
+              ( "cards_scanned",
+                Telemetry.Json.Int (counter gen "vm/gc/cards_scanned") );
+              ("outputs_match", Telemetry.Json.Bool true);
+            ] ))
+      [ "cordtest"; "cfrac" ]
+  in
+  record5 "gc_threshold" (Telemetry.Json.Int threshold);
+  record5 "pauses" (Telemetry.Json.Obj rows);
+  (* the differential matrix over both collector modes: unsafe examples
+     must fail identically, safe builds must never diverge *)
+  print_endline
+    "-- stw/gen differential scan (example corpus, every schedule mode)";
+  let plan =
+    {
+      Stress.Driver.default_plan with
+      Stress.Driver.p_machines = [ machine ];
+      Stress.Driver.p_gc_modes = [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ];
+    }
+  in
+  let targets =
+    match Stress.Corpus.resolve "examples" with
+    | Some ts -> ts
+    | None -> failwith "example corpus missing"
+  in
+  let report = Stress.Driver.run ~plan targets in
+  let unexpected = List.length (Stress.Driver.unexpected report) in
+  Printf.printf
+    "  %d target(s), %d subject(s), %d run(s): %d finding(s), %d unexpected \
+     divergence(s)\n"
+    report.Stress.Driver.r_targets report.Stress.Driver.r_subjects
+    report.Stress.Driver.r_runs
+    (List.length report.Stress.Driver.r_findings)
+    unexpected;
+  if unexpected > 0 then failwith "stw/gen divergence in the example corpus";
+  record5 "stress"
+    (Telemetry.Json.Obj
+       [
+         ("targets", Telemetry.Json.Int report.Stress.Driver.r_targets);
+         ("subjects", Telemetry.Json.Int report.Stress.Driver.r_subjects);
+         ("runs", Telemetry.Json.Int report.Stress.Driver.r_runs);
+         ( "findings",
+           Telemetry.Json.Int (List.length report.Stress.Driver.r_findings) );
+         ("unexpected_divergences", Telemetry.Json.Int unexpected);
+       ]);
+  print_newline ()
+
 (* --- stress: sanitizer overhead and schedule-divergence scan ------------- *)
 
 let stress () =
@@ -721,7 +871,7 @@ let () =
     | [] | [ "all" ] ->
         [
           "t1"; "t2"; "t3"; "t4"; "t5"; "cache"; "a1"; "hazard"; "ablate";
-          "ablate-analysis"; "ablate-telemetry"; "profile";
+          "ablate-analysis"; "ablate-telemetry"; "profile"; "gcmodes";
         ]
     | args -> args
   in
@@ -741,6 +891,7 @@ let () =
         | "ablate-analysis" -> Some ablate_analysis
         | "ablate-telemetry" -> Some ablate_telemetry
         | "profile" -> Some profile_section
+        | "gcmodes" -> Some gcmodes
         | "stress" -> Some stress
         | "micro" -> Some micro
         | s ->
@@ -749,4 +900,5 @@ let () =
       in
       Option.iter (timed_section name) section)
     sections;
-  write_bench_json ()
+  write_bench_json ();
+  write_bench5_json ()

@@ -83,6 +83,26 @@ let analysis_arg =
     & opt analysis_conv Gcsafe.Mode.A_flow
     & info [ "analysis" ] ~docv:"ANALYSIS" ~doc)
 
+let gc_mode_conv =
+  let parse s =
+    match Gcheap.Heap.gc_mode_of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown gc mode %s" s))
+  in
+  let print fmt m = Format.pp_print_string fmt (Gcheap.Heap.gc_mode_name m) in
+  Arg.conv (parse, print)
+
+let gc_mode_arg =
+  let doc =
+    "Collector mode: 'stw' (the paper's stop-the-world mark-sweep, the \
+     default) or 'gen' (generational: card-marking write barrier, minor \
+     collections over young objects, full majors on the usual threshold)."
+  in
+  Arg.(
+    value
+    & opt gc_mode_conv Gcheap.Heap.Stw
+    & info [ "gc-mode" ] ~docv:"MODE" ~doc)
+
 let handle_errors = Harness.Diagnostics.handle
 
 let jobs_arg =
@@ -321,6 +341,11 @@ let run_cmd =
     let doc = "Run the heap-integrity sanitizer after every collection." in
     Arg.(value & flag & info [ "check-integrity" ] ~doc)
   in
+  let threshold_arg =
+    let doc = "Allocation volume (bytes) between automatic collections." in
+    Arg.(
+      value & opt (some int) None & info [ "gc-threshold" ] ~docv:"BYTES" ~doc)
+  in
   let stats_arg =
     let doc = "Print cycle/instruction/GC statistics to stderr." in
     Arg.(value & flag & info [ "stats" ] ~doc)
@@ -348,8 +373,9 @@ let run_cmd =
     let doc = "C source file ('-' for standard input)." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run config machine analysis async gc_at gc_at_allocs integrity max_instrs
-      max_heap stats trace metrics no_cache workload file =
+  let run config machine analysis gc_mode gc_threshold async gc_at
+      gc_at_allocs integrity max_instrs max_heap stats trace metrics no_cache
+      workload file =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let src =
@@ -389,6 +415,7 @@ let run_cmd =
               {
                 (Harness.Build.for_machine machine) with
                 Harness.Build.analysis;
+                Harness.Build.gc_mode;
               }
             config src
         in
@@ -402,7 +429,7 @@ let run_cmd =
         in
         match
           Harness.Measure.run ~machine ~schedule ~check_integrity:integrity
-            ?max_instrs ?max_heap ?telemetry b
+            ~gc_mode ?gc_threshold ?max_instrs ?max_heap ?telemetry b
         with
         | Harness.Measure.Ran r ->
             print_string r.Harness.Measure.o_output;
@@ -425,10 +452,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      const run $ config_arg $ machine_arg $ analysis_arg $ async_arg
-      $ gc_at_arg $ gc_at_allocs_arg $ integrity_arg $ max_instrs_arg
-      $ max_heap_arg $ stats_arg $ trace_arg $ metrics_arg $ no_cache_arg
-      $ workload_arg $ opt_file_arg)
+      const run $ config_arg $ machine_arg $ analysis_arg $ gc_mode_arg
+      $ threshold_arg $ async_arg $ gc_at_arg $ gc_at_allocs_arg
+      $ integrity_arg $ max_instrs_arg $ max_heap_arg $ stats_arg $ trace_arg
+      $ metrics_arg $ no_cache_arg $ workload_arg $ opt_file_arg)
 
 (* --- ir --------------------------------------------------------------------- *)
 
@@ -533,8 +560,29 @@ let stress_cmd =
     Arg.(
       value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
   in
-  let run machines analyses every at_allocs exhaustive cap max_instrs max_heap
-      trace_dir jobs no_cache targets =
+  let gc_modes_arg =
+    let doc =
+      "Collector modes in the matrix: 'stw' (the default), 'gen', or \
+       'both' to cross-check the generational collector against the \
+       paper's stop-the-world collector under every schedule."
+    in
+    let parse = function
+      | "stw" -> Ok [ Gcheap.Heap.Stw ]
+      | "gen" -> Ok [ Gcheap.Heap.Gen ]
+      | "both" -> Ok [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ]
+      | s -> Error (`Msg (Printf.sprintf "unknown gc mode %s" s))
+    in
+    let print fmt ms =
+      Format.pp_print_string fmt
+        (String.concat "," (List.map Gcheap.Heap.gc_mode_name ms))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) [ Gcheap.Heap.Stw ]
+      & info [ "gc-mode" ] ~docv:"MODE" ~doc)
+  in
+  let run machines analyses gc_modes every at_allocs exhaustive cap max_instrs
+      max_heap trace_dir jobs no_cache targets =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let resolved =
@@ -563,6 +611,7 @@ let stress_cmd =
                  Stress.Driver.default_plan.Stress.Driver.p_machines
                else machines);
             Stress.Driver.p_analyses = analyses;
+            Stress.Driver.p_gc_modes = gc_modes;
             Stress.Driver.p_modes = modes;
             Stress.Driver.p_exhaustive_cap = cap;
             Stress.Driver.p_max_instrs = max_instrs;
@@ -583,9 +632,9 @@ let stress_cmd =
   Cmd.v
     (Cmd.info "stress" ~doc)
     Term.(
-      const run $ machines_arg $ analyses_arg $ every_arg $ at_allocs_arg
-      $ exhaustive_arg $ cap_arg $ max_instrs_arg $ max_heap_arg
-      $ trace_dir_arg $ jobs_arg $ no_cache_arg $ targets_arg)
+      const run $ machines_arg $ analyses_arg $ gc_modes_arg $ every_arg
+      $ at_allocs_arg $ exhaustive_arg $ cap_arg $ max_instrs_arg
+      $ max_heap_arg $ trace_dir_arg $ jobs_arg $ no_cache_arg $ targets_arg)
 
 (* --- profile ----------------------------------------------------------------- *)
 
@@ -632,8 +681,8 @@ let profile_cmd =
     let doc = "C source file ('-' for standard input)." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run config machine analyses json threshold max_instrs max_heap no_cache
-      workload file =
+  let run config machine analyses gc_mode json threshold max_instrs max_heap
+      no_cache workload file =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let source_name, src =
@@ -682,6 +731,7 @@ let profile_cmd =
                 {
                   (Harness.Build.for_machine machine) with
                   Harness.Build.analysis;
+                  Harness.Build.gc_mode;
                 }
               config src
           in
@@ -689,7 +739,8 @@ let profile_cmd =
           let telemetry = Some (Telemetry.Sink.make ~profiler ()) in
           (match
              Harness.Measure.run ~machine ~final_collect:true
-               ~gc_threshold:threshold ?max_instrs ?max_heap ?telemetry b
+               ~gc_threshold:threshold ~gc_mode ?max_instrs ?max_heap
+               ?telemetry b
            with
           | Harness.Measure.Ran _ -> ()
           | o ->
@@ -708,6 +759,8 @@ let profile_cmd =
                 ( "machine",
                   Telemetry.Json.Str machine.Machine.Machdesc.md_name );
                 ("gc_threshold", Telemetry.Json.Int threshold);
+                ( "gc_mode",
+                  Telemetry.Json.Str (Gcheap.Heap.gc_mode_name gc_mode) );
                 ( "profiles",
                   Telemetry.Json.List
                     (List.map
@@ -744,9 +797,9 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
-      const run $ config_arg $ machine_arg $ analyses_arg $ json_arg
-      $ threshold_arg $ max_instrs_arg $ max_heap_arg $ no_cache_arg
-      $ workload_arg $ opt_file_arg)
+      const run $ config_arg $ machine_arg $ analyses_arg $ gc_mode_arg
+      $ json_arg $ threshold_arg $ max_instrs_arg $ max_heap_arg
+      $ no_cache_arg $ workload_arg $ opt_file_arg)
 
 (* --- trace-check ------------------------------------------------------------- *)
 

@@ -23,6 +23,9 @@ type t = {
   blk_kind : kind;
   blk_alloc : Bytes.t;  (** one byte per slot: 0 free, 1 allocated *)
   blk_mark : Bytes.t;  (** one byte per slot: mark bit for the collector *)
+  blk_age : Bytes.t;
+      (** one byte per slot: number of minor collections survived; an
+          object whose age reaches the heap's promotion threshold is old *)
   blk_req : int array;  (** requested (un-rounded) size per slot *)
 }
 
@@ -35,6 +38,7 @@ let make ~start ~pages ~obj_size ~count ~kind =
     blk_kind = kind;
     blk_alloc = Bytes.make count '\000';
     blk_mark = Bytes.make count '\000';
+    blk_age = Bytes.make count '\000';
     blk_req = Array.make count 0;
   }
 
@@ -58,6 +62,10 @@ let is_marked t i = Bytes.get t.blk_mark i <> '\000'
 let set_marked t i v = Bytes.set t.blk_mark i (if v then '\001' else '\000')
 
 let clear_marks t = Bytes.fill t.blk_mark 0 t.blk_count '\000'
+
+let age t i = Char.code (Bytes.get t.blk_age i)
+
+let set_age t i v = Bytes.set t.blk_age i (Char.chr (min 255 (max 0 v)))
 
 let scanned t =
   match t.blk_kind with

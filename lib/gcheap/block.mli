@@ -17,6 +17,7 @@ type t = {
   blk_kind : kind;
   blk_alloc : Bytes.t;
   blk_mark : Bytes.t;
+  blk_age : Bytes.t;  (** minor collections survived, one byte per slot *)
   blk_req : int array;  (** requested (un-rounded) size per slot *)
 }
 
@@ -37,6 +38,12 @@ val is_marked : t -> int -> bool
 val set_marked : t -> int -> bool -> unit
 
 val clear_marks : t -> unit
+
+val age : t -> int -> int
+(** Number of minor collections the slot's object has survived. *)
+
+val set_age : t -> int -> int -> unit
+(** Clamped to a byte. *)
 
 val scanned : t -> bool
 (** Are object contents scanned for pointers? *)

@@ -11,7 +11,24 @@
       reclamation as a hard fault — this is how the hazard experiments
       observe GC-unsafety;
     - [GC_base] / [GC_same_obj] / [GC_pre_incr] / [GC_post_incr]: the
-      checking primitives of the paper's debugging mode. *)
+      checking primitives of the paper's debugging mode;
+    - an optional generational mode: objects carry a per-slot age, minor
+      collections scan only young objects plus roots and the dirty cards
+      of a page-granularity remembered set, and survivors are promoted
+      after [promote_after] minor cycles.  Stop-the-world full collection
+      remains the default and is bit-identical to the non-generational
+      collector. *)
+
+type gc_mode = Stw | Gen
+
+let gc_mode_name = function Stw -> "stw" | Gen -> "gen"
+
+let gc_mode_of_string = function
+  | "stw" -> Some Stw
+  | "gen" -> Some Gen
+  | _ -> None
+
+type generation = Minor | Major
 
 type config = {
   mutable all_interior : bool;
@@ -20,10 +37,17 @@ type config = {
           only from roots — the "Extensions" section mode *)
   mutable poison : bool;  (** fill freed objects with 0xDB *)
   mutable gc_threshold : int;  (** collect after this many bytes allocated *)
+  mutable generational : bool;
+      (** enable minor collections and the store barrier's dirty cards *)
+  mutable minor_threshold : int;
+      (** bytes allocated between minor collections (generational mode) *)
+  mutable promote_after : int;
+      (** minor collections an object must survive to become old *)
 }
 
 type stats = {
   mutable collections : int;
+  mutable minor_collections : int;
   mutable bytes_allocated : int;
   mutable objects_allocated : int;
   mutable objects_freed : int;
@@ -32,6 +56,8 @@ type stats = {
   mutable base_lookups : int;
   mutable same_obj_checks : int;
   mutable check_failures : int;
+  mutable promoted : int;
+  mutable cards_scanned : int;
 }
 
 type t = {
@@ -43,7 +69,14 @@ type t = {
   mutable all_blocks : Block.t list;  (** every block ever created *)
   config : config;
   stats : stats;
-  mutable since_gc : int;  (** bytes allocated since the last collection *)
+  mutable since_gc : int;
+      (** live-growth estimate driving major collections: raw bytes
+          allocated, credited with bytes reclaimed by minor collections
+          (Boehm-style), reset by a full collection *)
+  mutable since_minor : int;  (** bytes allocated since any collection *)
+  mutable dirty : Bytes.t;
+      (** remembered set: one byte per arena page (indexed by
+          [addr lsr Mem.page_bits]), set by {!note_store} *)
   mutable roots : (int * int) list;
       (** extra permanent root ranges [start, stop) — e.g. the VM stack *)
   mutable on_free : (addr:int -> bytes:int -> unit) option;
@@ -54,7 +87,14 @@ exception Check_failure of string
 (** raised by GC_same_obj and friends in checked mode *)
 
 let default_config () =
-  { all_interior = true; poison = true; gc_threshold = 256 * 1024 }
+  {
+    all_interior = true;
+    poison = true;
+    gc_threshold = 256 * 1024;
+    generational = false;
+    minor_threshold = 32 * 1024;
+    promote_after = 2;
+  }
 
 let create ?(config = default_config ()) () =
   {
@@ -67,6 +107,7 @@ let create ?(config = default_config ()) () =
     stats =
       {
         collections = 0;
+        minor_collections = 0;
         bytes_allocated = 0;
         objects_allocated = 0;
         objects_freed = 0;
@@ -75,13 +116,81 @@ let create ?(config = default_config ()) () =
         base_lookups = 0;
         same_obj_checks = 0;
         check_failures = 0;
+        promoted = 0;
+        cards_scanned = 0;
       };
     since_gc = 0;
+    since_minor = 0;
+    dirty = Bytes.create 0;
     roots = [];
     on_free = None;
   }
 
 let add_root_range t start stop = t.roots <- (start, stop) :: t.roots
+
+(* ------------------------------------------------------------------ *)
+(* Remembered set: dirty cards at page granularity                     *)
+(* ------------------------------------------------------------------ *)
+
+let page_index addr = addr lsr Mem.page_bits
+
+let page_is_dirty t addr =
+  let p = page_index addr in
+  p < Bytes.length t.dirty && Bytes.get t.dirty p <> '\000'
+
+let mark_page_dirty t p =
+  if p >= Bytes.length t.dirty then begin
+    let grown = Bytes.make (max (p + 1) ((2 * Bytes.length t.dirty) + 64)) '\000' in
+    Bytes.blit t.dirty 0 grown 0 (Bytes.length t.dirty);
+    t.dirty <- grown
+  end;
+  Bytes.set t.dirty p '\001'
+
+(* Is the slot's object old (survived [promote_after] minor cycles)? *)
+let is_old t blk i = Block.age blk i >= t.config.promote_after
+
+(** The store write-barrier: record writes that land inside old
+    collectable objects so their pages are rescanned by the next minor
+    collection.  Stores anywhere else need no card — young objects are
+    scanned by every minor anyway, and stacks, statics and registers are
+    roots — and filtering them out matters: young and old slots share
+    pages, so an unfiltered barrier would drag the old slots of every
+    freshly-initialized page into every minor.  Writes that survive
+    inside an object promoted later are covered by promotion dirtying
+    the promoted slot's pages.  A single branch when generational mode
+    is off; charges no VM cycles either way. *)
+let note_store t addr len =
+  if t.config.generational && len > 0 then begin
+    let dirty_if_old a =
+      match Page_map.find t.map a with
+      | Some blk when Block.collectable blk -> (
+          match Block.slot_of_addr blk a with
+          | Some i when Block.is_allocated blk i && is_old t blk i ->
+              mark_page_dirty t (page_index a)
+          | Some _ | None -> ())
+      | Some _ | None -> ()
+    in
+    (* legitimate multi-byte writes stay within one object, so probing
+       the first and last written byte (plus the head of each interior
+       page a long copy crosses) covers every page the write can make
+       old-to-young *)
+    let last = addr + len - 1 in
+    dirty_if_old addr;
+    if last <> addr then dirty_if_old last;
+    for p = page_index addr + 1 to page_index last - 1 do
+      dirty_if_old (p lsl Mem.page_bits)
+    done
+  end
+
+(** Age of the allocated object at [addr] in minor collections survived
+    ([None] outside allocated objects). *)
+let slot_age t addr =
+  match Page_map.find t.map addr with
+  | None -> None
+  | Some blk -> (
+      match Block.slot_of_addr blk addr with
+      | Some i when Block.is_allocated blk i -> Some (Block.age blk i)
+      | Some _ | None -> None)
 
 (* ------------------------------------------------------------------ *)
 (* Size classes                                                        *)
@@ -147,6 +256,7 @@ let alloc_large t ~req bytes kind =
         b
   in
   Block.set_allocated blk 0 true;
+  Block.set_age blk 0 0;
   blk.Block.blk_req.(0) <- req;
   Mem.fill t.mem blk.Block.blk_start (pages * Mem.page_size) '\000';
   blk.Block.blk_start
@@ -157,6 +267,7 @@ let alloc ?(kind = Block.Normal) t bytes =
   t.stats.bytes_allocated <- t.stats.bytes_allocated + bytes;
   t.stats.objects_allocated <- t.stats.objects_allocated + 1;
   t.since_gc <- t.since_gc + bytes;
+  t.since_minor <- t.since_minor + bytes;
   let with_slack = bytes + 1 in
   if with_slack > max_small then alloc_large t ~req:bytes with_slack kind
   else begin
@@ -171,6 +282,7 @@ let alloc ?(kind = Block.Normal) t bytes =
         | Some blk ->
             let i = Option.get (Block.slot_of_addr blk addr) in
             Block.set_allocated blk i true;
+            Block.set_age blk i 0;
             blk.Block.blk_req.(i) <- bytes
         | None -> assert false);
         Mem.fill t.mem addr cls '\000';
@@ -226,26 +338,49 @@ let plausible_pointer ?(from_root = true) t v =
 (* Collection                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let mark_and_trace t ~extra_roots ~extra_ranges =
+(* Aligned word walk over [start, stop), as a conservative collector does.
+   An unaligned range's last bytes do not fill a word: the word holding
+   them is still scanned (a pointer's first bytes may sit there), provided
+   it lies inside the arena. *)
+let iter_range_words t start stop f =
+  let a = ref ((start + 7) / 8 * 8) in
+  while !a + 8 <= stop do
+    f !a (Mem.load_word t.mem !a);
+    a := !a + 8
+  done;
+  if !a < stop && !a + 8 <= Mem.limit t.mem then f !a (Mem.load_word t.mem !a)
+
+(* Does any word of [start, stop) hold a (conservative) pointer to a young
+   collectable object?  Same resolution rules as heap-object scanning. *)
+let range_has_young_ref t start stop =
+  let found = ref false in
+  iter_range_words t start stop (fun _ v ->
+      if not !found then
+        match plausible_pointer ~from_root:false t v with
+        | Some (blk, i) when Block.collectable blk -> found := not (is_old t blk i)
+        | Some _ | None -> ());
+  !found
+
+let mark_and_trace ?(minor = false) t ~extra_roots ~extra_ranges =
   let stack = Stack.create () in
   let consider ~from_root v =
     match plausible_pointer ~from_root t v with
     | None -> ()
     | Some (blk, i) ->
-        if not (Block.is_marked blk i) then begin
+        (* a minor cycle collects only the young generation: old objects
+           are implicitly live, and references out of them are covered by
+           the dirty cards scanned below *)
+        if minor && Block.collectable blk && is_old t blk i then ()
+        else if not (Block.is_marked blk i) then begin
           Block.set_marked blk i true;
           if Block.scanned blk then
             Stack.push (Block.slot_addr blk i, blk.Block.blk_obj_size) stack
         end
   in
   let scan_range ~from_root start stop =
-    (* aligned word scan, as a conservative collector does *)
-    let a = ref ((start + 7) / 8 * 8) in
-    while !a + 8 <= stop do
-      t.stats.words_scanned <- t.stats.words_scanned + 1;
-      consider ~from_root (Mem.load_word t.mem !a);
-      a := !a + 8
-    done
+    iter_range_words t start stop (fun _ v ->
+        t.stats.words_scanned <- t.stats.words_scanned + 1;
+        consider ~from_root v)
   in
   (* roots: explicit word values (the VM register file) ... *)
   List.iter (fun v -> consider ~from_root:true v) extra_roots;
@@ -264,6 +399,29 @@ let mark_and_trace t ~extra_roots ~extra_ranges =
           end
         done)
     t.all_blocks;
+  (* ... and, on a minor cycle, the old objects on dirty cards: the
+     remembered set stands in for the unscanned rest of the old
+     generation *)
+  if minor then
+    for p = 0 to Bytes.length t.dirty - 1 do
+      if Bytes.get t.dirty p <> '\000' then begin
+        t.stats.cards_scanned <- t.stats.cards_scanned + 1;
+        let page_start = p lsl Mem.page_bits in
+        let page_stop = page_start + Mem.page_size in
+        match Page_map.find t.map page_start with
+        | Some blk when Block.collectable blk && Block.scanned blk ->
+            for i = 0 to blk.Block.blk_count - 1 do
+              if Block.is_allocated blk i && is_old t blk i then begin
+                let s = max (Block.slot_addr blk i) page_start in
+                let e =
+                  min (Block.slot_addr blk i + blk.Block.blk_obj_size) page_stop
+                in
+                if s < e then scan_range ~from_root:false s e
+              end
+            done
+        | Some _ | None -> ()
+      end
+    done;
   (* stack blocks are never swept; mark them so sweeping logic is uniform *)
   List.iter
     (fun blk ->
@@ -278,49 +436,116 @@ let mark_and_trace t ~extra_roots ~extra_ranges =
     scan_range ~from_root:false start (start + len)
   done
 
-let sweep t =
+(* Conservatively mark the pages of a slot dirty (used on promotion: the
+   freshly old object may hold young pointers on cards that were clean
+   while it was young and scanned unconditionally). *)
+let dirty_slot_pages t blk i =
+  let s = Block.slot_addr blk i in
+  for p = page_index s to page_index (s + blk.Block.blk_obj_size - 1) do
+    mark_page_dirty t p
+  done
+
+let sweep ?(minor = false) t =
   let freed = ref 0 and freed_bytes = ref 0 in
   List.iter (fun blk ->
       if Block.collectable blk then
         for i = 0 to blk.Block.blk_count - 1 do
-          if Block.is_allocated blk i && not (Block.is_marked blk i) then begin
-            Block.set_allocated blk i false;
-            incr freed;
-            freed_bytes := !freed_bytes + blk.Block.blk_req.(i);
-            let addr = Block.slot_addr blk i in
-            (match t.on_free with
-            | Some f -> f ~addr ~bytes:blk.Block.blk_req.(i)
-            | None -> ());
-            if t.config.poison then
-              Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
-            (* small-class slots return to their free list; large blocks
-               (obj_size > max_small, even single-page ones) stay in
-               [large_blocks] for whole-block reuse and must never leak
-               onto a size-class list *)
-            if blk.Block.blk_obj_size <= max_small then begin
-              let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
-              fl := addr :: !fl
+          if Block.is_allocated blk i then
+            if minor && is_old t blk i then
+              (* old objects are not collected by a minor cycle *)
+              ()
+            else if not (Block.is_marked blk i) then begin
+              Block.set_allocated blk i false;
+              incr freed;
+              freed_bytes := !freed_bytes + blk.Block.blk_req.(i);
+              let addr = Block.slot_addr blk i in
+              (match t.on_free with
+              | Some f -> f ~addr ~bytes:blk.Block.blk_req.(i)
+              | None -> ());
+              if t.config.poison then
+                Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
+              (* small-class slots return to their free list; large blocks
+                 (obj_size > max_small, even single-page ones) stay in
+                 [large_blocks] for whole-block reuse and must never leak
+                 onto a size-class list *)
+              if blk.Block.blk_obj_size <= max_small then begin
+                let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
+                fl := addr :: !fl
+              end
             end
-          end
+            else if minor then begin
+              (* young survivor: one minor cycle older *)
+              Block.set_age blk i (Block.age blk i + 1);
+              if is_old t blk i then begin
+                t.stats.promoted <- t.stats.promoted + 1;
+                dirty_slot_pages t blk i
+              end
+            end
         done)
     t.all_blocks;
   t.stats.objects_freed <- t.stats.objects_freed + !freed;
   t.stats.bytes_freed <- t.stats.bytes_freed + !freed_bytes;
-  !freed
+  (!freed, !freed_bytes)
 
-(** Run a full collection.  [extra_roots] are word values scanned in
-    addition to the registered root ranges — the VM passes its register
-    file here. *)
-let collect ?(extra_roots = []) ?(extra_ranges = []) t =
+(* Clean every dirty card that no longer holds an old→young reference.
+   Keeping exactly the cards that do maintains remembered-set
+   completeness between collections: stores dirty their cards eagerly and
+   ages only ever increase, so an old→young reference can appear on a
+   clean card only through a store (barrier) or a promotion (which
+   dirties the promoted slot's pages). *)
+let recompute_cards t =
+  for p = 0 to Bytes.length t.dirty - 1 do
+    if Bytes.get t.dirty p <> '\000' then begin
+      let page_start = p lsl Mem.page_bits in
+      let page_stop = page_start + Mem.page_size in
+      let needed = ref false in
+      (match Page_map.find t.map page_start with
+      | Some blk when Block.collectable blk && Block.scanned blk ->
+          for i = 0 to blk.Block.blk_count - 1 do
+            if
+              (not !needed)
+              && Block.is_allocated blk i
+              && is_old t blk i
+            then begin
+              let s = max (Block.slot_addr blk i) page_start in
+              let e =
+                min (Block.slot_addr blk i + blk.Block.blk_obj_size) page_stop
+              in
+              if s < e && range_has_young_ref t s e then needed := true
+            end
+          done
+      | Some _ | None -> ());
+      if not !needed then Bytes.set t.dirty p '\000'
+    end
+  done
+
+(** Run a collection.  [extra_roots] are word values scanned in addition
+    to the registered root ranges — the VM passes its register file here.
+    [generation] defaults to [Major] (a full stop-the-world cycle);
+    [Minor] is honoured only when the heap is generational. *)
+let collect ?(generation = Major) ?(extra_roots = []) ?(extra_ranges = []) t =
+  let minor = generation = Minor && t.config.generational in
   t.stats.collections <- t.stats.collections + 1;
+  if minor then t.stats.minor_collections <- t.stats.minor_collections + 1;
   List.iter Block.clear_marks t.all_blocks;
-  mark_and_trace t ~extra_roots ~extra_ranges;
-  let freed = sweep t in
-  t.since_gc <- 0;
+  mark_and_trace ~minor t ~extra_roots ~extra_ranges;
+  let freed, freed_bytes = sweep ~minor t in
+  if t.config.generational then recompute_cards t;
+  (* Boehm-style live-growth trigger: a major collection is due when the
+     heap has *grown* by [gc_threshold] bytes, so bytes a minor cycle
+     gives back are credited rather than counted toward the next major *)
+  if minor then t.since_gc <- max 0 (t.since_gc - freed_bytes)
+  else t.since_gc <- 0;
+  t.since_minor <- 0;
   freed
 
-(** Should the allocator trigger a collection? *)
+(** Should the allocator trigger a (major) collection? *)
 let should_collect t = t.since_gc >= t.config.gc_threshold
+
+(** Should the allocator trigger a minor collection?  Never true outside
+    generational mode. *)
+let should_collect_minor t =
+  t.config.generational && t.since_minor >= t.config.minor_threshold
 
 (* ------------------------------------------------------------------ *)
 (* Checking primitives (debugging mode runtime)                        *)
@@ -439,7 +664,10 @@ let pp_violation fmt v = Format.fprintf fmt "[%s] %s" v.v_rule v.v_detail
     - [free-list]: free lists hold exactly the free slots of small blocks,
       once each, at slot-base addresses of the right class and kind;
     - [slack-byte]: every allocated object keeps the paper's one extra
-      byte ([req] strictly below the rounded slot size). *)
+      byte ([req] strictly below the rounded slot size);
+    - [remembered-set] (generational mode only): every old→young
+      reference lies on a dirty card, so a minor collection cannot miss
+      it. *)
 let check_integrity t : violation list =
   let out = ref [] in
   let report rule fmt =
@@ -540,6 +768,30 @@ let check_integrity t : violation list =
           end
         done)
     t.all_blocks;
+  (* remembered-set completeness: minor collections scan only dirty
+     cards of the old generation, so an old→young reference on a clean
+     card would let a minor cycle reclaim a live object *)
+  if t.config.generational then
+    List.iter
+      (fun blk ->
+        if Block.collectable blk && Block.scanned blk then
+          for i = 0 to blk.Block.blk_count - 1 do
+            if Block.is_allocated blk i && is_old t blk i then begin
+              let s = Block.slot_addr blk i in
+              iter_range_words t s (s + blk.Block.blk_obj_size) (fun a v ->
+                  let young =
+                    match plausible_pointer ~from_root:false t v with
+                    | Some (b, j) when Block.collectable b -> not (is_old t b j)
+                    | Some _ | None -> false
+                  in
+                  if young && not (page_is_dirty t a) then
+                    report "remembered-set"
+                      "old object %#x holds young pointer %#x at %#x on a \
+                       clean card"
+                      s v a)
+            end
+          done)
+      t.all_blocks;
   List.rev !out
 
 (** Run {!check_integrity} and raise {!Heap_corruption} on any finding. *)
@@ -569,8 +821,9 @@ let footprint t = Mem.limit t.mem
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "collections=%d allocated=%d objs (%d bytes) freed=%d objs (%d bytes) \
-     words_scanned=%d base_lookups=%d same_obj=%d failures=%d"
-    s.collections s.objects_allocated s.bytes_allocated s.objects_freed
-    s.bytes_freed s.words_scanned s.base_lookups s.same_obj_checks
-    s.check_failures
+    "collections=%d (minor=%d) allocated=%d objs (%d bytes) freed=%d objs \
+     (%d bytes) words_scanned=%d base_lookups=%d same_obj=%d failures=%d \
+     promoted=%d cards_scanned=%d"
+    s.collections s.minor_collections s.objects_allocated s.bytes_allocated
+    s.objects_freed s.bytes_freed s.words_scanned s.base_lookups
+    s.same_obj_checks s.check_failures s.promoted s.cards_scanned

@@ -5,7 +5,27 @@
     back to their object), [GC_base]-style interior-pointer resolution via
     the height-2 page map, root scanning over caller-supplied word values
     and registered ranges, and the checking primitives of the debugging
-    mode ([GC_same_obj], [GC_pre_incr], [GC_post_incr], [GC_check_base]). *)
+    mode ([GC_same_obj], [GC_pre_incr], [GC_post_incr], [GC_check_base]).
+
+    A generational mode layers minor collections on top: objects carry a
+    per-slot age, a minor cycle scans roots, young objects and the dirty
+    cards of a page-granularity remembered set (fed by {!note_store}),
+    and survivors promote to the old generation after
+    [config.promote_after] minor cycles. *)
+
+type gc_mode = Stw | Gen
+(** Collector operating mode: stop-the-world full collections only (the
+    paper's collector, the default), or generational minor + major
+    cycles. *)
+
+val gc_mode_name : gc_mode -> string
+(** ["stw"] / ["gen"]. *)
+
+val gc_mode_of_string : string -> gc_mode option
+
+type generation = Minor | Major
+(** Which cycle {!collect} runs; [Minor] degrades to [Major] on a
+    non-generational heap. *)
 
 type config = {
   mutable all_interior : bool;
@@ -15,10 +35,17 @@ type config = {
   mutable poison : bool;  (** fill freed objects with [0xDB] *)
   mutable gc_threshold : int;
       (** allocation volume (bytes) between collections *)
+  mutable generational : bool;
+      (** enable minor collections and the store barrier's dirty cards *)
+  mutable minor_threshold : int;
+      (** allocation volume (bytes) between minor collections *)
+  mutable promote_after : int;
+      (** minor collections an object must survive to become old *)
 }
 
 type stats = {
-  mutable collections : int;
+  mutable collections : int;  (** all collections, minor included *)
+  mutable minor_collections : int;
   mutable bytes_allocated : int;
   mutable objects_allocated : int;
   mutable objects_freed : int;
@@ -27,6 +54,8 @@ type stats = {
   mutable base_lookups : int;
   mutable same_obj_checks : int;
   mutable check_failures : int;
+  mutable promoted : int;  (** objects promoted to the old generation *)
+  mutable cards_scanned : int;  (** dirty cards visited by minor cycles *)
 }
 
 type t = {
@@ -38,6 +67,11 @@ type t = {
   config : config;
   stats : stats;
   mutable since_gc : int;
+      (** live-growth estimate driving major collections: allocation
+          minus what minor cycles reclaimed, reset by a full collection *)
+  mutable since_minor : int;  (** bytes allocated since any collection *)
+  mutable dirty : Bytes.t;
+      (** remembered set: one byte per arena page, set by {!note_store} *)
   mutable roots : (int * int) list;
   mutable on_free : (addr:int -> bytes:int -> unit) option;
       (** observer called with the base address and requested size of
@@ -72,16 +106,43 @@ val extent_of : t -> int -> (int * int) option
 (** Object extent [(base, rounded_size)] for an address inside an
     allocated object. *)
 
-val should_collect : t -> bool
-(** Has the allocation volume since the last collection crossed the
-    threshold? *)
+val note_store : t -> int -> int -> unit
+(** [note_store t addr len]: the store write-barrier.  When the write
+    lands inside an old collectable object, records its pages in the
+    remembered set so the next minor cycle rescans them; writes to young
+    objects, stacks, statics and registers need no card (minors scan all
+    of those anyway).  A single branch (and no allocation) when the heap
+    is not generational. *)
 
-val collect : ?extra_roots:int list -> ?extra_ranges:(int * int) list -> t -> int
-(** Run a full collection.  [extra_roots] are word values scanned in
-    addition to the registered ranges and uncollectable objects (the VM
-    passes its register files); [extra_ranges] are per-collection root
-    ranges (the VM passes the live prefix of its [Stack]-kind block).
-    Returns the number of objects freed. *)
+val page_is_dirty : t -> int -> bool
+(** Is the card (page) holding [addr] in the remembered set? *)
+
+val slot_age : t -> int -> int option
+(** Minor collections the allocated object at [addr] has survived;
+    [None] outside allocated objects.  Ages [>= config.promote_after]
+    are the old generation. *)
+
+val should_collect : t -> bool
+(** Has the live-growth estimate since the last full collection crossed
+    the (major) threshold? *)
+
+val should_collect_minor : t -> bool
+(** Has the allocation volume since any collection crossed the minor
+    threshold?  Always [false] outside generational mode. *)
+
+val collect :
+  ?generation:generation ->
+  ?extra_roots:int list ->
+  ?extra_ranges:(int * int) list ->
+  t ->
+  int
+(** Run a collection ([Major], a full stop-the-world cycle, by default;
+    [Minor] scans only roots, young objects and dirty cards, and is
+    honoured only on a generational heap).  [extra_roots] are word values
+    scanned in addition to the registered ranges and uncollectable
+    objects (the VM passes its register files); [extra_ranges] are
+    per-collection root ranges (the VM passes the live prefix of its
+    [Stack]-kind block).  Returns the number of objects freed. *)
 
 val same_obj : t -> int -> int -> int
 (** [GC_same_obj p q]: check that [p] points into (or one past) the object

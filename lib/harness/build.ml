@@ -37,6 +37,7 @@ type options = {
   loop_heuristic : bool;
   use_cache : bool;
   analysis : Gcsafe.Mode.analysis;
+  gc_mode : Gcheap.Heap.gc_mode;
 }
 
 let default =
@@ -45,6 +46,7 @@ let default =
     loop_heuristic = false;
     use_cache = true;
     analysis = Gcsafe.Mode.A_flow;
+    gc_mode = Gcheap.Heap.Stw;
   }
 
 let for_machine (m : Machine.Machdesc.t) =
@@ -140,12 +142,16 @@ let reset_cache () =
 (* The config name and the option fields are ':'-separated in front of a
    fixed-width source digest, and none of them can contain ':', so the
    key is injective in every input that affects the produced code.
-   [use_cache] steers the lookup, not the artifact, and is excluded. *)
+   [use_cache] steers the lookup, not the artifact, and is excluded.
+   [gc_mode] does not change the produced code, but it is part of the
+   record identity the harness threads around (a cached artifact answers
+   for the exact options it was requested under). *)
 let cache_key (options : options) (config : config) (source : string) : string
     =
-  Printf.sprintf "%s:%d:%b:%s:%s" (config_name config) options.nregs
+  Printf.sprintf "%s:%d:%b:%s:%s:%s" (config_name config) options.nregs
     options.loop_heuristic
     (Gcsafe.Mode.analysis_to_string options.analysis)
+    (Gcheap.Heap.gc_mode_name options.gc_mode)
     (Digest.to_hex (Digest.string source))
 
 (* ------------------------------------------------------------------ *)

@@ -40,10 +40,16 @@ type options = {
           defaults to [A_flow] — annotate only what the dataflow clients
           cannot prove redundant; [A_none] reproduces the paper's
           implementation verbatim. *)
+  gc_mode : Gcheap.Heap.gc_mode;
+      (** which collector the built program is intended to run under
+          (stop-the-world or generational).  Does not change the
+          produced code, but it is part of the options identity the
+          harness threads through the differential matrix. *)
 }
 
 val default : options
-(** 32 registers, no loop heuristic, cache on, [A_flow] analysis. *)
+(** 32 registers, no loop heuristic, cache on, [A_flow] analysis,
+    stop-the-world collection. *)
 
 val for_machine : Machine.Machdesc.t -> options
 (** {!default} with the machine's register file size, so measurements
@@ -83,8 +89,8 @@ val session_stats : session -> Exec.Cache.stats
 
 val cache_key : options -> config -> string -> string
 (** The content address of a build: the source digest plus every
-    [options] field that affects the produced code (machine-register
-    count, loop heuristic, analysis — [use_cache] itself does not).
+    [options] field with record identity (machine-register count, loop
+    heuristic, analysis, gc mode — [use_cache] itself does not count).
     Injective in those inputs (modulo digest collisions). *)
 
 val cache_stats : unit -> Exec.Cache.stats

@@ -13,20 +13,24 @@ type subject = {
   s_config : Build.config;
   s_machine : Machine.Machdesc.t;
   s_analysis : Gcsafe.Mode.analysis;
+  s_gc_mode : Gcheap.Heap.gc_mode;
   s_built : Build.built;
 }
 
-(* the harness default ([A_flow]) stays untagged; the paper-verbatim
-   variant announces itself *)
+(* the harness defaults ([A_flow], stop-the-world collection) stay
+   untagged; the variants announce themselves *)
 let subject_name s =
   let tag =
     match s.s_analysis with
     | Gcsafe.Mode.A_flow -> ""
     | Gcsafe.Mode.A_none -> " [analysis=none]"
   in
-  Printf.sprintf "%s @ %s%s"
+  let gtag =
+    match s.s_gc_mode with Gcheap.Heap.Stw -> "" | Gcheap.Heap.Gen -> " [gen]"
+  in
+  Printf.sprintf "%s @ %s%s%s"
     (Build.config_name s.s_config)
-    s.s_machine.Machine.Machdesc.md_name tag
+    s.s_machine.Machine.Machdesc.md_name tag gtag
 
 let default_machines =
   [
@@ -47,10 +51,13 @@ let preprocessed = function
     counts — the content-addressed artifact cache keys on the register
     count, so the sharing falls out of {!Build.compile}.  Unpreprocessed
     configurations ([Base], [Debug]) get a single subject regardless of
-    [analyses].  [pool] fans the distinct (config, register-count,
-    analysis) builds out over worker domains. *)
+    [analyses].  The gc mode affects the run, not the artifact, so
+    [gc_modes] multiplies subjects without multiplying builds.  [pool]
+    fans the distinct (config, register-count, analysis) builds out over
+    worker domains. *)
 let build_matrix ?(configs = Build.all_configs) ?(machines = default_machines)
-    ?(analyses = [ Gcsafe.Mode.A_flow ]) ?(pool = Exec.Pool.serial) source :
+    ?(analyses = [ Gcsafe.Mode.A_flow ])
+    ?(gc_modes = [ Gcheap.Heap.Stw ]) ?(pool = Exec.Pool.serial) source :
     subject list =
   let variants config =
     if preprocessed config then List.sort_uniq compare analyses
@@ -78,19 +85,24 @@ let build_matrix ?(configs = Build.all_configs) ?(machines = default_machines)
             config source ))
       distinct
   in
+  let gc_modes = List.sort_uniq compare gc_modes in
   List.concat_map
     (fun machine ->
       let nregs = machine.Machine.Machdesc.md_regs in
       List.concat_map
         (fun config ->
-          List.map
+          List.concat_map
             (fun analysis ->
-              {
-                s_config = config;
-                s_machine = machine;
-                s_analysis = analysis;
-                s_built = List.assoc (config, nregs, analysis) built;
-              })
+              List.map
+                (fun gc_mode ->
+                  {
+                    s_config = config;
+                    s_machine = machine;
+                    s_analysis = analysis;
+                    s_gc_mode = gc_mode;
+                    s_built = List.assoc (config, nregs, analysis) built;
+                  })
+                gc_modes)
             (variants config))
         configs)
     machines
@@ -146,8 +158,8 @@ let observe ?(check_integrity = true) ?max_instrs ?max_heap ?gc_point_sink
     ?telemetry ~schedule subject : obs =
   obs_of_outcome
     (Measure.run ~machine:subject.s_machine ~schedule ~check_integrity
-       ~final_collect:true ?max_instrs ?max_heap ?gc_point_sink ?telemetry
-       subject.s_built)
+       ~final_collect:true ~gc_mode:subject.s_gc_mode ?max_instrs ?max_heap
+       ?gc_point_sink ?telemetry subject.s_built)
 
 (** How an observation deviates from the reference behaviour. *)
 type mismatch =
@@ -211,7 +223,9 @@ type cell = { c_subject : subject; c_obs : obs; c_mismatch : mismatch option }
 
 (** Run the whole matrix under one schedule.  The reference for every cell
     is the optimized baseline ([Base]) on the same machine under [Auto]
-    (no injected collections) — the paper's notion of intended behaviour. *)
+    (no injected collections) — the paper's notion of intended behaviour.
+    When the matrix spans gc modes, the stop-the-world baseline is
+    preferred: generational subjects must match the paper's collector. *)
 let run_matrix ?(check_integrity = true) ~schedule (subjects : subject list) :
     cell list =
   let references = Hashtbl.create 4 in
@@ -220,12 +234,19 @@ let run_matrix ?(check_integrity = true) ~schedule (subjects : subject list) :
     match Hashtbl.find_opt references key with
     | Some r -> r
     | None ->
-        let base =
-          List.find
+        let bases =
+          List.filter
             (fun s ->
               s.s_config = Build.Base
               && s.s_machine.Machine.Machdesc.md_name = key)
             subjects
+        in
+        let base =
+          match
+            List.find_opt (fun s -> s.s_gc_mode = Gcheap.Heap.Stw) bases
+          with
+          | Some s -> s
+          | None -> List.hd bases
         in
         let r = observe ~check_integrity ~schedule:Machine.Schedule.Auto base in
         Hashtbl.add references key r;

@@ -13,12 +13,15 @@ type subject = {
   s_analysis : Gcsafe.Mode.analysis;
       (** which analysis pruned the annotations this subject was built
           with (meaningful for preprocessed configurations only) *)
+  s_gc_mode : Gcheap.Heap.gc_mode;
+      (** which collector the subject runs under (a run-time property:
+          subjects across gc modes share one built artifact) *)
   s_built : Build.built;
 }
 
 val subject_name : subject -> string
 (** ["config @ machine"], tagged with [" [analysis=none]"] for
-    paper-verbatim subjects. *)
+    paper-verbatim subjects and [" [gen]"] for generational ones. *)
 
 val default_machines : Machine.Machdesc.t list
 (** The paper's three machine models. *)
@@ -27,14 +30,17 @@ val build_matrix :
   ?configs:Build.config list ->
   ?machines:Machine.Machdesc.t list ->
   ?analyses:Gcsafe.Mode.analysis list ->
+  ?gc_modes:Gcheap.Heap.gc_mode list ->
   ?pool:Exec.Pool.t ->
   string ->
   subject list
 (** Build every configuration for every machine model and every
     [analyses] variant (default [[A_flow]]; builds shared between
     machines with equal register counts).  Unpreprocessed configurations
-    get one subject regardless of [analyses].  [pool] fans the distinct
-    builds out over worker domains. *)
+    get one subject regardless of [analyses].  [gc_modes] (default
+    [[Stw]]) multiplies subjects — not builds: the collector mode is a
+    run-time property.  [pool] fans the distinct builds out over worker
+    domains. *)
 
 type obs =
   | Obs_ok of {
@@ -92,4 +98,5 @@ val run_matrix :
   cell list
 (** Run the whole matrix under one schedule; each cell is diffed against
     the optimized baseline on the same machine under no injected
-    collections. *)
+    collections (preferring the stop-the-world baseline when the matrix
+    spans gc modes). *)

@@ -30,7 +30,8 @@ let describe = function
 
 let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
     ?(check_integrity = false) ?(final_collect = false) ?max_instrs ?max_heap
-    ?gc_threshold ?gc_point_sink ?telemetry (b : Build.built) : outcome =
+    ?gc_threshold ?(gc_mode = Gcheap.Heap.Stw) ?gc_point_sink ?telemetry
+    (b : Build.built) : outcome =
   let vm_gc_schedule =
     match (schedule, async_gc) with
     | Some s, _ -> s
@@ -50,6 +51,7 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
         Option.value ~default:dc.Machine.Vm.vm_max_heap_bytes max_heap;
       Machine.Vm.vm_gc_threshold =
         Option.value ~default:dc.Machine.Vm.vm_gc_threshold gc_threshold;
+      Machine.Vm.vm_gc_mode = gc_mode;
       Machine.Vm.vm_gc_point_sink = gc_point_sink;
       Machine.Vm.vm_telemetry = telemetry;
     }
@@ -80,16 +82,21 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
               vs))
 
 (** Build and run one workload configuration on one machine. *)
-let run_config ?(machine = Machine.Machdesc.sparc10) ?analysis config source :
-    Build.built * outcome =
+let run_config ?(machine = Machine.Machdesc.sparc10) ?analysis ?gc_mode config
+    source : Build.built * outcome =
   let options = Build.for_machine machine in
   let options =
     match analysis with
     | None -> options
     | Some a -> { options with Build.analysis = a }
   in
+  let options =
+    match gc_mode with
+    | None -> options
+    | Some g -> { options with Build.gc_mode = g }
+  in
   let b = Build.compile ~options config source in
-  (b, run ~machine b)
+  (b, run ~machine ~gc_mode:options.Build.gc_mode b)
 
 (** Percentage slowdown relative to a baseline cycle count, rendered as in
     the paper's tables. *)

@@ -33,6 +33,7 @@ val run :
   ?max_instrs:int ->
   ?max_heap:int ->
   ?gc_threshold:int ->
+  ?gc_mode:Gcheap.Heap.gc_mode ->
   ?gc_point_sink:(int -> string -> unit) ->
   ?telemetry:Telemetry.Sink.t ->
   Build.built ->
@@ -42,16 +43,19 @@ val run :
     threads a sink into the VM (metrics, tracing, heap profiling);
     [gc_threshold] overrides the allocation volume between automatic
     collections (the profiler uses a small threshold to observe drag at
-    fine grain). *)
+    fine grain); [gc_mode] selects stop-the-world (default) or
+    generational collection. *)
 
 val run_config :
   ?machine:Machine.Machdesc.t ->
   ?analysis:Gcsafe.Mode.analysis ->
+  ?gc_mode:Gcheap.Heap.gc_mode ->
   Build.config ->
   string ->
   Build.built * outcome
 (** Build and run one workload configuration on one machine.  [analysis]
-    overrides the harness default ({!Build.default}'s [A_flow]). *)
+    and [gc_mode] override the harness defaults ({!Build.default}'s
+    [A_flow] / stop-the-world). *)
 
 val slowdown_cell : base_cycles:int -> outcome -> string
 (** Percentage slowdown rendered as in the paper's tables ("9%",

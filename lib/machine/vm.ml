@@ -46,6 +46,13 @@ type config = {
       (** collector recognizes interior pointers everywhere (default); off
           reproduces the Extensions-section root-only mode *)
   vm_gc_threshold : int;  (** allocation volume between collections *)
+  vm_gc_mode : Gcheap.Heap.gc_mode;
+      (** [Stw] (default): full collections only, the paper's collector.
+          [Gen]: generational — the store barrier feeds a page-granularity
+          remembered set, minor collections run every
+          [vm_gc_threshold / 8] allocated bytes, and the major threshold
+          tracks live growth.  Cycle counts are identical in both modes:
+          the barrier charges nothing. *)
   vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
   vm_max_heap_bytes : int;
       (** arena footprint ceiling; exceeding it raises [Trap] *)
@@ -72,6 +79,7 @@ let default_config ?(machine = Machdesc.sparc10) () =
     vm_gc_at_calls_only = false;
     vm_all_interior = true;
     vm_gc_threshold = 256 * 1024;
+    vm_gc_mode = Gcheap.Heap.Stw;
     vm_max_instrs = 400_000_000;
     vm_max_heap_bytes = 1 lsl 30;
     vm_check_integrity = false;
@@ -151,7 +159,18 @@ type tele = {
   tl_steps : Telemetry.Metrics.counter;
   tl_dispatch : Telemetry.Metrics.counter array;  (** by {!class_of_instr} *)
   tl_gc : Telemetry.Metrics.counter;
+  tl_gc_minor : Telemetry.Metrics.counter;
   tl_gc_pause : Telemetry.Metrics.histogram;  (** nanoseconds *)
+  tl_gc_minor_pause : Telemetry.Metrics.histogram;  (** nanoseconds *)
+  tl_gc_major_pause : Telemetry.Metrics.histogram;  (** nanoseconds *)
+  tl_gc_minor_scan : Telemetry.Metrics.histogram;
+      (** pause work per minor cycle in words: words traced by mark plus
+          words reclaimed by sweep — the deterministic "VM-tick" pause
+          measure (no instructions retire during a collection, so the
+          collector's word traffic is the pause) *)
+  tl_gc_major_scan : Telemetry.Metrics.histogram;  (** per major cycle *)
+  tl_gc_promoted : Telemetry.Metrics.counter;
+  tl_gc_cards : Telemetry.Metrics.counter;  (** dirty cards scanned *)
   tl_gc_words : Telemetry.Metrics.counter;
   tl_gc_objs_freed : Telemetry.Metrics.counter;
   tl_gc_bytes_freed : Telemetry.Metrics.counter;
@@ -180,7 +199,14 @@ let make_tele sink p =
         (fun c -> Telemetry.Metrics.counter m ("dispatch/" ^ c))
         dispatch_class_names;
     tl_gc = Telemetry.Metrics.counter m "gc/collections";
+    tl_gc_minor = Telemetry.Metrics.counter m "gc/minor/collections";
     tl_gc_pause = Telemetry.Metrics.histogram m "gc/pause_ns";
+    tl_gc_minor_pause = Telemetry.Metrics.histogram m "gc/minor/pause_ns";
+    tl_gc_major_pause = Telemetry.Metrics.histogram m "gc/major/pause_ns";
+    tl_gc_minor_scan = Telemetry.Metrics.histogram m "gc/minor/pause_words";
+    tl_gc_major_scan = Telemetry.Metrics.histogram m "gc/major/pause_words";
+    tl_gc_promoted = Telemetry.Metrics.counter m "gc/promotions";
+    tl_gc_cards = Telemetry.Metrics.counter m "gc/cards_scanned";
     tl_gc_words = Telemetry.Metrics.counter m "gc/words_scanned";
     tl_gc_objs_freed = Telemetry.Metrics.counter m "gc/objects_freed";
     tl_gc_bytes_freed = Telemetry.Metrics.counter m "gc/bytes_freed";
@@ -248,6 +274,8 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
   let heap_config = Gcheap.Heap.default_config () in
   heap_config.Gcheap.Heap.gc_threshold <- cfg.vm_gc_threshold;
   heap_config.Gcheap.Heap.all_interior <- cfg.vm_all_interior;
+  heap_config.Gcheap.Heap.generational <- cfg.vm_gc_mode = Gcheap.Heap.Gen;
+  heap_config.Gcheap.Heap.minor_threshold <- max 1024 (cfg.vm_gc_threshold / 8);
   let heap = Gcheap.Heap.create ~config:heap_config () in
   let statics_base =
     Gcheap.Heap.alloc ~kind:Gcheap.Block.Uncollectable heap
@@ -298,13 +326,18 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
 (* Collection                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let collect ?(trigger = "auto") st =
+let collect ?(trigger = "auto") ?(generation = Gcheap.Heap.Major) st =
   let tl = st.tele in
+  let minor = generation = Gcheap.Heap.Minor in
   let t0 = if tl.tl_on then Unix.gettimeofday () else 0. in
   (match tl.tl_trace with
   | Some tr ->
       Telemetry.Trace.begin_span tr
-        ~args:[ ("trigger", Telemetry.Json.Str trigger) ]
+        ~args:
+          [
+            ("trigger", Telemetry.Json.Str trigger);
+            ("gen", Telemetry.Json.Str (if minor then "minor" else "major"));
+          ]
         "gc"
   | None -> ());
   (match tl.tl_prof with
@@ -314,6 +347,8 @@ let collect ?(trigger = "auto") st =
   let words0 = hs.Gcheap.Heap.words_scanned in
   let objs0 = hs.Gcheap.Heap.objects_freed in
   let bytes0 = hs.Gcheap.Heap.bytes_freed in
+  let promoted0 = hs.Gcheap.Heap.promoted in
+  let cards0 = hs.Gcheap.Heap.cards_scanned in
   st.gc_count <- st.gc_count + 1;
   let roots =
     List.concat_map (fun fr -> Array.to_list fr.fr_regs) st.frames
@@ -321,13 +356,23 @@ let collect ?(trigger = "auto") st =
   (* only the live prefix of the stack is scanned, as on a real machine *)
   let live_stack = (st.stack_base, st.stack_base + st.sp) in
   ignore
-    (Gcheap.Heap.collect ~extra_roots:roots ~extra_ranges:[ live_stack ]
-       st.heap);
+    (Gcheap.Heap.collect ~generation ~extra_roots:roots
+       ~extra_ranges:[ live_stack ] st.heap);
   if tl.tl_on then begin
     let open Telemetry in
     Metrics.incr tl.tl_gc;
-    Metrics.observe tl.tl_gc_pause
-      (Float.to_int ((Unix.gettimeofday () -. t0) *. 1e9));
+    if minor then Metrics.incr tl.tl_gc_minor;
+    let pause_ns = Float.to_int ((Unix.gettimeofday () -. t0) *. 1e9) in
+    Metrics.observe tl.tl_gc_pause pause_ns;
+    Metrics.observe
+      (if minor then tl.tl_gc_minor_pause else tl.tl_gc_major_pause)
+      pause_ns;
+    Metrics.observe
+      (if minor then tl.tl_gc_minor_scan else tl.tl_gc_major_scan)
+      (hs.Gcheap.Heap.words_scanned - words0
+      + ((hs.Gcheap.Heap.bytes_freed - bytes0 + 7) / 8));
+    Metrics.add tl.tl_gc_promoted (hs.Gcheap.Heap.promoted - promoted0);
+    Metrics.add tl.tl_gc_cards (hs.Gcheap.Heap.cards_scanned - cards0);
     Metrics.add tl.tl_gc_words (hs.Gcheap.Heap.words_scanned - words0);
     Metrics.add tl.tl_gc_objs_freed (hs.Gcheap.Heap.objects_freed - objs0);
     Metrics.add tl.tl_gc_bytes_freed (hs.Gcheap.Heap.bytes_freed - bytes0);
@@ -381,7 +426,10 @@ let forced_gc_due st =
 let maybe_collect_for_alloc st =
   match st.cfg.vm_gc_schedule with
   | Schedule.At_allocs -> forced_collect st
-  | _ -> if Gcheap.Heap.should_collect st.heap then collect st
+  | _ ->
+      if Gcheap.Heap.should_collect st.heap then collect st
+      else if Gcheap.Heap.should_collect_minor st.heap then
+        collect ~generation:Gcheap.Heap.Minor st
 
 let check_heap_ceiling st =
   let used = Gcheap.Heap.footprint st.heap in
@@ -471,6 +519,8 @@ let load_mem st width addr =
 
 let store_mem st width addr v =
   check_access st addr (bytes_of_width width) "store";
+  (* generational write barrier; charges no cycles in either gc mode *)
+  Gcheap.Heap.note_store st.heap addr (bytes_of_width width);
   Gcheap.Mem.store st.heap.Gcheap.Heap.mem ~width:(bytes_of_width width) addr v
 
 (* ------------------------------------------------------------------ *)
@@ -563,6 +613,7 @@ let builtin st name (args : int list) : int =
             let old_len = size - (p - base) in
             let len = min n old_len in
             charge st (len / 8);
+            Gcheap.Heap.note_store st.heap fresh len;
             Gcheap.Mem.blit st.heap.Gcheap.Heap.mem ~src:p ~dst:fresh len
         | None -> raise (Fault "realloc of non-heap pointer"));
         fresh
@@ -586,11 +637,13 @@ let builtin st name (args : int list) : int =
   | "GC_pre_incr", [ pp; delta ] -> (
       charge st 18;
       check_access st pp 8 "GC_pre_incr";
+      Gcheap.Heap.note_store st.heap pp 8;
       try Gcheap.Heap.pre_incr st.heap pp delta
       with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
   | "GC_post_incr", [ pp; delta ] -> (
       charge st 18;
       check_access st pp 8 "GC_post_incr";
+      Gcheap.Heap.note_store st.heap pp 8;
       try Gcheap.Heap.post_incr st.heap pp delta
       with Gcheap.Heap.Check_failure msg -> raise (Fault msg))
   | "GC_collect", [] ->
@@ -604,12 +657,15 @@ let builtin st name (args : int list) : int =
       let v = cstring st s in
       charge st (2 * String.length v);
       check_access st d (String.length v + 1) "strcpy";
+      Gcheap.Heap.note_store st.heap d (String.length v + 1);
       Gcheap.Mem.store_cstring st.heap.Gcheap.Heap.mem d v;
       d
   | "strcat", [ d; s ] ->
       let dv = cstring st d and sv = cstring st s in
       charge st (2 * (String.length dv + String.length sv));
       check_access st (d + String.length dv) (String.length sv + 1) "strcat";
+      Gcheap.Heap.note_store st.heap (d + String.length dv)
+        (String.length sv + 1);
       Gcheap.Mem.store_cstring st.heap.Gcheap.Heap.mem (d + String.length dv) sv;
       d
   | "strcmp", [ a; b ] ->
@@ -632,6 +688,7 @@ let builtin st name (args : int list) : int =
       if n > 0 then begin
         check_access st d n "memcpy dst";
         check_access st s n "memcpy src";
+        Gcheap.Heap.note_store st.heap d n;
         Gcheap.Mem.blit st.heap.Gcheap.Heap.mem ~src:s ~dst:d n
       end;
       d
@@ -639,6 +696,7 @@ let builtin st name (args : int list) : int =
       charge st (max 4 (n / 4));
       if n > 0 then begin
         check_access st d n "memset";
+        Gcheap.Heap.note_store st.heap d n;
         Gcheap.Mem.fill st.heap.Gcheap.Heap.mem d n (Char.chr (c land 0xff))
       end;
       d

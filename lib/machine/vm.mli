@@ -33,6 +33,16 @@ type config = {
       (** collector recognizes interior pointers everywhere (default);
           [false] reproduces the Extensions-section root-only mode *)
   vm_gc_threshold : int;  (** allocation volume between collections *)
+  vm_gc_mode : Gcheap.Heap.gc_mode;
+      (** [Stw] (default): full collections only, the paper's collector.
+          [Gen]: generational — a store write-barrier feeds a
+          page-granularity remembered set, minor collections run every
+          [vm_gc_threshold / 8] allocated bytes and scan only young
+          objects, roots and dirty cards; the major threshold tracks
+          live growth.  Cycle counts are identical in both modes (the
+          barrier charges nothing), and injected/forced collections are
+          always full majors, so unsafe programs fail identically under
+          injected schedules. *)
   vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
   vm_max_heap_bytes : int;
       (** arena footprint ceiling; exceeding it raises [Trap] *)

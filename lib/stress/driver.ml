@@ -41,6 +41,10 @@ type plan = {
       (** analysis variants of the preprocessed configurations; more than
           one cross-checks analysis-pruned builds against fully-annotated
           ones under every schedule *)
+  p_gc_modes : Gcheap.Heap.gc_mode list;
+      (** collector modes to run every subject under; more than one
+          cross-checks the generational collector against the paper's
+          stop-the-world collector under every schedule *)
   p_modes : mode list option;  (** [None]: choose per target size *)
   p_exhaustive_cap : int;
   p_max_instrs : int option;
@@ -58,6 +62,7 @@ let default_plan =
     p_configs = Build.all_configs;
     p_machines = Differ.default_machines;
     p_analyses = [ Gcsafe.Mode.A_flow ];
+    p_gc_modes = [ Gcheap.Heap.Stw ];
     p_modes = None;
     p_exhaustive_cap = 2000;
     p_max_instrs = None;
@@ -137,7 +142,8 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
   let fn_locs = Corpus.function_locs target.Corpus.t_source in
   let subjects =
     Differ.build_matrix ~configs:plan.p_configs ~machines:plan.p_machines
-      ~analyses:plan.p_analyses ~pool target.Corpus.t_source
+      ~analyses:plan.p_analyses ~gc_modes:plan.p_gc_modes ~pool
+      target.Corpus.t_source
   in
   (* [observe_raw] may run on a worker domain and must not touch shared
      state; run accounting happens on the submitting thread, in serial
@@ -181,17 +187,25 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
     runs := !runs + List.length subjects;
     List.combine subjects obss
   in
+  (* The per-machine reference: the stop-the-world baseline when the
+     plan spans gc modes — generational runs must match the paper's
+     collector, not the other way around. *)
   let base_auto machine =
-    let s, o =
-      List.find
+    let bases =
+      List.filter
         (fun (s, _) ->
           s.Differ.s_config = Build.Base
           && s.Differ.s_machine.Machine.Machdesc.md_name
              = machine.Machine.Machdesc.md_name)
         auto
     in
-    ignore s;
-    o
+    match
+      List.find_opt
+        (fun (s, _) -> s.Differ.s_gc_mode = Gcheap.Heap.Stw)
+        bases
+    with
+    | Some (_, o) -> o
+    | None -> snd (List.hd bases)
   in
   let findings = ref [] in
   let record f = findings := f :: !findings in

@@ -16,6 +16,10 @@ type plan = {
       (** analysis variants of the preprocessed configurations; more than
           one cross-checks analysis-pruned builds against fully-annotated
           ones under every schedule *)
+  p_gc_modes : Gcheap.Heap.gc_mode list;
+      (** collector modes to run every subject under (default [[Stw]]);
+          more than one cross-checks the generational collector against
+          the paper's stop-the-world collector under every schedule *)
   p_modes : mode list option;  (** [None]: choose per target size *)
   p_exhaustive_cap : int;
   p_max_instrs : int option;

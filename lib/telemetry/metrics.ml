@@ -209,8 +209,15 @@ let percentile buckets p =
   let total = Array.fold_left ( + ) 0 buckets in
   if total = 0 then 0
   else begin
-    (* nearest-rank: the ceil(p * n)-th order statistic *)
-    let target = Float.to_int (Float.ceil (Float.of_int total *. p)) in
+    (* nearest-rank: the ceil(p * n)-th order statistic.  The product
+       [p *. n] can land a hair above the exact rank in binary floating
+       point (0.07 *. 100. = 7.0000000000000006), so back off by an
+       epsilon before taking the ceiling; out-of-range and NaN [p]
+       clamp to the extreme order statistics. *)
+    let p = if Float.is_nan p then 0. else Float.min 1. (Float.max 0. p) in
+    let target =
+      Float.to_int (Float.ceil ((Float.of_int total *. p) -. 1e-9))
+    in
     let target = max 1 (min total target) in
     let seen = ref 0 and result = ref 0 in
     (try

@@ -80,4 +80,6 @@ val pp : Format.formatter -> snapshot -> unit
 val percentile : int array -> float -> int
 (** [percentile buckets p] (0 <= p <= 1): an upper bound of the p-th
     percentile of a log-scale bucket array (the top edge of the bucket
-    the percentile falls in).  0 on an empty histogram. *)
+    the nearest-rank order statistic falls in).  0 on an empty
+    histogram; [p] outside [0, 1] (or NaN) clamps to the extreme order
+    statistics, so [p = 1.0] is exactly the maximum bucket edge. *)

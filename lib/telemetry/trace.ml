@@ -115,33 +115,23 @@ let write_file t path =
       output_char oc '\n')
 
 let normalize evs =
-  let lane = Hashtbl.create 8 in
-  let lane_of tid =
-    match Hashtbl.find_opt lane tid with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length lane in
-        Hashtbl.add lane tid i;
-        i
-  in
-  let renumbered =
-    List.map (fun ev -> { ev with ev_ts = 0; ev_tid = lane_of ev.ev_tid }) evs
-  in
+  (* which worker lane a task lands on is a scheduling accident, so the
+     canonical form erases lanes along with timestamps: what is
+     deterministic across runs of the same workload is the multiset of
+     events.  Per-lane B/E structure is [check]'s job, not this one's. *)
+  let cleared = List.map (fun ev -> { ev with ev_ts = 0; ev_tid = 0 }) evs in
   List.sort
     (fun a b ->
-      let c = compare a.ev_tid b.ev_tid in
+      let c = String.compare a.ev_name b.ev_name in
       if c <> 0 then c
       else
-        let c = String.compare a.ev_name b.ev_name in
+        let c = Char.compare a.ev_ph b.ev_ph in
         if c <> 0 then c
         else
-          let c = Char.compare a.ev_ph b.ev_ph in
-          if c <> 0 then c
-          else
-            String.compare
-              (Json.to_string (Json.Obj a.ev_args))
-              (Json.to_string (Json.Obj b.ev_args)))
-    renumbered
+          String.compare
+            (Json.to_string (Json.Obj a.ev_args))
+            (Json.to_string (Json.Obj b.ev_args)))
+    cleared
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                          *)

@@ -58,10 +58,12 @@ val to_json : t -> Json.t
 val write_file : t -> string -> unit
 
 val normalize : event list -> event list
-(** Canonical form for determinism comparisons: timestamps zeroed,
-    lanes renumbered by order of first appearance, then sorted by
-    (tid, name, phase, rendered args).  Two runs of the same parallel
-    workload normalize to equal lists iff they did the same work. *)
+(** Canonical form for determinism comparisons: timestamps and lane ids
+    zeroed, then sorted by (name, phase, rendered args).  Lanes are
+    erased because which worker a task lands on is a scheduling
+    accident; per-lane B/E structure is [check]'s concern.  Two runs of
+    the same parallel workload normalize to equal lists iff they
+    produced the same multiset of events. *)
 
 val check : Json.t -> (unit, string) result
 (** Structural validator: the document is an object with a

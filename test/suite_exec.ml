@@ -163,16 +163,21 @@ let gen_input =
     let* loop_heuristic = bool in
     let* use_cache = bool in
     let* analysis = oneofl [ Gcsafe.Mode.A_none; Gcsafe.Mode.A_flow ] in
+    let* gc_mode = oneofl [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ] in
     let* config = oneofl Build.all_configs in
     let* source = oneofl (Array.to_list sources) in
-    return ({ Build.nregs; loop_heuristic; use_cache; analysis }, config, source))
+    return
+      ( { Build.nregs; loop_heuristic; use_cache; analysis; gc_mode },
+        config,
+        source ))
 
 let arb_input =
   QCheck.make
     ~print:(fun (o, c, s) ->
-      Printf.sprintf "{nregs=%d; loop=%b; cache=%b; analysis=%s} %s %S"
+      Printf.sprintf "{nregs=%d; loop=%b; cache=%b; analysis=%s; gc=%s} %s %S"
         o.Build.nregs o.Build.loop_heuristic o.Build.use_cache
         (Gcsafe.Mode.analysis_to_string o.Build.analysis)
+        (Gcheap.Heap.gc_mode_name o.Build.gc_mode)
         (Build.config_name c) s)
     gen_input
 
@@ -184,6 +189,7 @@ let prop_cache_key_injective =
         o1.Build.nregs = o2.Build.nregs
         && o1.Build.loop_heuristic = o2.Build.loop_heuristic
         && o1.Build.analysis = o2.Build.analysis
+        && o1.Build.gc_mode = o2.Build.gc_mode
         && c1 = c2 && s1 = s2
       in
       (* use_cache steers the lookup, not the artifact: it must not

@@ -281,6 +281,150 @@ let test_gc_base () =
      ignore (Heap.collect ~extra_roots:[ a ] h);
      Heap.base_of h b)
 
+(* --- root-range scanning: the final partial word ---------------------- *)
+
+let test_trailing_partial_word () =
+  (* an unaligned root range used to lose up to 7 trailing bytes to
+     alignment: plant the only pointer to the victim in the word that
+     straddles the range's end *)
+  let h = fresh () in
+  let stack = Heap.alloc ~kind:Block.Stack h 64 in
+  let victim = Heap.alloc h 24 in
+  Mem.store_word h.Heap.mem (stack + 8) victim;
+  (* the range ends 4 bytes into the pointer's word *)
+  ignore (Heap.collect ~extra_ranges:[ (stack, stack + 12) ] h);
+  Alcotest.(check bool) "pointer in the final partial word retains" true
+    (Heap.valid_access h victim 24)
+
+(* --- generational collection ------------------------------------------ *)
+
+let gen_heap ?(minor_threshold = 1024) ?(gc_threshold = 64 * 1024) () =
+  let config = Heap.default_config () in
+  config.Heap.generational <- true;
+  config.Heap.minor_threshold <- minor_threshold;
+  config.Heap.gc_threshold <- gc_threshold;
+  Heap.create ~config ()
+
+let minors h = h.Heap.stats.Heap.minor_collections
+
+let majors h = h.Heap.stats.Heap.collections - minors h
+
+let test_promotion () =
+  let h = gen_heap () in
+  let obj = Heap.alloc h 32 in
+  Alcotest.(check (option int)) "born young" (Some 0) (Heap.slot_age h obj);
+  ignore (Heap.collect ~generation:Heap.Minor ~extra_roots:[ obj ] h);
+  Alcotest.(check (option int)) "aged by one" (Some 1) (Heap.slot_age h obj);
+  ignore (Heap.collect ~generation:Heap.Minor ~extra_roots:[ obj ] h);
+  Alcotest.(check (option int)) "promoted" (Some 2) (Heap.slot_age h obj);
+  Alcotest.(check int) "promotion counted" 1 h.Heap.stats.Heap.promoted;
+  (* old objects are immune to minors, even unrooted... *)
+  ignore (Heap.collect ~generation:Heap.Minor h);
+  Alcotest.(check bool) "old object survives a rootless minor" true
+    (Heap.valid_access h obj 32);
+  (* ...but not to a major *)
+  ignore (Heap.collect h);
+  Alcotest.(check bool) "rootless major reclaims it" false
+    (Heap.valid_access h obj 32)
+
+let promote h obj =
+  ignore (Heap.collect ~generation:Heap.Minor ~extra_roots:[ obj ] h);
+  ignore (Heap.collect ~generation:Heap.Minor ~extra_roots:[ obj ] h);
+  Alcotest.(check bool) "promoted"
+    true
+    (match Heap.slot_age h obj with Some a -> a >= 2 | None -> false)
+
+let test_dirty_card_retains_young () =
+  let h = gen_heap () in
+  let o = Heap.alloc h 32 in
+  promote h o;
+  (* an old-to-young pointer stored through the write barrier: the card
+     is the only thing keeping the young object alive across a minor *)
+  let y = Heap.alloc h 24 in
+  Mem.store_word h.Heap.mem o y;
+  Heap.note_store h o 8;
+  Alcotest.(check bool) "card dirty after barrier" true (Heap.page_is_dirty h o);
+  ignore (Heap.collect ~generation:Heap.Minor h);
+  Alcotest.(check bool) "young object retained via the dirty card" true
+    (Heap.valid_access h y 24);
+  (* a major sees the same liveness through normal tracing *)
+  ignore (Heap.collect ~extra_roots:[ o ] h);
+  Alcotest.(check bool) "major agrees" true (Heap.valid_access h y 24)
+
+let test_remembered_set_integrity () =
+  let h = gen_heap () in
+  let o = Heap.alloc h 32 in
+  promote h o;
+  Alcotest.(check int) "healthy heap has no violations" 0
+    (List.length (Heap.check_integrity h));
+  let y = Heap.alloc h 24 in
+  (* a store that bypasses the write barrier leaves the remembered set
+     incomplete — the sanitizer must call it out *)
+  Mem.store_word h.Heap.mem o y;
+  Alcotest.(check bool) "remembered-set violation reported" true
+    (List.exists
+       (fun v -> v.Heap.v_rule = "remembered-set")
+       (Heap.check_integrity h));
+  (* the barrier repairs it *)
+  Heap.note_store h o 8;
+  Alcotest.(check int) "clean once the card is dirty" 0
+    (List.length (Heap.check_integrity h))
+
+let test_live_growth_trigger () =
+  (* satellite regression: a stable-footprint loop must not trigger
+     back-to-back majors — minors credit reclaimed bytes against the
+     live-growth estimate *)
+  let h = gen_heap ~minor_threshold:1024 ~gc_threshold:8192 () in
+  for _ = 1 to 200 do
+    ignore (Heap.alloc h 64);
+    if Heap.should_collect h then ignore (Heap.collect h)
+    else if Heap.should_collect_minor h then
+      ignore (Heap.collect ~generation:Heap.Minor h)
+  done;
+  Alcotest.(check int) "stable footprint triggers no majors" 0 (majors h);
+  Alcotest.(check bool) "minors did the reclaiming" true (minors h > 5)
+
+let test_minor_major_equivalence () =
+  (* the same allocation script, with and without interleaved minors,
+     ends in the same live set after a final stop-the-world major *)
+  let script h minor =
+    let keep = ref [] in
+    for i = 1 to 120 do
+      let a = Heap.alloc h (16 + (i mod 40)) in
+      if i mod 7 = 0 then keep := a :: !keep;
+      if minor && i mod 20 = 0 then
+        ignore (Heap.collect ~generation:Heap.Minor ~extra_roots:!keep h)
+    done;
+    ignore (Heap.collect ~extra_roots:!keep h);
+    Heap.live_summary h
+  in
+  Alcotest.(check (pair int int))
+    "final live set identical"
+    (script (fresh ()) false)
+    (script (gen_heap ()) true)
+
+let prop_gen_equivalence =
+  QCheck.Test.make ~count:40
+    ~name:"generational minors preserve the rooted live set"
+    QCheck.(
+      list_of_size Gen.(int_range 1 80) (triple (int_range 1 300) bool bool))
+    (fun spec ->
+      let run generational =
+        let h = if generational then gen_heap () else fresh () in
+        let keep = ref [] in
+        List.iter
+          (fun (n, k, m) ->
+            let a = Heap.alloc h n in
+            if k then keep := a :: !keep;
+            if generational && m then
+              ignore
+                (Heap.collect ~generation:Heap.Minor ~extra_roots:!keep h))
+          spec;
+        ignore (Heap.collect ~extra_roots:!keep h);
+        Heap.live_summary h
+      in
+      run false = run true)
+
 (* --- qcheck invariants ------------------------------------------------ *)
 
 (* random allocation sizes; every allocated object is disjoint, aligned,
@@ -362,6 +506,19 @@ let suite =
     Alcotest.test_case "GC_same_obj rounding" `Quick test_same_obj_rounding;
     Alcotest.test_case "GC_pre/post_incr" `Quick test_pre_post_incr;
     Alcotest.test_case "GC_base" `Quick test_gc_base;
+    Alcotest.test_case "root range: final partial word" `Quick
+      test_trailing_partial_word;
+    Alcotest.test_case "gen: promotion after two minors" `Quick
+      test_promotion;
+    Alcotest.test_case "gen: dirty card retains young" `Quick
+      test_dirty_card_retains_young;
+    Alcotest.test_case "gen: remembered-set completeness check" `Quick
+      test_remembered_set_integrity;
+    Alcotest.test_case "gen: live-growth trigger (no back-to-back majors)"
+      `Quick test_live_growth_trigger;
+    Alcotest.test_case "gen: minor-then-major equivalence" `Quick
+      test_minor_major_equivalence;
+    QCheck_alcotest.to_alcotest prop_gen_equivalence;
     QCheck_alcotest.to_alcotest prop_alloc_invariants;
     QCheck_alcotest.to_alcotest prop_collect_exact;
     QCheck_alcotest.to_alcotest prop_same_obj;

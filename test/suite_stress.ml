@@ -239,6 +239,78 @@ let test_safe_targets_clean () =
         0 (List.length findings))
     [ Stress.Corpus.strcopy; Stress.Corpus.interior; Stress.Corpus.churn ]
 
+(* --- collector modes in the differential matrix ----------------------- *)
+
+let check_cells cells =
+  List.iter
+    (fun c ->
+      match c.Harness.Differ.c_mismatch with
+      | None -> ()
+      | Some m ->
+          Alcotest.failf "%s: %s"
+            (Harness.Differ.subject_name c.Harness.Differ.c_subject)
+            (Harness.Differ.describe_mismatch m))
+    cells
+
+let test_gc_mode_matrix_agrees () =
+  (* a safe program behaves identically under the stop-the-world and the
+     generational collector, under an injected schedule *)
+  let src = Stress.Corpus.strcopy.Stress.Corpus.t_source in
+  let stw_only =
+    Harness.Differ.build_matrix ~machines:[ Machine.Machdesc.sparc10 ] src
+  in
+  let subjects =
+    Harness.Differ.build_matrix ~machines:[ Machine.Machdesc.sparc10 ]
+      ~gc_modes:[ Gcheap.Heap.Stw; Gcheap.Heap.Gen ]
+      src
+  in
+  Alcotest.(check int)
+    "gc modes multiply subjects, not builds"
+    (2 * List.length stw_only)
+    (List.length subjects);
+  check_cells
+    (Harness.Differ.run_matrix ~schedule:(Machine.Schedule.Every 3) subjects)
+
+let has_gen_tag f =
+  let s = f.Stress.Driver.f_subject and tag = "[gen]" in
+  let n = String.length s and tn = 5 in
+  let rec scan i = i + tn <= n && (String.sub s i tn = tag || scan (i + 1)) in
+  scan 0
+
+let test_driver_gc_modes_fail_identically () =
+  (* the known hazard is a property of the unsafe build, not of the
+     collector: the driver finds it under both modes, and the safe and
+     debug builds stay clean under both *)
+  let plan =
+    {
+      hazard_plan with
+      Stress.Driver.p_gc_modes = [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ];
+    }
+  in
+  let findings, subjects, _ =
+    Stress.Driver.run_target plan Stress.Corpus.hazard
+  in
+  let stw_subjects =
+    let _, s, _ = Stress.Driver.run_target hazard_plan Stress.Corpus.hazard in
+    s
+  in
+  Alcotest.(check int) "both modes scanned" (2 * stw_subjects) subjects;
+  let base, rest =
+    List.partition
+      (fun f -> f.Stress.Driver.f_config = Harness.Build.Base)
+      findings
+  in
+  Alcotest.(check int) "safe and debug builds clean in both modes" 0
+    (List.length rest);
+  let gen_f, stw_f = List.partition has_gen_tag base in
+  Alcotest.(check bool) "hazard found under stw" true (stw_f <> []);
+  Alcotest.(check bool) "hazard found under gen" true (gen_f <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "expected (a known hazard)" true
+        f.Stress.Driver.f_expected)
+    base
+
 let test_run_matrix_agrees () =
   let subjects =
     Harness.Differ.build_matrix ~machines:[ Machine.Machdesc.sparc10 ]
@@ -281,4 +353,8 @@ let suite =
     Alcotest.test_case "driver: safe targets are clean" `Quick
       test_safe_targets_clean;
     Alcotest.test_case "differ: matrix agreement" `Quick test_run_matrix_agrees;
+    Alcotest.test_case "differ: gc modes agree on safe code" `Quick
+      test_gc_mode_matrix_agrees;
+    Alcotest.test_case "driver: gc modes fail identically" `Quick
+      test_driver_gc_modes_fail_identically;
   ]

@@ -168,6 +168,91 @@ let test_percentile_monotone =
           && max = List.fold_left Stdlib.max 0 vs
       | _ -> false)
 
+(* Nearest-rank boundary cases for [Metrics.percentile].  The rounding
+   regression: [0.07 *. 100. = 7.0000000000000006] in binary floating
+   point, so a bare [ceil] selected the 8th order statistic instead of
+   the 7th. *)
+let test_percentile_boundaries () =
+  let snap_buckets m =
+    match Metrics.find (Metrics.snapshot m) "h" with
+    | Some (Metrics.Histogram { buckets; _ }) -> buckets
+    | _ -> Alcotest.fail "histogram missing from snapshot"
+  in
+  Alcotest.(check int) "empty buckets" 0 (Metrics.percentile [||] 0.5);
+  Alcotest.(check int)
+    "all-zero buckets" 0
+    (Metrics.percentile [| 0; 0; 0; 0 |] 0.99);
+  (* 7 samples in the edge-1 bucket, 93 in the edge-7 bucket: the 7th
+     order statistic is still the small value. *)
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "h" in
+  for _ = 1 to 7 do
+    Metrics.observe h 1
+  done;
+  for _ = 1 to 93 do
+    Metrics.observe h 5
+  done;
+  let buckets = snap_buckets m in
+  Alcotest.(check int)
+    "float overshoot does not skip a rank" 1
+    (Metrics.percentile buckets 0.07);
+  Alcotest.(check int)
+    "rank just past the boundary" 7
+    (Metrics.percentile buckets 0.08);
+  Alcotest.(check int)
+    "p=0 clamps to the first order statistic" 1
+    (Metrics.percentile buckets 0.0);
+  Alcotest.(check int)
+    "p=1 is the maximum occupied bucket edge" 7
+    (Metrics.percentile buckets 1.0);
+  Alcotest.(check int) "p above 1 clamps" 7 (Metrics.percentile buckets 1.5);
+  Alcotest.(check int)
+    "negative p clamps" 1
+    (Metrics.percentile buckets (-0.25));
+  Alcotest.(check int) "NaN clamps low" 1 (Metrics.percentile buckets Float.nan);
+  (* single-bucket histogram: every percentile is that bucket's edge *)
+  let m1 = Metrics.create () in
+  let h1 = Metrics.histogram m1 "h" in
+  Metrics.observe h1 6;
+  let b1 = snap_buckets m1 in
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "single bucket at p=%g" p)
+        7 (Metrics.percentile b1 p))
+    [ 0.0; 0.01; 0.5; 0.99; 1.0 ]
+
+(* upper edge of the power-of-two bucket holding [v], mirroring the
+   histogram's bucketing *)
+let bucket_edge v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 1 in
+    while v > (1 lsl !i) - 1 do
+      incr i
+    done;
+    (1 lsl !i) - 1
+  end
+
+let test_percentile_nearest_rank =
+  QCheck.Test.make ~name:"percentile is the nearest-rank statistic" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 60) (int_bound 100_000))
+        (int_bound 10_000))
+    (fun (vs, kseed) ->
+      let n = List.length vs in
+      let k = 1 + (kseed mod n) in
+      let m = Metrics.create () in
+      let h = Metrics.histogram m "h" in
+      List.iter (Metrics.observe h) vs;
+      match Metrics.find (Metrics.snapshot m) "h" with
+      | Some (Metrics.Histogram { buckets; _ }) ->
+          let kth = List.nth (List.sort compare vs) (k - 1) in
+          Metrics.percentile buckets (float_of_int k /. float_of_int n)
+          = bucket_edge kth
+      | _ -> false)
+
 (* --- trace: well-formedness and the checker ---------------------------- *)
 
 let test_trace_valid () =
@@ -260,8 +345,9 @@ let test_checker_rejects () =
 
 let test_parallel_trace_deterministic () =
   (* same parallel workload traced twice: after normalization (zeroed
-     timestamps, lanes renumbered by first appearance) the event lists
-     are equal even though wall-clock interleaving differs *)
+     timestamps and lane ids, events sorted) the lists are equal even
+     though wall-clock interleaving and task-to-worker assignment
+     differ between runs *)
   let traced () =
     let tr = Trace.create () in
     Exec.Pool.with_pool ~jobs:4 (fun pool ->
@@ -472,5 +558,8 @@ let suite =
       test_traced_run_valid_and_unperturbed;
     Alcotest.test_case "site ids stable across analyses" `Quick
       test_site_ids_stable_across_analyses;
+    Alcotest.test_case "percentile boundaries" `Quick
+      test_percentile_boundaries;
   ]
-  @ qsuite [ test_diff_law; test_percentile_monotone ]
+  @ qsuite
+      [ test_diff_law; test_percentile_monotone; test_percentile_nearest_rank ]

@@ -92,10 +92,15 @@ let rec stmt depth st =
        ( 1,
          if depth = 0 then return "g1++;"
          else
+           (* one counter per nesting level: with a shared counter an
+              inner loop resets the outer one and the program never
+              terminates *)
+           let tv = if depth >= 2 then "t" else "u" in
            let* n = int_range 2 6 in
            let* body = block (depth - 1) 2 in
            return
-             (Printf.sprintf "for (t = 0; t < %d; t++) {\n%s}" n body) );
+             (Printf.sprintf "for (%s = 0; %s < %d; %s++) {\n%s}" tv tv n tv
+                body) );
        ( 1,
          let* e = int_expr 1 in
          return (Printf.sprintf "print_int(%s); putchar(10);" e) );
@@ -114,7 +119,7 @@ let program_gen : string QCheck.Gen.t =
     (Printf.sprintf
        {|long g0; long g1;
 int main(void) {
-  long a = 1; long b = 2; long c = 3; long d = 4; long t = 0;
+  long a = 1; long b = 2; long c = 3; long d = 4; long t = 0; long u = 0;
   long *h = (long *)malloc(%d * sizeof(long));
   long *p; long *q;
   int i;
