@@ -808,6 +808,213 @@ let gcmodes () =
        ]);
   print_newline ()
 
+(* --- resilience: OOM recovery and chaos sweeps (BENCH_6.json) ------------ *)
+
+(* Three deterministic measurements of the chaos-hardened runtime:
+
+   1. Chaos off is free and invisible: running with the OOM machinery
+      explicitly threaded (an effectively unlimited heap ceiling, the
+      collect-expand policy, no failpoints) must produce bit-identical
+      cycle counts and output to the default run, in both collector
+      modes.  Any drift means the failure paths leak into healthy runs.
+
+   2. Emergency collection earns its keep: for every workload, the
+      smallest heap ceiling under which collect-expand completes is
+      found by search, and the trap policy must exhaust at that same
+      ceiling — the gap is exactly what collect-then-expand recovers.
+
+   3. The chaos sweeps (injected allocation failures, worker crashes,
+      cache corruption) over every workload report zero unexpected
+      findings. *)
+
+let bench6_data : (string * Telemetry.Json.t) list ref = ref []
+
+let record6 key v = bench6_data := (key, v) :: !bench6_data
+
+let write_bench6_json () =
+  if !bench6_data <> [] then begin
+    let doc = Telemetry.Json.Obj (List.rev !bench6_data) in
+    Out_channel.with_open_text "BENCH_6.json" (fun oc ->
+        Out_channel.output_string oc (Telemetry.Json.to_string doc ^ "\n"));
+    Printf.printf "wrote BENCH_6.json\n"
+  end
+
+let resilience () =
+  print_endline "== Resilience: OOM recovery and chaos sweeps (sparc10) ==";
+  let machine = Machine.Machdesc.sparc10 in
+  let build gc_mode src =
+    Harness.Build.compile
+      ~options:
+        { (Harness.Build.for_machine machine) with Harness.Build.gc_mode }
+      Harness.Build.Safe src
+  in
+  (* 1. chaos-off identity *)
+  print_endline
+    "-- chaos off: explicit OOM machinery vs default run (must be \
+     bit-identical)";
+  let identity_rows =
+    List.concat_map
+      (fun w ->
+        List.map
+          (fun gc_mode ->
+            let src = w.Workloads.Registry.w_source in
+            let b = build gc_mode src in
+            let run ?heap_limit ?oom_policy ?alloc_failpoints () =
+              match
+                Harness.Measure.run ~machine ~gc_mode ?heap_limit ?oom_policy
+                  ?alloc_failpoints b
+              with
+              | Harness.Measure.Ran r -> r
+              | o -> failwith (Harness.Measure.describe o)
+            in
+            let plain = run () in
+            let guarded =
+              run ~heap_limit:(1 lsl 30)
+                ~oom_policy:Gcheap.Heap.Collect_expand
+                ~alloc_failpoints:Gcheap.Failpoint.Never ()
+            in
+            if plain.Harness.Measure.o_cycles <> guarded.Harness.Measure.o_cycles
+            then
+              failwith
+                (Printf.sprintf
+                   "%s (%s): chaos-off cycles drifted: %d default vs %d \
+                    guarded"
+                   w.Workloads.Registry.w_name
+                   (Gcheap.Heap.gc_mode_name gc_mode)
+                   plain.Harness.Measure.o_cycles
+                   guarded.Harness.Measure.o_cycles);
+            if
+              not
+                (String.equal plain.Harness.Measure.o_output
+                   guarded.Harness.Measure.o_output)
+            then
+              failwith
+                (w.Workloads.Registry.w_name
+               ^ ": chaos-off output drifted under the OOM machinery");
+            Printf.printf "  %-10s %-4s %9d cycle(s), identical\n"
+              w.Workloads.Registry.w_name
+              (Gcheap.Heap.gc_mode_name gc_mode)
+              plain.Harness.Measure.o_cycles;
+            ( w.Workloads.Registry.w_name ^ "_"
+              ^ Gcheap.Heap.gc_mode_name gc_mode,
+              Telemetry.Json.Obj
+                [
+                  ("cycles", Telemetry.Json.Int plain.Harness.Measure.o_cycles);
+                  ("identical", Telemetry.Json.Bool true);
+                ] ))
+          [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ])
+      Workloads.Registry.paper_suite
+  in
+  record6 "chaos_off" (Telemetry.Json.Obj identity_rows);
+  record6 "chaos_off_identical" (Telemetry.Json.Bool true);
+  (* 2. collect-expand recovery margin *)
+  print_endline
+    "-- emergency collection margin: smallest ceiling where collect-expand \
+     completes must trap under the trap policy";
+  let margin_rows =
+    List.map
+      (fun w ->
+        let b = build Gcheap.Heap.Stw w.Workloads.Registry.w_source in
+        let outcome limit policy =
+          Harness.Measure.run ~machine ~heap_limit:limit ~oom_policy:policy b
+        in
+        let completes limit =
+          match outcome limit Gcheap.Heap.Collect_expand with
+          | Harness.Measure.Ran r -> Some r
+          | Harness.Measure.Exhausted _ -> None
+          | o -> failwith (Harness.Measure.describe o)
+        in
+        (* bracket the smallest collect-expand-viable ceiling, then
+           binary-search it; allocation is deterministic, so the search
+           is too *)
+        let hi = ref 1024 in
+        while completes !hi = None && !hi < 1 lsl 24 do
+          hi := !hi * 2
+        done;
+        if completes !hi = None then
+          failwith (w.Workloads.Registry.w_name ^ ": no viable heap ceiling");
+        let lo = ref (!hi / 2) in
+        (* invariant: !hi completes, !lo does not (1024/2 = 512 words is
+           below a single page) *)
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if completes mid = None then lo := mid else hi := mid
+        done;
+        let min_limit = !hi in
+        let recovered =
+          match completes min_limit with
+          | Some r -> r
+          | None -> assert false
+        in
+        let trap_exhausts =
+          match outcome min_limit Gcheap.Heap.Trap with
+          | Harness.Measure.Exhausted _ -> true
+          | Harness.Measure.Ran _ -> false
+          | o -> failwith (Harness.Measure.describe o)
+        in
+        if not trap_exhausts then
+          failwith
+            (w.Workloads.Registry.w_name
+           ^ ": trap policy completed at the collect-expand minimum — \
+              emergency collection recovered nothing");
+        Printf.printf
+          "  %-10s min ceiling %7d words: collect-expand ok (%d emergency \
+           collection(s)), trap exhausts\n"
+          w.Workloads.Registry.w_name min_limit
+          recovered.Harness.Measure.o_emergency;
+        ( w.Workloads.Registry.w_name,
+          Telemetry.Json.Obj
+            [
+              ("min_limit_words", Telemetry.Json.Int min_limit);
+              ( "emergency_collections",
+                Telemetry.Json.Int recovered.Harness.Measure.o_emergency );
+              ("collect_expand_completes", Telemetry.Json.Bool true);
+              ("trap_exhausts", Telemetry.Json.Bool trap_exhausts);
+            ] ))
+      Workloads.Registry.paper_suite
+  in
+  record6 "recovery_margin" (Telemetry.Json.Obj margin_rows);
+  (* 3. chaos sweeps over the paper suite *)
+  print_endline "-- chaos sweeps (allocation failures, worker faults, cache)";
+  let plan =
+    {
+      Stress.Chaos.default_plan with
+      Stress.Chaos.c_machines = [ machine ];
+      Stress.Chaos.c_max_points = 8;
+      Stress.Chaos.c_trap_probes = 2;
+    }
+  in
+  let report = Stress.Chaos.run ~plan Stress.Corpus.workloads in
+  Format.printf "%a@." Stress.Chaos.pp_report report;
+  if Stress.Chaos.unexpected report <> [] then
+    failwith "unexpected chaos finding in the paper suite";
+  record6 "chaos"
+    (Telemetry.Json.Obj
+       [
+         ("seed", Telemetry.Json.Int report.Stress.Chaos.c_plan_seed);
+         ("subjects", Telemetry.Json.Int report.Stress.Chaos.c_subject_count);
+         ("injections", Telemetry.Json.Int report.Stress.Chaos.c_injections);
+         ("recovered", Telemetry.Json.Int report.Stress.Chaos.c_recovered);
+         ("structured", Telemetry.Json.Int report.Stress.Chaos.c_structured);
+         ( "emergency_collections",
+           Telemetry.Json.Int report.Stress.Chaos.c_emergency_collections );
+         ( "worker_faults",
+           Telemetry.Json.Int report.Stress.Chaos.c_worker_faults );
+         ( "worker_restarts",
+           Telemetry.Json.Int report.Stress.Chaos.c_worker_restarts );
+         ( "cache_corruptions",
+           Telemetry.Json.Int report.Stress.Chaos.c_cache_corruptions );
+         ( "cache_recovered",
+           Telemetry.Json.Int report.Stress.Chaos.c_cache_recovered );
+         ("quarantined", Telemetry.Json.Int report.Stress.Chaos.c_quarantined);
+         ( "findings",
+           Telemetry.Json.Int (List.length report.Stress.Chaos.c_findings) );
+         ( "unexpected",
+           Telemetry.Json.Int
+             (List.length (Stress.Chaos.unexpected report)) );
+       ]);
+  print_newline ()
+
 (* --- stress: sanitizer overhead and schedule-divergence scan ------------- *)
 
 let stress () =
@@ -872,6 +1079,7 @@ let () =
         [
           "t1"; "t2"; "t3"; "t4"; "t5"; "cache"; "a1"; "hazard"; "ablate";
           "ablate-analysis"; "ablate-telemetry"; "profile"; "gcmodes";
+          "resilience";
         ]
     | args -> args
   in
@@ -892,6 +1100,7 @@ let () =
         | "ablate-telemetry" -> Some ablate_telemetry
         | "profile" -> Some profile_section
         | "gcmodes" -> Some gcmodes
+        | "resilience" -> Some resilience
         | "stress" -> Some stress
         | "micro" -> Some micro
         | s ->
@@ -901,4 +1110,5 @@ let () =
       Option.iter (timed_section name) section)
     sections;
   write_bench_json ();
-  write_bench5_json ()
+  write_bench5_json ();
+  write_bench6_json ()

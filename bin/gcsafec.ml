@@ -7,12 +7,16 @@
      ir          dump the compiled (optimized, register-allocated) IR
      tables      regenerate one of the paper's tables
      stress      fault-injected differential stress over the build matrix
+                 (--chaos adds allocation-failure, worker-fault and
+                 cache-corruption sweeps)
      profile     allocation-site heap profile (drag, peak-live) per analysis
      trace-check validate a Chrome trace-event JSON file
 
    Exit codes (see Harness.Diagnostics): 0 success, 1 finding/divergence,
    2 source or input error, 3 runtime fault detected, 4 resource limit,
-   5 heap corruption.
+   5 heap corruption, 6 heap exhausted (out of memory under a hard heap
+   limit), 7 task quarantined (a supervised task exhausted its attempt
+   cap).
 
    Parallelism and caching: builds are memoized in a process-wide
    content-addressed cache (--no-cache rebuilds every time); the stress
@@ -324,6 +328,52 @@ let max_heap_arg =
   let doc = "Heap ceiling in bytes: abort with a limit diagnostic beyond it." in
   Arg.(value & opt (some int) None & info [ "max-heap" ] ~docv:"BYTES" ~doc)
 
+let heap_limit_arg =
+  let doc =
+    "Hard heap ceiling in words (8 bytes each); 0 means unlimited.  An \
+     allocation the ceiling blocks follows --oom-policy instead of growing \
+     the arena."
+  in
+  Arg.(value & opt int 0 & info [ "heap-limit" ] ~docv:"WORDS" ~doc)
+
+let oom_policy_arg =
+  let doc =
+    "What an allocation that cannot be satisfied under --heap-limit does: \
+     'collect-expand' (run an emergency collection, retry, grow within the \
+     limit, and only then stop — the default) or 'trap' (stop immediately \
+     with a structured heap-exhausted diagnostic)."
+  in
+  let parse s =
+    match Gcheap.Heap.oom_policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown oom policy %s" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (Gcheap.Heap.oom_policy_name p)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Gcheap.Heap.Collect_expand
+    & info [ "oom-policy" ] ~docv:"POLICY" ~doc)
+
+let alloc_fail_arg =
+  let doc =
+    "Inject deterministic allocation failures: 'nth:K' (the Kth allocation), \
+     'every:K', or a comma-separated ordinal list.  Each failure follows \
+     --oom-policy (an emergency collection under collect-expand, a \
+     structured stop under trap)."
+  in
+  let parse s =
+    match Gcheap.Failpoint.of_string s with
+    | Some fp -> Ok fp
+    | None -> Error (`Msg (Printf.sprintf "bad failpoint spec %s" s))
+  in
+  let print fmt fp = Format.pp_print_string fmt (Gcheap.Failpoint.to_string fp) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Gcheap.Failpoint.Never
+    & info [ "alloc-fail" ] ~docv:"PLAN" ~doc)
+
 let run_cmd =
   let async_arg =
     let doc = "Force a collection every N instructions (asynchronous GC)." in
@@ -374,8 +424,8 @@ let run_cmd =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
   let run config machine analysis gc_mode gc_threshold async gc_at
-      gc_at_allocs integrity max_instrs max_heap stats trace metrics no_cache
-      workload file =
+      gc_at_allocs integrity max_instrs max_heap heap_limit oom_policy
+      alloc_fail stats trace metrics no_cache workload file =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let src =
@@ -427,24 +477,43 @@ let run_cmd =
             | Some n -> Machine.Schedule.Every n
             | None -> Machine.Schedule.Auto
         in
+        (* one line, structured, on stderr — stdout stays byte-identical
+           for the determinism diffs *)
+        let summary outcome ~emergency ~injected =
+          Printf.eprintf
+            "gcsafec: outcome=%s policy=%s heap-limit=%d \
+             emergency-collections=%d injected-failures=%d\n"
+            (Harness.Diagnostics.outcome_name outcome)
+            (Gcheap.Heap.oom_policy_name oom_policy)
+            heap_limit emergency injected
+        in
         match
           Harness.Measure.run ~machine ~schedule ~check_integrity:integrity
-            ~gc_mode ?gc_threshold ?max_instrs ?max_heap ?telemetry b
+            ~gc_mode ?gc_threshold ?max_instrs ?max_heap ?telemetry
+            ~heap_limit ~oom_policy ~alloc_failpoints:alloc_fail b
         with
         | Harness.Measure.Ran r ->
             print_string r.Harness.Measure.o_output;
             finish_telemetry ();
+            if heap_limit > 0 || alloc_fail <> Gcheap.Failpoint.Never then
+              summary Harness.Diagnostics.Ok
+                ~emergency:r.Harness.Measure.o_emergency
+                ~injected:r.Harness.Measure.o_injected_failures;
             if stats then
               Printf.eprintf
                 "config=%s machine=%s instrs=%d cycles=%d collections=%d \
-                 size=%d annotations=%d\n"
+                 size=%d annotations=%d emergency=%d injected=%d\n"
                 (Harness.Build.config_name config)
                 machine.Machine.Machdesc.md_name r.Harness.Measure.o_instrs
                 r.Harness.Measure.o_cycles r.Harness.Measure.o_gc_count
                 r.Harness.Measure.o_size b.Harness.Build.b_keep_lives
+                r.Harness.Measure.o_emergency
+                r.Harness.Measure.o_injected_failures
         | o ->
             finish_telemetry ();
             let outcome, message = Harness.Diagnostics.of_measure o in
+            if heap_limit > 0 || alloc_fail <> Gcheap.Failpoint.Never then
+              summary outcome ~emergency:0 ~injected:0;
             Harness.Diagnostics.report outcome message;
             exit (Harness.Diagnostics.exit_code outcome))
   in
@@ -454,7 +523,8 @@ let run_cmd =
     Term.(
       const run $ config_arg $ machine_arg $ analysis_arg $ gc_mode_arg
       $ threshold_arg $ async_arg $ gc_at_arg $ gc_at_allocs_arg
-      $ integrity_arg $ max_instrs_arg $ max_heap_arg $ stats_arg $ trace_arg
+      $ integrity_arg $ max_instrs_arg $ max_heap_arg $ heap_limit_arg
+      $ oom_policy_arg $ alloc_fail_arg $ stats_arg $ trace_arg
       $ metrics_arg $ no_cache_arg $ workload_arg $ opt_file_arg)
 
 (* --- ir --------------------------------------------------------------------- *)
@@ -581,8 +651,29 @@ let stress_cmd =
       & opt (conv (parse, print)) [ Gcheap.Heap.Stw ]
       & info [ "gc-mode" ] ~docv:"MODE" ~doc)
   in
+  let chaos_arg =
+    let doc =
+      "Run the chaos sweeps instead of the schedule sweep: injected \
+       allocation failures (with burst shrinking and trap-policy probes), \
+       injected worker crashes under the supervised pool, and cache \
+       corruption.  Any injected fault must either recover to the \
+       fault-free behaviour or stop with a structured diagnostic."
+    in
+    Arg.(value & flag & info [ "chaos" ] ~doc)
+  in
+  let chaos_seed_arg =
+    let doc =
+      "Seed for the chaos sweeps' ordinal sampling and fault placement \
+       (printed with every failing report, for exact replay)."
+    in
+    Arg.(value & opt int 0 & info [ "chaos-seed" ] ~docv:"N" ~doc)
+  in
+  let chaos_points_arg =
+    let doc = "Allocation ordinals swept per subject in --chaos mode." in
+    Arg.(value & opt int 64 & info [ "chaos-points" ] ~docv:"N" ~doc)
+  in
   let run machines analyses gc_modes every at_allocs exhaustive cap max_instrs
-      max_heap trace_dir jobs no_cache targets =
+      max_heap trace_dir chaos chaos_seed chaos_points jobs no_cache targets =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let resolved =
@@ -595,6 +686,26 @@ let stress_cmd =
                   exit 2)
             targets
         in
+        if chaos then begin
+          let plan =
+            {
+              Stress.Chaos.default_plan with
+              Stress.Chaos.c_machines =
+                (if machines = [] then
+                   Stress.Chaos.default_plan.Stress.Chaos.c_machines
+                 else machines);
+              Stress.Chaos.c_gc_modes = gc_modes;
+              Stress.Chaos.c_seed = chaos_seed;
+              Stress.Chaos.c_max_points = chaos_points;
+              Stress.Chaos.c_jobs = jobs;
+            }
+          in
+          let report = Stress.Chaos.run ~plan resolved in
+          Format.printf "%a@." Stress.Chaos.pp_report report;
+          if Stress.Chaos.unexpected report <> [] then
+            exit (Harness.Diagnostics.exit_code Harness.Diagnostics.Divergence)
+        end
+        else
         let modes =
           let m =
             (if exhaustive then [ Stress.Driver.Exhaustive cap ] else [])
@@ -634,7 +745,8 @@ let stress_cmd =
     Term.(
       const run $ machines_arg $ analyses_arg $ gc_modes_arg $ every_arg
       $ at_allocs_arg $ exhaustive_arg $ cap_arg $ max_instrs_arg
-      $ max_heap_arg $ trace_dir_arg $ jobs_arg $ no_cache_arg $ targets_arg)
+      $ max_heap_arg $ trace_dir_arg $ chaos_arg $ chaos_seed_arg
+      $ chaos_points_arg $ jobs_arg $ no_cache_arg $ targets_arg)
 
 (* --- profile ----------------------------------------------------------------- *)
 

@@ -1,11 +1,18 @@
-(** Single-flight memo cache with LRU eviction and counters.
+(** Single-flight memo cache with LRU eviction, counters, and optional
+    artifact fingerprinting.
 
     Slots are [Building] while a builder is in flight, so concurrent
     domains asking for the same key block on [settled] instead of
     duplicating work.  Builders run outside the lock: distinct keys build
-    in parallel. *)
+    in parallel.
 
-type 'v slot = Ready of 'v | Building
+    When a fingerprint function is installed, every artifact's digest is
+    recorded at insertion and re-verified on every hit; a mismatch (a
+    corrupted artifact) is counted, the entry is evicted, and the request
+    falls through to an ordinary single-flight rebuild — a rotten
+    artifact is never served. *)
+
+type 'v slot = Ready of 'v * string option | Building
 
 type 'v t = {
   lock : Mutex.t;
@@ -14,14 +21,22 @@ type 'v t = {
   last_use : (string, int) Hashtbl.t;
   mutable clock : int;
   capacity : int option;
+  fingerprint : ('v -> string) option;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable corruptions : int;
 }
 
-type stats = { hits : int; misses : int; evictions : int; entries : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  corruptions : int;
+  entries : int;
+}
 
-let create ?capacity () =
+let create ?capacity ?fingerprint () =
   {
     lock = Mutex.create ();
     settled = Condition.create ();
@@ -29,9 +44,11 @@ let create ?capacity () =
     last_use = Hashtbl.create 64;
     clock = 0;
     capacity;
+    fingerprint;
     hits = 0;
     misses = 0;
     evictions = 0;
+    corruptions = 0;
   }
 
 let touch t key =
@@ -77,40 +94,69 @@ let enforce_capacity t ~fresh =
 let enforce_capacity t ~fresh =
   try enforce_capacity t ~fresh with Exit -> ()
 
+(* Release a Building slot whose builder failed.  Centralized so the
+   single-flight invariant — a Building slot always resolves, and every
+   waiter is woken exactly when it does — is enforced in one place: the
+   slot is removed (the key is free to rebuild) and [settled] is
+   broadcast (no waiter can sleep through the failure; the builder must
+   take the lock to settle, and waiters hold it from their slot check
+   until they wait, so there is no wake-up to miss). *)
+let release_failed t key =
+  Mutex.lock t.lock;
+  Hashtbl.remove t.table key;
+  Hashtbl.remove t.last_use key;
+  Condition.broadcast t.settled;
+  Mutex.unlock t.lock
+
 let rec find_or_build_outcome t key build =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.table key with
-  | Some (Ready v) ->
-      t.hits <- t.hits + 1;
-      touch t key;
-      Mutex.unlock t.lock;
-      (v, true)
+  | Some (Ready (v, fp)) -> (
+      let corrupted =
+        match (t.fingerprint, fp) with
+        | Some f, Some expected -> not (String.equal (f v) expected)
+        | _ -> false
+      in
+      if not corrupted then begin
+        t.hits <- t.hits + 1;
+        touch t key;
+        Mutex.unlock t.lock;
+        (v, true)
+      end
+      else begin
+        (* the artifact rotted under us: count it, evict it, and fall
+           through to an ordinary single-flight rebuild *)
+        t.corruptions <- t.corruptions + 1;
+        Hashtbl.remove t.table key;
+        Hashtbl.remove t.last_use key;
+        Mutex.unlock t.lock;
+        find_or_build_outcome t key build
+      end)
   | Some Building ->
       (* The in-flight builder broadcasts on resolution (or on failure,
          after releasing the slot — then one waiter retries as builder). *)
       Condition.wait t.settled t.lock;
       Mutex.unlock t.lock;
       find_or_build_outcome t key build
-  | None -> (
+  | None ->
       t.misses <- t.misses + 1;
       Hashtbl.replace t.table key Building;
       Mutex.unlock t.lock;
-      match build () with
-      | v ->
-          Mutex.lock t.lock;
-          Hashtbl.replace t.table key (Ready v);
-          touch t key;
-          enforce_capacity t ~fresh:key;
-          Condition.broadcast t.settled;
-          Mutex.unlock t.lock;
-          (v, false)
-      | exception e ->
-          Mutex.lock t.lock;
-          Hashtbl.remove t.table key;
-          Hashtbl.remove t.last_use key;
-          Condition.broadcast t.settled;
-          Mutex.unlock t.lock;
-          raise e)
+      (* the Building slot must resolve no matter how [build] exits *)
+      let v =
+        try build ()
+        with e ->
+          release_failed t key;
+          raise e
+      in
+      let fp = Option.map (fun f -> f v) t.fingerprint in
+      Mutex.lock t.lock;
+      Hashtbl.replace t.table key (Ready (v, fp));
+      touch t key;
+      enforce_capacity t ~fresh:key;
+      Condition.broadcast t.settled;
+      Mutex.unlock t.lock;
+      (v, false)
 
 let find_or_build t key build = fst (find_or_build_outcome t key build)
 
@@ -119,6 +165,22 @@ let mem t key =
   let r =
     match Hashtbl.find_opt t.table key with
     | Some (Ready _) -> true
+    | Some Building | None -> false
+  in
+  Mutex.unlock t.lock;
+  r
+
+(** Chaos hook: overwrite the finished artifact under [key] with
+    [mutate v] {e without} refreshing its recorded fingerprint, exactly
+    what an artifact rotting at rest looks like.  Returns whether an
+    artifact was there to corrupt. *)
+let corrupt t key mutate =
+  Mutex.lock t.lock;
+  let r =
+    match Hashtbl.find_opt t.table key with
+    | Some (Ready (v, fp)) ->
+        Hashtbl.replace t.table key (Ready (mutate v, fp));
+        true
     | Some Building | None -> false
   in
   Mutex.unlock t.lock;
@@ -147,7 +209,13 @@ let stats t =
       t.table 0
   in
   let s =
-    { hits = t.hits; misses = t.misses; evictions = t.evictions; entries }
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      corruptions = t.corruptions;
+      entries;
+    }
   in
   Mutex.unlock t.lock;
   s
@@ -157,6 +225,7 @@ let reset_stats t =
   t.hits <- 0;
   t.misses <- 0;
   t.evictions <- 0;
+  t.corruptions <- 0;
   Mutex.unlock t.lock
 
 let hit_rate (s : stats) =

@@ -16,12 +16,20 @@ type stats = {
   hits : int;
   misses : int;  (** builder invocations *)
   evictions : int;
+  corruptions : int;  (** fingerprint mismatches detected on hit *)
   entries : int;  (** artifacts currently resident *)
 }
 
-val create : ?capacity:int -> unit -> 'v t
+val create : ?capacity:int -> ?fingerprint:('v -> string) -> unit -> 'v t
 (** [capacity] bounds resident artifacts; the least-recently-used entry
-    is evicted on overflow.  Default: unbounded. *)
+    is evicted on overflow.  Default: unbounded.
+
+    [fingerprint] enables artifact verification: the digest is recorded
+    when an artifact is inserted and re-checked on every hit.  A
+    mismatch counts as a corruption, evicts the entry, and the request
+    degrades to an ordinary single-flight rebuild — a corrupted
+    artifact is never served.  The function must be pure and cheap (it
+    runs under the cache lock). *)
 
 val find_or_build : 'v t -> string -> (unit -> 'v) -> 'v
 (** [find_or_build t key build] returns the cached artifact for [key],
@@ -39,6 +47,14 @@ val find_or_build_outcome : 'v t -> string -> (unit -> 'v) -> 'v * bool
 
 val mem : 'v t -> string -> bool
 (** The key holds a finished artifact (does not touch the counters). *)
+
+val corrupt : 'v t -> string -> ('v -> 'v) -> bool
+(** Chaos hook: replace the finished artifact under the key with the
+    mutated value {e without} refreshing its recorded fingerprint —
+    what an artifact rotting at rest looks like.  Returns [false] when
+    the key holds no finished artifact.  Only observable when the cache
+    has a [fingerprint] function (otherwise the mutated value is served
+    as-is, exactly like the unverified cache it is). *)
 
 val clear : 'v t -> unit
 (** Drop all finished artifacts (counters are kept; not counted as

@@ -39,3 +39,69 @@ val shutdown : t -> unit
 
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exceptions). *)
+
+(** {2 Supervised execution}
+
+    {!map_supervised} is the fault-tolerant sibling of {!map}: tasks
+    carry per-attempt deadlines on a deterministic tick clock, transient
+    failures are retried in place with deterministic backoff, and a
+    crashed or deadline-blown worker domain is really replaced — the
+    supervisor joins the dead domain, spawns a fresh one, and re-enqueues
+    the task up to an attempt cap, after which the task is quarantined as
+    a structured outcome instead of poisoning the queue.  Outcomes and
+    counters are identical on the serial ([jobs <= 1]) and parallel
+    paths, so chaos reports diff cleanly against serial references. *)
+
+exception Crash of string
+(** A worker-killing fault (the chaos injector raises this): the worker
+    domain running the task exits and is replaced. *)
+
+exception Transient of string
+(** A retryable failure: the same worker re-runs the task after a
+    deterministic backoff, up to the attempt cap. *)
+
+exception Deadline_exceeded
+(** Raised by [ctx.tick] when an attempt exhausts its tick budget;
+    treated like a crash (worker replaced, task re-enqueued). *)
+
+type policy = {
+  max_attempts : int;  (** total attempts per task before quarantine *)
+  backoff_base : int;  (** base ticks for exponential backoff *)
+  deadline : int option;  (** per-attempt tick budget; [None] = none *)
+  seed : int;  (** jitter seed, for reproducible backoff schedules *)
+}
+
+val default_policy : policy
+(** 3 attempts, base-16 backoff, no deadline, seed 0. *)
+
+val backoff_ticks : seed:int -> attempt:int -> base:int -> int
+(** Deterministic exponential backoff with jitter: a pure function of
+    its arguments, so a fixed seed replays the same schedule. *)
+
+type ctx = { tick : unit -> unit; attempt : int }
+(** What a supervised task sees: [tick] advances the deterministic
+    clock (and raises {!Deadline_exceeded} past the budget); [attempt]
+    is 1-based. *)
+
+type 'b outcome =
+  | Done of { value : 'b; attempts : int }
+  | Quarantined of { reason : string; attempts : int }
+
+val outcome_value : 'b outcome -> 'b option
+
+type sup_stats = {
+  sup_retries : int;  (** re-executions past each task's first attempt *)
+  sup_restarts : int;  (** worker domains replaced *)
+  sup_backoff_ticks : int;  (** total backoff charged, in ticks *)
+  sup_quarantined : int;
+}
+
+val map_supervised :
+  t -> ?policy:policy -> (ctx -> 'a -> 'b) -> 'a list -> 'b outcome list * sup_stats
+(** Supervised parallel map with deterministic, input-ordered outcomes.
+    Workers are dedicated domains (the pool contributes its [jobs]
+    width); with no faults, the outcomes are [Done] with [attempts = 1]
+    and the values equal [map].  Tasks that keep failing transiently,
+    crashing, or blowing deadlines settle as [Quarantined] after
+    [policy.max_attempts] attempts; any other exception quarantines
+    immediately. *)

@@ -30,6 +30,17 @@ let gc_mode_of_string = function
 
 type generation = Minor | Major
 
+type oom_policy = Trap | Collect_expand
+
+let oom_policy_name = function
+  | Trap -> "trap"
+  | Collect_expand -> "collect-expand"
+
+let oom_policy_of_string = function
+  | "trap" -> Some Trap
+  | "collect-expand" | "collect_expand" -> Some Collect_expand
+  | _ -> None
+
 type config = {
   mutable all_interior : bool;
       (** recognize interior pointers everywhere (the paper's default
@@ -43,6 +54,13 @@ type config = {
       (** bytes allocated between minor collections (generational mode) *)
   mutable promote_after : int;
       (** minor collections an object must survive to become old *)
+  mutable heap_limit_words : int;
+      (** hard arena ceiling in words; [0] (the default) is unlimited *)
+  mutable oom_policy : oom_policy;
+      (** what an allocation failure does: raise {!Heap_exhausted}
+          immediately ([Trap]), or run an emergency full collection,
+          retry, grow within the limit, and only then raise
+          ([Collect_expand], Boehm's collect-then-expand) *)
 }
 
 type stats = {
@@ -58,6 +76,8 @@ type stats = {
   mutable check_failures : int;
   mutable promoted : int;
   mutable cards_scanned : int;
+  mutable emergency_collections : int;
+  mutable injected_failures : int;
 }
 
 type t = {
@@ -81,10 +101,26 @@ type t = {
       (** extra permanent root ranges [start, stop) — e.g. the VM stack *)
   mutable on_free : (addr:int -> bytes:int -> unit) option;
       (** observer called for every object the sweeper reclaims *)
+  mutable failpoints : Failpoint.t;
+      (** injected allocation failures (chaos harness); [Never] costs
+          one branch per allocation *)
+  mutable on_oom : (unit -> unit) option;
+      (** emergency-collection hook: the embedder (the VM) installs a
+          closure that collects with its full root set; [None] falls
+          back to collecting over the registered ranges only *)
+  mutable free_pages : (int * int) list;
+      (** reclaim pool: [(start, pages)] runs of pages retired from
+          fully-empty blocks by the emergency path, sorted by start and
+          coalesced; always empty on limit-free executions *)
 }
 
 exception Check_failure of string
 (** raised by GC_same_obj and friends in checked mode *)
+
+exception Heap_exhausted of string
+(** the structured out-of-memory outcome: the heap limit blocks a
+    needed growth (after emergency collection and retry under
+    [Collect_expand]), or an injected failure fires under [Trap] *)
 
 let default_config () =
   {
@@ -94,6 +130,8 @@ let default_config () =
     generational = false;
     minor_threshold = 32 * 1024;
     promote_after = 2;
+    heap_limit_words = 0;
+    oom_policy = Collect_expand;
   }
 
 let create ?(config = default_config ()) () =
@@ -118,12 +156,17 @@ let create ?(config = default_config ()) () =
         check_failures = 0;
         promoted = 0;
         cards_scanned = 0;
+        emergency_collections = 0;
+        injected_failures = 0;
       };
     since_gc = 0;
     since_minor = 0;
     dirty = Bytes.create 0;
     roots = [];
     on_free = None;
+    failpoints = Failpoint.Never;
+    on_oom = None;
+    free_pages = [];
   }
 
 let add_root_range t start stop = t.roots <- (start, stop) :: t.roots
@@ -218,76 +261,6 @@ let free_list t cls kind =
       let l = ref [] in
       Hashtbl.replace t.free_lists (cls, kind) l;
       l
-
-let new_small_block t cls kind =
-  let start = Mem.grow_pages t.mem 1 in
-  let count = Mem.page_size / cls in
-  let blk = Block.make ~start ~pages:1 ~obj_size:cls ~count ~kind in
-  Page_map.set_block t.map blk;
-  t.all_blocks <- blk :: t.all_blocks;
-  let fl = free_list t cls kind in
-  for i = count - 1 downto 0 do
-    fl := Block.slot_addr blk i :: !fl
-  done
-
-let alloc_large t ~req bytes kind =
-  let pages = (bytes + Mem.page_size - 1) / Mem.page_size in
-  (* reuse a freed large block of the right size if available *)
-  let reusable =
-    List.find_opt
-      (fun b ->
-        b.Block.blk_pages = pages
-        && b.Block.blk_kind = kind
-        && not (Block.is_allocated b 0))
-      t.large_blocks
-  in
-  let blk =
-    match reusable with
-    | Some b -> b
-    | None ->
-        let start = Mem.grow_pages t.mem pages in
-        let b =
-          Block.make ~start ~pages ~obj_size:(pages * Mem.page_size) ~count:1
-            ~kind
-        in
-        Page_map.set_block t.map b;
-        t.large_blocks <- b :: t.large_blocks;
-        t.all_blocks <- b :: t.all_blocks;
-        b
-  in
-  Block.set_allocated blk 0 true;
-  Block.set_age blk 0 0;
-  blk.Block.blk_req.(0) <- req;
-  Mem.fill t.mem blk.Block.blk_start (pages * Mem.page_size) '\000';
-  blk.Block.blk_start
-
-(** Allocate [bytes] (plus the mandatory slack byte) of zeroed storage. *)
-let alloc ?(kind = Block.Normal) t bytes =
-  let bytes = max bytes 1 in
-  t.stats.bytes_allocated <- t.stats.bytes_allocated + bytes;
-  t.stats.objects_allocated <- t.stats.objects_allocated + 1;
-  t.since_gc <- t.since_gc + bytes;
-  t.since_minor <- t.since_minor + bytes;
-  let with_slack = bytes + 1 in
-  if with_slack > max_small then alloc_large t ~req:bytes with_slack kind
-  else begin
-    let cls = class_size with_slack in
-    let fl = free_list t cls kind in
-    (if !fl = [] then new_small_block t cls kind);
-    match !fl with
-    | [] -> assert false
-    | addr :: rest ->
-        fl := rest;
-        (match Page_map.find t.map addr with
-        | Some blk ->
-            let i = Option.get (Block.slot_of_addr blk addr) in
-            Block.set_allocated blk i true;
-            Block.set_age blk i 0;
-            blk.Block.blk_req.(i) <- bytes
-        | None -> assert false);
-        Mem.fill t.mem addr cls '\000';
-        addr
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Pointer identification                                              *)
@@ -546,6 +519,247 @@ let should_collect t = t.since_gc >= t.config.gc_threshold
     generational mode. *)
 let should_collect_minor t =
   t.config.generational && t.since_minor >= t.config.minor_threshold
+
+(* ------------------------------------------------------------------ *)
+(* Allocation (under the heap ceiling)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let heap_limit_bytes t =
+  if t.config.heap_limit_words <= 0 then max_int
+  else t.config.heap_limit_words * 8
+
+(* Would growing the arena by [pages] fresh pages overrun the ceiling? *)
+let growth_exceeds_limit t pages =
+  Mem.limit t.mem + (pages * Mem.page_size) > heap_limit_bytes t
+
+(* Retire every collectable block with no live slot: its slots leave
+   their free list, the page map forgets its pages, and the page run
+   joins the reclaim pool for reuse by any later block of any size
+   class.  This is what lets an emergency collection rescue a *large*
+   allocation whose pages are tied up in drained small-class blocks —
+   without it, large requests can only reuse an exact-size freed large
+   block, and the collect-expand policy would be no stronger than trap
+   for them.  Runs only on the emergency path, so limit-free executions
+   never see it. *)
+let reclaim_empty_blocks t =
+  let is_empty blk =
+    Block.collectable blk
+    &&
+    let live = ref false in
+    for i = 0 to blk.Block.blk_count - 1 do
+      if Block.is_allocated blk i then live := true
+    done;
+    not !live
+  in
+  let retired, kept = List.partition is_empty t.all_blocks in
+  if retired <> [] then begin
+    t.all_blocks <- kept;
+    t.large_blocks <-
+      List.filter (fun b -> not (List.memq b retired)) t.large_blocks;
+    List.iter
+      (fun blk ->
+        Page_map.clear_block t.map blk;
+        let lo = blk.Block.blk_start in
+        let hi = lo + (blk.Block.blk_pages * Mem.page_size) in
+        if blk.Block.blk_obj_size <= max_small then begin
+          let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
+          fl := List.filter (fun a -> a < lo || a >= hi) !fl
+        end;
+        for p = page_index lo to page_index (hi - 1) do
+          if p < Bytes.length t.dirty then Bytes.set t.dirty p '\000'
+        done;
+        t.free_pages <- (lo, blk.Block.blk_pages) :: t.free_pages)
+      retired;
+    (* sort and coalesce adjacent runs so a multi-page request can be
+       carved out of neighbouring single-page retirements *)
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) t.free_pages in
+    t.free_pages <-
+      List.rev
+        (List.fold_left
+           (fun acc (s, p) ->
+             match acc with
+             | (ps, pp) :: rest when ps + (pp * Mem.page_size) = s ->
+                 (ps, pp + p) :: rest
+             | _ -> (s, p) :: acc)
+           [] sorted)
+  end
+
+(* Best-fit carve from the reclaim pool.  Reused pages are re-zeroed so
+   a pool-served block is indistinguishable from fresh growth. *)
+let take_pages t pages =
+  let best = ref None in
+  List.iter
+    (fun (s, p) ->
+      if p >= pages then
+        match !best with
+        | Some (_, bp) when bp <= p -> ()
+        | _ -> best := Some (s, p))
+    t.free_pages;
+  match !best with
+  | None -> None
+  | Some (s, p) ->
+      t.free_pages <- List.filter (fun (s', _) -> s' <> s) t.free_pages;
+      if p > pages then
+        t.free_pages <-
+          (s + (pages * Mem.page_size), p - pages) :: t.free_pages;
+      Mem.fill t.mem s (pages * Mem.page_size) '\000';
+      Some s
+
+(** The collect-expand policy's emergency collection: a full,
+    mode-independent cycle.  Runs through the embedder's hook when one
+    is installed (the VM supplies its register file and live stack
+    prefix as roots there); standalone heaps collect over the
+    registered root ranges.  Afterwards, fully-empty blocks are retired
+    to the reclaim pool. *)
+let emergency_collect t =
+  t.stats.emergency_collections <- t.stats.emergency_collections + 1;
+  (match t.on_oom with
+  | Some f -> f ()
+  | None -> ignore (collect ~generation:Major t));
+  reclaim_empty_blocks t
+
+(* Pages for a new block: the reclaim pool first (those pages are
+   already inside the footprint, so the ceiling is irrelevant), then
+   fresh growth under the ceiling. *)
+let claim_pages t pages =
+  match take_pages t pages with
+  | Some start -> Some start
+  | None ->
+      if growth_exceeds_limit t pages then None
+      else Some (Mem.grow_pages t.mem pages)
+
+let exhausted t ~req ~pages =
+  raise
+    (Heap_exhausted
+       (Printf.sprintf
+          "heap exhausted: %d-byte allocation needs %d fresh page(s), \
+           footprint %d of limit %d bytes (%d words, policy %s)"
+          req pages (Mem.limit t.mem) (heap_limit_bytes t)
+          t.config.heap_limit_words
+          (oom_policy_name t.config.oom_policy)))
+
+let new_small_block t cls kind start =
+  let count = Mem.page_size / cls in
+  let blk = Block.make ~start ~pages:1 ~obj_size:cls ~count ~kind in
+  Page_map.set_block t.map blk;
+  t.all_blocks <- blk :: t.all_blocks;
+  let fl = free_list t cls kind in
+  for i = count - 1 downto 0 do
+    fl := Block.slot_addr blk i :: !fl
+  done
+
+(* The free list for (cls, kind) is empty: claim one page (reclaim pool
+   or growth under the ceiling).  An emergency collection can refill
+   the free list directly (so the retry needs no page at all) or retire
+   empty blocks into the pool; only when neither helps does the
+   allocation surface as a structured exhaustion. *)
+let refill_small t cls kind fl =
+  match claim_pages t 1 with
+  | Some start -> new_small_block t cls kind start
+  | None -> (
+      match t.config.oom_policy with
+      | Trap -> exhausted t ~req:cls ~pages:1
+      | Collect_expand -> (
+          emergency_collect t;
+          if !fl = [] then
+            match claim_pages t 1 with
+            | Some start -> new_small_block t cls kind start
+            | None -> exhausted t ~req:cls ~pages:1))
+
+let alloc_large t ~req bytes kind =
+  let pages = (bytes + Mem.page_size - 1) / Mem.page_size in
+  (* reuse a freed large block of the right size if available *)
+  let find_reusable () =
+    List.find_opt
+      (fun b ->
+        b.Block.blk_pages = pages
+        && b.Block.blk_kind = kind
+        && not (Block.is_allocated b 0))
+      t.large_blocks
+  in
+  let fresh start =
+    let b =
+      Block.make ~start ~pages ~obj_size:(pages * Mem.page_size) ~count:1
+        ~kind
+    in
+    Page_map.set_block t.map b;
+    t.large_blocks <- b :: t.large_blocks;
+    t.all_blocks <- b :: t.all_blocks;
+    b
+  in
+  let blk =
+    match find_reusable () with
+    | Some b -> b
+    | None -> (
+        match claim_pages t pages with
+        | Some start -> fresh start
+        | None -> (
+            (* the needed pages are unavailable: trap, or collect,
+               retry whole-block reuse and the (now possibly refilled)
+               reclaim pool, and only then give up *)
+            match t.config.oom_policy with
+            | Trap -> exhausted t ~req ~pages
+            | Collect_expand -> (
+                emergency_collect t;
+                match find_reusable () with
+                | Some b -> b
+                | None -> (
+                    match claim_pages t pages with
+                    | Some start -> fresh start
+                    | None -> exhausted t ~req ~pages))))
+  in
+  Block.set_allocated blk 0 true;
+  Block.set_age blk 0 0;
+  blk.Block.blk_req.(0) <- req;
+  Mem.fill t.mem blk.Block.blk_start (pages * Mem.page_size) '\000';
+  blk.Block.blk_start
+
+(** Allocate [bytes] (plus the mandatory slack byte) of zeroed storage.
+
+    @raise Heap_exhausted when the heap limit blocks a needed growth
+    (immediately under [Trap]; only after an emergency collection and
+    retry under [Collect_expand]), or when an injected failure plan
+    fires under [Trap]. *)
+let alloc ?(kind = Block.Normal) t bytes =
+  let bytes = max bytes 1 in
+  t.stats.bytes_allocated <- t.stats.bytes_allocated + bytes;
+  t.stats.objects_allocated <- t.stats.objects_allocated + 1;
+  t.since_gc <- t.since_gc + bytes;
+  t.since_minor <- t.since_minor + bytes;
+  (* deterministic failure injection, keyed on the allocation ordinal:
+     a fired point behaves exactly like a growth the ceiling blocked *)
+  if Failpoint.fires t.failpoints t.stats.objects_allocated then begin
+    t.stats.injected_failures <- t.stats.injected_failures + 1;
+    match t.config.oom_policy with
+    | Trap ->
+        raise
+          (Heap_exhausted
+             (Printf.sprintf
+                "heap exhausted: injected failure at allocation #%d (%d \
+                 bytes, policy trap)"
+                t.stats.objects_allocated bytes))
+    | Collect_expand -> emergency_collect t
+  end;
+  let with_slack = bytes + 1 in
+  if with_slack > max_small then alloc_large t ~req:bytes with_slack kind
+  else begin
+    let cls = class_size with_slack in
+    let fl = free_list t cls kind in
+    (if !fl = [] then refill_small t cls kind fl);
+    match !fl with
+    | [] -> assert false
+    | addr :: rest ->
+        fl := rest;
+        (match Page_map.find t.map addr with
+        | Some blk ->
+            let i = Option.get (Block.slot_of_addr blk addr) in
+            Block.set_allocated blk i true;
+            Block.set_age blk i 0;
+            blk.Block.blk_req.(i) <- bytes
+        | None -> assert false);
+        Mem.fill t.mem addr cls '\000';
+        addr
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Checking primitives (debugging mode runtime)                        *)
@@ -823,7 +1037,8 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "collections=%d (minor=%d) allocated=%d objs (%d bytes) freed=%d objs \
      (%d bytes) words_scanned=%d base_lookups=%d same_obj=%d failures=%d \
-     promoted=%d cards_scanned=%d"
+     promoted=%d cards_scanned=%d emergency=%d injected_failures=%d"
     s.collections s.minor_collections s.objects_allocated s.bytes_allocated
     s.objects_freed s.bytes_freed s.words_scanned s.base_lookups
     s.same_obj_checks s.check_failures s.promoted s.cards_scanned
+    s.emergency_collections s.injected_failures

@@ -27,6 +27,18 @@ type generation = Minor | Major
 (** Which cycle {!collect} runs; [Minor] degrades to [Major] on a
     non-generational heap. *)
 
+type oom_policy = Trap | Collect_expand
+(** What an allocation failure (heap-limit overrun or injected
+    failpoint) does: raise {!Heap_exhausted} immediately ([Trap]), or
+    run an emergency full collection, retry, grow within the limit, and
+    raise only when all of that fails ([Collect_expand], Boehm's
+    collect-then-expand). *)
+
+val oom_policy_name : oom_policy -> string
+(** ["trap"] / ["collect-expand"]. *)
+
+val oom_policy_of_string : string -> oom_policy option
+
 type config = {
   mutable all_interior : bool;
       (** recognize interior pointers everywhere (the paper's default
@@ -41,6 +53,10 @@ type config = {
       (** allocation volume (bytes) between minor collections *)
   mutable promote_after : int;
       (** minor collections an object must survive to become old *)
+  mutable heap_limit_words : int;
+      (** hard arena ceiling in words; [0] (the default) is unlimited *)
+  mutable oom_policy : oom_policy;
+      (** allocation-failure response; see {!oom_policy} *)
 }
 
 type stats = {
@@ -56,6 +72,9 @@ type stats = {
   mutable check_failures : int;
   mutable promoted : int;  (** objects promoted to the old generation *)
   mutable cards_scanned : int;  (** dirty cards visited by minor cycles *)
+  mutable emergency_collections : int;
+      (** collect-expand cycles run on allocation failure *)
+  mutable injected_failures : int;  (** failpoints that fired *)
 }
 
 type t = {
@@ -77,10 +96,32 @@ type t = {
       (** observer called with the base address and requested size of
           every object the sweeper reclaims — the heap profiler hangs
           off this; [None] (the default) costs one test per free *)
+  mutable failpoints : Failpoint.t;
+      (** injected allocation failures (the chaos harness sets this);
+          [Never] (the default) costs one branch per allocation *)
+  mutable on_oom : (unit -> unit) option;
+      (** emergency-collection hook: the VM installs a closure that
+          collects with its full root set (register files plus the live
+          stack prefix); [None] collects over the registered root
+          ranges only *)
+  mutable free_pages : (int * int) list;
+      (** reclaim pool: [(start, pages)] page runs retired from
+          fully-empty blocks by emergency collections, available to any
+          later block of any size class.  The arena never shrinks, but
+          pages inside it can change role under memory pressure — this
+          is what makes [Collect_expand] strictly stronger than [Trap]
+          when the blocker is a large allocation.  Always empty on
+          executions that never hit the ceiling *)
 }
 
 exception Check_failure of string
 (** Raised by the checking primitives when a pointer escapes its object. *)
+
+exception Heap_exhausted of string
+(** The structured out-of-memory outcome: a heap-limit overrun that
+    survived the configured recovery, or an injected failpoint under
+    the [Trap] policy.  Never raised when [heap_limit_words = 0] and no
+    failpoints are set. *)
 
 val default_config : unit -> config
 
@@ -95,7 +136,10 @@ val class_size : int -> int
 val alloc : ?kind:Block.kind -> t -> int -> int
 (** [alloc t n] returns the address of [n] bytes of zeroed storage (the
     paper's extra byte is added internally).  [kind] defaults to
-    collectable, scanned storage. *)
+    collectable, scanned storage.
+    @raise Heap_exhausted when the heap limit blocks a needed growth
+    (after emergency collection and retry under [Collect_expand]), or
+    when a failpoint fires under [Trap]. *)
 
 val base_of : t -> int -> int option
 (** [GC_base]: map any address inside an allocated object to the object's

@@ -124,8 +124,17 @@ let compile_uncached (options : options) (config : config) (source : string) :
 (* Process-wide and content-addressed: identical (source, config,
    options) triples compile once per process no matter how many
    consumers — tables, differ, stress, bench — ask, serially or from
-   worker domains. *)
-let cache : built Exec.Cache.t = Exec.Cache.create ()
+   worker domains.
+
+   Artifacts are fingerprinted by a structural digest: the IR is only
+   mutated during compilation, never by the VM, so the digest is stable
+   for a healthy artifact and any in-place corruption is caught on the
+   next hit and rebuilt instead of served. *)
+let fingerprint (b : built) : string =
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (b.b_ir, b.b_keep_lives, b.b_size) []))
+
+let cache : built Exec.Cache.t = Exec.Cache.create ~fingerprint ()
 
 let enabled = Atomic.make true
 
@@ -171,8 +180,18 @@ let session_stats (s : session) : Exec.Cache.stats =
     Exec.Cache.hits = now.Exec.Cache.hits - s.s_base.Exec.Cache.hits;
     misses = now.Exec.Cache.misses - s.s_base.Exec.Cache.misses;
     evictions = now.Exec.Cache.evictions - s.s_base.Exec.Cache.evictions;
+    corruptions = now.Exec.Cache.corruptions - s.s_base.Exec.Cache.corruptions;
     entries = now.Exec.Cache.entries;
   }
+
+(* Chaos hook: rot the cached artifact for (options, config, source) in
+   place, without refreshing its fingerprint.  The next [compile] hit
+   must detect the mismatch and rebuild rather than serve it. *)
+let corrupt_cached ?(options = default) (config : config) (source : string) :
+    bool =
+  Exec.Cache.corrupt cache
+    (cache_key options config source)
+    (fun b -> { b with b_size = b.b_size + 1 })
 
 let compile ?telemetry ?(options = default) (config : config)
     (source : string) : built =

@@ -95,6 +95,12 @@ val cache_key : options -> config -> string -> string
 
 val cache_stats : unit -> Exec.Cache.stats
 
+val corrupt_cached : ?options:options -> config -> string -> bool
+(** Chaos hook: rot the cached artifact for this build in place (its
+    recorded fingerprint is left stale, so the next {!compile} hit
+    detects the mismatch, counts a corruption, and rebuilds instead of
+    serving it).  Returns [false] when nothing is cached for the key. *)
+
 val reset_cache : unit -> unit
 (** Drop all cached artifacts and zero the counters. *)
 

@@ -2,7 +2,15 @@
     exception -> (class, message) mapping that used to be hand-rolled in
     the CLI's [handle_errors], with one exit code per class. *)
 
-type outcome = Ok | Source_error | Fault | Limit | Corruption | Divergence
+type outcome =
+  | Ok
+  | Source_error
+  | Fault
+  | Limit
+  | Corruption
+  | Divergence
+  | Heap_exhausted
+  | Task_quarantined
 
 let outcome_name = function
   | Ok -> "ok"
@@ -11,6 +19,8 @@ let outcome_name = function
   | Limit -> "limit"
   | Corruption -> "corruption"
   | Divergence -> "divergence"
+  | Heap_exhausted -> "heap-exhausted"
+  | Task_quarantined -> "task-quarantined"
 
 let exit_code = function
   | Ok -> 0
@@ -19,6 +29,8 @@ let exit_code = function
   | Fault -> 3
   | Limit -> 4
   | Corruption -> 5
+  | Heap_exhausted -> 6
+  | Task_quarantined -> 7
 
 let of_exn = function
   | Csyntax.Lexer.Error (m, loc) ->
@@ -48,6 +60,11 @@ let of_exn = function
   | Machine.Vm.Fault m -> Some (Fault, Printf.sprintf "fault: %s" m)
   | Machine.Vm.Trap (k, m) ->
       Some (Limit, Printf.sprintf "%s: %s" (Machine.Vm.trap_kind_name k) m)
+  | Gcheap.Heap.Heap_exhausted m -> Some (Heap_exhausted, m)
+  | Exec.Pool.Crash m ->
+      Some (Task_quarantined, Printf.sprintf "worker crash: %s" m)
+  | Exec.Pool.Deadline_exceeded ->
+      Some (Task_quarantined, "task deadline exceeded")
   | Gcheap.Heap.Heap_corruption vs ->
       Some
         ( Corruption,
@@ -63,6 +80,7 @@ let of_measure = function
   | Measure.Detected m -> (Fault, "detected: " ^ m)
   | Measure.Limit m -> (Limit, "limit: " ^ m)
   | Measure.Corrupted m -> (Corruption, "heap corruption: " ^ m)
+  | Measure.Exhausted m -> (Heap_exhausted, m)
 
 let report _outcome message = Printf.eprintf "%s\n" message
 

@@ -1,13 +1,15 @@
 (** Structured failure classification shared by every consumer.
 
-    The harness distinguishes six outcome classes, and each has one
+    The harness distinguishes eight outcome classes, and each has one
     process exit code; the CLI's subcommands, the differ and the stress
     driver all classify through this module instead of re-matching
     exceptions or outcome constructors.
 
     Exit codes (stable, documented in the CLI header): 0 success,
     1 finding/divergence, 2 source or input error, 3 runtime fault
-    detected, 4 resource limit, 5 heap corruption. *)
+    detected, 4 resource limit, 5 heap corruption, 6 heap exhausted
+    (out of memory under a hard heap limit), 7 task quarantined (a
+    supervised task exhausted its attempt cap). *)
 
 type outcome =
   | Ok  (** the program ran to completion *)
@@ -16,6 +18,11 @@ type outcome =
   | Limit  (** a resource ceiling (steps, heap bytes) was hit *)
   | Corruption  (** the heap-integrity sanitizer fired *)
   | Divergence  (** differential disagreement: a stress/differ finding *)
+  | Heap_exhausted
+      (** out of memory: the heap limit blocked a needed growth even
+          after the configured recovery (emergency collection, retry) *)
+  | Task_quarantined
+      (** a supervised task exhausted its attempt cap and was isolated *)
 
 val outcome_name : outcome -> string
 

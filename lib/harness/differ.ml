@@ -120,6 +120,7 @@ type obs =
   | Obs_detected of string
   | Obs_corrupted of string
   | Obs_limit of string
+  | Obs_exhausted of string
 
 let obs_of_outcome = function
   | Measure.Ran r ->
@@ -133,6 +134,7 @@ let obs_of_outcome = function
   | Measure.Detected m -> Obs_detected m
   | Measure.Corrupted m -> Obs_corrupted m
   | Measure.Limit m -> Obs_limit m
+  | Measure.Exhausted m -> Obs_exhausted m
 
 (** The structured class of one observation, for exit codes and
     failure-kind decisions shared with the CLI. *)
@@ -141,6 +143,7 @@ let classify = function
   | Obs_detected _ -> Diagnostics.Fault
   | Obs_corrupted _ -> Diagnostics.Corruption
   | Obs_limit _ -> Diagnostics.Limit
+  | Obs_exhausted _ -> Diagnostics.Heap_exhausted
 
 let describe_obs = function
   | Obs_ok o ->
@@ -151,15 +154,18 @@ let describe_obs = function
   | Obs_detected m -> "fault: " ^ m
   | Obs_corrupted m -> "heap corruption: " ^ m
   | Obs_limit m -> "resource limit: " ^ m
+  | Obs_exhausted m -> "heap exhausted: " ^ m
 
 (** Execute [subject] under [schedule].  Integrity checking and the final
     collection default to on: differential runs always sanitize. *)
 let observe ?(check_integrity = true) ?max_instrs ?max_heap ?gc_point_sink
-    ?telemetry ~schedule subject : obs =
+    ?telemetry ?heap_limit ?oom_policy ?alloc_failpoints ~schedule subject :
+    obs =
   obs_of_outcome
     (Measure.run ~machine:subject.s_machine ~schedule ~check_integrity
        ~final_collect:true ~gc_mode:subject.s_gc_mode ?max_instrs ?max_heap
-       ?gc_point_sink ?telemetry subject.s_built)
+       ?gc_point_sink ?telemetry ?heap_limit ?oom_policy ?alloc_failpoints
+       subject.s_built)
 
 (** How an observation deviates from the reference behaviour. *)
 type mismatch =
@@ -169,6 +175,7 @@ type mismatch =
   | Fault_diff of string  (** program faulted; reference did not *)
   | Corruption_diff of string
   | Limit_diff of string
+  | Exhausted_diff of string  (** program ran out of heap; reference did not *)
 
 let mismatch_kind = function
   | Output_diff _ -> "output"
@@ -176,6 +183,7 @@ let mismatch_kind = function
   | Fault_diff _ -> "fault"
   | Corruption_diff _ -> "corruption"
   | Limit_diff _ -> "limit"
+  | Exhausted_diff _ -> "heap-exhausted"
 
 let describe_mismatch = function
   | Output_diff d -> Printf.sprintf "expected %S, got %S" d.exp d.got
@@ -186,6 +194,7 @@ let describe_mismatch = function
   | Fault_diff m -> m
   | Corruption_diff m -> m
   | Limit_diff m -> m
+  | Exhausted_diff m -> m
 
 (** Diff [got] against [reference].  [None] means behaviourally equal. *)
 let diff ~reference got : mismatch option =
@@ -208,10 +217,13 @@ let diff ~reference got : mismatch option =
   | Obs_detected _, Obs_detected _ -> None
   | Obs_corrupted _, Obs_corrupted _ -> None
   | Obs_limit _, Obs_limit _ -> None
+  | Obs_exhausted _, Obs_exhausted _ -> None
   | _, Obs_detected m -> Some (Fault_diff m)
   | _, Obs_corrupted m -> Some (Corruption_diff m)
   | _, Obs_limit m -> Some (Limit_diff m)
-  | (Obs_detected _ | Obs_corrupted _ | Obs_limit _), Obs_ok g ->
+  | _, Obs_exhausted m -> Some (Exhausted_diff m)
+  | (Obs_detected _ | Obs_corrupted _ | Obs_limit _ | Obs_exhausted _), Obs_ok g
+    ->
       Some
         (Output_diff
            {

@@ -52,6 +52,7 @@ type obs =
   | Obs_detected of string
   | Obs_corrupted of string
   | Obs_limit of string
+  | Obs_exhausted of string
 
 val obs_of_outcome : Measure.outcome -> obs
 
@@ -67,13 +68,18 @@ val observe :
   ?max_heap:int ->
   ?gc_point_sink:(int -> string -> unit) ->
   ?telemetry:Telemetry.Sink.t ->
+  ?heap_limit:int ->
+  ?oom_policy:Gcheap.Heap.oom_policy ->
+  ?alloc_failpoints:Gcheap.Failpoint.t ->
   schedule:Machine.Schedule.t ->
   subject ->
   obs
 (** Execute one subject under one schedule.  Integrity checking and the
     final collection default to on: differential runs always sanitize.
     [telemetry] threads a sink into the VM — the stress driver replays
-    findings under a tracer to capture their timelines. *)
+    findings under a tracer to capture their timelines.  The chaos
+    sweep threads [heap_limit] / [oom_policy] / [alloc_failpoints]
+    through to the heap (see {!Measure.run}). *)
 
 type mismatch =
   | Output_diff of { exp : string; got : string }
@@ -81,6 +87,7 @@ type mismatch =
   | Fault_diff of string  (** program faulted; reference did not *)
   | Corruption_diff of string
   | Limit_diff of string
+  | Exhausted_diff of string  (** program ran out of heap; reference did not *)
 
 val mismatch_kind : mismatch -> string
 

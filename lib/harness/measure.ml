@@ -11,6 +11,9 @@ type run_info = {
       (** injected collections that fired (safepoint index, location) *)
   o_live_objects : int;
   o_live_bytes : int;
+  o_emergency : int;  (** emergency (collect-expand) collections run *)
+  o_injected_failures : int;  (** allocation failpoints that fired *)
+  o_allocs : int;  (** objects allocated (the failpoint ordinal space) *)
 }
 
 type outcome =
@@ -21,17 +24,22 @@ type outcome =
   | Corrupted of string
       (** the heap-integrity sanitizer found a violated invariant *)
   | Limit of string  (** a resource ceiling (steps, heap bytes) was hit *)
+  | Exhausted of string
+      (** out of memory under the hard heap limit (after the configured
+          recovery), or an injected failure under the trap policy *)
 
 let describe = function
   | Ran r -> Printf.sprintf "ran (exit %d)" r.o_exit
   | Detected m -> "detected: " ^ m
   | Corrupted m -> "heap corruption: " ^ m
   | Limit m -> "resource limit: " ^ m
+  | Exhausted m -> "heap exhausted: " ^ m
 
 let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
     ?(check_integrity = false) ?(final_collect = false) ?max_instrs ?max_heap
     ?gc_threshold ?(gc_mode = Gcheap.Heap.Stw) ?gc_point_sink ?telemetry
-    (b : Build.built) : outcome =
+    ?(heap_limit = 0) ?(oom_policy = Gcheap.Heap.Collect_expand)
+    ?(alloc_failpoints = Gcheap.Failpoint.Never) (b : Build.built) : outcome =
   let vm_gc_schedule =
     match (schedule, async_gc) with
     | Some s, _ -> s
@@ -54,6 +62,9 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
       Machine.Vm.vm_gc_mode = gc_mode;
       Machine.Vm.vm_gc_point_sink = gc_point_sink;
       Machine.Vm.vm_telemetry = telemetry;
+      Machine.Vm.vm_heap_limit_words = heap_limit;
+      Machine.Vm.vm_oom_policy = oom_policy;
+      Machine.Vm.vm_alloc_failpoints = alloc_failpoints;
     }
   in
   try
@@ -69,9 +80,14 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
         o_gc_points = r.Machine.Vm.r_gc_points;
         o_live_objects = r.Machine.Vm.r_live_objects;
         o_live_bytes = r.Machine.Vm.r_live_bytes;
+        o_emergency = r.Machine.Vm.r_heap.Gcheap.Heap.emergency_collections;
+        o_injected_failures =
+          r.Machine.Vm.r_heap.Gcheap.Heap.injected_failures;
+        o_allocs = r.Machine.Vm.r_heap.Gcheap.Heap.objects_allocated;
       }
   with
   | Machine.Vm.Fault msg -> Detected msg
+  | Gcheap.Heap.Heap_exhausted msg -> Exhausted msg
   | Machine.Vm.Trap (kind, msg) ->
       Limit (Printf.sprintf "%s: %s" (Machine.Vm.trap_kind_name kind) msg)
   | Gcheap.Heap.Heap_corruption vs ->
@@ -105,6 +121,7 @@ let slowdown_cell ~base_cycles (o : outcome) : string =
   | Detected _ -> "<fails>"
   | Corrupted _ -> "<corrupt>"
   | Limit _ -> "<limit>"
+  | Exhausted _ -> "<oom>"
   | Ran r ->
       let pct =
         100.0 *. float_of_int (r.o_cycles - base_cycles)
@@ -114,7 +131,7 @@ let slowdown_cell ~base_cycles (o : outcome) : string =
 
 let size_cell ~base_size (o : outcome) : string =
   match o with
-  | Detected _ | Corrupted _ | Limit _ -> "-"
+  | Detected _ | Corrupted _ | Limit _ | Exhausted _ -> "-"
   | Ran r ->
       let pct =
         100.0 *. float_of_int (r.o_size - base_size) /. float_of_int base_size
@@ -129,4 +146,5 @@ exception Baseline_failed of string
 
 let base_cycles_exn = function
   | Ran r -> r.o_cycles
-  | (Detected _ | Corrupted _ | Limit _) as o -> raise (Baseline_failed (describe o))
+  | (Detected _ | Corrupted _ | Limit _ | Exhausted _) as o ->
+      raise (Baseline_failed (describe o))

@@ -11,6 +11,9 @@ type run_info = {
       (** injected collections that fired (safepoint index, location) *)
   o_live_objects : int;
   o_live_bytes : int;
+  o_emergency : int;  (** emergency (collect-expand) collections run *)
+  o_injected_failures : int;  (** allocation failpoints that fired *)
+  o_allocs : int;  (** objects allocated (the failpoint ordinal space) *)
 }
 
 type outcome =
@@ -21,6 +24,9 @@ type outcome =
   | Corrupted of string
       (** the heap-integrity sanitizer found a violated invariant *)
   | Limit of string  (** a resource ceiling (steps, heap bytes) was hit *)
+  | Exhausted of string
+      (** out of memory under the hard heap limit (after the configured
+          recovery), or an injected failure under the trap policy *)
 
 val describe : outcome -> string
 
@@ -36,6 +42,9 @@ val run :
   ?gc_mode:Gcheap.Heap.gc_mode ->
   ?gc_point_sink:(int -> string -> unit) ->
   ?telemetry:Telemetry.Sink.t ->
+  ?heap_limit:int ->
+  ?oom_policy:Gcheap.Heap.oom_policy ->
+  ?alloc_failpoints:Gcheap.Failpoint.t ->
   Build.built ->
   outcome
 (** Execute a built program.  [schedule] takes precedence over the legacy
@@ -44,7 +53,14 @@ val run :
     [gc_threshold] overrides the allocation volume between automatic
     collections (the profiler uses a small threshold to observe drag at
     fine grain); [gc_mode] selects stop-the-world (default) or
-    generational collection. *)
+    generational collection.
+
+    [heap_limit] (words, 0 = unlimited) is the hard ceiling on arena
+    growth; [oom_policy] picks what an allocation that cannot be
+    satisfied does (trap immediately, or run an emergency collection
+    and retry — the default); [alloc_failpoints] injects deterministic
+    allocation failures by ordinal.  A run stopped by the ceiling (or a
+    trapped injected failure) is [Exhausted]. *)
 
 val run_config :
   ?machine:Machine.Machdesc.t ->

@@ -56,6 +56,17 @@ type config = {
   vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
   vm_max_heap_bytes : int;
       (** arena footprint ceiling; exceeding it raises [Trap] *)
+  vm_heap_limit_words : int;
+      (** the allocator's hard ceiling in words ([0] = unlimited).
+          Unlike [vm_max_heap_bytes] (a supervisory trap checked after
+          the fact), this limit gates growth inside the heap itself and
+          engages the [vm_oom_policy] recovery path *)
+  vm_oom_policy : Gcheap.Heap.oom_policy;
+      (** allocation-failure response: trap, or emergency-collect,
+          retry, and expand within the limit (the default) *)
+  vm_alloc_failpoints : Gcheap.Failpoint.t;
+      (** injected allocation failures, mirroring [vm_gc_schedule];
+          [Never] (the default) injects nothing *)
   vm_check_integrity : bool;
       (** run the heap sanitizer after every collection; violations raise
           {!Gcheap.Heap.Heap_corruption} *)
@@ -82,6 +93,9 @@ let default_config ?(machine = Machdesc.sparc10) () =
     vm_gc_mode = Gcheap.Heap.Stw;
     vm_max_instrs = 400_000_000;
     vm_max_heap_bytes = 1 lsl 30;
+    vm_heap_limit_words = 0;
+    vm_oom_policy = Gcheap.Heap.Collect_expand;
+    vm_alloc_failpoints = Gcheap.Failpoint.Never;
     vm_check_integrity = false;
     vm_final_collect = false;
     vm_gc_point_sink = None;
@@ -160,6 +174,8 @@ type tele = {
   tl_dispatch : Telemetry.Metrics.counter array;  (** by {!class_of_instr} *)
   tl_gc : Telemetry.Metrics.counter;
   tl_gc_minor : Telemetry.Metrics.counter;
+  tl_gc_emergency : Telemetry.Metrics.counter;
+      (** collect-expand cycles run on allocation failure *)
   tl_gc_pause : Telemetry.Metrics.histogram;  (** nanoseconds *)
   tl_gc_minor_pause : Telemetry.Metrics.histogram;  (** nanoseconds *)
   tl_gc_major_pause : Telemetry.Metrics.histogram;  (** nanoseconds *)
@@ -200,6 +216,7 @@ let make_tele sink p =
         dispatch_class_names;
     tl_gc = Telemetry.Metrics.counter m "gc/collections";
     tl_gc_minor = Telemetry.Metrics.counter m "gc/minor/collections";
+    tl_gc_emergency = Telemetry.Metrics.counter m "gc/emergency_collections";
     tl_gc_pause = Telemetry.Metrics.histogram m "gc/pause_ns";
     tl_gc_minor_pause = Telemetry.Metrics.histogram m "gc/minor/pause_ns";
     tl_gc_major_pause = Telemetry.Metrics.histogram m "gc/major/pause_ns";
@@ -276,7 +293,10 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
   heap_config.Gcheap.Heap.all_interior <- cfg.vm_all_interior;
   heap_config.Gcheap.Heap.generational <- cfg.vm_gc_mode = Gcheap.Heap.Gen;
   heap_config.Gcheap.Heap.minor_threshold <- max 1024 (cfg.vm_gc_threshold / 8);
+  heap_config.Gcheap.Heap.heap_limit_words <- cfg.vm_heap_limit_words;
+  heap_config.Gcheap.Heap.oom_policy <- cfg.vm_oom_policy;
   let heap = Gcheap.Heap.create ~config:heap_config () in
+  heap.Gcheap.Heap.failpoints <- cfg.vm_alloc_failpoints;
   let statics_base =
     Gcheap.Heap.alloc ~kind:Gcheap.Block.Uncollectable heap
       (max 8 (Bytes.length p.p_statics))
@@ -885,6 +905,14 @@ and jump st fr l =
 (** Run [main] to completion. *)
 let run ?(config = default_config ()) ?(args = []) (p : program) : result =
   let st = load config p p.p_relocs in
+  (* the allocator's emergency collections must see the VM's full root
+     set (register files, live stack prefix), so route them through the
+     collection wrapper rather than the heap's bare fallback *)
+  st.heap.Gcheap.Heap.on_oom <-
+    Some
+      (fun () ->
+        if st.tele.tl_on then Telemetry.Metrics.incr st.tele.tl_gc_emergency;
+        collect ~trigger:"emergency" st);
   (match Hashtbl.find_opt st.funcs "main" with
   | Some f -> push_frame st f args None
   | None -> raise (Fault "no main function"));

@@ -46,6 +46,19 @@ type config = {
   vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
   vm_max_heap_bytes : int;
       (** arena footprint ceiling; exceeding it raises [Trap] *)
+  vm_heap_limit_words : int;
+      (** the allocator's hard ceiling in words ([0] = unlimited).
+          Unlike [vm_max_heap_bytes] (a supervisory trap checked after
+          the fact), this gates growth inside the heap and engages the
+          [vm_oom_policy] recovery path; failures surface as
+          {!Gcheap.Heap.Heap_exhausted} *)
+  vm_oom_policy : Gcheap.Heap.oom_policy;
+      (** allocation-failure response: trap immediately, or
+          emergency-collect (a full cycle over the VM's real roots),
+          retry, and expand within the limit (the default) *)
+  vm_alloc_failpoints : Gcheap.Failpoint.t;
+      (** injected allocation failures, mirroring [vm_gc_schedule];
+          [Never] (the default) injects nothing *)
   vm_check_integrity : bool;
       (** run {!Gcheap.Heap.check_integrity} after every collection and
           raise {!Gcheap.Heap.Heap_corruption} on any violation *)

@@ -211,6 +211,8 @@ let test_diagnostics_exit_codes () =
       (Fault, 3);
       (Limit, 4);
       (Corruption, 5);
+      (Heap_exhausted, 6);
+      (Task_quarantined, 7);
     ]
 
 let test_diagnostics_classify () =

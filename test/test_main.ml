@@ -31,6 +31,7 @@ let () =
       ("workloads", Suite_workloads.suite);
       ("harness", Suite_harness.suite);
       ("stress", Suite_stress.suite);
+      ("chaos", Suite_chaos.suite);
       ("exec", Suite_exec.suite);
       ("telemetry", Suite_telemetry.suite);
     ]
