@@ -21,6 +21,16 @@
 
 (* --- the machine-readable summary (BENCH_4.json) ------------------------- *)
 
+(* one-shot: build a request's configuration and execute it (telemetry
+   observes the run only; builds stay uninstrumented, as before) *)
+let exec_req ?telemetry (req : Harness.Request.t) =
+  let b =
+    Harness.Build.compile
+      ~options:(Harness.Request.build_options req)
+      req.Harness.Request.config req.Harness.Request.source
+  in
+  Harness.Measure.exec ?telemetry req b
+
 let bench_data : (string * Telemetry.Json.t) list ref = ref []
 
 let record key v = bench_data := (key, v) :: !bench_data
@@ -215,12 +225,10 @@ let hazard () =
 int main(void) { printf("v=%ld\n", f(100005)); return 0; }|}
   in
   let run name config =
-    let b =
-      Harness.Build.compile
-        ~options:(Harness.Build.for_machine Machine.Machdesc.sparc10)
-        config src
-    in
-    match Harness.Measure.run ~async_gc:(Some 1) b with
+    match
+      exec_req
+        (Harness.Request.make ~config ~schedule:(Machine.Schedule.Every 1) src)
+    with
     | Harness.Measure.Ran r ->
         Printf.printf "  %-26s OK: %s" name r.Harness.Measure.o_output
     | Harness.Measure.Detected m ->
@@ -288,24 +296,12 @@ int main(void) {
      base is free to keep, while a keep of the loop temporary blocks the
      peephole's mov forwarding on it *)
   let measure config ~heuristic =
-    let b =
-      Harness.Build.compile
-        ~options:
-          {
-            (Harness.Build.for_machine Machine.Machdesc.sparc10) with
-            Harness.Build.loop_heuristic = heuristic;
-          }
-        config loop_src
-    in
-    cycles_of (Harness.Measure.run b)
+    cycles_of
+      (exec_req (Harness.Request.make ~config ~loop_heuristic:heuristic loop_src))
   in
   let base =
-    let b =
-      Harness.Build.compile
-        ~options:(Harness.Build.for_machine Machine.Machdesc.sparc10)
-        Harness.Build.Base loop_src
-    in
-    cycles_of (Harness.Measure.run b)
+    cycles_of
+      (exec_req (Harness.Request.make ~config:Harness.Build.Base loop_src))
   in
   let report name config =
     let on = measure config ~heuristic:true
@@ -323,16 +319,11 @@ int main(void) {
      side shows: keeping the slowly-varying base live across the loop
      occupies a register that the loop needs *)
   let pressure ~heuristic =
-    let b =
-      Harness.Build.compile
-        ~options:
-          {
-            (Harness.Build.for_machine Machine.Machdesc.pentium90) with
-            Harness.Build.loop_heuristic = heuristic;
-          }
-        Harness.Build.Safe_peephole loop_src
-    in
-    cycles_of (Harness.Measure.run ~machine:Machine.Machdesc.pentium90 b)
+    cycles_of
+      (exec_req
+         (Harness.Request.make ~config:Harness.Build.Safe_peephole
+            ~machine:Machine.Machdesc.pentium90 ~loop_heuristic:heuristic
+            loop_src))
   in
   Printf.printf
     "  8-register machine: %d cycles with heuristic, %d without (the paper's \
@@ -437,16 +428,16 @@ let ablate_analysis () =
       List.iter
         (fun w ->
           let src = w.Workloads.Registry.w_source in
-          let _, base =
-            Harness.Measure.run_config ~machine Harness.Build.Base src
+          let base =
+            exec_req
+              (Harness.Request.make ~config:Harness.Build.Base ~machine src)
           in
           let base_cycles = Harness.Measure.base_cycles_exn base in
           let slowdown analysis =
-            let _, o =
-              Harness.Measure.run_config ~machine ~analysis Harness.Build.Safe
-                src
-            in
-            Harness.Measure.slowdown_cell ~base_cycles o
+            Harness.Measure.slowdown_cell ~base_cycles
+              (exec_req
+                 (Harness.Request.make ~config:Harness.Build.Safe ~machine
+                    ~analysis src))
           in
           Printf.printf "    %-10s %-8s off, %-8s on\n"
             w.Workloads.Registry.w_name
@@ -469,23 +460,16 @@ let profile_section () =
     List.map
       (fun w ->
         let drag_of analysis =
-          let b =
-            Harness.Build.compile
-              ~options:
-                {
-                  (Harness.Build.for_machine machine) with
-                  Harness.Build.analysis;
-                }
-              Harness.Build.Safe w.Workloads.Registry.w_source
-          in
           let profiler = Telemetry.Heap_profiler.create () in
           let metrics = Telemetry.Metrics.create () in
           let telemetry =
             Some (Telemetry.Sink.make ~metrics ~profiler ())
           in
           (match
-             Harness.Measure.run ~machine ~final_collect:true
-               ~gc_threshold:2048 ?telemetry b
+             exec_req ?telemetry
+               (Harness.Request.make ~config:Harness.Build.Safe ~machine
+                  ~analysis ~final_collect:true ~gc_threshold:2048
+                  w.Workloads.Registry.w_source)
            with
           | Harness.Measure.Ran _ -> ()
           | o -> failwith (Harness.Measure.describe o));
@@ -549,14 +533,18 @@ let ablate_telemetry () =
   let rows =
     List.map
       (fun w ->
+        let req =
+          Harness.Request.make ~config:Harness.Build.Safe ~machine
+            w.Workloads.Registry.w_source
+        in
         let b =
           Harness.Build.compile
-            ~options:(Harness.Build.for_machine machine)
+            ~options:(Harness.Request.build_options req)
             Harness.Build.Safe w.Workloads.Registry.w_source
         in
         let timed telemetry =
           let t0 = Unix.gettimeofday () in
-          match Harness.Measure.run ~machine ?telemetry b with
+          match Harness.Measure.exec ?telemetry req b with
           | Harness.Measure.Ran r ->
               (Unix.gettimeofday () -. t0, r.Harness.Measure.o_cycles)
           | o -> failwith (Harness.Measure.describe o)
@@ -705,20 +693,12 @@ let gcmodes () =
     | _ -> 0
   in
   let run_mode src gc_mode =
-    let b =
-      Harness.Build.compile
-        ~options:
-          {
-            (Harness.Build.for_machine machine) with
-            Harness.Build.gc_mode;
-          }
-        Harness.Build.Safe src
-    in
     let metrics = Telemetry.Metrics.create () in
     let telemetry = Some (Telemetry.Sink.make ~metrics ()) in
     match
-      Harness.Measure.run ~machine ~final_collect:true
-        ~gc_threshold:threshold ~gc_mode ?telemetry b
+      exec_req ?telemetry
+        (Harness.Request.make ~config:Harness.Build.Safe ~machine ~gc_mode
+           ~final_collect:true ~gc_threshold:threshold src)
     with
     | Harness.Measure.Ran r ->
         (r.Harness.Measure.o_output, Telemetry.Metrics.snapshot metrics)
@@ -777,8 +757,12 @@ let gcmodes () =
   let plan =
     {
       Stress.Driver.default_plan with
-      Stress.Driver.p_machines = [ machine ];
-      Stress.Driver.p_gc_modes = [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ];
+      Stress.Driver.p_matrix =
+        {
+          Harness.Request.default_matrix with
+          Harness.Request.m_machines = [ machine ];
+          Harness.Request.m_gc_modes = [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ];
+        };
     }
   in
   let targets =
@@ -859,10 +843,22 @@ let resilience () =
           (fun gc_mode ->
             let src = w.Workloads.Registry.w_source in
             let b = build gc_mode src in
-            let run ?heap_limit ?oom_policy ?alloc_failpoints () =
+            let req0 =
+              Harness.Request.make ~config:Harness.Build.Safe ~machine
+                ~gc_mode src
+            in
+            let run ?(heap_limit = 0)
+                ?(oom_policy = Gcheap.Heap.Collect_expand)
+                ?(alloc_failpoints = Gcheap.Failpoint.Never) () =
               match
-                Harness.Measure.run ~machine ~gc_mode ?heap_limit ?oom_policy
-                  ?alloc_failpoints b
+                Harness.Measure.exec
+                  {
+                    req0 with
+                    Harness.Request.heap_limit;
+                    oom_policy;
+                    alloc_failpoints;
+                  }
+                  b
               with
               | Harness.Measure.Ran r -> r
               | o -> failwith (Harness.Measure.describe o)
@@ -915,8 +911,18 @@ let resilience () =
     List.map
       (fun w ->
         let b = build Gcheap.Heap.Stw w.Workloads.Registry.w_source in
+        let req0 =
+          Harness.Request.make ~config:Harness.Build.Safe ~machine
+            w.Workloads.Registry.w_source
+        in
         let outcome limit policy =
-          Harness.Measure.run ~machine ~heap_limit:limit ~oom_policy:policy b
+          Harness.Measure.exec
+            {
+              req0 with
+              Harness.Request.heap_limit = limit;
+              Harness.Request.oom_policy = policy;
+            }
+            b
         in
         let completes limit =
           match outcome limit Gcheap.Heap.Collect_expand with
@@ -979,7 +985,11 @@ let resilience () =
   let plan =
     {
       Stress.Chaos.default_plan with
-      Stress.Chaos.c_machines = [ machine ];
+      Stress.Chaos.c_matrix =
+        {
+          Stress.Chaos.default_plan.Stress.Chaos.c_matrix with
+          Harness.Request.m_machines = [ machine ];
+        };
       Stress.Chaos.c_max_points = 8;
       Stress.Chaos.c_trap_probes = 2;
     }
@@ -1024,17 +1034,22 @@ let stress () =
      instrs)";
   List.iter
     (fun w ->
+      let req0 =
+        Harness.Request.make ~config:Harness.Build.Safe
+          ~schedule:(Machine.Schedule.Every 2000)
+          w.Workloads.Registry.w_source
+      in
       let b =
         Harness.Build.compile
-          ~options:(Harness.Build.for_machine Machine.Machdesc.sparc10)
+          ~options:(Harness.Request.build_options req0)
           Harness.Build.Safe w.Workloads.Registry.w_source
       in
       let timed check_integrity =
         let t0 = Sys.time () in
         (match
-           Harness.Measure.run
-             ~schedule:(Machine.Schedule.Every 2000)
-             ~check_integrity b
+           Harness.Measure.exec
+             { req0 with Harness.Request.check_integrity }
+             b
          with
         | Harness.Measure.Ran _ -> ()
         | o -> failwith (Harness.Measure.describe o));
@@ -1054,7 +1069,11 @@ let stress () =
       let plan =
         {
           Stress.Driver.default_plan with
-          Stress.Driver.p_machines = [ Machine.Machdesc.sparc10 ];
+          Stress.Driver.p_matrix =
+            {
+              Harness.Request.default_matrix with
+              Harness.Request.m_machines = [ Machine.Machdesc.sparc10 ];
+            };
         }
       in
       let findings, subjects, runs = Stress.Driver.run_target plan target in

@@ -11,6 +11,8 @@
                  cache-corruption sweeps)
      profile     allocation-site heap profile (drag, peak-live) per analysis
      trace-check validate a Chrome trace-event JSON file
+     serve       service harness over a JSON-lines request stream (stdin)
+     bomb        open-loop request bombardment with a deterministic report
 
    Exit codes (see Harness.Diagnostics): 0 success, 1 finding/divergence,
    2 source or input error, 3 runtime fault detected, 4 resource limit,
@@ -459,16 +461,6 @@ let run_cmd =
               (Telemetry.Metrics.snapshot
                  (Telemetry.Sink.metrics telemetry))
         in
-        let b =
-          Harness.Build.compile ?telemetry
-            ~options:
-              {
-                (Harness.Build.for_machine machine) with
-                Harness.Build.analysis;
-                Harness.Build.gc_mode;
-              }
-            config src
-        in
         let schedule =
           if gc_at <> [] then Machine.Schedule.at_list gc_at
           else if gc_at_allocs then Machine.Schedule.At_allocs
@@ -476,6 +468,16 @@ let run_cmd =
             match async with
             | Some n -> Machine.Schedule.Every n
             | None -> Machine.Schedule.Auto
+        in
+        let req =
+          Harness.Request.make ~config ~machine ~analysis ~gc_mode ~schedule
+            ~check_integrity:integrity ?gc_threshold ?max_instrs ?max_heap
+            ~heap_limit ~oom_policy ~alloc_failpoints:alloc_fail src
+        in
+        let b =
+          Harness.Build.compile ?telemetry
+            ~options:(Harness.Request.build_options req)
+            config src
         in
         (* one line, structured, on stderr — stdout stays byte-identical
            for the determinism diffs *)
@@ -487,11 +489,7 @@ let run_cmd =
             (Gcheap.Heap.oom_policy_name oom_policy)
             heap_limit emergency injected
         in
-        match
-          Harness.Measure.run ~machine ~schedule ~check_integrity:integrity
-            ~gc_mode ?gc_threshold ?max_instrs ?max_heap ?telemetry
-            ~heap_limit ~oom_policy ~alloc_failpoints:alloc_fail b
-        with
+        match Harness.Measure.exec ?telemetry req b with
         | Harness.Measure.Ran r ->
             print_string r.Harness.Measure.o_output;
             finish_telemetry ();
@@ -687,14 +685,21 @@ let stress_cmd =
             targets
         in
         if chaos then begin
+          let default_matrix =
+            Stress.Chaos.default_plan.Stress.Chaos.c_matrix
+          in
           let plan =
             {
               Stress.Chaos.default_plan with
-              Stress.Chaos.c_machines =
-                (if machines = [] then
-                   Stress.Chaos.default_plan.Stress.Chaos.c_machines
-                 else machines);
-              Stress.Chaos.c_gc_modes = gc_modes;
+              Stress.Chaos.c_matrix =
+                {
+                  default_matrix with
+                  Harness.Request.m_machines =
+                    (if machines = [] then
+                       default_matrix.Harness.Request.m_machines
+                     else machines);
+                  Harness.Request.m_gc_modes = gc_modes;
+                };
               Stress.Chaos.c_seed = chaos_seed;
               Stress.Chaos.c_max_points = chaos_points;
               Stress.Chaos.c_jobs = jobs;
@@ -714,19 +719,25 @@ let stress_cmd =
           in
           if m = [] then None else Some m
         in
+        let default_matrix =
+          Stress.Driver.default_plan.Stress.Driver.p_matrix
+        in
         let plan =
           {
-            Stress.Driver.default_plan with
-            Stress.Driver.p_machines =
-              (if machines = [] then
-                 Stress.Driver.default_plan.Stress.Driver.p_machines
-               else machines);
-            Stress.Driver.p_analyses = analyses;
-            Stress.Driver.p_gc_modes = gc_modes;
+            Stress.Driver.p_matrix =
+              {
+                default_matrix with
+                Harness.Request.m_machines =
+                  (if machines = [] then
+                     default_matrix.Harness.Request.m_machines
+                   else machines);
+                Harness.Request.m_analyses = analyses;
+                Harness.Request.m_gc_modes = gc_modes;
+                Harness.Request.m_max_instrs = max_instrs;
+                Harness.Request.m_max_heap = max_heap;
+              };
             Stress.Driver.p_modes = modes;
             Stress.Driver.p_exhaustive_cap = cap;
-            Stress.Driver.p_max_instrs = max_instrs;
-            Stress.Driver.p_max_heap = max_heap;
             Stress.Driver.p_jobs = jobs;
             Stress.Driver.p_trace_dir = trace_dir;
           }
@@ -837,23 +848,19 @@ let profile_cmd =
               fun f -> Option.value ~default:0 (Hashtbl.find_opt tbl f)
         in
         let profile_one analysis =
+          let req =
+            Harness.Request.make ~config ~machine ~analysis ~gc_mode
+              ~final_collect:true ~gc_threshold:threshold ?max_instrs
+              ?max_heap src
+          in
           let b =
             Harness.Build.compile
-              ~options:
-                {
-                  (Harness.Build.for_machine machine) with
-                  Harness.Build.analysis;
-                  Harness.Build.gc_mode;
-                }
+              ~options:(Harness.Request.build_options req)
               config src
           in
           let profiler = Telemetry.Heap_profiler.create () in
           let telemetry = Some (Telemetry.Sink.make ~profiler ()) in
-          (match
-             Harness.Measure.run ~machine ~final_collect:true
-               ~gc_threshold:threshold ~gc_mode ?max_instrs ?max_heap
-               ?telemetry b
-           with
+          (match Harness.Measure.exec ?telemetry req b with
           | Harness.Measure.Ran _ -> ()
           | o ->
               let outcome, message = Harness.Diagnostics.of_measure o in
@@ -953,6 +960,253 @@ let tables_cmd =
     (Cmd.info "tables" ~doc)
     Term.(const run $ machine_arg $ jobs_arg $ no_cache_arg)
 
+(* --- serve ------------------------------------------------------------------- *)
+
+let servers_arg =
+  let doc = "Virtual service lanes for admission control." in
+  Arg.(
+    value
+    & opt int Service.Gcsafed.default_config.Service.Gcsafed.servers
+    & info [ "servers" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc =
+    "Bounded waiting-room capacity; requests arriving beyond it are shed \
+     with a structured rejected-overload outcome."
+  in
+  Arg.(
+    value
+    & opt int Service.Gcsafed.default_config.Service.Gcsafed.queue_capacity
+    & info [ "queue" ] ~docv:"N" ~doc)
+
+let report_json_arg =
+  let doc = "Write the full service report (JSON) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let service_config servers queue =
+  {
+    Service.Gcsafed.default_config with
+    Service.Gcsafed.servers;
+    Service.Gcsafed.queue_capacity = queue;
+  }
+
+let write_report_json path t ~wall_s =
+  Out_channel.with_open_text path (fun oc ->
+      Telemetry.Json.to_channel oc
+        (Service.Gcsafed.report_to_json ~wall_s t);
+      output_char oc '\n')
+
+let serve_cmd =
+  (* resolve {"workload": NAME} / {"example": NAME} source shorthands
+     before deserializing — the wire format proper only knows "source" *)
+  let resolve_source json =
+    match json with
+    | Telemetry.Json.Obj fields when not (List.mem_assoc "source" fields) -> (
+        match
+          (List.assoc_opt "workload" fields, List.assoc_opt "example" fields)
+        with
+        | Some (Telemetry.Json.Str w), _ -> (
+            match Workloads.Registry.by_name w with
+            | Some wl ->
+                Ok
+                  (Telemetry.Json.Obj
+                     (("source", Telemetry.Json.Str wl.Workloads.Registry.w_source)
+                     :: fields))
+            | None -> Error (Printf.sprintf "unknown workload %S" w))
+        | _, Some (Telemetry.Json.Str e) -> (
+            match Stress.Corpus.by_name e with
+            | Some t ->
+                Ok
+                  (Telemetry.Json.Obj
+                     (("source", Telemetry.Json.Str t.Stress.Corpus.t_source)
+                     :: fields))
+            | None -> Error (Printf.sprintf "unknown example %S" e))
+        | _ -> Ok json)
+    | _ -> Ok json
+  in
+  let parse_line line =
+    match Telemetry.Json.parse line with
+    | Error e -> Error (Printf.sprintf "JSON parse error: %s" e)
+    | Ok json -> (
+        match resolve_source json with
+        | Error e -> Error e
+        | Ok json -> (
+            match Harness.Request.of_json json with
+            | Error e -> Error e
+            | Ok req ->
+                let arrival =
+                  match Telemetry.Json.member "arrival" json with
+                  | Some (Telemetry.Json.Int a) -> Some a
+                  | _ -> None
+                in
+                Ok (arrival, req)))
+  in
+  let run servers queue jobs no_cache json_out =
+    handle_errors (fun () ->
+        apply_cache_flag no_cache;
+        let t0 = Unix.gettimeofday () in
+        (* read the whole stream first: admission is a function of the
+           traffic, and malformed lines must still yield one outcome
+           line each, in input order *)
+        let lines = In_channel.input_lines In_channel.stdin in
+        let items =
+          List.filter_map
+            (fun line ->
+              if String.trim line = "" then None
+              else Some (parse_line line))
+            lines
+        in
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            let t =
+              Service.Gcsafed.create ~pool (service_config servers queue)
+            in
+            List.iter
+              (function
+                | Ok (arrival, req) ->
+                    Service.Gcsafed.submit ?arrival t req
+                | Error _ -> ())
+              items;
+            Service.Gcsafed.shutdown t;
+            (* one outcome line per input line, in input order *)
+            let completions = ref (Service.Gcsafed.completions t) in
+            List.iter
+              (fun item ->
+                let outcome =
+                  match item with
+                  | Error e -> Harness.Outcome.Source_error e
+                  | Ok _ -> (
+                      match !completions with
+                      | c :: rest ->
+                          completions := rest;
+                          c.Service.Gcsafed.r_outcome
+                      | [] -> Harness.Outcome.Internal "missing completion")
+                in
+                print_endline
+                  (Telemetry.Json.to_string (Harness.Outcome.to_json outcome)))
+              items;
+            let report = Service.Gcsafed.report t in
+            Format.eprintf "%a@." Service.Gcsafed.pp_report report;
+            Option.iter
+              (fun path ->
+                write_report_json path t ~wall_s:(Unix.gettimeofday () -. t0))
+              json_out;
+            if report.Service.Gcsafed.rp_unexpected > 0 then
+              exit
+                (Harness.Diagnostics.exit_code
+                   Harness.Diagnostics.Internal_error)))
+  in
+  let doc =
+    "run the service harness over a stream of JSON requests (one object per \
+     line on standard input; 'source' may be replaced by 'workload' or \
+     'example'); prints one outcome object per request on standard output \
+     and the service report on standard error"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ servers_arg $ queue_arg $ jobs_arg $ no_cache_arg
+      $ report_json_arg)
+
+(* --- bomb -------------------------------------------------------------------- *)
+
+let bomb_cmd =
+  let requests_arg =
+    let doc = "Number of requests to generate." in
+    Arg.(
+      value
+      & opt int Service.Trafficgen.default_spec.Service.Trafficgen.g_requests
+      & info [ "requests"; "n" ] ~docv:"N" ~doc)
+  in
+  let mix_arg =
+    let doc = "Traffic mix: all, generated, examples or workloads." in
+    let parse s =
+      match Service.Trafficgen.mix_of_string s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown mix %s" s))
+    in
+    let print fmt m =
+      Format.pp_print_string fmt (Service.Trafficgen.mix_name m)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Service.Trafficgen.All
+      & info [ "mix" ] ~docv:"MIX" ~doc)
+  in
+  let seed_arg =
+    let doc = "Traffic generator seed (runs are replayable by seed)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let interarrival_arg =
+    let doc = "Mean virtual-tick gap between arrivals (open loop)." in
+    Arg.(
+      value
+      & opt int Service.Trafficgen.default_spec.Service.Trafficgen.g_mean_gap
+      & info [ "interarrival" ] ~docv:"TICKS" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Percentage of requests perturbed with heap ceilings, trap policies \
+       or injected allocation failures."
+    in
+    Arg.(
+      value
+      & opt int
+          Service.Trafficgen.default_spec.Service.Trafficgen.g_chaos_percent
+      & info [ "chaos" ] ~docv:"PCT" ~doc)
+  in
+  let run requests mix seed interarrival chaos servers queue jobs no_cache
+      json_out =
+    handle_errors (fun () ->
+        apply_cache_flag no_cache;
+        let spec =
+          {
+            Service.Trafficgen.g_requests = requests;
+            g_seed = seed;
+            g_mix = mix;
+            g_mean_gap = max 1 interarrival;
+            g_chaos_percent = max 0 (min 100 chaos);
+          }
+        in
+        let stream = Service.Trafficgen.generate spec in
+        let stream =
+          if no_cache then
+            List.map
+              (fun (a, r) -> (a, { r with Harness.Request.use_cache = false }))
+              stream
+          else stream
+        in
+        let t0 = Unix.gettimeofday () in
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            let t =
+              Service.Gcsafed.create ~pool (service_config servers queue)
+            in
+            List.iter
+              (fun (arrival, req) -> Service.Gcsafed.submit ~arrival t req)
+              stream;
+            Service.Gcsafed.shutdown t;
+            let wall_s = Unix.gettimeofday () -. t0 in
+            let report = Service.Gcsafed.report t in
+            Format.printf "%a@." Service.Gcsafed.pp_report report;
+            Printf.eprintf "wall: %.2fs, %.1f requests/s\n" wall_s
+              (if wall_s > 0. then float_of_int requests /. wall_s else 0.);
+            Option.iter (fun path -> write_report_json path t ~wall_s) json_out;
+            if report.Service.Gcsafed.rp_unexpected > 0 then
+              exit
+                (Harness.Diagnostics.exit_code
+                   Harness.Diagnostics.Internal_error)))
+  in
+  let doc =
+    "generate an open-loop request bombardment and report steady-state \
+     throughput, cache hit rate, outcome counts and latency percentiles \
+     (deterministic: the report is byte-identical across --jobs)"
+  in
+  Cmd.v
+    (Cmd.info "bomb" ~doc)
+    Term.(
+      const run $ requests_arg $ mix_arg $ seed_arg $ interarrival_arg
+      $ chaos_arg $ servers_arg $ queue_arg $ jobs_arg $ no_cache_arg
+      $ report_json_arg)
+
 let () =
   let doc = "GC-safety preprocessor for C (Boehm, PLDI 1996)" in
   let info = Cmd.info "gcsafec" ~version:"1.0.0" ~doc in
@@ -968,4 +1222,6 @@ let () =
             stress_cmd;
             profile_cmd;
             trace_check_cmd;
+            serve_cmd;
+            bomb_cmd;
           ]))

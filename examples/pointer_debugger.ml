@@ -14,7 +14,11 @@
 let check name src =
   Printf.printf "== %s under '-g, checked' ==\n" name;
   let b = Harness.Build.compile Harness.Build.Debug_checked src in
-  (match Harness.Measure.run b with
+  (match
+     Harness.Measure.exec
+       (Harness.Request.make ~config:Harness.Build.Debug_checked src)
+       b
+   with
   | Harness.Measure.Detected m ->
       Printf.printf "  DETECTED: %s\n" m
   | Harness.Measure.Ran r ->

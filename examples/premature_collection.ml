@@ -30,7 +30,11 @@ let race name config =
   let b = Harness.Build.compile config source in
   (* a collection after every single instruction: the worst-case
      asynchronous collector of the paper's multi-threaded assumption *)
-  match Harness.Measure.run ~async_gc:(Some 1) b with
+  match
+    Harness.Measure.exec
+      (Harness.Request.make ~config ~schedule:(Machine.Schedule.Every 1) source)
+      b
+  with
   | Harness.Measure.Ran r ->
       Printf.printf "  %-24s survived: %s" name r.Harness.Measure.o_output
   | Harness.Measure.Detected m ->

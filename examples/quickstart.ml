@@ -62,7 +62,7 @@ let () =
   List.iter
     (fun config ->
       let b = Harness.Build.compile config source in
-      match Harness.Measure.run b with
+      match Harness.Measure.exec (Harness.Request.make ~config source) b with
       | Harness.Measure.Ran r ->
           if config = Harness.Build.Base then base_cycles := r.Harness.Measure.o_cycles;
           Printf.printf "  %-14s %9d cycles  %5d instrs of code  %+6.1f%%  %s"

@@ -21,6 +21,26 @@ let config_name = function
 
 let all_configs = [ Base; Safe; Safe_peephole; Debug; Debug_checked ]
 
+(* the CLI spellings; [config_name] renders the paper's names *)
+let config_of_string = function
+  | "base" -> Some Base
+  | "safe" -> Some Safe
+  | "safe-peep" -> Some Safe_peephole
+  | "debug" | "g" -> Some Debug
+  | "checked" -> Some Debug_checked
+  | _ -> None
+
+let config_id = function
+  | Base -> "base"
+  | Safe -> "safe"
+  | Safe_peephole -> "safe-peep"
+  | Debug -> "debug"
+  | Debug_checked -> "checked"
+
+let preprocessed = function
+  | Safe | Safe_peephole | Debug_checked -> true
+  | Base | Debug -> false
+
 type built = {
   b_config : config;
   b_ir : Ir.Instr.program;
@@ -152,14 +172,22 @@ let reset_cache () =
    fixed-width source digest, and none of them can contain ':', so the
    key is injective in every input that affects the produced code.
    [use_cache] steers the lookup, not the artifact, and is excluded.
-   [gc_mode] does not change the produced code, but it is part of the
-   record identity the harness threads around (a cached artifact answers
-   for the exact options it was requested under). *)
-let cache_key (options : options) (config : config) (source : string) : string
-    =
-  Printf.sprintf "%s:%d:%b:%s:%s:%s" (config_name config) options.nregs
+
+   [artifact_key] is the part that actually shapes the produced code —
+   the differ dedups builds on it ([Request.matrix_key] appends the
+   source digest).  [cache_key] adds the gc mode: it does not change the
+   code, but it is part of the record identity the harness threads
+   around (a cached artifact answers for the exact options it was
+   requested under). *)
+let artifact_key (options : options) (config : config) : string =
+  Printf.sprintf "%s:%d:%b:%s" (config_name config) options.nregs
     options.loop_heuristic
     (Gcsafe.Mode.analysis_to_string options.analysis)
+
+let cache_key (options : options) (config : config) (source : string) : string
+    =
+  Printf.sprintf "%s:%s:%s"
+    (artifact_key options config)
     (Gcheap.Heap.gc_mode_name options.gc_mode)
     (Digest.to_hex (Digest.string source))
 

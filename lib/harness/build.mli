@@ -11,6 +11,17 @@ type config =
 
 val config_name : config -> string
 
+val config_id : config -> string
+(** The CLI/wire spelling ("base", "safe", "safe-peep", "debug",
+    "checked"); inverse of {!config_of_string}. *)
+
+val config_of_string : string -> config option
+(** Parse a CLI/wire spelling ("g" is accepted for [Debug]). *)
+
+val preprocessed : config -> bool
+(** Does annotation run at all for this configuration?  When it does
+    not, the analysis choice cannot affect the artifact. *)
+
 val all_configs : config list
 
 type built = {
@@ -87,11 +98,18 @@ val session_stats : session -> Exec.Cache.stats
 
 (** {1 The artifact cache} *)
 
+val artifact_key : options -> config -> string
+(** The canonical identity of the code an (options, config) pair
+    produces: configuration, register count, loop heuristic, analysis.
+    Excludes the gc mode (a run-time property) and [use_cache] (steers
+    the lookup, not the artifact).  Injective in those inputs; the
+    differ's matrix key and {!cache_key} are both derived from it. *)
+
 val cache_key : options -> config -> string -> string
-(** The content address of a build: the source digest plus every
-    [options] field with record identity (machine-register count, loop
-    heuristic, analysis, gc mode — [use_cache] itself does not count).
-    Injective in those inputs (modulo digest collisions). *)
+(** The content address of a build: {!artifact_key} plus the gc mode
+    and the source digest.  The gc mode does not change the produced
+    code, but it is part of the record identity the harness threads
+    around.  Injective in those inputs (modulo digest collisions). *)
 
 val cache_stats : unit -> Exec.Cache.stats
 

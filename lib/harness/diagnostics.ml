@@ -11,6 +11,8 @@ type outcome =
   | Divergence
   | Heap_exhausted
   | Task_quarantined
+  | Overload
+  | Internal_error
 
 let outcome_name = function
   | Ok -> "ok"
@@ -21,6 +23,8 @@ let outcome_name = function
   | Divergence -> "divergence"
   | Heap_exhausted -> "heap-exhausted"
   | Task_quarantined -> "task-quarantined"
+  | Overload -> "rejected-overload"
+  | Internal_error -> "internal-error"
 
 let exit_code = function
   | Ok -> 0
@@ -31,6 +35,8 @@ let exit_code = function
   | Corruption -> 5
   | Heap_exhausted -> 6
   | Task_quarantined -> 7
+  | Overload -> 8
+  | Internal_error -> 9
 
 let of_exn = function
   | Csyntax.Lexer.Error (m, loc) ->

@@ -1,15 +1,17 @@
 (** Structured failure classification shared by every consumer.
 
-    The harness distinguishes eight outcome classes, and each has one
-    process exit code; the CLI's subcommands, the differ and the stress
-    driver all classify through this module instead of re-matching
-    exceptions or outcome constructors.
+    The harness distinguishes ten outcome classes, and each has one
+    process exit code; the CLI's subcommands, the differ, the stress
+    driver and the service all classify through this module instead of
+    re-matching exceptions or outcome constructors.
 
     Exit codes (stable, documented in the CLI header): 0 success,
     1 finding/divergence, 2 source or input error, 3 runtime fault
     detected, 4 resource limit, 5 heap corruption, 6 heap exhausted
     (out of memory under a hard heap limit), 7 task quarantined (a
-    supervised task exhausted its attempt cap). *)
+    supervised task exhausted its attempt cap), 8 rejected under
+    overload (admission control shed the request), 9 internal error
+    (an unclassified exception — always a bug). *)
 
 type outcome =
   | Ok  (** the program ran to completion *)
@@ -23,6 +25,12 @@ type outcome =
           after the configured recovery (emergency collection, retry) *)
   | Task_quarantined
       (** a supervised task exhausted its attempt cap and was isolated *)
+  | Overload
+      (** the service's bounded queue was full and admission control
+          shed the request — a structured outcome, never a hang *)
+  | Internal_error
+      (** an exception no classifier owns leaked to the outcome
+          boundary; the robustness identity counts this as a bug *)
 
 val outcome_name : outcome -> string
 

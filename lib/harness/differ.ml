@@ -4,108 +4,56 @@
     The paper's safety claim is relational: under *any* collection
     schedule, a GC-safe build must behave exactly like the optimized
     baseline does when no collection interferes.  This module provides the
-    machinery for testing that relation: build the full config x machine
-    matrix once, execute any subject under any schedule, and diff the
-    observable behaviour — output, exit code, final live heap, and fault
-    class — against a reference observation. *)
+    machinery for testing that relation: build the requests of a
+    {!Request.matrix} once, execute any subject under any schedule, and
+    diff the observable behaviour — output, exit code, final live heap,
+    and fault class — against a reference observation. *)
 
-type subject = {
-  s_config : Build.config;
-  s_machine : Machine.Machdesc.t;
-  s_analysis : Gcsafe.Mode.analysis;
-  s_gc_mode : Gcheap.Heap.gc_mode;
-  s_built : Build.built;
-}
+type subject = { s_request : Request.t; s_built : Build.built }
 
-(* the harness defaults ([A_flow], stop-the-world collection) stay
-   untagged; the variants announce themselves *)
-let subject_name s =
-  let tag =
-    match s.s_analysis with
-    | Gcsafe.Mode.A_flow -> ""
-    | Gcsafe.Mode.A_none -> " [analysis=none]"
-  in
-  let gtag =
-    match s.s_gc_mode with Gcheap.Heap.Stw -> "" | Gcheap.Heap.Gen -> " [gen]"
-  in
-  Printf.sprintf "%s @ %s%s%s"
-    (Build.config_name s.s_config)
-    s.s_machine.Machine.Machdesc.md_name tag gtag
+let subject_name s = Request.describe s.s_request
 
-let default_machines =
-  [
-    Machine.Machdesc.sparc2;
-    Machine.Machdesc.sparc10;
-    Machine.Machdesc.pentium90;
-  ]
+let default_machines = Request.default_matrix.Request.m_machines
 
-(* does annotation run at all for this configuration?  If not, the
-   analysis choice cannot affect the artifact and one subject suffices. *)
-let preprocessed = function
-  | Build.Safe | Build.Safe_peephole | Build.Debug_checked -> true
-  | Build.Base | Build.Debug -> false
-
-(** Build every configuration for every machine model and every analysis
-    variant.  Register allocation is the only machine-dependent build
-    step, so builds are shared between machines with equal register
-    counts — the content-addressed artifact cache keys on the register
-    count, so the sharing falls out of {!Build.compile}.  Unpreprocessed
-    configurations ([Base], [Debug]) get a single subject regardless of
-    [analyses].  The gc mode affects the run, not the artifact, so
-    [gc_modes] multiplies subjects without multiplying builds.  [pool]
-    fans the distinct (config, register-count, analysis) builds out over
-    worker domains. *)
-let build_matrix ?(configs = Build.all_configs) ?(machines = default_machines)
-    ?(analyses = [ Gcsafe.Mode.A_flow ])
-    ?(gc_modes = [ Gcheap.Heap.Stw ]) ?(pool = Exec.Pool.serial) source :
+(** Build one subject per request, compiling each distinct
+    {!Request.matrix_key} once.  Register allocation is the only
+    machine-dependent build step and the gc mode affects the run, not
+    the artifact, so requests across machines with equal register counts
+    and across collector modes share one built artifact.  [pool] fans
+    the distinct builds out over worker domains.  Subjects come back in
+    the order of [requests]. *)
+let build_matrix ?(pool = Exec.Pool.serial) (requests : Request.t list) :
     subject list =
-  let variants config =
-    if preprocessed config then List.sort_uniq compare analyses
-    else [ Build.default.Build.analysis ]
-  in
   let distinct =
-    List.sort_uniq compare
-      (List.concat_map
-         (fun (machine : Machine.Machdesc.t) ->
-           List.concat_map
-             (fun config ->
-               List.map
-                 (fun analysis ->
-                   (config, machine.Machine.Machdesc.md_regs, analysis))
-                 (variants config))
-             configs)
-         machines)
+    let seen = Hashtbl.create 16 in
+    List.filter
+      (fun r ->
+        let key = Request.matrix_key r in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      requests
   in
   let built =
     Exec.Pool.map pool
-      (fun ((config, nregs, analysis) as key) ->
-        ( key,
+      (fun r ->
+        ( Request.matrix_key r,
           Build.compile
-            ~options:{ Build.default with Build.nregs; Build.analysis }
-            config source ))
+            ~options:(Request.build_options r)
+            r.Request.config r.Request.source ))
       distinct
   in
-  let gc_modes = List.sort_uniq compare gc_modes in
-  List.concat_map
-    (fun machine ->
-      let nregs = machine.Machine.Machdesc.md_regs in
-      List.concat_map
-        (fun config ->
-          List.concat_map
-            (fun analysis ->
-              List.map
-                (fun gc_mode ->
-                  {
-                    s_config = config;
-                    s_machine = machine;
-                    s_analysis = analysis;
-                    s_gc_mode = gc_mode;
-                    s_built = List.assoc (config, nregs, analysis) built;
-                  })
-                gc_modes)
-            (variants config))
-        configs)
-    machines
+  List.map
+    (fun r -> { s_request = r; s_built = List.assoc (Request.matrix_key r) built })
+    requests
+
+(** The matrix-over-one-source convenience the CLI and the stress plans
+    use: expand, then build. *)
+let build_of_matrix ?pool (m : Request.matrix) (source : string) : subject list
+    =
+  build_matrix ?pool (Request.expand m source)
 
 (** What one run observably did.  [Obs_ok] carries everything the paper
     treats as program behaviour; the three failure observations carry the
@@ -156,15 +104,15 @@ let describe_obs = function
   | Obs_limit m -> "resource limit: " ^ m
   | Obs_exhausted m -> "heap exhausted: " ^ m
 
-(** Execute [subject] under [schedule].  Integrity checking and the final
-    collection default to on: differential runs always sanitize. *)
-let observe ?(check_integrity = true) ?max_instrs ?max_heap ?gc_point_sink
-    ?telemetry ?heap_limit ?oom_policy ?alloc_failpoints ~schedule subject :
-    obs =
+(** Execute [subject] under [schedule].  Everything else — sanitizing,
+    ceilings, heap limit, OOM policy, failpoints — comes from the
+    subject's request; override with a record update on [s_request]
+    before calling.  [gc_point_sink] and [telemetry] stay per-call:
+    they are observation channels, not part of the request. *)
+let observe ?gc_point_sink ?telemetry ~schedule subject : obs =
   obs_of_outcome
-    (Measure.run ~machine:subject.s_machine ~schedule ~check_integrity
-       ~final_collect:true ~gc_mode:subject.s_gc_mode ?max_instrs ?max_heap
-       ?gc_point_sink ?telemetry ?heap_limit ?oom_policy ?alloc_failpoints
+    (Measure.exec ?gc_point_sink ?telemetry
+       { subject.s_request with Request.schedule }
        subject.s_built)
 
 (** How an observation deviates from the reference behaviour. *)
@@ -238,10 +186,9 @@ type cell = { c_subject : subject; c_obs : obs; c_mismatch : mismatch option }
     (no injected collections) — the paper's notion of intended behaviour.
     When the matrix spans gc modes, the stop-the-world baseline is
     preferred: generational subjects must match the paper's collector. *)
-let run_matrix ?(check_integrity = true) ~schedule (subjects : subject list) :
-    cell list =
+let run_matrix ~schedule (subjects : subject list) : cell list =
   let references = Hashtbl.create 4 in
-  let reference_for machine =
+  let reference_for (machine : Machine.Machdesc.t) =
     let key = machine.Machine.Machdesc.md_name in
     match Hashtbl.find_opt references key with
     | Some r -> r
@@ -249,24 +196,26 @@ let run_matrix ?(check_integrity = true) ~schedule (subjects : subject list) :
         let bases =
           List.filter
             (fun s ->
-              s.s_config = Build.Base
-              && s.s_machine.Machine.Machdesc.md_name = key)
+              s.s_request.Request.config = Build.Base
+              && s.s_request.Request.machine.Machine.Machdesc.md_name = key)
             subjects
         in
         let base =
           match
-            List.find_opt (fun s -> s.s_gc_mode = Gcheap.Heap.Stw) bases
+            List.find_opt
+              (fun s -> s.s_request.Request.gc_mode = Gcheap.Heap.Stw)
+              bases
           with
           | Some s -> s
           | None -> List.hd bases
         in
-        let r = observe ~check_integrity ~schedule:Machine.Schedule.Auto base in
+        let r = observe ~schedule:Machine.Schedule.Auto base in
         Hashtbl.add references key r;
         r
   in
   List.map
     (fun s ->
-      let reference = reference_for s.s_machine in
-      let obs = observe ~check_integrity ~schedule s in
+      let reference = reference_for s.s_request.Request.machine in
+      let obs = observe ~schedule s in
       { c_subject = s; c_obs = obs; c_mismatch = diff ~reference obs })
     subjects

@@ -3,44 +3,37 @@
 
     The paper's safety claim is relational: under *any* collection
     schedule, a GC-safe build must behave exactly like the optimized
-    baseline does when no collection interferes.  Build the config x
-    machine matrix once with {!build_matrix}, execute any subject under
-    any schedule with {!observe}, and compare behaviour with {!diff}. *)
+    baseline does when no collection interferes.  Build the requests of
+    a {!Request.matrix} once with {!build_matrix} (or
+    {!build_of_matrix}), execute any subject under any schedule with
+    {!observe}, and compare behaviour with {!diff}.
 
-type subject = {
-  s_config : Build.config;
-  s_machine : Machine.Machdesc.t;
-  s_analysis : Gcsafe.Mode.analysis;
-      (** which analysis pruned the annotations this subject was built
-          with (meaningful for preprocessed configurations only) *)
-  s_gc_mode : Gcheap.Heap.gc_mode;
-      (** which collector the subject runs under (a run-time property:
-          subjects across gc modes share one built artifact) *)
-  s_built : Build.built;
-}
+    A subject is simply a {!Request.t} paired with its built artifact;
+    the per-subject config/machine/analysis/gc-mode fields this module
+    used to duplicate live on the request now. *)
+
+type subject = { s_request : Request.t; s_built : Build.built }
 
 val subject_name : subject -> string
-(** ["config @ machine"], tagged with [" [analysis=none]"] for
-    paper-verbatim subjects and [" [gen]"] for generational ones. *)
+(** {!Request.describe} of the subject's request: ["config @ machine"],
+    tagged with [" [analysis=none]"] for paper-verbatim subjects and
+    [" [gen]"] for generational ones. *)
 
 val default_machines : Machine.Machdesc.t list
-(** The paper's three machine models. *)
+(** The paper's three machine models
+    ({!Request.default_matrix}[.m_machines]). *)
 
-val build_matrix :
-  ?configs:Build.config list ->
-  ?machines:Machine.Machdesc.t list ->
-  ?analyses:Gcsafe.Mode.analysis list ->
-  ?gc_modes:Gcheap.Heap.gc_mode list ->
-  ?pool:Exec.Pool.t ->
-  string ->
-  subject list
-(** Build every configuration for every machine model and every
-    [analyses] variant (default [[A_flow]]; builds shared between
-    machines with equal register counts).  Unpreprocessed configurations
-    get one subject regardless of [analyses].  [gc_modes] (default
-    [[Stw]]) multiplies subjects — not builds: the collector mode is a
-    run-time property.  [pool] fans the distinct builds out over worker
-    domains. *)
+val build_matrix : ?pool:Exec.Pool.t -> Request.t list -> subject list
+(** One subject per request, compiling each distinct
+    {!Request.matrix_key} once (requests across machines with equal
+    register counts and across collector modes share one artifact).
+    [pool] fans the distinct builds out over worker domains.  Subjects
+    come back in request order. *)
+
+val build_of_matrix :
+  ?pool:Exec.Pool.t -> Request.matrix -> string -> subject list
+(** [build_matrix] over {!Request.expand}: the matrix-over-one-source
+    convenience the CLI and stress plans use. *)
 
 type obs =
   | Obs_ok of {
@@ -63,23 +56,16 @@ val classify : obs -> Diagnostics.outcome
 val describe_obs : obs -> string
 
 val observe :
-  ?check_integrity:bool ->
-  ?max_instrs:int ->
-  ?max_heap:int ->
   ?gc_point_sink:(int -> string -> unit) ->
   ?telemetry:Telemetry.Sink.t ->
-  ?heap_limit:int ->
-  ?oom_policy:Gcheap.Heap.oom_policy ->
-  ?alloc_failpoints:Gcheap.Failpoint.t ->
   schedule:Machine.Schedule.t ->
   subject ->
   obs
-(** Execute one subject under one schedule.  Integrity checking and the
-    final collection default to on: differential runs always sanitize.
-    [telemetry] threads a sink into the VM — the stress driver replays
-    findings under a tracer to capture their timelines.  The chaos
-    sweep threads [heap_limit] / [oom_policy] / [alloc_failpoints]
-    through to the heap (see {!Measure.run}). *)
+(** Execute one subject under one schedule.  Sanitizing, ceilings, heap
+    limit, OOM policy and failpoints all come from the subject's
+    request — override with a record update on [s_request] before
+    calling (the chaos sweep does).  [gc_point_sink] and [telemetry]
+    stay per-call: observation channels, not request identity. *)
 
 type mismatch =
   | Output_diff of { exp : string; got : string }
@@ -98,11 +84,7 @@ val diff : reference:obs -> obs -> mismatch option
 
 type cell = { c_subject : subject; c_obs : obs; c_mismatch : mismatch option }
 
-val run_matrix :
-  ?check_integrity:bool ->
-  schedule:Machine.Schedule.t ->
-  subject list ->
-  cell list
+val run_matrix : schedule:Machine.Schedule.t -> subject list -> cell list
 (** Run the whole matrix under one schedule; each cell is diffed against
     the optimized baseline on the same machine under no injected
     collections (preferring the stop-the-world baseline when the matrix

@@ -35,36 +35,32 @@ let describe = function
   | Limit m -> "resource limit: " ^ m
   | Exhausted m -> "heap exhausted: " ^ m
 
-let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
-    ?(check_integrity = false) ?(final_collect = false) ?max_instrs ?max_heap
-    ?gc_threshold ?(gc_mode = Gcheap.Heap.Stw) ?gc_point_sink ?telemetry
-    ?(heap_limit = 0) ?(oom_policy = Gcheap.Heap.Collect_expand)
-    ?(alloc_failpoints = Gcheap.Failpoint.Never) (b : Build.built) : outcome =
-  let vm_gc_schedule =
-    match (schedule, async_gc) with
-    | Some s, _ -> s
-    | None, Some n -> Machine.Schedule.Every n
-    | None, None -> Machine.Schedule.Auto
-  in
+(** Execute a built program under a {!Request.t} — the canonical
+    runner; every other entry point is sugar over this one. *)
+let exec ?gc_point_sink ?telemetry (r : Request.t) (b : Build.built) : outcome
+    =
+  let machine = r.Request.machine in
   let dc = Machine.Vm.default_config ~machine () in
   let config =
     {
       dc with
-      Machine.Vm.vm_gc_schedule;
-      Machine.Vm.vm_check_integrity = check_integrity;
-      Machine.Vm.vm_final_collect = final_collect;
+      Machine.Vm.vm_gc_schedule = r.Request.schedule;
+      Machine.Vm.vm_check_integrity = r.Request.check_integrity;
+      Machine.Vm.vm_final_collect = r.Request.final_collect;
       Machine.Vm.vm_max_instrs =
-        Option.value ~default:dc.Machine.Vm.vm_max_instrs max_instrs;
+        Option.value ~default:dc.Machine.Vm.vm_max_instrs r.Request.max_instrs;
       Machine.Vm.vm_max_heap_bytes =
-        Option.value ~default:dc.Machine.Vm.vm_max_heap_bytes max_heap;
+        Option.value ~default:dc.Machine.Vm.vm_max_heap_bytes
+          r.Request.max_heap;
       Machine.Vm.vm_gc_threshold =
-        Option.value ~default:dc.Machine.Vm.vm_gc_threshold gc_threshold;
-      Machine.Vm.vm_gc_mode = gc_mode;
+        Option.value ~default:dc.Machine.Vm.vm_gc_threshold
+          r.Request.gc_threshold;
+      Machine.Vm.vm_gc_mode = r.Request.gc_mode;
       Machine.Vm.vm_gc_point_sink = gc_point_sink;
       Machine.Vm.vm_telemetry = telemetry;
-      Machine.Vm.vm_heap_limit_words = heap_limit;
-      Machine.Vm.vm_oom_policy = oom_policy;
-      Machine.Vm.vm_alloc_failpoints = alloc_failpoints;
+      Machine.Vm.vm_heap_limit_words = r.Request.heap_limit;
+      Machine.Vm.vm_oom_policy = r.Request.oom_policy;
+      Machine.Vm.vm_alloc_failpoints = r.Request.alloc_failpoints;
     }
   in
   try
@@ -97,22 +93,32 @@ let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
               (fun v -> Format.asprintf "%a" Gcheap.Heap.pp_violation v)
               vs))
 
-(** Build and run one workload configuration on one machine. *)
+(** Deprecated shim over {!exec} (kept for one release, like
+    [Build.build] was): the optional-argument dialect it spells is
+    exactly a {!Request.t}. *)
+let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
+    ?check_integrity ?final_collect ?max_instrs ?max_heap ?gc_threshold
+    ?gc_mode ?gc_point_sink ?telemetry ?heap_limit ?oom_policy
+    ?alloc_failpoints (b : Build.built) : outcome =
+  let schedule =
+    match (schedule, async_gc) with
+    | Some s, _ -> s
+    | None, Some n -> Machine.Schedule.Every n
+    | None, None -> Machine.Schedule.Auto
+  in
+  exec ?gc_point_sink ?telemetry
+    (Request.make ~machine ~schedule ?check_integrity ?final_collect
+       ?max_instrs ?max_heap ?gc_threshold ?gc_mode ?heap_limit ?oom_policy
+       ?alloc_failpoints "")
+    b
+
+(** Deprecated shim: build and run one workload configuration on one
+    machine. *)
 let run_config ?(machine = Machine.Machdesc.sparc10) ?analysis ?gc_mode config
     source : Build.built * outcome =
-  let options = Build.for_machine machine in
-  let options =
-    match analysis with
-    | None -> options
-    | Some a -> { options with Build.analysis = a }
-  in
-  let options =
-    match gc_mode with
-    | None -> options
-    | Some g -> { options with Build.gc_mode = g }
-  in
-  let b = Build.compile ~options config source in
-  (b, run ~machine ~gc_mode:options.Build.gc_mode b)
+  let r = Request.make ~config ~machine ?analysis ?gc_mode source in
+  let b = Build.compile ~options:(Request.build_options r) config source in
+  (b, exec r b)
 
 (** Percentage slowdown relative to a baseline cycle count, rendered as in
     the paper's tables. *)

@@ -30,6 +30,19 @@ type outcome =
 
 val describe : outcome -> string
 
+val exec :
+  ?gc_point_sink:(int -> string -> unit) ->
+  ?telemetry:Telemetry.Sink.t ->
+  Request.t ->
+  Build.built ->
+  outcome
+(** Execute a built program under a {!Request.t} — the canonical runner;
+    the request names the machine, schedule, collector mode, ceilings,
+    OOM policy and failpoints in one value.  [gc_point_sink] and
+    [telemetry] stay per-call: they are observation channels, not part
+    of the request's identity.  {!run} and {!run_config} are deprecated
+    shims over this function. *)
+
 val run :
   ?machine:Machine.Machdesc.t ->
   ?async_gc:int option ->
@@ -47,20 +60,12 @@ val run :
   ?alloc_failpoints:Gcheap.Failpoint.t ->
   Build.built ->
   outcome
-(** Execute a built program.  [schedule] takes precedence over the legacy
-    [async_gc] (which maps to {!Machine.Schedule.Every}).  [telemetry]
-    threads a sink into the VM (metrics, tracing, heap profiling);
-    [gc_threshold] overrides the allocation volume between automatic
-    collections (the profiler uses a small threshold to observe drag at
-    fine grain); [gc_mode] selects stop-the-world (default) or
-    generational collection.
-
-    [heap_limit] (words, 0 = unlimited) is the hard ceiling on arena
-    growth; [oom_policy] picks what an allocation that cannot be
-    satisfied does (trap immediately, or run an emergency collection
-    and retry — the default); [alloc_failpoints] injects deterministic
-    allocation failures by ordinal.  A run stopped by the ceiling (or a
-    trapped injected failure) is [Exhausted]. *)
+(** Deprecated: the optional-argument spelling of {!exec}, kept as a
+    shim for one release (as [Build.build] was for [Build.compile]).
+    New code should build a {!Request.t} and call {!exec}.  [schedule]
+    takes precedence over the legacy [async_gc] (which maps to
+    {!Machine.Schedule.Every}); each argument maps to the request field
+    of the same name. *)
 
 val run_config :
   ?machine:Machine.Machdesc.t ->
@@ -69,7 +74,8 @@ val run_config :
   Build.config ->
   string ->
   Build.built * outcome
-(** Build and run one workload configuration on one machine.  [analysis]
+(** Deprecated shim: build and run one workload configuration on one
+    machine ({!Request.make} + {!Build.compile} + {!exec}).  [analysis]
     and [gc_mode] override the harness defaults ({!Build.default}'s
     [A_flow] / stop-the-world). *)
 

@@ -10,6 +10,16 @@
     process-wide artifact cache either way) and only then printed, so
     parallel regeneration is byte-identical to serial. *)
 
+(* build + execute one request; a table point is exactly a request
+   (config, machine, analysis), so the constructor is the cell's name *)
+let measure_request (req : Request.t) =
+  let b =
+    Build.compile
+      ~options:(Request.build_options req)
+      req.Request.config req.Request.source
+  in
+  (b, Measure.exec req b)
+
 type cell = { c_config : Build.config; c_outcome : Measure.outcome }
 
 type row = {
@@ -20,11 +30,12 @@ type row = {
 
 let measure_row ?(machine = Machine.Machdesc.sparc10) ~configs
     (w : Workloads.Registry.workload) : row =
-  let _, base = Measure.run_config ~machine Build.Base w.Workloads.Registry.w_source in
+  let src = w.Workloads.Registry.w_source in
+  let _, base = measure_request (Request.make ~config:Build.Base ~machine src) in
   let cells =
     List.map
       (fun config ->
-        let _, o = Measure.run_config ~machine config w.Workloads.Registry.w_source in
+        let _, o = measure_request (Request.make ~config ~machine src) in
         { c_config = config; c_outcome = o })
       configs
   in
@@ -125,14 +136,18 @@ let analysis_table ?(machine = Machine.Machdesc.sparc10)
     Exec.Pool.map pool
       (fun w ->
         let src = w.Workloads.Registry.w_source in
-        let _, base = Measure.run_config ~machine Build.Base src in
+        let _, base =
+          measure_request (Request.make ~config:Build.Base ~machine src)
+        in
         let bn, safe_none =
-          Measure.run_config ~machine ~analysis:Gcsafe.Mode.A_none Build.Safe
-            src
+          measure_request
+            (Request.make ~config:Build.Safe ~machine
+               ~analysis:Gcsafe.Mode.A_none src)
         in
         let bf, safe_flow =
-          Measure.run_config ~machine ~analysis:Gcsafe.Mode.A_flow Build.Safe
-            src
+          measure_request
+            (Request.make ~config:Build.Safe ~machine
+               ~analysis:Gcsafe.Mode.A_flow src)
         in
         {
           a_workload = w.Workloads.Registry.w_name;
@@ -172,8 +187,13 @@ let postprocessor_table ?(machine = Machine.Machdesc.sparc10)
     Exec.Pool.map pool
       (fun w ->
         let src = w.Workloads.Registry.w_source in
-        let bb, base = Measure.run_config ~machine Build.Base src in
-        let pb, post = Measure.run_config ~machine Build.Safe_peephole src in
+        let bb, base =
+          measure_request (Request.make ~config:Build.Base ~machine src)
+        in
+        let pb, post =
+          measure_request
+            (Request.make ~config:Build.Safe_peephole ~machine src)
+        in
         (w.Workloads.Registry.w_name, base, post, bb.Build.b_size, pb.Build.b_size))
       Workloads.Registry.paper_suite
   in

@@ -63,3 +63,25 @@ let to_string = function
       | l ->
           Printf.sprintf "at:{%s}"
             (String.concat "," (List.map string_of_int l)))
+
+(* the inverse of [to_string], for wire requests; a malformed spec is
+   [None], never an exception *)
+let of_string s =
+  let prefix p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  match s with
+  | "auto" -> Some Auto
+  | "at-allocs" -> Some At_allocs
+  | _ when prefix "every-" -> (
+      match int_of_string_opt (after "every-") with
+      | Some n when n > 0 -> Some (Every n)
+      | _ -> None)
+  | "at:{}" -> Some (At no_points)
+  | _ when prefix "at:{" && s.[String.length s - 1] = '}' -> (
+      let body = String.sub s 4 (String.length s - 5) in
+      let parts = String.split_on_char ',' body in
+      let pts = List.map (fun p -> int_of_string_opt (String.trim p)) parts in
+      if List.for_all (function Some k -> k >= 0 | None -> false) pts then
+        Some (at_list (List.filter_map Fun.id pts))
+      else None)
+  | _ -> None

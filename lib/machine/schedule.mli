@@ -29,3 +29,7 @@ type t =
 val at_list : int list -> t
 
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} ("auto", "every-N", "at-allocs",
+    "at:\{k,k,...\}"); [None] on a malformed spec. *)

@@ -1,0 +1,359 @@
+(** The service harness.  See the interface for the determinism and
+    telemetry contracts. *)
+
+module Build = Harness.Build
+module Request = Harness.Request
+module Outcome = Harness.Outcome
+module Metrics = Telemetry.Metrics
+module Json = Telemetry.Json
+
+type config = {
+  servers : int;
+  queue_capacity : int;
+  failure_cost : int;
+  build_miss_cost : int;
+}
+
+let default_config =
+  { servers = 4; queue_capacity = 64; failure_cost = 2000; build_miss_cost = 20000 }
+
+type completion = {
+  r_request : Request.t;
+  r_outcome : Outcome.t;
+  r_arrival : int;
+  r_start : int;
+  r_finish : int;
+  r_cache_hit : bool;
+}
+
+type t = {
+  cfg : config;
+  pool : Exec.Pool.t;
+  metrics : Metrics.t;
+  mutable pending : (int * Request.t) list;  (* reversed *)
+  mutable completed : completion list;  (* reversed *)
+  mutable last_arrival : int;
+  lanes : int array;  (* per-lane virtual finish times *)
+  seen : (string, unit) Hashtbl.t;  (* the logical build tier *)
+  mutable closed : bool;
+}
+
+let create ?(pool = Exec.Pool.serial) ?metrics cfg =
+  let servers = max 1 cfg.servers in
+  {
+    cfg = { cfg with servers };
+    pool;
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    pending = [];
+    completed = [];
+    last_arrival = 0;
+    lanes = Array.make servers 0;
+    seen = Hashtbl.create 64;
+    closed = false;
+  }
+
+let metrics t = t.metrics
+
+let is_shut_down t = t.closed
+
+let tick t name = Metrics.incr (Metrics.counter t.metrics name)
+
+let record_class t outcome =
+  tick t ("service/outcome/" ^ Outcome.class_name outcome)
+
+let reject_completion req arrival detail =
+  {
+    r_request = req;
+    r_outcome = Outcome.Rejected detail;
+    r_arrival = arrival;
+    r_start = arrival;
+    r_finish = arrival;
+    r_cache_hit = false;
+  }
+
+let submit ?arrival t req =
+  let a = max t.last_arrival (Option.value ~default:t.last_arrival arrival) in
+  t.last_arrival <- a;
+  if t.closed then begin
+    let c = reject_completion req a "service shut down" in
+    t.completed <- c :: t.completed;
+    tick t "service/submitted";
+    tick t "service/rejected";
+    record_class t c.r_outcome
+  end
+  else t.pending <- (a, req) :: t.pending
+
+(* An admitted request waiting for (or holding) a lane. *)
+type job = {
+  j_idx : int;
+  j_arrival : int;
+  j_cost : int;
+  j_request : Request.t;
+  j_outcome : Outcome.t;
+  j_hit : bool;
+}
+
+let min_lane lanes =
+  let best = ref 0 in
+  Array.iteri (fun i f -> if f < lanes.(!best) then best := i) lanes;
+  !best
+
+let drain t =
+  let batch = List.rev t.pending in
+  t.pending <- [];
+  if batch <> [] then begin
+    (* Speculative execution: every request runs exactly once, under its
+       own session-scoped sink, fanned out over the pool; results are
+       consumed in submission order, so nothing below depends on the
+       worker count. *)
+    let executed =
+      Exec.Pool.map t.pool
+        (fun (_, req) ->
+          let m = Metrics.create () in
+          let sink = Telemetry.Sink.make ~metrics:m () in
+          let o = Outcome.execute ~telemetry:sink req in
+          (o, Metrics.snapshot m))
+        batch
+    in
+    let lanes = t.lanes in
+    let waiting = Queue.create () in
+    let n = List.length batch in
+    let out = Array.make n None in
+    let latency_h = Metrics.histogram t.metrics "service/latency_ticks" in
+    let service_h = Metrics.histogram t.metrics "service/service_ticks" in
+    let assign job =
+      let l = min_lane lanes in
+      let start = max lanes.(l) job.j_arrival in
+      let finish = start + job.j_cost in
+      lanes.(l) <- finish;
+      Metrics.observe latency_h (finish - job.j_arrival);
+      out.(job.j_idx) <-
+        Some
+          {
+            r_request = job.j_request;
+            r_outcome = job.j_outcome;
+            r_arrival = job.j_arrival;
+            r_start = start;
+            r_finish = finish;
+            r_cache_hit = job.j_hit;
+          }
+    in
+    List.iteri
+      (fun idx ((arrival, req), (outcome, snap)) ->
+        tick t "service/submitted";
+        (* lanes that finish by this arrival serve the waiting room first
+           (FIFO: nobody overtakes the queue) *)
+        while
+          (not (Queue.is_empty waiting)) && lanes.(min_lane lanes) <= arrival
+        do
+          assign (Queue.pop waiting)
+        done;
+        let key = Request.cache_key req in
+        let hit = req.Request.use_cache && Hashtbl.mem t.seen key in
+        let base_cost =
+          match outcome with
+          | Outcome.Ran r -> max 1 r.Harness.Measure.o_cycles
+          | _ -> t.cfg.failure_cost
+        in
+        let cost = base_cost + if hit then 0 else t.cfg.build_miss_cost in
+        let lane_free = lanes.(min_lane lanes) <= arrival in
+        if lane_free || Queue.length waiting < t.cfg.queue_capacity then begin
+          (* admitted: the logical build tier warms on admission, in
+             submission order *)
+          if req.Request.use_cache then Hashtbl.replace t.seen key ();
+          tick t "service/admitted";
+          record_class t outcome;
+          tick t (if hit then "service/cache/hits" else "service/cache/misses");
+          Metrics.observe service_h cost;
+          Metrics.absorb t.metrics snap;
+          let job =
+            {
+              j_idx = idx;
+              j_arrival = arrival;
+              j_cost = cost;
+              j_request = req;
+              j_outcome = outcome;
+              j_hit = hit;
+            }
+          in
+          if lane_free then assign job else Queue.push job waiting
+        end
+        else begin
+          (* shed: a structured outcome, and no telemetry absorbed *)
+          tick t "service/rejected";
+          let c =
+            reject_completion req arrival
+              (Printf.sprintf "queue full (capacity %d)" t.cfg.queue_capacity)
+          in
+          record_class t c.r_outcome;
+          out.(idx) <- Some c
+        end)
+      (List.combine batch executed);
+    (* drain-on-shutdown semantics: everything in the waiting room is
+       served before the batch completes *)
+    while not (Queue.is_empty waiting) do
+      assign (Queue.pop waiting)
+    done;
+    Array.iter
+      (function
+        | Some c -> t.completed <- c :: t.completed | None -> assert false)
+      out
+  end
+
+let shutdown t =
+  drain t;
+  t.closed <- true
+
+let completions t = List.rev t.completed
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  rp_submitted : int;
+  rp_admitted : int;
+  rp_rejected : int;
+  rp_outcomes : (string * int) list;
+  rp_unexpected : int;
+  rp_cache_hits : int;
+  rp_cache_misses : int;
+  rp_makespan : int;
+  rp_latency_p50 : int;
+  rp_latency_p90 : int;
+  rp_latency_p99 : int;
+  rp_labels : (string * int) list;
+}
+
+let unexpected_classes = [ "corruption"; "task-quarantined"; "internal-error" ]
+
+let report t =
+  let cs = completions t in
+  let tally = Hashtbl.create 16 in
+  let labels = Hashtbl.create 16 in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let rejected = ref 0 and hits = ref 0 and misses = ref 0 in
+  let first_arrival = ref max_int and last_finish = ref 0 in
+  List.iter
+    (fun c ->
+      bump tally (Outcome.class_name c.r_outcome);
+      bump labels (if c.r_request.Request.label = "" then "(unlabeled)" else c.r_request.Request.label);
+      first_arrival := min !first_arrival c.r_arrival;
+      last_finish := max !last_finish c.r_finish;
+      match c.r_outcome with
+      | Outcome.Rejected _ -> incr rejected
+      | _ -> if c.r_cache_hit then incr hits else incr misses)
+    cs;
+  let count name = Option.value ~default:0 (Hashtbl.find_opt tally name) in
+  let latency p =
+    match Metrics.find (Metrics.snapshot t.metrics) "service/latency_ticks" with
+    | Some (Metrics.Histogram { buckets; _ }) -> Metrics.percentile buckets p
+    | _ -> 0
+  in
+  {
+    rp_submitted = List.length cs;
+    rp_admitted = List.length cs - !rejected;
+    rp_rejected = !rejected;
+    rp_outcomes = List.map (fun name -> (name, count name)) Outcome.all_class_names;
+    rp_unexpected =
+      List.fold_left (fun acc name -> acc + count name) 0 unexpected_classes;
+    rp_cache_hits = !hits;
+    rp_cache_misses = !misses;
+    rp_makespan = (if cs = [] then 0 else !last_finish - !first_arrival);
+    rp_latency_p50 = latency 0.50;
+    rp_latency_p90 = latency 0.90;
+    rp_latency_p99 = latency 0.99;
+    rp_labels =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels []);
+  }
+
+let hit_rate r =
+  let total = r.rp_cache_hits + r.rp_cache_misses in
+  if total = 0 then 0. else float_of_int r.rp_cache_hits /. float_of_int total
+
+let throughput r =
+  if r.rp_makespan = 0 then 0.
+  else 1000. *. float_of_int r.rp_admitted /. float_of_int r.rp_makespan
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "gcsafed: %d submitted, %d admitted, %d rejected@,"
+    r.rp_submitted r.rp_admitted r.rp_rejected;
+  Format.fprintf ppf "  outcomes:";
+  List.iter (fun (name, n) -> Format.fprintf ppf " %s=%d" name n) r.rp_outcomes;
+  Format.fprintf ppf "@,";
+  Format.fprintf ppf "  build tier: %d hit(s), %d miss(es), hit rate %.3f@,"
+    r.rp_cache_hits r.rp_cache_misses (hit_rate r);
+  Format.fprintf ppf "  latency ticks: p50=%d p90=%d p99=%d@," r.rp_latency_p50
+    r.rp_latency_p90 r.rp_latency_p99;
+  Format.fprintf ppf
+    "  makespan %d tick(s), throughput %.3f admitted/ktick@," r.rp_makespan
+    (throughput r);
+  (match r.rp_labels with
+  | [] -> ()
+  | labels ->
+      Format.fprintf ppf "  traffic:";
+      List.iter (fun (name, n) -> Format.fprintf ppf " %s=%d" name n) labels;
+      Format.fprintf ppf "@,");
+  Format.fprintf ppf "  unexpected: %d@," r.rp_unexpected;
+  Format.fprintf ppf "@]"
+
+let report_to_json ?wall_s t =
+  let r = report t in
+  let cache = Build.cache_stats () in
+  let base =
+    [
+      ("submitted", Json.Int r.rp_submitted);
+      ("admitted", Json.Int r.rp_admitted);
+      ("rejected", Json.Int r.rp_rejected);
+      ( "outcomes",
+        Json.Obj (List.map (fun (name, n) -> (name, Json.Int n)) r.rp_outcomes)
+      );
+      ("unexpected", Json.Int r.rp_unexpected);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int r.rp_cache_hits);
+            ("misses", Json.Int r.rp_cache_misses);
+            ("hit_rate", Json.Float (hit_rate r));
+          ] );
+      ( "build_cache",
+        Json.Obj
+          [
+            ("hits", Json.Int cache.Exec.Cache.hits);
+            ("misses", Json.Int cache.Exec.Cache.misses);
+            ("evictions", Json.Int cache.Exec.Cache.evictions);
+            ("corruptions", Json.Int cache.Exec.Cache.corruptions);
+            ("entries", Json.Int cache.Exec.Cache.entries);
+          ] );
+      ( "latency_ticks",
+        Json.Obj
+          [
+            ("p50", Json.Int r.rp_latency_p50);
+            ("p90", Json.Int r.rp_latency_p90);
+            ("p99", Json.Int r.rp_latency_p99);
+          ] );
+      ("makespan_ticks", Json.Int r.rp_makespan);
+      ("throughput_per_ktick", Json.Float (throughput r));
+      ( "traffic",
+        Json.Obj (List.map (fun (name, n) -> (name, Json.Int n)) r.rp_labels) );
+    ]
+  in
+  let wall =
+    match wall_s with
+    | None -> []
+    | Some s ->
+        [
+          ( "wall",
+            Json.Obj
+              [
+                ("seconds", Json.Float s);
+                ( "requests_per_s",
+                  Json.Float
+                    (if s > 0. then float_of_int r.rp_submitted /. s else 0.) );
+              ] );
+        ]
+  in
+  Json.Obj (base @ wall @ [ ("metrics", Metrics.to_json (Metrics.snapshot t.metrics)) ])

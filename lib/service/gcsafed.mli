@@ -1,0 +1,121 @@
+(** [gcsafed]: the long-running service harness.
+
+    A service accepts a stream of {!Harness.Request.t} values — each a
+    complete (source, config, machine, analysis, gc mode, heap limit,
+    OOM policy, failpoint, schedule) tuple — and executes every one of
+    them over a worker pool, against the shared single-flight build
+    cache, under admission control on a bounded queue.  Every submitted
+    request ends in exactly one structured {!Harness.Outcome.t}; a full
+    queue yields a [Rejected] outcome (never an unbounded queue, never a
+    dropped request), which is the service-level spelling of the
+    robustness identity.
+
+    {b Determinism.}  Reports are a function of the submitted traffic
+    alone, not of the worker count or wall-clock: arrivals and service
+    times live on a virtual tick clock.  Every request is executed
+    exactly once (speculatively, fanned out over the pool, results
+    consumed in submission order), and admission, queueing delay and
+    latency are then derived by simulating an M/c/K queue in virtual
+    time — [servers] lanes and a bounded FIFO — where a request's
+    service cost is its measured cycle count (or [failure_cost] for a
+    non-[Ran] outcome) plus [build_miss_cost] on a logical cache miss.
+    A logical miss is the first admission of a cache key in submission
+    order ([use_cache = false] requests always miss).  The same traffic
+    therefore produces byte-identical reports under [--jobs 1] and
+    [--jobs 8].
+
+    {b Telemetry.}  Each request executes against its own fresh
+    session-scoped {!Telemetry.Sink} (no process-global registry is
+    touched); the snapshots of admitted requests are then absorbed into
+    the service's registry in submission order via
+    {!Telemetry.Metrics.absorb}.  Rejected requests leave no trace in
+    the service registry. *)
+
+type config = {
+  servers : int;  (** virtual service lanes (the M/c/K's c) *)
+  queue_capacity : int;
+      (** bounded waiting room; a request arriving when all lanes are
+          busy and the room is full is shed as [Rejected] *)
+  failure_cost : int;
+      (** virtual ticks charged for a request whose outcome carries no
+          cycle count (faults, source errors, ...) *)
+  build_miss_cost : int;
+      (** virtual ticks added to the first admission of each cache key
+          (the build-tier cost a hit avoids) *)
+}
+
+val default_config : config
+(** 4 lanes, a 64-request waiting room, 2000-tick failure cost,
+    20000-tick build cost. *)
+
+type t
+
+val create : ?pool:Exec.Pool.t -> ?metrics:Telemetry.Metrics.t -> config -> t
+(** [pool] fans request execution out (default serial — reports do not
+    depend on it); [metrics] is the service registry absorbing
+    per-request telemetry (default a fresh enabled registry). *)
+
+val metrics : t -> Telemetry.Metrics.t
+
+val submit : ?arrival:int -> t -> Harness.Request.t -> unit
+(** Enqueue a request arriving at virtual time [arrival] (default: the
+    previous arrival; arrivals are clamped monotonically non-decreasing).
+    After {!shutdown}, submissions complete immediately as [Rejected]. *)
+
+val drain : t -> unit
+(** Execute everything submitted so far and classify every request into
+    a completion.  Queue state (lane clocks, the logical cache) persists
+    across drains, so [submit]/[drain] cycles compose. *)
+
+val shutdown : t -> unit
+(** {!drain} the in-flight requests — every one completes — then close
+    the service.  Idempotent. *)
+
+val is_shut_down : t -> bool
+
+type completion = {
+  r_request : Harness.Request.t;
+  r_outcome : Harness.Outcome.t;
+  r_arrival : int;
+  r_start : int;  (** = [r_arrival] for rejected requests *)
+  r_finish : int;
+  r_cache_hit : bool;  (** logical build-tier hit *)
+}
+
+val completions : t -> completion list
+(** Every completion so far, in submission order — exactly one per
+    submitted request. *)
+
+type report = {
+  rp_submitted : int;
+  rp_admitted : int;
+  rp_rejected : int;
+  rp_outcomes : (string * int) list;
+      (** count per outcome class, every class present, exit-code order *)
+  rp_unexpected : int;
+      (** corruption + task-quarantined + internal-error completions:
+          outcomes that must never occur *)
+  rp_cache_hits : int;  (** logical build-tier hits *)
+  rp_cache_misses : int;
+  rp_makespan : int;  (** last finish - first arrival, virtual ticks *)
+  rp_latency_p50 : int;  (** virtual ticks, from the service registry *)
+  rp_latency_p90 : int;
+  rp_latency_p99 : int;
+  rp_labels : (string * int) list;  (** completions per request label *)
+}
+
+val report : t -> report
+
+val hit_rate : report -> float
+(** Logical hits / (hits + misses); 0 when nothing was admitted. *)
+
+val throughput : report -> float
+(** Admitted requests per thousand virtual ticks of makespan. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Deterministic rendering: no wall-clock, no worker-count
+    dependence — what the CLI prints and CI diffs across job counts. *)
+
+val report_to_json : ?wall_s:float -> t -> Telemetry.Json.t
+(** The full report plus, when [wall_s] is given, wall-clock throughput,
+    and the process-wide build-cache counters ({!Harness.Build.cache_stats}). *)

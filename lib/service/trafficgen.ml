@@ -1,0 +1,262 @@
+(** The open-loop traffic generator.  See the interface for the
+    contract.
+
+    Everything here is a pure function of the spec: the PRNG is an
+    explicit xorshift state, so the same spec always produces the same
+    stream — a bomb run is replayable by seed, like a chaos sweep. *)
+
+module Request = Harness.Request
+module Build = Harness.Build
+
+(* ------------------------------------------------------------------ *)
+(* A seeded PRNG (xorshift64 on OCaml's 63-bit int)                    *)
+(* ------------------------------------------------------------------ *)
+
+type rand = { mutable state : int }
+
+let rand_make seed = { state = (Hashtbl.hash (seed, 0x6763736166) lor 1) }
+
+let next r =
+  let x = r.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 0x9e3779b9 else x in
+  r.state <- x;
+  x
+
+(* uniform in [0, n) *)
+let below r n = if n <= 0 then 0 else next r mod n
+
+(* uniform in [lo, hi] *)
+let range r lo hi = lo + below r (hi - lo + 1)
+
+let pick r l = List.nth l (below r (List.length l))
+
+(* ------------------------------------------------------------------ *)
+(* Generated mini-C programs (the test generator's shapes, seeded)     *)
+(* ------------------------------------------------------------------ *)
+
+(* The same strictly-conforming subset the property-based test
+   generator emits: pointer arithmetic stays inside the heap array,
+   divisors are forced odd, shifts are bounded, loops are counted — so
+   every generated program terminates and checked builds accept it. *)
+
+let int_vars = [ "a"; "b"; "c"; "d" ]
+
+let heap_len = 16
+
+let rec int_expr r depth =
+  if depth = 0 then
+    match below r 4 with
+    | 0 -> string_of_int (range r (-50) 50)
+    | 1 -> pick r int_vars
+    | 2 -> "g0"
+    | _ -> "g1"
+  else
+    match below r 16 with
+    | 0 | 1 -> int_expr r 0
+    | 2 | 3 ->
+        Printf.sprintf "(%s + %s)" (int_expr r (depth - 1)) (int_expr r (depth - 1))
+    | 4 | 5 ->
+        Printf.sprintf "(%s - %s)" (int_expr r (depth - 1)) (int_expr r (depth - 1))
+    | 6 -> Printf.sprintf "(%s * %s)" (int_expr r (depth - 1)) (int_expr r 0)
+    | 7 -> Printf.sprintf "(%s / (%s | 1))" (int_expr r (depth - 1)) (int_expr r 0)
+    | 8 -> Printf.sprintf "(%s %% (%s | 1))" (int_expr r (depth - 1)) (int_expr r 0)
+    | 9 ->
+        Printf.sprintf "(%s & %s)" (int_expr r (depth - 1)) (int_expr r (depth - 1))
+    | 10 ->
+        Printf.sprintf "(%s ^ %s)" (int_expr r (depth - 1)) (int_expr r (depth - 1))
+    | 11 -> Printf.sprintf "(%s << 2)" (int_expr r (depth - 1))
+    | 12 -> Printf.sprintf "(%s >> 3)" (int_expr r (depth - 1))
+    | 13 ->
+        Printf.sprintf "(%s < %s)" (int_expr r (depth - 1)) (int_expr r (depth - 1))
+    | 14 -> Printf.sprintf "h[(%s) & 15]" (int_expr r (depth - 1))
+    | _ -> "*p"
+
+let index_expr r depth = Printf.sprintf "((%s) & 15)" (int_expr r depth)
+
+let rec stmt r depth =
+  match below r 12 with
+  | 0 | 1 -> Printf.sprintf "%s = %s;" (pick r int_vars) (int_expr r 2)
+  | 2 -> Printf.sprintf "h[%s] = %s;" (index_expr r 1) (int_expr r 2)
+  | 3 -> Printf.sprintf "p = h + %s;" (index_expr r 1)
+  | 4 -> "q = p;"
+  | 5 -> Printf.sprintf "*p = %s;" (int_expr r 1)
+  | 6 -> Printf.sprintf "%s = *p + *q;" (pick r int_vars)
+  | 7 -> "g0 = g0 + 1;"
+  | 8 -> Printf.sprintf "p = h; p += %s; g1 = g1 ^ *p;" (index_expr r 1)
+  | 9 ->
+      if depth = 0 then "g0++;"
+      else
+        Printf.sprintf "if (%s) {\n%s} else {\n%s}" (int_expr r 1)
+          (block r (depth - 1) 2)
+          (block r (depth - 1) 2)
+  | 10 ->
+      if depth = 0 then "g1++;"
+      else
+        (* one counter per nesting level, as in the test generator: a
+           shared counter would make inner loops reset the outer bound *)
+        let tv = if depth >= 2 then "t" else "u" in
+        let n = range r 2 6 in
+        Printf.sprintf "for (%s = 0; %s < %d; %s++) {\n%s}" tv tv n tv
+          (block r (depth - 1) 2)
+  | _ -> Printf.sprintf "print_int(%s); putchar(10);" (int_expr r 1)
+
+and block r depth n =
+  String.concat "\n" (List.init n (fun _ -> stmt r depth)) ^ "\n"
+
+let program r =
+  let n = range r 4 12 in
+  let body = block r 2 n in
+  Printf.sprintf
+    {|long g0; long g1;
+int main(void) {
+  long a = 1; long b = 2; long c = 3; long d = 4; long t = 0; long u = 0;
+  long *h = (long *)malloc(%d * sizeof(long));
+  long *p; long *q;
+  int i;
+  for (i = 0; i < %d; i++) h[i] = i * 7;
+  p = h; q = h + 5;
+%s
+  /* digest */
+  print_int(a); print_int(b); print_int(c); print_int(d);
+  print_int(g0); print_int(g1);
+  for (i = 0; i < %d; i++) print_int(h[i]);
+  print_int(p - h); print_int(q - h);
+  putchar(10);
+  return 0;
+}|}
+    heap_len heap_len body heap_len
+
+let source_pool ~seed n =
+  let r = rand_make seed in
+  List.init n (fun _ -> program r)
+
+(* a request the service must classify as a source error *)
+let malformed = "int main(void) { return g; }"
+
+(* ------------------------------------------------------------------ *)
+(* Specs and streams                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type mix = All | Generated | Examples | Workloads
+
+let mix_name = function
+  | All -> "all"
+  | Generated -> "generated"
+  | Examples -> "examples"
+  | Workloads -> "workloads"
+
+let mix_of_string = function
+  | "all" -> Some All
+  | "generated" -> Some Generated
+  | "examples" -> Some Examples
+  | "workloads" -> Some Workloads
+  | _ -> None
+
+type spec = {
+  g_requests : int;
+  g_seed : int;
+  g_mix : mix;
+  g_mean_gap : int;
+  g_chaos_percent : int;
+}
+
+let default_spec =
+  {
+    g_requests = 1000;
+    g_seed = 0;
+    g_mix = All;
+    g_mean_gap = 50_000;
+    g_chaos_percent = 10;
+  }
+
+let machines =
+  [
+    Machine.Machdesc.sparc2;
+    Machine.Machdesc.sparc10;
+    Machine.Machdesc.pentium90;
+  ]
+
+(* The chaos dimension: heap ceilings, trap policies, injected
+   allocation failures — each must surface as a structured outcome. *)
+let chaos_fields r =
+  match below r 4 with
+  | 0 -> (range r 20_000 60_000, Gcheap.Heap.Collect_expand, Gcheap.Failpoint.Never)
+  | 1 -> (range r 300 2_000, Gcheap.Heap.Trap, Gcheap.Failpoint.Never)
+  | 2 -> (0, Gcheap.Heap.Collect_expand, Gcheap.Failpoint.Nth (range r 1 50))
+  | _ ->
+      ( 0,
+        (if below r 2 = 0 then Gcheap.Heap.Trap else Gcheap.Heap.Collect_expand),
+        Gcheap.Failpoint.Every (range r 10 100) )
+
+let schedule_of r =
+  match below r 8 with
+  | 0 | 1 -> Machine.Schedule.Every (range r 1 7)
+  | 2 -> Machine.Schedule.At_allocs
+  | _ -> Machine.Schedule.Auto
+
+let generate (spec : spec) : (int * Request.t) list =
+  let r = rand_make spec.g_seed in
+  let pool = source_pool ~seed:(spec.g_seed + 1) 64 in
+  let examples = Stress.Corpus.examples in
+  let workloads = Workloads.Registry.paper_suite in
+  let arrival = ref 0 in
+  List.init (max 0 spec.g_requests) (fun i ->
+      arrival := !arrival + range r 1 (max 1 ((2 * spec.g_mean_gap) - 1));
+      (* scenario: where the source comes from.  Workloads are rationed
+         under [All] — they are orders of magnitude larger than the
+         generated programs. *)
+      let family, label0, source =
+        let from_workloads () =
+          let w = pick r workloads in
+          (`Workload, "workload/" ^ w.Workloads.Registry.w_name, w.Workloads.Registry.w_source)
+        in
+        let from_examples () =
+          let t = pick r examples in
+          (`Example, "example/" ^ t.Stress.Corpus.t_name, t.Stress.Corpus.t_source)
+        in
+        let from_pool () = (`Gen, "gen", pick r pool) in
+        match spec.g_mix with
+        | Generated -> from_pool ()
+        | Examples -> from_examples ()
+        | Workloads -> from_workloads ()
+        | All ->
+            if i mod 101 = 100 then from_workloads ()
+            else if i mod 13 = 12 then from_examples ()
+            else from_pool ()
+      in
+      let config = pick r Build.all_configs in
+      let machine = pick r machines in
+      let analysis =
+        if Build.preprocessed config && below r 4 = 0 then Gcsafe.Mode.A_none
+        else Gcsafe.Mode.A_flow
+      in
+      let gc_mode = if below r 2 = 0 then Gcheap.Heap.Gen else Gcheap.Heap.Stw in
+      (* forced-collection schedules and the post-collection sanitizer
+         are for the small sources only: a measured workload under
+         Every-1 does millions of collections and stalls the stream *)
+      let small = family <> `Workload in
+      let schedule = if small then schedule_of r else Machine.Schedule.Auto in
+      let chaotic = below r 100 < spec.g_chaos_percent in
+      (* a sliver of malformed traffic keeps the source-error path hot;
+         generated slots only, so example/workload labels stay honest *)
+      let bad = family = `Gen && below r 50 = 0 in
+      let source = if bad then malformed else source in
+      let heap_limit, oom_policy, alloc_failpoints =
+        if chaotic then chaos_fields r
+        else (0, Gcheap.Heap.Collect_expand, Gcheap.Failpoint.Never)
+      in
+      let label =
+        label0 ^ (if chaotic then "+chaos" else "") ^ if bad then "+bad" else ""
+      in
+      let req =
+        Request.make ~label ~config ~machine ~analysis ~gc_mode ~schedule
+          ~check_integrity:(small && below r 4 = 0)
+          ~final_collect:(below r 2 = 0)
+          ~max_instrs:5_000_000 ~heap_limit ~oom_policy ~alloc_failpoints
+          source
+      in
+      (!arrival, req))

@@ -1,0 +1,47 @@
+(** The open-loop traffic generator: coverage-guided request streams for
+    {!Gcsafed}.
+
+    A spec expands deterministically (seeded, no wall-clock, no
+    [Random]) into a list of timestamped requests that sweep the
+    scenario space: generated mini-C programs in the shape of the
+    property-based test generator, the stress example corpus, the
+    paper's measured workloads — crossed with build configurations,
+    machine models, analyses, collector modes and schedules, with a
+    configurable chaos fraction (heap ceilings, OOM policies, injected
+    allocation failures) and a sliver of malformed sources so the
+    source-error path stays covered.  Arrival times are open-loop: a
+    seeded interarrival process that does not wait for completions. *)
+
+type mix =
+  | All  (** generated + examples + workloads (workloads rationed) *)
+  | Generated  (** seeded mini-C programs only *)
+  | Examples  (** the stress example corpus only *)
+  | Workloads  (** the paper's measured workloads only *)
+
+val mix_name : mix -> string
+
+val mix_of_string : string -> mix option
+(** ["all" | "generated" | "examples" | "workloads"]. *)
+
+type spec = {
+  g_requests : int;
+  g_seed : int;
+  g_mix : mix;
+  g_mean_gap : int;  (** mean virtual-tick interarrival (>= 1) *)
+  g_chaos_percent : int;
+      (** percentage of requests perturbed with heap ceilings, trap
+          policies or injected allocation failures (0-100) *)
+}
+
+val default_spec : spec
+(** 1000 requests, seed 0, [All], mean gap 50000 ticks, 10% chaos. *)
+
+val source_pool : seed:int -> int -> string list
+(** [source_pool ~seed n]: [n] distinct generated programs — the pool a
+    spec's generated traffic draws from (exposed for tests). *)
+
+val generate : spec -> (int * Harness.Request.t) list
+(** The request stream: (arrival tick, request) in arrival order.
+    Deterministic in the spec.  Request labels name the scenario
+    ("gen/safe", "workload/cfrac+chaos", ...), so service reports break
+    traffic down by scenario. *)

@@ -28,14 +28,14 @@
       mismatch, rebuild, and behave identically. *)
 
 module Build = Harness.Build
+module Request = Harness.Request
 module Differ = Harness.Differ
 module Measure = Harness.Measure
 module Failpoint = Gcheap.Failpoint
 
 type plan = {
-  c_configs : Build.config list;
-  c_machines : Machine.Machdesc.t list;
-  c_gc_modes : Gcheap.Heap.gc_mode list;
+  c_matrix : Request.matrix;
+      (** the config x machine x gc-mode cross product the sweeps cover *)
   c_seed : int;  (** drives ordinal sampling and fault placement *)
   c_max_points : int;  (** allocation ordinals swept per subject *)
   c_trap_probes : int;  (** trap-policy injections per subject *)
@@ -44,9 +44,13 @@ type plan = {
 
 let default_plan =
   {
-    c_configs = [ Build.Base; Build.Safe ];
-    c_machines = [ Machine.Machdesc.sparc10 ];
-    c_gc_modes = [ Gcheap.Heap.Stw ];
+    c_matrix =
+      {
+        Request.default_matrix with
+        Request.m_configs = [ Build.Base; Build.Safe ];
+        Request.m_machines = [ Machine.Machdesc.sparc10 ];
+        Request.m_gc_modes = [ Gcheap.Heap.Stw ];
+      };
     c_seed = 0;
     c_max_points = 64;
     c_trap_probes = 3;
@@ -125,10 +129,21 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
      All accounting happens on the submitting thread, in ordinal order,
      so the report is a function of the plan, never the worker count. *)
   let observe ?heap_limit ?oom_policy ?alloc_failpoints ?max_instrs () =
-    Measure.run ~machine:subject.Differ.s_machine
-      ~schedule:Machine.Schedule.Auto ~check_integrity:true
-      ~final_collect:true ~gc_mode:subject.Differ.s_gc_mode ?heap_limit
-      ?oom_policy ?alloc_failpoints ?max_instrs subject.Differ.s_built
+    let base = subject.Differ.s_request in
+    Measure.exec
+      {
+        base with
+        Request.schedule = Machine.Schedule.Auto;
+        Request.heap_limit =
+          Option.value ~default:base.Request.heap_limit heap_limit;
+        Request.oom_policy =
+          Option.value ~default:base.Request.oom_policy oom_policy;
+        Request.alloc_failpoints =
+          Option.value ~default:base.Request.alloc_failpoints alloc_failpoints;
+        Request.max_instrs =
+          (match max_instrs with Some _ -> max_instrs | None -> base.Request.max_instrs);
+      }
+      subject.Differ.s_built
   in
   let runs = ref 1 and injections = ref 0 in
   let recovered = ref 0 and structured = ref 0 and emergencies = ref 0 in
@@ -152,7 +167,7 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
       in
       let divergence_expected =
         target.Corpus.t_base_vulnerable
-        && subject.Differ.s_config = Build.Base
+        && subject.Differ.s_request.Request.config = Build.Base
       in
       let record ~kind ~points ~detail ~expected =
         findings :=
@@ -344,13 +359,9 @@ let sweep_cache ~(target : Corpus.target) subjects =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun subject ->
-      let options =
-        {
-          (Build.for_machine subject.Differ.s_machine) with
-          Build.analysis = subject.Differ.s_analysis;
-        }
-      in
-      let key = (subject.Differ.s_config, options.Build.nregs) in
+      let req = subject.Differ.s_request in
+      let options = Request.build_options req in
+      let key = Request.matrix_key req in
       if not (Hashtbl.mem seen key) then begin
         Hashtbl.add seen key ();
         let before = (Build.cache_stats ()).Exec.Cache.corruptions in
@@ -361,13 +372,11 @@ let sweep_cache ~(target : Corpus.target) subjects =
           Differ.observe ~schedule:Machine.Schedule.Auto subject
         in
         let reference = observe () in
-        if Build.corrupt_cached ~options subject.Differ.s_config
-             target.Corpus.t_source
+        if Build.corrupt_cached ~options req.Request.config target.Corpus.t_source
         then begin
           incr corrupted;
           let rebuilt =
-            Build.compile ~options subject.Differ.s_config
-              target.Corpus.t_source
+            Build.compile ~options req.Request.config target.Corpus.t_source
           in
           let after = (Build.cache_stats ()).Exec.Cache.corruptions in
           let obs =
@@ -435,9 +444,7 @@ let run ?(plan = default_plan) (targets : Corpus.target list) : report =
       List.iter
         (fun target ->
           let subjects =
-            Differ.build_matrix ~configs:plan.c_configs
-              ~machines:plan.c_machines ~gc_modes:plan.c_gc_modes ~pool
-              target.Corpus.t_source
+            Differ.build_of_matrix ~pool plan.c_matrix target.Corpus.t_source
           in
           let r = !acc in
           let r =

@@ -13,9 +13,9 @@
     exactly. *)
 
 type plan = {
-  c_configs : Harness.Build.config list;
-  c_machines : Machine.Machdesc.t list;
-  c_gc_modes : Gcheap.Heap.gc_mode list;
+  c_matrix : Harness.Request.matrix;
+      (** the config x machine x gc-mode cross product the sweeps cover
+          (sanitizing always on via the matrix defaults) *)
   c_seed : int;  (** drives ordinal sampling and fault placement *)
   c_max_points : int;  (** allocation ordinals swept per subject *)
   c_trap_probes : int;  (** trap-policy injections per subject *)

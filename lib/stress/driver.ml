@@ -18,6 +18,7 @@
     a function of the plan, never of the worker count. *)
 
 module Build = Harness.Build
+module Request = Harness.Request
 module Differ = Harness.Differ
 module Diagnostics = Harness.Diagnostics
 module Schedule = Machine.Schedule
@@ -35,20 +36,12 @@ let mode_name = function
   | Alloc_points -> "at-allocs"
 
 type plan = {
-  p_configs : Build.config list;
-  p_machines : Machine.Machdesc.t list;
-  p_analyses : Gcsafe.Mode.analysis list;
-      (** analysis variants of the preprocessed configurations; more than
-          one cross-checks analysis-pruned builds against fully-annotated
-          ones under every schedule *)
-  p_gc_modes : Gcheap.Heap.gc_mode list;
-      (** collector modes to run every subject under; more than one
-          cross-checks the generational collector against the paper's
-          stop-the-world collector under every schedule *)
+  p_matrix : Request.matrix;
+      (** the config x machine x analysis x gc-mode cross product every
+          target is stressed over, plus sanitizing and ceilings — the
+          same matrix record the differ expands *)
   p_modes : mode list option;  (** [None]: choose per target size *)
   p_exhaustive_cap : int;
-  p_max_instrs : int option;
-  p_max_heap : int option;
   p_jobs : int;  (** worker domains; 1 = the reference serial scan *)
   p_trace_dir : string option;
       (** when set, every finding's failing schedule is replayed under a
@@ -59,14 +52,9 @@ type plan = {
 
 let default_plan =
   {
-    p_configs = Build.all_configs;
-    p_machines = Differ.default_machines;
-    p_analyses = [ Gcsafe.Mode.A_flow ];
-    p_gc_modes = [ Gcheap.Heap.Stw ];
+    p_matrix = Request.default_matrix;
     p_modes = None;
     p_exhaustive_cap = 2000;
-    p_max_instrs = None;
-    p_max_heap = None;
     p_jobs = 1;
     p_trace_dir = None;
   }
@@ -141,16 +129,14 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
   let runs = ref 0 in
   let fn_locs = Corpus.function_locs target.Corpus.t_source in
   let subjects =
-    Differ.build_matrix ~configs:plan.p_configs ~machines:plan.p_machines
-      ~analyses:plan.p_analyses ~gc_modes:plan.p_gc_modes ~pool
-      target.Corpus.t_source
+    Differ.build_of_matrix ~pool plan.p_matrix target.Corpus.t_source
   in
   (* [observe_raw] may run on a worker domain and must not touch shared
      state; run accounting happens on the submitting thread, in serial
-     scan order, so [r_runs] is worker-count independent. *)
+     scan order, so [r_runs] is worker-count independent.  Ceilings and
+     sanitizing ride on each subject's request (from the matrix). *)
   let observe_raw ?gc_point_sink ?telemetry ~schedule subject =
-    Differ.observe ?max_instrs:plan.p_max_instrs ?max_heap:plan.p_max_heap
-      ?gc_point_sink ?telemetry ~schedule subject
+    Differ.observe ?gc_point_sink ?telemetry ~schedule subject
   in
   let observe ?gc_point_sink ~schedule subject =
     incr runs;
@@ -194,14 +180,14 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
     let bases =
       List.filter
         (fun (s, _) ->
-          s.Differ.s_config = Build.Base
-          && s.Differ.s_machine.Machine.Machdesc.md_name
+          s.Differ.s_request.Request.config = Build.Base
+          && s.Differ.s_request.Request.machine.Machine.Machdesc.md_name
              = machine.Machine.Machdesc.md_name)
         auto
     in
     match
       List.find_opt
-        (fun (s, _) -> s.Differ.s_gc_mode = Gcheap.Heap.Stw)
+        (fun (s, _) -> s.Differ.s_request.Request.gc_mode = Gcheap.Heap.Stw)
         bases
     with
     | Some (_, o) -> o
@@ -214,20 +200,23 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
      behaviour from the paper, not a finding. *)
   List.iter
     (fun (s, obs) ->
-      if s.Differ.s_config <> Build.Base then begin
+      if s.Differ.s_request.Request.config <> Build.Base then begin
         let expected_checked_fault =
-          s.Differ.s_config = Build.Debug_checked
+          s.Differ.s_request.Request.config = Build.Debug_checked
           && target.Corpus.t_checked_fails
           &&
           match obs with Differ.Obs_detected _ -> true | _ -> false
         in
-        match Differ.diff ~reference:(base_auto s.Differ.s_machine) obs with
+        match
+          Differ.diff ~reference:(base_auto s.Differ.s_request.Request.machine)
+            obs
+        with
         | Some m when not expected_checked_fault ->
             record
               {
                 f_target = target.Corpus.t_name;
                 f_subject = Differ.subject_name s;
-                f_config = s.Differ.s_config;
+                f_config = s.Differ.s_request.Request.config;
                 f_kind = Config_gap (Differ.mismatch_kind m);
                 f_detail = Differ.describe_mismatch m;
                 f_schedule = "auto";
@@ -328,7 +317,9 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
   in
   List.iter
     (fun (s, reference) ->
-      let schedules = Array.of_list (schedules_for s.Differ.s_machine) in
+      let schedules =
+        Array.of_list (schedules_for s.Differ.s_request.Request.machine)
+      in
       let n = Array.length schedules in
       let found = ref false in
       let pos = ref 0 in
@@ -378,7 +369,7 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
                   {
                     f_target = target.Corpus.t_name;
                     f_subject = Differ.subject_name s;
-                    f_config = s.Differ.s_config;
+                    f_config = s.Differ.s_request.Request.config;
                     f_kind = kind;
                     f_detail = detail;
                     f_schedule = Schedule.to_string schedule;
@@ -389,7 +380,8 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
                        the hazard the paper predicts; everything else must
                        never happen. *)
                     f_expected =
-                      (not corrupted) && s.Differ.s_config = Build.Base;
+                      (not corrupted)
+                      && s.Differ.s_request.Request.config = Build.Base;
                     f_trace = capture_trace ~schedule s;
                   }
               end

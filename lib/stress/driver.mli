@@ -10,20 +10,15 @@ type mode =
 val mode_name : mode -> string
 
 type plan = {
-  p_configs : Harness.Build.config list;
-  p_machines : Machine.Machdesc.t list;
-  p_analyses : Gcsafe.Mode.analysis list;
-      (** analysis variants of the preprocessed configurations; more than
-          one cross-checks analysis-pruned builds against fully-annotated
-          ones under every schedule *)
-  p_gc_modes : Gcheap.Heap.gc_mode list;
-      (** collector modes to run every subject under (default [[Stw]]);
-          more than one cross-checks the generational collector against
-          the paper's stop-the-world collector under every schedule *)
+  p_matrix : Harness.Request.matrix;
+      (** the config x machine x analysis x gc-mode cross product every
+          target is stressed over, plus sanitizing and the
+          max-instrs/max-heap ceilings; more than one analysis
+          cross-checks analysis-pruned builds against fully-annotated
+          ones, more than one gc mode cross-checks the generational
+          collector against the paper's stop-the-world collector *)
   p_modes : mode list option;  (** [None]: choose per target size *)
   p_exhaustive_cap : int;
-  p_max_instrs : int option;
-  p_max_heap : int option;
   p_jobs : int;
       (** worker domains for the schedule scan; 1 (the default) is the
           reference serial scan.  Reports are identical for every value:

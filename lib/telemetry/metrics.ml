@@ -205,6 +205,33 @@ let diff later earlier =
 
 let find snap name = List.assoc_opt name snap
 
+let absorb t snap =
+  match t.core with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun (name, v) ->
+          (* [name] is already fully qualified; absorb into the root *)
+          let root = { t with prefix = "" } in
+          match v with
+          | Counter n -> add (counter root name) n
+          | Gauge { last; max } ->
+              let g = gauge root name in
+              set g max;
+              set g last
+          | Histogram { count; sum; max; buckets } ->
+              let h = histogram root name in
+              if h.h_enabled then begin
+                ignore (Atomic.fetch_and_add h.h_count count);
+                ignore (Atomic.fetch_and_add h.h_sum sum);
+                raise_max h.h_max max;
+                let n = min (Array.length buckets) (Array.length h.h_buckets) in
+                for i = 0 to n - 1 do
+                  ignore (Atomic.fetch_and_add h.h_buckets.(i) buckets.(i))
+                done
+              end)
+        snap
+
 let percentile buckets p =
   let total = Array.fold_left ( + ) 0 buckets in
   if total = 0 then 0

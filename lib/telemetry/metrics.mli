@@ -73,6 +73,14 @@ val diff : snapshot -> snapshot -> snapshot
 
 val find : snapshot -> string -> value option
 
+val absorb : t -> snapshot -> unit
+(** Merge a snapshot (typically of a session-scoped registry) into [t]:
+    counters and histogram counts/sums/buckets add; gauges take the
+    snapshot's max then last.  Snapshot names are used verbatim — [t]'s
+    scope prefix does not apply.  No-op on a disabled registry.  This is
+    how per-request registries roll up into a server-wide one without
+    sharing mutable instruments across sessions. *)
+
 val to_json : snapshot -> Json.t
 
 val pp : Format.formatter -> snapshot -> unit

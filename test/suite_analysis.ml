@@ -377,7 +377,15 @@ let test_workload_cycles_reduced () =
     (fun w ->
       let src = w.Workloads.Registry.w_source in
       let run analysis =
-        cycles (snd (Harness.Measure.run_config ~analysis Harness.Build.Safe src))
+        let req =
+          Harness.Request.make ~config:Harness.Build.Safe ~analysis src
+        in
+        let b =
+          Harness.Build.compile
+            ~options:(Harness.Request.build_options req)
+            Harness.Build.Safe src
+        in
+        cycles (Harness.Measure.exec req b)
       in
       Alcotest.(check bool)
         (w.Workloads.Registry.w_name ^ ": -O safe cheaper with analysis")
@@ -394,7 +402,10 @@ let build_safe analysis src =
 
 let observe b schedule =
   Harness.Differ.obs_of_outcome
-    (Harness.Measure.run ~schedule ~check_integrity:true ~final_collect:true b)
+    (Harness.Measure.exec
+       (Harness.Request.make ~schedule ~check_integrity:true
+          ~final_collect:true "")
+       b)
 
 (* every single-collection-point schedule when the program is small,
    evenly sampled single points otherwise, plus dense periodic and

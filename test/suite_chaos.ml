@@ -139,16 +139,20 @@ let test_exhaustive_alloc_failures () =
     (fun (t : Stress.Corpus.target) ->
       let b = build_example t in
       let name = t.Stress.Corpus.t_name in
-      let reference =
-        run_info (Harness.Measure.run ~check_integrity:true b)
-      in
+      let req = Harness.Request.make ~check_integrity:true t.Stress.Corpus.t_source in
+      let reference = run_info (Harness.Measure.exec req b) in
       let allocs = reference.Harness.Measure.o_allocs in
       Alcotest.(check bool) (name ^ " allocates") true (allocs > 0);
       for k = 1 to allocs do
         match
-          Harness.Measure.run ~check_integrity:true ~heap_limit:60_000
-            ~oom_policy:Heap.Collect_expand
-            ~alloc_failpoints:(Failpoint.Nth k) b
+          Harness.Measure.exec
+            {
+              req with
+              Harness.Request.heap_limit = 60_000;
+              Harness.Request.oom_policy = Heap.Collect_expand;
+              Harness.Request.alloc_failpoints = Failpoint.Nth k;
+            }
+            b
         with
         | Harness.Measure.Ran r ->
             Alcotest.(check string)
@@ -168,8 +172,10 @@ let test_measured_trap_is_structured () =
   let t = List.hd Stress.Corpus.examples in
   let b = build_example t in
   match
-    Harness.Measure.run ~oom_policy:Heap.Trap
-      ~alloc_failpoints:(Failpoint.Nth 1) b
+    Harness.Measure.exec
+      (Harness.Request.make ~oom_policy:Heap.Trap
+         ~alloc_failpoints:(Failpoint.Nth 1) t.Stress.Corpus.t_source)
+      b
   with
   | Harness.Measure.Exhausted _ as o ->
       let outcome, _ = Harness.Diagnostics.of_measure o in
@@ -354,9 +360,10 @@ let test_corrupt_cached_build () =
   Alcotest.(check bool) "artifact rotted" true
     (Harness.Build.corrupt_cached Harness.Build.Safe src);
   let after = Harness.Build.compile Harness.Build.Safe src in
+  let req = Harness.Request.make src in
   Alcotest.(check bool) "rebuilt artifact runs identically" true
-    (Harness.Measure.output (Harness.Measure.run before)
-    = Harness.Measure.output (Harness.Measure.run after))
+    (Harness.Measure.output (Harness.Measure.exec req before)
+    = Harness.Measure.output (Harness.Measure.exec req after))
 
 let suite =
   [

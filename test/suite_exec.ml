@@ -236,7 +236,11 @@ let test_parallel_stress_identical () =
   let plan machines jobs =
     {
       Stress.Driver.default_plan with
-      Stress.Driver.p_machines = machines;
+      Stress.Driver.p_matrix =
+        {
+          Harness.Request.default_matrix with
+          Harness.Request.m_machines = machines;
+        };
       Stress.Driver.p_jobs = jobs;
     }
   in

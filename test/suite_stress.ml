@@ -123,7 +123,9 @@ let spin_src =
 
 let test_step_limit () =
   let b = Harness.Build.compile Harness.Build.Base spin_src in
-  match Harness.Measure.run ~max_instrs:500 b with
+  match
+    Harness.Measure.exec (Harness.Request.make ~max_instrs:500 spin_src) b
+  with
   | Harness.Measure.Limit m ->
       Alcotest.(check bool) "names the step limit" true
         (String.length m > 0)
@@ -134,7 +136,7 @@ let test_heap_limit () =
     Harness.Build.compile Harness.Build.Base
       {|int main(void) { (void)malloc(5000); return 0; }|}
   in
-  match Harness.Measure.run ~max_heap:1 b with
+  match Harness.Measure.exec (Harness.Request.make ~max_heap:1 "") b with
   | Harness.Measure.Limit _ -> ()
   | o -> Alcotest.failf "expected Limit, got %s" (Harness.Measure.describe o)
 
@@ -181,10 +183,19 @@ let prop_ddmin_exact =
 
 (* --- the driver on the known corpus ----------------------------------- *)
 
+let mx ?(configs = Harness.Build.all_configs) ?(gc_modes = [ Gcheap.Heap.Stw ])
+    machines =
+  {
+    Harness.Request.default_matrix with
+    Harness.Request.m_configs = configs;
+    Harness.Request.m_machines = machines;
+    Harness.Request.m_gc_modes = gc_modes;
+  }
+
 let hazard_plan =
   {
     Stress.Driver.default_plan with
-    Stress.Driver.p_machines = [ Machine.Machdesc.sparc10 ];
+    Stress.Driver.p_matrix = mx [ Machine.Machdesc.sparc10 ];
   }
 
 let test_driver_finds_hazard () =
@@ -210,9 +221,8 @@ let test_shrunk_schedule_reproduces () =
   (* the minimized point set, replayed as an explicit schedule, still
      diverges from the uninjected run *)
   let subjects =
-    Harness.Differ.build_matrix
-      ~configs:[ Harness.Build.Base ]
-      ~machines:[ Machine.Machdesc.sparc10 ]
+    Harness.Differ.build_of_matrix
+      (mx ~configs:[ Harness.Build.Base ] [ Machine.Machdesc.sparc10 ])
       Stress.Corpus.hazard.Stress.Corpus.t_source
   in
   let subject = List.hd subjects in
@@ -257,11 +267,12 @@ let test_gc_mode_matrix_agrees () =
      generational collector, under an injected schedule *)
   let src = Stress.Corpus.strcopy.Stress.Corpus.t_source in
   let stw_only =
-    Harness.Differ.build_matrix ~machines:[ Machine.Machdesc.sparc10 ] src
+    Harness.Differ.build_of_matrix (mx [ Machine.Machdesc.sparc10 ]) src
   in
   let subjects =
-    Harness.Differ.build_matrix ~machines:[ Machine.Machdesc.sparc10 ]
-      ~gc_modes:[ Gcheap.Heap.Stw; Gcheap.Heap.Gen ]
+    Harness.Differ.build_of_matrix
+      (mx ~gc_modes:[ Gcheap.Heap.Stw; Gcheap.Heap.Gen ]
+         [ Machine.Machdesc.sparc10 ])
       src
   in
   Alcotest.(check int)
@@ -284,7 +295,10 @@ let test_driver_gc_modes_fail_identically () =
   let plan =
     {
       hazard_plan with
-      Stress.Driver.p_gc_modes = [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ];
+      Stress.Driver.p_matrix =
+        mx
+          ~gc_modes:[ Gcheap.Heap.Stw; Gcheap.Heap.Gen ]
+          [ Machine.Machdesc.sparc10 ];
     }
   in
   let findings, subjects, _ =
@@ -313,7 +327,8 @@ let test_driver_gc_modes_fail_identically () =
 
 let test_run_matrix_agrees () =
   let subjects =
-    Harness.Differ.build_matrix ~machines:[ Machine.Machdesc.sparc10 ]
+    Harness.Differ.build_of_matrix
+      (mx [ Machine.Machdesc.sparc10 ])
       Stress.Corpus.strcopy.Stress.Corpus.t_source
   in
   let cells =

@@ -467,8 +467,9 @@ let loopy_src =
 
 let test_traced_run_valid_and_unperturbed () =
   let b = Harness.Build.compile Harness.Build.Safe loopy_src in
+  let req = Harness.Request.make ~gc_threshold:128 loopy_src in
   let plain =
-    match Harness.Measure.run ~gc_threshold:128 b with
+    match Harness.Measure.exec req b with
     | Harness.Measure.Ran r -> r
     | o -> Alcotest.fail (Harness.Measure.describe o)
   in
@@ -476,7 +477,7 @@ let test_traced_run_valid_and_unperturbed () =
   let profiler = Profiler.create () in
   let sink = Sink.make ~trace:tr ~profiler () in
   let traced =
-    match Harness.Measure.run ~gc_threshold:128 ~telemetry:sink b with
+    match Harness.Measure.exec ~telemetry:sink req b with
     | Harness.Measure.Ran r -> r
     | o -> Alcotest.fail (Harness.Measure.describe o)
   in
@@ -516,7 +517,11 @@ let test_site_ids_stable_across_analyses () =
     in
     let profiler = Profiler.create () in
     let sink = Sink.make ~profiler () in
-    (match Harness.Measure.run ~gc_threshold:128 ~telemetry:sink b with
+    (match
+       Harness.Measure.exec ~telemetry:sink
+         (Harness.Request.make ~gc_threshold:128 loopy_src)
+         b
+     with
     | Harness.Measure.Ran _ -> ()
     | o -> Alcotest.fail (Harness.Measure.describe o));
     List.map

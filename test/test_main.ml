@@ -34,4 +34,5 @@ let () =
       ("chaos", Suite_chaos.suite);
       ("exec", Suite_exec.suite);
       ("telemetry", Suite_telemetry.suite);
+      ("service", Suite_service.suite);
     ]

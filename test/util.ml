@@ -33,8 +33,13 @@ let run ?mode ?optimize ?disguise ?(nregs = 32) ?async_gc ?machine src =
 (* Run through the full harness build for a given configuration. *)
 let run_built ?machine config src =
   let machine = Option.value ~default:Machine.Machdesc.sparc10 machine in
-  let _, o = Harness.Measure.run_config ~machine config src in
-  o
+  let req = Harness.Request.make ~config ~machine src in
+  let b =
+    Harness.Build.compile
+      ~options:(Harness.Request.build_options req)
+      config src
+  in
+  Harness.Measure.exec req b
 
 let check_output name src expected =
   Alcotest.(check string) name expected (run src)
