@@ -1025,6 +1025,267 @@ let resilience () =
        ]);
   print_newline ()
 
+(* --- incremental marking: pause-time SLOs (BENCH_8.json) ----------------- *)
+
+(* Pause numbers live on the same deterministic clock as BENCH_5: words
+   of collector work per increment, so the sweep is reproducible and
+   gateable.  For every paper workload and every budget in the sweep,
+   the incremental run must (a) produce bit-identical output to the
+   stop-the-world run of the same build, and (b) keep its p99 increment
+   at or below the budget.  Only a cycle's two atomic fences — the root
+   snapshot and mark finalization — may overrun, which is why the CI
+   gate reads the 2048-word row: the largest atomic root scan in the
+   suite (gs) is ~1.1k words, so from 2048 up even those fit.
+
+   The service tier then replays the four workloads through [gcsafed]
+   per budget: each request carries the budget as its pause SLO, and
+   the [service/slo/{met,violated}] counters plus the end-to-end
+   latency percentiles land next to the BENCH_7 bombardment
+   baselines. *)
+
+let bench8_data : (string * Telemetry.Json.t) list ref = ref []
+
+let record8 key v = bench8_data := (key, v) :: !bench8_data
+
+let write_bench8_json () =
+  if !bench8_data <> [] then begin
+    let doc = Telemetry.Json.Obj (List.rev !bench8_data) in
+    Out_channel.with_open_text "BENCH_8.json" (fun oc ->
+        Out_channel.output_string oc (Telemetry.Json.to_string doc ^ "\n"));
+    Printf.printf "wrote BENCH_8.json\n"
+  end
+
+let incremental () =
+  print_endline
+    "== Incremental marking: pause percentiles vs budget (safe build, \
+     sparc10) ==";
+  let machine = Machine.Machdesc.sparc10 in
+  let threshold = 16384 in
+  let budgets = [ 256; 512; 1024; 2048; 4096 ] in
+  let hist snap name =
+    match Telemetry.Metrics.find snap name with
+    | Some (Telemetry.Metrics.Histogram { count; buckets; _ }) ->
+        ( count,
+          Telemetry.Metrics.percentile buckets 0.5,
+          Telemetry.Metrics.percentile buckets 0.99 )
+    | _ -> (0, 0, 0)
+  in
+  let counter snap name =
+    match Telemetry.Metrics.find snap name with
+    | Some (Telemetry.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  let run_mode ?gc_pause_budget src gc_mode =
+    let metrics = Telemetry.Metrics.create () in
+    let telemetry = Some (Telemetry.Sink.make ~metrics ()) in
+    match
+      exec_req ?telemetry
+        (Harness.Request.make ~config:Harness.Build.Safe ~machine ~gc_mode
+           ?gc_pause_budget ~final_collect:true ~gc_threshold:threshold src)
+    with
+    | Harness.Measure.Ran r ->
+        (r.Harness.Measure.o_output, Telemetry.Metrics.snapshot metrics)
+    | o -> failwith (Harness.Measure.describe o)
+  in
+  let rows =
+    List.map
+      (fun w ->
+        let name = w.Workloads.Registry.w_name in
+        let src = w.Workloads.Registry.w_source in
+        let stw_out, _ = run_mode src Gcheap.Heap.Stw in
+        let cells =
+          List.map
+            (fun budget ->
+              let out, snap =
+                run_mode ~gc_pause_budget:budget src Gcheap.Heap.Inc
+              in
+              if not (String.equal out stw_out) then
+                failwith (name ^ ": incremental mode changed program output");
+              let n, p50, p99 = hist snap "vm/gc/incremental/pause_words" in
+              let overruns = counter snap "vm/gc/incremental/budget_overruns" in
+              Printf.printf
+                "  %-10s budget %5d: %6d increment(s)  p50 %5d  p99 %5d \
+                 words  overrun(s) %d\n"
+                name budget n p50 p99 overruns;
+              ( string_of_int budget,
+                Telemetry.Json.Obj
+                  [
+                    ("increments", Telemetry.Json.Int n);
+                    ("p50_pause_words", Telemetry.Json.Int p50);
+                    ("p99_pause_words", Telemetry.Json.Int p99);
+                    ( "final_marks",
+                      Telemetry.Json.Int
+                        (counter snap "vm/gc/incremental/final_marks") );
+                    ( "barrier_grays",
+                      Telemetry.Json.Int
+                        (counter snap "vm/gc/incremental/barrier_grays") );
+                    ("budget_overruns", Telemetry.Json.Int overruns);
+                    (* the histogram buckets are powers of two, so the
+                       p99 estimate rounds up to a bucket bound; zero
+                       overruns is the exact statement that every
+                       increment — p99 included — fit the budget *)
+                    ("within_budget", Telemetry.Json.Bool (overruns = 0));
+                    ("outputs_match", Telemetry.Json.Bool true);
+                  ] ))
+            budgets
+        in
+        (name, Telemetry.Json.Obj cells))
+      Workloads.Registry.paper_suite
+  in
+  record8 "gc_threshold" (Telemetry.Json.Int threshold);
+  record8 "budget_sweep_words"
+    (Telemetry.Json.List (List.map (fun b -> Telemetry.Json.Int b) budgets));
+  record8 "pauses" (Telemetry.Json.Obj rows);
+  (* the differential matrix over all three collector modes, then the
+     chaos sweep: emergency collections landing mid-cycle must abandon
+     soundly, never diverge *)
+  print_endline
+    "-- stw/gen/inc differential scan (example corpus, every schedule mode)";
+  let all_modes = [ Gcheap.Heap.Stw; Gcheap.Heap.Gen; Gcheap.Heap.Inc ] in
+  let plan =
+    {
+      Stress.Driver.default_plan with
+      Stress.Driver.p_matrix =
+        {
+          Harness.Request.default_matrix with
+          Harness.Request.m_machines = [ machine ];
+          Harness.Request.m_gc_modes = all_modes;
+        };
+    }
+  in
+  let targets =
+    match Stress.Corpus.resolve "examples" with
+    | Some ts -> ts
+    | None -> failwith "example corpus missing"
+  in
+  let report = Stress.Driver.run ~plan targets in
+  let unexpected = List.length (Stress.Driver.unexpected report) in
+  Printf.printf
+    "  %d target(s), %d subject(s), %d run(s): %d finding(s), %d unexpected \
+     divergence(s)\n"
+    report.Stress.Driver.r_targets report.Stress.Driver.r_subjects
+    report.Stress.Driver.r_runs
+    (List.length report.Stress.Driver.r_findings)
+    unexpected;
+  if unexpected > 0 then
+    failwith "stw/gen/inc divergence in the example corpus";
+  record8 "stress"
+    (Telemetry.Json.Obj
+       [
+         ("targets", Telemetry.Json.Int report.Stress.Driver.r_targets);
+         ("subjects", Telemetry.Json.Int report.Stress.Driver.r_subjects);
+         ("runs", Telemetry.Json.Int report.Stress.Driver.r_runs);
+         ( "findings",
+           Telemetry.Json.Int (List.length report.Stress.Driver.r_findings) );
+         ("unexpected_divergences", Telemetry.Json.Int unexpected);
+       ]);
+  print_endline
+    "-- chaos sweep over all three modes (alloc failures mid-cycle)";
+  let chaos_plan =
+    {
+      Stress.Chaos.default_plan with
+      Stress.Chaos.c_matrix =
+        {
+          Stress.Chaos.default_plan.Stress.Chaos.c_matrix with
+          Harness.Request.m_machines = [ machine ];
+          Harness.Request.m_gc_modes = all_modes;
+        };
+      Stress.Chaos.c_max_points = 8;
+      Stress.Chaos.c_trap_probes = 2;
+    }
+  in
+  let chaos_report = Stress.Chaos.run ~plan:chaos_plan Stress.Corpus.workloads in
+  Format.printf "%a@." Stress.Chaos.pp_report chaos_report;
+  let chaos_unexpected = List.length (Stress.Chaos.unexpected chaos_report) in
+  if chaos_unexpected > 0 then
+    failwith "unexpected chaos finding under incremental marking";
+  record8 "chaos"
+    (Telemetry.Json.Obj
+       [
+         ("seed", Telemetry.Json.Int chaos_report.Stress.Chaos.c_plan_seed);
+         ( "subjects",
+           Telemetry.Json.Int chaos_report.Stress.Chaos.c_subject_count );
+         ( "injections",
+           Telemetry.Json.Int chaos_report.Stress.Chaos.c_injections );
+         ( "emergency_collections",
+           Telemetry.Json.Int chaos_report.Stress.Chaos.c_emergency_collections
+         );
+         ("unexpected", Telemetry.Json.Int chaos_unexpected);
+       ]);
+  (* the service tier: the budget is the per-request pause SLO *)
+  print_endline "-- gcsafed: end-to-end latency and SLO accounting per budget";
+  let service gc_mode gc_pause_budget =
+    let t = Service.Gcsafed.create Service.Gcsafed.default_config in
+    List.iteri
+      (fun i w ->
+        Service.Gcsafed.submit ~arrival:(i * 1000) t
+          (Harness.Request.make ~label:w.Workloads.Registry.w_name
+             ~config:Harness.Build.Safe ~machine ~gc_mode ?gc_pause_budget
+             ~gc_threshold:threshold w.Workloads.Registry.w_source))
+      Workloads.Registry.paper_suite;
+    Service.Gcsafed.shutdown t;
+    let rp = Service.Gcsafed.report t in
+    let snap = Telemetry.Metrics.snapshot (Service.Gcsafed.metrics t) in
+    if rp.Service.Gcsafed.rp_unexpected > 0 then
+      failwith "unexpected outcome in the SLO service sweep";
+    (* exact end-to-end latencies from the completions (the registry
+       histogram buckets are too coarse to resolve a budget sweep) *)
+    let lat =
+      List.sort compare
+        (List.map
+           (fun c ->
+             c.Service.Gcsafed.r_finish - c.Service.Gcsafed.r_arrival)
+           (Service.Gcsafed.completions t))
+    in
+    let pct p =
+      match lat with
+      | [] -> 0
+      | _ ->
+          let n = List.length lat in
+          let rank = min (n - 1) (int_of_float (ceil (p *. float n)) - 1) in
+          List.nth lat (max 0 rank)
+    in
+    ( pct 0.5,
+      pct 0.99,
+      counter snap "service/slo/met",
+      counter snap "service/slo/violated" )
+  in
+  let stw_p50, stw_p99, _, _ = service Gcheap.Heap.Stw None in
+  Printf.printf "  %-16s latency p50 %8d  p99 %8d ticks (baseline)\n" "stw"
+    stw_p50 stw_p99;
+  let inc_rows =
+    List.map
+      (fun budget ->
+        let p50, p99, met, violated =
+          service Gcheap.Heap.Inc (Some budget)
+        in
+        Printf.printf
+          "  inc budget %5d: latency p50 %8d  p99 %8d ticks   slo met %d / \
+           violated %d\n"
+          budget p50 p99 met violated;
+        ( string_of_int budget,
+          Telemetry.Json.Obj
+            [
+              ("latency_p50", Telemetry.Json.Int p50);
+              ("latency_p99", Telemetry.Json.Int p99);
+              ("slo_met", Telemetry.Json.Int met);
+              ("slo_violated", Telemetry.Json.Int violated);
+            ] ))
+      budgets
+  in
+  record8 "service"
+    (Telemetry.Json.Obj
+       [
+         ( "stw_baseline",
+           Telemetry.Json.Obj
+             [
+               ("latency_p50", Telemetry.Json.Int stw_p50);
+               ("latency_p99", Telemetry.Json.Int stw_p99);
+             ] );
+         ("inc", Telemetry.Json.Obj inc_rows);
+       ]);
+  print_newline ()
+
 (* --- stress: sanitizer overhead and schedule-divergence scan ------------- *)
 
 let stress () =
@@ -1098,7 +1359,7 @@ let () =
         [
           "t1"; "t2"; "t3"; "t4"; "t5"; "cache"; "a1"; "hazard"; "ablate";
           "ablate-analysis"; "ablate-telemetry"; "profile"; "gcmodes";
-          "resilience";
+          "resilience"; "incremental";
         ]
     | args -> args
   in
@@ -1120,6 +1381,7 @@ let () =
         | "profile" -> Some profile_section
         | "gcmodes" -> Some gcmodes
         | "resilience" -> Some resilience
+        | "incremental" -> Some incremental
         | "stress" -> Some stress
         | "micro" -> Some micro
         | s ->
@@ -1130,4 +1392,5 @@ let () =
     sections;
   write_bench_json ();
   write_bench5_json ();
-  write_bench6_json ()
+  write_bench6_json ();
+  write_bench8_json ()

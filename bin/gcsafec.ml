@@ -101,8 +101,11 @@ let gc_mode_conv =
 let gc_mode_arg =
   let doc =
     "Collector mode: 'stw' (the paper's stop-the-world mark-sweep, the \
-     default) or 'gen' (generational: card-marking write barrier, minor \
-     collections over young objects, full majors on the usual threshold)."
+     default), 'gen' (generational: card-marking write barrier, minor \
+     collections over young objects, full majors on the usual threshold) \
+     or 'inc' (incremental: snapshot-at-the-beginning marking sliced \
+     into budget-bounded increments at allocation GC points; see \
+     --gc-pause-budget)."
   in
   Arg.(
     value
@@ -398,6 +401,17 @@ let run_cmd =
     Arg.(
       value & opt (some int) None & info [ "gc-threshold" ] ~docv:"BYTES" ~doc)
   in
+  let pause_budget_arg =
+    let doc =
+      "Incremental-mode pause budget: words of collector work per marking \
+       increment (the deterministic VM-tick clock).  Implies a one-line \
+       increment summary on stderr.  Only meaningful with --gc-mode inc."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-pause-budget" ] ~docv:"WORDS" ~doc)
+  in
   let stats_arg =
     let doc = "Print cycle/instruction/GC statistics to stderr." in
     Arg.(value & flag & info [ "stats" ] ~doc)
@@ -425,8 +439,8 @@ let run_cmd =
     let doc = "C source file ('-' for standard input)." in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run config machine analysis gc_mode gc_threshold async gc_at
-      gc_at_allocs integrity max_instrs max_heap heap_limit oom_policy
+  let run config machine analysis gc_mode gc_threshold gc_pause_budget async
+      gc_at gc_at_allocs integrity max_instrs max_heap heap_limit oom_policy
       alloc_fail stats trace metrics no_cache workload file =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
@@ -471,8 +485,9 @@ let run_cmd =
         in
         let req =
           Harness.Request.make ~config ~machine ~analysis ~gc_mode ~schedule
-            ~check_integrity:integrity ?gc_threshold ?max_instrs ?max_heap
-            ~heap_limit ~oom_policy ~alloc_failpoints:alloc_fail src
+            ~check_integrity:integrity ?gc_threshold ?gc_pause_budget
+            ?max_instrs ?max_heap ~heap_limit ~oom_policy
+            ~alloc_failpoints:alloc_fail src
         in
         let b =
           Harness.Build.compile ?telemetry
@@ -489,6 +504,16 @@ let run_cmd =
             (Gcheap.Heap.oom_policy_name oom_policy)
             heap_limit emergency injected
         in
+        (* same one-line stderr style as the OOM summary above *)
+        let pause_summary (r : Harness.Measure.run_info) =
+          Printf.eprintf
+            "gcsafec: gc-mode=%s pause-budget=%d increments=%d \
+             max-increment-words=%d budget-overruns=%d\n"
+            (Gcheap.Heap.gc_mode_name gc_mode)
+            (Option.value ~default:0 gc_pause_budget)
+            r.Harness.Measure.o_increments r.Harness.Measure.o_inc_max_pause
+            r.Harness.Measure.o_inc_overruns
+        in
         match Harness.Measure.exec ?telemetry req b with
         | Harness.Measure.Ran r ->
             print_string r.Harness.Measure.o_output;
@@ -497,6 +522,7 @@ let run_cmd =
               summary Harness.Diagnostics.Ok
                 ~emergency:r.Harness.Measure.o_emergency
                 ~injected:r.Harness.Measure.o_injected_failures;
+            if gc_pause_budget <> None then pause_summary r;
             if stats then
               Printf.eprintf
                 "config=%s machine=%s instrs=%d cycles=%d collections=%d \
@@ -520,10 +546,10 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ config_arg $ machine_arg $ analysis_arg $ gc_mode_arg
-      $ threshold_arg $ async_arg $ gc_at_arg $ gc_at_allocs_arg
-      $ integrity_arg $ max_instrs_arg $ max_heap_arg $ heap_limit_arg
-      $ oom_policy_arg $ alloc_fail_arg $ stats_arg $ trace_arg
-      $ metrics_arg $ no_cache_arg $ workload_arg $ opt_file_arg)
+      $ threshold_arg $ pause_budget_arg $ async_arg $ gc_at_arg
+      $ gc_at_allocs_arg $ integrity_arg $ max_instrs_arg $ max_heap_arg
+      $ heap_limit_arg $ oom_policy_arg $ alloc_fail_arg $ stats_arg
+      $ trace_arg $ metrics_arg $ no_cache_arg $ workload_arg $ opt_file_arg)
 
 (* --- ir --------------------------------------------------------------------- *)
 
@@ -630,14 +656,17 @@ let stress_cmd =
   in
   let gc_modes_arg =
     let doc =
-      "Collector modes in the matrix: 'stw' (the default), 'gen', or \
-       'both' to cross-check the generational collector against the \
-       paper's stop-the-world collector under every schedule."
+      "Collector modes in the matrix: 'stw' (the default), 'gen', 'inc', \
+       'both' (stw+gen) or 'all' (stw+gen+inc) to cross-check the \
+       barrier-based collectors against the paper's stop-the-world \
+       collector under every schedule."
     in
     let parse = function
       | "stw" -> Ok [ Gcheap.Heap.Stw ]
       | "gen" -> Ok [ Gcheap.Heap.Gen ]
+      | "inc" | "incremental" -> Ok [ Gcheap.Heap.Inc ]
       | "both" -> Ok [ Gcheap.Heap.Stw; Gcheap.Heap.Gen ]
+      | "all" -> Ok [ Gcheap.Heap.Stw; Gcheap.Heap.Gen; Gcheap.Heap.Inc ]
       | s -> Error (`Msg (Printf.sprintf "unknown gc mode %s" s))
     in
     let print fmt ms =

@@ -139,7 +139,6 @@ let rec find_or_build_outcome t key build =
       Mutex.unlock t.lock;
       find_or_build_outcome t key build
   | None ->
-      t.misses <- t.misses + 1;
       Hashtbl.replace t.table key Building;
       Mutex.unlock t.lock;
       (* the Building slot must resolve no matter how [build] exits *)
@@ -151,6 +150,12 @@ let rec find_or_build_outcome t key build =
       in
       let fp = Option.map (fun f -> f v) t.fingerprint in
       Mutex.lock t.lock;
+      (* a miss is counted when the build settles, not at lookup: a
+         failed build populates nothing, and every accounting layer
+         above (the registry's [build/cache/misses], session deltas)
+         counts settled builds — keeping the cache's own counter on the
+         same basis makes the layers agree by construction *)
+      t.misses <- t.misses + 1;
       Hashtbl.replace t.table key (Ready (v, fp));
       touch t key;
       enforce_capacity t ~fresh:key;

@@ -14,7 +14,11 @@ type 'v t
 
 type stats = {
   hits : int;
-  misses : int;  (** builder invocations *)
+  misses : int;
+      (** builder invocations that settled an artifact — a failed build
+          counts nothing, so this agrees with accounting layers above
+          that count settled builds (e.g. the registry's
+          [build/cache/misses]) *)
   evictions : int;
   corruptions : int;  (** fingerprint mismatches detected on hit *)
   entries : int;  (** artifacts currently resident *)

@@ -19,13 +19,14 @@
       remains the default and is bit-identical to the non-generational
       collector. *)
 
-type gc_mode = Stw | Gen
+type gc_mode = Stw | Gen | Inc
 
-let gc_mode_name = function Stw -> "stw" | Gen -> "gen"
+let gc_mode_name = function Stw -> "stw" | Gen -> "gen" | Inc -> "inc"
 
 let gc_mode_of_string = function
   | "stw" -> Some Stw
   | "gen" -> Some Gen
+  | "inc" | "incremental" -> Some Inc
   | _ -> None
 
 type generation = Minor | Major
@@ -61,6 +62,13 @@ type config = {
           immediately ([Trap]), or run an emergency full collection,
           retry, grow within the limit, and only then raise
           ([Collect_expand], Boehm's collect-then-expand) *)
+  mutable incremental : bool;
+      (** enable the SATB write barrier and allocate-black so an
+          {!Incremental} marking cycle can stay in flight across
+          mutator steps *)
+  mutable pause_budget_words : int;
+      (** words of collector work (scanning + sweeping) one incremental
+          step may perform before yielding back to the mutator *)
 }
 
 type stats = {
@@ -78,7 +86,18 @@ type stats = {
   mutable cards_scanned : int;
   mutable emergency_collections : int;
   mutable injected_failures : int;
+  mutable increments : int;
+  mutable final_marks : int;
+  mutable barrier_grays : int;
+  mutable budget_overruns : int;
+  mutable inc_max_pause_words : int;
+  mutable abandoned_cycles : int;
 }
+
+(** Where an incremental marking cycle stands.  [Idle] outside a cycle;
+    [Marking] while gray ranges remain to drain; [Sweeping] while swept
+    blocks remain.  Only ever non-[Idle] on an [incremental] heap. *)
+type phase = Idle | Marking | Sweeping
 
 type t = {
   mem : Mem.t;
@@ -112,6 +131,17 @@ type t = {
       (** reclaim pool: [(start, pages)] runs of pages retired from
           fully-empty blocks by the emergency path, sorted by start and
           coalesced; always empty on limit-free executions *)
+  mutable phase : phase;
+      (** incremental-cycle phase; [Idle] unless an {!Incremental} cycle
+          is in flight *)
+  mutable gray : (int * int) list;
+      (** incremental mark stack: gray ranges [start, stop) still to
+          scan, with partial push-back when a budget expires mid-range *)
+  mutable sweep_pending : Block.t list;
+      (** blocks the in-flight incremental cycle has yet to sweep *)
+  mutable sweep_cursor : int;
+      (** next slot to examine in the head of [sweep_pending] — lets a
+          sweep slice stop mid-block exactly at the pause budget *)
 }
 
 exception Check_failure of string
@@ -132,6 +162,8 @@ let default_config () =
     promote_after = 2;
     heap_limit_words = 0;
     oom_policy = Collect_expand;
+    incremental = false;
+    pause_budget_words = 1024;
   }
 
 let create ?(config = default_config ()) () =
@@ -158,6 +190,12 @@ let create ?(config = default_config ()) () =
         cards_scanned = 0;
         emergency_collections = 0;
         injected_failures = 0;
+        increments = 0;
+        final_marks = 0;
+        barrier_grays = 0;
+        budget_overruns = 0;
+        inc_max_pause_words = 0;
+        abandoned_cycles = 0;
       };
     since_gc = 0;
     since_minor = 0;
@@ -167,6 +205,10 @@ let create ?(config = default_config ()) () =
     failpoints = Failpoint.Never;
     on_oom = None;
     free_pages = [];
+    phase = Idle;
+    gray = [];
+    sweep_pending = [];
+    sweep_cursor = 0;
   }
 
 let add_root_range t start stop = t.roots <- (start, stop) :: t.roots
@@ -192,6 +234,32 @@ let mark_page_dirty t p =
 (* Is the slot's object old (survived [promote_after] minor cycles)? *)
 let is_old t blk i = Block.age blk i >= t.config.promote_after
 
+(* Snapshot-at-the-beginning shading: a word about to be overwritten may
+   hold the last reference to an object that was reachable when the
+   in-flight incremental cycle took its snapshot.  Gray it (mark + push
+   its range) before the store lands, so the cycle's mark set stays a
+   superset of the snapshot's reachable set. *)
+let gray_old_value t v =
+  match Page_map.find t.map v with
+  | None -> ()
+  | Some blk -> (
+      match Block.slot_of_addr blk v with
+      | None -> ()
+      | Some i ->
+          if
+            Block.is_allocated blk i
+            && (t.config.all_interior || v = Block.slot_addr blk i)
+            && not (Block.is_marked blk i)
+          then begin
+            Block.set_marked blk i true;
+            t.stats.barrier_grays <- t.stats.barrier_grays + 1;
+            if Block.scanned blk then
+              t.gray <-
+                ( Block.slot_addr blk i,
+                  Block.slot_addr blk i + blk.Block.blk_obj_size )
+                :: t.gray
+          end)
+
 (** The store write-barrier: record writes that land inside old
     collectable objects so their pages are rescanned by the next minor
     collection.  Stores anywhere else need no card — young objects are
@@ -203,6 +271,20 @@ let is_old t blk i = Block.age blk i >= t.config.promote_after
     the promoted slot's pages.  A single branch when generational mode
     is off; charges no VM cycles either way. *)
 let note_store t addr len =
+  (* SATB shading runs first: the generational branch below never writes
+     memory, but keeping the read of the doomed old values ahead of any
+     other bookkeeping makes the before-the-store contract obvious.  The
+     aligned walk over-approximates [addr, addr+len) to whole words —
+     shading a neighbouring word's value is merely conservative. *)
+  (if t.phase = Marking && len > 0 then begin
+     let a = ref (addr / 8 * 8) in
+     let stop = addr + len in
+     let limit = Mem.limit t.mem in
+     while !a < stop do
+       if !a + 8 <= limit then gray_old_value t (Mem.load_word t.mem !a);
+       a := !a + 8
+     done
+   end);
   if t.config.generational && len > 0 then begin
     let dirty_if_old a =
       match Page_map.find t.map a with
@@ -492,11 +574,29 @@ let recompute_cards t =
     end
   done
 
+(** Soundly abandon an in-flight incremental cycle: drop the gray stack
+    and the sweep cursor and return to [Idle].  Mark bits are left as
+    they are — every full collection starts by clearing them — so the
+    heap is exactly what a stop-the-world collector expects.  A no-op
+    outside a cycle. *)
+let abandon_cycle t =
+  if t.phase <> Idle then begin
+    t.phase <- Idle;
+    t.gray <- [];
+    t.sweep_pending <- [];
+    t.sweep_cursor <- 0;
+    t.stats.abandoned_cycles <- t.stats.abandoned_cycles + 1
+  end
+
 (** Run a collection.  [extra_roots] are word values scanned in addition
     to the registered root ranges — the VM passes its register file here.
     [generation] defaults to [Major] (a full stop-the-world cycle);
-    [Minor] is honoured only when the heap is generational. *)
+    [Minor] is honoured only when the heap is generational.  Any
+    in-flight incremental cycle is soundly abandoned first: emergency,
+    explicit and forced collections must behave exactly as on a
+    stop-the-world heap. *)
 let collect ?(generation = Major) ?(extra_roots = []) ?(extra_ranges = []) t =
+  abandon_cycle t;
   let minor = generation = Minor && t.config.generational in
   t.stats.collections <- t.stats.collections + 1;
   if minor then t.stats.minor_collections <- t.stats.minor_collections + 1;
@@ -710,6 +810,10 @@ let alloc_large t ~req bytes kind =
   in
   Block.set_allocated blk 0 true;
   Block.set_age blk 0 0;
+  (* allocate-black: objects born during an incremental cycle survive it
+     unconditionally (they cannot hold the only path to snapshot-live
+     data, and the sliced sweeper must not free them) *)
+  if t.phase <> Idle then Block.set_marked blk 0 true;
   blk.Block.blk_req.(0) <- req;
   Mem.fill t.mem blk.Block.blk_start (pages * Mem.page_size) '\000';
   blk.Block.blk_start
@@ -755,6 +859,8 @@ let alloc ?(kind = Block.Normal) t bytes =
             let i = Option.get (Block.slot_of_addr blk addr) in
             Block.set_allocated blk i true;
             Block.set_age blk i 0;
+            (* allocate-black during an in-flight incremental cycle *)
+            if t.phase <> Idle then Block.set_marked blk i true;
             blk.Block.blk_req.(i) <- bytes
         | None -> assert false);
         Mem.fill t.mem addr cls '\000';
@@ -1037,8 +1143,11 @@ let pp_stats fmt s =
   Format.fprintf fmt
     "collections=%d (minor=%d) allocated=%d objs (%d bytes) freed=%d objs \
      (%d bytes) words_scanned=%d base_lookups=%d same_obj=%d failures=%d \
-     promoted=%d cards_scanned=%d emergency=%d injected_failures=%d"
+     promoted=%d cards_scanned=%d emergency=%d injected_failures=%d \
+     increments=%d final_marks=%d barrier_grays=%d budget_overruns=%d \
+     max_pause_words=%d abandoned=%d"
     s.collections s.minor_collections s.objects_allocated s.bytes_allocated
     s.objects_freed s.bytes_freed s.words_scanned s.base_lookups
     s.same_obj_checks s.check_failures s.promoted s.cards_scanned
-    s.emergency_collections s.injected_failures
+    s.emergency_collections s.injected_failures s.increments s.final_marks
+    s.barrier_grays s.budget_overruns s.inc_max_pause_words s.abandoned_cycles

@@ -13,13 +13,14 @@
     and survivors promote to the old generation after
     [config.promote_after] minor cycles. *)
 
-type gc_mode = Stw | Gen
+type gc_mode = Stw | Gen | Inc
 (** Collector operating mode: stop-the-world full collections only (the
-    paper's collector, the default), or generational minor + major
-    cycles. *)
+    paper's collector, the default), generational minor + major cycles,
+    or incremental snapshot-at-the-beginning marking time-sliced across
+    GC points (see {!Incremental}). *)
 
 val gc_mode_name : gc_mode -> string
-(** ["stw"] / ["gen"]. *)
+(** ["stw"] / ["gen"] / ["inc"]. *)
 
 val gc_mode_of_string : string -> gc_mode option
 
@@ -57,6 +58,13 @@ type config = {
       (** hard arena ceiling in words; [0] (the default) is unlimited *)
   mutable oom_policy : oom_policy;
       (** allocation-failure response; see {!oom_policy} *)
+  mutable incremental : bool;
+      (** enable the SATB write barrier and allocate-black so an
+          {!Incremental} marking cycle can stay in flight across
+          mutator steps *)
+  mutable pause_budget_words : int;
+      (** words of collector work one incremental step may perform
+          before yielding back to the mutator *)
 }
 
 type stats = {
@@ -75,7 +83,21 @@ type stats = {
   mutable emergency_collections : int;
       (** collect-expand cycles run on allocation failure *)
   mutable injected_failures : int;  (** failpoints that fired *)
+  mutable increments : int;  (** incremental steps run *)
+  mutable final_marks : int;
+      (** incremental steps that performed the atomic finalization *)
+  mutable barrier_grays : int;
+      (** overwritten old values the SATB barrier grayed *)
+  mutable budget_overruns : int;
+      (** incremental steps whose work exceeded the pause budget *)
+  mutable inc_max_pause_words : int;
+      (** largest single incremental step, in words of collector work *)
+  mutable abandoned_cycles : int;
+      (** in-flight incremental cycles abandoned by a full collection *)
 }
+
+type phase = Idle | Marking | Sweeping
+(** Where an incremental marking cycle stands; [Idle] outside a cycle. *)
 
 type t = {
   mem : Mem.t;
@@ -112,6 +134,16 @@ type t = {
           is what makes [Collect_expand] strictly stronger than [Trap]
           when the blocker is a large allocation.  Always empty on
           executions that never hit the ceiling *)
+  mutable phase : phase;
+      (** incremental-cycle phase; driven by {!Incremental.step} *)
+  mutable gray : (int * int) list;
+      (** incremental mark stack: gray ranges [start, stop)] still to
+          scan, with partial push-back when a budget expires mid-range *)
+  mutable sweep_pending : Block.t list;
+      (** blocks the in-flight incremental cycle has yet to sweep *)
+  mutable sweep_cursor : int;
+      (** next slot to examine in the head of [sweep_pending] — lets a
+          sweep slice stop mid-block exactly at the pause budget *)
 }
 
 exception Check_failure of string
@@ -132,6 +164,10 @@ val add_root_range : t -> int -> int -> unit
 
 val class_size : int -> int
 (** The size class an allocation request (slack included) rounds up to. *)
+
+val max_small : int
+(** Largest slot size served from the size-class free lists; anything
+    bigger is a whole-pages large block. *)
 
 val alloc : ?kind:Block.kind -> t -> int -> int
 (** [alloc t n] returns the address of [n] bytes of zeroed storage (the
@@ -165,6 +201,29 @@ val slot_age : t -> int -> int option
 (** Minor collections the allocated object at [addr] has survived;
     [None] outside allocated objects.  Ages [>= config.promote_after]
     are the old generation. *)
+
+val plausible_pointer : ?from_root:bool -> t -> int -> (Block.t * int) option
+(** Conservative pointer identification for scanners: the block and slot
+    index of the allocated object [v] points into, honouring
+    [all_interior] (when it is off, interior pointers resolve only when
+    [from_root]).  [None] for non-heap values and free slots.  Exposed
+    for the {!Incremental} marker; ordinary clients use {!base_of}. *)
+
+val iter_range_words : t -> int -> int -> (int -> int -> unit) -> unit
+(** [iter_range_words t start stop f] calls [f addr word] for every
+    aligned word overlapping [start, stop)] that lies inside the arena —
+    the conservative scanners' word walk.  Exposed for {!Incremental}. *)
+
+val free_list : t -> int -> Block.kind -> int list ref
+(** The (created-on-demand) free list for a size class and block kind.
+    Exposed for the {!Incremental} sweeper. *)
+
+val abandon_cycle : t -> unit
+(** Soundly abandon any in-flight incremental cycle: drop the gray stack
+    and sweep cursor and return to [Idle] (mark bits are left for the
+    next full collection's clear).  Every {!collect} does this first, so
+    emergency, explicit and forced collections behave exactly as on a
+    stop-the-world heap.  A no-op when no cycle is in flight. *)
 
 val should_collect : t -> bool
 (** Has the live-growth estimate since the last full collection crossed

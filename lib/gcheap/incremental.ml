@@ -1,0 +1,225 @@
+(** Incremental snapshot-at-the-beginning marking over {!Heap}.
+
+    A cycle is a sequence of budget-bounded *steps* the embedder runs at
+    its GC points (the paper's call-site-only collection, §5 opt. 4, is
+    what makes those points safe to suspend and resume in):
+
+    - the first step takes the snapshot: it clears all mark bits and
+      atomically scans every root (caller-supplied word values, the
+      registered ranges, the per-step extra ranges, and the
+      root-scanned uncollectable blocks), pushing gray ranges instead
+      of draining them;
+    - marking steps pop gray ranges and scan them conservatively, up to
+      [config.pause_budget_words] words of work per step, pushing the
+      unscanned tail of a range back when the budget expires mid-range;
+    - once the gray stack drains, the same step finalizes the mark
+      atomically: the caller's root *values* are re-scanned (heap,
+      statics and stack stores are covered by the SATB barrier for the
+      whole cycle — see {!Heap.note_store} — so only the barrier-free
+      register file can have picked up pointers the snapshot trace
+      missed) and the gray stack is drained to empty.  Mark bits are
+      monotone within a cycle and objects allocated during it are born
+      black, so the outstanding work is bounded by the snapshot's
+      object population and finalization terminates;
+    - sweeping steps then free unmarked slots block by block under the
+      same budget, and the cycle completes when no block remains.
+
+    The mutator's side of the bargain is in {!Heap}: the store barrier
+    grays overwritten old values while [phase = Marking], allocation
+    marks new objects while a cycle is in flight, and every full
+    collection ({!Heap.collect} — emergency, explicit, forced or final)
+    soundly abandons the cycle first. *)
+
+open Heap
+
+let active t = t.phase <> Idle
+
+(* Conservative mark: unmarked targets turn gray (marked + range pushed
+   for scanned blocks).  Identical resolution rules to the STW marker. *)
+let consider t ~from_root v =
+  match plausible_pointer ~from_root t v with
+  | None -> ()
+  | Some (blk, i) ->
+      if not (Block.is_marked blk i) then begin
+        Block.set_marked blk i true;
+        if Block.scanned blk then
+          t.gray <-
+            ( Block.slot_addr blk i,
+              Block.slot_addr blk i + blk.Block.blk_obj_size )
+            :: t.gray
+      end
+
+(* Un-interruptible range scan (root snapshot / finalization). *)
+let scan_atomic t ~from_root start stop ~spent =
+  iter_range_words t start stop (fun _ v ->
+      t.stats.words_scanned <- t.stats.words_scanned + 1;
+      incr spent;
+      consider t ~from_root v)
+
+(* Budget-bounded range scan; returns the resume address when the budget
+   expires mid-range, [None] when the range completed.  The trailing
+   unaligned tail is scanned like {!Heap.iter_range_words} does. *)
+let scan_budgeted t start stop ~spent ~budget =
+  let a = ref ((start + 7) / 8 * 8) in
+  let resume = ref None in
+  while !resume = None && !a + 8 <= stop do
+    if !spent >= budget then resume := Some !a
+    else begin
+      t.stats.words_scanned <- t.stats.words_scanned + 1;
+      incr spent;
+      consider t ~from_root:false (Mem.load_word t.mem !a);
+      a := !a + 8
+    end
+  done;
+  (if !resume = None && !a < stop && !a + 8 <= Mem.limit t.mem then
+     if !spent >= budget then resume := Some !a
+     else begin
+       t.stats.words_scanned <- t.stats.words_scanned + 1;
+       incr spent;
+       consider t ~from_root:false (Mem.load_word t.mem !a)
+     end);
+  !resume
+
+let rec drain t ~spent ~budget =
+  if !spent < budget then
+    match t.gray with
+    | [] -> ()
+    | (s, e) :: rest ->
+        t.gray <- rest;
+        (match scan_budgeted t s e ~spent ~budget with
+        | Some a -> t.gray <- (a, e) :: t.gray
+        | None -> ());
+        drain t ~spent ~budget
+
+(* The snapshot: clear marks, then scan every root before the mutator
+   runs again.  Atomic by construction — a root scan sliced across
+   steps would let a white pointer migrate from an unscanned register
+   into an already-black object, which the SATB barrier (it grays
+   *overwritten* values, not stored ones) cannot catch. *)
+let start_cycle t ~extra_roots ~extra_ranges ~spent =
+  List.iter Block.clear_marks t.all_blocks;
+  t.gray <- [];
+  List.iter
+    (fun v ->
+      incr spent;
+      consider t ~from_root:true v)
+    extra_roots;
+  List.iter (fun (s, e) -> scan_atomic t ~from_root:true s e ~spent) t.roots;
+  List.iter
+    (fun (s, e) -> scan_atomic t ~from_root:true s e ~spent)
+    extra_ranges;
+  List.iter
+    (fun blk ->
+      if Block.root_scanned blk then
+        for i = 0 to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i then begin
+            Block.set_marked blk i true;
+            let a = Block.slot_addr blk i in
+            scan_atomic t ~from_root:true a (a + blk.Block.blk_obj_size)
+              ~spent
+          end
+        done)
+    t.all_blocks;
+  t.phase <- Marking
+
+let finalize t ~extra_roots ~spent =
+  t.stats.final_marks <- t.stats.final_marks + 1;
+  List.iter
+    (fun v ->
+      incr spent;
+      consider t ~from_root:true v)
+    extra_roots;
+  drain t ~spent ~budget:max_int;
+  t.phase <- Sweeping;
+  t.sweep_pending <- t.all_blocks;
+  t.sweep_cursor <- 0
+
+(* Free one dead slot.  Work is charged per slot examined plus the
+   words poisoned, on the same words-of-collector-work clock as
+   marking. *)
+let sweep_slot t blk i ~spent =
+  if Block.is_allocated blk i && not (Block.is_marked blk i) then begin
+    Block.set_allocated blk i false;
+    t.stats.objects_freed <- t.stats.objects_freed + 1;
+    t.stats.bytes_freed <- t.stats.bytes_freed + blk.Block.blk_req.(i);
+    let addr = Block.slot_addr blk i in
+    (match t.on_free with
+    | Some f -> f ~addr ~bytes:blk.Block.blk_req.(i)
+    | None -> ());
+    spent := !spent + (blk.Block.blk_obj_size / 8);
+    if t.config.poison then Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
+    if blk.Block.blk_obj_size <= max_small then begin
+      let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
+      fl := addr :: !fl
+    end
+  end
+
+(* The sliced sweep resumes mid-block at [t.sweep_cursor], so a slice
+   stops within one slot of the budget.  A slot allocated behind the
+   cursor during sweeping was born black (see {!Heap.alloc}) and is
+   never freed by the slice that later examines it. *)
+let sweep_slice t ~spent ~budget =
+  let continue_ = ref true in
+  while !continue_ && !spent < budget do
+    match t.sweep_pending with
+    | [] -> continue_ := false
+    | blk :: rest ->
+        if not (Block.collectable blk) then begin
+          t.sweep_pending <- rest;
+          t.sweep_cursor <- 0
+        end
+        else begin
+          (* examining a slot costs a word and freeing it costs its
+             words too; stop before a slot that might not fit, so sweep
+             slices never overrun.  One slot always goes through on a
+             fresh slice, for progress under tiny budgets. *)
+          let worst = 1 + (blk.Block.blk_obj_size / 8) in
+          let i = ref t.sweep_cursor in
+          while
+            !i < blk.Block.blk_count
+            && (!spent + worst <= budget || !spent = 0)
+          do
+            incr spent;
+            sweep_slot t blk !i ~spent;
+            incr i
+          done;
+          if !i >= blk.Block.blk_count then begin
+            t.sweep_pending <- rest;
+            t.sweep_cursor <- 0
+          end
+          else begin
+            t.sweep_cursor <- !i;
+            continue_ := false
+          end
+        end
+  done;
+  if t.sweep_pending = [] then begin
+    (* cycle complete: account it exactly like a full collection *)
+    t.phase <- Idle;
+    t.stats.collections <- t.stats.collections + 1;
+    t.since_gc <- 0;
+    t.since_minor <- 0
+  end
+
+let step ?(extra_roots = []) ?(extra_ranges = []) t =
+  let budget = max 1 t.config.pause_budget_words in
+  let spent = ref 0 in
+  (match t.phase with
+  | Idle -> start_cycle t ~extra_roots ~extra_ranges ~spent
+  | Marking | Sweeping -> ());
+  if t.phase = Marking then begin
+    drain t ~spent ~budget;
+    if t.gray = [] && !spent < budget then finalize t ~extra_roots ~spent
+  end;
+  if t.phase = Sweeping then sweep_slice t ~spent ~budget;
+  t.stats.increments <- t.stats.increments + 1;
+  if !spent > budget then
+    t.stats.budget_overruns <- t.stats.budget_overruns + 1;
+  if !spent > t.stats.inc_max_pause_words then
+    t.stats.inc_max_pause_words <- !spent;
+  !spent
+
+let finish ?extra_roots ?extra_ranges t =
+  while active t do
+    ignore (step ?extra_roots ?extra_ranges t)
+  done

@@ -1,0 +1,35 @@
+(** Incremental snapshot-at-the-beginning (SATB) marking over {!Heap}.
+
+    The resumable tri-color marker behind {!Heap.gc_mode} [Inc]: an
+    explicit gray stack of address ranges, time-sliced into steps of at
+    most [config.pause_budget_words] words of collector work, driven by
+    the embedder at its GC points.  The cycle's invariant is SATB —
+    every object conservatively reachable when the cycle started is
+    marked by the time it sweeps — maintained by three hooks that live
+    in {!Heap}: the store barrier grays overwritten old values while
+    marking is in flight, allocation during a cycle is black, and any
+    full collection soundly abandons the cycle first. *)
+
+val active : Heap.t -> bool
+(** Is a marking/sweeping cycle in flight ([phase <> Idle])? *)
+
+val step :
+  ?extra_roots:int list -> ?extra_ranges:(int * int) list -> Heap.t -> int
+(** Run one increment and return the words of collector work it
+    performed.  On an idle heap this starts a cycle with an atomic
+    snapshot root scan over [extra_roots] (word values — the VM's
+    register file), [extra_ranges] (the live stack prefix), the
+    registered ranges and the root-scanned uncollectable blocks; on a
+    marking heap it drains gray ranges under the pause budget (and,
+    when the stack drains within budget, atomically finalizes by
+    re-scanning [extra_roots] and draining to empty); on a sweeping
+    heap it frees unmarked slots block by block under the budget.  The
+    snapshot and the finalization are atomic, so a step can exceed the
+    budget; such steps are counted in [stats.budget_overruns].  Updates
+    [stats.increments], [stats.final_marks] and
+    [stats.inc_max_pause_words]. *)
+
+val finish :
+  ?extra_roots:int list -> ?extra_ranges:(int * int) list -> Heap.t -> unit
+(** Drive {!step} until the in-flight cycle (if any) completes.  The
+    roots must be the same the embedder would pass to {!step}. *)

@@ -14,6 +14,9 @@ type run_info = {
   o_emergency : int;  (** emergency (collect-expand) collections run *)
   o_injected_failures : int;  (** allocation failpoints that fired *)
   o_allocs : int;  (** objects allocated (the failpoint ordinal space) *)
+  o_increments : int;  (** incremental-marking steps run *)
+  o_inc_max_pause : int;  (** largest increment, in words of work *)
+  o_inc_overruns : int;  (** increments that exceeded the pause budget *)
 }
 
 type outcome =
@@ -56,6 +59,9 @@ let exec ?gc_point_sink ?telemetry (r : Request.t) (b : Build.built) : outcome
         Option.value ~default:dc.Machine.Vm.vm_gc_threshold
           r.Request.gc_threshold;
       Machine.Vm.vm_gc_mode = r.Request.gc_mode;
+      Machine.Vm.vm_gc_pause_budget =
+        Option.value ~default:dc.Machine.Vm.vm_gc_pause_budget
+          r.Request.gc_pause_budget;
       Machine.Vm.vm_gc_point_sink = gc_point_sink;
       Machine.Vm.vm_telemetry = telemetry;
       Machine.Vm.vm_heap_limit_words = r.Request.heap_limit;
@@ -80,6 +86,9 @@ let exec ?gc_point_sink ?telemetry (r : Request.t) (b : Build.built) : outcome
         o_injected_failures =
           r.Machine.Vm.r_heap.Gcheap.Heap.injected_failures;
         o_allocs = r.Machine.Vm.r_heap.Gcheap.Heap.objects_allocated;
+        o_increments = r.Machine.Vm.r_heap.Gcheap.Heap.increments;
+        o_inc_max_pause = r.Machine.Vm.r_heap.Gcheap.Heap.inc_max_pause_words;
+        o_inc_overruns = r.Machine.Vm.r_heap.Gcheap.Heap.budget_overruns;
       }
   with
   | Machine.Vm.Fault msg -> Detected msg
@@ -92,33 +101,6 @@ let exec ?gc_point_sink ?telemetry (r : Request.t) (b : Build.built) : outcome
            (List.map
               (fun v -> Format.asprintf "%a" Gcheap.Heap.pp_violation v)
               vs))
-
-(** Deprecated shim over {!exec} (kept for one release, like
-    [Build.build] was): the optional-argument dialect it spells is
-    exactly a {!Request.t}. *)
-let run ?(machine = Machine.Machdesc.sparc10) ?(async_gc = None) ?schedule
-    ?check_integrity ?final_collect ?max_instrs ?max_heap ?gc_threshold
-    ?gc_mode ?gc_point_sink ?telemetry ?heap_limit ?oom_policy
-    ?alloc_failpoints (b : Build.built) : outcome =
-  let schedule =
-    match (schedule, async_gc) with
-    | Some s, _ -> s
-    | None, Some n -> Machine.Schedule.Every n
-    | None, None -> Machine.Schedule.Auto
-  in
-  exec ?gc_point_sink ?telemetry
-    (Request.make ~machine ~schedule ?check_integrity ?final_collect
-       ?max_instrs ?max_heap ?gc_threshold ?gc_mode ?heap_limit ?oom_policy
-       ?alloc_failpoints "")
-    b
-
-(** Deprecated shim: build and run one workload configuration on one
-    machine. *)
-let run_config ?(machine = Machine.Machdesc.sparc10) ?analysis ?gc_mode config
-    source : Build.built * outcome =
-  let r = Request.make ~config ~machine ?analysis ?gc_mode source in
-  let b = Build.compile ~options:(Request.build_options r) config source in
-  (b, exec r b)
 
 (** Percentage slowdown relative to a baseline cycle count, rendered as in
     the paper's tables. *)

@@ -14,6 +14,9 @@ type run_info = {
   o_emergency : int;  (** emergency (collect-expand) collections run *)
   o_injected_failures : int;  (** allocation failpoints that fired *)
   o_allocs : int;  (** objects allocated (the failpoint ordinal space) *)
+  o_increments : int;  (** incremental-marking steps run *)
+  o_inc_max_pause : int;  (** largest increment, in words of work *)
+  o_inc_overruns : int;  (** increments that exceeded the pause budget *)
 }
 
 type outcome =
@@ -37,47 +40,10 @@ val exec :
   Build.built ->
   outcome
 (** Execute a built program under a {!Request.t} — the canonical runner;
-    the request names the machine, schedule, collector mode, ceilings,
-    OOM policy and failpoints in one value.  [gc_point_sink] and
-    [telemetry] stay per-call: they are observation channels, not part
-    of the request's identity.  {!run} and {!run_config} are deprecated
-    shims over this function. *)
-
-val run :
-  ?machine:Machine.Machdesc.t ->
-  ?async_gc:int option ->
-  ?schedule:Machine.Schedule.t ->
-  ?check_integrity:bool ->
-  ?final_collect:bool ->
-  ?max_instrs:int ->
-  ?max_heap:int ->
-  ?gc_threshold:int ->
-  ?gc_mode:Gcheap.Heap.gc_mode ->
-  ?gc_point_sink:(int -> string -> unit) ->
-  ?telemetry:Telemetry.Sink.t ->
-  ?heap_limit:int ->
-  ?oom_policy:Gcheap.Heap.oom_policy ->
-  ?alloc_failpoints:Gcheap.Failpoint.t ->
-  Build.built ->
-  outcome
-(** Deprecated: the optional-argument spelling of {!exec}, kept as a
-    shim for one release (as [Build.build] was for [Build.compile]).
-    New code should build a {!Request.t} and call {!exec}.  [schedule]
-    takes precedence over the legacy [async_gc] (which maps to
-    {!Machine.Schedule.Every}); each argument maps to the request field
-    of the same name. *)
-
-val run_config :
-  ?machine:Machine.Machdesc.t ->
-  ?analysis:Gcsafe.Mode.analysis ->
-  ?gc_mode:Gcheap.Heap.gc_mode ->
-  Build.config ->
-  string ->
-  Build.built * outcome
-(** Deprecated shim: build and run one workload configuration on one
-    machine ({!Request.make} + {!Build.compile} + {!exec}).  [analysis]
-    and [gc_mode] override the harness defaults ({!Build.default}'s
-    [A_flow] / stop-the-world). *)
+    the request names the machine, schedule, collector mode, pause
+    budget, ceilings, OOM policy and failpoints in one value.
+    [gc_point_sink] and [telemetry] stay per-call: they are observation
+    channels, not part of the request's identity. *)
 
 val slowdown_cell : base_cycles:int -> outcome -> string
 (** Percentage slowdown rendered as in the paper's tables ("9%",

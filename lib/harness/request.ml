@@ -13,6 +13,7 @@ type t = {
   check_integrity : bool;
   final_collect : bool;
   gc_threshold : int option;
+  gc_pause_budget : int option;
   max_instrs : int option;
   max_heap : int option;
   heap_limit : int;
@@ -23,8 +24,8 @@ type t = {
 let make ?(label = "") ?(config = Build.Safe)
     ?(machine = Machine.Machdesc.sparc10) ?analysis ?gc_mode ?loop_heuristic
     ?use_cache ?(schedule = Machine.Schedule.Auto) ?(check_integrity = false)
-    ?(final_collect = false) ?gc_threshold ?max_instrs ?max_heap
-    ?(heap_limit = 0) ?(oom_policy = Gcheap.Heap.Collect_expand)
+    ?(final_collect = false) ?gc_threshold ?gc_pause_budget ?max_instrs
+    ?max_heap ?(heap_limit = 0) ?(oom_policy = Gcheap.Heap.Collect_expand)
     ?(alloc_failpoints = Gcheap.Failpoint.Never) source =
   let d = Build.for_machine machine in
   {
@@ -40,6 +41,7 @@ let make ?(label = "") ?(config = Build.Safe)
     check_integrity;
     final_collect;
     gc_threshold;
+    gc_pause_budget;
     max_instrs;
     max_heap;
     heap_limit;
@@ -72,7 +74,10 @@ let describe r =
     | Gcsafe.Mode.A_none -> " [analysis=none]"
   in
   let gtag =
-    match r.gc_mode with Gcheap.Heap.Stw -> "" | Gcheap.Heap.Gen -> " [gen]"
+    match r.gc_mode with
+    | Gcheap.Heap.Stw -> ""
+    | Gcheap.Heap.Gen -> " [gen]"
+    | Gcheap.Heap.Inc -> " [inc]"
   in
   Printf.sprintf "%s @ %s%s%s"
     (Build.config_name r.config)
@@ -162,6 +167,7 @@ let to_json (r : t) : Json.t =
   Json.Obj
     (base
     @ opt "gc_threshold" r.gc_threshold
+    @ opt "gc_pause_budget" r.gc_pause_budget
     @ opt "max_instrs" r.max_instrs
     @ opt "max_heap" r.max_heap)
 
@@ -222,12 +228,13 @@ let of_json (doc : Json.t) : (t, string) result =
   let* check_integrity = boolean "check_integrity" ~default:false in
   let* final_collect = boolean "final_collect" ~default:false in
   let* gc_threshold = int_opt "gc_threshold" in
+  let* gc_pause_budget = int_opt "gc_pause_budget" in
   let* max_instrs = int_opt "max_instrs" in
   let* max_heap = int_opt "max_heap" in
   let* heap_limit = int_opt "heap_limit" in
   let r =
     make ?label ?config ?machine ?analysis ?gc_mode ~loop_heuristic ~use_cache
-      ?schedule ~check_integrity ~final_collect ?gc_threshold ?max_instrs
-      ?max_heap ?heap_limit ?oom_policy ?alloc_failpoints source
+      ?schedule ~check_integrity ~final_collect ?gc_threshold ?gc_pause_budget
+      ?max_instrs ?max_heap ?heap_limit ?oom_policy ?alloc_failpoints source
   in
   Ok r

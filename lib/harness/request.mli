@@ -1,8 +1,8 @@
 (** The unified request record: one value naming everything a single
     compile+run needs.
 
-    Before this module, every consumer — {!Measure.run},
-    {!Measure.run_config}, {!Differ.observe}, the stress plans, the CLI
+    Before this module, every consumer — {!Measure.exec}'s
+    predecessors, {!Differ.observe}, the stress plans, the CLI
     — re-spelled the same ~8 optional arguments ([?gc_mode],
     [?heap_limit], [?oom_policy], [?alloc_failpoints], ...).  A request
     collapses them into a first-class value: the same record a
@@ -24,6 +24,10 @@ type t = {
   check_integrity : bool;
   final_collect : bool;
   gc_threshold : int option;
+  gc_pause_budget : int option;
+      (** incremental-marking pause budget in words of collector work
+          per increment; [None] keeps the VM default.  The service's
+          SLO layer also reads this as the per-request pause SLO. *)
   max_instrs : int option;
   max_heap : int option;
   heap_limit : int;  (** hard arena ceiling in words; 0 = unlimited *)
@@ -43,6 +47,7 @@ val make :
   ?check_integrity:bool ->
   ?final_collect:bool ->
   ?gc_threshold:int ->
+  ?gc_pause_budget:int ->
   ?max_instrs:int ->
   ?max_heap:int ->
   ?heap_limit:int ->
@@ -74,8 +79,9 @@ val matrix_key : t -> string
 
 val describe : t -> string
 (** ["config @ machine"], tagged [" [analysis=none]"] for
-    paper-verbatim requests and [" [gen]"] for generational ones — the
-    differ's subject-name rendering. *)
+    paper-verbatim requests, [" [gen]"] for generational and
+    [" [inc]"] for incremental ones — the differ's subject-name
+    rendering. *)
 
 (** {1 Matrices}
 

@@ -51,8 +51,17 @@ type config = {
           [Gen]: generational — the store barrier feeds a page-granularity
           remembered set, minor collections run every
           [vm_gc_threshold / 8] allocated bytes, and the major threshold
-          tracks live growth.  Cycle counts are identical in both modes:
-          the barrier charges nothing. *)
+          tracks live growth.  [Inc]: incremental — marking cycles are
+          snapshot-at-the-beginning, time-sliced into steps of at most
+          [vm_gc_pause_budget] words of collector work at allocation GC
+          points; the same store barrier grays overwritten old values
+          while a cycle is marking.  Cycle counts are identical in all
+          modes: the barrier charges nothing. *)
+  vm_gc_pause_budget : int;
+      (** incremental-mode pause budget: words of collector work per
+          increment, on the deterministic VM-tick/words clock (the
+          snapshot root scan and the atomic final mark may overrun it;
+          overruns are counted) *)
   vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
   vm_max_heap_bytes : int;
       (** arena footprint ceiling; exceeding it raises [Trap] *)
@@ -91,6 +100,7 @@ let default_config ?(machine = Machdesc.sparc10) () =
     vm_all_interior = true;
     vm_gc_threshold = 256 * 1024;
     vm_gc_mode = Gcheap.Heap.Stw;
+    vm_gc_pause_budget = 1024;
     vm_max_instrs = 400_000_000;
     vm_max_heap_bytes = 1 lsl 30;
     vm_heap_limit_words = 0;
@@ -185,6 +195,15 @@ type tele = {
           measure (no instructions retire during a collection, so the
           collector's word traffic is the pause) *)
   tl_gc_major_scan : Telemetry.Metrics.histogram;  (** per major cycle *)
+  tl_gc_inc_pause : Telemetry.Metrics.histogram;
+      (** per-increment pause in words of collector work (same clock as
+          the scan histograms), incremental mode only *)
+  tl_gc_inc_steps : Telemetry.Metrics.counter;  (** increments run *)
+  tl_gc_inc_final : Telemetry.Metrics.counter;  (** atomic final marks *)
+  tl_gc_inc_grays : Telemetry.Metrics.counter;
+      (** old values the SATB barrier grayed *)
+  tl_gc_inc_overruns : Telemetry.Metrics.counter;
+      (** increments that exceeded the pause budget *)
   tl_gc_promoted : Telemetry.Metrics.counter;
   tl_gc_cards : Telemetry.Metrics.counter;  (** dirty cards scanned *)
   tl_gc_words : Telemetry.Metrics.counter;
@@ -222,6 +241,12 @@ let make_tele sink p =
     tl_gc_major_pause = Telemetry.Metrics.histogram m "gc/major/pause_ns";
     tl_gc_minor_scan = Telemetry.Metrics.histogram m "gc/minor/pause_words";
     tl_gc_major_scan = Telemetry.Metrics.histogram m "gc/major/pause_words";
+    tl_gc_inc_pause = Telemetry.Metrics.histogram m "gc/incremental/pause_words";
+    tl_gc_inc_steps = Telemetry.Metrics.counter m "gc/incremental/increments";
+    tl_gc_inc_final = Telemetry.Metrics.counter m "gc/incremental/final_marks";
+    tl_gc_inc_grays = Telemetry.Metrics.counter m "gc/incremental/barrier_grays";
+    tl_gc_inc_overruns =
+      Telemetry.Metrics.counter m "gc/incremental/budget_overruns";
     tl_gc_promoted = Telemetry.Metrics.counter m "gc/promotions";
     tl_gc_cards = Telemetry.Metrics.counter m "gc/cards_scanned";
     tl_gc_words = Telemetry.Metrics.counter m "gc/words_scanned";
@@ -258,6 +283,9 @@ type state = {
   mutable instrs : int;
   mutable cycles : int;
   mutable gc_count : int;
+  mutable inc_grays_seen : int;
+      (** barrier grays already ticked into telemetry (incremental mode:
+          the SATB barrier accrues during mutator time, between steps) *)
   mutable rand_state : int;
   mutable arg_queue : int list;  (** reversed: arguments pushed so far *)
   mutable at_call : bool;  (** the last executed instruction was a call *)
@@ -292,6 +320,8 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
   heap_config.Gcheap.Heap.gc_threshold <- cfg.vm_gc_threshold;
   heap_config.Gcheap.Heap.all_interior <- cfg.vm_all_interior;
   heap_config.Gcheap.Heap.generational <- cfg.vm_gc_mode = Gcheap.Heap.Gen;
+  heap_config.Gcheap.Heap.incremental <- cfg.vm_gc_mode = Gcheap.Heap.Inc;
+  heap_config.Gcheap.Heap.pause_budget_words <- max 1 cfg.vm_gc_pause_budget;
   heap_config.Gcheap.Heap.minor_threshold <- max 1024 (cfg.vm_gc_threshold / 8);
   heap_config.Gcheap.Heap.heap_limit_words <- cfg.vm_heap_limit_words;
   heap_config.Gcheap.Heap.oom_policy <- cfg.vm_oom_policy;
@@ -335,6 +365,7 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
     instrs = 0;
     cycles = 0;
     gc_count = 0;
+    inc_grays_seen = 0;
     rand_state = 42;
     arg_queue = [];
     at_call = false;
@@ -443,11 +474,63 @@ let forced_gc_due st =
   | Schedule.At pts -> Schedule.points_mem pts st.instrs)
   && ((not st.cfg.vm_gc_at_calls_only) || st.at_call)
 
+(** One increment of the SATB marker, at an allocation GC point.  Same
+    root discipline as {!collect}: the register file as word values, the
+    live stack prefix as a range. *)
+let incremental_step st =
+  let tl = st.tele in
+  let hs = st.heap.Gcheap.Heap.stats in
+  let collections0 = hs.Gcheap.Heap.collections in
+  let final0 = hs.Gcheap.Heap.final_marks in
+  let overruns0 = hs.Gcheap.Heap.budget_overruns in
+  let objs0 = hs.Gcheap.Heap.objects_freed in
+  let bytes0 = hs.Gcheap.Heap.bytes_freed in
+  (match tl.tl_prof with
+  | Some pr -> Telemetry.Heap_profiler.set_tick pr st.instrs
+  | None -> ());
+  let roots =
+    List.concat_map (fun fr -> Array.to_list fr.fr_regs) st.frames
+  in
+  let live_stack = (st.stack_base, st.stack_base + st.sp) in
+  let spent =
+    Gcheap.Incremental.step ~extra_roots:roots ~extra_ranges:[ live_stack ]
+      st.heap
+  in
+  let completed = hs.Gcheap.Heap.collections - collections0 in
+  st.gc_count <- st.gc_count + completed;
+  if tl.tl_on then begin
+    let open Telemetry in
+    Metrics.incr tl.tl_gc_inc_steps;
+    Metrics.observe tl.tl_gc_inc_pause spent;
+    Metrics.add tl.tl_gc_inc_final (hs.Gcheap.Heap.final_marks - final0);
+    Metrics.add tl.tl_gc_inc_overruns
+      (hs.Gcheap.Heap.budget_overruns - overruns0);
+    (* barrier grays accrue during mutator time, between steps *)
+    Metrics.add tl.tl_gc_inc_grays
+      (hs.Gcheap.Heap.barrier_grays - st.inc_grays_seen);
+    st.inc_grays_seen <- hs.Gcheap.Heap.barrier_grays;
+    Metrics.add tl.tl_gc_words spent;
+    Metrics.add tl.tl_gc_objs_freed (hs.Gcheap.Heap.objects_freed - objs0);
+    Metrics.add tl.tl_gc_bytes_freed (hs.Gcheap.Heap.bytes_freed - bytes0);
+    if completed > 0 then begin
+      Metrics.add tl.tl_gc completed;
+      Metrics.set tl.tl_heap_foot (Gcheap.Heap.footprint st.heap)
+    end
+  end;
+  if completed > 0 && st.cfg.vm_check_integrity then
+    Gcheap.Heap.assert_integrity st.heap
+
 let maybe_collect_for_alloc st =
   match st.cfg.vm_gc_schedule with
   | Schedule.At_allocs -> forced_collect st
   | _ ->
-      if Gcheap.Heap.should_collect st.heap then collect st
+      if st.cfg.vm_gc_mode = Gcheap.Heap.Inc then begin
+        if
+          Gcheap.Incremental.active st.heap
+          || Gcheap.Heap.should_collect st.heap
+        then incremental_step st
+      end
+      else if Gcheap.Heap.should_collect st.heap then collect st
       else if Gcheap.Heap.should_collect_minor st.heap then
         collect ~generation:Gcheap.Heap.Minor st
 
@@ -975,6 +1058,13 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
     (* all frames are gone: only statics-reachable objects survive *)
     collect ~trigger:"final" st;
     st.gc_count <- st.gc_count - 1 (* not a program-visible collection *)
+  end;
+  (* sync barrier grays that accrued since the last increment *)
+  if tl.tl_on then begin
+    let hs = st.heap.Gcheap.Heap.stats in
+    Telemetry.Metrics.add tl.tl_gc_inc_grays
+      (hs.Gcheap.Heap.barrier_grays - st.inc_grays_seen);
+    st.inc_grays_seen <- hs.Gcheap.Heap.barrier_grays
   end;
   let live_objects, live_bytes = Gcheap.Heap.live_summary st.heap in
   {

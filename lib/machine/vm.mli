@@ -39,10 +39,22 @@ type config = {
           page-granularity remembered set, minor collections run every
           [vm_gc_threshold / 8] allocated bytes and scan only young
           objects, roots and dirty cards; the major threshold tracks
-          live growth.  Cycle counts are identical in both modes (the
-          barrier charges nothing), and injected/forced collections are
-          always full majors, so unsafe programs fail identically under
-          injected schedules. *)
+          live growth.  [Inc]: incremental — marking cycles are
+          snapshot-at-the-beginning, sliced into increments of at most
+          [vm_gc_pause_budget] words of collector work run at allocation
+          GC points; the same store barrier grays overwritten old values
+          while a cycle is marking, and allocation during a cycle is
+          black.  Cycle counts are identical in all modes (the barrier
+          charges nothing), and injected/forced collections are always
+          full majors (soundly abandoning any in-flight incremental
+          cycle), so unsafe programs fail identically under injected
+          schedules. *)
+  vm_gc_pause_budget : int;
+      (** incremental-mode pause budget: words of collector work per
+          increment, on the deterministic VM-tick/words clock.  The
+          atomic snapshot root scan and the atomic final mark may
+          overrun it; overruns are counted in
+          [vm/gc/incremental/budget_overruns]. *)
   vm_max_instrs : int;  (** step ceiling; exceeding it raises [Trap] *)
   vm_max_heap_bytes : int;
       (** arena footprint ceiling; exceeding it raises [Trap] *)

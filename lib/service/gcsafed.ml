@@ -35,6 +35,7 @@ type t = {
   mutable last_arrival : int;
   lanes : int array;  (* per-lane virtual finish times *)
   seen : (string, unit) Hashtbl.t;  (* the logical build tier *)
+  session : Build.session;  (* build-cache traffic attributable to us *)
   mutable closed : bool;
 }
 
@@ -49,6 +50,7 @@ let create ?(pool = Exec.Pool.serial) ?metrics cfg =
     last_arrival = 0;
     lanes = Array.make servers 0;
     seen = Hashtbl.create 64;
+    session = Build.new_session ();
     closed = false;
   }
 
@@ -164,6 +166,16 @@ let drain t =
           tick t "service/admitted";
           record_class t outcome;
           tick t (if hit then "service/cache/hits" else "service/cache/misses");
+          (match (req.Request.gc_pause_budget, outcome) with
+          | Some _, Outcome.Ran r
+            when req.Request.gc_mode = Gcheap.Heap.Inc ->
+              (* the request named a pause SLO: every increment within
+                 budget is "met"; a single overrun violates it *)
+              tick t
+                (if r.Harness.Measure.o_inc_overruns > 0 then
+                   "service/slo/violated"
+                 else "service/slo/met")
+          | _ -> ());
           Metrics.observe service_h cost;
           Metrics.absorb t.metrics snap;
           let job =
@@ -179,7 +191,16 @@ let drain t =
           if lane_free then assign job else Queue.push job waiting
         end
         else begin
-          (* shed: a structured outcome, and no telemetry absorbed *)
+          (* shed: a structured outcome; only the build-tier slice of the
+             telemetry is absorbed — the speculative execution really did
+             hit the shared artifact cache, and dropping those counters
+             is what made the registry's [build/cache/*] disagree with
+             the cache's own accounting.  VM/service metrics of a shed
+             request stay dropped: the service never served it. *)
+          Metrics.absorb t.metrics
+            (List.filter
+               (fun (name, _) -> String.starts_with ~prefix:"build/" name)
+               snap);
           tick t "service/rejected";
           let c =
             reject_completion req arrival
@@ -302,7 +323,10 @@ let pp_report ppf r =
 
 let report_to_json ?wall_s t =
   let r = report t in
-  let cache = Build.cache_stats () in
+  (* session-scoped: only the build traffic this service instance caused,
+     so the numbers agree with the absorbed [build/cache/*] counters in
+     [metrics] instead of picking up unrelated process-wide traffic *)
+  let cache = Build.session_stats t.session in
   let base =
     [
       ("submitted", Json.Int r.rp_submitted);

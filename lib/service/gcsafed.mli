@@ -118,4 +118,7 @@ val pp_report : Format.formatter -> report -> unit
 
 val report_to_json : ?wall_s:float -> t -> Telemetry.Json.t
 (** The full report plus, when [wall_s] is given, wall-clock throughput,
-    and the process-wide build-cache counters ({!Harness.Build.cache_stats}). *)
+    and the session-scoped build-cache counters
+    ({!Harness.Build.session_stats} over a session opened at {!create} —
+    the traffic this service instance caused, which agrees with the
+    absorbed [build/cache/*] registry counters). *)

@@ -234,7 +234,19 @@ let generate (spec : spec) : (int * Request.t) list =
         if Build.preprocessed config && below r 4 = 0 then Gcsafe.Mode.A_none
         else Gcsafe.Mode.A_flow
       in
-      let gc_mode = if below r 2 = 0 then Gcheap.Heap.Gen else Gcheap.Heap.Stw in
+      let gc_mode =
+        match below r 3 with
+        | 0 -> Gcheap.Heap.Gen
+        | 1 -> Gcheap.Heap.Inc
+        | _ -> Gcheap.Heap.Stw
+      in
+      (* incremental requests carry a pause SLO, spread over the budgets
+         the bench sweeps, so the service's slo counters stay hot *)
+      let gc_pause_budget =
+        if gc_mode = Gcheap.Heap.Inc then
+          Some (pick r [ 256; 512; 1024; 2048; 4096 ])
+        else None
+      in
       (* forced-collection schedules and the post-collection sanitizer
          are for the small sources only: a measured workload under
          Every-1 does millions of collections and stalls the stream *)
@@ -253,7 +265,8 @@ let generate (spec : spec) : (int * Request.t) list =
         label0 ^ (if chaotic then "+chaos" else "") ^ if bad then "+bad" else ""
       in
       let req =
-        Request.make ~label ~config ~machine ~analysis ~gc_mode ~schedule
+        Request.make ~label ~config ~machine ~analysis ~gc_mode
+          ?gc_pause_budget ~schedule
           ~check_integrity:(small && below r 4 = 0)
           ~final_collect:(below r 2 = 0)
           ~max_instrs:5_000_000 ~heap_limit ~oom_policy ~alloc_failpoints

@@ -108,6 +108,22 @@ let test_cache_failed_build_releases_slot () =
   Alcotest.(check int) "retry succeeds" 7
     (Cache.find_or_build c "k" (fun () -> 7))
 
+(* regression: a miss means "a builder invocation settled an artifact".
+   A failed build must count nothing — the registry's
+   [build/cache/misses] is ticked per successful compile, and the two
+   layers drifted apart by exactly the failed builds before the counter
+   moved to the settle path. *)
+let test_cache_failed_build_not_a_miss () =
+  let c : int Cache.t = Cache.create () in
+  (match Cache.find_or_build c "k" (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ());
+  let s = Cache.stats c in
+  Alcotest.(check int) "failed build is not a miss" 0 s.Cache.misses;
+  ignore (Cache.find_or_build c "k" (fun () -> 7));
+  let s = Cache.stats c in
+  Alcotest.(check int) "the settling retry is one miss" 1 s.Cache.misses
+
 (* --- the build cache: hits are physically equal ----------------------- *)
 
 let src_cached = "int main(void) { return 0; }"
@@ -152,6 +168,34 @@ let test_build_no_cache () =
   let b4 = Build.compile Build.Base src_cached in
   Build.set_cache_enabled true;
   Alcotest.(check bool) "process-wide escape hatch" true (not (b3 == b4))
+
+(* regression for the BENCH_7 accounting mismatch: the cache's own
+   counters and the telemetry registry's [build/cache/*] counters must
+   agree, failed builds included, because both now count settled
+   builds. *)
+let test_build_cache_agrees_with_registry () =
+  Build.reset_cache ();
+  let session = Build.new_session () in
+  let m = Telemetry.Metrics.create () in
+  let telemetry = Telemetry.Sink.make ~metrics:m () in
+  let counter name =
+    match Telemetry.Metrics.find (Telemetry.Metrics.snapshot m) name with
+    | Some (Telemetry.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  ignore (Build.compile ~telemetry Build.Safe src_cached);
+  ignore (Build.compile ~telemetry Build.Safe src_cached);
+  (match Build.compile ~telemetry Build.Safe "int main(void { nope" with
+  | _ -> Alcotest.fail "expected a build failure"
+  | exception _ -> ());
+  let s = Build.session_stats session in
+  Alcotest.(check int) "misses agree with build/cache/misses"
+    (counter "build/cache/misses") s.Exec.Cache.misses;
+  Alcotest.(check int) "hits agree with build/cache/hits"
+    (counter "build/cache/hits") s.Exec.Cache.hits;
+  Alcotest.(check int) "the failed build counted no miss" 1
+    s.Exec.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Exec.Cache.hits
 
 (* --- qcheck: the cache key is injective in the build inputs ----------- *)
 
@@ -273,6 +317,10 @@ let suite =
       test_cache_eviction;
     Alcotest.test_case "cache: failed build releases the slot" `Quick
       test_cache_failed_build_releases_slot;
+    Alcotest.test_case "cache: failed build is not a miss" `Quick
+      test_cache_failed_build_not_a_miss;
+    Alcotest.test_case "build cache: counters agree with the registry"
+      `Quick test_build_cache_agrees_with_registry;
     Alcotest.test_case "build cache: hits physically equal" `Quick
       test_build_cache_physical_equality;
     Alcotest.test_case "build cache: parallel single-flight" `Quick

@@ -1,0 +1,270 @@
+(* The incremental SATB marker: snapshot-reachability survives
+   arbitrarily-sliced cycles with barriered mutations, cycles terminate
+   under any budget, the store barrier and allocate-black behave as
+   specified, and the three collector modes agree bit-for-bit on
+   program outputs under schedule sweeps. *)
+
+open Gcheap
+
+(* --- a model mutator over a standalone heap --------------------------- *)
+
+(* Objects are [slots] pointer fields; a register file of [nregs] cells
+   plays the VM's barrier-free roots.  Mutations only move values the
+   mutator could actually see — register contents and values loaded
+   from registered objects — through the same barriered store path the
+   VM uses, so every scenario the generator produces is one a real
+   mutator could reach. *)
+
+let slots = 4
+
+let nregs = 4
+
+let slot_addr obj k = obj + (8 * k)
+
+let read_slot h obj k = Mem.load_word h.Heap.mem (slot_addr obj k)
+
+let write_slot h obj k v =
+  Heap.note_store h (slot_addr obj k) 8;
+  Mem.store_word h.Heap.mem (slot_addr obj k) v
+
+(* Reachability over the OCaml-side mirror of the object graph. *)
+let reachable mirror roots =
+  let seen = Hashtbl.create 64 in
+  let rec go a =
+    if a <> 0 && (not (Hashtbl.mem seen a)) && Hashtbl.mem mirror a then begin
+      Hashtbl.add seen a ();
+      Array.iter go (Hashtbl.find mirror a)
+    end
+  in
+  List.iter go roots;
+  seen
+
+let op =
+  QCheck.(
+    oneof
+      [
+        map (fun r -> `Alloc r) (int_bound (nregs - 1));
+        map
+          (fun (r1, r2) -> `Mov (r1, r2))
+          (pair (int_bound (nregs - 1)) (int_bound (nregs - 1)));
+        map
+          (fun (r1, r2, k) -> `Load (r1, r2, k))
+          (triple
+             (int_bound (nregs - 1))
+             (int_bound (nregs - 1))
+             (int_bound (slots - 1)));
+        map
+          (fun (r1, r2, k) -> `Store (r1, r2, k))
+          (triple
+             (int_bound (nregs - 1))
+             (int_bound (nregs - 1))
+             (int_bound (slots - 1)));
+        map (fun b -> `Step b) (int_bound 300);
+      ])
+
+let prop_satb_superset =
+  QCheck.Test.make ~count:120
+    ~name:"SATB: cycle-start reachable set survives arbitrary slicing"
+    (QCheck.list_of_size (QCheck.Gen.int_range 10 150) op)
+    (fun ops ->
+      let h = Heap.create () in
+      h.Heap.config.Heap.incremental <- true;
+      let regs = Array.make nregs 0 in
+      let mirror = Hashtbl.create 64 in
+      let snapshot = ref [] in
+      let in_cycle = ref false in
+      let roots () = Array.to_list regs in
+      let check_complete () =
+        in_cycle := false;
+        List.iter
+          (fun a ->
+            if Heap.base_of h a <> Some a then
+              QCheck.Test.fail_reportf
+                "object %#x reachable at cycle start was collected" a)
+          !snapshot;
+        match Heap.check_integrity h with
+        | [] -> ()
+        | vs ->
+            QCheck.Test.fail_reportf "heap integrity: %s"
+              (String.concat "; "
+                 (List.map
+                    (fun v -> Format.asprintf "%a" Heap.pp_violation v)
+                    vs))
+      in
+      List.iter
+        (fun operation ->
+          match operation with
+          | `Alloc r ->
+              let a = Heap.alloc h (8 * slots) in
+              Hashtbl.replace mirror a (Array.make slots 0);
+              regs.(r) <- a
+          | `Mov (r1, r2) -> regs.(r1) <- regs.(r2)
+          | `Load (r1, r2, k) ->
+              if Hashtbl.mem mirror regs.(r2) then
+                regs.(r1) <- read_slot h regs.(r2) k
+          | `Store (r1, r2, k) ->
+              if Hashtbl.mem mirror regs.(r2) then begin
+                write_slot h regs.(r2) k regs.(r1);
+                (Hashtbl.find mirror regs.(r2)).(k) <- regs.(r1)
+              end
+          | `Step b ->
+              h.Heap.config.Heap.pause_budget_words <- max 1 b;
+              if not (Incremental.active h) then begin
+                (* this step takes the snapshot: record what is
+                   reachable right now *)
+                let seen = reachable mirror (roots ()) in
+                snapshot := Hashtbl.fold (fun a () acc -> a :: acc) seen [];
+                in_cycle := true
+              end;
+              ignore (Incremental.step ~extra_roots:(roots ()) h);
+              if !in_cycle && not (Incremental.active h) then
+                check_complete ())
+        ops;
+      if Incremental.active h then begin
+        Incremental.finish ~extra_roots:(roots ()) h;
+        check_complete ()
+      end;
+      true)
+
+(* --- the SATB barrier, pointwise -------------------------------------- *)
+
+let fresh () = Heap.create ()
+
+(* Drive the in-flight cycle to completion, one tiny step at a time,
+   guarding against non-termination. *)
+let finish_counted ?(cap = 1_000_000) h ~extra_roots =
+  let steps = ref 0 in
+  while Incremental.active h do
+    incr steps;
+    if !steps > cap then Alcotest.fail "incremental cycle does not terminate";
+    ignore (Incremental.step ~extra_roots h)
+  done;
+  !steps
+
+let test_barrier_keeps_overwritten_alive () =
+  let h = fresh () in
+  h.Heap.config.Heap.pause_budget_words <- 1;
+  let a = Heap.alloc h 16 in
+  let b = Heap.alloc h 16 in
+  write_slot h a 0 b;
+  (* snapshot: only [a] is a root; [b] reachable through it *)
+  ignore (Incremental.step ~extra_roots:[ a ] h);
+  Alcotest.(check bool) "cycle in flight" true (Incremental.active h);
+  (* sever the only link mid-cycle: the barrier must gray the old value *)
+  write_slot h a 0 0;
+  Alcotest.(check bool) "barrier fired" true
+    (h.Heap.stats.Heap.barrier_grays >= 1);
+  ignore (finish_counted h ~extra_roots:[ a ]);
+  Alcotest.(check (option int)) "snapshot object survives its cycle" (Some b)
+    (Heap.base_of h b);
+  (* the next cycle sees it unreachable and reclaims it *)
+  ignore (Incremental.step ~extra_roots:[ a ] h);
+  ignore (finish_counted h ~extra_roots:[ a ]);
+  Alcotest.(check (option int)) "floating garbage dies next cycle" None
+    (Heap.base_of h b)
+
+let test_allocate_black () =
+  let h = fresh () in
+  h.Heap.config.Heap.pause_budget_words <- 1;
+  let root = Heap.alloc h 16 in
+  ignore (Incremental.step ~extra_roots:[ root ] h);
+  (* allocated mid-cycle, never stored anywhere: born black *)
+  let tmp = Heap.alloc h 16 in
+  ignore (finish_counted h ~extra_roots:[ root ]);
+  Alcotest.(check (option int)) "mid-cycle allocation survives" (Some tmp)
+    (Heap.base_of h tmp);
+  ignore (Incremental.step ~extra_roots:[ root ] h);
+  ignore (finish_counted h ~extra_roots:[ root ]);
+  Alcotest.(check (option int)) "and dies the following cycle" None
+    (Heap.base_of h tmp)
+
+let test_tiny_budget_terminates () =
+  let h = fresh () in
+  h.Heap.config.Heap.pause_budget_words <- 1;
+  let keep = ref [] in
+  for i = 0 to 199 do
+    let a = Heap.alloc h 24 in
+    (* keep two of every three; the rest is garbage for the sweep *)
+    if i mod 3 <> 0 then keep := a :: !keep
+  done;
+  ignore (Incremental.step ~extra_roots:!keep h);
+  let steps = finish_counted h ~extra_roots:!keep in
+  Alcotest.(check bool) "word-at-a-time cycle really is sliced" true
+    (steps > 10);
+  List.iter
+    (fun a ->
+      Alcotest.(check (option int)) "kept object survives" (Some a)
+        (Heap.base_of h a))
+    !keep;
+  Alcotest.(check int) "garbage reclaimed" 67
+    h.Heap.stats.Heap.objects_freed;
+  Alcotest.(check int) "integrity clean" 0
+    (List.length (Heap.check_integrity h))
+
+let test_full_collection_abandons_soundly () =
+  let h = fresh () in
+  h.Heap.config.Heap.pause_budget_words <- 1;
+  let root = Heap.alloc h 16 in
+  ignore (Incremental.step ~extra_roots:[ root ] h);
+  Alcotest.(check bool) "cycle in flight" true (Incremental.active h);
+  (* an emergency/explicit/forced collection lands mid-cycle *)
+  ignore (Heap.collect ~extra_roots:[ root ] h);
+  Alcotest.(check bool) "cycle abandoned" false (Incremental.active h);
+  Alcotest.(check int) "abandon counted" 1
+    h.Heap.stats.Heap.abandoned_cycles;
+  Alcotest.(check (option int)) "root survives the full collection"
+    (Some root) (Heap.base_of h root);
+  Alcotest.(check int) "integrity clean" 0
+    (List.length (Heap.check_integrity h))
+
+(* --- mode identity over random programs ------------------------------- *)
+
+let digest gc_mode ~budget ~schedule src =
+  let req =
+    Harness.Request.make ~config:Harness.Build.Safe ~gc_mode
+      ~gc_pause_budget:budget ~schedule ~check_integrity:true
+      ~final_collect:true src
+  in
+  let b =
+    Harness.Build.compile
+      ~options:(Harness.Request.build_options req)
+      Harness.Build.Safe src
+  in
+  match Harness.Measure.exec req b with
+  | Harness.Measure.Ran r ->
+      Printf.sprintf "%s|exit=%d|live=%d/%d" r.Harness.Measure.o_output
+        r.Harness.Measure.o_exit r.Harness.Measure.o_live_objects
+        r.Harness.Measure.o_live_bytes
+  | o -> "<" ^ Harness.Measure.describe o ^ ">"
+
+let prop_modes_identical =
+  QCheck.Test.make ~count:20
+    ~name:"random programs: stw == gen == inc under schedule sweeps"
+    Testgen.arbitrary_program
+    (fun src ->
+      List.for_all
+        (fun schedule ->
+          let base = digest Gcheap.Heap.Stw ~budget:64 ~schedule src in
+          digest Gcheap.Heap.Gen ~budget:64 ~schedule src = base
+          && digest Gcheap.Heap.Inc ~budget:64 ~schedule src = base
+          && digest Gcheap.Heap.Inc ~budget:7 ~schedule src = base)
+        [
+          Machine.Schedule.Auto;
+          Machine.Schedule.Every 3;
+          Machine.Schedule.Every 17;
+          Machine.Schedule.At_allocs;
+        ])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_satb_superset;
+    Alcotest.test_case "barrier keeps overwritten value alive" `Quick
+      test_barrier_keeps_overwritten_alive;
+    Alcotest.test_case "allocation during a cycle is black" `Quick
+      test_allocate_black;
+    Alcotest.test_case "budget-1 cycle terminates and sweeps" `Quick
+      test_tiny_budget_terminates;
+    Alcotest.test_case "full collection abandons the cycle" `Quick
+      test_full_collection_abandons_soundly;
+    QCheck_alcotest.to_alcotest prop_modes_identical;
+  ]
