@@ -1286,6 +1286,210 @@ let incremental () =
        ]);
   print_newline ()
 
+(* --- observability: flight recorder, event stream, phase tracing,
+   census (BENCH_9.json) --------------------------------------------------- *)
+
+(* The observability plane's acceptance run.  A bombardment streams
+   windowed JSON lines and fills the service flight recorder; the
+   summary gates on (a) the per-phase identity — queue_wait + build +
+   vm = end-to-end latency, exactly, for every completion; (b) zero
+   dropped ring events at the default capacity; (c) a burn rate on
+   every window line; (d) the dump validating under the trace checker;
+   (e) the pause metric responding to the budget sweep while tick
+   latency stays put; and (f) cycles bit-identical with the full plane
+   attached (recorder + metrics + census). *)
+
+let bench9_data : (string * Telemetry.Json.t) list ref = ref []
+
+let record9 key v = bench9_data := (key, v) :: !bench9_data
+
+let write_bench9_json () =
+  if !bench9_data <> [] then begin
+    let doc = Telemetry.Json.Obj (List.rev !bench9_data) in
+    Out_channel.with_open_text "BENCH_9.json" (fun oc ->
+        Out_channel.output_string oc (Telemetry.Json.to_string doc ^ "\n"));
+    Printf.printf "wrote BENCH_9.json\n"
+  end
+
+let observability () =
+  print_endline
+    "== Observability: flight recorder, event stream, phase tracing, census \
+     ==";
+  let machine = Machine.Machdesc.sparc10 in
+  let counter snap name =
+    match Telemetry.Metrics.find snap name with
+    | Some (Telemetry.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  (* the bombardment: stream + ring under generated traffic *)
+  print_endline "-- bombardment: event stream and flight-recorder ring";
+  let windows = ref 0 and events = ref 0 and burn_missing = ref 0 in
+  let t =
+    Service.Gcsafed.create
+      ~events:(fun line ->
+        match Telemetry.Json.member "type" line with
+        | Some (Telemetry.Json.Str "window") ->
+            incr windows;
+            if Telemetry.Json.member "burn_rate" line = None then
+              incr burn_missing
+        | Some (Telemetry.Json.Str "event") -> incr events
+        | _ -> ())
+      Service.Gcsafed.default_config
+  in
+  List.iter
+    (fun (arrival, req) -> Service.Gcsafed.submit ~arrival t req)
+    (Service.Trafficgen.generate
+       {
+         Service.Trafficgen.default_spec with
+         Service.Trafficgen.g_requests = 120;
+         g_seed = 3;
+         g_mix = Service.Trafficgen.Generated;
+         g_chaos_percent = 20;
+       });
+  Service.Gcsafed.shutdown t;
+  let ring = Service.Gcsafed.recorder t in
+  let dropped = Telemetry.Flight_recorder.dropped ring in
+  let dump_valid =
+    Telemetry.Flight_recorder.check (Service.Gcsafed.dump t) = Ok ()
+  in
+  let phase_sum_ok =
+    List.for_all
+      (fun c ->
+        c.Service.Gcsafed.r_queue_wait + c.Service.Gcsafed.r_build_ticks
+        + c.Service.Gcsafed.r_vm_ticks
+        = c.Service.Gcsafed.r_finish - c.Service.Gcsafed.r_arrival)
+      (Service.Gcsafed.completions t)
+  in
+  Printf.printf
+    "  %d window line(s), %d event line(s), %d dropped, dump %s, phase \
+     identity %s\n"
+    !windows !events dropped
+    (if dump_valid then "valid" else "INVALID")
+    (if phase_sum_ok then "exact" else "BROKEN");
+  record9 "events"
+    (Telemetry.Json.Obj
+       [
+         ("windows", Telemetry.Json.Int !windows);
+         ("events", Telemetry.Json.Int !events);
+         ("recorded", Telemetry.Json.Int (Telemetry.Flight_recorder.recorded ring));
+         ("dropped", Telemetry.Json.Int dropped);
+         ("burn_rate_present", Telemetry.Json.Bool (!burn_missing = 0));
+         ("dump_valid", Telemetry.Json.Bool dump_valid);
+       ]);
+  record9 "phase_sum_ok" (Telemetry.Json.Bool phase_sum_ok);
+  (* the budget sweep: per-phase breakdown and the responding pause
+     metric over the paper workloads *)
+  print_endline "-- per-phase latency and worst pause per --gc-pause-budget";
+  let budgets = [ 64; 256; 1024; 4096 ] in
+  let sweep budget =
+    let t = Service.Gcsafed.create Service.Gcsafed.default_config in
+    List.iteri
+      (fun i w ->
+        Service.Gcsafed.submit ~arrival:(i * 1000) t
+          (Harness.Request.make ~label:w.Workloads.Registry.w_name
+             ~config:Harness.Build.Safe ~machine ~gc_mode:Gcheap.Heap.Inc
+             ~gc_pause_budget:budget ~gc_threshold:16384
+             w.Workloads.Registry.w_source))
+      Workloads.Registry.paper_suite;
+    Service.Gcsafed.shutdown t;
+    let rp = Service.Gcsafed.report t in
+    if rp.Service.Gcsafed.rp_unexpected > 0 then
+      failwith "unexpected outcome in the observability budget sweep";
+    rp
+  in
+  let rows =
+    List.map
+      (fun budget ->
+        let rp = sweep budget in
+        Printf.printf
+          "  budget %5d: queue_wait %d  build %d  vm %d  (latency %d)  max \
+           pause %5d words  burn %.3f\n"
+          budget rp.Service.Gcsafed.rp_queue_wait
+          rp.Service.Gcsafed.rp_build_ticks rp.Service.Gcsafed.rp_vm_ticks
+          rp.Service.Gcsafed.rp_total_latency
+          rp.Service.Gcsafed.rp_gc_max_pause_words
+          (Service.Gcsafed.burn_rate rp);
+        (budget, rp))
+      budgets
+  in
+  let pauses =
+    List.map (fun (_, rp) -> rp.Service.Gcsafed.rp_gc_max_pause_words) rows
+  in
+  let latencies =
+    List.map (fun (_, rp) -> rp.Service.Gcsafed.rp_total_latency) rows
+  in
+  let pause_responds = List.length (List.sort_uniq compare pauses) >= 2 in
+  let latency_invariant =
+    List.length (List.sort_uniq compare latencies) = 1
+  in
+  if not pause_responds then
+    failwith "worst pause did not respond to the budget sweep";
+  if not latency_invariant then
+    failwith "tick latency moved across pause budgets (ablation hazard)";
+  record9 "budgets"
+    (Telemetry.Json.Obj
+       (List.map
+          (fun (budget, rp) ->
+            ( string_of_int budget,
+              Telemetry.Json.Obj
+                [
+                  ( "queue_wait_ticks",
+                    Telemetry.Json.Int rp.Service.Gcsafed.rp_queue_wait );
+                  ( "build_ticks",
+                    Telemetry.Json.Int rp.Service.Gcsafed.rp_build_ticks );
+                  ("vm_ticks", Telemetry.Json.Int rp.Service.Gcsafed.rp_vm_ticks);
+                  ( "total_latency",
+                    Telemetry.Json.Int rp.Service.Gcsafed.rp_total_latency );
+                  ( "gc_max_pause_words",
+                    Telemetry.Json.Int rp.Service.Gcsafed.rp_gc_max_pause_words
+                  );
+                  ( "gc_total_pause_words",
+                    Telemetry.Json.Int
+                      rp.Service.Gcsafed.rp_gc_total_pause_words );
+                  ( "burn_rate",
+                    Telemetry.Json.Float (Service.Gcsafed.burn_rate rp) );
+                ] ))
+          rows));
+  record9 "pause_responds" (Telemetry.Json.Bool pause_responds);
+  record9 "latency_budget_invariant" (Telemetry.Json.Bool latency_invariant);
+  (* ablation: the full plane attached must not move a cycle *)
+  print_endline "-- ablation: cycles with the full plane attached";
+  let identical =
+    List.for_all
+      (fun w ->
+        let req =
+          Harness.Request.make ~config:Harness.Build.Safe ~machine
+            ~gc_threshold:16384 w.Workloads.Registry.w_source
+        in
+        let b =
+          Harness.Build.compile
+            ~options:(Harness.Request.build_options req)
+            Harness.Build.Safe w.Workloads.Registry.w_source
+        in
+        let run ?telemetry ?census () =
+          match Harness.Measure.exec ?telemetry ?census req b with
+          | Harness.Measure.Ran r -> r.Harness.Measure.o_cycles
+          | o -> failwith (Harness.Measure.describe o)
+        in
+        let off = run () in
+        let recorder = Telemetry.Flight_recorder.create () in
+        let metrics = Telemetry.Metrics.create () in
+        let on_ =
+          run
+            ~telemetry:(Telemetry.Sink.make ~metrics ~recorder ())
+            ~census:true ()
+        in
+        Printf.printf "  %-10s %d cycles %s\n" w.Workloads.Registry.w_name off
+          (if off = on_ then "(identical)" else "(PERTURBED)");
+        ignore (counter (Telemetry.Metrics.snapshot metrics) "vm/steps");
+        off = on_)
+      Workloads.Registry.paper_suite
+  in
+  if not identical then failwith "observability plane perturbed execution";
+  record9 "ablation"
+    (Telemetry.Json.Obj [ ("identical", Telemetry.Json.Bool identical) ]);
+  print_newline ()
+
 (* --- stress: sanitizer overhead and schedule-divergence scan ------------- *)
 
 let stress () =
@@ -1359,7 +1563,7 @@ let () =
         [
           "t1"; "t2"; "t3"; "t4"; "t5"; "cache"; "a1"; "hazard"; "ablate";
           "ablate-analysis"; "ablate-telemetry"; "profile"; "gcmodes";
-          "resilience"; "incremental";
+          "resilience"; "incremental"; "observability";
         ]
     | args -> args
   in
@@ -1382,6 +1586,7 @@ let () =
         | "gcmodes" -> Some gcmodes
         | "resilience" -> Some resilience
         | "incremental" -> Some incremental
+        | "observability" -> Some observability
         | "stress" -> Some stress
         | "micro" -> Some micro
         | s ->
@@ -1393,4 +1598,5 @@ let () =
   write_bench_json ();
   write_bench5_json ();
   write_bench6_json ();
-  write_bench8_json ()
+  write_bench8_json ();
+  write_bench9_json ()

@@ -10,9 +10,14 @@
                  (--chaos adds allocation-failure, worker-fault and
                  cache-corruption sweeps)
      profile     allocation-site heap profile (drag, peak-live) per analysis
-     trace-check validate a Chrome trace-event JSON file
+     trace-check validate a Chrome trace-event JSON file or a
+                 flight-recorder dump
+     heap-census per-collection heap census: size classes, free-page pool,
+                 ages, card-table dirty ratio, fragmentation
      serve       service harness over a JSON-lines request stream (stdin)
      bomb        open-loop request bombardment with a deterministic report
+                 (--events streams windowed metrics + flight-recorder
+                 events; --flight-dump ships the ring)
 
    Exit codes (see Harness.Diagnostics): 0 success, 1 finding/divergence,
    2 source or input error, 3 runtime fault detected, 4 resource limit,
@@ -648,8 +653,10 @@ let stress_cmd =
   in
   let trace_dir_arg =
     let doc =
-      "Replay every finding's failing schedule under a span tracer and \
-       write the Chrome traces into $(docv) (created on demand)."
+      "Replay every finding's failing schedule under a span tracer plus a \
+       flight recorder and write the Chrome traces and flight-recorder \
+       dumps into $(docv) (created on demand).  With --chaos, findings' \
+       injected runs are replayed under the flight recorder alone."
     in
     Arg.(
       value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
@@ -732,6 +739,7 @@ let stress_cmd =
               Stress.Chaos.c_seed = chaos_seed;
               Stress.Chaos.c_max_points = chaos_points;
               Stress.Chaos.c_jobs = jobs;
+              Stress.Chaos.c_flight_dir = trace_dir;
             }
           in
           let report = Stress.Chaos.run ~plan resolved in
@@ -959,15 +967,134 @@ let trace_check_cmd =
         | Error e ->
             Printf.eprintf "%s: JSON parse error: %s\n" file e;
             exit 2
-        | Ok doc -> (
-            match Telemetry.Trace.check doc with
-            | Ok () -> Printf.printf "%s: valid trace\n" file
-            | Error e ->
-                Printf.eprintf "%s: invalid trace: %s\n" file e;
-                exit 1))
+        | Ok doc ->
+            if Telemetry.Flight_recorder.is_dump doc then (
+              match Telemetry.Flight_recorder.check doc with
+              | Ok () ->
+                  Printf.printf "%s: valid flight-recorder dump\n" file
+              | Error e ->
+                  Printf.eprintf "%s: invalid flight-recorder dump: %s\n" file
+                    e;
+                  exit 1)
+            else (
+              match Telemetry.Trace.check doc with
+              | Ok () -> Printf.printf "%s: valid trace\n" file
+              | Error e ->
+                  Printf.eprintf "%s: invalid trace: %s\n" file e;
+                  exit 1))
   in
-  let doc = "validate a Chrome trace-event JSON file (structure and span nesting)" in
+  let doc =
+    "validate a Chrome trace-event JSON file or a flight-recorder dump \
+     (structure, span nesting, ring coherence)"
+  in
   Cmd.v (Cmd.info "trace-check" ~doc) Term.(const run $ file_arg)
+
+(* --- heap-census ------------------------------------------------------------- *)
+
+let heap_census_cmd =
+  let json_arg =
+    let doc = "Emit the censuses as one JSON document instead of tables." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let threshold_arg =
+    let doc = "Allocation volume (bytes) between automatic collections." in
+    Arg.(
+      value & opt (some int) None & info [ "gc-threshold" ] ~docv:"BYTES" ~doc)
+  in
+  let pause_budget_arg =
+    let doc =
+      "Incremental-mode pause budget (words per increment); only meaningful \
+       with --gc-mode inc."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gc-pause-budget" ] ~docv:"WORDS" ~doc)
+  in
+  let workload_arg =
+    let doc = "Census a registered workload instead of a FILE." in
+    Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"NAME" ~doc)
+  in
+  let opt_file_arg =
+    let doc = "C source file ('-' for standard input)." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run config machine analysis gc_mode gc_threshold gc_pause_budget
+      heap_limit oom_policy json no_cache workload file =
+    handle_errors (fun () ->
+        apply_cache_flag no_cache;
+        let source_name, src =
+          match (workload, file) with
+          | Some w, None -> (
+              match Workloads.Registry.by_name w with
+              | Some wl -> (w, wl.Workloads.Registry.w_source)
+              | None ->
+                  Printf.eprintf "unknown workload: %s\n" w;
+                  exit 2)
+          | None, Some f -> (f, read_input f)
+          | Some _, Some _ ->
+              Printf.eprintf "give either FILE or --workload, not both\n";
+              exit 2
+          | None, None ->
+              Printf.eprintf "a FILE argument or --workload is required\n";
+              exit 2
+        in
+        let req =
+          Harness.Request.make ~config ~machine ~analysis ~gc_mode
+            ~final_collect:true ?gc_threshold ?gc_pause_budget ~heap_limit
+            ~oom_policy src
+        in
+        let b =
+          Harness.Build.compile
+            ~options:(Harness.Request.build_options req)
+            config src
+        in
+        match Harness.Measure.exec ~census:true req b with
+        | Harness.Measure.Ran r ->
+            let censuses = r.Harness.Measure.o_census in
+            if json then
+              print_endline
+                (Telemetry.Json.to_string
+                   (Telemetry.Json.Obj
+                      [
+                        ("file", Telemetry.Json.Str source_name);
+                        ( "config",
+                          Telemetry.Json.Str (Harness.Build.config_name config)
+                        );
+                        ( "machine",
+                          Telemetry.Json.Str machine.Machine.Machdesc.md_name
+                        );
+                        ( "gc_mode",
+                          Telemetry.Json.Str (Gcheap.Heap.gc_mode_name gc_mode)
+                        );
+                        ("collections", Telemetry.Json.Int (List.length censuses));
+                        ( "censuses",
+                          Telemetry.Json.List
+                            (List.map Harness.Measure.census_to_json censuses)
+                        );
+                      ]))
+            else if censuses = [] then
+              print_endline "no collections ran, so no census was sampled"
+            else
+              List.iter
+                (fun c -> Format.printf "%a@." Gcheap.Census.pp c)
+                censuses
+        | o ->
+            let outcome, message = Harness.Diagnostics.of_measure o in
+            Harness.Diagnostics.report outcome message;
+            exit (Harness.Diagnostics.exit_code outcome))
+  in
+  let doc =
+    "run a program and print the per-collection heap census: size-class \
+     occupancy, free-page pool, age histogram, card-table dirty ratio and \
+     fragmentation"
+  in
+  Cmd.v
+    (Cmd.info "heap-census" ~doc)
+    Term.(
+      const run $ config_arg $ machine_arg $ analysis_arg $ gc_mode_arg
+      $ threshold_arg $ pause_budget_arg $ heap_limit_arg $ oom_policy_arg
+      $ json_arg $ no_cache_arg $ workload_arg $ opt_file_arg)
 
 (* --- tables ------------------------------------------------------------------ *)
 
@@ -1025,6 +1152,65 @@ let write_report_json path t ~wall_s =
         (Service.Gcsafed.report_to_json ~wall_s t);
       output_char oc '\n')
 
+let events_arg =
+  let doc =
+    "Stream observability JSON lines to $(docv) ('-' for standard error): \
+     flight-recorder events interleaved with windowed metric snapshots \
+     (counter deltas, gauges, histogram deltas with percentiles, SLO \
+     burn rate) on the virtual clock.  Deterministic across --jobs."
+  in
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+
+let window_arg =
+  let doc = "Virtual ticks per --events metrics window." in
+  Arg.(
+    value
+    & opt int Telemetry.Stream.default_window
+    & info [ "window" ] ~docv:"TICKS" ~doc)
+
+let flight_dump_arg =
+  let doc =
+    "Write the service flight-recorder dump (the last-N structured events, \
+     validated by trace-check) to $(docv).  Without this flag a dump is \
+     still written to gcsafed-flight.json whenever the run ends with \
+     unexpected outcomes."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+
+(* The emitter writes one JSON value per line; the channel stays open for
+   the service's whole lifetime (windows flush on shutdown). *)
+let with_events_emitter events f =
+  match events with
+  | None -> f None
+  | Some "-" ->
+      f (Some (fun json -> prerr_endline (Telemetry.Json.to_string json)))
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          f
+            (Some
+               (fun json ->
+                 Telemetry.Json.to_channel oc json;
+                 output_char oc '\n')))
+
+(* Dump-on-anomaly: an unexpected outcome always ships with its flight
+   recorder — to the named file when --flight-dump was given, to a
+   default path (announced on stderr) otherwise. *)
+let write_flight_dump t ~flight_dump ~unexpected =
+  match flight_dump with
+  | Some path ->
+      Telemetry.Flight_recorder.write_file (Service.Gcsafed.recorder t) path
+  | None ->
+      if unexpected > 0 then begin
+        let path = "gcsafed-flight.json" in
+        Telemetry.Flight_recorder.write_file (Service.Gcsafed.recorder t)
+          path;
+        Printf.eprintf
+          "gcsafec: %d unexpected outcome(s); flight-recorder dump written \
+           to %s\n"
+          unexpected path
+      end
+
 let serve_cmd =
   (* resolve {"workload": NAME} / {"example": NAME} source shorthands
      before deserializing — the wire format proper only knows "source" *)
@@ -1070,7 +1256,7 @@ let serve_cmd =
                 in
                 Ok (arrival, req)))
   in
-  let run servers queue jobs no_cache json_out =
+  let run servers queue jobs no_cache json_out events window flight_dump =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let t0 = Unix.gettimeofday () in
@@ -1085,44 +1271,51 @@ let serve_cmd =
               else Some (parse_line line))
             lines
         in
-        Exec.Pool.with_pool ~jobs (fun pool ->
-            let t =
-              Service.Gcsafed.create ~pool (service_config servers queue)
-            in
-            List.iter
-              (function
-                | Ok (arrival, req) ->
-                    Service.Gcsafed.submit ?arrival t req
-                | Error _ -> ())
-              items;
-            Service.Gcsafed.shutdown t;
-            (* one outcome line per input line, in input order *)
-            let completions = ref (Service.Gcsafed.completions t) in
-            List.iter
-              (fun item ->
-                let outcome =
-                  match item with
-                  | Error e -> Harness.Outcome.Source_error e
-                  | Ok _ -> (
-                      match !completions with
-                      | c :: rest ->
-                          completions := rest;
-                          c.Service.Gcsafed.r_outcome
-                      | [] -> Harness.Outcome.Internal "missing completion")
+        with_events_emitter events (fun emit ->
+            Exec.Pool.with_pool ~jobs (fun pool ->
+                let t =
+                  Service.Gcsafed.create ~pool ?events:emit ~window
+                    (service_config servers queue)
                 in
-                print_endline
-                  (Telemetry.Json.to_string (Harness.Outcome.to_json outcome)))
-              items;
-            let report = Service.Gcsafed.report t in
-            Format.eprintf "%a@." Service.Gcsafed.pp_report report;
-            Option.iter
-              (fun path ->
-                write_report_json path t ~wall_s:(Unix.gettimeofday () -. t0))
-              json_out;
-            if report.Service.Gcsafed.rp_unexpected > 0 then
-              exit
-                (Harness.Diagnostics.exit_code
-                   Harness.Diagnostics.Internal_error)))
+                List.iter
+                  (function
+                    | Ok (arrival, req) ->
+                        Service.Gcsafed.submit ?arrival t req
+                    | Error _ -> ())
+                  items;
+                Service.Gcsafed.shutdown t;
+                (* one outcome line per input line, in input order *)
+                let completions = ref (Service.Gcsafed.completions t) in
+                List.iter
+                  (fun item ->
+                    let outcome =
+                      match item with
+                      | Error e -> Harness.Outcome.Source_error e
+                      | Ok _ -> (
+                          match !completions with
+                          | c :: rest ->
+                              completions := rest;
+                              c.Service.Gcsafed.r_outcome
+                          | [] ->
+                              Harness.Outcome.Internal "missing completion")
+                    in
+                    print_endline
+                      (Telemetry.Json.to_string
+                         (Harness.Outcome.to_json outcome)))
+                  items;
+                let report = Service.Gcsafed.report t in
+                Format.eprintf "%a@." Service.Gcsafed.pp_report report;
+                Option.iter
+                  (fun path ->
+                    write_report_json path t
+                      ~wall_s:(Unix.gettimeofday () -. t0))
+                  json_out;
+                write_flight_dump t ~flight_dump
+                  ~unexpected:report.Service.Gcsafed.rp_unexpected;
+                if report.Service.Gcsafed.rp_unexpected > 0 then
+                  exit
+                    (Harness.Diagnostics.exit_code
+                       Harness.Diagnostics.Internal_error))))
   in
   let doc =
     "run the service harness over a stream of JSON requests (one object per \
@@ -1134,7 +1327,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ servers_arg $ queue_arg $ jobs_arg $ no_cache_arg
-      $ report_json_arg)
+      $ report_json_arg $ events_arg $ window_arg $ flight_dump_arg)
 
 (* --- bomb -------------------------------------------------------------------- *)
 
@@ -1184,7 +1377,7 @@ let bomb_cmd =
       & info [ "chaos" ] ~docv:"PCT" ~doc)
   in
   let run requests mix seed interarrival chaos servers queue jobs no_cache
-      json_out =
+      json_out events window flight_dump =
     handle_errors (fun () ->
         apply_cache_flag no_cache;
         let spec =
@@ -1205,24 +1398,30 @@ let bomb_cmd =
           else stream
         in
         let t0 = Unix.gettimeofday () in
-        Exec.Pool.with_pool ~jobs (fun pool ->
-            let t =
-              Service.Gcsafed.create ~pool (service_config servers queue)
-            in
-            List.iter
-              (fun (arrival, req) -> Service.Gcsafed.submit ~arrival t req)
-              stream;
-            Service.Gcsafed.shutdown t;
-            let wall_s = Unix.gettimeofday () -. t0 in
-            let report = Service.Gcsafed.report t in
-            Format.printf "%a@." Service.Gcsafed.pp_report report;
-            Printf.eprintf "wall: %.2fs, %.1f requests/s\n" wall_s
-              (if wall_s > 0. then float_of_int requests /. wall_s else 0.);
-            Option.iter (fun path -> write_report_json path t ~wall_s) json_out;
-            if report.Service.Gcsafed.rp_unexpected > 0 then
-              exit
-                (Harness.Diagnostics.exit_code
-                   Harness.Diagnostics.Internal_error)))
+        with_events_emitter events (fun emit ->
+            Exec.Pool.with_pool ~jobs (fun pool ->
+                let t =
+                  Service.Gcsafed.create ~pool ?events:emit ~window
+                    (service_config servers queue)
+                in
+                List.iter
+                  (fun (arrival, req) -> Service.Gcsafed.submit ~arrival t req)
+                  stream;
+                Service.Gcsafed.shutdown t;
+                let wall_s = Unix.gettimeofday () -. t0 in
+                let report = Service.Gcsafed.report t in
+                Format.printf "%a@." Service.Gcsafed.pp_report report;
+                Printf.eprintf "wall: %.2fs, %.1f requests/s\n" wall_s
+                  (if wall_s > 0. then float_of_int requests /. wall_s else 0.);
+                Option.iter
+                  (fun path -> write_report_json path t ~wall_s)
+                  json_out;
+                write_flight_dump t ~flight_dump
+                  ~unexpected:report.Service.Gcsafed.rp_unexpected;
+                if report.Service.Gcsafed.rp_unexpected > 0 then
+                  exit
+                    (Harness.Diagnostics.exit_code
+                       Harness.Diagnostics.Internal_error))))
   in
   let doc =
     "generate an open-loop request bombardment and report steady-state \
@@ -1234,7 +1433,7 @@ let bomb_cmd =
     Term.(
       const run $ requests_arg $ mix_arg $ seed_arg $ interarrival_arg
       $ chaos_arg $ servers_arg $ queue_arg $ jobs_arg $ no_cache_arg
-      $ report_json_arg)
+      $ report_json_arg $ events_arg $ window_arg $ flight_dump_arg)
 
 let () =
   let doc = "GC-safety preprocessor for C (Boehm, PLDI 1996)" in
@@ -1251,6 +1450,7 @@ let () =
             stress_cmd;
             profile_cmd;
             trace_check_cmd;
+            heap_census_cmd;
             serve_cmd;
             bomb_cmd;
           ]))

@@ -282,7 +282,7 @@ let handle_incident (s : sup_state) settle (idx, k, reason) =
     None
   end
 
-let map_supervised t ?(policy = default_policy) f xs =
+let supervised_run t policy f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
   let s =
@@ -410,3 +410,33 @@ let map_supervised t ?(policy = default_policy) f xs =
     List.iter Domain.join !doms;
     finish ()
   end
+
+(* Supervision observability: anomalies (retries past the first attempt,
+   quarantines) are recorded after every outcome settles, from the
+   submitting thread in input order with the input index as the
+   timestamp, so dump contents are identical on the serial and parallel
+   paths. *)
+let map_supervised t ?(policy = default_policy) ?recorder f xs =
+  let outcomes, stats = supervised_run t policy f xs in
+  (match recorder with
+  | None -> ()
+  | Some r ->
+      List.iteri
+        (fun idx o ->
+          match o with
+          | Done { attempts; _ } when attempts > 1 ->
+              Telemetry.Flight_recorder.record r ~ts:idx "pool.retry"
+                [
+                  ("index", Telemetry.Json.Int idx);
+                  ("attempts", Telemetry.Json.Int attempts);
+                ]
+          | Quarantined { reason; attempts } ->
+              Telemetry.Flight_recorder.record r ~ts:idx "pool.quarantine"
+                [
+                  ("index", Telemetry.Json.Int idx);
+                  ("attempts", Telemetry.Json.Int attempts);
+                  ("reason", Telemetry.Json.Str reason);
+                ]
+          | Done _ -> ())
+        outcomes);
+  (outcomes, stats)

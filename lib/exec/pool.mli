@@ -97,11 +97,22 @@ type sup_stats = {
 }
 
 val map_supervised :
-  t -> ?policy:policy -> (ctx -> 'a -> 'b) -> 'a list -> 'b outcome list * sup_stats
+  t ->
+  ?policy:policy ->
+  ?recorder:Telemetry.Flight_recorder.t ->
+  (ctx -> 'a -> 'b) ->
+  'a list ->
+  'b outcome list * sup_stats
 (** Supervised parallel map with deterministic, input-ordered outcomes.
     Workers are dedicated domains (the pool contributes its [jobs]
     width); with no faults, the outcomes are [Done] with [attempts = 1]
     and the values equal [map].  Tasks that keep failing transiently,
     crashing, or blowing deadlines settle as [Quarantined] after
     [policy.max_attempts] attempts; any other exception quarantines
-    immediately. *)
+    immediately.
+
+    [recorder], when given, receives one [pool.retry] event per task
+    that needed more than one attempt and one [pool.quarantine] event
+    per quarantined task, recorded after every outcome settles, in
+    input order with the input index as the timestamp — so dump
+    contents are identical on the serial and parallel paths. *)

@@ -1,0 +1,46 @@
+(** Heap census: a structural snapshot of the arena taken at collection
+    boundaries.
+
+    A census summarizes where the committed pages went — per-size-class
+    occupancy, the emergency free-page pool, the per-generation age
+    histogram, the remembered set's dirty-card ratio, and fragmentation
+    (live words over committed words).  It is a plain record with no
+    JSON dependency so the heap library stays leaf-level; rendering
+    lives in the harness ({!Harness.Measure.census_to_json}) and the
+    CLI ([gcsafec heap-census]). *)
+
+type class_row = {
+  cr_size : int;  (** rounded object size in bytes *)
+  cr_blocks : int;
+  cr_slots : int;
+  cr_allocated : int;  (** slots currently allocated *)
+}
+
+type t = {
+  cn_collections : int;  (** collections completed when sampled *)
+  cn_phase : string;  (** ["idle"] / ["marking"] / ["sweeping"] *)
+  cn_classes : class_row list;  (** sorted by size, large blocks included *)
+  cn_free_page_runs : int;  (** runs in the emergency reclaim pool *)
+  cn_free_pages : int;  (** total pages in the pool *)
+  cn_age : int array;
+      (** collectable live objects by age; the last bucket clips at
+          [promote_after] (the old generation) *)
+  cn_young : int;
+  cn_old : int;
+  cn_dirty_cards : int;
+  cn_cards : int;  (** total cards (one per arena page) *)
+  cn_live_words : int;  (** allocated slots, rounded sizes, in words *)
+  cn_committed_words : int;  (** arena footprint in words *)
+}
+
+val take : Heap.t -> t
+(** Sample the heap.  Read-only: never allocates from, collects, or
+    otherwise perturbs the heap being sampled. *)
+
+val fragmentation : t -> float
+(** [live / committed]; 1.0 for an empty arena. *)
+
+val dirty_ratio : t -> float
+(** [dirty_cards / cards]; 0.0 when there are no cards. *)
+
+val pp : Format.formatter -> t -> unit

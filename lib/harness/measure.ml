@@ -17,6 +17,13 @@ type run_info = {
   o_increments : int;  (** incremental-marking steps run *)
   o_inc_max_pause : int;  (** largest increment, in words of work *)
   o_inc_overruns : int;  (** increments that exceeded the pause budget *)
+  o_gc_max_pause_words : int;
+      (** largest single GC pause on the words-of-work clock (any mode;
+          tracked unconditionally) *)
+  o_gc_total_pause_words : int;
+  o_census : Gcheap.Census.t list;
+      (** per-collection heap censuses, oldest first; empty unless
+          [exec ~census:true] *)
 }
 
 type outcome =
@@ -40,8 +47,8 @@ let describe = function
 
 (** Execute a built program under a {!Request.t} — the canonical
     runner; every other entry point is sugar over this one. *)
-let exec ?gc_point_sink ?telemetry (r : Request.t) (b : Build.built) : outcome
-    =
+let exec ?gc_point_sink ?telemetry ?(census = false) (r : Request.t)
+    (b : Build.built) : outcome =
   let machine = r.Request.machine in
   let dc = Machine.Vm.default_config ~machine () in
   let config =
@@ -67,6 +74,7 @@ let exec ?gc_point_sink ?telemetry (r : Request.t) (b : Build.built) : outcome
       Machine.Vm.vm_heap_limit_words = r.Request.heap_limit;
       Machine.Vm.vm_oom_policy = r.Request.oom_policy;
       Machine.Vm.vm_alloc_failpoints = r.Request.alloc_failpoints;
+      Machine.Vm.vm_census = census;
     }
   in
   try
@@ -89,6 +97,9 @@ let exec ?gc_point_sink ?telemetry (r : Request.t) (b : Build.built) : outcome
         o_increments = r.Machine.Vm.r_heap.Gcheap.Heap.increments;
         o_inc_max_pause = r.Machine.Vm.r_heap.Gcheap.Heap.inc_max_pause_words;
         o_inc_overruns = r.Machine.Vm.r_heap.Gcheap.Heap.budget_overruns;
+        o_gc_max_pause_words = r.Machine.Vm.r_gc_max_pause_words;
+        o_gc_total_pause_words = r.Machine.Vm.r_gc_total_pause_words;
+        o_census = r.Machine.Vm.r_census;
       }
   with
   | Machine.Vm.Fault msg -> Detected msg
@@ -136,3 +147,47 @@ let base_cycles_exn = function
   | Ran r -> r.o_cycles
   | (Detected _ | Corrupted _ | Limit _ | Exhausted _) as o ->
       raise (Baseline_failed (describe o))
+
+(* The census record lives in [Gcheap] (which has no JSON dependency);
+   its wire rendering lives here, next to the layer that samples it. *)
+let census_to_json (c : Gcheap.Census.t) : Telemetry.Json.t =
+  let module Json = Telemetry.Json in
+  Json.Obj
+    [
+      ("collections", Json.Int c.Gcheap.Census.cn_collections);
+      ("phase", Json.Str c.Gcheap.Census.cn_phase);
+      ( "classes",
+        Json.List
+          (List.map
+             (fun (r : Gcheap.Census.class_row) ->
+               Json.Obj
+                 [
+                   ("size", Json.Int r.Gcheap.Census.cr_size);
+                   ("blocks", Json.Int r.Gcheap.Census.cr_blocks);
+                   ("slots", Json.Int r.Gcheap.Census.cr_slots);
+                   ("allocated", Json.Int r.Gcheap.Census.cr_allocated);
+                 ])
+             c.Gcheap.Census.cn_classes) );
+      ( "free_page_pool",
+        Json.Obj
+          [
+            ("runs", Json.Int c.Gcheap.Census.cn_free_page_runs);
+            ("pages", Json.Int c.Gcheap.Census.cn_free_pages);
+          ] );
+      ( "ages",
+        Json.List
+          (Array.to_list
+             (Array.map (fun n -> Json.Int n) c.Gcheap.Census.cn_age)) );
+      ("young", Json.Int c.Gcheap.Census.cn_young);
+      ("old", Json.Int c.Gcheap.Census.cn_old);
+      ( "cards",
+        Json.Obj
+          [
+            ("dirty", Json.Int c.Gcheap.Census.cn_dirty_cards);
+            ("total", Json.Int c.Gcheap.Census.cn_cards);
+            ("dirty_ratio", Json.Float (Gcheap.Census.dirty_ratio c));
+          ] );
+      ("live_words", Json.Int c.Gcheap.Census.cn_live_words);
+      ("committed_words", Json.Int c.Gcheap.Census.cn_committed_words);
+      ("fragmentation", Json.Float (Gcheap.Census.fragmentation c));
+    ]

@@ -17,6 +17,15 @@ type run_info = {
   o_increments : int;  (** incremental-marking steps run *)
   o_inc_max_pause : int;  (** largest increment, in words of work *)
   o_inc_overruns : int;  (** increments that exceeded the pause budget *)
+  o_gc_max_pause_words : int;
+      (** largest single GC pause on the deterministic words-of-work
+          clock — per cycle in stop-the-world/generational mode, per
+          increment in incremental mode, so it responds to the pause
+          budget.  Tracked unconditionally (telemetry on or off). *)
+  o_gc_total_pause_words : int;
+  o_census : Gcheap.Census.t list;
+      (** per-collection heap censuses, oldest first; empty unless
+          [exec ~census:true] *)
 }
 
 type outcome =
@@ -36,14 +45,15 @@ val describe : outcome -> string
 val exec :
   ?gc_point_sink:(int -> string -> unit) ->
   ?telemetry:Telemetry.Sink.t ->
+  ?census:bool ->
   Request.t ->
   Build.built ->
   outcome
 (** Execute a built program under a {!Request.t} — the canonical runner;
     the request names the machine, schedule, collector mode, pause
     budget, ceilings, OOM policy and failpoints in one value.
-    [gc_point_sink] and [telemetry] stay per-call: they are observation
-    channels, not part of the request's identity. *)
+    [gc_point_sink], [telemetry] and [census] stay per-call: they are
+    observation channels, not part of the request's identity. *)
 
 val slowdown_cell : base_cycles:int -> outcome -> string
 (** Percentage slowdown rendered as in the paper's tables ("9%",
@@ -58,3 +68,7 @@ val output : outcome -> string option
 exception Baseline_failed of string
 
 val base_cycles_exn : outcome -> int
+
+val census_to_json : Gcheap.Census.t -> Telemetry.Json.t
+(** Wire rendering of a heap census (the census record itself lives in
+    [Gcheap], which has no JSON dependency). *)

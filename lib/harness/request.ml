@@ -19,6 +19,7 @@ type t = {
   heap_limit : int;
   oom_policy : Gcheap.Heap.oom_policy;
   alloc_failpoints : Gcheap.Failpoint.t;
+  trace_id : int;
 }
 
 let make ?(label = "") ?(config = Build.Safe)
@@ -26,7 +27,7 @@ let make ?(label = "") ?(config = Build.Safe)
     ?use_cache ?(schedule = Machine.Schedule.Auto) ?(check_integrity = false)
     ?(final_collect = false) ?gc_threshold ?gc_pause_budget ?max_instrs
     ?max_heap ?(heap_limit = 0) ?(oom_policy = Gcheap.Heap.Collect_expand)
-    ?(alloc_failpoints = Gcheap.Failpoint.Never) source =
+    ?(alloc_failpoints = Gcheap.Failpoint.Never) ?(trace_id = 0) source =
   let d = Build.for_machine machine in
   {
     label;
@@ -47,6 +48,7 @@ let make ?(label = "") ?(config = Build.Safe)
     heap_limit;
     oom_policy;
     alloc_failpoints;
+    trace_id;
   }
 
 let build_options (r : t) : Build.options =
@@ -169,7 +171,8 @@ let to_json (r : t) : Json.t =
     @ opt "gc_threshold" r.gc_threshold
     @ opt "gc_pause_budget" r.gc_pause_budget
     @ opt "max_instrs" r.max_instrs
-    @ opt "max_heap" r.max_heap)
+    @ opt "max_heap" r.max_heap
+    @ opt "trace_id" (if r.trace_id = 0 then None else Some r.trace_id))
 
 let of_json (doc : Json.t) : (t, string) result =
   let ( let* ) = Result.bind in
@@ -232,9 +235,11 @@ let of_json (doc : Json.t) : (t, string) result =
   let* max_instrs = int_opt "max_instrs" in
   let* max_heap = int_opt "max_heap" in
   let* heap_limit = int_opt "heap_limit" in
+  let* trace_id = int_opt "trace_id" in
   let r =
     make ?label ?config ?machine ?analysis ?gc_mode ~loop_heuristic ~use_cache
       ?schedule ~check_integrity ~final_collect ?gc_threshold ?gc_pause_budget
-      ?max_instrs ?max_heap ?heap_limit ?oom_policy ?alloc_failpoints source
+      ?max_instrs ?max_heap ?heap_limit ?oom_policy ?alloc_failpoints ?trace_id
+      source
   in
   Ok r

@@ -33,6 +33,13 @@ type t = {
   heap_limit : int;  (** hard arena ceiling in words; 0 = unlimited *)
   oom_policy : Gcheap.Heap.oom_policy;
   alloc_failpoints : Gcheap.Failpoint.t;
+  trace_id : int;
+      (** request-scoped trace id for flight-recorder / phase-span
+          correlation; 0 (the default) means "unassigned" — the service
+          stamps a fresh one at submission.  Deliberately excluded from
+          {!cache_key} and {!matrix_key}, which derive from the build
+          options, config and source only, so tracing never perturbs
+          caching or artifact sharing. *)
 }
 
 val make :
@@ -53,6 +60,7 @@ val make :
   ?heap_limit:int ->
   ?oom_policy:Gcheap.Heap.oom_policy ->
   ?alloc_failpoints:Gcheap.Failpoint.t ->
+  ?trace_id:int ->
   string ->
   t
 (** [make source] with the harness defaults: [Safe] on sparc10,

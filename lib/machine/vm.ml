@@ -90,6 +90,11 @@ type config = {
   vm_telemetry : Telemetry.Sink.t option;
       (** metrics / span tracing / heap profiling; [None] costs one
           dead-branch test per instruction *)
+  vm_census : bool;
+      (** sample a {!Gcheap.Census} after every completed collection
+          (incremental cycles included); off by default — sampling walks
+          every block, so it is an observation knob, not part of the
+          request identity *)
 }
 
 let default_config ?(machine = Machdesc.sparc10) () =
@@ -111,6 +116,7 @@ let default_config ?(machine = Machdesc.sparc10) () =
     vm_gc_point_sink = None;
     vm_stack_bytes = 256 * 1024;
     vm_telemetry = None;
+    vm_census = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -180,6 +186,7 @@ type tele = {
   tl_on : bool;
   tl_trace : Telemetry.Trace.t option;
   tl_prof : Telemetry.Heap_profiler.t option;
+  tl_rec : Telemetry.Flight_recorder.t option;
   tl_steps : Telemetry.Metrics.counter;
   tl_dispatch : Telemetry.Metrics.counter array;  (** by {!class_of_instr} *)
   tl_gc : Telemetry.Metrics.counter;
@@ -228,6 +235,7 @@ let make_tele sink p =
     tl_on = sink <> None;
     tl_trace = trace;
     tl_prof = prof;
+    tl_rec = Telemetry.Sink.recorder sink;
     tl_steps = Telemetry.Metrics.counter m "steps";
     tl_dispatch =
       Array.map
@@ -292,6 +300,16 @@ type state = {
   mutable gc_points : (int * string) list;
       (** injected collections that actually fired: safepoint index and a
           program-location description (innermost first) *)
+  mutable gc_max_pause_words : int;
+      (** largest single GC pause this run, in words of collector work
+          (stop-the-world/generational: per cycle; incremental: per
+          step).  Tracked unconditionally — plain int stores off the
+          cycle clock — so the service can attribute latency to GC even
+          with telemetry off *)
+  mutable gc_total_pause_words : int;
+  mutable censuses : Gcheap.Census.t list;
+      (** heap censuses sampled at collection boundaries when
+          [vm_census]; reversed (newest first) *)
   tele : tele;
 }
 
@@ -306,6 +324,13 @@ type result = {
       (** fired injected collections, in execution order *)
   r_live_objects : int;  (** collectable objects alive at exit *)
   r_live_bytes : int;  (** their requested bytes *)
+  r_gc_max_pause_words : int;
+      (** largest single GC pause, words of collector work; responds to
+          the pause budget in incremental mode *)
+  r_gc_total_pause_words : int;
+  r_census : Gcheap.Census.t list;
+      (** per-collection heap censuses (oldest first); empty unless
+          [vm_census] *)
 }
 
 exception Exit_program of int
@@ -370,6 +395,9 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
     arg_queue = [];
     at_call = false;
     gc_points = [];
+    gc_max_pause_words = 0;
+    gc_total_pause_words = 0;
+    censuses = [];
     tele;
   }
 
@@ -380,6 +408,7 @@ let load (cfg : config) (p : program) (statics_relocs : (int * int) list) :
 let collect ?(trigger = "auto") ?(generation = Gcheap.Heap.Major) st =
   let tl = st.tele in
   let minor = generation = Gcheap.Heap.Minor in
+  let gen_name = if minor then "minor" else "major" in
   let t0 = if tl.tl_on then Unix.gettimeofday () else 0. in
   (match tl.tl_trace with
   | Some tr ->
@@ -387,9 +416,17 @@ let collect ?(trigger = "auto") ?(generation = Gcheap.Heap.Major) st =
         ~args:
           [
             ("trigger", Telemetry.Json.Str trigger);
-            ("gen", Telemetry.Json.Str (if minor then "minor" else "major"));
+            ("gen", Telemetry.Json.Str gen_name);
           ]
         "gc"
+  | None -> ());
+  (match tl.tl_rec with
+  | Some fr ->
+      Telemetry.Flight_recorder.record fr ~ts:st.instrs "gc.begin"
+        [
+          ("trigger", Telemetry.Json.Str trigger);
+          ("gen", Telemetry.Json.Str gen_name);
+        ]
   | None -> ());
   (match tl.tl_prof with
   | Some pr -> Telemetry.Heap_profiler.set_tick pr st.instrs
@@ -406,9 +443,35 @@ let collect ?(trigger = "auto") ?(generation = Gcheap.Heap.Major) st =
   in
   (* only the live prefix of the stack is scanned, as on a real machine *)
   let live_stack = (st.stack_base, st.stack_base + st.sp) in
-  ignore
-    (Gcheap.Heap.collect ~generation ~extra_roots:roots
-       ~extra_ranges:[ live_stack ] st.heap);
+  (* the gc.end event must land even if the collection raises (heap
+     corruption under the sanitizer), so span nesting always balances *)
+  Fun.protect
+    ~finally:(fun () ->
+      (* deterministic pause measure on the words-of-work clock: words
+         the marker traced plus words the sweeper reclaimed.  Tracked
+         unconditionally (plain int stores, no cycle impact) — this is
+         the per-request GC share the service reports *)
+      let pause_words =
+        hs.Gcheap.Heap.words_scanned - words0
+        + ((hs.Gcheap.Heap.bytes_freed - bytes0 + 7) / 8)
+      in
+      st.gc_max_pause_words <- max st.gc_max_pause_words pause_words;
+      st.gc_total_pause_words <- st.gc_total_pause_words + pause_words;
+      (match tl.tl_rec with
+      | Some fr ->
+          Telemetry.Flight_recorder.record fr ~ts:st.instrs "gc.end"
+            [
+              ("trigger", Telemetry.Json.Str trigger);
+              ("gen", Telemetry.Json.Str gen_name);
+              ("pause_words", Telemetry.Json.Int pause_words);
+            ]
+      | None -> ());
+      if st.cfg.vm_census then
+        st.censuses <- Gcheap.Census.take st.heap :: st.censuses)
+    (fun () ->
+      ignore
+        (Gcheap.Heap.collect ~generation ~extra_roots:roots
+           ~extra_ranges:[ live_stack ] st.heap));
   if tl.tl_on then begin
     let open Telemetry in
     Metrics.incr tl.tl_gc;
@@ -498,6 +561,19 @@ let incremental_step st =
   in
   let completed = hs.Gcheap.Heap.collections - collections0 in
   st.gc_count <- st.gc_count + completed;
+  (* each increment is a mutator pause of [spent] words of work *)
+  st.gc_max_pause_words <- max st.gc_max_pause_words spent;
+  st.gc_total_pause_words <- st.gc_total_pause_words + spent;
+  (match tl.tl_rec with
+  | Some fr ->
+      Telemetry.Flight_recorder.record fr ~ts:st.instrs "gc.step"
+        [
+          ("spent_words", Telemetry.Json.Int spent);
+          ("completed", Telemetry.Json.Int completed);
+        ]
+  | None -> ());
+  if st.cfg.vm_census && completed > 0 then
+    st.censuses <- Gcheap.Census.take st.heap :: st.censuses;
   if tl.tl_on then begin
     let open Telemetry in
     Metrics.incr tl.tl_gc_inc_steps;
@@ -995,6 +1071,10 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
     Some
       (fun () ->
         if st.tele.tl_on then Telemetry.Metrics.incr st.tele.tl_gc_emergency;
+        (match st.tele.tl_rec with
+        | Some fr ->
+            Telemetry.Flight_recorder.record fr ~ts:st.instrs "gc.emergency" []
+        | None -> ());
         collect ~trigger:"emergency" st);
   (match Hashtbl.find_opt st.funcs "main" with
   | Some f -> push_frame st f args None
@@ -1034,6 +1114,11 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
   | Exit_program code -> exit_code := code
   | Fault msg as e when tl.tl_on ->
       Telemetry.Metrics.incr tl.tl_faults;
+      (match tl.tl_rec with
+      | Some fr ->
+          Telemetry.Flight_recorder.record fr ~ts:st.instrs "vm.fault"
+            [ ("msg", Telemetry.Json.Str msg) ]
+      | None -> ());
       (match tl.tl_trace with
       | Some tr ->
           Telemetry.Trace.instant tr
@@ -1043,6 +1128,14 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
       raise e
   | Trap (kind, msg) as e when tl.tl_on ->
       Telemetry.Metrics.incr tl.tl_traps;
+      (match tl.tl_rec with
+      | Some fr ->
+          Telemetry.Flight_recorder.record fr ~ts:st.instrs "vm.trap"
+            [
+              ("kind", Telemetry.Json.Str (trap_kind_name kind));
+              ("msg", Telemetry.Json.Str msg);
+            ]
+      | None -> ());
       (match tl.tl_trace with
       | Some tr ->
           Telemetry.Trace.instant tr
@@ -1077,4 +1170,7 @@ let run ?(config = default_config ()) ?(args = []) (p : program) : result =
     r_gc_points = List.rev st.gc_points;
     r_live_objects = live_objects;
     r_live_bytes = live_bytes;
+    r_gc_max_pause_words = st.gc_max_pause_words;
+    r_gc_total_pause_words = st.gc_total_pause_words;
+    r_census = List.rev st.censuses;
   }

@@ -88,8 +88,15 @@ type config = {
           counts), span tracing ([vm.run] and per-collection [gc] spans,
           fault/trap instants, heap counter track), and allocation-site
           heap profiling (site ids [fn:callee#k], stable across
-          [--analysis] variants).  [None] — the default — costs one
+          [--analysis] variants).  A sink's flight recorder receives
+          [gc.begin]/[gc.end] spans, [gc.step]/[gc.emergency] instants
+          and [vm.fault]/[vm.trap] instants, timestamped on the
+          executed-instruction clock.  [None] — the default — costs one
           dead-branch test per instruction. *)
+  vm_census : bool;
+      (** sample a {!Gcheap.Census} after every completed collection
+          (incremental cycles included) into [r_census]; off by
+          default *)
 }
 
 val default_config : ?machine:Machdesc.t -> unit -> config
@@ -106,6 +113,17 @@ type result = {
           index and a program-location description *)
   r_live_objects : int;  (** collectable objects alive at exit *)
   r_live_bytes : int;  (** their requested bytes *)
+  r_gc_max_pause_words : int;
+      (** largest single GC pause of the run on the deterministic
+          words-of-work clock (stop-the-world/generational: per cycle;
+          incremental: per increment).  Tracked unconditionally — it is
+          how service latency attributes a GC share even when telemetry
+          is off, and the one pause measure that responds to
+          [vm_gc_pause_budget] *)
+  r_gc_total_pause_words : int;
+  r_census : Gcheap.Census.t list;
+      (** per-collection heap censuses, oldest first; empty unless
+          [vm_census] *)
 }
 
 exception Exit_program of int

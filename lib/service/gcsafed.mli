@@ -29,7 +29,26 @@
     touched); the snapshots of admitted requests are then absorbed into
     the service's registry in submission order via
     {!Telemetry.Metrics.absorb}.  Rejected requests leave no trace in
-    the service registry. *)
+    the service registry.
+
+    {b Observability.}  The service keeps a {!Telemetry.Flight_recorder}
+    ring of structured events ([request.begin]/[request.end], [reject],
+    [slo.violation], [gc.emergency]) timestamped on the virtual clock
+    and recorded only from serial sections, so dumps are byte-identical
+    across worker counts.  When [create ~events] is given, a
+    {!Telemetry.Stream} interleaves those events with windowed metric
+    snapshots (JSON lines) on the same virtual clock.  Every admitted
+    request carries a trace id (stamped at {!submit} when the caller
+    left it 0) and its completion a per-phase latency breakdown:
+    [r_queue_wait + r_build_ticks + r_vm_ticks = r_finish - r_arrival].
+
+    Tick latency is deliberately pause-budget-invariant: a request's
+    VM share is its measured cycle count, and cycle counts are
+    bit-identical across GC modes and pause budgets by construction
+    (the ablation invariant).  The pause measure that {e does} respond
+    to [--gc-pause-budget] is [r_gc_max_pause_words] — the largest
+    single GC pause inside the request on the deterministic
+    words-of-work clock. *)
 
 type config = {
   servers : int;  (** virtual service lanes (the M/c/K's c) *)
@@ -50,12 +69,30 @@ val default_config : config
 
 type t
 
-val create : ?pool:Exec.Pool.t -> ?metrics:Telemetry.Metrics.t -> config -> t
+val create :
+  ?pool:Exec.Pool.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  ?recorder_capacity:int ->
+  ?events:(Telemetry.Json.t -> unit) ->
+  ?window:int ->
+  config ->
+  t
 (** [pool] fans request execution out (default serial — reports do not
     depend on it); [metrics] is the service registry absorbing
-    per-request telemetry (default a fresh enabled registry). *)
+    per-request telemetry (default a fresh enabled registry);
+    [recorder_capacity] sizes the flight-recorder ring (default
+    {!Telemetry.Flight_recorder.default_capacity}); [events], when
+    given, receives the JSON-lines stream (event lines plus windowed
+    metric snapshots every [window] virtual ticks, default
+    {!Telemetry.Stream.default_window}). *)
 
 val metrics : t -> Telemetry.Metrics.t
+
+val recorder : t -> Telemetry.Flight_recorder.t
+
+val dump : t -> Telemetry.Json.t
+(** {!Telemetry.Flight_recorder.dump} of the service ring — validates
+    under {!Telemetry.Flight_recorder.check}. *)
 
 val submit : ?arrival:int -> t -> Harness.Request.t -> unit
 (** Enqueue a request arriving at virtual time [arrival] (default: the
@@ -80,6 +117,17 @@ type completion = {
   r_start : int;  (** = [r_arrival] for rejected requests *)
   r_finish : int;
   r_cache_hit : bool;  (** logical build-tier hit *)
+  r_trace_id : int;  (** the id stamped at {!submit} (or caller-chosen) *)
+  r_queue_wait : int;  (** [r_start - r_arrival] *)
+  r_build_ticks : int;  (** build-tier share: [build_miss_cost] on a
+                            logical miss, 0 on a hit or rejection *)
+  r_vm_ticks : int;  (** VM share: measured cycles (or [failure_cost]);
+                         [r_queue_wait + r_build_ticks + r_vm_ticks =
+                          r_finish - r_arrival] *)
+  r_gc_max_pause_words : int;
+      (** largest single GC pause inside the request, words-of-work
+          clock — the pause measure that responds to the budget *)
+  r_gc_total_pause_words : int;
 }
 
 val completions : t -> completion list
@@ -102,6 +150,16 @@ type report = {
   rp_latency_p90 : int;
   rp_latency_p99 : int;
   rp_labels : (string * int) list;  (** completions per request label *)
+  rp_queue_wait : int;  (** summed queue-wait ticks *)
+  rp_build_ticks : int;
+  rp_vm_ticks : int;
+  rp_total_latency : int;
+      (** summed [r_finish - r_arrival]; always equals
+          [rp_queue_wait + rp_build_ticks + rp_vm_ticks] *)
+  rp_gc_max_pause_words : int;  (** worst single pause across requests *)
+  rp_gc_total_pause_words : int;
+  rp_slo_met : int;  (** from the [service/slo/*] counters *)
+  rp_slo_violated : int;
 }
 
 val report : t -> report
@@ -111,6 +169,10 @@ val hit_rate : report -> float
 
 val throughput : report -> float
 (** Admitted requests per thousand virtual ticks of makespan. *)
+
+val burn_rate : report -> float
+(** SLO burn: violated / (met + violated); 0 when no request named a
+    pause SLO. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Deterministic rendering: no wall-clock, no worker-count

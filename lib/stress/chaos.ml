@@ -40,6 +40,9 @@ type plan = {
   c_max_points : int;  (** allocation ordinals swept per subject *)
   c_trap_probes : int;  (** trap-policy injections per subject *)
   c_jobs : int;
+  c_flight_dir : string option;
+      (** replay unexpected alloc-failure findings under a flight
+          recorder and write the dumps here (uncounted replays) *)
 }
 
 let default_plan =
@@ -55,6 +58,7 @@ let default_plan =
     c_max_points = 64;
     c_trap_probes = 3;
     c_jobs = 1;
+    c_flight_dir = None;
   }
 
 type finding = {
@@ -68,7 +72,23 @@ type finding = {
   cf_expected : bool;
       (** a known hazard of the conventional build perturbed by the
           injection-triggered collection, not a robustness failure *)
+  cf_flight : string option;
+      (** captured flight-recorder dump of the injected run *)
 }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let sanitize_component s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    s
 
 type report = {
   c_plan_seed : int;
@@ -128,9 +148,10 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
   (* [observe] is pure (no shared state): it runs on worker domains.
      All accounting happens on the submitting thread, in ordinal order,
      so the report is a function of the plan, never the worker count. *)
-  let observe ?heap_limit ?oom_policy ?alloc_failpoints ?max_instrs () =
+  let observe ?telemetry ?heap_limit ?oom_policy ?alloc_failpoints ?max_instrs
+      () =
     let base = subject.Differ.s_request in
-    Measure.exec
+    Measure.exec ?telemetry
       {
         base with
         Request.schedule = Machine.Schedule.Auto;
@@ -169,7 +190,32 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
         target.Corpus.t_base_vulnerable
         && subject.Differ.s_request.Request.config = Build.Base
       in
-      let record ~kind ~points ~detail ~expected =
+      (* Replay a finding's injection under a flight recorder: the dump
+         ships the run's last-N GC/emergency events with the finding.
+         Uncounted, so the report stays a function of the plan. *)
+      let flight_seq = ref 0 in
+      let capture_flight ~oom_policy fp =
+        match plan.c_flight_dir with
+        | None -> None
+        | Some dir ->
+            mkdir_p dir;
+            let recorder = Telemetry.Flight_recorder.create () in
+            let sink = Telemetry.Sink.make ~recorder () in
+            ignore
+              (observe ~telemetry:sink ~oom_policy ~alloc_failpoints:fp
+                 ~max_instrs:budget ());
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "%s-%s-%d.flight.json"
+                   (sanitize_component target.Corpus.t_name)
+                   (sanitize_component (Differ.subject_name subject))
+                   !flight_seq)
+            in
+            incr flight_seq;
+            Telemetry.Flight_recorder.write_file recorder path;
+            Some path
+      in
+      let record ?flight ~kind ~points ~detail ~expected () =
         findings :=
           {
             cf_target = target.Corpus.t_name;
@@ -179,6 +225,7 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
             cf_points = points;
             cf_detail = detail;
             cf_expected = expected;
+            cf_flight = flight;
           }
           :: !findings
       in
@@ -216,13 +263,21 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
               else
                 record ~kind:"divergence" ~points:[ k ] ~detail
                   ~expected:false
+                  ?flight:
+                    (capture_flight ~oom_policy:Gcheap.Heap.Collect_expand
+                       (Failpoint.Nth k))
+                  ()
           | Broken detail ->
               record
                 ~kind:
                   (if String.length detail >= 4 && String.sub detail 0 4 = "hang"
                    then "hang"
                    else "corruption")
-                ~points:[ k ] ~detail ~expected:false)
+                ~points:[ k ] ~detail ~expected:false
+                ?flight:
+                  (capture_flight ~oom_policy:Gcheap.Heap.Collect_expand
+                     (Failpoint.Nth k))
+                ())
         singles;
       (* Burst run: fail every sampled ordinal in one execution, then
          shrink a broken burst to a minimal ordinal set. *)
@@ -248,6 +303,10 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
             | Recovered | Structured -> "not reproducible after shrinking"
           in
           record ~kind:"burst" ~points:min_pts ~detail ~expected:false
+            ?flight:
+              (capture_flight ~oom_policy:Gcheap.Heap.Collect_expand
+                 (Failpoint.at_list min_pts))
+            ()
         end
         else incr recovered
       end;
@@ -271,7 +330,11 @@ let sweep_subject ~pool ~plan ~(target : Corpus.target) subject =
                 ~detail:
                   ("trap policy produced " ^ Measure.describe o
                  ^ " instead of a structured heap-exhausted stop")
-                ~expected:false)
+                ~expected:false
+                ?flight:
+                  (capture_flight ~oom_policy:Gcheap.Heap.Trap
+                     (Failpoint.Nth k))
+                ())
         probes;
       ( List.rev !findings,
         !runs,
@@ -325,6 +388,7 @@ let sweep_workers ~pool ~plan ~(target : Corpus.target) subjects =
                   (Differ.describe_obs value)
                   (Differ.describe_obs expected);
               cf_expected = false;
+              cf_flight = None;
             }
             :: !findings
       | Exec.Pool.Quarantined { reason; attempts } ->
@@ -341,6 +405,7 @@ let sweep_workers ~pool ~plan ~(target : Corpus.target) subjects =
                    attempt(s))"
                   reason attempts;
               cf_expected = false;
+              cf_flight = None;
             }
             :: !findings)
     outcomes;
@@ -395,6 +460,7 @@ let sweep_cache ~(target : Corpus.target) subjects =
                 cf_detail =
                   "corrupt artifact served without a fingerprint mismatch";
                 cf_expected = false;
+                cf_flight = None;
               }
               :: !findings
           else if obs <> reference then
@@ -410,6 +476,7 @@ let sweep_cache ~(target : Corpus.target) subjects =
                     (Differ.describe_obs obs)
                     (Differ.describe_obs reference);
                 cf_expected = false;
+                cf_flight = None;
               }
               :: !findings
           else incr recovered
@@ -499,11 +566,14 @@ let run ?(plan = default_plan) (targets : Corpus.target list) : report =
 let pp_finding ppf f =
   Format.fprintf ppf "%s %s [%s/%s]@,  %s@," f.cf_target f.cf_subject
     f.cf_sweep f.cf_kind f.cf_detail;
-  match f.cf_points with
+  (match f.cf_points with
   | [] -> ()
   | pts ->
       Format.fprintf ppf "  injected allocation ordinal(s): {%s}@,"
-        (String.concat ", " (List.map string_of_int pts))
+        (String.concat ", " (List.map string_of_int pts)));
+  match f.cf_flight with
+  | Some path -> Format.fprintf ppf "  flight recorder dump: %s@," path
+  | None -> ()
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>";

@@ -20,6 +20,12 @@ type plan = {
   c_max_points : int;  (** allocation ordinals swept per subject *)
   c_trap_probes : int;  (** trap-policy injections per subject *)
   c_jobs : int;  (** worker domains; 1 = the reference serial sweep *)
+  c_flight_dir : string option;
+      (** when set, every alloc-failure finding's injected run is
+          replayed under a flight recorder and the dump (its last-N
+          GC/emergency events) written here; the path lands in
+          [cf_flight].  Capture replays are uncounted, so reports stay
+          a function of the plan. *)
 }
 
 val default_plan : plan
@@ -40,6 +46,9 @@ type finding = {
   cf_expected : bool;
       (** a known hazard of the conventional build perturbed by the
           injection-triggered collection, not a robustness failure *)
+  cf_flight : string option;
+      (** captured flight-recorder dump of the injected run
+          ([c_flight_dir] set; alloc-failure sweeps only) *)
 }
 
 type report = {

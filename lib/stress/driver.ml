@@ -45,9 +45,11 @@ type plan = {
   p_jobs : int;  (** worker domains; 1 = the reference serial scan *)
   p_trace_dir : string option;
       (** when set, every finding's failing schedule is replayed under a
-          span tracer and the Chrome trace written here, so divergences
-          ship with a replayable timeline.  Capture replays are not
-          counted in [r_runs]: reports stay byte-identical. *)
+          span tracer plus a flight recorder, and the Chrome trace and
+          the flight-recorder dump (the run's last-N structured GC/VM
+          events) are written here, so divergences ship with a
+          replayable timeline and their event context.  Capture replays
+          are not counted in [r_runs]: reports stay byte-identical. *)
 }
 
 let default_plan =
@@ -85,6 +87,9 @@ type finding = {
       (** a known hazard of the conventional build, not a harness failure *)
   f_trace : string option;
       (** path of the captured Chrome trace ([p_trace_dir] set) *)
+  f_flight : string option;
+      (** path of the captured flight-recorder dump ([p_trace_dir] set);
+          validates under {!Telemetry.Flight_recorder.check} *)
 }
 
 type report = {
@@ -142,27 +147,31 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
     incr runs;
     observe_raw ?gc_point_sink ~schedule subject
   in
-  (* Replay a finding's schedule under a tracer; uncounted, like any
-     other observe_raw, so trace capture never changes the report. *)
+  (* Replay a finding's schedule under a tracer plus a flight recorder;
+     uncounted, like any other observe_raw, so capture never changes the
+     report. *)
   let trace_seq = ref 0 in
   let capture_trace ~schedule s =
     match plan.p_trace_dir with
-    | None -> None
+    | None -> (None, None)
     | Some dir ->
         mkdir_p dir;
         let tr = Telemetry.Trace.create () in
-        let sink = Telemetry.Sink.make ~trace:tr () in
+        let recorder = Telemetry.Flight_recorder.create () in
+        let sink = Telemetry.Sink.make ~trace:tr ~recorder () in
         ignore (observe_raw ~telemetry:sink ~schedule s);
-        let path =
-          Filename.concat dir
-            (Printf.sprintf "%s-%s-%d.trace.json"
-               (sanitize_component target.Corpus.t_name)
-               (sanitize_component (Differ.subject_name s))
-               !trace_seq)
+        let base =
+          Printf.sprintf "%s-%s-%d"
+            (sanitize_component target.Corpus.t_name)
+            (sanitize_component (Differ.subject_name s))
+            !trace_seq
         in
         incr trace_seq;
-        Telemetry.Trace.write_file tr path;
-        Some path
+        let trace_path = Filename.concat dir (base ^ ".trace.json") in
+        Telemetry.Trace.write_file tr trace_path;
+        let flight_path = Filename.concat dir (base ^ ".flight.json") in
+        Telemetry.Flight_recorder.write_file recorder flight_path;
+        (Some trace_path, Some flight_path)
   in
   (* Uninjected behaviour of every subject, and the per-machine baseline. *)
   let auto =
@@ -212,6 +221,7 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
             obs
         with
         | Some m when not expected_checked_fault ->
+            let trace, flight = capture_trace ~schedule:Schedule.Auto s in
             record
               {
                 f_target = target.Corpus.t_name;
@@ -224,7 +234,8 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
                 f_orig_points = 0;
                 f_contexts = [];
                 f_expected = false;
-                f_trace = capture_trace ~schedule:Schedule.Auto s;
+                f_trace = trace;
+                f_flight = flight;
               }
         | _ -> ()
       end)
@@ -365,6 +376,7 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
                          Differ.describe_mismatch m)
                     | None -> assert false
                 in
+                let trace, flight = capture_trace ~schedule s in
                 record
                   {
                     f_target = target.Corpus.t_name;
@@ -382,7 +394,8 @@ let run_target ?(pool = Exec.Pool.serial) (plan : plan)
                     f_expected =
                       (not corrupted)
                       && s.Differ.s_request.Request.config = Build.Base;
-                    f_trace = capture_trace ~schedule s;
+                    f_trace = trace;
+                    f_flight = flight;
                   }
               end
             end)
@@ -426,8 +439,11 @@ let pp_finding ppf f =
       Format.fprintf ppf "    point %d: %s%s@," k ctx
         (match loc with Some l -> " (declared at " ^ l ^ ")" | None -> ""))
     f.f_contexts;
-  match f.f_trace with
+  (match f.f_trace with
   | Some path -> Format.fprintf ppf "  trace captured: %s@," path
+  | None -> ());
+  match f.f_flight with
+  | Some path -> Format.fprintf ppf "  flight recorder dump: %s@," path
   | None -> ()
 
 let pp_report ppf r =

@@ -26,8 +26,9 @@ type plan = {
           runs as the serial scan would. *)
   p_trace_dir : string option;
       (** when set, every finding's failing schedule is replayed under a
-          span tracer and the Chrome trace written to this directory
-          (created on demand); the path lands in [f_trace].  Capture
+          span tracer plus a flight recorder, and the Chrome trace and
+          flight-recorder dump are written to this directory (created on
+          demand); the paths land in [f_trace] / [f_flight].  Capture
           replays are not counted in [r_runs]. *)
 }
 
@@ -56,6 +57,10 @@ type finding = {
       (** a known hazard of the conventional build, not a harness failure *)
   f_trace : string option;
       (** captured Chrome trace of the failing schedule ([p_trace_dir]) *)
+  f_flight : string option;
+      (** captured flight-recorder dump of the failing schedule — its
+          last-N GC/VM events; validates under
+          {!Telemetry.Flight_recorder.check} *)
 }
 
 type report = {

@@ -5,7 +5,14 @@
    functions can test a single [enabled] flag embedded in the instrument
    itself and return without allocating. *)
 
-type counter = { c_enabled : bool; c_value : int Atomic.t }
+let counter_shards = 8
+(* Counters are sharded across a small fixed-width array of atomics,
+   indexed by the updating domain's id, so concurrent [Exec.Pool]
+   workers don't bounce one cache line; [counter_value] sums the shards
+   at snapshot time.  The width is a power of two so indexing is a
+   mask. *)
+
+type counter = { c_enabled : bool; c_shards : int Atomic.t array }
 
 type gauge = { g_enabled : bool; g_last : int Atomic.t; g_max : int Atomic.t }
 
@@ -42,7 +49,7 @@ let scope t name =
   | None -> disabled
   | Some _ -> { t with prefix = t.prefix ^ name ^ "/" }
 
-let null_counter = { c_enabled = false; c_value = Atomic.make 0 }
+let null_counter = { c_enabled = false; c_shards = [| Atomic.make 0 |] }
 
 let null_gauge =
   { g_enabled = false; g_last = Atomic.make 0; g_max = Atomic.make 0 }
@@ -76,15 +83,26 @@ let register t name make get =
 let counter t name =
   match
     register t name
-      (fun () -> I_counter { c_enabled = true; c_value = Atomic.make 0 })
+      (fun () ->
+        I_counter
+          {
+            c_enabled = true;
+            c_shards = Array.init counter_shards (fun _ -> Atomic.make 0);
+          })
       (function I_counter c -> Some c | _ -> None)
   with
   | Some c -> c
   | None -> null_counter
 
-let incr c = if c.c_enabled then ignore (Atomic.fetch_and_add c.c_value 1)
+let counter_shard c =
+  c.c_shards.((Domain.self () :> int) land (Array.length c.c_shards - 1))
 
-let add c n = if c.c_enabled then ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c =
+  Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.c_shards
+
+let incr c = if c.c_enabled then ignore (Atomic.fetch_and_add (counter_shard c) 1)
+
+let add c n = if c.c_enabled then ignore (Atomic.fetch_and_add (counter_shard c) n)
 
 let gauge t name =
   match
@@ -160,7 +178,7 @@ let snapshot t =
           (fun name i acc ->
             let v =
               match i with
-              | I_counter c -> Counter (Atomic.get c.c_value)
+              | I_counter c -> Counter (counter_value c)
               | I_gauge g ->
                   Gauge { last = Atomic.get g.g_last; max = Atomic.get g.g_max }
               | I_hist h ->
@@ -202,6 +220,44 @@ let diff later earlier =
               } )
       | _, _ -> (name, v))
     later
+
+let merge a b =
+  let names =
+    List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+  in
+  List.filter_map
+    (fun name ->
+      match (List.assoc_opt name a, List.assoc_opt name b) with
+      | Some v, None | None, Some v -> Some (name, v)
+      | None, None -> None
+      | Some va, Some vb ->
+          let v =
+            match (va, vb) with
+            | Counter x, Counter y -> Counter (x + y)
+            | Gauge _, Gauge g ->
+                (* later window wins, as in [diff] *)
+                Gauge g
+            | Histogram x, Histogram y ->
+                let buckets =
+                  Array.init
+                    (max (Array.length x.buckets) (Array.length y.buckets))
+                    (fun i ->
+                      let at (a : int array) =
+                        if i < Array.length a then a.(i) else 0
+                      in
+                      at x.buckets + at y.buckets)
+                in
+                Histogram
+                  {
+                    count = x.count + y.count;
+                    sum = x.sum + y.sum;
+                    max = max x.max y.max;
+                    buckets;
+                  }
+            | _, _ -> vb
+          in
+          Some (name, v))
+    names
 
 let find snap name = List.assoc_opt name snap
 

@@ -32,7 +32,10 @@ type counter
 
 val counter : t -> string -> counter
 (** Monotone counter.  Registration is idempotent: the same name in the
-    same registry returns the same instrument. *)
+    same registry returns the same instrument.  Internally sharded
+    across a small fixed-width array of atomics indexed by the updating
+    domain's id, so concurrent [Exec.Pool] workers don't contend on one
+    cache line; shards are summed at snapshot time. *)
 
 val incr : counter -> unit
 
@@ -70,6 +73,13 @@ val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier]: the interval view.  Counters and histogram
     counts/sums subtract; gauges keep the later value.  Instruments
     absent from [earlier] appear as in [later]. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** [merge a b]: pointwise sum of two interval snapshots.  Counters and
+    histogram counts/sums/buckets add, histogram maxima take the max,
+    gauges keep [b]'s value (the later window).  Satisfies the window
+    law: folding [merge] over consecutive {!diff} windows equals the
+    whole-run diff. *)
 
 val find : snapshot -> string -> value option
 

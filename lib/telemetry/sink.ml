@@ -2,17 +2,20 @@ type t = {
   metrics : Metrics.t;
   trace : Trace.t option;
   profiler : Heap_profiler.t option;
+  recorder : Flight_recorder.t option;
 }
 
 let none : t option = None
 
-let make ?metrics ?trace ?profiler () =
+let make ?metrics ?trace ?profiler ?recorder () =
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
-  { metrics; trace; profiler }
+  { metrics; trace; profiler; recorder }
 
 let metrics = function Some s -> s.metrics | None -> Metrics.disabled
+
+let recorder = function Some s -> s.recorder | None -> None
 
 let with_span sink ?args name f =
   match sink with

@@ -10,6 +10,7 @@ type t = {
   metrics : Metrics.t;
   trace : Trace.t option;
   profiler : Heap_profiler.t option;
+  recorder : Flight_recorder.t option;
 }
 
 val none : t option
@@ -19,12 +20,17 @@ val make :
   ?metrics:Metrics.t ->
   ?trace:Trace.t ->
   ?profiler:Heap_profiler.t ->
+  ?recorder:Flight_recorder.t ->
   unit ->
   t
-(** Defaults: a fresh enabled registry, no tracer, no profiler. *)
+(** Defaults: a fresh enabled registry, no tracer, no profiler, no
+    flight recorder. *)
 
 val metrics : t option -> Metrics.t
 (** The sink's registry, or {!Metrics.disabled}. *)
+
+val recorder : t option -> Flight_recorder.t option
+(** The sink's flight recorder, if any. *)
 
 val with_span :
   t option -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
