@@ -792,6 +792,192 @@ let gcmodes () =
        ]);
   print_newline ()
 
+(* --- bump nursery: alloc throughput and minor pauses (BENCH_10.json) ----- *)
+
+(* Two generational runs of every paper workload at the same threshold —
+   nursery disabled (the legacy shared-page young allocator) and the
+   default bump nursery — plus a stop-the-world reference.  Pause
+   numbers stay on the deterministic words-of-work clock; allocation
+   throughput (objects per wall second over the VM run only, builds
+   excluded) is the one wall-clock figure, reported per configuration so
+   the improvement ratio is visible.  Stop-the-world runs must be
+   bit-identical under any nursery setting — the knob is dead in that
+   mode by construction, and the gate in CI holds us to it. *)
+
+let bench10_data : (string * Telemetry.Json.t) list ref = ref []
+
+let record10 key v = bench10_data := (key, v) :: !bench10_data
+
+let write_bench10_json () =
+  if !bench10_data <> [] then begin
+    let doc = Telemetry.Json.Obj (List.rev !bench10_data) in
+    Out_channel.with_open_text "BENCH_10.json" (fun oc ->
+        Out_channel.output_string oc (Telemetry.Json.to_string doc ^ "\n"));
+    Printf.printf "wrote BENCH_10.json\n"
+  end
+
+let nursery_section () =
+  print_endline
+    "== Nursery: bump-pointer allocation throughput and minor pauses \
+     (safe build, sparc10) ==";
+  let machine = Machine.Machdesc.sparc10 in
+  let threshold = 16384 in
+  let nursery_default = (Machine.Vm.default_config ~machine ()).Machine.Vm.vm_nursery_pages in
+  let hist snap name =
+    match Telemetry.Metrics.find snap name with
+    | Some (Telemetry.Metrics.Histogram { count; buckets; _ }) ->
+        ( count,
+          Telemetry.Metrics.percentile buckets 0.5,
+          Telemetry.Metrics.percentile buckets 0.9 )
+    | _ -> (0, 0, 0)
+  in
+  let run src gc_mode nursery_pages =
+    let metrics = Telemetry.Metrics.create () in
+    let telemetry = Some (Telemetry.Sink.make ~metrics ()) in
+    let req =
+      Harness.Request.make ~config:Harness.Build.Safe ~machine ~gc_mode
+        ~nursery_pages ~final_collect:true ~gc_threshold:threshold src
+    in
+    let b =
+      Harness.Build.compile
+        ~options:(Harness.Request.build_options req)
+        req.Harness.Request.config src
+    in
+    let t0 = Unix.gettimeofday () in
+    match Harness.Measure.exec ?telemetry req b with
+    | Harness.Measure.Ran r ->
+        (r, Telemetry.Metrics.snapshot metrics, Unix.gettimeofday () -. t0)
+    | o -> failwith (Harness.Measure.describe o)
+  in
+  let rows =
+    List.map
+      (fun (w : Workloads.Registry.workload) ->
+        let name = w.Workloads.Registry.w_name in
+        let src = w.Workloads.Registry.w_source in
+        (* the knob must be invisible in stop-the-world mode *)
+        let stw0, _, _ = run src Gcheap.Heap.Stw 0 in
+        let stw8, _, _ = run src Gcheap.Heap.Stw nursery_default in
+        let stw_identical =
+          String.equal stw0.Harness.Measure.o_output
+            stw8.Harness.Measure.o_output
+          && stw0.Harness.Measure.o_cycles = stw8.Harness.Measure.o_cycles
+          && stw0.Harness.Measure.o_gc_count = stw8.Harness.Measure.o_gc_count
+        in
+        if not stw_identical then
+          failwith (name ^ ": nursery knob observable in stw mode");
+        let legacy, legacy_m, legacy_s = run src Gcheap.Heap.Gen 0 in
+        let bump, bump_m, bump_s = run src Gcheap.Heap.Gen nursery_default in
+        let outputs_match =
+          String.equal stw0.Harness.Measure.o_output
+            legacy.Harness.Measure.o_output
+          && String.equal stw0.Harness.Measure.o_output
+               bump.Harness.Measure.o_output
+        in
+        if not outputs_match then
+          failwith (name ^ ": nursery changed program output");
+        let lminors, lp50, lp90 = hist legacy_m "vm/gc/minor/pause_words" in
+        let bminors, bp50, bp90 = hist bump_m "vm/gc/minor/pause_words" in
+        let rate allocs s = float_of_int allocs /. max 1e-9 s in
+        let legacy_rate = rate legacy.Harness.Measure.o_allocs legacy_s in
+        let bump_rate = rate bump.Harness.Measure.o_allocs bump_s in
+        Printf.printf
+          "  %-10s alloc throughput %8.0f -> %8.0f obj/s (%4.2fx)   minor \
+           p50 %6d -> %6d words\n"
+          name legacy_rate bump_rate
+          (bump_rate /. max 1e-9 legacy_rate)
+          lp50 bp50;
+        ( name,
+          Telemetry.Json.Obj
+            [
+              ("stw_identical", Telemetry.Json.Bool stw_identical);
+              ("outputs_match", Telemetry.Json.Bool outputs_match);
+              ("allocs", Telemetry.Json.Int bump.Harness.Measure.o_allocs);
+              ( "legacy",
+                Telemetry.Json.Obj
+                  [
+                    ("minor_collections", Telemetry.Json.Int lminors);
+                    ("minor_p50_pause_words", Telemetry.Json.Int lp50);
+                    ("minor_p90_pause_words", Telemetry.Json.Int lp90);
+                    ("vm_seconds", Telemetry.Json.Float legacy_s);
+                    ("allocs_per_second", Telemetry.Json.Float legacy_rate);
+                  ] );
+              ( "nursery",
+                Telemetry.Json.Obj
+                  [
+                    ("minor_collections", Telemetry.Json.Int bminors);
+                    ("minor_p50_pause_words", Telemetry.Json.Int bp50);
+                    ("minor_p90_pause_words", Telemetry.Json.Int bp90);
+                    ("vm_seconds", Telemetry.Json.Float bump_s);
+                    ("allocs_per_second", Telemetry.Json.Float bump_rate);
+                  ] );
+              ( "throughput_ratio",
+                Telemetry.Json.Float (bump_rate /. max 1e-9 legacy_rate) );
+            ] ))
+      Workloads.Registry.paper_suite
+  in
+  record10 "gc_threshold" (Telemetry.Json.Int threshold);
+  record10 "nursery_pages" (Telemetry.Json.Int nursery_default);
+  record10 "workloads" (Telemetry.Json.Obj rows);
+  (* differential matrices with the nursery on: the schedule sweep over
+     stw/gen/inc and the chaos sweeps must both see zero unexpected
+     divergences *)
+  print_endline
+    "-- stw/gen/inc differential scan with the nursery enabled (example \
+     corpus)";
+  let targets =
+    match Stress.Corpus.resolve "examples" with
+    | Some ts -> ts
+    | None -> failwith "example corpus missing"
+  in
+  let matrix =
+    {
+      Harness.Request.default_matrix with
+      Harness.Request.m_machines = [ machine ];
+      Harness.Request.m_gc_modes =
+        [ Gcheap.Heap.Stw; Gcheap.Heap.Gen; Gcheap.Heap.Inc ];
+      Harness.Request.m_nursery_pages = Some nursery_default;
+    }
+  in
+  let plan =
+    { Stress.Driver.default_plan with Stress.Driver.p_matrix = matrix }
+  in
+  let report = Stress.Driver.run ~plan targets in
+  let unexpected = List.length (Stress.Driver.unexpected report) in
+  Printf.printf
+    "  %d target(s), %d subject(s), %d run(s): %d unexpected divergence(s)\n"
+    report.Stress.Driver.r_targets report.Stress.Driver.r_subjects
+    report.Stress.Driver.r_runs unexpected;
+  if unexpected > 0 then
+    failwith "stw/gen/inc divergence with the nursery enabled";
+  print_endline "-- chaos sweeps with the nursery enabled (example corpus)";
+  let chaos_plan =
+    {
+      Stress.Chaos.default_plan with
+      Stress.Chaos.c_matrix =
+        {
+          Stress.Chaos.default_plan.Stress.Chaos.c_matrix with
+          Harness.Request.m_machines = [ machine ];
+          Harness.Request.m_gc_modes = [ Gcheap.Heap.Gen; Gcheap.Heap.Inc ];
+          Harness.Request.m_nursery_pages = Some nursery_default;
+        };
+    }
+  in
+  let chaos_report = Stress.Chaos.run ~plan:chaos_plan targets in
+  let chaos_unexpected = List.length (Stress.Chaos.unexpected chaos_report) in
+  Printf.printf "  %d unexpected chaos finding(s)\n" chaos_unexpected;
+  if chaos_unexpected > 0 then
+    failwith "chaos divergence with the nursery enabled";
+  record10 "stress"
+    (Telemetry.Json.Obj
+       [
+         ("targets", Telemetry.Json.Int report.Stress.Driver.r_targets);
+         ("subjects", Telemetry.Json.Int report.Stress.Driver.r_subjects);
+         ("runs", Telemetry.Json.Int report.Stress.Driver.r_runs);
+         ("unexpected_divergences", Telemetry.Json.Int unexpected);
+         ("chaos_unexpected", Telemetry.Json.Int chaos_unexpected);
+       ]);
+  print_newline ()
+
 (* --- resilience: OOM recovery and chaos sweeps (BENCH_6.json) ------------ *)
 
 (* Three deterministic measurements of the chaos-hardened runtime:
@@ -1563,7 +1749,7 @@ let () =
         [
           "t1"; "t2"; "t3"; "t4"; "t5"; "cache"; "a1"; "hazard"; "ablate";
           "ablate-analysis"; "ablate-telemetry"; "profile"; "gcmodes";
-          "resilience"; "incremental"; "observability";
+          "nursery"; "resilience"; "incremental"; "observability";
         ]
     | args -> args
   in
@@ -1584,6 +1770,7 @@ let () =
         | "ablate-telemetry" -> Some ablate_telemetry
         | "profile" -> Some profile_section
         | "gcmodes" -> Some gcmodes
+        | "nursery" -> Some nursery_section
         | "resilience" -> Some resilience
         | "incremental" -> Some incremental
         | "observability" -> Some observability
@@ -1598,5 +1785,6 @@ let () =
   write_bench_json ();
   write_bench5_json ();
   write_bench6_json ();
+  write_bench10_json ();
   write_bench8_json ();
   write_bench9_json ()

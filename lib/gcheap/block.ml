@@ -27,6 +27,16 @@ type t = {
       (** one byte per slot: number of minor collections survived; an
           object whose age reaches the heap's promotion threshold is old *)
   blk_req : int array;  (** requested (un-rounded) size per slot *)
+  mutable blk_young : bool;
+      (** nursery block: filled front-to-back by the bump cursor, every
+          resident object belongs to the current young cohort *)
+  mutable blk_bump : int;
+      (** next bump slot; slots at and above this index have never been
+          allocated (only meaningful while [blk_young]) *)
+  mutable blk_aging : bool;
+      (** old-generation block holding at least one reused slot that is
+          still young — it must be visited by minor sweeps until every
+          such slot is promoted or freed *)
 }
 
 let make ~start ~pages ~obj_size ~count ~kind =
@@ -40,6 +50,9 @@ let make ~start ~pages ~obj_size ~count ~kind =
     blk_mark = Bytes.make count '\000';
     blk_age = Bytes.make count '\000';
     blk_req = Array.make count 0;
+    blk_young = false;
+    blk_bump = 0;
+    blk_aging = false;
   }
 
 (** Index of the object slot containing [addr], if [addr] lies within the

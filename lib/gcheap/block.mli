@@ -19,6 +19,14 @@ type t = {
   blk_mark : Bytes.t;
   blk_age : Bytes.t;  (** minor collections survived, one byte per slot *)
   blk_req : int array;  (** requested (un-rounded) size per slot *)
+  mutable blk_young : bool;
+      (** nursery block: filled front-to-back by the bump cursor; cleared
+          when the page's cohort is promoted into the old generation *)
+  mutable blk_bump : int;
+      (** next bump slot (only meaningful while [blk_young]) *)
+  mutable blk_aging : bool;
+      (** old-generation block holding reused slots that are still young
+          (visited by minor sweeps until they promote or die) *)
 }
 
 val make :

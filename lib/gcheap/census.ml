@@ -18,6 +18,8 @@ type t = {
   cn_old : int;
   cn_dirty_cards : int;
   cn_cards : int;
+  cn_nursery_pages : int;
+  cn_nursery_slots : int;
   cn_live_words : int;
   cn_committed_words : int;
 }
@@ -57,7 +59,12 @@ let take (h : Heap.t) =
           incr allocated;
           live_bytes := !live_bytes + b.Block.blk_obj_size;
           if Block.collectable b then begin
-            let a = min (Block.age b slot) promote_after in
+            let a =
+              (* nursery residents are young regardless of the clipped
+                 age byte; everywhere else age tells the generation *)
+              if b.Block.blk_young then min (Block.age b slot) (promote_after - 1)
+              else min (Block.age b slot) promote_after
+            in
             age.(a) <- age.(a) + 1;
             if a >= promote_after then incr old else incr young
           end
@@ -90,6 +97,14 @@ let take (h : Heap.t) =
     cn_old = !old;
     cn_dirty_cards = !dirty_cards;
     cn_cards = Bytes.length dirty;
+    cn_nursery_pages =
+      List.fold_left
+        (fun acc (b : Block.t) -> acc + b.Block.blk_pages)
+        0 h.Heap.young_blocks;
+    cn_nursery_slots =
+      List.fold_left
+        (fun acc (b : Block.t) -> acc + b.Block.blk_bump)
+        0 h.Heap.young_blocks;
     cn_live_words = (!live_bytes + 7) / 8;
     cn_committed_words = (Heap.footprint h + 7) / 8;
   }
@@ -113,6 +128,8 @@ let pp ppf c =
   Format.fprintf ppf "  cards: dirty=%d/%d (%.3f)  free-page pool: %d page(s) in %d run(s)@."
     c.cn_dirty_cards c.cn_cards (dirty_ratio c) c.cn_free_pages
     c.cn_free_page_runs;
+  Format.fprintf ppf "  nursery: %d page(s), %d bump slot(s) used@."
+    c.cn_nursery_pages c.cn_nursery_slots;
   List.iter
     (fun r ->
       Format.fprintf ppf "  class %6d: %3d block(s) %5d/%5d slot(s) live@."

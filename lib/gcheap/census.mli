@@ -29,6 +29,8 @@ type t = {
   cn_old : int;
   cn_dirty_cards : int;
   cn_cards : int;  (** total cards (one per arena page) *)
+  cn_nursery_pages : int;  (** young (bump-allocated) pages in service *)
+  cn_nursery_slots : int;  (** bump slots handed out on those pages *)
   cn_live_words : int;  (** allocated slots, rounded sizes, in words *)
   cn_committed_words : int;  (** arena footprint in words *)
 }

@@ -17,7 +17,15 @@
       of a page-granularity remembered set, and survivors are promoted
       after [promote_after] minor cycles.  Stop-the-world full collection
       remains the default and is bit-identical to the non-generational
-      collector. *)
+      collector;
+    - a page-segregated bump-pointer nursery for the generational and
+      incremental modes: new small collectable objects are carved off
+      young single-page blocks by a bump cursor (no per-object zeroing —
+      pages are zeroed when claimed), whole-page cohorts age together,
+      wholly dead nursery pages return to the reclaim pool, and pages
+      whose cohort reaches [promote_after] are promoted in place (the
+      collector is conservative, so objects can never move).  The
+      remembered set then tracks only old-generation pages. *)
 
 type gc_mode = Stw | Gen | Inc
 
@@ -69,6 +77,10 @@ type config = {
   mutable pause_budget_words : int;
       (** words of collector work (scanning + sweeping) one incremental
           step may perform before yielding back to the mutator *)
+  mutable nursery_pages : int;
+      (** pages of bump-allocated nursery a generational or incremental
+          heap may open between collections before a minor cycle is due;
+          [0] disables the nursery (legacy shared-page allocation) *)
 }
 
 type stats = {
@@ -129,8 +141,9 @@ type t = {
           back to collecting over the registered ranges only *)
   mutable free_pages : (int * int) list;
       (** reclaim pool: [(start, pages)] runs of pages retired from
-          fully-empty blocks by the emergency path, sorted by start and
-          coalesced; always empty on limit-free executions *)
+          fully-empty blocks by the emergency path and from wholly dead
+          nursery pages, sorted by start and coalesced; always empty on
+          limit-free stop-the-world executions *)
   mutable phase : phase;
       (** incremental-cycle phase; [Idle] unless an {!Incremental} cycle
           is in flight *)
@@ -142,6 +155,24 @@ type t = {
   mutable sweep_cursor : int;
       (** next slot to examine in the head of [sweep_pending] — lets a
           sweep slice stop mid-block exactly at the pause budget *)
+  mutable young_blocks : Block.t list;
+      (** nursery: the young single-page blocks currently in service
+          (open bump targets plus sealed survivor cohorts) *)
+  mutable aging_blocks : Block.t list;
+      (** old-generation blocks that may hold still-young slots (free-list
+          reuse restarts a slot at age 0), so a minor sweep can visit
+          exactly the blocks where young objects can live *)
+  nursery_cursors : (int * Block.kind, Block.t) Hashtbl.t;
+      (** (class size, kind) -> the young block the bump allocator is
+          currently filling *)
+  mutable nursery_opened : int;
+      (** young pages opened since the last collection — the nursery
+          occupancy trigger for minor cycles *)
+  mutable dirty_index : int list;
+      (** indices of pages whose card byte may be set, so card scans and
+          {!recompute_cards} walk the dirty subset instead of the whole
+          arena; may hold stale (since-cleaned) entries, which readers
+          skip by re-checking the byte *)
 }
 
 exception Check_failure of string
@@ -164,6 +195,7 @@ let default_config () =
     oom_policy = Collect_expand;
     incremental = false;
     pause_budget_words = 1024;
+    nursery_pages = 8;
   }
 
 let create ?(config = default_config ()) () =
@@ -209,7 +241,19 @@ let create ?(config = default_config ()) () =
     gray = [];
     sweep_pending = [];
     sweep_cursor = 0;
+    young_blocks = [];
+    aging_blocks = [];
+    nursery_cursors = Hashtbl.create 16;
+    nursery_opened = 0;
+    dirty_index = [];
   }
+
+(** Is the bump-pointer nursery in service?  Only the generational and
+    incremental modes segregate generations; stop-the-world heaps keep
+    the seed allocator bit for bit. *)
+let nursery_enabled t =
+  t.config.nursery_pages > 0
+  && (t.config.generational || t.config.incremental)
 
 let add_root_range t start stop = t.roots <- (start, stop) :: t.roots
 
@@ -229,7 +273,27 @@ let mark_page_dirty t p =
     Bytes.blit t.dirty 0 grown 0 (Bytes.length t.dirty);
     t.dirty <- grown
   end;
+  (* index a page only on the clean->dirty edge, so the index stays
+     duplicate-free between recomputes *)
+  if Bytes.get t.dirty p = '\000' then t.dirty_index <- p :: t.dirty_index;
   Bytes.set t.dirty p '\001'
+
+(* Walk the dirty-page index, visiting each genuinely dirty page once
+   (stale and duplicated entries are skipped).  This is what shrinks the
+   card scans from O(arena pages) to O(dirty pages). *)
+let iter_dirty_pages t f =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      if
+        (not (Hashtbl.mem seen p))
+        && p < Bytes.length t.dirty
+        && Bytes.get t.dirty p <> '\000'
+      then begin
+        Hashtbl.replace seen p ();
+        f p
+      end)
+    t.dirty_index
 
 (* Is the slot's object old (survived [promote_after] minor cycles)? *)
 let is_old t blk i = Block.age blk i >= t.config.promote_after
@@ -286,25 +350,42 @@ let note_store t addr len =
      done
    end);
   if t.config.generational && len > 0 then begin
-    let dirty_if_old a =
-      match Page_map.find t.map a with
-      | Some blk when Block.collectable blk -> (
-          match Block.slot_of_addr blk a with
-          | Some i when Block.is_allocated blk i && is_old t blk i ->
-              mark_page_dirty t (page_index a)
-          | Some _ | None -> ())
-      | Some _ | None -> ()
-    in
-    (* legitimate multi-byte writes stay within one object, so probing
-       the first and last written byte (plus the head of each interior
-       page a long copy crosses) covers every page the write can make
-       old-to-young *)
     let last = addr + len - 1 in
-    dirty_if_old addr;
-    if last <> addr then dirty_if_old last;
-    for p = page_index addr + 1 to page_index last - 1 do
-      dirty_if_old (p lsl Mem.page_bits)
-    done
+    if nursery_enabled t then
+      (* page-segregated generations make the barrier a page-kind test:
+         young pages never need cards (every minor scans the whole
+         nursery), and any other collectable page the write touches is
+         dirtied outright — no slot or age resolution, and straddling
+         (cross-object) writes are covered by construction because every
+         touched page gets its card.  Over-dirtying a page whose old
+         block holds a reused young slot is merely conservative:
+         [recompute_cards] cleans it at the next collection. *)
+      for p = page_index addr to page_index last do
+        match Page_map.find t.map (p lsl Mem.page_bits) with
+        | Some blk when Block.collectable blk && not blk.Block.blk_young ->
+            mark_page_dirty t p
+        | Some _ | None -> ()
+      done
+    else begin
+      let dirty_if_old a =
+        match Page_map.find t.map a with
+        | Some blk when Block.collectable blk -> (
+            match Block.slot_of_addr blk a with
+            | Some i when Block.is_allocated blk i && is_old t blk i ->
+                mark_page_dirty t (page_index a)
+            | Some _ | None -> ())
+        | Some _ | None -> ()
+      in
+      (* probe the first and last written byte, and the head of every
+         page the write crosses — including the last page's head, so a
+         store that straddles objects across a page boundary still
+         dirties a page whose old object it touched mid-page *)
+      dirty_if_old addr;
+      if last <> addr then dirty_if_old last;
+      for p = page_index addr + 1 to page_index last do
+        dirty_if_old (p lsl Mem.page_bits)
+      done
+    end
   end
 
 (** Age of the allocated object at [addr] in minor collections survived
@@ -458,8 +539,7 @@ let mark_and_trace ?(minor = false) t ~extra_roots ~extra_ranges =
      remembered set stands in for the unscanned rest of the old
      generation *)
   if minor then
-    for p = 0 to Bytes.length t.dirty - 1 do
-      if Bytes.get t.dirty p <> '\000' then begin
+    iter_dirty_pages t (fun p ->
         t.stats.cards_scanned <- t.stats.cards_scanned + 1;
         let page_start = p lsl Mem.page_bits in
         let page_stop = page_start + Mem.page_size in
@@ -474,9 +554,7 @@ let mark_and_trace ?(minor = false) t ~extra_roots ~extra_ranges =
                 if s < e then scan_range ~from_root:false s e
               end
             done
-        | Some _ | None -> ()
-      end
-    done;
+        | Some _ | None -> ());
   (* stack blocks are never swept; mark them so sweeping logic is uniform *)
   List.iter
     (fun blk ->
@@ -500,44 +578,204 @@ let dirty_slot_pages t blk i =
     mark_page_dirty t p
   done
 
+(* ------------------------------------------------------------------ *)
+(* Reclaim pool plumbing and nursery page lifecycle                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A page run leaving service must shed its cards: a pool page reused by
+   a fresh block must not be born dirty, dragging its new slots into
+   every minor until [recompute_cards] happens to clean it. *)
+let clear_cards_in_run t lo pages =
+  for p = page_index lo to page_index lo + pages - 1 do
+    if p < Bytes.length t.dirty then Bytes.set t.dirty p '\000'
+  done
+
+(* Sort and coalesce adjacent pool runs so a multi-page request can be
+   carved out of neighbouring single-page retirements. *)
+let coalesce_pool t =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) t.free_pages in
+  t.free_pages <-
+    List.rev
+      (List.fold_left
+         (fun acc (s, p) ->
+           match acc with
+           | (ps, pp) :: rest when ps + (pp * Mem.page_size) = s ->
+               (ps, pp + p) :: rest
+           | _ -> (s, p) :: acc)
+         [] sorted)
+
+(* Drop the bump cursor if it points at [blk] (the block is leaving the
+   nursery, by promotion or retirement). *)
+let drop_cursor t blk =
+  let key = (blk.Block.blk_obj_size, blk.Block.blk_kind) in
+  match Hashtbl.find_opt t.nursery_cursors key with
+  | Some b when b == blk -> Hashtbl.remove t.nursery_cursors key
+  | Some _ | None -> ()
+
+(* A wholly dead nursery page goes back to the reclaim pool: the page
+   map forgets it and its (already swept) pages become claimable by any
+   later block.  The caller coalesces the pool when the batch is done. *)
+let retire_young_block t blk =
+  drop_cursor t blk;
+  Page_map.clear_block t.map blk;
+  t.all_blocks <- List.filter (fun b -> not (b == blk)) t.all_blocks;
+  t.young_blocks <- List.filter (fun b -> not (b == blk)) t.young_blocks;
+  clear_cards_in_run t blk.Block.blk_start blk.Block.blk_pages;
+  t.free_pages <- (blk.Block.blk_start, blk.Block.blk_pages) :: t.free_pages
+
+(* Promote a surviving nursery page in place: the block joins the old
+   generation (the collector is conservative, so survivors cannot be
+   copied out), and its dead and never-bumped slots join the size-class
+   free lists like any other old block's. *)
+let promote_young_block t blk =
+  drop_cursor t blk;
+  blk.Block.blk_young <- false;
+  blk.Block.blk_bump <- 0;
+  t.young_blocks <- List.filter (fun b -> not (b == blk)) t.young_blocks;
+  let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
+  for i = blk.Block.blk_count - 1 downto 0 do
+    if not (Block.is_allocated blk i) then begin
+      Block.set_age blk i 0;
+      fl := Block.slot_addr blk i :: !fl
+    end
+  done
+
+(* Seal the bump cursors and return wholly dead nursery pages to the
+   pool.  Runs after every collection, so a completed cycle always
+   leaves the nursery parseable: open bump regions never survive a
+   collection, and dead cohorts never linger. *)
+let retire_dead_young t =
+  Hashtbl.reset t.nursery_cursors;
+  t.nursery_opened <- 0;
+  let dead =
+    List.filter
+      (fun blk ->
+        let live = ref false in
+        for i = 0 to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i then live := true
+        done;
+        not !live)
+      t.young_blocks
+  in
+  if dead <> [] then begin
+    List.iter (fun blk -> retire_young_block t blk) dead;
+    coalesce_pool t
+  end
+
+(** Close out the nursery entirely: dead young pages return to the pool
+    and surviving young pages are promoted in place.  The incremental
+    collector calls this when a cycle completes — its sliced sweep has
+    no minor-cycle aging, so a finished cycle tenures what survived. *)
+let flush_nursery t =
+  if nursery_enabled t then begin
+    retire_dead_young t;
+    let survivors = t.young_blocks in
+    List.iter
+      (fun blk ->
+        for i = 0 to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i then begin
+            t.stats.promoted <- t.stats.promoted + 1;
+            if t.config.generational then begin
+              Block.set_age blk i t.config.promote_after;
+              dirty_slot_pages t blk i
+            end
+          end
+        done;
+        promote_young_block t blk)
+      survivors
+  end
+
 let sweep ?(minor = false) t =
   let freed = ref 0 and freed_bytes = ref 0 in
-  List.iter (fun blk ->
-      if Block.collectable blk then
+  let sweep_block blk =
+    if Block.collectable blk then
+      for i = 0 to blk.Block.blk_count - 1 do
+        if Block.is_allocated blk i then
+          if minor && is_old t blk i then
+            (* old objects are not collected by a minor cycle *)
+            ()
+          else if not (Block.is_marked blk i) then begin
+            Block.set_allocated blk i false;
+            (* age hygiene: a freed slot restarts at age 0, so whatever
+               reallocates it gets a genuinely young object *)
+            Block.set_age blk i 0;
+            incr freed;
+            freed_bytes := !freed_bytes + blk.Block.blk_req.(i);
+            let addr = Block.slot_addr blk i in
+            (match t.on_free with
+            | Some f -> f ~addr ~bytes:blk.Block.blk_req.(i)
+            | None -> ());
+            if t.config.poison then
+              Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
+            (* small-class slots return to their free list; large blocks
+               (obj_size > max_small, even single-page ones) stay in
+               [large_blocks] for whole-block reuse and must never leak
+               onto a size-class list; nursery slots are bump-allocated
+               and never reused in place, so young blocks stay off the
+               free lists (their pages are reclaimed or promoted whole) *)
+            if blk.Block.blk_obj_size <= max_small && not blk.Block.blk_young
+            then begin
+              let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
+              fl := addr :: !fl
+            end
+          end
+          else if minor then begin
+            (* young survivor: one minor cycle older *)
+            Block.set_age blk i (Block.age blk i + 1);
+            if is_old t blk i && not blk.Block.blk_young then begin
+              t.stats.promoted <- t.stats.promoted + 1;
+              dirty_slot_pages t blk i
+            end
+          end
+      done
+  in
+  if minor && nursery_enabled t then begin
+    (* segregated generations let a minor sweep touch only the blocks
+       where young objects can live: the nursery pages themselves plus
+       old blocks holding reused (age-restarted) slots *)
+    let young = t.young_blocks in
+    List.iter sweep_block young;
+    List.iter sweep_block t.aging_blocks;
+    (* nursery cohorts act per page: a page with no survivors returns to
+       the reclaim pool; a page whose cohort has now survived
+       [promote_after] minors is promoted in place *)
+    let retired = ref false in
+    List.iter
+      (fun blk ->
+        let survivors = ref 0 and cohort_age = ref 0 in
         for i = 0 to blk.Block.blk_count - 1 do
-          if Block.is_allocated blk i then
-            if minor && is_old t blk i then
-              (* old objects are not collected by a minor cycle *)
-              ()
-            else if not (Block.is_marked blk i) then begin
-              Block.set_allocated blk i false;
-              incr freed;
-              freed_bytes := !freed_bytes + blk.Block.blk_req.(i);
-              let addr = Block.slot_addr blk i in
-              (match t.on_free with
-              | Some f -> f ~addr ~bytes:blk.Block.blk_req.(i)
-              | None -> ());
-              if t.config.poison then
-                Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
-              (* small-class slots return to their free list; large blocks
-                 (obj_size > max_small, even single-page ones) stay in
-                 [large_blocks] for whole-block reuse and must never leak
-                 onto a size-class list *)
-              if blk.Block.blk_obj_size <= max_small then begin
-                let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
-                fl := addr :: !fl
-              end
-            end
-            else if minor then begin
-              (* young survivor: one minor cycle older *)
-              Block.set_age blk i (Block.age blk i + 1);
-              if is_old t blk i then begin
-                t.stats.promoted <- t.stats.promoted + 1;
-                dirty_slot_pages t blk i
-              end
-            end
-        done)
-    t.all_blocks;
+          if Block.is_allocated blk i then begin
+            incr survivors;
+            cohort_age := Block.age blk i
+          end
+        done;
+        if !survivors = 0 then begin
+          retire_young_block t blk;
+          retired := true
+        end
+        else if !cohort_age >= t.config.promote_after then begin
+          t.stats.promoted <- t.stats.promoted + !survivors;
+          for i = 0 to blk.Block.blk_count - 1 do
+            if Block.is_allocated blk i then dirty_slot_pages t blk i
+          done;
+          promote_young_block t blk
+        end)
+      young;
+    if !retired then coalesce_pool t;
+    (* an aging block with no young slot left drops out of the minor set *)
+    t.aging_blocks <-
+      List.filter
+        (fun blk ->
+          let has_young = ref false in
+          for i = 0 to blk.Block.blk_count - 1 do
+            if Block.is_allocated blk i && not (is_old t blk i) then
+              has_young := true
+          done;
+          if not !has_young then blk.Block.blk_aging <- false;
+          !has_young)
+        t.aging_blocks
+  end
+  else List.iter sweep_block t.all_blocks;
   t.stats.objects_freed <- t.stats.objects_freed + !freed;
   t.stats.bytes_freed <- t.stats.bytes_freed + !freed_bytes;
   (!freed, !freed_bytes)
@@ -549,13 +787,15 @@ let sweep ?(minor = false) t =
    clean card only through a store (barrier) or a promotion (which
    dirties the promoted slot's pages). *)
 let recompute_cards t =
-  for p = 0 to Bytes.length t.dirty - 1 do
-    if Bytes.get t.dirty p <> '\000' then begin
+  let retained = ref [] in
+  iter_dirty_pages t (fun p ->
       let page_start = p lsl Mem.page_bits in
       let page_stop = page_start + Mem.page_size in
       let needed = ref false in
       (match Page_map.find t.map page_start with
-      | Some blk when Block.collectable blk && Block.scanned blk ->
+      | Some blk
+        when Block.collectable blk && Block.scanned blk
+             && not blk.Block.blk_young ->
           for i = 0 to blk.Block.blk_count - 1 do
             if
               (not !needed)
@@ -570,9 +810,9 @@ let recompute_cards t =
             end
           done
       | Some _ | None -> ());
-      if not !needed then Bytes.set t.dirty p '\000'
-    end
-  done
+      if !needed then retained := p :: !retained
+      else Bytes.set t.dirty p '\000');
+  t.dirty_index <- !retained
 
 (** Soundly abandon an in-flight incremental cycle: drop the gray stack
     and the sweep cursor and return to [Idle].  Mark bits are left as
@@ -603,6 +843,11 @@ let collect ?(generation = Major) ?(extra_roots = []) ?(extra_ranges = []) t =
   List.iter Block.clear_marks t.all_blocks;
   mark_and_trace ~minor t ~extra_roots ~extra_ranges;
   let freed, freed_bytes = sweep ~minor t in
+  (* every completed collection seals the bump cursors (cohort pages must
+     not mix allocation windows) and returns dead nursery pages to the
+     pool, so emergency and forced full cycles always leave the nursery
+     in a state the next cycle can parse *)
+  if nursery_enabled t then retire_dead_young t;
   if t.config.generational then recompute_cards t;
   (* Boehm-style live-growth trigger: a major collection is due when the
      heap has *grown* by [gc_threshold] bytes, so bytes a minor cycle
@@ -616,9 +861,13 @@ let collect ?(generation = Major) ?(extra_roots = []) ?(extra_ranges = []) t =
 let should_collect t = t.since_gc >= t.config.gc_threshold
 
 (** Should the allocator trigger a minor collection?  Never true outside
-    generational mode. *)
+    generational mode.  With the nursery in service, filling the
+    configured number of nursery pages is also a trigger: the minor cost
+    tracks nursery occupancy, not just bytes. *)
 let should_collect_minor t =
-  t.config.generational && t.since_minor >= t.config.minor_threshold
+  t.config.generational
+  && (t.since_minor >= t.config.minor_threshold
+     || (nursery_enabled t && t.nursery_opened >= t.config.nursery_pages))
 
 (* ------------------------------------------------------------------ *)
 (* Allocation (under the heap ceiling)                                 *)
@@ -656,8 +905,15 @@ let reclaim_empty_blocks t =
     t.all_blocks <- kept;
     t.large_blocks <-
       List.filter (fun b -> not (List.memq b retired)) t.large_blocks;
+    (* nursery bookkeeping must not dangle: a retired young block leaves
+       the young set and any bump cursor pointing at it *)
+    t.young_blocks <-
+      List.filter (fun b -> not (List.memq b retired)) t.young_blocks;
+    t.aging_blocks <-
+      List.filter (fun b -> not (List.memq b retired)) t.aging_blocks;
     List.iter
       (fun blk ->
+        drop_cursor t blk;
         Page_map.clear_block t.map blk;
         let lo = blk.Block.blk_start in
         let hi = lo + (blk.Block.blk_pages * Mem.page_size) in
@@ -665,23 +921,10 @@ let reclaim_empty_blocks t =
           let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
           fl := List.filter (fun a -> a < lo || a >= hi) !fl
         end;
-        for p = page_index lo to page_index (hi - 1) do
-          if p < Bytes.length t.dirty then Bytes.set t.dirty p '\000'
-        done;
+        clear_cards_in_run t lo blk.Block.blk_pages;
         t.free_pages <- (lo, blk.Block.blk_pages) :: t.free_pages)
       retired;
-    (* sort and coalesce adjacent runs so a multi-page request can be
-       carved out of neighbouring single-page retirements *)
-    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) t.free_pages in
-    t.free_pages <-
-      List.rev
-        (List.fold_left
-           (fun acc (s, p) ->
-             match acc with
-             | (ps, pp) :: rest when ps + (pp * Mem.page_size) = s ->
-                 (ps, pp + p) :: rest
-             | _ -> (s, p) :: acc)
-           [] sorted)
+    coalesce_pool t
   end
 
 (* Best-fit carve from the reclaim pool.  Reused pages are re-zeroed so
@@ -703,6 +946,9 @@ let take_pages t pages =
         t.free_pages <-
           (s + (pages * Mem.page_size), p - pages) :: t.free_pages;
       Mem.fill t.mem s (pages * Mem.page_size) '\000';
+      (* defense in depth against stale cards: the run was cleaned when
+         retired, but a reused page must never be born dirty *)
+      clear_cards_in_run t s pages;
       Some s
 
 (** The collect-expand policy's emergency collection: a full,
@@ -814,9 +1060,93 @@ let alloc_large t ~req bytes kind =
      unconditionally (they cannot hold the only path to snapshot-live
      data, and the sliced sweeper must not free them) *)
   if t.phase <> Idle then Block.set_marked blk 0 true;
+  (* large objects live outside the nursery but are born young: with the
+     segregated minor sweep, their block must join the aging set so
+     minors can age and promote them *)
+  if t.config.generational && nursery_enabled t && not blk.Block.blk_aging
+  then begin
+    blk.Block.blk_aging <- true;
+    t.aging_blocks <- blk :: t.aging_blocks
+  end;
   blk.Block.blk_req.(0) <- req;
   Mem.fill t.mem blk.Block.blk_start (pages * Mem.page_size) '\000';
   blk.Block.blk_start
+
+(* Open a fresh nursery page for (cls, kind): a young single-page block
+   the bump cursor fills front to back.  The page arrived zeroed (fresh
+   growth is zeroed; pool reuse re-zeroes), which is what lets the bump
+   fast path skip the per-object fill. *)
+let open_young_block t cls kind start =
+  let count = Mem.page_size / cls in
+  let blk = Block.make ~start ~pages:1 ~obj_size:cls ~count ~kind in
+  blk.Block.blk_young <- true;
+  Page_map.set_block t.map blk;
+  t.all_blocks <- blk :: t.all_blocks;
+  t.young_blocks <- blk :: t.young_blocks;
+  t.nursery_opened <- t.nursery_opened + 1;
+  Hashtbl.replace t.nursery_cursors (cls, kind) blk;
+  blk
+
+(* Nursery allocation for small collectable objects: the fast path is a
+   bump (slot index increment + limit check) with no page-map lookup, no
+   slot division and no fill.  When the current page is full, freed
+   old-generation slots are drained from the size-class free list before
+   any new page is opened — reuse keeps segregation from costing
+   footprint — and only then is a fresh young page claimed (reclaim pool
+   first, then growth under the ceiling, with the same collect-expand
+   fallback as the legacy path). *)
+let rec alloc_nursery t ~req cls kind =
+  match Hashtbl.find_opt t.nursery_cursors (cls, kind) with
+  | Some blk when blk.Block.blk_bump < blk.Block.blk_count ->
+      let i = blk.Block.blk_bump in
+      blk.Block.blk_bump <- i + 1;
+      Block.set_allocated blk i true;
+      (* ages on a fresh block are already 0 and bump slots are never
+         reused, so no age reset is needed here *)
+      if t.phase <> Idle then Block.set_marked blk i true;
+      blk.Block.blk_req.(i) <- req;
+      Block.slot_addr blk i
+  | _ -> (
+      let fl = free_list t cls kind in
+      match !fl with
+      | addr :: rest ->
+          fl := rest;
+          (match Page_map.find t.map addr with
+          | Some blk ->
+              let i = Option.get (Block.slot_of_addr blk addr) in
+              Block.set_allocated blk i true;
+              (* the reused slot is born young again *)
+              Block.set_age blk i 0;
+              if t.phase <> Idle then Block.set_marked blk i true;
+              blk.Block.blk_req.(i) <- req;
+              if t.config.generational && not blk.Block.blk_aging then begin
+                blk.Block.blk_aging <- true;
+                t.aging_blocks <- blk :: t.aging_blocks
+              end
+          | None -> assert false);
+          Mem.fill t.mem addr cls '\000';
+          addr
+      | [] -> (
+          match claim_pages t 1 with
+          | Some start ->
+              ignore (open_young_block t cls kind start);
+              alloc_nursery t ~req cls kind
+          | None -> (
+              match t.config.oom_policy with
+              | Trap -> exhausted t ~req ~pages:1
+              | Collect_expand -> (
+                  emergency_collect t;
+                  (* the emergency cycle sealed the cursors and may have
+                     refilled the free list or the reclaim pool; retry
+                     the slow path once before giving up *)
+                  match !fl with
+                  | _ :: _ -> alloc_nursery t ~req cls kind
+                  | [] -> (
+                      match claim_pages t 1 with
+                      | Some start ->
+                          ignore (open_young_block t cls kind start);
+                          alloc_nursery t ~req cls kind
+                      | None -> exhausted t ~req ~pages:1)))))
 
 (** Allocate [bytes] (plus the mandatory slack byte) of zeroed storage.
 
@@ -846,6 +1176,12 @@ let alloc ?(kind = Block.Normal) t bytes =
   end;
   let with_slack = bytes + 1 in
   if with_slack > max_small then alloc_large t ~req:bytes with_slack kind
+  else if
+    (match kind with
+    | Block.Normal | Block.Atomic -> true
+    | Block.Uncollectable | Block.Stack -> false)
+    && nursery_enabled t
+  then alloc_nursery t ~req:bytes (class_size with_slack) kind
   else begin
     let cls = class_size with_slack in
     let fl = free_list t cls kind in
@@ -1067,6 +1403,8 @@ let check_integrity t : violation list =
                   addr cls blk.Block.blk_obj_size;
               if blk.Block.blk_kind <> kind then
                 report "free-list" "entry %#x has the wrong block kind" addr;
+              if blk.Block.blk_young then
+                report "free-list" "entry %#x lies on a nursery page" addr;
               match Block.slot_of_addr blk addr with
               | Some i when Block.slot_addr blk i = addr ->
                   if Block.is_allocated blk i then
@@ -1076,10 +1414,12 @@ let check_integrity t : violation list =
                   report "free-list" "entry %#x is not a slot base" addr))
         !fl)
     t.free_lists;
-  (* free-list completeness: every free small-class slot is findable *)
+  (* free-list completeness: every free small-class slot is findable —
+     except on nursery pages, whose slots are bump-allocated and only
+     join the free lists when the page is promoted *)
   List.iter
     (fun blk ->
-      if blk.Block.blk_obj_size <= max_small then
+      if blk.Block.blk_obj_size <= max_small && not blk.Block.blk_young then
         for i = 0 to blk.Block.blk_count - 1 do
           if not (Block.is_allocated blk i) then begin
             let addr = Block.slot_addr blk i in
@@ -1088,6 +1428,40 @@ let check_integrity t : violation list =
           end
         done)
     t.all_blocks;
+  (* nursery invariants: young blocks are collectable single-page bump
+     regions, the cursor stays within bounds, nothing past the cursor
+     was ever allocated, and the young set is exactly the young blocks *)
+  List.iter
+    (fun blk ->
+      if blk.Block.blk_young then begin
+        if not (Block.collectable blk) then
+          report "nursery" "young block %#x is not collectable"
+            blk.Block.blk_start;
+        if blk.Block.blk_pages <> 1 then
+          report "nursery" "young block %#x spans %d pages"
+            blk.Block.blk_start blk.Block.blk_pages;
+        if blk.Block.blk_bump < 0 || blk.Block.blk_bump > blk.Block.blk_count
+        then
+          report "nursery" "young block %#x: bump %d outside [0,%d]"
+            blk.Block.blk_start blk.Block.blk_bump blk.Block.blk_count;
+        for i = max 0 blk.Block.blk_bump to blk.Block.blk_count - 1 do
+          if Block.is_allocated blk i || Block.is_marked blk i then
+            report "nursery"
+              "young block %#x: slot %d at or past the bump cursor (%d) is \
+               in use"
+              blk.Block.blk_start i blk.Block.blk_bump
+        done;
+        if not (List.memq blk t.young_blocks) then
+          report "nursery" "young block %#x is missing from the young set"
+            blk.Block.blk_start
+      end)
+    t.all_blocks;
+  List.iter
+    (fun blk ->
+      if not blk.Block.blk_young then
+        report "nursery" "old block %#x lingers in the young set"
+          blk.Block.blk_start)
+    t.young_blocks;
   (* remembered-set completeness: minor collections scan only dirty
      cards of the old generation, so an old→young reference on a clean
      card would let a minor cycle reclaim a live object *)

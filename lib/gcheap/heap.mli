@@ -11,7 +11,15 @@
     per-slot age, a minor cycle scans roots, young objects and the dirty
     cards of a page-granularity remembered set (fed by {!note_store}),
     and survivors promote to the old generation after
-    [config.promote_after] minor cycles. *)
+    [config.promote_after] minor cycles.
+
+    Generational and incremental heaps additionally segregate the
+    generations by page: new small collectable objects are bump-allocated
+    off young single-page blocks ([config.nursery_pages] of them per
+    allocation window), whole-page cohorts age together, wholly dead
+    nursery pages return to the reclaim pool, and a surviving cohort is
+    promoted in place — the collector is conservative, so objects never
+    move.  The remembered set then tracks only old-generation pages. *)
 
 type gc_mode = Stw | Gen | Inc
 (** Collector operating mode: stop-the-world full collections only (the
@@ -65,6 +73,10 @@ type config = {
   mutable pause_budget_words : int;
       (** words of collector work one incremental step may perform
           before yielding back to the mutator *)
+  mutable nursery_pages : int;
+      (** pages of bump-allocated nursery a generational or incremental
+          heap may open between collections before a minor cycle is due;
+          [0] disables the nursery (legacy shared-page allocation) *)
 }
 
 type stats = {
@@ -128,12 +140,16 @@ type t = {
           ranges only *)
   mutable free_pages : (int * int) list;
       (** reclaim pool: [(start, pages)] page runs retired from
-          fully-empty blocks by emergency collections, available to any
+          fully-empty blocks by emergency collections and from wholly
+          dead nursery pages at collection boundaries, available to any
           later block of any size class.  The arena never shrinks, but
-          pages inside it can change role under memory pressure — this
-          is what makes [Collect_expand] strictly stronger than [Trap]
-          when the blocker is a large allocation.  Always empty on
-          executions that never hit the ceiling *)
+          pages inside it can change role — this is what makes
+          [Collect_expand] strictly stronger than [Trap] when the
+          blocker is a large allocation, and what keeps a churning
+          nursery's footprint bounded.  Card bytes are wiped both when
+          a run is retired and when it is reused, so no page is ever
+          born dirty.  Always empty on limit-free stop-the-world
+          executions *)
   mutable phase : phase;
       (** incremental-cycle phase; driven by {!Incremental.step} *)
   mutable gray : (int * int) list;
@@ -144,6 +160,20 @@ type t = {
   mutable sweep_cursor : int;
       (** next slot to examine in the head of [sweep_pending] — lets a
           sweep slice stop mid-block exactly at the pause budget *)
+  mutable young_blocks : Block.t list;
+      (** nursery: the young single-page blocks currently in service *)
+  mutable aging_blocks : Block.t list;
+      (** old-generation blocks that may hold still-young (reused or
+          large) slots, visited by the segregated minor sweep *)
+  nursery_cursors : (int * Block.kind, Block.t) Hashtbl.t;
+      (** (class size, kind) -> the young block being bump-filled *)
+  mutable nursery_opened : int;
+      (** young pages opened since the last collection (the nursery
+          occupancy trigger for minor cycles) *)
+  mutable dirty_index : int list;
+      (** indices of possibly-dirty pages, so card scans walk the dirty
+          subset instead of the whole arena; may hold stale entries,
+          which readers skip by re-checking the card byte *)
 }
 
 exception Check_failure of string
@@ -158,6 +188,18 @@ exception Heap_exhausted of string
 val default_config : unit -> config
 
 val create : ?config:config -> unit -> t
+
+val nursery_enabled : t -> bool
+(** Is the bump-pointer nursery in service?  True on generational and
+    incremental heaps with [config.nursery_pages > 0]; always false on
+    stop-the-world heaps, which keep the seed allocator bit for bit. *)
+
+val flush_nursery : t -> unit
+(** Close out the nursery: wholly dead young pages return to the reclaim
+    pool, surviving young pages are promoted in place (their free slots
+    join the size-class free lists), and the bump cursors are sealed.
+    The {!Incremental} collector calls this when a cycle completes; a
+    no-op when the nursery is disabled or empty. *)
 
 val add_root_range : t -> int -> int -> unit
 (** Register a permanent root range [start, stop)] (scanned word-wise). *)

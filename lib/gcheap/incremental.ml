@@ -140,6 +140,8 @@ let finalize t ~extra_roots ~spent =
 let sweep_slot t blk i ~spent =
   if Block.is_allocated blk i && not (Block.is_marked blk i) then begin
     Block.set_allocated blk i false;
+    (* age hygiene: a freed slot restarts at age 0 *)
+    Block.set_age blk i 0;
     t.stats.objects_freed <- t.stats.objects_freed + 1;
     t.stats.bytes_freed <- t.stats.bytes_freed + blk.Block.blk_req.(i);
     let addr = Block.slot_addr blk i in
@@ -148,7 +150,10 @@ let sweep_slot t blk i ~spent =
     | None -> ());
     spent := !spent + (blk.Block.blk_obj_size / 8);
     if t.config.poison then Mem.fill t.mem addr blk.Block.blk_obj_size '\xDB';
-    if blk.Block.blk_obj_size <= max_small then begin
+    (* nursery slots never return to a free list; their whole page is
+       reclaimed or promoted when the cycle completes *)
+    if blk.Block.blk_obj_size <= max_small && not blk.Block.blk_young
+    then begin
       let fl = free_list t blk.Block.blk_obj_size blk.Block.blk_kind in
       fl := addr :: !fl
     end
@@ -194,8 +199,12 @@ let sweep_slice t ~spent ~budget =
         end
   done;
   if t.sweep_pending = [] then begin
-    (* cycle complete: account it exactly like a full collection *)
+    (* cycle complete: account it exactly like a full collection.  The
+       sliced sweep has no minor-cycle aging, so a finished cycle closes
+       the nursery out wholesale: dead young pages rejoin the reclaim
+       pool and surviving young pages are tenured in place. *)
     t.phase <- Idle;
+    flush_nursery t;
     t.stats.collections <- t.stats.collections + 1;
     t.since_gc <- 0;
     t.since_minor <- 0

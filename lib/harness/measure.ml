@@ -69,6 +69,9 @@ let exec ?gc_point_sink ?telemetry ?(census = false) (r : Request.t)
       Machine.Vm.vm_gc_pause_budget =
         Option.value ~default:dc.Machine.Vm.vm_gc_pause_budget
           r.Request.gc_pause_budget;
+      Machine.Vm.vm_nursery_pages =
+        Option.value ~default:dc.Machine.Vm.vm_nursery_pages
+          r.Request.nursery_pages;
       Machine.Vm.vm_gc_point_sink = gc_point_sink;
       Machine.Vm.vm_telemetry = telemetry;
       Machine.Vm.vm_heap_limit_words = r.Request.heap_limit;
@@ -186,6 +189,12 @@ let census_to_json (c : Gcheap.Census.t) : Telemetry.Json.t =
             ("dirty", Json.Int c.Gcheap.Census.cn_dirty_cards);
             ("total", Json.Int c.Gcheap.Census.cn_cards);
             ("dirty_ratio", Json.Float (Gcheap.Census.dirty_ratio c));
+          ] );
+      ( "nursery",
+        Json.Obj
+          [
+            ("pages", Json.Int c.Gcheap.Census.cn_nursery_pages);
+            ("slots", Json.Int c.Gcheap.Census.cn_nursery_slots);
           ] );
       ("live_words", Json.Int c.Gcheap.Census.cn_live_words);
       ("committed_words", Json.Int c.Gcheap.Census.cn_committed_words);
